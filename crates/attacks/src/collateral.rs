@@ -1,0 +1,140 @@
+//! Collateral-damage accounting.
+//!
+//! The paper's argument for why revocation deters manipulation is the
+//! "outcry from collateral damage"; the whole point of targeted
+//! whacking is to get the damage to zero. [`damage_between`] measures
+//! it directly: diff the validated VRP sets (and the route validities
+//! they induce) before and after a manipulation.
+
+use ipres::Asn;
+use rpki_rp::{Route, RouteValidity, Vrp, VrpCache};
+use serde::Serialize;
+
+/// The observable damage of a manipulation.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DamageReport {
+    /// VRPs present before and absent after.
+    pub lost_vrps: Vec<Vrp>,
+    /// VRPs absent before and present after (reissues land here).
+    pub gained_vrps: Vec<Vrp>,
+    /// Routes that were valid before and are not after — the paper's
+    /// collateral-damage number, measured on a probe route set.
+    pub routes_degraded: Vec<(Route, RouteValidity)>,
+    /// Routes that changed state in any direction.
+    pub routes_changed: usize,
+}
+
+impl DamageReport {
+    /// Whether the manipulation damaged nothing but the intended
+    /// targets (`targets` = origin ASes whose degradation is intended).
+    pub fn clean_except(&self, targets: &[Asn]) -> bool {
+        self.routes_degraded.iter().all(|(r, _)| targets.contains(&r.origin))
+    }
+}
+
+/// Computes the damage between two VRP snapshots, probing route
+/// validity over `probes`.
+pub fn damage_between(before: &[Vrp], after: &[Vrp], probes: &[Route]) -> DamageReport {
+    let before_cache: VrpCache = before.iter().copied().collect();
+    let after_cache: VrpCache = after.iter().copied().collect();
+
+    let lost_vrps: Vec<Vrp> =
+        before.iter().filter(|v| !after.contains(v)).copied().collect();
+    let gained_vrps: Vec<Vrp> =
+        after.iter().filter(|v| !before.contains(v)).copied().collect();
+
+    let mut routes_degraded = Vec::new();
+    let mut routes_changed = 0;
+    for &route in probes {
+        let was = before_cache.classify(route);
+        let is = after_cache.classify(route);
+        if was != is {
+            routes_changed += 1;
+            if was == RouteValidity::Valid && is != RouteValidity::Valid {
+                routes_degraded.push((route, is));
+            }
+        }
+    }
+
+    DamageReport { lost_vrps, gained_vrps, routes_degraded, routes_changed }
+}
+
+/// The natural probe set for a VRP universe: one route per VRP, as its
+/// holder would announce it (prefix at its own length, authorised
+/// origin).
+pub fn probes_for(vrps: &[Vrp]) -> Vec<Route> {
+    let mut probes: Vec<Route> =
+        vrps.iter().map(|v| Route::new(v.prefix, v.asn)).collect();
+    probes.sort_unstable();
+    probes.dedup();
+    probes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipres::Prefix;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn no_change_no_damage() {
+        let vrps = vec![Vrp::new(p("10.0.0.0/16"), 16, Asn(1))];
+        let report = damage_between(&vrps, &vrps, &probes_for(&vrps));
+        assert!(report.lost_vrps.is_empty());
+        assert!(report.gained_vrps.is_empty());
+        assert!(report.routes_degraded.is_empty());
+        assert_eq!(report.routes_changed, 0);
+        assert!(report.clean_except(&[]));
+    }
+
+    #[test]
+    fn whack_with_cover_degrades_to_invalid() {
+        // The victim's VRP disappears; a covering VRP remains → the
+        // victim's route flips valid → INVALID (Side Effect 6 shape).
+        let before = vec![
+            Vrp::new(p("10.0.0.0/8"), 8, Asn(99)),
+            Vrp::new(p("10.1.0.0/16"), 16, Asn(1)),
+        ];
+        let after = vec![Vrp::new(p("10.0.0.0/8"), 8, Asn(99))];
+        let report = damage_between(&before, &after, &probes_for(&before));
+        assert_eq!(report.lost_vrps, vec![Vrp::new(p("10.1.0.0/16"), 16, Asn(1))]);
+        assert_eq!(report.routes_degraded.len(), 1);
+        assert_eq!(report.routes_degraded[0].1, RouteValidity::Invalid);
+        assert!(report.clean_except(&[Asn(1)]));
+        assert!(!report.clean_except(&[Asn(2)]));
+    }
+
+    #[test]
+    fn whack_without_cover_degrades_to_unknown() {
+        let before = vec![Vrp::new(p("10.1.0.0/16"), 16, Asn(1))];
+        let after: Vec<Vrp> = vec![];
+        let report = damage_between(&before, &after, &probes_for(&before));
+        assert_eq!(report.routes_degraded.len(), 1);
+        assert_eq!(report.routes_degraded[0].1, RouteValidity::Unknown);
+    }
+
+    #[test]
+    fn reissue_shows_as_gain_and_prevents_degradation() {
+        // Make-before-break: same VRP content reappears (from the
+        // manipulator's pub point) → no degradation.
+        let before = vec![
+            Vrp::new(p("10.0.0.0/8"), 8, Asn(99)),
+            Vrp::new(p("10.1.0.0/16"), 16, Asn(1)),
+        ];
+        let after = before.clone(); // identical VRPs, different issuer
+        let report = damage_between(&before, &after, &probes_for(&before));
+        assert!(report.routes_degraded.is_empty());
+    }
+
+    #[test]
+    fn probes_deduplicate() {
+        let vrps = vec![
+            Vrp::new(p("10.0.0.0/8"), 8, Asn(1)),
+            Vrp::new(p("10.0.0.0/8"), 24, Asn(1)),
+        ];
+        assert_eq!(probes_for(&vrps).len(), 1);
+    }
+}

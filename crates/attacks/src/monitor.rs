@@ -1,0 +1,607 @@
+//! The snapshot-diff RPKI monitor.
+//!
+//! Section 3.1 ends with: *"One of the open problems we are working on
+//! is the design of monitoring schemes that deter RPKI manipulations by
+//! detecting suspiciously reissued objects."* This module is that
+//! scheme: capture periodic snapshots of every repository, diff them,
+//! and classify each change as routine churn or a manipulation
+//! signature. The paper's worry — *"distinguishing between abusive
+//! behavior and normal RPKI churn could be difficult"* (Side Effect 2)
+//! — becomes measurable: the ablation benches feed the monitor seeded
+//! churn with and without injected whacks and score it.
+//!
+//! Signatures implemented:
+//!
+//! - **Suspected whack** — a certificate overwritten with shrunken
+//!   resources while some descendant ROA still needs the removed space.
+//! - **Suspicious reissue** — an object appearing at one publication
+//!   point whose content duplicates an object living at (or vanished
+//!   from) *another* — the make-before-break fingerprint.
+//! - **Stealthy removal** — an object vanishing with neither a CRL
+//!   entry nor a same-point renewal.
+//!
+//! Routine churn (CRL/manifest refresh, ROA renewal, key rollover,
+//! fresh issuance) is classified as such.
+
+use std::collections::BTreeMap;
+
+use ipres::{Asn, ResourceSet};
+use rpki_objects::{Decode, Moment, RoaPrefix, RpkiObject};
+use rpki_repo::RepoRegistry;
+use serde::Serialize;
+
+/// A point-in-time, fully decoded picture of every repository.
+#[derive(Debug, Clone)]
+pub struct MonitorSnapshot {
+    /// Capture time.
+    pub when: Moment,
+    /// `directory URI → file name → decoded object`. Files that fail to
+    /// decode are skipped (a production monitor would flag them; the
+    /// validator already does).
+    pub dirs: BTreeMap<String, BTreeMap<String, RpkiObject>>,
+}
+
+impl MonitorSnapshot {
+    /// Captures the current state of every repository.
+    pub fn capture(repos: &RepoRegistry, when: Moment) -> Self {
+        let mut dirs = BTreeMap::new();
+        for repo in repos.iter() {
+            for dir in repo.directories() {
+                let mut files = BTreeMap::new();
+                for (name, _) in repo.list(&dir) {
+                    if let Some(bytes) = repo.fetch(&dir, &name) {
+                        if let Ok(obj) = RpkiObject::from_bytes(bytes) {
+                            files.insert(name, obj);
+                        }
+                    }
+                }
+                dirs.insert(dir.to_string(), files);
+            }
+        }
+        MonitorSnapshot { when, dirs }
+    }
+
+    fn roas(&self) -> impl Iterator<Item = (&String, &String, &rpki_objects::Roa)> {
+        self.dirs.iter().flat_map(|(dir, files)| {
+            files.iter().filter_map(move |(name, obj)| match obj {
+                RpkiObject::Roa(r) => Some((dir, name, r)),
+                _ => None,
+            })
+        })
+    }
+}
+
+/// Direction of a change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ChangeKind {
+    /// File appeared.
+    Added,
+    /// File vanished.
+    Removed,
+    /// File's bytes changed under the same name (an overwrite).
+    Modified,
+}
+
+/// What the monitor concluded about one change.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum Classification {
+    /// CRL/manifest refresh or an equal-content overwrite.
+    RoutineRefresh,
+    /// Same-content object reappeared at the same publication point
+    /// with a fresh identity (ROA renewal, key rollover).
+    Renewal,
+    /// A brand-new object with unseen content.
+    NewIssuance,
+    /// Removal matched by a CRL revocation — transparent, auditable.
+    RevokedRemoval,
+    /// Removal with no CRL entry and no renewal — Side Effect 2.
+    StealthyRemoval,
+    /// A certificate shrank while descendants still use the removed
+    /// space.
+    SuspectedWhack {
+        /// ROAs (display strings) orphaned by the shrink.
+        orphaned: Vec<String>,
+    },
+    /// An object whose content duplicates one at another publication
+    /// point — the make-before-break fingerprint.
+    SuspiciousReissue {
+        /// The other publication point holding the duplicated content.
+        original_dir: String,
+    },
+}
+
+impl Classification {
+    /// Whether this classification should alert an operator.
+    pub fn is_suspicious(&self) -> bool {
+        matches!(
+            self,
+            Classification::StealthyRemoval
+                | Classification::SuspectedWhack { .. }
+                | Classification::SuspiciousReissue { .. }
+        )
+    }
+}
+
+/// One classified change.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct MonitorEvent {
+    /// The publication directory.
+    pub dir: String,
+    /// The file that changed.
+    pub file: String,
+    /// Direction of the change.
+    pub kind: ChangeKind,
+    /// The monitor's verdict.
+    pub classification: Classification,
+}
+
+/// The stateful monitor: feed it snapshots, read classified events.
+#[derive(Debug, Default)]
+pub struct Monitor {
+    last: Option<MonitorSnapshot>,
+}
+
+/// Content identity of a ROA: authorization semantics, not bytes.
+fn roa_key(roa: &rpki_objects::Roa) -> (Asn, Vec<RoaPrefix>) {
+    let mut prefixes = roa.data().prefixes.clone();
+    prefixes.sort_by_key(|rp| (rp.prefix, rp.max_len));
+    (roa.asn(), prefixes)
+}
+
+impl Monitor {
+    /// A monitor with no history.
+    pub fn new() -> Self {
+        Monitor::default()
+    }
+
+    /// Ingests a snapshot; returns the classified diff against the
+    /// previous one (empty on the first call).
+    pub fn observe(&mut self, snap: MonitorSnapshot) -> Vec<MonitorEvent> {
+        let Some(old) = self.last.replace(snap) else {
+            return Vec::new();
+        };
+        let old = &old;
+        let new = self.last.as_ref().expect("just replaced");
+        let mut events = Vec::new();
+
+        // Index ROA content locations in the new snapshot.
+        let mut new_roa_dirs: BTreeMap<(Asn, Vec<RoaPrefix>), Vec<&String>> = BTreeMap::new();
+        for (dir, _, roa) in new.roas() {
+            new_roa_dirs.entry(roa_key(roa)).or_default().push(dir);
+        }
+        // And in the old one (for duplicate detection).
+        let mut old_roa_dirs: BTreeMap<(Asn, Vec<RoaPrefix>), Vec<&String>> = BTreeMap::new();
+        for (dir, _, roa) in old.roas() {
+            old_roa_dirs.entry(roa_key(roa)).or_default().push(dir);
+        }
+
+        let empty = BTreeMap::new();
+        let all_dirs: Vec<&String> = old.dirs.keys().chain(new.dirs.keys()).collect();
+        let mut seen_dirs: Vec<&String> = Vec::new();
+        for dir in all_dirs {
+            if seen_dirs.contains(&dir) {
+                continue;
+            }
+            seen_dirs.push(dir);
+            let old_files = old.dirs.get(dir).unwrap_or(&empty);
+            let new_files = new.dirs.get(dir).unwrap_or(&empty);
+
+            // The new CRLs of this dir (for revocation matching).
+            let new_crls: Vec<&rpki_objects::Crl> = new_files
+                .values()
+                .filter_map(|o| match o {
+                    RpkiObject::Crl(c) => Some(c),
+                    _ => None,
+                })
+                .collect();
+            let revoked = |serial: u64| new_crls.iter().any(|c| c.is_revoked(serial));
+
+            // Removed and modified files.
+            for (name, old_obj) in old_files {
+                match new_files.get(name) {
+                    Some(new_obj) if new_obj == old_obj => {}
+                    Some(new_obj) => {
+                        events.push(MonitorEvent {
+                            dir: dir.clone(),
+                            file: name.clone(),
+                            kind: ChangeKind::Modified,
+                            classification: classify_modification(old, old_obj, new_obj),
+                        });
+                    }
+                    None => {
+                        events.push(MonitorEvent {
+                            dir: dir.clone(),
+                            file: name.clone(),
+                            kind: ChangeKind::Removed,
+                            classification: classify_removal(
+                                dir,
+                                old_obj,
+                                new_files,
+                                &revoked,
+                            ),
+                        });
+                    }
+                }
+            }
+
+            // Added files.
+            for (name, new_obj) in new_files {
+                if old_files.contains_key(name) {
+                    continue;
+                }
+                events.push(MonitorEvent {
+                    dir: dir.clone(),
+                    file: name.clone(),
+                    kind: ChangeKind::Added,
+                    classification: classify_addition(
+                        dir,
+                        new_obj,
+                        old_files,
+                        &old_roa_dirs,
+                        &new_roa_dirs,
+                        old,
+                    ),
+                });
+            }
+        }
+        events
+    }
+}
+
+fn classify_modification(
+    old_snap: &MonitorSnapshot,
+    old_obj: &RpkiObject,
+    new_obj: &RpkiObject,
+) -> Classification {
+    match (old_obj, new_obj) {
+        (RpkiObject::Crl(_), RpkiObject::Crl(_))
+        | (RpkiObject::Manifest(_), RpkiObject::Manifest(_)) => Classification::RoutineRefresh,
+        (RpkiObject::Cert(old_c), RpkiObject::Cert(new_c)) => {
+            let old_res = &old_c.data().resources;
+            let new_res = &new_c.data().resources;
+            if old_res == new_res {
+                return Classification::RoutineRefresh;
+            }
+            let removed: ResourceSet = old_res.difference(new_res);
+            if removed.is_empty() {
+                // Pure growth.
+                return Classification::RoutineRefresh;
+            }
+            // Which ROAs at the subject's publication point still need
+            // the removed space?
+            let subject_dir = old_c.data().sia.to_string();
+            let mut orphaned = Vec::new();
+            if let Some(files) = old_snap.dirs.get(&subject_dir) {
+                for obj in files.values() {
+                    if let RpkiObject::Roa(roa) = obj {
+                        let needs = roa.resources();
+                        if needs.overlaps(&removed) {
+                            orphaned.push(roa.to_string());
+                        }
+                    }
+                }
+            }
+            if orphaned.is_empty() {
+                Classification::RoutineRefresh
+            } else {
+                Classification::SuspectedWhack { orphaned }
+            }
+        }
+        _ => Classification::NewIssuance, // type swap under one name: treat as new
+    }
+}
+
+fn classify_removal(
+    _dir: &str,
+    old_obj: &RpkiObject,
+    new_files: &BTreeMap<String, RpkiObject>,
+    revoked: &dyn Fn(u64) -> bool,
+) -> Classification {
+    match old_obj {
+        RpkiObject::Crl(_) | RpkiObject::Manifest(_) => Classification::RoutineRefresh,
+        RpkiObject::Roa(roa) => {
+            if revoked(roa.serial()) {
+                return Classification::RevokedRemoval;
+            }
+            // Renewal: same content back under a new file name here.
+            let key = roa_key(roa);
+            let renewed = new_files.values().any(|o| match o {
+                RpkiObject::Roa(r) => roa_key(r) == key,
+                _ => false,
+            });
+            if renewed {
+                Classification::Renewal
+            } else {
+                Classification::StealthyRemoval
+            }
+        }
+        RpkiObject::Cert(cert) => {
+            if revoked(cert.data().serial) {
+                return Classification::RevokedRemoval;
+            }
+            // Key rollover: a cert for the same subject with the same
+            // resources under a different (key-derived) name.
+            let renewed = new_files.values().any(|o| match o {
+                RpkiObject::Cert(c) => {
+                    c.data().subject == cert.data().subject
+                        && c.data().resources == cert.data().resources
+                }
+                _ => false,
+            });
+            if renewed {
+                Classification::Renewal
+            } else {
+                Classification::StealthyRemoval
+            }
+        }
+    }
+}
+
+fn classify_addition(
+    dir: &str,
+    new_obj: &RpkiObject,
+    old_files: &BTreeMap<String, RpkiObject>,
+    old_roa_dirs: &BTreeMap<(Asn, Vec<RoaPrefix>), Vec<&String>>,
+    new_roa_dirs: &BTreeMap<(Asn, Vec<RoaPrefix>), Vec<&String>>,
+    old_snap: &MonitorSnapshot,
+) -> Classification {
+    match new_obj {
+        RpkiObject::Crl(_) | RpkiObject::Manifest(_) => Classification::RoutineRefresh,
+        RpkiObject::Roa(roa) => {
+            let key = roa_key(roa);
+            // Same content previously here → renewal.
+            let was_here = old_files.values().any(|o| match o {
+                RpkiObject::Roa(r) => roa_key(r) == key,
+                _ => false,
+            });
+            if was_here {
+                return Classification::Renewal;
+            }
+            // Same content living at (or vanished from) another
+            // publication point → make-before-break fingerprint.
+            let elsewhere_new = new_roa_dirs
+                .get(&key)
+                .into_iter()
+                .flatten()
+                .find(|d| d.as_str() != dir);
+            let elsewhere_old = old_roa_dirs
+                .get(&key)
+                .into_iter()
+                .flatten()
+                .find(|d| d.as_str() != dir);
+            if let Some(original) = elsewhere_new.or(elsewhere_old) {
+                return Classification::SuspiciousReissue {
+                    original_dir: (*original).clone(),
+                };
+            }
+            Classification::NewIssuance
+        }
+        RpkiObject::Cert(cert) => {
+            // A certificate for a subject key that already has a
+            // certificate at another publication point: someone is
+            // adopting another CA's child (reissue-as-own).
+            for (other_dir, files) in &old_snap.dirs {
+                if other_dir == dir {
+                    continue;
+                }
+                for obj in files.values() {
+                    if let RpkiObject::Cert(c) = obj {
+                        if c.data().subject_key == cert.data().subject_key {
+                            return Classification::SuspiciousReissue {
+                                original_dir: other_dir.clone(),
+                            };
+                        }
+                    }
+                }
+            }
+            Classification::NewIssuance
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipres::Prefix;
+    use netsim::Network;
+    use rpki_ca::CertAuthority;
+    use rpki_objects::{RepoUri, Span};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn rs(s: &str) -> ResourceSet {
+        ResourceSet::from_prefix_strs(s)
+    }
+
+    struct Rig {
+        net: Network,
+        repos: RepoRegistry,
+        ta: CertAuthority,
+        sprint: CertAuthority,
+        dir: RepoUri,
+    }
+
+    fn rig(seed: &str) -> Rig {
+        let mut net = Network::new(0);
+        let mut repos = RepoRegistry::new();
+        repos.create(&mut net, "rpki.sprint.example");
+        repos.create(&mut net, "rpki.ta.example");
+        let ta_dir = RepoUri::new("rpki.ta.example", &["repo"]);
+        let dir = RepoUri::new("rpki.sprint.example", &["repo"]);
+        let mut ta = CertAuthority::new("TA", &format!("{seed}-ta"), ta_dir);
+        ta.certify_self(rs("63.0.0.0/8"), Moment(0), Span::days(3650));
+        let mut sprint = CertAuthority::new("Sprint", &format!("{seed}-sprint"), dir.clone());
+        let rc = ta
+            .issue_cert("Sprint", sprint.public_key(), rs("63.160.0.0/12"), dir.clone(), Moment(0))
+            .unwrap();
+        sprint.install_cert(rc);
+        Rig { net, repos, ta, sprint, dir }
+    }
+
+    fn publish(rig: &mut Rig, now: Moment) {
+        let snap = rig.ta.publication_snapshot(now);
+        rig.repos.by_host_mut("rpki.ta.example").unwrap().publish_snapshot(
+            &RepoUri::new("rpki.ta.example", &["repo"]),
+            &snap,
+        );
+        let snap = rig.sprint.publication_snapshot(now);
+        rig.repos
+            .by_host_mut("rpki.sprint.example")
+            .unwrap()
+            .publish_snapshot(&rig.dir, &snap);
+        let _ = &rig.net;
+    }
+
+    #[test]
+    fn first_snapshot_is_quiet() {
+        let mut rig = rig("m0");
+        publish(&mut rig, Moment(1));
+        let mut mon = Monitor::new();
+        assert!(mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(1))).is_empty());
+    }
+
+    #[test]
+    fn refresh_is_routine() {
+        let mut rig = rig("m1");
+        publish(&mut rig, Moment(1));
+        let mut mon = Monitor::new();
+        mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(1)));
+        publish(&mut rig, Moment(2)); // CRL+manifest numbers bump
+        let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(2)));
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.classification == Classification::RoutineRefresh));
+    }
+
+    #[test]
+    fn renewal_is_churn_not_alarm() {
+        let mut rig = rig("m2");
+        let roa = rig
+            .sprint
+            .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0))
+            .unwrap();
+        publish(&mut rig, Moment(1));
+        let mut mon = Monitor::new();
+        mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(1)));
+        rig.sprint.renew_roa(&roa.file_name(), Moment(50)).unwrap();
+        publish(&mut rig, Moment(51));
+        let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(51)));
+        assert!(events.iter().any(|e| e.classification == Classification::Renewal));
+        assert!(events.iter().all(|e| !e.classification.is_suspicious()), "{events:?}");
+    }
+
+    #[test]
+    fn stealthy_withdrawal_flagged() {
+        let mut rig = rig("m3");
+        let roa = rig
+            .sprint
+            .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0))
+            .unwrap();
+        publish(&mut rig, Moment(1));
+        let mut mon = Monitor::new();
+        mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(1)));
+        rig.sprint.withdraw(&roa.file_name()).unwrap();
+        publish(&mut rig, Moment(2));
+        let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(2)));
+        assert!(events
+            .iter()
+            .any(|e| e.classification == Classification::StealthyRemoval));
+    }
+
+    #[test]
+    fn transparent_revocation_not_stealthy() {
+        let mut rig = rig("m4");
+        let roa = rig
+            .sprint
+            .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0))
+            .unwrap();
+        publish(&mut rig, Moment(1));
+        let mut mon = Monitor::new();
+        mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(1)));
+        rig.sprint.revoke_serial(roa.serial());
+        publish(&mut rig, Moment(2));
+        let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(2)));
+        assert!(events
+            .iter()
+            .any(|e| e.classification == Classification::RevokedRemoval));
+        assert!(events.iter().all(|e| !e.classification.is_suspicious()));
+    }
+
+    #[test]
+    fn shrinking_cert_with_orphans_is_suspected_whack() {
+        let mut rig = rig("m5");
+        // Sprint gets a child CA with a ROA, then the TA shrinks
+        // Sprint's cert under that ROA's space. (Here the monitor
+        // watches the TA's overwrite of Sprint's RC.)
+        rig.sprint
+            .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0))
+            .unwrap();
+        publish(&mut rig, Moment(1));
+        let mut mon = Monitor::new();
+        mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(1)));
+        // TA carves the ROA's space out of Sprint's cert.
+        let carved = rs("63.160.0.0/12").difference(&rs("63.160.0.0/24"));
+        rig.ta
+            .issue_cert("Sprint", rig.sprint.public_key(), carved, rig.dir.clone(), Moment(2))
+            .unwrap();
+        publish(&mut rig, Moment(2));
+        let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(2)));
+        let whack = events.iter().find(|e| {
+            matches!(e.classification, Classification::SuspectedWhack { .. })
+        });
+        let whack = whack.expect("whack flagged");
+        match &whack.classification {
+            Classification::SuspectedWhack { orphaned } => {
+                assert_eq!(orphaned.len(), 1);
+                assert!(orphaned[0].contains("63.160.0.0/20"));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn make_before_break_reissue_flagged() {
+        let mut rig = rig("m6");
+        rig.sprint
+            .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0))
+            .unwrap();
+        publish(&mut rig, Moment(1));
+        let mut mon = Monitor::new();
+        mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(1)));
+        // The TA reissues the same authorization as its own ROA (the
+        // "make" of make-before-break) at the TA's publication point.
+        rig.ta
+            .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(2))
+            .unwrap();
+        publish(&mut rig, Moment(2));
+        let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(2)));
+        let reissue = events
+            .iter()
+            .find(|e| matches!(e.classification, Classification::SuspiciousReissue { .. }))
+            .expect("reissue flagged");
+        match &reissue.classification {
+            Classification::SuspiciousReissue { original_dir } => {
+                assert_eq!(original_dir, "rsync://rpki.sprint.example/repo");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fresh_issuance_is_not_suspicious() {
+        let mut rig = rig("m7");
+        publish(&mut rig, Moment(1));
+        let mut mon = Monitor::new();
+        mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(1)));
+        rig.sprint
+            .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.161.0.0/20"))], Moment(2))
+            .unwrap();
+        publish(&mut rig, Moment(2));
+        let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(2)));
+        assert!(events
+            .iter()
+            .any(|e| e.classification == Classification::NewIssuance));
+        assert!(events.iter().all(|e| !e.classification.is_suspicious()));
+    }
+}

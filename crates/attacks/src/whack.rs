@@ -1,0 +1,354 @@
+//! Whack planning and execution.
+//!
+//! The planner answers the paper's Section 3.1 question: *how does a
+//! manipulator invalidate one specific descendant ROA while leaving
+//! everything else standing?* It works entirely from public repository
+//! state ([`CaView`]s), exactly as a real manipulator would, and emits a
+//! step list an executor applies to the manipulator's own
+//! [`CertAuthority`].
+//!
+//! ## The carve
+//!
+//! A ROA is valid only while its EE resources are contained in the
+//! issuing CA's certificate, transitively up to the trust anchor.
+//! Removing *any* sliver of the target ROA's address space from an
+//! ancestor RC therefore invalidates the whole target. The planner
+//! looks for a sliver that overlaps **nothing else** below the
+//! manipulated certificate:
+//!
+//! - found → a zero-collateral carve (Side Effect 3; paper's example
+//!   removes one /24 from a /20);
+//! - not found → make-before-break (Figure 3): reissue every object
+//!   the carve would damage as the manipulator's own, *then* carve.
+//!
+//! Targets deeper than grandchild level (Side Effect 4) force the
+//! manipulator to also reissue each intermediate CA's certificate as
+//! its own child — the chain of "suspiciously-reissued objects" that
+//! makes deep whacks easier to detect.
+
+use ipres::{Asn, Prefix, ResourceSet};
+use rpki_ca::{CertAuthority, IssueError};
+use rpki_objects::{Moment, RepoUri, RoaPrefix};
+use rpkisim_crypto::PublicKey;
+use serde::Serialize;
+
+use crate::view::CaView;
+
+/// One action in a whack plan, applied by the manipulator's CA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhackStep {
+    /// Overwrite the manipulator's direct child RC (same subject key,
+    /// same file name, reduced resources).
+    OverwriteChildCert {
+        /// Child handle (for the reissued certificate's subject).
+        handle: String,
+        /// The child's (unchanged) key.
+        subject_key: PublicKey,
+        /// The carved-down resource set.
+        new_resources: ResourceSet,
+        /// The child's (unchanged) publication directory.
+        sia: RepoUri,
+    },
+    /// Reissue a descendant CA's certificate as the manipulator's *own*
+    /// child — the make-before-break move for intermediate CAs and
+    /// damaged sibling sub-CAs.
+    ReissueCertAsOwn {
+        /// The descendant's handle.
+        handle: String,
+        /// The descendant's (unchanged) key.
+        subject_key: PublicKey,
+        /// Resources for the reissued certificate.
+        resources: ResourceSet,
+        /// The descendant's (unchanged) publication directory.
+        sia: RepoUri,
+    },
+    /// Reissue a damaged descendant ROA under the manipulator's own
+    /// publication point (same authorization content, new EE identity).
+    ReissueRoaAsOwn {
+        /// The origin AS the ROA authorises.
+        asn: Asn,
+        /// The authorised prefixes.
+        prefixes: Vec<RoaPrefix>,
+    },
+}
+
+/// A complete whack plan.
+#[derive(Debug, Clone)]
+pub struct WhackPlan {
+    /// Display name of the target ROA.
+    pub target: String,
+    /// The address space carved out of the chain.
+    pub carved: ResourceSet,
+    /// Steps, in execution order (make before break).
+    pub steps: Vec<WhackStep>,
+    /// Number of suspicious reissues the plan requires — the paper's
+    /// detectability metric. Zero for a clean grandchild carve.
+    pub reissued: usize,
+    /// ROAs (by display string) damaged and *not* repaired by the plan.
+    /// Always empty for plans this planner emits; kept so ablations can
+    /// model cruder manipulators.
+    pub collateral: Vec<String>,
+}
+
+/// Why planning failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum WhackError {
+    /// The chain of views was empty.
+    EmptyChain,
+    /// No ROA with the given file name at the last chain element.
+    TargetNotFound(String),
+    /// The chain is inconsistent: some element's resources are not
+    /// contained in its predecessor's.
+    BrokenChain(usize),
+}
+
+impl std::fmt::Display for WhackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WhackError::EmptyChain => f.write_str("empty CA chain"),
+            WhackError::TargetNotFound(name) => write!(f, "no ROA named {name:?} at chain end"),
+            WhackError::BrokenChain(i) => write!(f, "chain element {i} not within its parent"),
+        }
+    }
+}
+
+impl std::error::Error for WhackError {}
+
+/// Granularity of the carve: the paper notes /24 is the smallest
+/// globally-routable IPv4 prefix, so manipulations are naturally
+/// /24-grained.
+const CARVE_LEN_V4: u8 = 24;
+
+/// Candidate carve units inside `space`: each canonical tile, narrowed
+/// to a single /24 where the tile is coarser (v4; v6 tiles are used
+/// whole — the paper's analysis is IPv4).
+fn carve_candidates(space: &ResourceSet) -> Vec<ResourceSet> {
+    let mut out = Vec::new();
+    for tile in space.to_prefixes() {
+        if tile.family() == ipres::Family::V4 && tile.len() < CARVE_LEN_V4 {
+            // The first and last /24 of the tile: two cheap, distinct
+            // candidates per tile.
+            let first = Prefix::new(tile.addr(), CARVE_LEN_V4);
+            out.push(ResourceSet::from_prefix(first));
+            let last_addr = Prefix::new(tile.last(), CARVE_LEN_V4);
+            if last_addr != first {
+                out.push(ResourceSet::from_prefix(last_addr));
+            }
+        } else {
+            out.push(ResourceSet::from_prefix(tile));
+        }
+    }
+    out
+}
+
+/// Plans the whack of the ROA named `target_file`, published by the CA
+/// at the end of `chain`.
+///
+/// `chain[0]` must be the manipulator's *direct child* (the certificate
+/// the manipulator itself issued and can overwrite); each subsequent
+/// element is certified by its predecessor. For a grandchild target the
+/// chain has one element.
+pub fn plan_whack(chain: &[CaView], target_file: &str) -> Result<WhackPlan, WhackError> {
+    if chain.is_empty() {
+        return Err(WhackError::EmptyChain);
+    }
+    for i in 1..chain.len() {
+        if !chain[i - 1].resources.contains_set(&chain[i].resources) {
+            return Err(WhackError::BrokenChain(i));
+        }
+    }
+    let issuer = chain.last().expect("non-empty");
+    let target = issuer
+        .roa(target_file)
+        .ok_or_else(|| WhackError::TargetNotFound(target_file.to_owned()))?
+        .clone();
+    let target_res = target.resources();
+
+    // Space needed by everything else below the manipulated cert: the
+    // other objects of every chain CA (the next chain RC is *ours* to
+    // reissue, so its needs are represented by the deeper levels
+    // directly).
+    let mut forbidden = ResourceSet::empty();
+    for (i, ca) in chain.iter().enumerate() {
+        let next_key = chain.get(i + 1).map(|c| c.subject_key);
+        for cert in &ca.child_certs {
+            if Some(cert.data().subject_key) == next_key {
+                continue; // the chain RC itself
+            }
+            forbidden = forbidden.union(&cert.data().resources);
+        }
+        for roa in &ca.roas {
+            if i == chain.len() - 1 && roa.file_name() == target_file {
+                continue; // the target
+            }
+            forbidden = forbidden.union(&roa.resources());
+        }
+    }
+
+    let free = target_res.difference(&forbidden);
+    let (carved, damaged_space) = if !free.is_empty() {
+        // Zero-collateral carve: the smallest candidate inside the free
+        // space.
+        let carve = carve_candidates(&free)
+            .into_iter()
+            .min_by_key(|s| s.size())
+            .expect("free space non-empty");
+        (carve, ResourceSet::empty())
+    } else {
+        // Make-before-break: pick the carve unit damaging the fewest
+        // sibling objects.
+        let best = carve_candidates(&target_res)
+            .into_iter()
+            .min_by_key(|s| {
+                let damaged: usize = chain
+                    .iter()
+                    .map(|ca| {
+                        let (roas, certs) = ca.overlapping(s);
+                        // Exclude target and chain RCs from the count.
+                        let roas = roas
+                            .iter()
+                            .filter(|r| r.file_name() != target_file)
+                            .count();
+                        roas + certs.len()
+                    })
+                    .sum();
+                (damaged, s.size())
+            })
+            .expect("target resources non-empty");
+        (best.clone(), best)
+    };
+
+    let mut steps = Vec::new();
+    let mut reissued = 0usize;
+
+    // Make: repair everything the carve damages, bottom level first is
+    // not required (objects are independent once reissued by us), but
+    // deterministic order helps tests.
+    for (i, ca) in chain.iter().enumerate() {
+        let next_key = chain.get(i + 1).map(|c| c.subject_key);
+        let (roas, certs) = ca.overlapping(&damaged_space);
+        for roa in roas {
+            if i == chain.len() - 1 && roa.file_name() == target_file {
+                continue;
+            }
+            steps.push(WhackStep::ReissueRoaAsOwn {
+                asn: roa.asn(),
+                prefixes: roa.data().prefixes.clone(),
+            });
+            reissued += 1;
+        }
+        for cert in certs {
+            if Some(cert.data().subject_key) == next_key {
+                continue; // handled as an intermediate below
+            }
+            steps.push(WhackStep::ReissueCertAsOwn {
+                handle: cert.data().subject.clone(),
+                subject_key: cert.data().subject_key,
+                resources: cert.data().resources.clone(),
+                sia: cert.data().sia.clone(),
+            });
+            reissued += 1;
+        }
+    }
+
+    // Intermediate chain CAs (everything past the direct child) must be
+    // reissued as our own children, minus the carved space.
+    for ca in &chain[1..] {
+        steps.push(WhackStep::ReissueCertAsOwn {
+            handle: ca.handle.clone(),
+            subject_key: ca.subject_key,
+            resources: ca.resources.difference(&carved),
+            sia: ca.sia.clone(),
+        });
+        reissued += 1;
+    }
+
+    // Break: overwrite the direct child's certificate.
+    steps.push(WhackStep::OverwriteChildCert {
+        handle: chain[0].handle.clone(),
+        subject_key: chain[0].subject_key,
+        new_resources: chain[0].resources.difference(&carved),
+        sia: chain[0].sia.clone(),
+    });
+
+    Ok(WhackPlan {
+        target: target.to_string(),
+        carved,
+        steps,
+        reissued,
+        collateral: Vec::new(),
+    })
+}
+
+impl WhackPlan {
+    /// Executes the plan against the manipulator's CA. Returns a
+    /// human-readable action log. The manipulator must republish its
+    /// snapshot afterwards for the whack to reach relying parties.
+    pub fn execute(
+        &self,
+        manipulator: &mut CertAuthority,
+        now: Moment,
+    ) -> Result<Vec<String>, IssueError> {
+        let mut log = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
+            match step {
+                WhackStep::OverwriteChildCert { handle, subject_key, new_resources, sia } => {
+                    manipulator.issue_cert(handle, *subject_key, new_resources.clone(), sia.clone(), now)?;
+                    log.push(format!("overwrote RC of {handle} with {new_resources}"));
+                }
+                WhackStep::ReissueCertAsOwn { handle, subject_key, resources, sia } => {
+                    manipulator.issue_cert(handle, *subject_key, resources.clone(), sia.clone(), now)?;
+                    log.push(format!("reissued RC of {handle} as own child"));
+                }
+                WhackStep::ReissueRoaAsOwn { asn, prefixes } => {
+                    manipulator.issue_roa(*asn, prefixes.clone(), now)?;
+                    log.push(format!("reissued ROA for {asn} as own"));
+                }
+            }
+        }
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipres::Prefix;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn rs(s: &str) -> ResourceSet {
+        ResourceSet::from_prefix_strs(s)
+    }
+
+    #[test]
+    fn carve_candidates_narrow_to_slash24() {
+        let cands = carve_candidates(&rs("63.174.16.0/20"));
+        assert!(cands.contains(&rs("63.174.16.0/24")));
+        assert!(cands.contains(&rs("63.174.31.0/24")));
+        for c in &cands {
+            assert_eq!(c.size(), 256);
+        }
+    }
+
+    #[test]
+    fn carve_candidates_keep_fine_tiles() {
+        let cands = carve_candidates(&rs("10.0.0.0/26"));
+        assert_eq!(cands, vec![rs("10.0.0.0/26")]);
+    }
+
+    #[test]
+    fn carve_candidates_v6_tiles_whole() {
+        let space = ResourceSet::from_prefix(p("2001:db8::/32"));
+        let cands = carve_candidates(&space);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0], space);
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert_eq!(plan_whack(&[], "x.roa").unwrap_err(), WhackError::EmptyChain);
+    }
+}

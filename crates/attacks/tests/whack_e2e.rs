@@ -1,0 +1,367 @@
+//! End-to-end whacking: build a hierarchy, plan from public state,
+//! execute, republish, re-validate — and check exactly who died.
+//!
+//! These tests reproduce the mechanics of the paper's Section 3.1 and
+//! Figure 3 against the real validator (DESIGN.md invariant 5).
+
+use ipres::{Asn, Prefix, ResourceSet};
+use netsim::Network;
+use rpki_attacks::{damage_between, plan_whack, probes_for, CaView, WhackError, WhackStep};
+use rpki_ca::CertAuthority;
+use rpki_objects::{Encode, Moment, RepoUri, RoaPrefix, RpkiObject, Span, TrustAnchorLocator};
+use rpki_repo::RepoRegistry;
+use rpki_rp::{DirectSource, Route, RouteValidity, ValidationConfig, Validator};
+
+fn p(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+fn rs(s: &str) -> ResourceSet {
+    ResourceSet::from_prefix_strs(s)
+}
+
+/// The paper's model RPKI, reconstructed: ARIN → Sprint → {ETB,
+/// Continental Broadband}, with Continental issuing five ROAs (the
+/// Figure 3 situation) and Sprint issuing two of its own.
+struct ModelWorld {
+    net: Network,
+    repos: RepoRegistry,
+    arin: CertAuthority,
+    sprint: CertAuthority,
+    etb: CertAuthority,
+    continental: CertAuthority,
+    tal: TrustAnchorLocator,
+}
+
+impl ModelWorld {
+    fn build() -> ModelWorld {
+        let mut net = Network::new(3);
+        let mut repos = RepoRegistry::new();
+        for host in [
+            "rpki.arin.example",
+            "rpki.sprint.example",
+            "rpki.etb.example",
+            "rpki.continental.example",
+        ] {
+            repos.create(&mut net, host);
+        }
+        let dir = |host: &str| RepoUri::new(host, &["repo"]);
+
+        let mut arin = CertAuthority::new("ARIN", "e2e-arin", dir("rpki.arin.example"));
+        arin.certify_self(rs("63.0.0.0/8, 208.0.0.0/4"), Moment(0), Span::days(3650));
+
+        let mut sprint = CertAuthority::new("Sprint", "e2e-sprint", dir("rpki.sprint.example"));
+        let rc = arin
+            .issue_cert(
+                "Sprint",
+                sprint.public_key(),
+                rs("63.160.0.0/12, 208.0.0.0/11"),
+                sprint.sia().clone(),
+                Moment(0),
+            )
+            .unwrap();
+        sprint.install_cert(rc);
+
+        let mut etb = CertAuthority::new("ETB S.A. ESP.", "e2e-etb", dir("rpki.etb.example"));
+        let rc = sprint
+            .issue_cert("ETB S.A. ESP.", etb.public_key(), rs("63.166.0.0/16"), etb.sia().clone(), Moment(0))
+            .unwrap();
+        etb.install_cert(rc);
+
+        let mut continental = CertAuthority::new(
+            "Continental Broadband",
+            "e2e-continental",
+            dir("rpki.continental.example"),
+        );
+        let rc = sprint
+            .issue_cert(
+                "Continental Broadband",
+                continental.public_key(),
+                rs("63.174.16.0/20"),
+                continental.sia().clone(),
+                Moment(0),
+            )
+            .unwrap();
+        continental.install_cert(rc);
+
+        // Sprint's own ROAs.
+        sprint
+            .issue_roa(Asn(1239), vec![RoaPrefix::up_to(p("63.160.64.0/20"), 24)], Moment(0))
+            .unwrap();
+        sprint
+            .issue_roa(Asn(1239), vec![RoaPrefix::up_to(p("208.24.0.0/16"), 24)], Moment(0))
+            .unwrap();
+        // ETB's ROA.
+        etb.issue_roa(Asn(19094), vec![RoaPrefix::exact(p("63.166.0.0/16"))], Moment(0))
+            .unwrap();
+        // Continental's five ROAs (Figure 3's cast): the /20 covering
+        // ROA, a customer /22, and three more inside [16.0–23.255] ∪
+        // [25.0–31.255] so that 63.174.24.0/24 is collateral-free.
+        continental
+            .issue_roa(Asn(17054), vec![RoaPrefix::exact(p("63.174.16.0/20"))], Moment(0))
+            .unwrap();
+        continental
+            .issue_roa(Asn(7341), vec![RoaPrefix::exact(p("63.174.16.0/22"))], Moment(0))
+            .unwrap();
+        continental
+            .issue_roa(Asn(7342), vec![RoaPrefix::exact(p("63.174.20.0/23"))], Moment(0))
+            .unwrap();
+        continental
+            .issue_roa(Asn(7343), vec![RoaPrefix::exact(p("63.174.22.0/24"))], Moment(0))
+            .unwrap();
+        continental
+            .issue_roa(Asn(7344), vec![RoaPrefix::exact(p("63.174.25.0/24"))], Moment(0))
+            .unwrap();
+
+        let tal = TrustAnchorLocator::new(
+            RepoUri::new("rpki.arin.example", &["ta", "root.cer"]),
+            arin.public_key(),
+        );
+
+        let mut world = ModelWorld { net, repos, arin, sprint, etb, continental, tal };
+        world.publish_all(Moment(1));
+        world
+    }
+
+    fn publish_all(&mut self, now: Moment) {
+        let ta_cert = self.arin.cert().unwrap().clone();
+        let ta_dir = RepoUri::new("rpki.arin.example", &["ta"]);
+        self.repos
+            .by_host_mut("rpki.arin.example")
+            .unwrap()
+            .publish_raw(&ta_dir, "root.cer", RpkiObject::Cert(ta_cert).to_bytes());
+        for (host, ca) in [
+            ("rpki.arin.example", &mut self.arin),
+            ("rpki.sprint.example", &mut self.sprint),
+            ("rpki.etb.example", &mut self.etb),
+            ("rpki.continental.example", &mut self.continental),
+        ] {
+            let sia = ca.sia().clone();
+            let snap = ca.publication_snapshot(now);
+            self.repos.by_host_mut(host).unwrap().publish_snapshot(&sia, &snap);
+        }
+        let _ = &self.net;
+    }
+
+    fn validate(&self, now: Moment) -> rpki_rp::ValidationRun {
+        let mut source = DirectSource::new(&self.repos);
+        Validator::new(ValidationConfig::at(now)).run(&mut source, std::slice::from_ref(&self.tal))
+    }
+
+    /// The manipulator's (Sprint's) public view of Continental.
+    fn continental_view(&self) -> CaView {
+        let rc = self.sprint.issued_cert_for(self.continental.key_id()).unwrap();
+        CaView::from_repos(rc, &self.repos)
+    }
+}
+
+#[test]
+fn clean_world_baseline() {
+    let w = ModelWorld::build();
+    let run = w.validate(Moment(2));
+    assert_eq!(run.cas.len(), 4);
+    assert_eq!(run.vrps.len(), 8);
+}
+
+/// Side Effect 3: Sprint whacks Continental's covering /20 ROA with
+/// zero collateral — the Figure 3 headline, via the free /24 at
+/// 63.174.24.0 (no other object uses it).
+#[test]
+fn grandchild_whack_without_collateral() {
+    let mut w = ModelWorld::build();
+    let before = w.validate(Moment(2));
+    let view = w.continental_view();
+    let target_file = view
+        .roas
+        .iter()
+        .find(|r| r.asn() == Asn(17054))
+        .unwrap()
+        .file_name();
+
+    let plan = plan_whack(std::slice::from_ref(&view), &target_file).unwrap();
+    // Zero suspicious reissues: the clean carve exists.
+    assert_eq!(plan.reissued, 0, "plan: {plan:?}");
+    assert_eq!(plan.steps.len(), 1);
+    // The carved space is a single free /24 inside the target (the
+    // paper's example picks 63.174.24.0/24; any /24 overlapping no
+    // other object works — the planner deterministically takes the
+    // lowest, 63.174.23.0/24).
+    assert_eq!(plan.carved.size(), 256);
+    let other_objects = rs("63.174.16.0/22, 63.174.20.0/23, 63.174.22.0/24, 63.174.25.0/24");
+    assert!(!plan.carved.overlaps(&other_objects));
+    assert!(rs("63.174.16.0/20").contains_set(&plan.carved));
+    match &plan.steps[0] {
+        WhackStep::OverwriteChildCert { new_resources, .. } => {
+            // The shape of Figure 3's published RC: the /20 minus one
+            // /24, expressed as two non-CIDR ranges.
+            assert_eq!(
+                new_resources,
+                &rs("63.174.16.0/20").difference(&plan.carved)
+            );
+            assert_eq!(new_resources.num_runs(), 2);
+        }
+        other => panic!("unexpected step {other:?}"),
+    }
+
+    plan.execute(&mut w.sprint, Moment(3)).unwrap();
+    w.publish_all(Moment(3));
+    let after = w.validate(Moment(4));
+
+    // The target is gone; everything else survives.
+    assert_eq!(after.vrps.len(), before.vrps.len() - 1);
+    let damage = damage_between(&before.vrps, &after.vrps, &probes_for(&before.vrps));
+    assert!(damage.clean_except(&[Asn(17054)]), "damage: {damage:?}");
+    assert_eq!(damage.lost_vrps.len(), 1);
+    assert_eq!(damage.lost_vrps[0].asn, Asn(17054));
+    // And the victim's route is now INVALID (covered by its own former
+    // customers' ROAs? No — by nothing at /20... check what state):
+    let cache = after.vrp_cache();
+    let validity = cache.classify(Route::new(p("63.174.16.0/20"), Asn(17054)));
+    // The /22,/23,/24 ROAs do not cover the /20, so it becomes unknown.
+    assert_eq!(validity, RouteValidity::Unknown);
+}
+
+/// The make-before-break case: targeting the /22 customer ROA, whose
+/// space is entirely inside the /20 covering ROA — no collateral-free
+/// carve exists, so the damaged /20 ROA is first reissued by Sprint.
+#[test]
+fn make_before_break_whack() {
+    let mut w = ModelWorld::build();
+    let before = w.validate(Moment(2));
+    let view = w.continental_view();
+    let target_file =
+        view.roas.iter().find(|r| r.asn() == Asn(7341)).unwrap().file_name();
+
+    let plan = plan_whack(std::slice::from_ref(&view), &target_file).unwrap();
+    // The covering /20 ROA is damaged and must be reissued: exactly one
+    // suspicious reissue.
+    assert_eq!(plan.reissued, 1, "plan: {plan:?}");
+    assert!(plan
+        .steps
+        .iter()
+        .any(|s| matches!(s, WhackStep::ReissueRoaAsOwn { asn, .. } if *asn == Asn(17054))));
+
+    plan.execute(&mut w.sprint, Moment(3)).unwrap();
+    w.publish_all(Moment(3));
+    let after = w.validate(Moment(4));
+
+    let damage = damage_between(&before.vrps, &after.vrps, &probes_for(&before.vrps));
+    assert!(damage.clean_except(&[Asn(7341)]), "damage: {damage:?}");
+    // The reissued /20 VRP is identical in content, so route validity
+    // for AS17054 is unchanged.
+    let cache = after.vrp_cache();
+    assert_eq!(
+        cache.classify(Route::new(p("63.174.16.0/20"), Asn(17054))),
+        RouteValidity::Valid
+    );
+    // The target dies as INVALID, not unknown: the covering /20 remains
+    // (Section 3's "whacked AND covered" summary case).
+    assert_eq!(
+        cache.classify(Route::new(p("63.174.16.0/22"), Asn(7341))),
+        RouteValidity::Invalid
+    );
+}
+
+/// Side Effect 4: ARIN (the grandparent's parent) whacks a
+/// great-grandchild ROA of Continental's — requiring the intermediate
+/// (Sprint's) RC to be suspiciously reissued as ARIN's own.
+#[test]
+fn great_grandchild_whack_needs_more_reissues() {
+    let mut w = ModelWorld::build();
+    let before = w.validate(Moment(2));
+
+    // ARIN's chain: its child Sprint, then Sprint's child Continental.
+    let sprint_rc = w.arin.issued_cert_for(w.sprint.key_id()).unwrap().clone();
+    let sprint_view = CaView::from_repos(&sprint_rc, &w.repos);
+    let continental_view = w.continental_view();
+    let target_file = continental_view
+        .roas
+        .iter()
+        .find(|r| r.asn() == Asn(17054))
+        .unwrap()
+        .file_name();
+
+    let chain = vec![sprint_view, continental_view];
+    let plan = plan_whack(&chain, &target_file).unwrap();
+    // One reissue for the intermediate (Continental's RC as ARIN's own
+    // child); the carve itself is collateral-free.
+    assert_eq!(plan.reissued, 1, "plan: {plan:?}");
+    assert!(plan.steps.iter().any(|s| matches!(
+        s,
+        WhackStep::ReissueCertAsOwn { handle, .. } if handle == "Continental Broadband"
+    )));
+
+    plan.execute(&mut w.arin, Moment(3)).unwrap();
+    w.publish_all(Moment(3));
+    let after = w.validate(Moment(4));
+
+    let damage = damage_between(&before.vrps, &after.vrps, &probes_for(&before.vrps));
+    assert!(damage.clean_except(&[Asn(17054)]), "damage: {damage:?}");
+    assert_eq!(damage.lost_vrps.len(), 1);
+}
+
+/// The blunt baseline the paper contrasts against: revoking
+/// Continental's RC whacks the target plus four ROAs of collateral.
+#[test]
+fn naive_revocation_causes_collateral() {
+    let mut w = ModelWorld::build();
+    let before = w.validate(Moment(2));
+    let serial = w
+        .sprint
+        .issued_cert_for(w.continental.key_id())
+        .unwrap()
+        .data()
+        .serial;
+    w.sprint.revoke_serial(serial);
+    w.publish_all(Moment(3));
+    let after = w.validate(Moment(4));
+    let damage = damage_between(&before.vrps, &after.vrps, &probes_for(&before.vrps));
+    // All five of Continental's ROAs die: the target plus four others —
+    // exactly the paper's collateral count.
+    assert_eq!(damage.lost_vrps.len(), 5);
+    assert!(!damage.clean_except(&[Asn(17054)]));
+}
+
+#[test]
+fn whack_plan_rejects_missing_target() {
+    let w = ModelWorld::build();
+    let view = w.continental_view();
+    let err = plan_whack(std::slice::from_ref(&view), "nonexistent.roa").unwrap_err();
+    assert_eq!(err, WhackError::TargetNotFound("nonexistent.roa".to_owned()));
+}
+
+#[test]
+fn whack_plan_rejects_broken_chain() {
+    let w = ModelWorld::build();
+    // Chain in the wrong order: Continental then Sprint.
+    let sprint_rc = w.arin.issued_cert_for(w.sprint.key_id()).unwrap().clone();
+    let sprint_view = CaView::from_repos(&sprint_rc, &w.repos);
+    let continental_view = w.continental_view();
+    let target = continental_view.roas[0].file_name();
+    let chain = vec![continental_view, sprint_view];
+    assert_eq!(plan_whack(&chain, &target).unwrap_err(), WhackError::BrokenChain(1));
+}
+
+/// The monitor sees the make-before-break attack.
+#[test]
+fn monitor_catches_make_before_break() {
+    use rpki_attacks::{Monitor, MonitorSnapshot};
+    let mut w = ModelWorld::build();
+    let mut monitor = Monitor::new();
+    monitor.observe(MonitorSnapshot::capture(&w.repos, Moment(2)));
+
+    let view = w.continental_view();
+    let target_file =
+        view.roas.iter().find(|r| r.asn() == Asn(7341)).unwrap().file_name();
+    let plan = plan_whack(std::slice::from_ref(&view), &target_file).unwrap();
+    plan.execute(&mut w.sprint, Moment(3)).unwrap();
+    w.publish_all(Moment(3));
+
+    let events = monitor.observe(MonitorSnapshot::capture(&w.repos, Moment(3)));
+    let suspicious: Vec<_> =
+        events.iter().filter(|e| e.classification.is_suspicious()).collect();
+    assert!(
+        suspicious.len() >= 2,
+        "expect whack + reissue flagged, got {events:?}"
+    );
+}

@@ -1,0 +1,79 @@
+//! Criterion benches: the resource algebra and prefix trie (the hot
+//! paths under chain validation and origin validation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipres::{Addr, AddrRange, Prefix, PrefixTrie, ResourceSet};
+
+fn sets_of(runs: usize) -> (ResourceSet, ResourceSet) {
+    // Interleaved striped ranges: worst case for the linear merges.
+    let a = ResourceSet::from_ranges((0..runs).map(|i| {
+        let base = (i as u32) << 12;
+        AddrRange::new(Addr::v4(base), Addr::v4(base + 0x7ff))
+    }));
+    let b = ResourceSet::from_ranges((0..runs).map(|i| {
+        let base = ((i as u32) << 12) + 0x400;
+        AddrRange::new(Addr::v4(base), Addr::v4(base + 0x7ff))
+    }));
+    (a, b)
+}
+
+fn bench_set_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resource_set");
+    group.sample_size(20);
+    for runs in [16usize, 256, 4096] {
+        let (a, b) = sets_of(runs);
+        group.bench_with_input(BenchmarkId::new("union", runs), &runs, |bench, _| {
+            bench.iter(|| black_box(a.union(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("intersection", runs), &runs, |bench, _| {
+            bench.iter(|| black_box(a.intersection(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("difference", runs), &runs, |bench, _| {
+            bench.iter(|| black_box(a.difference(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("contains_set", runs), &runs, |bench, _| {
+            bench.iter(|| black_box(a.contains_set(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn trie_of(n: u32) -> PrefixTrie<u32> {
+    let mut trie = PrefixTrie::new();
+    for i in 0..n {
+        // Spread prefixes across the v4 space at lengths 12..=24.
+        let len = 12 + (i % 13) as u8;
+        let addr = i.wrapping_mul(2_654_435_761); // Knuth hash for spread
+        trie.insert(Prefix::new(Addr::v4(addr), len), i);
+    }
+    trie
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_trie");
+    group.sample_size(20);
+    for n in [1_000u32, 10_000, 100_000] {
+        let trie = trie_of(n);
+        group.bench_with_input(BenchmarkId::new("covering", n), &n, |bench, _| {
+            let probe = Prefix::new(Addr::v4(0x3fa0_0000), 24);
+            bench.iter(|| black_box(trie.covering(probe)))
+        });
+        group.bench_with_input(BenchmarkId::new("longest_match", n), &n, |bench, _| {
+            bench.iter(|| black_box(trie.longest_match(Addr::v4(0x3fa0_1234))))
+        });
+    }
+    group.bench_function("insert_1k", |bench| {
+        bench.iter(|| {
+            let mut t = PrefixTrie::new();
+            for i in 0..1_000u32 {
+                let addr = i.wrapping_mul(2_654_435_761);
+                t.insert(Prefix::new(Addr::v4(addr), 24), i);
+            }
+            black_box(t.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_set_ops, bench_trie);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benches: the distribution protocols — incremental rsync
+//! sessions and RTR delta computation/replay.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipres::{Addr, Asn, Prefix};
+use netsim::Network;
+use rpki_objects::RepoUri;
+use rpki_repo::{sync_dir_incremental, RepoRegistry, SyncCache};
+use rpki_rp::rtr::poll_cycle;
+use rpki_rp::{RtrClient, RtrServer, Vrp};
+
+fn vrps(n: u32) -> Vec<Vrp> {
+    (0..n)
+        .map(|i| {
+            let addr = Addr::v4(i.wrapping_mul(2_654_435_761));
+            Vrp::new(Prefix::new(addr, 20), 24, Asn(i % 500))
+        })
+        .collect()
+}
+
+fn bench_rtr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtr");
+    group.sample_size(20);
+    for n in [1_000u32, 20_000] {
+        let base = vrps(n);
+        group.bench_with_input(BenchmarkId::new("full_sync", n), &n, |b, _| {
+            let mut server = RtrServer::new(1, 8);
+            server.update(base.iter().copied());
+            b.iter(|| {
+                let mut client = RtrClient::new();
+                black_box(poll_cycle(&mut client, &server))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("delta_update", n), &n, |b, _| {
+            b.iter(|| {
+                let mut server = RtrServer::new(1, 8);
+                server.update(base.iter().copied());
+                // Change 1% of the set.
+                let mut changed = base.clone();
+                for v in changed.iter_mut().take((n / 100) as usize) {
+                    v.asn = Asn(v.asn.0 + 10_000);
+                }
+                black_box(server.update(changed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_sync");
+    group.sample_size(20);
+    for files in [50usize, 500] {
+        // A repository with `files` objects of ~1 KiB each.
+        let mut net = Network::new(0);
+        let client = net.add_node("rp");
+        let mut repos = RepoRegistry::new();
+        let server = repos.create(&mut net, "h");
+        let dir = RepoUri::new("h", &["repo"]);
+        for i in 0..files {
+            repos.get_mut(server).publish_raw(&dir, &format!("f{i}.roa"), vec![i as u8; 1024]);
+        }
+        group.bench_with_input(BenchmarkId::new("warm_noop", files), &files, |b, _| {
+            let mut cache = SyncCache::new();
+            sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
+            b.iter(|| {
+                let (out, stats) =
+                    sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
+                assert_eq!(stats.fetched, 0);
+                black_box(out.files.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cold_full", files), &files, |b, _| {
+            b.iter(|| {
+                let mut cache = SyncCache::new();
+                let (out, _) =
+                    sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
+                black_box(out.files.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtr, bench_incremental_sync);
+criterion_main!(benches);

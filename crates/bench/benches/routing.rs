@@ -1,0 +1,65 @@
+//! Criterion benches: BGP propagation convergence and data-plane
+//! forwarding at growing topology sizes.
+
+use bgp_sim::{propagate, RpkiPolicy};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpki_rp::VrpCache;
+use topogen::{Config, SyntheticInternet};
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bgp_propagate");
+    group.sample_size(10);
+    for (label, transits, stubs) in [("100as", 15usize, 85usize), ("400as", 40, 360)] {
+        let world = SyntheticInternet::generate(Config {
+            seed: 7,
+            transits,
+            stubs,
+            roa_adoption: 1.0,
+            cross_border: 0.1,
+            anchors: false,
+        });
+        // Propagate a representative slice of announcements (the full
+        // set scales linearly; 20 prefixes keeps the bench honest and
+        // quick).
+        let slice: Vec<_> = world.announcements.iter().copied().take(20).collect();
+        let cache = VrpCache::new();
+        for policy in [RpkiPolicy::Ignore, RpkiPolicy::DropInvalid] {
+            group.bench_function(BenchmarkId::new(format!("{policy:?}"), label), |b| {
+                b.iter(|| {
+                    let state = propagate(&world.topology, &slice, policy, &cache);
+                    black_box(state.ases_with_routes())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_forwarding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forwarding");
+    group.sample_size(20);
+    let world = SyntheticInternet::generate(Config {
+        seed: 7,
+        transits: 15,
+        stubs: 85,
+        roa_adoption: 1.0,
+        cross_border: 0.1,
+        anchors: false,
+    });
+    let slice: Vec<_> = world.announcements.iter().copied().take(20).collect();
+    let state = propagate(&world.topology, &slice, RpkiPolicy::Ignore, &VrpCache::new());
+    let src = world.orgs.last().expect("orgs").asn;
+    let dst = slice[0];
+    group.bench_function("forward_one_packet", |b| {
+        b.iter(|| black_box(state.forward(src, dst.prefix.addr())))
+    });
+    group.bench_function("reachability_sweep", |b| {
+        b.iter(|| {
+            black_box(state.reachability_of(world.topology.ases(), dst.prefix.addr(), dst.origin))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation, bench_forwarding);
+criterion_main!(benches);

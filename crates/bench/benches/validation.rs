@@ -1,0 +1,76 @@
+//! Criterion benches: chain validation and RFC 6811 classification
+//! throughput — a relying party's steady-state workload.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipres::Asn;
+use netsim::Network;
+use rpki_objects::Moment;
+use rpki_repo::RepoRegistry;
+use rpki_rp::{DirectSource, Route, ValidationConfig, Validator, Vrp, VrpCache};
+use topogen::{Config, SyntheticInternet};
+
+fn bench_chain_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_validation");
+    group.sample_size(10);
+    for (label, transits, stubs) in [("small", 10usize, 50usize), ("medium", 25, 250)] {
+        let mut world = SyntheticInternet::generate(Config {
+            seed: 99,
+            transits,
+            stubs,
+            roa_adoption: 1.0,
+            cross_border: 0.1,
+            anchors: false,
+        });
+        let mut net = Network::new(0);
+        let mut repos = RepoRegistry::new();
+        let tal = world.materialize(&mut net, &mut repos, Moment(1));
+        group.bench_function(BenchmarkId::new("full_tree", label), |b| {
+            b.iter(|| {
+                let mut source = DirectSource::new(&repos);
+                let run = Validator::new(ValidationConfig::at(Moment(2)))
+                    .run(&mut source, std::slice::from_ref(&tal));
+                black_box(run.vrps.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_origin_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("origin_validation");
+    group.sample_size(20);
+    for n in [1_000u32, 20_000] {
+        let cache: VrpCache = (0..n)
+            .map(|i| {
+                let addr = ipres::Addr::v4(i.wrapping_mul(2_654_435_761));
+                let p = ipres::Prefix::new(addr, 20);
+                Vrp::new(p, 24, Asn(i % 500))
+            })
+            .collect();
+        let routes: Vec<Route> = (0..1_000u32)
+            .map(|i| {
+                let addr = ipres::Addr::v4(i.wrapping_mul(2_246_822_519));
+                Route::new(ipres::Prefix::new(addr, 24), Asn(i % 700))
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("classify_1k_routes", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut valid = 0usize;
+                    for r in &routes {
+                        if cache.classify(*r) == rpki_rp::RouteValidity::Valid {
+                            valid += 1;
+                        }
+                    }
+                    black_box(valid)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_validation, bench_origin_validation);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figure 5: route-validity grids for 63.160.0.0/12 and its
+//! subprefixes — left panel (the Figure 2 ROA set) and right panel
+//! (after Sprint adds `(63.160.0.0/12-13, AS1239)`).
+
+use ipres::Asn;
+use rpki_objects::Moment;
+use rpki_risk::fixtures::asn;
+use rpki_risk::{collapse_bands, validity_grid, ModelRpki};
+use rpki_risk_bench::{emit_json, Table};
+
+fn render_panel(title: &str, cache: &rpki_rp::VrpCache, origins: &[Asn]) -> Vec<rpki_risk::Band> {
+    let root = "63.160.0.0/12".parse().unwrap();
+    let rows = validity_grid(cache, root, 24, origins);
+    let bands = collapse_bands(&rows);
+    let mut table = Table::new(&{
+        let mut h = vec!["prefix range".to_owned(), "len".to_owned(), "count".to_owned()];
+        h.extend(origins.iter().map(|o| o.to_string()));
+        h
+    });
+    for band in &bands {
+        let mut cells = vec![
+            if band.count == 1 {
+                band.first.to_string()
+            } else {
+                format!("{} … {}", band.first, band.last)
+            },
+            band.first.len().to_string(),
+            band.count.to_string(),
+        ];
+        cells.extend(band.states.iter().map(|(_, s)| s.to_string()));
+        table.row(&cells);
+    }
+    table.print(title);
+    bands
+}
+
+fn main() {
+    let mut w = ModelRpki::build();
+    let origins =
+        [asn::SPRINT, asn::CONTINENTAL, asn::CUSTOMER_A, Asn(666) /* anyone else */];
+
+    let left_cache = w.validate_direct(Moment(2)).vrp_cache();
+    let left =
+        render_panel("Figure 5 (left): validity under the Figure 2 ROAs", &left_cache, &origins);
+
+    w.add_figure5_right_roa(Moment(3));
+    let right_cache = w.validate_direct(Moment(4)).vrp_cache();
+    let right = render_panel(
+        "Figure 5 (right): after adding (63.160.0.0/12-13, AS1239)",
+        &right_cache,
+        &origins,
+    );
+
+    // The paper's headline deltas.
+    use rpki_rp::{Route, RouteValidity};
+    let unknown_probe = Route::new("63.161.0.0/16".parse().unwrap(), Asn(666));
+    assert_eq!(left_cache.classify(unknown_probe), RouteValidity::Unknown);
+    assert_eq!(right_cache.classify(unknown_probe), RouteValidity::Invalid);
+    let covered_probe = Route::new("63.174.17.0/24".parse().unwrap(), asn::CONTINENTAL);
+    assert_eq!(left_cache.classify(covered_probe), RouteValidity::Invalid);
+    println!(
+        "\nOK: 63.161.0.0/16 flips unknown→invalid (Side Effect 5); \
+         63.174.17.0/24 is invalid even on the left (cover ≠ match)."
+    );
+
+    emit_json("fig5_left_bands", &left);
+    emit_json("fig5_right_bands", &right);
+}

@@ -1,0 +1,115 @@
+//! Side Effect 7: transient faults cause long-term failures.
+//!
+//! The Section 6 worked example, end to end on the real transport:
+//! a single corrupted fetch of the ROA `(63.174.16.0/20, AS17054)` —
+//! whose repository lives at 63.174.23.0 *inside that very prefix* —
+//! leaves a drop-invalid relying party permanently unable to re-fetch
+//! the repair, because the route to the repository is invalid without
+//! the ROA stored there.
+
+use bgp_sim::RpkiPolicy;
+use rpki_objects::Moment;
+use rpki_risk::fixtures::asn;
+use rpki_risk::{LoopbackWorld, ModelRpki};
+use rpki_risk_bench::{emit_json, Table};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Phase {
+    phase: &'static str,
+    vrps: usize,
+    continental_fetchable: bool,
+}
+
+fn main() {
+    println!("Side Effect 7 — one corrupted fetch becomes a persistent failure\n");
+    let mut phases: Vec<Phase> = Vec::new();
+
+    // Premises (Section 6): Figure 5 (right) validity; Continental
+    // hosts its repository at 63.174.23.0/AS17054; drop-invalid RP.
+    let mut w = ModelRpki::build();
+    w.add_figure5_right_roa(Moment(2));
+
+    // Phase 1 — a healthy sync over the network.
+    let healthy = w.validate_network(Moment(3));
+    println!("phase 1: healthy sync           → {} VRPs", healthy.vrps.len());
+    phases.push(Phase {
+        phase: "healthy",
+        vrps: healthy.vrps.len(),
+        continental_fetchable: true,
+    });
+
+    // Phase 2 — the transient fault: corrupt ONE fetch from
+    // Continental's repository (Side Effect 6's corrupted-object case).
+    let continental_node = w.repos.node_of("rpki.continental.example").expect("exists");
+    // Corrupt the whole session once (listing frame): the RP's next
+    // sync sees nothing from Continental — its ROAs fall out of cache.
+    w.net.faults.corrupt_nth(continental_node, w.rp_node, 1);
+    let faulted = w.validate_network(Moment(4));
+    println!(
+        "phase 2: one corrupted session  → {} VRPs (Continental's ROAs lost)",
+        faulted.vrps.len()
+    );
+    assert!(faulted.vrps.len() < healthy.vrps.len());
+    phases.push(Phase {
+        phase: "transient fault",
+        vrps: faulted.vrps.len(),
+        continental_fetchable: false,
+    });
+
+    // Phase 3 — the fault is GONE (no more scheduled corruption), but
+    // the relying party's routes are now computed from the degraded
+    // cache. Close the loop and find the fixed point.
+    let degraded = faulted.vrps.clone();
+    let ModelRpki { net, repos, rp_node, tal, topology, announcements, .. } = &mut w;
+    let tals = std::slice::from_ref(&*tal);
+    let mut world = LoopbackWorld {
+        net,
+        repos,
+        rp_node: *rp_node,
+        rp_asn: asn::RELYING_PARTY,
+        tals,
+        topology,
+        announcements,
+        policy: RpkiPolicy::DropInvalid,
+    };
+    let stuck = world.run(&degraded, Moment(5));
+    println!(
+        "phase 3: fault cleared, loop run → {} VRPs, Continental fetchable: {}",
+        stuck.vrps.len(),
+        stuck.can_fetch("rpki.continental.example")
+    );
+    assert!(!stuck.can_fetch("rpki.continental.example"), "the trap must hold");
+    phases.push(Phase {
+        phase: "fixed point (drop-invalid)",
+        vrps: stuck.vrps.len(),
+        continental_fetchable: false,
+    });
+
+    // Phase 4 — recovery requires stepping outside the loop: the paper
+    // notes "this can be fixed (manually), but there are no recommended
+    // procedures". One manual fix: temporarily depref instead of drop.
+    let mut relaxed = LoopbackWorld { policy: RpkiPolicy::DeprefInvalid, ..world };
+    let recovered = relaxed.run(&stuck.vrps, Moment(6));
+    println!(
+        "phase 4: manual recovery (temporary depref) → {} VRPs, Continental fetchable: {}",
+        recovered.vrps.len(),
+        recovered.can_fetch("rpki.continental.example")
+    );
+    assert!(recovered.can_fetch("rpki.continental.example"));
+    assert_eq!(recovered.vrps.len(), healthy.vrps.len());
+    phases.push(Phase {
+        phase: "manual recovery (depref)",
+        vrps: recovered.vrps.len(),
+        continental_fetchable: true,
+    });
+
+    let mut table = Table::new(&["phase", "VRPs in cache", "Continental repo fetchable"]);
+    for p in &phases {
+        table.row(&[p.phase.to_owned(), p.vrps.to_string(), p.continental_fetchable.to_string()]);
+    }
+    table.print("Side Effect 7 timeline");
+    println!("\nOK: a transient fault persisted until manual intervention (Section 6).");
+
+    emit_json("se7_phases", &phases);
+}

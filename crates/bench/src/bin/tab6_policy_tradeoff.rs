@@ -1,0 +1,84 @@
+//! Table 6: prefix reachability during a routing attack vs during an
+//! RPKI manipulation, under each relying-party policy.
+
+use bgp_sim::{Announcement, RpkiPolicy};
+use ipres::Asn;
+use rpki_objects::Moment;
+use rpki_risk::fixtures::asn;
+use rpki_risk::tradeoff::TradeoffScenario;
+use rpki_risk::{policy_tradeoff, ModelRpki};
+use rpki_risk_bench::{emit_json, Table};
+use rpki_rp::{Vrp, VrpCache};
+
+fn main() {
+    println!("Table 6 — impact of relying-party local policies");
+
+    let mut w = ModelRpki::build();
+    let attacker = Asn(666);
+    w.topology.add_provider_customer(asn::SPRINT, attacker);
+
+    // Intact cache: the Figure 2 ROAs plus the Figure 5 (right)
+    // covering ROA (which is what keeps the whacked route INVALID
+    // rather than unknown in the manipulation scenario).
+    let covering = Vrp::new("63.160.0.0/12".parse().unwrap(), 13, asn::SPRINT);
+    let mut intact: Vec<Vrp> = w.validate_direct(Moment(2)).vrps;
+    intact.push(covering);
+    let whacked: Vec<Vrp> =
+        intact.iter().copied().filter(|v| v.asn != asn::CONTINENTAL).collect();
+    let cache_intact: VrpCache = intact.into_iter().collect();
+    let cache_whacked: VrpCache = whacked.into_iter().collect();
+
+    let victim =
+        Announcement { prefix: "63.174.16.0/20".parse().unwrap(), origin: asn::CONTINENTAL };
+    let hijack = Announcement { prefix: "63.174.24.0/24".parse().unwrap(), origin: attacker };
+
+    let table = policy_tradeoff(&TradeoffScenario {
+        topology: &w.topology,
+        announcements: &w.announcements,
+        victim,
+        probe_addr: "63.174.24.9".parse().unwrap(),
+        attacker,
+        hijack,
+        cache_intact: &cache_intact,
+        cache_whacked: &cache_whacked,
+    });
+
+    let mut out = Table::new(&[
+        "relying-party policy",
+        "prefix reachable during routing attack",
+        "…during RPKI manipulation",
+    ]);
+    let cell = |f: f64| -> String {
+        if f >= 1.0 {
+            "yes (100%)".to_owned()
+        } else if f <= 0.0 {
+            "NO (0%)".to_owned()
+        } else {
+            format!("partial ({:.0}%)", f * 100.0)
+        }
+    };
+    for (label, policy) in [
+        ("ignore RPKI", RpkiPolicy::Ignore),
+        ("drop invalid", RpkiPolicy::DropInvalid),
+        ("depref invalid", RpkiPolicy::DeprefInvalid),
+    ] {
+        out.row(&[
+            label.to_owned(),
+            cell(table.get("routing attack", policy).expect("cell")),
+            cell(table.get("RPKI manipulation", policy).expect("cell")),
+        ]);
+    }
+    out.print("Table 6");
+
+    // The paper's shape: drop-invalid ✓/✗, depref ✗(hijackable)/✓.
+    assert_eq!(table.get("routing attack", RpkiPolicy::DropInvalid), Some(1.0));
+    assert_eq!(table.get("RPKI manipulation", RpkiPolicy::DropInvalid), Some(0.0));
+    assert!(table.get("routing attack", RpkiPolicy::DeprefInvalid).expect("cell") < 1.0);
+    assert_eq!(table.get("RPKI manipulation", RpkiPolicy::DeprefInvalid), Some(1.0));
+    println!(
+        "\nOK: the policy best against BGP attacks is worst against RPKI manipulation \
+         (Section 5's tradeoff)."
+    );
+
+    emit_json("tab6", &table.rows);
+}

@@ -1,0 +1,426 @@
+//! Route propagation to a Gao–Rexford fixed point, with RPKI policies.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ipres::{Asn, Prefix};
+use rpki_rp::{Route, RouteValidity, VrpCache};
+use serde::Serialize;
+
+use crate::topology::{Relationship, Topology};
+
+/// One origination: `origin` claims to be the destination for `prefix`.
+/// Hijacks are simply announcements whose origin is not the legitimate
+/// holder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Announcement {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// The announcing origin AS.
+    pub origin: Asn,
+}
+
+/// The relying party's local policy for using route validity in BGP —
+/// the paper's Section 5 / Table 6 knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum RpkiPolicy {
+    /// Origin validation off (the pre-RPKI Internet).
+    Ignore,
+    /// Never select an invalid route.
+    DropInvalid,
+    /// Prefer valid over unknown over invalid, but still use invalid
+    /// routes when nothing better exists for that exact prefix.
+    DeprefInvalid,
+}
+
+/// A route selected by some AS.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SelectedRoute {
+    /// The route's prefix.
+    pub prefix: Prefix,
+    /// The origin AS of the announcement.
+    pub origin: Asn,
+    /// AS path from (excluding) the selecting AS to the origin:
+    /// `path[0]` is the next hop; `path.last()` is the origin. Empty
+    /// for the origin itself.
+    pub path: Vec<Asn>,
+    /// Relationship of the next hop to the selecting AS (`None` for
+    /// self-originated routes).
+    pub learned_from: Option<Relationship>,
+    /// RFC 6811 state of `(prefix, origin)` under the cache in force.
+    pub validity: RouteValidity,
+}
+
+impl SelectedRoute {
+    fn pref_key(&self, policy: RpkiPolicy) -> (u8, u8, usize, u32) {
+        let validity_rank = match (policy, self.validity) {
+            (RpkiPolicy::DeprefInvalid, RouteValidity::Valid) => 0,
+            (RpkiPolicy::DeprefInvalid, RouteValidity::Unknown) => 1,
+            (RpkiPolicy::DeprefInvalid, RouteValidity::Invalid) => 2,
+            _ => 0,
+        };
+        let rel_rank = self.learned_from.map(Relationship::rank).unwrap_or(0);
+        let next_hop = self.path.first().map(|a| a.0).unwrap_or(0);
+        (validity_rank, rel_rank, self.path.len(), next_hop)
+    }
+}
+
+/// The converged routing state of the whole topology.
+#[derive(Debug, Default)]
+pub struct RoutingState {
+    /// `AS → prefix → selected route`.
+    tables: BTreeMap<Asn, BTreeMap<Prefix, SelectedRoute>>,
+    /// The policy the state was computed under.
+    policy: Option<RpkiPolicy>,
+}
+
+impl RoutingState {
+    /// The route `asn` selected for exactly `prefix`, if any.
+    pub fn best_route(&self, asn: Asn, prefix: Prefix) -> Option<&SelectedRoute> {
+        self.tables.get(&asn)?.get(&prefix)
+    }
+
+    /// All selected routes at `asn`.
+    pub fn table(&self, asn: Asn) -> impl Iterator<Item = &SelectedRoute> {
+        self.tables.get(&asn).into_iter().flat_map(|t| t.values())
+    }
+
+    /// The policy in force when this state was computed.
+    pub fn policy(&self) -> Option<RpkiPolicy> {
+        self.policy
+    }
+
+    /// ASes holding at least one route.
+    pub fn ases_with_routes(&self) -> usize {
+        self.tables.values().filter(|t| !t.is_empty()).count()
+    }
+}
+
+/// Propagates `announcements` over `topology` under `policy`, using
+/// `cache` for origin validation, and returns the converged state.
+///
+/// Iterates synchronous rounds to a fixed point (Gao–Rexford graphs
+/// converge; a cycle in the transit hierarchy would not, so the round
+/// count is capped).
+///
+/// # Panics
+///
+/// Panics if the computation has not converged after an iteration cap
+/// proportional to the AS count — which indicates a transit cycle; call
+/// [`Topology::find_transit_cycle`] to locate it.
+pub fn propagate(
+    topology: &Topology,
+    announcements: &[Announcement],
+    policy: RpkiPolicy,
+    cache: &VrpCache,
+) -> RoutingState {
+    let mut state = RoutingState { tables: BTreeMap::new(), policy: Some(policy) };
+
+    // Seed origins. An origin always carries its own announcement,
+    // whatever the RPKI says (it is lying deliberately or it is the
+    // legitimate holder; either way it announces).
+    let prefixes: BTreeSet<Prefix> = announcements.iter().map(|a| a.prefix).collect();
+    for ann in announcements {
+        let validity = cache.classify(Route::new(ann.prefix, ann.origin));
+        state.tables.entry(ann.origin).or_default().insert(
+            ann.prefix,
+            SelectedRoute {
+                prefix: ann.prefix,
+                origin: ann.origin,
+                path: Vec::new(),
+                learned_from: None,
+                validity,
+            },
+        );
+    }
+
+    let cap = 2 * topology.len() + 10;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        assert!(
+            rounds <= cap,
+            "BGP propagation failed to converge in {cap} rounds; transit cycle?"
+        );
+        let mut changed = false;
+
+        // Synchronous round: every AS re-selects from neighbours'
+        // *previous-round* tables, which keeps the computation
+        // deterministic and order-independent.
+        let mut next = state.tables.clone();
+        for asn in topology.ases() {
+            for &prefix in &prefixes {
+                let current = state.tables.get(&asn).and_then(|t| t.get(&prefix));
+                // Origins never replace their own announcement.
+                if matches!(current, Some(r) if r.learned_from.is_none()) {
+                    continue;
+                }
+                let mut best: Option<SelectedRoute> = None;
+                for (neighbor, rel) in topology.neighbors(asn) {
+                    let Some(route) = state.tables.get(&neighbor).and_then(|t| t.get(&prefix))
+                    else {
+                        continue;
+                    };
+                    // Export rule at the neighbour: routes learned from
+                    // customers (or self-originated) go to everyone;
+                    // peer/provider routes go to customers only. From
+                    // `asn`'s view, `rel` is the neighbour's role; the
+                    // neighbour sees `asn` as a customer iff `rel` is
+                    // Provider.
+                    let exported = match route.learned_from {
+                        None | Some(Relationship::Customer) => true,
+                        Some(Relationship::Peer) | Some(Relationship::Provider) => {
+                            rel == Relationship::Provider
+                        }
+                    };
+                    if !exported {
+                        continue;
+                    }
+                    // Loop prevention.
+                    if route.path.contains(&asn) || route.origin == asn {
+                        continue;
+                    }
+                    let mut path = Vec::with_capacity(route.path.len() + 1);
+                    path.push(neighbor);
+                    path.extend_from_slice(&route.path);
+                    let candidate = SelectedRoute {
+                        prefix,
+                        origin: route.origin,
+                        path,
+                        learned_from: Some(rel),
+                        validity: cache.classify(Route::new(prefix, route.origin)),
+                    };
+                    // Import filter.
+                    if policy == RpkiPolicy::DropInvalid
+                        && candidate.validity == RouteValidity::Invalid
+                    {
+                        continue;
+                    }
+                    let better = match &best {
+                        None => true,
+                        Some(b) => candidate.pref_key(policy) < b.pref_key(policy),
+                    };
+                    if better {
+                        best = Some(candidate);
+                    }
+                }
+                if best.as_ref() != current {
+                    changed = true;
+                    let table = next.entry(asn).or_default();
+                    match best {
+                        Some(route) => {
+                            table.insert(prefix, route);
+                        }
+                        None => {
+                            table.remove(&prefix);
+                        }
+                    }
+                }
+            }
+        }
+        state.tables = next;
+        if !changed {
+            break;
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpki_rp::Vrp;
+
+    fn a(n: u32) -> Asn {
+        Asn(n)
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// A line: 1 ← 2 ← 3 (1 is 2's provider, 2 is 3's provider).
+    fn chain() -> Topology {
+        let mut t = Topology::new();
+        t.add_provider_customer(a(1), a(2));
+        t.add_provider_customer(a(2), a(3));
+        t
+    }
+
+    #[test]
+    fn routes_propagate_up_and_down() {
+        let t = chain();
+        let state = propagate(
+            &t,
+            &[Announcement { prefix: p("10.0.0.0/8"), origin: a(3) }],
+            RpkiPolicy::Ignore,
+            &VrpCache::new(),
+        );
+        let r1 = state.best_route(a(1), p("10.0.0.0/8")).unwrap();
+        assert_eq!(r1.path, vec![a(2), a(3)]);
+        assert_eq!(r1.learned_from, Some(Relationship::Customer));
+        let r3 = state.best_route(a(3), p("10.0.0.0/8")).unwrap();
+        assert!(r3.path.is_empty());
+        assert_eq!(state.ases_with_routes(), 3);
+    }
+
+    #[test]
+    fn valley_free_export_blocks_peer_to_peer_transit() {
+        // 2 — 3 peers; 4 is 3's peer too. A route from 2 must not cross
+        // 3 to reach 4 (peer routes are not exported to peers).
+        let mut t = Topology::new();
+        t.add_peering(a(2), a(3));
+        t.add_peering(a(3), a(4));
+        let state = propagate(
+            &t,
+            &[Announcement { prefix: p("10.0.0.0/8"), origin: a(2) }],
+            RpkiPolicy::Ignore,
+            &VrpCache::new(),
+        );
+        assert!(state.best_route(a(3), p("10.0.0.0/8")).is_some());
+        assert!(state.best_route(a(4), p("10.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn customer_route_preferred_over_peer_and_provider() {
+        // AS 1 hears 10/8 from its customer 2, its peer 3, and its
+        // provider 4 — all of whom hear it from origin 5.
+        let mut t = Topology::new();
+        t.add_provider_customer(a(1), a(2));
+        t.add_peering(a(1), a(3));
+        t.add_provider_customer(a(4), a(1));
+        t.add_provider_customer(a(2), a(5));
+        t.add_provider_customer(a(3), a(5));
+        t.add_provider_customer(a(4), a(5));
+        let state = propagate(
+            &t,
+            &[Announcement { prefix: p("10.0.0.0/8"), origin: a(5) }],
+            RpkiPolicy::Ignore,
+            &VrpCache::new(),
+        );
+        let r = state.best_route(a(1), p("10.0.0.0/8")).unwrap();
+        assert_eq!(r.learned_from, Some(Relationship::Customer));
+        assert_eq!(r.path, vec![a(2), a(5)]);
+    }
+
+    #[test]
+    fn shorter_path_wins_within_class() {
+        // Two customer paths: 1←2←origin and 1←3←4←origin.
+        let mut t = Topology::new();
+        t.add_provider_customer(a(1), a(2));
+        t.add_provider_customer(a(1), a(3));
+        t.add_provider_customer(a(3), a(4));
+        t.add_provider_customer(a(2), a(9));
+        t.add_provider_customer(a(4), a(9));
+        let state = propagate(
+            &t,
+            &[Announcement { prefix: p("10.0.0.0/8"), origin: a(9) }],
+            RpkiPolicy::Ignore,
+            &VrpCache::new(),
+        );
+        let r = state.best_route(a(1), p("10.0.0.0/8")).unwrap();
+        assert_eq!(r.path, vec![a(2), a(9)]);
+    }
+
+    #[test]
+    fn drop_invalid_filters_hijack() {
+        // Origin 3 holds the ROA; 66 announces the same prefix.
+        let t = {
+            let mut t = chain();
+            t.add_provider_customer(a(1), a(66));
+            t
+        };
+        let cache: VrpCache = [Vrp::new(p("10.0.0.0/8"), 8, a(3))].into_iter().collect();
+        let hijack = [
+            Announcement { prefix: p("10.0.0.0/8"), origin: a(3) },
+            Announcement { prefix: p("10.0.0.0/8"), origin: a(66) },
+        ];
+        let state = propagate(&t, &hijack, RpkiPolicy::DropInvalid, &cache);
+        // AS 1 is adjacent to the hijacker (customer, path length 1 —
+        // normally irresistible) but drops the invalid route.
+        let r = state.best_route(a(1), p("10.0.0.0/8")).unwrap();
+        assert_eq!(r.origin, a(3));
+        // Under Ignore, the hijacker's shorter customer route wins.
+        let state = propagate(&t, &hijack, RpkiPolicy::Ignore, &cache);
+        let r = state.best_route(a(1), p("10.0.0.0/8")).unwrap();
+        assert_eq!(r.origin, a(66));
+    }
+
+    #[test]
+    fn depref_prefers_valid_but_keeps_invalid_as_last_resort() {
+        let t = {
+            let mut t = chain();
+            t.add_provider_customer(a(1), a(66));
+            t
+        };
+        let cache: VrpCache = [Vrp::new(p("10.0.0.0/8"), 8, a(3))].into_iter().collect();
+        // Hijack scenario: valid route exists → preferred despite the
+        // hijacker's shorter path.
+        let both = [
+            Announcement { prefix: p("10.0.0.0/8"), origin: a(3) },
+            Announcement { prefix: p("10.0.0.0/8"), origin: a(66) },
+        ];
+        let state = propagate(&t, &both, RpkiPolicy::DeprefInvalid, &cache);
+        assert_eq!(state.best_route(a(1), p("10.0.0.0/8")).unwrap().origin, a(3));
+        // Manipulation scenario: only the (now-invalid) legitimate route
+        // exists — depref still uses it, drop would not.
+        let cache_whacked: VrpCache =
+            [Vrp::new(p("10.0.0.0/8"), 8, a(42))].into_iter().collect(); // covering, not matching
+        let legit_only = [Announcement { prefix: p("10.0.0.0/8"), origin: a(3) }];
+        let state = propagate(&t, &legit_only, RpkiPolicy::DeprefInvalid, &cache_whacked);
+        assert_eq!(state.best_route(a(1), p("10.0.0.0/8")).unwrap().origin, a(3));
+        let state = propagate(&t, &legit_only, RpkiPolicy::DropInvalid, &cache_whacked);
+        assert!(state.best_route(a(1), p("10.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Two equal-length customer paths; lower next-hop ASN wins.
+        let mut t = Topology::new();
+        t.add_provider_customer(a(1), a(2));
+        t.add_provider_customer(a(1), a(3));
+        t.add_provider_customer(a(2), a(9));
+        t.add_provider_customer(a(3), a(9));
+        let state = propagate(
+            &t,
+            &[Announcement { prefix: p("10.0.0.0/8"), origin: a(9) }],
+            RpkiPolicy::Ignore,
+            &VrpCache::new(),
+        );
+        assert_eq!(state.best_route(a(1), p("10.0.0.0/8")).unwrap().path[0], a(2));
+    }
+
+    #[test]
+    fn multiple_prefixes_propagate_independently() {
+        let t = chain();
+        let state = propagate(
+            &t,
+            &[
+                Announcement { prefix: p("10.0.0.0/8"), origin: a(3) },
+                Announcement { prefix: p("20.0.0.0/8"), origin: a(1) },
+            ],
+            RpkiPolicy::Ignore,
+            &VrpCache::new(),
+        );
+        assert_eq!(state.best_route(a(1), p("10.0.0.0/8")).unwrap().origin, a(3));
+        assert_eq!(state.best_route(a(3), p("20.0.0.0/8")).unwrap().origin, a(1));
+    }
+
+    #[test]
+    fn converges_even_on_odd_topologies() {
+        // A transit cycle (1→2→3→1) is economic nonsense but must not
+        // hang the fixed point: loop prevention bounds the paths and the
+        // synchronous iteration settles.
+        let mut t = Topology::new();
+        t.add_provider_customer(a(1), a(2));
+        t.add_provider_customer(a(2), a(3));
+        t.add_provider_customer(a(3), a(1));
+        assert!(t.find_transit_cycle().is_some());
+        let state = propagate(
+            &t,
+            &[Announcement { prefix: p("10.0.0.0/8"), origin: a(1) }],
+            RpkiPolicy::Ignore,
+            &VrpCache::new(),
+        );
+        assert_eq!(state.ases_with_routes(), 3);
+    }
+}

@@ -1,0 +1,297 @@
+//! AS-level topology with Gao–Rexford business relationships.
+
+use std::collections::BTreeMap;
+
+use ipres::Asn;
+use serde::{Deserialize, Serialize};
+
+/// How a neighbour relates to *this* AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// The neighbour pays us for transit.
+    Customer,
+    /// Settlement-free peer.
+    Peer,
+    /// We pay the neighbour for transit.
+    Provider,
+}
+
+impl Relationship {
+    /// Preference rank: lower is better (customer routes earn money).
+    pub fn rank(self) -> u8 {
+        match self {
+            Relationship::Customer => 0,
+            Relationship::Peer => 1,
+            Relationship::Provider => 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct AsNode {
+    providers: Vec<Asn>,
+    customers: Vec<Asn>,
+    peers: Vec<Asn>,
+}
+
+/// The AS graph.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: BTreeMap<Asn, AsNode>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Ensures `asn` exists (isolated if no links are added).
+    pub fn add_as(&mut self, asn: Asn) {
+        self.nodes.entry(asn).or_default();
+    }
+
+    /// Whether `asn` is in the graph.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.nodes.contains_key(&asn)
+    }
+
+    /// All ASes, ascending.
+    pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of links (provider-customer plus peering).
+    pub fn link_count(&self) -> usize {
+        let pc: usize = self.nodes.values().map(|n| n.customers.len()).sum();
+        let peers: usize = self.nodes.values().map(|n| n.peers.len()).sum();
+        pc + peers / 2
+    }
+
+    /// Adds a provider→customer link (money flows customer→provider).
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-links or duplicate links.
+    pub fn add_provider_customer(&mut self, provider: Asn, customer: Asn) {
+        assert_ne!(provider, customer, "self transit link at {provider}");
+        self.add_as(provider);
+        self.add_as(customer);
+        let p = self.nodes.get_mut(&provider).expect("just added");
+        assert!(!p.customers.contains(&customer), "duplicate link {provider}→{customer}");
+        p.customers.push(customer);
+        let c = self.nodes.get_mut(&customer).expect("just added");
+        c.providers.push(provider);
+    }
+
+    /// Adds a settlement-free peering.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-peerings or duplicates.
+    pub fn add_peering(&mut self, a: Asn, b: Asn) {
+        assert_ne!(a, b, "self peering at {a}");
+        self.add_as(a);
+        self.add_as(b);
+        let na = self.nodes.get_mut(&a).expect("just added");
+        assert!(!na.peers.contains(&b), "duplicate peering {a}—{b}");
+        na.peers.push(b);
+        self.nodes.get_mut(&b).expect("just added").peers.push(a);
+    }
+
+    /// This AS's customers.
+    pub fn customers(&self, asn: Asn) -> &[Asn] {
+        self.nodes.get(&asn).map(|n| n.customers.as_slice()).unwrap_or(&[])
+    }
+
+    /// This AS's providers.
+    pub fn providers(&self, asn: Asn) -> &[Asn] {
+        self.nodes.get(&asn).map(|n| n.providers.as_slice()).unwrap_or(&[])
+    }
+
+    /// This AS's peers.
+    pub fn peers(&self, asn: Asn) -> &[Asn] {
+        self.nodes.get(&asn).map(|n| n.peers.as_slice()).unwrap_or(&[])
+    }
+
+    /// Every neighbour with its relationship *to `asn`* (i.e. the role
+    /// the neighbour plays from `asn`'s point of view).
+    pub fn neighbors(&self, asn: Asn) -> Vec<(Asn, Relationship)> {
+        let Some(node) = self.nodes.get(&asn) else { return Vec::new() };
+        let mut out = Vec::with_capacity(
+            node.customers.len() + node.peers.len() + node.providers.len(),
+        );
+        for &c in &node.customers {
+            out.push((c, Relationship::Customer));
+        }
+        for &p in &node.peers {
+            out.push((p, Relationship::Peer));
+        }
+        for &p in &node.providers {
+            out.push((p, Relationship::Provider));
+        }
+        out
+    }
+
+    /// The relationship of `neighbor` from `asn`'s point of view, if
+    /// adjacent.
+    pub fn relationship(&self, asn: Asn, neighbor: Asn) -> Option<Relationship> {
+        let node = self.nodes.get(&asn)?;
+        if node.customers.contains(&neighbor) {
+            Some(Relationship::Customer)
+        } else if node.peers.contains(&neighbor) {
+            Some(Relationship::Peer)
+        } else if node.providers.contains(&neighbor) {
+            Some(Relationship::Provider)
+        } else {
+            None
+        }
+    }
+
+    /// Checks the provider-customer hierarchy is acyclic (Gao–Rexford
+    /// stability needs this). Returns an example cycle if one exists.
+    pub fn find_transit_cycle(&self) -> Option<Vec<Asn>> {
+        // DFS over provider→customer edges.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks: BTreeMap<Asn, Mark> = self.ases().map(|a| (a, Mark::White)).collect();
+        let mut stack_path: Vec<Asn> = Vec::new();
+
+        fn dfs(
+            topo: &Topology,
+            at: Asn,
+            marks: &mut BTreeMap<Asn, Mark>,
+            path: &mut Vec<Asn>,
+        ) -> Option<Vec<Asn>> {
+            marks.insert(at, Mark::Grey);
+            path.push(at);
+            for &c in topo.customers(at) {
+                match marks[&c] {
+                    Mark::Grey => {
+                        let start = path.iter().position(|&x| x == c).unwrap_or(0);
+                        let mut cycle = path[start..].to_vec();
+                        cycle.push(c);
+                        return Some(cycle);
+                    }
+                    Mark::White => {
+                        if let Some(cycle) = dfs(topo, c, marks, path) {
+                            return Some(cycle);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+            path.pop();
+            marks.insert(at, Mark::Black);
+            None
+        }
+
+        for asn in self.ases().collect::<Vec<_>>() {
+            if marks[&asn] == Mark::White {
+                if let Some(cycle) = dfs(self, asn, &mut marks, &mut stack_path) {
+                    return Some(cycle);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u32) -> Asn {
+        Asn(n)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Topology::new();
+        t.add_provider_customer(a(1), a(2));
+        t.add_provider_customer(a(1), a(3));
+        t.add_peering(a(2), a(3));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.link_count(), 3);
+        assert_eq!(t.customers(a(1)), &[a(2), a(3)]);
+        assert_eq!(t.providers(a(2)), &[a(1)]);
+        assert_eq!(t.peers(a(2)), &[a(3)]);
+        assert_eq!(t.relationship(a(1), a(2)), Some(Relationship::Customer));
+        assert_eq!(t.relationship(a(2), a(1)), Some(Relationship::Provider));
+        assert_eq!(t.relationship(a(2), a(3)), Some(Relationship::Peer));
+        assert_eq!(t.relationship(a(2), a(9)), None);
+    }
+
+    #[test]
+    fn neighbors_are_role_annotated() {
+        let mut t = Topology::new();
+        t.add_provider_customer(a(1), a(2));
+        t.add_peering(a(2), a(3));
+        t.add_provider_customer(a(2), a(4));
+        let mut n = t.neighbors(a(2));
+        n.sort();
+        assert_eq!(
+            n,
+            vec![
+                (a(1), Relationship::Provider),
+                (a(3), Relationship::Peer),
+                (a(4), Relationship::Customer),
+            ]
+        );
+    }
+
+    #[test]
+    fn relationship_ranks() {
+        assert!(Relationship::Customer.rank() < Relationship::Peer.rank());
+        assert!(Relationship::Peer.rank() < Relationship::Provider.rank());
+    }
+
+    #[test]
+    fn transit_cycle_detection() {
+        let mut t = Topology::new();
+        t.add_provider_customer(a(1), a(2));
+        t.add_provider_customer(a(2), a(3));
+        assert!(t.find_transit_cycle().is_none());
+        t.add_provider_customer(a(3), a(1));
+        let cycle = t.find_transit_cycle().expect("cycle exists");
+        assert!(cycle.len() >= 3);
+        assert_eq!(cycle.first(), cycle.last());
+    }
+
+    #[test]
+    fn isolated_as_has_no_neighbors() {
+        let mut t = Topology::new();
+        t.add_as(a(9));
+        assert!(t.contains(a(9)));
+        assert!(t.neighbors(a(9)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn duplicate_transit_rejected() {
+        let mut t = Topology::new();
+        t.add_provider_customer(a(1), a(2));
+        t.add_provider_customer(a(1), a(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "self peering")]
+    fn self_peering_rejected() {
+        let mut t = Topology::new();
+        t.add_peering(a(1), a(1));
+    }
+}

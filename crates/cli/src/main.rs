@@ -1,0 +1,38 @@
+//! `rpki-risk` — the command-line face of the workspace.
+//!
+//! ```text
+//! rpki-risk demo                     # the Figure 2 model world, validated
+//! rpki-risk whack --origin 17054     # plan & execute a whack in the model
+//! rpki-risk audit --seed 7           # Table 4-style jurisdiction audit
+//! rpki-risk tradeoff                 # Table 6 policy comparison
+//! rpki-risk grid [--right]           # Figure 5 validity bands
+//! ```
+//!
+//! Argument parsing is hand-rolled on std (the workspace carries no CLI
+//! dependency); every subcommand supports `--json` for machine output.
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let rest = &args[1.min(args.len())..];
+    match cmd {
+        "demo" => commands::demo(rest),
+        "whack" => commands::whack(rest),
+        "audit" => commands::audit(rest),
+        "tradeoff" => commands::tradeoff(rest),
+        "grid" => commands::grid(rest),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::USAGE);
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            eprint!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Figure 5: route-validity grids.
+//!
+//! The figure classifies routes for `63.160.0.0/12` *and all its
+//! subprefixes* against the model's ROAs, per candidate origin. The
+//! grid generator enumerates every subprefix of a root down to a
+//! maximum length, classifies each for each origin of interest, and
+//! [`collapse_bands`] merges adjacent same-state prefixes so the output
+//! reads like the paper's figure instead of thousands of rows.
+
+use ipres::{Asn, Prefix};
+use rpki_rp::{Route, RouteValidity, VrpCache};
+use serde::Serialize;
+
+/// One grid entry: a prefix and its validity per origin.
+#[derive(Debug, Clone, Serialize)]
+pub struct GridRow {
+    /// The route prefix.
+    pub prefix: Prefix,
+    /// `(origin, state)` in the order origins were given.
+    pub states: Vec<(Asn, RouteValidity)>,
+}
+
+/// Classifies every subprefix of `root` with length `root.len()..=max_len`
+/// for each origin.
+///
+/// # Panics
+///
+/// Panics if `max_len` expands more than 2^24 subprefixes (see
+/// [`Prefix::subprefixes`]).
+pub fn validity_grid(
+    cache: &VrpCache,
+    root: Prefix,
+    max_len: u8,
+    origins: &[Asn],
+) -> Vec<GridRow> {
+    let mut rows = Vec::new();
+    for len in root.len()..=max_len {
+        for prefix in root.subprefixes(len) {
+            let states = origins
+                .iter()
+                .map(|&o| (o, cache.classify(Route::new(prefix, o))))
+                .collect();
+            rows.push(GridRow { prefix, states });
+        }
+    }
+    rows
+}
+
+/// A maximal run of same-length, address-consecutive prefixes sharing
+/// identical per-origin states.
+#[derive(Debug, Clone, Serialize)]
+pub struct Band {
+    /// First prefix of the band.
+    pub first: Prefix,
+    /// Last prefix of the band.
+    pub last: Prefix,
+    /// Number of prefixes in the band.
+    pub count: usize,
+    /// The shared `(origin, state)` vector.
+    pub states: Vec<(Asn, RouteValidity)>,
+}
+
+/// Collapses grid rows into bands, preserving order. Rows must come
+/// from [`validity_grid`] (grouped by length, address-ascending).
+pub fn collapse_bands(rows: &[GridRow]) -> Vec<Band> {
+    let mut bands: Vec<Band> = Vec::new();
+    for row in rows {
+        let extend = match bands.last() {
+            Some(b)
+                if b.last.len() == row.prefix.len()
+                    && b.states == row.states
+                    && b.last.range().hi().succ().map(|a| a == row.prefix.addr()).unwrap_or(false) =>
+            {
+                true
+            }
+            _ => false,
+        };
+        if extend {
+            let b = bands.last_mut().expect("nonempty");
+            b.last = row.prefix;
+            b.count += 1;
+        } else {
+            bands.push(Band {
+                first: row.prefix,
+                last: row.prefix,
+                count: 1,
+                states: row.states.clone(),
+            });
+        }
+    }
+    bands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpki_rp::Vrp;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn cache() -> VrpCache {
+        [
+            Vrp::new(p("10.0.0.0/10"), 12, Asn(1)),
+            Vrp::new(p("10.64.0.0/12"), 12, Asn(2)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn grid_enumerates_lengths_and_origins() {
+        let rows = validity_grid(&cache(), p("10.0.0.0/8"), 10, &[Asn(1), Asn(2)]);
+        // 1 (/8) + 2 (/9) + 4 (/10) rows.
+        assert_eq!(rows.len(), 7);
+        let r8 = &rows[0];
+        assert_eq!(r8.prefix, p("10.0.0.0/8"));
+        // The /8 is not covered by anything → unknown for both.
+        assert!(r8.states.iter().all(|(_, s)| *s == RouteValidity::Unknown));
+        // 10.0.0.0/10 matches VRP 1 exactly.
+        let r10 = rows.iter().find(|r| r.prefix == p("10.0.0.0/10")).unwrap();
+        assert_eq!(r10.states[0], (Asn(1), RouteValidity::Valid));
+        assert_eq!(r10.states[1], (Asn(2), RouteValidity::Invalid));
+    }
+
+    #[test]
+    fn bands_collapse_consecutive_same_state() {
+        let rows = validity_grid(&cache(), p("10.0.0.0/8"), 12, &[Asn(1)]);
+        let bands = collapse_bands(&rows);
+        // All rows are represented exactly once.
+        let total: usize = bands.iter().map(|b| b.count).sum();
+        assert_eq!(total, rows.len());
+        // The sixteen /12s form three bands: valid inside 10.0/10
+        // (maxlen 12 ROA for AS1), invalid inside 10.64/12 (covered by
+        // AS2's VRP), unknown above 10.80.0.0.
+        let twelve: Vec<&Band> = bands.iter().filter(|b| b.first.len() == 12).collect();
+        assert_eq!(twelve.len(), 3, "{twelve:#?}");
+        assert_eq!(twelve[0].count, 4);
+        assert_eq!(twelve[0].states[0].1, RouteValidity::Valid);
+        assert_eq!(twelve[1].count, 1);
+        assert_eq!(twelve[1].states[0].1, RouteValidity::Invalid);
+        assert_eq!(twelve[2].count, 11);
+        assert_eq!(twelve[2].states[0].1, RouteValidity::Unknown);
+    }
+
+    #[test]
+    fn bands_never_merge_across_lengths() {
+        let rows = validity_grid(&VrpCache::new(), p("10.0.0.0/8"), 10, &[Asn(1)]);
+        let bands = collapse_bands(&rows);
+        // Everything unknown, but three lengths → three bands.
+        assert_eq!(bands.len(), 3);
+    }
+
+    #[test]
+    fn empty_origin_list_is_fine() {
+        let rows = validity_grid(&cache(), p("10.0.0.0/8"), 9, &[]);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.states.is_empty()));
+        assert_eq!(collapse_bands(&rows).len(), 2); // /8 band + /9 band
+    }
+}

@@ -1,0 +1,247 @@
+//! Table 4: cross-jurisdiction certification analysis.
+//!
+//! Section 3.2's measurement: walk the allocation tree and, for each
+//! resource certificate, list the countries of the descendants it
+//! covers that fall **outside the jurisdiction of its parent RIR**.
+//! Every such row is a whacking capability that crosses a legal border:
+//! the RIR (or the RC holder) can whack ROAs belonging to ASes in
+//! countries it is not accountable to.
+
+use std::collections::BTreeSet;
+
+use serde::Serialize;
+use topogen::{ParentRef, SyntheticInternet, RIRS};
+
+/// One Table 4 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct JurisdictionRow {
+    /// RC holder's handle.
+    pub holder: String,
+    /// The RC's prefix(es), as display strings.
+    pub rc: Vec<String>,
+    /// The RIR whose hierarchy certifies the RC.
+    pub rir: &'static str,
+    /// Countries of covered descendants outside that RIR's region,
+    /// sorted.
+    pub foreign_countries: Vec<String>,
+    /// Total descendants covered (foreign or not).
+    pub descendants: usize,
+}
+
+/// Aggregate results of the Table 4 analysis.
+#[derive(Debug, Clone, Serialize)]
+pub struct JurisdictionReport {
+    /// Rows with at least one out-of-region country, sorted by foreign
+    /// coverage (descending), holders with the widest reach first —
+    /// the shape of the paper's table.
+    pub rows: Vec<JurisdictionRow>,
+    /// Number of RCs examined.
+    pub rcs_examined: usize,
+    /// Number of RCs covering at least one foreign-country descendant.
+    pub rcs_crossing_borders: usize,
+}
+
+/// Section 3.2's headline claim, per registry: "RIRs can whack ROAs
+/// for ASes in non-member countries, even though they are accountable
+/// only to their member countries."
+#[derive(Debug, Clone, Serialize)]
+pub struct RirReach {
+    /// The registry.
+    pub rir: &'static str,
+    /// Foreign countries whose ROAs this RIR could whack through its
+    /// certification hierarchy, sorted.
+    pub whackable_foreign_countries: Vec<String>,
+    /// Organisations under this RIR located in those countries.
+    pub foreign_orgs: usize,
+}
+
+/// Computes each RIR's whacking reach into non-member countries: every
+/// organisation certified (transitively) under the RIR whose country is
+/// outside the RIR's region.
+pub fn rir_reach(world: &SyntheticInternet) -> Vec<RirReach> {
+    let mut out: Vec<RirReach> = RIRS
+        .iter()
+        .map(|r| RirReach {
+            rir: r.name,
+            whackable_foreign_countries: Vec::new(),
+            foreign_orgs: 0,
+        })
+        .collect();
+    let mut per_rir: Vec<BTreeSet<String>> = vec![BTreeSet::new(); RIRS.len()];
+    for org in &world.orgs {
+        // Walk to the certifying RIR.
+        let mut at = org;
+        let rir = loop {
+            match at.parent {
+                ParentRef::Rir(r) => break r,
+                ParentRef::Org(p) => at = &world.orgs[p],
+            }
+        };
+        let region: BTreeSet<&str> = RIRS[rir].countries.iter().copied().collect();
+        if !region.contains(org.country.as_str()) {
+            per_rir[rir].insert(org.country.clone());
+            out[rir].foreign_orgs += 1;
+        }
+    }
+    for (i, set) in per_rir.into_iter().enumerate() {
+        out[i].whackable_foreign_countries = set.into_iter().collect();
+    }
+    out
+}
+
+/// Runs the Table 4 analysis over a synthetic Internet.
+pub fn jurisdiction_report(world: &SyntheticInternet) -> JurisdictionReport {
+    // descendants[i] = indices of orgs allocated (transitively) from org i.
+    let n = world.orgs.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, org) in world.orgs.iter().enumerate() {
+        if let ParentRef::Org(parent) = org.parent {
+            children[parent].push(i);
+        }
+    }
+
+    fn collect(children: &[Vec<usize>], at: usize, out: &mut Vec<usize>) {
+        for &c in &children[at] {
+            out.push(c);
+            collect(children, c, out);
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut rcs_examined = 0;
+    let mut rcs_crossing = 0;
+    for (i, org) in world.orgs.iter().enumerate() {
+        rcs_examined += 1;
+        let mut descendants = Vec::new();
+        collect(&children, i, &mut descendants);
+        if descendants.is_empty() {
+            continue;
+        }
+        // Which RIR's hierarchy certifies this RC? Walk to the root.
+        let mut at = i;
+        let rir = loop {
+            match world.orgs[at].parent {
+                ParentRef::Rir(r) => break r,
+                ParentRef::Org(p) => at = p,
+            }
+        };
+        let region: BTreeSet<&str> = RIRS[rir].countries.iter().copied().collect();
+        let foreign: BTreeSet<String> = descendants
+            .iter()
+            .map(|&d| world.orgs[d].country.clone())
+            .filter(|c| !region.contains(c.as_str()))
+            .collect();
+        if foreign.is_empty() {
+            continue;
+        }
+        rcs_crossing += 1;
+        rows.push(JurisdictionRow {
+            holder: org.handle.clone(),
+            rc: org.prefixes.iter().map(|p| p.to_string()).collect(),
+            rir: RIRS[rir].name,
+            foreign_countries: foreign.into_iter().collect(),
+            descendants: descendants.len(),
+        });
+    }
+    rows.sort_by(|a, b| {
+        b.foreign_countries
+            .len()
+            .cmp(&a.foreign_countries.len())
+            .then(a.holder.cmp(&b.holder))
+    });
+    JurisdictionReport { rows, rcs_examined, rcs_crossing_borders: rcs_crossing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topogen::{Config, ANCHOR_ORGS};
+
+    #[test]
+    fn anchors_reproduce_table4_rows() {
+        let world = SyntheticInternet::generate(Config::small(4));
+        let report = jurisdiction_report(&world);
+        for spec in &ANCHOR_ORGS {
+            let row = report
+                .rows
+                .iter()
+                .find(|r| r.holder == spec.name)
+                .unwrap_or_else(|| panic!("{} missing from report", spec.name));
+            assert_eq!(row.rc, vec![spec.rc_prefix.parse::<ipres::Prefix>().unwrap().to_string()]);
+            // Every planted out-of-region customer country shows up.
+            let home_rir = topogen::rir_of_country(spec.home).unwrap();
+            let region: BTreeSet<&str> = RIRS[home_rir].countries.iter().copied().collect();
+            for c in spec.customer_countries {
+                if !region.contains(c) {
+                    assert!(
+                        row.foreign_countries.iter().any(|fc| fc == c),
+                        "{}: missing {}",
+                        spec.name,
+                        c
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_cross_border_without_anchors_is_quiet() {
+        let mut cfg = Config::small(8);
+        cfg.anchors = false;
+        cfg.cross_border = 0.0;
+        let world = SyntheticInternet::generate(cfg);
+        let report = jurisdiction_report(&world);
+        // Stubs inherit their provider's country, and providers are
+        // registered in-region, so nothing crosses a border...
+        // unless a transit's random country sits outside its assigned
+        // RIR region (it cannot: countries are drawn from the region).
+        assert_eq!(report.rcs_crossing_borders, 0, "{:#?}", report.rows);
+    }
+
+    #[test]
+    fn more_cross_border_more_rows() {
+        let mut low_cfg = Config::small(10);
+        low_cfg.anchors = false;
+        low_cfg.cross_border = 0.05;
+        low_cfg.stubs = 120;
+        let low = jurisdiction_report(&SyntheticInternet::generate(low_cfg));
+        let mut high_cfg = low_cfg;
+        high_cfg.cross_border = 0.8;
+        let high = jurisdiction_report(&SyntheticInternet::generate(high_cfg));
+        assert!(
+            high.rcs_crossing_borders > low.rcs_crossing_borders,
+            "low {} high {}",
+            low.rcs_crossing_borders,
+            high.rcs_crossing_borders
+        );
+    }
+
+    #[test]
+    fn rir_reach_covers_anchor_customers() {
+        let world = SyntheticInternet::generate(Config::small(4));
+        let reach = rir_reach(&world);
+        // ARIN certifies Level3 → RU customer; reach must include RU.
+        let arin = reach.iter().find(|r| r.rir == "ARIN").unwrap();
+        assert!(arin.whackable_foreign_countries.iter().any(|c| c == "RU"), "{arin:?}");
+        assert!(arin.foreign_orgs > 0);
+        // Countries whackable by an RIR are never its own members.
+        for r in &reach {
+            let region = RIRS.iter().find(|x| x.name == r.rir).unwrap().countries;
+            for c in &r.whackable_foreign_countries {
+                assert!(!region.contains(&c.as_str()), "{}: {c} is a member", r.rir);
+            }
+        }
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let world = SyntheticInternet::generate(Config::small(14));
+        let report = jurisdiction_report(&world);
+        assert_eq!(report.rcs_examined, world.orgs.len());
+        assert_eq!(report.rows.len(), report.rcs_crossing_borders);
+        // Sorted by foreign coverage, descending.
+        for w in report.rows.windows(2) {
+            assert!(w[0].foreign_countries.len() >= w[1].foreign_countries.len());
+        }
+    }
+}

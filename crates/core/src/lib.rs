@@ -1,0 +1,47 @@
+//! `rpki-risk` — the analysis framework for *On the Risk of Misbehaving
+//! RPKI Authorities* (HotNets '13).
+//!
+//! The substrate crates give us a working RPKI (objects, CAs,
+//! repositories, relying parties) and a working BGP (policy routing,
+//! forwarding). This crate asks the paper's questions of them:
+//!
+//! - [`fixtures`] — the Figure 2 model RPKI, reconstructed as a live
+//!   world: ARIN → Sprint → {ETB, Continental Broadband}, seven ROAs,
+//!   repositories, an AS topology, and a relying party.
+//! - [`grid`] — Figure 5's route-validity grids: classify every
+//!   subprefix × origin against a VRP cache and collapse the result
+//!   into readable bands.
+//! - [`tradeoff`] — Table 6: prefix reachability during a routing
+//!   attack vs during an RPKI manipulation, under each local policy.
+//! - [`jurisdiction`] — Table 4: walk the allocation tree of a
+//!   synthetic Internet and find RCs covering countries outside their
+//!   parent RIR's region.
+//! - [`loopback`] — Section 6 / Figure 1: the RPKI⇆BGP fixed point,
+//!   where route validity gates repository reachability gates route
+//!   validity; demonstrates how one transient fault becomes persistent.
+//! - [`side_effects`] — quantifiers for Side Effect 5 (a new ROA
+//!   invalidates covered routes) and Side Effect 6 (a missing ROA
+//!   flips valid routes to invalid).
+//! - [`suspenders`] — a fail-safe relying-party layer implementing the
+//!   hardening direction the paper's conclusion cites
+//!   (draft-kent-sidr-suspenders): hold VRPs that vanish without
+//!   evidence, so whacks stop translating into instant outages.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixtures;
+pub mod grid;
+pub mod jurisdiction;
+pub mod loopback;
+pub mod side_effects;
+pub mod suspenders;
+pub mod tradeoff;
+
+pub use fixtures::ModelRpki;
+pub use grid::{collapse_bands, validity_grid, Band, GridRow};
+pub use jurisdiction::{jurisdiction_report, rir_reach, JurisdictionReport, JurisdictionRow, RirReach};
+pub use loopback::{LoopbackOutcome, LoopbackWorld};
+pub use side_effects::{se5_new_roa_impact, se6_missing_roa_impact, Se5Impact, Se6Impact};
+pub use suspenders::{SuspendersConfig, SuspendersEvent, SuspendersState};
+pub use tradeoff::{policy_tradeoff, ScenarioOutcome, TradeoffTable};

@@ -1,0 +1,257 @@
+//! Section 6: closing the loop — BGP ⇒ the RPKI.
+//!
+//! RPKI objects travel over rsync over TCP/IP, whose routes the RPKI
+//! itself validates (Figure 1). [`LoopbackWorld`] wires that circle
+//! together explicitly:
+//!
+//! 1. validate with the current cache contents;
+//! 2. propagate BGP under the relying party's policy;
+//! 3. a repository is *fetchable* only if the relying party's traffic
+//!    to the repository's address actually reaches the repository's AS;
+//! 4. re-sync from the fetchable repositories only; repeat to a fixed
+//!    point.
+//!
+//! Side Effect 7 falls out: corrupt one fetch of the ROA that covers a
+//! repository's own address, and the fixed point settles in a state
+//! where the relying party can never fetch the repair — even after the
+//! fault clears — because the route to the repository stays invalid
+//! (under drop-invalid) without the very ROA stored there.
+
+use std::collections::BTreeSet;
+
+use bgp_sim::{propagate, Announcement, RpkiPolicy, Topology};
+use ipres::Asn;
+use rpki_objects::{Moment, TrustAnchorLocator};
+use rpki_repo::RepoRegistry;
+use rpki_rp::{NetworkSource, ValidationConfig, ValidationRun, Validator, Vrp};
+use netsim::{Network, NodeId};
+use serde::Serialize;
+
+/// The converged outcome of one loop evaluation.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoopbackOutcome {
+    /// Iterations until the fixed point (≥ 1).
+    pub iterations: usize,
+    /// Hosts the relying party could fetch from in the final state.
+    pub reachable_repos: Vec<String>,
+    /// Hosts it could not.
+    pub unreachable_repos: Vec<String>,
+    /// The final validated VRPs.
+    pub vrps: Vec<Vrp>,
+}
+
+impl LoopbackOutcome {
+    /// Whether `host` ended up fetchable.
+    pub fn can_fetch(&self, host: &str) -> bool {
+        self.reachable_repos.iter().any(|h| h == host)
+    }
+}
+
+/// A world whose transport is gated by its own route validity.
+pub struct LoopbackWorld<'a> {
+    /// The simulated network.
+    pub net: &'a mut Network,
+    /// The repositories (some of which declare `hosted_at`).
+    pub repos: &'a RepoRegistry,
+    /// The relying party's node.
+    pub rp_node: NodeId,
+    /// The relying party's AS in the topology.
+    pub rp_asn: Asn,
+    /// The trust anchors.
+    pub tals: &'a [TrustAnchorLocator],
+    /// The AS topology.
+    pub topology: &'a Topology,
+    /// Everyone's BGP announcements.
+    pub announcements: &'a [Announcement],
+    /// The relying party's local policy.
+    pub policy: RpkiPolicy,
+}
+
+impl LoopbackWorld<'_> {
+    /// Hosts fetchable under a given VRP cache: those without declared
+    /// addresses are always fetchable (out-of-band hosting); declared
+    /// ones need the relying party's traffic to their address to reach
+    /// their AS.
+    fn fetchable_hosts(&self, vrps: &[Vrp]) -> BTreeSet<String> {
+        let cache = vrps.iter().copied().collect();
+        let state = propagate(self.topology, self.announcements, self.policy, &cache);
+        self.repos
+            .iter()
+            .filter(|repo| match repo.hosted_at() {
+                None => true,
+                Some((prefix, origin)) => {
+                    state.forward(self.rp_asn, prefix.addr()).delivered_to(origin)
+                }
+            })
+            .map(|repo| repo.host().to_owned())
+            .collect()
+    }
+
+    /// Runs the loop from an initial cache state to its fixed point.
+    ///
+    /// `initial_vrps` seeds the route validity used for the *first*
+    /// sync round (the relying party's prior cache). The fixed point is
+    /// reached when the set of fetchable hosts stops changing.
+    pub fn run(&mut self, initial_vrps: &[Vrp], now: Moment) -> LoopbackOutcome {
+        let mut vrps: Vec<Vrp> = initial_vrps.to_vec();
+        let mut fetchable = self.fetchable_hosts(&vrps);
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            assert!(iterations <= 1 + self.repos.iter().count(), "loopback failed to converge");
+
+            // Gate the transport on current fetchability.
+            let gate: BTreeSet<NodeId> = self
+                .repos
+                .iter()
+                .filter(|r| fetchable.contains(r.host()))
+                .map(|r| r.node())
+                .collect();
+            let rp = self.rp_node;
+            self.net.set_reachability(Box::new(move |from, to| {
+                // Only constrain the RP↔repo paths; and only repo-bound
+                // requests (responses follow the same gate since both
+                // endpoints are checked symmetrically).
+                if from == rp {
+                    gate.contains(&to)
+                } else if to == rp {
+                    gate.contains(&from)
+                } else {
+                    true
+                }
+            }));
+
+            let mut source = NetworkSource::new(self.net, self.repos, self.rp_node);
+            let run: ValidationRun =
+                Validator::new(ValidationConfig::at(now)).run(&mut source, self.tals);
+            let new_vrps = run.vrps;
+            let new_fetchable = self.fetchable_hosts(&new_vrps);
+            let settled = new_fetchable == fetchable && new_vrps == vrps;
+            vrps = new_vrps;
+            fetchable = new_fetchable;
+            if settled {
+                break;
+            }
+        }
+        self.net.clear_reachability();
+
+        let all_hosts: BTreeSet<String> =
+            self.repos.iter().map(|r| r.host().to_owned()).collect();
+        LoopbackOutcome {
+            iterations,
+            reachable_repos: fetchable.iter().cloned().collect(),
+            unreachable_repos: all_hosts.difference(&fetchable).cloned().collect(),
+            vrps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{asn, ModelRpki};
+
+    /// Side Effect 7, end to end. Premises per Section 6: route
+    /// validity as in Figure 5 (right), Continental hosts its own
+    /// repository at 63.174.23.0 / AS 17054, relying party drops
+    /// invalid routes.
+    #[test]
+    fn transient_fault_becomes_persistent() {
+        let mut w = ModelRpki::build();
+        w.add_figure5_right_roa(Moment(2));
+
+        // Healthy start: full cache.
+        let healthy = w.validate_direct(Moment(3));
+        let full_vrps = healthy.vrps.clone();
+
+        let ModelRpki { net, repos, rp_node, tal, topology, announcements, .. } = &mut w;
+        let tals = std::slice::from_ref(&*tal);
+        let mut world = LoopbackWorld {
+            net,
+            repos,
+            rp_node: *rp_node,
+            rp_asn: asn::RELYING_PARTY,
+            tals,
+            topology,
+            announcements,
+            policy: RpkiPolicy::DropInvalid,
+        };
+
+        // With the full cache, everything is fetchable and stays so.
+        let outcome = world.run(&full_vrps, Moment(3));
+        assert!(outcome.can_fetch("rpki.continental.example"), "{outcome:?}");
+        assert_eq!(outcome.vrps, full_vrps);
+
+        // The transient fault: the relying party's cache lost the
+        // covering /20 ROA (e.g. one corrupted fetch — Side Effect 6).
+        let degraded: Vec<Vrp> =
+            full_vrps.iter().copied().filter(|v| v.asn != asn::CONTINENTAL).collect();
+
+        // Even though the repository is healthy again and serves the
+        // ROA, the fixed point never recovers it: the route to the
+        // repository is invalid without the ROA that is stored there.
+        let outcome = world.run(&degraded, Moment(4));
+        assert!(!outcome.can_fetch("rpki.continental.example"), "{outcome:?}");
+        assert!(!outcome.vrps.iter().any(|v| v.asn == asn::CONTINENTAL));
+        // Everyone else is unaffected.
+        assert!(outcome.can_fetch("rpki.sprint.example"));
+        assert!(outcome.can_fetch("rpki.etb.example"));
+    }
+
+    /// The same fault under depref-invalid self-heals: the invalid
+    /// route is still usable, the ROA is re-fetched, validity recovers.
+    #[test]
+    fn depref_policy_recovers() {
+        let mut w = ModelRpki::build();
+        w.add_figure5_right_roa(Moment(2));
+        let healthy = w.validate_direct(Moment(3));
+        let full_vrps = healthy.vrps.clone();
+        let degraded: Vec<Vrp> =
+            full_vrps.iter().copied().filter(|v| v.asn != asn::CONTINENTAL).collect();
+
+        let ModelRpki { net, repos, rp_node, tal, topology, announcements, .. } = &mut w;
+        let tals = std::slice::from_ref(&*tal);
+        let mut world = LoopbackWorld {
+            net,
+            repos,
+            rp_node: *rp_node,
+            rp_asn: asn::RELYING_PARTY,
+            tals,
+            topology,
+            announcements,
+            policy: RpkiPolicy::DeprefInvalid,
+        };
+        let outcome = world.run(&degraded, Moment(4));
+        assert!(outcome.can_fetch("rpki.continental.example"), "{outcome:?}");
+        assert_eq!(outcome.vrps, full_vrps);
+    }
+
+    /// Without the Figure 5 (right) covering ROA, the missing /20 ROA
+    /// leaves the repo route *unknown* (not invalid), so even
+    /// drop-invalid recovers — condition (b) of the paper's circularity
+    /// recipe really is necessary.
+    #[test]
+    fn no_covering_roa_no_trap() {
+        let mut w = ModelRpki::build();
+        let healthy = w.validate_direct(Moment(3));
+        let full_vrps = healthy.vrps.clone();
+        let degraded: Vec<Vrp> =
+            full_vrps.iter().copied().filter(|v| v.asn != asn::CONTINENTAL).collect();
+
+        let ModelRpki { net, repos, rp_node, tal, topology, announcements, .. } = &mut w;
+        let tals = std::slice::from_ref(&*tal);
+        let mut world = LoopbackWorld {
+            net,
+            repos,
+            rp_node: *rp_node,
+            rp_asn: asn::RELYING_PARTY,
+            tals,
+            topology,
+            announcements,
+            policy: RpkiPolicy::DropInvalid,
+        };
+        let outcome = world.run(&degraded, Moment(4));
+        assert!(outcome.can_fetch("rpki.continental.example"), "{outcome:?}");
+        assert_eq!(outcome.vrps, full_vrps);
+    }
+}

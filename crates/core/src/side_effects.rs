@@ -1,0 +1,196 @@
+//! Quantifiers for Side Effects 5 and 6.
+//!
+//! Both are consequences of RFC 6811's cover/match asymmetry:
+//!
+//! - **Side Effect 5** — *a new ROA can cause many routes to become
+//!   invalid*: issuing a ROA for a large prefix flips every covered,
+//!   previously-*unknown* route to *invalid* unless it has a matching
+//!   ROA of its own. [`se5_new_roa_impact`] measures the blast radius
+//!   of one new VRP over a route set — the deployment-ordering hazard
+//!   (citation \[43\] of the paper observed exactly this in the production RPKI).
+//! - **Side Effect 6** — *a missing ROA can cause a route to become
+//!   invalid*: a route whose ROA vanishes degrades to *invalid* (not
+//!   unknown) whenever another ROA covers it. [`se6_missing_roa_impact`]
+//!   removes each VRP in turn and tallies the damage class.
+
+use rpki_rp::{Route, RouteValidity, Vrp, VrpCache};
+use serde::Serialize;
+
+/// Blast radius of one new VRP (Side Effect 5).
+#[derive(Debug, Clone, Serialize)]
+pub struct Se5Impact {
+    /// The VRP added.
+    pub added: Vrp,
+    /// Routes that flipped unknown → invalid.
+    pub newly_invalid: Vec<Route>,
+    /// Routes that flipped unknown → valid (the issuer's own routes).
+    pub newly_valid: Vec<Route>,
+    /// Routes unaffected.
+    pub unchanged: usize,
+}
+
+/// Measures what adding `new_vrp` does to `routes` under `vrps`.
+pub fn se5_new_roa_impact(vrps: &[Vrp], new_vrp: Vrp, routes: &[Route]) -> Se5Impact {
+    let before: VrpCache = vrps.iter().copied().collect();
+    let mut after_vec = vrps.to_vec();
+    after_vec.push(new_vrp);
+    let after: VrpCache = after_vec.into_iter().collect();
+
+    let mut impact = Se5Impact {
+        added: new_vrp,
+        newly_invalid: Vec::new(),
+        newly_valid: Vec::new(),
+        unchanged: 0,
+    };
+    for &route in routes {
+        let was = before.classify(route);
+        let is = after.classify(route);
+        match (was, is) {
+            (RouteValidity::Unknown, RouteValidity::Invalid) => {
+                impact.newly_invalid.push(route)
+            }
+            (RouteValidity::Unknown, RouteValidity::Valid) => impact.newly_valid.push(route),
+            _ => impact.unchanged += 1,
+        }
+    }
+    impact
+}
+
+/// One row of the Side Effect 6 sweep: what a single VRP's
+/// disappearance does to the routes it was validating.
+#[derive(Debug, Clone, Serialize)]
+pub struct Se6Row {
+    /// The VRP that went missing.
+    pub missing: Vrp,
+    /// Routes that flipped valid → invalid (still covered by something
+    /// else — the dangerous case).
+    pub to_invalid: usize,
+    /// Routes that flipped valid → unknown (nothing else covers them —
+    /// the "merely unauthenticated" case).
+    pub to_unknown: usize,
+}
+
+/// Aggregate Side Effect 6 exposure of a VRP universe.
+#[derive(Debug, Clone, Serialize)]
+pub struct Se6Impact {
+    /// Per-VRP rows (only VRPs whose loss changes something).
+    pub rows: Vec<Se6Row>,
+    /// VRPs whose loss flips at least one route to invalid.
+    pub vrps_with_invalid_fallout: usize,
+    /// VRPs examined.
+    pub vrps_examined: usize,
+}
+
+/// Removes each VRP in turn and measures the fallout on `routes`.
+pub fn se6_missing_roa_impact(vrps: &[Vrp], routes: &[Route]) -> Se6Impact {
+    let full: VrpCache = vrps.iter().copied().collect();
+    let mut rows = Vec::new();
+    let mut with_invalid = 0;
+    for (i, &victim) in vrps.iter().enumerate() {
+        let mut reduced: Vec<Vrp> = vrps.to_vec();
+        reduced.remove(i);
+        let cache: VrpCache = reduced.into_iter().collect();
+        let mut to_invalid = 0;
+        let mut to_unknown = 0;
+        for &route in routes {
+            if full.classify(route) != RouteValidity::Valid {
+                continue;
+            }
+            match cache.classify(route) {
+                RouteValidity::Invalid => to_invalid += 1,
+                RouteValidity::Unknown => to_unknown += 1,
+                RouteValidity::Valid => {}
+            }
+        }
+        if to_invalid > 0 {
+            with_invalid += 1;
+        }
+        if to_invalid + to_unknown > 0 {
+            rows.push(Se6Row { missing: victim, to_invalid, to_unknown });
+        }
+    }
+    Se6Impact { rows, vrps_with_invalid_fallout: with_invalid, vrps_examined: vrps.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipres::{Asn, Prefix};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn v(s: &str, max: u8, asn: u32) -> Vrp {
+        Vrp::new(p(s), max, Asn(asn))
+    }
+
+    fn r(s: &str, asn: u32) -> Route {
+        Route::new(p(s), Asn(asn))
+    }
+
+    #[test]
+    fn se5_counts_flips() {
+        // Figure 5's move: Sprint adds (63.160.0.0/12-13, AS1239) over
+        // a world where 63.161/16 and 63.162/16 are announced without
+        // ROAs.
+        let vrps = vec![v("63.160.64.0/20", 24, 1239)];
+        let routes = vec![
+            r("63.161.0.0/16", 4001),
+            r("63.162.0.0/16", 4002),
+            r("63.160.0.0/12", 1239),
+            r("63.160.0.0/13", 1239),
+            r("63.160.64.0/20", 1239), // already valid: unchanged
+            r("8.8.8.0/24", 15169),    // unrelated: unchanged
+        ];
+        let impact =
+            se5_new_roa_impact(&vrps, v("63.160.0.0/12", 13, 1239), &routes);
+        assert_eq!(impact.newly_invalid, vec![r("63.161.0.0/16", 4001), r("63.162.0.0/16", 4002)]);
+        assert_eq!(
+            impact.newly_valid,
+            vec![r("63.160.0.0/12", 1239), r("63.160.0.0/13", 1239)]
+        );
+        assert_eq!(impact.unchanged, 2);
+    }
+
+    #[test]
+    fn se6_distinguishes_invalid_from_unknown_fallout() {
+        // Two ROAs: a covering /20 and a covered /22. Losing the /22
+        // flips its route to INVALID (the /20 still covers); losing the
+        // /20 flips its route to UNKNOWN (nothing covers a /20 from
+        // above).
+        let vrps = vec![v("63.174.16.0/20", 20, 17054), v("63.174.16.0/22", 22, 7341)];
+        let routes = vec![r("63.174.16.0/20", 17054), r("63.174.16.0/22", 7341)];
+        let impact = se6_missing_roa_impact(&vrps, &routes);
+        assert_eq!(impact.vrps_examined, 2);
+        assert_eq!(impact.vrps_with_invalid_fallout, 1);
+        let covered_loss =
+            impact.rows.iter().find(|row| row.missing.asn == Asn(7341)).unwrap();
+        assert_eq!(covered_loss.to_invalid, 1);
+        assert_eq!(covered_loss.to_unknown, 0);
+        let covering_loss =
+            impact.rows.iter().find(|row| row.missing.asn == Asn(17054)).unwrap();
+        assert_eq!(covering_loss.to_invalid, 0);
+        assert_eq!(covering_loss.to_unknown, 1);
+    }
+
+    #[test]
+    fn se6_quiet_when_nothing_overlaps() {
+        let vrps = vec![v("10.0.0.0/8", 8, 1), v("20.0.0.0/8", 8, 2)];
+        let routes = vec![r("10.0.0.0/8", 1), r("20.0.0.0/8", 2)];
+        let impact = se6_missing_roa_impact(&vrps, &routes);
+        assert_eq!(impact.vrps_with_invalid_fallout, 0);
+        // Losses still degrade to unknown (rows recorded), but never to
+        // invalid.
+        assert!(impact.rows.iter().all(|row| row.to_invalid == 0));
+    }
+
+    #[test]
+    fn se5_duplicate_vrp_changes_nothing() {
+        let vrps = vec![v("10.0.0.0/8", 8, 1)];
+        let impact = se5_new_roa_impact(&vrps, v("10.0.0.0/8", 8, 1), &[r("10.0.0.0/8", 1)]);
+        assert!(impact.newly_invalid.is_empty());
+        assert!(impact.newly_valid.is_empty());
+        assert_eq!(impact.unchanged, 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Table 6: the local-policy tradeoff.
+//!
+//! > "the local policy that is best at protecting against problems with
+//! > BGP is worst at protecting against problems with RPKI."
+//!
+//! Two threat scenarios are run against the same topology and victim:
+//!
+//! - **Routing attack** — a subprefix hijack of the victim's prefix,
+//!   with the victim's ROA intact;
+//! - **RPKI manipulation** — the victim's ROA is whacked while a
+//!   covering ROA remains (so the victim's route is *invalid*), and no
+//!   hijacker is present.
+//!
+//! For each scenario × each relying-party policy, the table reports the
+//! fraction of ASes whose traffic to the victim still reaches it.
+
+use bgp_sim::{propagate, Announcement, RpkiPolicy, Topology};
+use ipres::{Addr, Asn};
+use rpki_rp::VrpCache;
+use serde::Serialize;
+
+/// Reachability outcomes of one scenario under every policy.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioOutcome {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// `(policy, fraction of ASes reaching the victim)`.
+    pub reachability: Vec<(RpkiPolicy, f64)>,
+}
+
+/// The full Table 6.
+#[derive(Debug, Clone, Serialize)]
+pub struct TradeoffTable {
+    /// One row per scenario.
+    pub rows: Vec<ScenarioOutcome>,
+}
+
+impl TradeoffTable {
+    /// The reachability for a scenario/policy pair.
+    pub fn get(&self, scenario: &str, policy: RpkiPolicy) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.scenario == scenario)
+            .and_then(|r| r.reachability.iter().find(|(p, _)| *p == policy))
+            .map(|(_, f)| *f)
+    }
+}
+
+/// Inputs for the tradeoff experiment.
+#[derive(Debug)]
+pub struct TradeoffScenario<'a> {
+    /// The AS topology.
+    pub topology: &'a Topology,
+    /// Background announcements (everyone's legitimate routes),
+    /// including the victim's.
+    pub announcements: &'a [Announcement],
+    /// The victim's announcement (must also appear in
+    /// `announcements`).
+    pub victim: Announcement,
+    /// An address inside the victim's prefix to probe with.
+    pub probe_addr: Addr,
+    /// The hijacker AS (for the routing-attack scenario).
+    pub attacker: Asn,
+    /// The hijacker's announcement (a subprefix of the victim's).
+    pub hijack: Announcement,
+    /// VRP cache with the victim's ROA intact.
+    pub cache_intact: &'a VrpCache,
+    /// VRP cache after the manipulation (victim's ROA whacked, covering
+    /// ROA present).
+    pub cache_whacked: &'a VrpCache,
+}
+
+/// Runs Table 6: both scenarios under `Ignore`, `DropInvalid`, and
+/// `DeprefInvalid`.
+pub fn policy_tradeoff(s: &TradeoffScenario<'_>) -> TradeoffTable {
+    let policies =
+        [RpkiPolicy::Ignore, RpkiPolicy::DropInvalid, RpkiPolicy::DeprefInvalid];
+
+    // Scenario A: routing attack (subprefix hijack), RPKI intact.
+    let mut attack_anns = s.announcements.to_vec();
+    attack_anns.push(s.hijack);
+    let mut attack_row =
+        ScenarioOutcome { scenario: "routing attack", reachability: Vec::new() };
+    // The denominator is "other networks": the attacker (who reaches
+    // itself by construction) and the victim (likewise) are excluded.
+    let probes = |state: &bgp_sim::RoutingState| {
+        state.reachability_of(
+            s.topology.ases().filter(|a| *a != s.attacker && *a != s.victim.origin),
+            s.probe_addr,
+            s.victim.origin,
+        )
+    };
+    for policy in policies {
+        let state = propagate(s.topology, &attack_anns, policy, s.cache_intact);
+        attack_row.reachability.push((policy, probes(&state)));
+    }
+
+    // Scenario B: RPKI manipulation (ROA whacked), no hijacker.
+    let mut manip_row =
+        ScenarioOutcome { scenario: "RPKI manipulation", reachability: Vec::new() };
+    for policy in policies {
+        let state = propagate(s.topology, s.announcements, policy, s.cache_whacked);
+        manip_row.reachability.push((policy, probes(&state)));
+    }
+
+    TradeoffTable { rows: vec![attack_row, manip_row] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{asn, ModelRpki};
+    use rpki_objects::Moment;
+    use rpki_rp::Vrp;
+
+    /// Builds the Table 6 inputs from the model world: the victim is
+    /// Continental's /20; the hijacker announces a /24 inside it.
+    fn scenario(w: &ModelRpki) -> (VrpCache, VrpCache, Announcement, Announcement) {
+        let intact = w.validate_direct(Moment(2)).vrp_cache();
+        // Whacked: remove the /20 VRP; the Figure 5 (right) covering
+        // ROA from Sprint remains so the route is INVALID, not unknown.
+        let mut whacked_vrps: Vec<Vrp> =
+            intact.vrps().iter().copied().filter(|v| v.asn != asn::CONTINENTAL).collect();
+        whacked_vrps.push(Vrp::new("63.160.0.0/12".parse().unwrap(), 13, asn::SPRINT));
+        let mut intact_vrps = intact.vrps().to_vec();
+        intact_vrps.push(Vrp::new("63.160.0.0/12".parse().unwrap(), 13, asn::SPRINT));
+        let victim =
+            Announcement { prefix: "63.174.16.0/20".parse().unwrap(), origin: asn::CONTINENTAL };
+        let hijack =
+            Announcement { prefix: "63.174.24.0/24".parse().unwrap(), origin: Asn(666) };
+        (
+            intact_vrps.into_iter().collect(),
+            whacked_vrps.into_iter().collect(),
+            victim,
+            hijack,
+        )
+    }
+
+    #[test]
+    fn table6_shape_holds() {
+        let mut w = ModelRpki::build();
+        // The attacker is a customer of Sprint (well connected).
+        w.topology.add_provider_customer(asn::SPRINT, Asn(666));
+        let (cache_intact, cache_whacked, victim, hijack) = scenario(&w);
+        let table = policy_tradeoff(&TradeoffScenario {
+            topology: &w.topology,
+            announcements: &w.announcements,
+            victim,
+            probe_addr: "63.174.24.9".parse().unwrap(),
+            attacker: Asn(666),
+            hijack,
+            cache_intact: &cache_intact,
+            cache_whacked: &cache_whacked,
+        });
+
+        // Table 6, row "drop invalid": protects against the attack but
+        // loses the prefix under manipulation.
+        let drop_attack = table.get("routing attack", RpkiPolicy::DropInvalid).unwrap();
+        let drop_manip = table.get("RPKI manipulation", RpkiPolicy::DropInvalid).unwrap();
+        assert_eq!(drop_attack, 1.0, "drop-invalid stops the hijack");
+        assert_eq!(drop_manip, 0.0, "drop-invalid loses the whacked prefix");
+
+        // Row "depref invalid": hijack succeeds (LPM), manipulation
+        // survivable.
+        let depref_attack = table.get("routing attack", RpkiPolicy::DeprefInvalid).unwrap();
+        let depref_manip =
+            table.get("RPKI manipulation", RpkiPolicy::DeprefInvalid).unwrap();
+        assert!(depref_attack < 1.0, "subprefix hijack possible under depref");
+        assert_eq!(depref_manip, 1.0, "depref keeps the whacked prefix reachable");
+
+        // Baseline: ignoring the RPKI, the hijack captures traffic.
+        let ignore_attack = table.get("routing attack", RpkiPolicy::Ignore).unwrap();
+        assert!(ignore_attack < 1.0);
+        assert_eq!(table.get("RPKI manipulation", RpkiPolicy::Ignore).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn get_on_missing_keys() {
+        let table = TradeoffTable { rows: vec![] };
+        assert!(table.get("nope", RpkiPolicy::Ignore).is_none());
+    }
+}

@@ -1,0 +1,162 @@
+//! Autonomous system numbers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A 32-bit autonomous system number, e.g. `AS1239` (Sprint in the
+/// paper's Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// The raw number.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+/// Error parsing an [`Asn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsnParseError(String);
+
+impl fmt::Display for AsnParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ASN: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for AsnParseError {}
+
+impl FromStr for Asn {
+    type Err = AsnParseError;
+
+    /// Accepts `"1239"` or `"AS1239"` (case-insensitive prefix).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.strip_prefix("AS").or_else(|| s.strip_prefix("as")).unwrap_or(s);
+        digits.parse::<u32>().map(Asn).map_err(|_| AsnParseError(s.to_owned()))
+    }
+}
+
+/// A sorted set of ASNs. Resource certificates may carry AS resources in
+/// addition to IP resources; the simulator uses this for completeness of
+/// the RFC 3779 model even though the paper's attacks act on IP space.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct AsnSet {
+    /// Sorted, deduplicated members.
+    members: Vec<Asn>,
+}
+
+impl AsnSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        AsnSet::default()
+    }
+
+    /// Builds a set from any iterator (duplicates welcome).
+    pub fn from_iter_normalised<I: IntoIterator<Item = Asn>>(iter: I) -> Self {
+        let mut members: Vec<Asn> = iter.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        AsnSet { members }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.members.binary_search(&asn).is_ok()
+    }
+
+    /// Subset test.
+    pub fn contains_set(&self, other: &AsnSet) -> bool {
+        other.members.iter().all(|a| self.contains(*a))
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &AsnSet) -> AsnSet {
+        AsnSet::from_iter_normalised(self.members.iter().chain(other.members.iter()).copied())
+    }
+
+    /// The members, sorted.
+    pub fn members(&self) -> &[Asn] {
+        &self.members
+    }
+}
+
+impl FromIterator<Asn> for AsnSet {
+    fn from_iter<T: IntoIterator<Item = Asn>>(iter: T) -> Self {
+        AsnSet::from_iter_normalised(iter)
+    }
+}
+
+impl fmt::Display for AsnSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.members.iter().map(|a| a.to_string()).collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_both_forms() {
+        assert_eq!("1239".parse::<Asn>().unwrap(), Asn(1239));
+        assert_eq!("AS1239".parse::<Asn>().unwrap(), Asn(1239));
+        assert_eq!("as17054".parse::<Asn>().unwrap(), Asn(17054));
+        assert!("ASX".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Asn(7341).to_string(), "AS7341");
+    }
+
+    #[test]
+    fn set_dedup_and_membership() {
+        let s: AsnSet = [Asn(3), Asn(1), Asn(3), Asn(2)].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(Asn(2)));
+        assert!(!s.contains(Asn(4)));
+        assert!(s.contains_set(&[Asn(1), Asn(3)].into_iter().collect()));
+        assert!(!s.contains_set(&[Asn(1), Asn(4)].into_iter().collect()));
+    }
+
+    #[test]
+    fn union_merges() {
+        let a: AsnSet = [Asn(1), Asn(2)].into_iter().collect();
+        let b: AsnSet = [Asn(2), Asn(3)].into_iter().collect();
+        assert_eq!(a.union(&b), [Asn(1), Asn(2), Asn(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn empty_set_is_subset_of_everything() {
+        let a: AsnSet = [Asn(1)].into_iter().collect();
+        assert!(a.contains_set(&AsnSet::empty()));
+        assert!(AsnSet::empty().contains_set(&AsnSet::empty()));
+    }
+}

@@ -1,0 +1,40 @@
+//! IP resource algebra for the `rpki-risk` workspace.
+//!
+//! The RPKI binds *arbitrary sets of IP addresses* (not single names) to
+//! cryptographic keys, and every attack in *On the Risk of Misbehaving
+//! RPKI Authorities* (HotNets '13) is ultimately an operation on those
+//! sets: carving a target ROA's space out of a resource certificate,
+//! checking RFC 3779 containment during chain validation, or finding the
+//! covering ROAs that drive RFC 6811 origin validation.
+//!
+//! This crate provides the substrate:
+//!
+//! - [`Addr`], [`Family`] — IPv4/IPv6 addresses on a unified `u128` spine.
+//! - [`Prefix`] — CIDR prefixes with cover/overlap tests and parsing.
+//! - [`AddrRange`] — inclusive address ranges (RCs may hold non-CIDR
+//!   ranges; the paper's Figure 3 carve-out produces exactly those).
+//! - [`ResourceSet`] — canonical disjoint-sorted range sets with full
+//!   lattice operations (union, intersection, difference, containment).
+//! - [`Asn`], [`AsnSet`] — autonomous system numbers and sets thereof.
+//! - [`PrefixTrie`] — a binary radix trie for longest-prefix-match and
+//!   covering/covered-by queries over large prefix collections.
+//!
+//! Everything here is deterministic, allocation-light, and panics only
+//! on programmer error (documented per method).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod asn;
+pub mod prefix;
+pub mod range;
+pub mod set;
+pub mod trie;
+
+pub use addr::{Addr, AddrParseError, Family};
+pub use asn::{Asn, AsnSet};
+pub use prefix::{Prefix, PrefixParseError};
+pub use range::AddrRange;
+pub use set::ResourceSet;
+pub use trie::PrefixTrie;

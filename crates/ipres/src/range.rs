@@ -1,0 +1,226 @@
+//! Inclusive address ranges.
+//!
+//! Resource certificates may hold address blocks that are not CIDR
+//! prefixes — the paper's Figure 3 shows Sprint overwriting Continental
+//! Broadband's RC with the ranges `[63.174.16.0–63.174.23.255]` and
+//! `[63.174.25.0–63.174.31.255]`, which is exactly a carve-out that no
+//! single prefix can express. [`AddrRange`] is the primitive;
+//! [`ResourceSet`](crate::ResourceSet) holds canonical unions of them.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Addr, Family};
+use crate::prefix::Prefix;
+
+/// An inclusive range of addresses `[lo, hi]` within one family.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AddrRange {
+    lo: Addr,
+    hi: Addr,
+}
+
+impl AddrRange {
+    /// Builds a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints mix families or `lo > hi`.
+    pub fn new(lo: Addr, hi: Addr) -> Self {
+        assert_eq!(lo.family(), hi.family(), "range endpoints must share a family");
+        assert!(lo <= hi, "range lo must not exceed hi");
+        AddrRange { lo, hi }
+    }
+
+    /// The lowest address in the range.
+    #[inline]
+    pub const fn lo(self) -> Addr {
+        self.lo
+    }
+
+    /// The highest address in the range.
+    #[inline]
+    pub const fn hi(self) -> Addr {
+        self.hi
+    }
+
+    /// The address family.
+    #[inline]
+    pub const fn family(self) -> Family {
+        self.lo.family()
+    }
+
+    /// Number of addresses in the range. Saturates at `u128::MAX` for
+    /// the full IPv6 space (which contains `u128::MAX + 1` addresses).
+    pub fn size(self) -> u128 {
+        (self.hi.value() - self.lo.value()).saturating_add(1)
+    }
+
+    /// Whether `addr` falls inside the range.
+    pub fn contains_addr(self, addr: Addr) -> bool {
+        addr.family() == self.family() && self.lo <= addr && addr <= self.hi
+    }
+
+    /// Whether `self` fully contains `other`.
+    pub fn contains(self, other: AddrRange) -> bool {
+        self.family() == other.family() && self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Whether the ranges share any address.
+    pub fn overlaps(self, other: AddrRange) -> bool {
+        self.family() == other.family() && self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// The intersection of two ranges, if non-empty.
+    pub fn intersect(self, other: AddrRange) -> Option<AddrRange> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        Some(AddrRange::new(self.lo.max(other.lo), self.hi.min(other.hi)))
+    }
+
+    /// Whether `other` starts immediately after `self` ends (so the two
+    /// can merge into one run).
+    pub fn abuts(self, other: AddrRange) -> bool {
+        self.family() == other.family()
+            && match self.hi.succ() {
+                Some(next) => next == other.lo,
+                None => false,
+            }
+    }
+
+    /// Decomposes the range into the minimal list of CIDR prefixes that
+    /// exactly tile it, in address order.
+    ///
+    /// This is the classic greedy alignment walk: at each step emit the
+    /// largest prefix that starts at the cursor and fits in what
+    /// remains.
+    pub fn to_prefixes(self) -> Vec<Prefix> {
+        let fam = self.family();
+        let bits = fam.bits() as u32;
+        let mut out = Vec::new();
+        let mut cur = self.lo.value();
+        let end = self.hi.value();
+        loop {
+            // Largest block size allowed by the alignment of `cur`.
+            let align = if cur == 0 { bits } else { cur.trailing_zeros().min(bits) };
+            // Largest block size that still fits before `end`.
+            let remaining = end - cur + 1; // >= 1; cannot overflow: end >= cur
+            // floor(log2(remaining)); remaining >= 1.
+            let fit = 127 - remaining.leading_zeros();
+            let k = align.min(fit).min(bits);
+            let len = (bits - k) as u8;
+            out.push(Prefix::new(Addr::new(fam, cur), len));
+            let step = 1u128 << k;
+            match cur.checked_add(step) {
+                Some(next) if next <= end => cur = next,
+                _ => break,
+            }
+        }
+        out
+    }
+}
+
+impl From<Prefix> for AddrRange {
+    fn from(p: Prefix) -> Self {
+        p.range()
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}-{}]", self.lo, self.hi)
+    }
+}
+
+impl fmt::Debug for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AddrRange({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: &str, hi: &str) -> AddrRange {
+        AddrRange::new(lo.parse().unwrap(), hi.parse().unwrap())
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn size_and_contains() {
+        let range = r("63.174.16.0", "63.174.23.255");
+        assert_eq!(range.size(), 2048);
+        assert!(range.contains_addr("63.174.20.1".parse().unwrap()));
+        assert!(!range.contains_addr("63.174.24.0".parse().unwrap()));
+        assert!(range.contains(r("63.174.17.0", "63.174.17.255")));
+        assert!(!range.contains(r("63.174.17.0", "63.174.24.0")));
+    }
+
+    #[test]
+    fn intersect_and_overlap() {
+        let a = r("10.0.0.0", "10.0.0.255");
+        let b = r("10.0.0.128", "10.0.1.255");
+        assert!(a.overlaps(b));
+        assert_eq!(a.intersect(b), Some(r("10.0.0.128", "10.0.0.255")));
+        let c = r("10.0.2.0", "10.0.2.255");
+        assert!(!a.overlaps(c));
+        assert_eq!(a.intersect(c), None);
+    }
+
+    #[test]
+    fn abuts_merges_only_adjacent() {
+        assert!(r("10.0.0.0", "10.0.0.127").abuts(r("10.0.0.128", "10.0.0.255")));
+        assert!(!r("10.0.0.0", "10.0.0.127").abuts(r("10.0.0.129", "10.0.0.255")));
+        // Top of space never abuts anything.
+        assert!(!r("255.255.255.0", "255.255.255.255").abuts(r("0.0.0.0", "0.0.0.1")));
+    }
+
+    #[test]
+    fn prefix_round_trip() {
+        let pre = p("63.174.16.0/20");
+        assert_eq!(AddrRange::from(pre).to_prefixes(), vec![pre]);
+    }
+
+    #[test]
+    fn figure3_carveout_decomposition() {
+        // [63.174.16.0 - 63.174.23.255] = 63.174.16.0/21
+        assert_eq!(r("63.174.16.0", "63.174.23.255").to_prefixes(), vec![p("63.174.16.0/21")]);
+        // [63.174.25.0 - 63.174.31.255] = /24 + /23 + /22 (greedy walk).
+        assert_eq!(
+            r("63.174.25.0", "63.174.31.255").to_prefixes(),
+            vec![p("63.174.25.0/24"), p("63.174.26.0/23"), p("63.174.28.0/22")]
+        );
+    }
+
+    #[test]
+    fn full_v4_space_decomposes_to_default() {
+        assert_eq!(r("0.0.0.0", "255.255.255.255").to_prefixes(), vec![p("0.0.0.0/0")]);
+    }
+
+    #[test]
+    fn unaligned_range_decomposition_covers_exactly() {
+        let range = r("10.0.0.3", "10.0.0.9");
+        let prefixes = range.to_prefixes();
+        let total: u128 = prefixes.iter().map(|q| q.range().size()).sum();
+        assert_eq!(total, range.size());
+        for q in &prefixes {
+            assert!(range.contains(q.range()));
+        }
+        // Tiles must be disjoint and sorted.
+        for w in prefixes.windows(2) {
+            assert!(w[0].range().hi() < w[1].range().lo());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must not exceed hi")]
+    fn inverted_range_panics() {
+        let _ = r("10.0.0.9", "10.0.0.3");
+    }
+}

@@ -1,0 +1,43 @@
+//! CA engine errors.
+
+use std::fmt;
+
+use ipres::ResourceSet;
+
+/// Why an issuance request was refused by an *honest* CA. (Misbehaving
+/// CAs in this workspace never need to violate these rules: every attack
+/// in the paper stays within the authority's legitimate powers.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IssueError {
+    /// This CA holds no certificate yet (its parent has not certified
+    /// it), so it cannot issue.
+    NoCertificate,
+    /// The requested resources are not contained in this CA's own
+    /// allocation (RFC 3779 would invalidate the child anyway).
+    ResourcesNotHeld {
+        /// The portion of the request outside the CA's allocation.
+        excess: ResourceSet,
+    },
+    /// The requested validity window extends beyond the CA's own
+    /// certificate validity.
+    ValidityOutlivesIssuer,
+    /// No issued object with the given file name exists.
+    NoSuchObject(String),
+}
+
+impl fmt::Display for IssueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssueError::NoCertificate => f.write_str("CA holds no certificate"),
+            IssueError::ResourcesNotHeld { excess } => {
+                write!(f, "requested resources not held: excess {excess}")
+            }
+            IssueError::ValidityOutlivesIssuer => {
+                f.write_str("requested validity outlives issuer certificate")
+            }
+            IssueError::NoSuchObject(name) => write!(f, "no issued object named {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IssueError {}

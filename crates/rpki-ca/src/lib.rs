@@ -1,0 +1,30 @@
+//! The RPKI certification authority engine.
+//!
+//! A [`CertAuthority`] owns a key pair, holds the resource certificate
+//! its parent issued to it, and issues objects of its own: child RCs
+//! (suballocation), ROAs, a CRL, and a manifest. Its *publication
+//! snapshot* is the set of files it currently serves at its publication
+//! point — the unit the repository crate stores and relying parties
+//! fetch.
+//!
+//! The engine exposes both halves of the paper's threat model:
+//!
+//! - **Honest operation** — issuance with RFC 3779 containment checks,
+//!   CRL-based revocation, renewal, manifest regeneration, and RFC 6489
+//!   key rollover.
+//! - **Misbehaviour** — the same authority powers, used abusively:
+//!   [`CertAuthority::withdraw`] deletes an object *without* a CRL entry
+//!   (Side Effect 2, stealthy revocation); reissuing a child RC for the
+//!   same subject key with shrunken resources *overwrites* the old one
+//!   (Side Effect 3, targeted whacking). The attack planners in
+//!   `rpki-attacks` drive exactly these methods — misbehaviour is not a
+//!   separate code path, which is the paper's point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod authority;
+pub mod errors;
+
+pub use authority::{AuthoritySummary, CertAuthority, PublicationSnapshot, RolloverReport};
+pub use errors::IssueError;

@@ -1,0 +1,200 @@
+//! rsync-style repository URIs.
+//!
+//! RFC 6481 stores RPKI objects at publication points named by rsync
+//! URIs. The *location* of an object matters enormously in the flipped
+//! threat model: objects live in directories **controlled by their
+//! issuer** (not their subject), which is what makes stealthy revocation
+//! (Side Effect 2) and the repository-inside-its-own-ROA circularity
+//! (Side Effect 7) possible. A [`RepoUri`] names a repository host
+//! (module) and a path below it.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{Decode, DecodeError, Encode, Reader, Writer};
+
+/// An rsync-style URI: `rsync://<host>/<path...>`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RepoUri {
+    /// The repository host, e.g. `rpki.sprint.example`. Repositories are
+    /// registered in the network simulator under this name; whether the
+    /// host is *reachable* depends on BGP (Section 6 of the paper).
+    host: String,
+    /// Path components below the host, e.g. `["repo", "a1b2c3.roa"]`.
+    path: Vec<String>,
+}
+
+/// Error parsing a [`RepoUri`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UriParseError(String);
+
+impl fmt::Display for UriParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rsync URI: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UriParseError {}
+
+impl RepoUri {
+    /// Builds a URI from a host and path components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host or any component is empty or contains `/`
+    /// (programmer error in fixture code).
+    pub fn new(host: &str, path: &[&str]) -> Self {
+        assert!(!host.is_empty() && !host.contains('/'), "bad URI host {host:?}");
+        for c in path {
+            assert!(!c.is_empty() && !c.contains('/'), "bad URI path component {c:?}");
+        }
+        RepoUri { host: host.to_owned(), path: path.iter().map(|s| (*s).to_owned()).collect() }
+    }
+
+    /// The repository host.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The path components.
+    pub fn path(&self) -> &[String] {
+        &self.path
+    }
+
+    /// The final path component (the object's file name), if any.
+    pub fn file_name(&self) -> Option<&str> {
+        self.path.last().map(String::as_str)
+    }
+
+    /// A new URI with `component` appended.
+    pub fn join(&self, component: &str) -> RepoUri {
+        assert!(
+            !component.is_empty() && !component.contains('/'),
+            "bad URI path component {component:?}"
+        );
+        let mut path = self.path.clone();
+        path.push(component.to_owned());
+        RepoUri { host: self.host.clone(), path }
+    }
+
+    /// Whether `self` is a directory prefix of `other` (same host, path
+    /// is a proper or improper prefix).
+    pub fn contains(&self, other: &RepoUri) -> bool {
+        self.host == other.host
+            && self.path.len() <= other.path.len()
+            && self.path.iter().zip(&other.path).all(|(a, b)| a == b)
+    }
+}
+
+impl fmt::Display for RepoUri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rsync://{}", self.host)?;
+        for c in &self.path {
+            write!(f, "/{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for RepoUri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RepoUri({self})")
+    }
+}
+
+impl FromStr for RepoUri {
+    type Err = UriParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || UriParseError(s.to_owned());
+        let rest = s.strip_prefix("rsync://").ok_or_else(err)?;
+        let mut parts = rest.split('/');
+        let host = parts.next().filter(|h| !h.is_empty()).ok_or_else(err)?;
+        let path: Vec<String> = parts.map(str::to_owned).collect();
+        if path.iter().any(String::is_empty) {
+            return Err(err());
+        }
+        Ok(RepoUri { host: host.to_owned(), path })
+    }
+}
+
+impl Encode for RepoUri {
+    fn encode(&self, out: &mut Vec<u8>) {
+        Writer::string(out, &self.host);
+        self.path.encode(out);
+    }
+}
+
+impl Decode for RepoUri {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let host = r.string()?;
+        let path = Vec::<String>::decode(r)?;
+        if host.is_empty() || host.contains('/') {
+            return Err(DecodeError::Invalid("bad URI host"));
+        }
+        if path.iter().any(|c| c.is_empty() || c.contains('/')) {
+            return Err(DecodeError::Invalid("bad URI path component"));
+        }
+        Ok(RepoUri { host, path })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let u: RepoUri = "rsync://rpki.sprint.example/repo/x.roa".parse().unwrap();
+        assert_eq!(u.host(), "rpki.sprint.example");
+        assert_eq!(u.file_name(), Some("x.roa"));
+        assert_eq!(u.to_string(), "rsync://rpki.sprint.example/repo/x.roa");
+    }
+
+    #[test]
+    fn parse_host_only() {
+        let u: RepoUri = "rsync://h".parse().unwrap();
+        assert_eq!(u.path(), &[] as &[String]);
+        assert_eq!(u.file_name(), None);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("http://x/y".parse::<RepoUri>().is_err());
+        assert!("rsync://".parse::<RepoUri>().is_err());
+        assert!("rsync://h//double".parse::<RepoUri>().is_err());
+    }
+
+    #[test]
+    fn join_and_contains() {
+        let dir = RepoUri::new("h", &["repo"]);
+        let file = dir.join("a.cer");
+        assert_eq!(file.to_string(), "rsync://h/repo/a.cer");
+        assert!(dir.contains(&file));
+        assert!(dir.contains(&dir));
+        assert!(!file.contains(&dir));
+        assert!(!RepoUri::new("other", &["repo"]).contains(&file));
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let u = RepoUri::new("rpki.arin.example", &["repo", "sprint", "rc.cer"]);
+        assert_eq!(RepoUri::from_bytes(&u.to_bytes()).unwrap(), u);
+    }
+
+    #[test]
+    fn codec_rejects_bad_components() {
+        let mut bytes = Vec::new();
+        Writer::string(&mut bytes, "host");
+        vec!["ok".to_owned(), "bad/slash".to_owned()].encode(&mut bytes);
+        assert!(matches!(RepoUri::from_bytes(&bytes), Err(DecodeError::Invalid(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad URI path component")]
+    fn join_rejects_slash() {
+        let _ = RepoUri::new("h", &[]).join("a/b");
+    }
+}

@@ -1,0 +1,100 @@
+//! Decoder robustness: repositories are untrusted byte stores and the
+//! network corrupts frames, so every decoder must be total — any input
+//! either decodes or returns an error, never panics, and decoded values
+//! re-encode canonically.
+
+use proptest::prelude::*;
+use rpki_objects::{
+    Crl, Decode, Encode, Manifest, Moment, RepoUri, ResourceCert, Roa, RpkiObject, Span,
+};
+
+fn valid_object() -> RpkiObject {
+    use ipres::{Asn, AsnSet, ResourceSet};
+    use rpki_objects::{CertData, RoaData, RoaPrefix, Validity};
+    use rpkisim_crypto::KeyPair;
+
+    let ca = KeyPair::from_seed("robustness-ca");
+    let ee = KeyPair::from_seed("robustness-ee");
+    let roa = Roa::issue(
+        RoaData {
+            asn: Asn(64500),
+            prefixes: vec![
+                RoaPrefix::up_to("10.0.0.0/16".parse().unwrap(), 24),
+                RoaPrefix::exact("2001:db8::/32".parse().unwrap()),
+            ],
+        },
+        5,
+        Validity::starting(Moment(0), Span::days(30)),
+        &ca,
+        &ee,
+    );
+    let _ = CertData {
+        serial: 0,
+        subject: String::new(),
+        subject_key: ca.public(),
+        resources: ResourceSet::empty(),
+        as_resources: AsnSet::empty(),
+        validity: Validity::starting(Moment(0), Span(1)),
+        issuer_key: ca.id(),
+        sia: RepoUri::new("h", &[]),
+        crl_dp: None,
+    };
+    RpkiObject::Roa(roa)
+}
+
+proptest! {
+    /// Arbitrary bytes never panic any decoder.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = RpkiObject::from_bytes(&bytes);
+        let _ = ResourceCert::from_bytes(&bytes);
+        let _ = Roa::from_bytes(&bytes);
+        let _ = Crl::from_bytes(&bytes);
+        let _ = Manifest::from_bytes(&bytes);
+        let _ = RepoUri::from_bytes(&bytes);
+    }
+
+    /// Single-byte corruptions of a valid object either fail to decode
+    /// or decode to a *different* value (no silent aliasing), and when
+    /// they decode, re-encoding is canonical (round-trip stable).
+    #[test]
+    fn bitflips_never_alias(pos in 0usize..usize::MAX, bit in 0u8..8) {
+        let obj = valid_object();
+        let bytes = obj.to_bytes();
+        let pos = pos % bytes.len();
+        let mut mutated = bytes.clone();
+        mutated[pos] ^= 1 << bit;
+        match RpkiObject::from_bytes(&mutated) {
+            Err(_) => {}
+            Ok(decoded) => {
+                prop_assert_ne!(&decoded, &obj, "corruption at byte {} aliased", pos);
+                // Canonical re-encode.
+                let re = decoded.to_bytes();
+                let re2 = RpkiObject::from_bytes(&re).expect("canonical bytes decode");
+                prop_assert_eq!(decoded, re2);
+            }
+        }
+    }
+
+    /// Truncations never panic and never decode successfully (a prefix
+    /// of a canonical encoding is never itself canonical, because the
+    /// outer value must consume all input).
+    #[test]
+    fn truncations_fail_cleanly(cut in 0usize..usize::MAX) {
+        let obj = valid_object();
+        let bytes = obj.to_bytes();
+        let cut = cut % bytes.len(); // strictly shorter
+        prop_assert!(RpkiObject::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Appending garbage to a canonical encoding is always rejected
+    /// (trailing bytes are an error, which is what lets signatures be
+    /// computed over exact byte strings).
+    #[test]
+    fn trailing_garbage_rejected(extra in proptest::collection::vec(any::<u8>(), 1..16)) {
+        let obj = valid_object();
+        let mut bytes = obj.to_bytes();
+        bytes.extend_from_slice(&extra);
+        prop_assert!(RpkiObject::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! The synchronous sync driver.
+//!
+//! [`sync_dir`] performs one rsync-like session: list a directory, fetch
+//! every file, and report exactly what arrived — intact bytes, corrupted
+//! bytes, or nothing. It pumps the `netsim` event loop itself, answering
+//! requests that land on repository nodes, so callers stay simple.
+//!
+//! The outcome is deliberately *not* an `Err` when files are missing:
+//! per the paper, partial data is the dangerous case (Side Effect 6),
+//! and the relying party must decide what a gap means. Only total
+//! unreachability is reported as such.
+
+use std::collections::{BTreeMap, HashMap};
+
+use netsim::{Network, NodeId, Occurrence};
+use rpki_objects::{Decode, Encode, RepoUri};
+
+use crate::proto::{RsyncRequest, RsyncResponse};
+use crate::store::Repository;
+
+/// All repositories in the simulated world, keyed by serving node.
+#[derive(Debug, Default)]
+pub struct RepoRegistry {
+    by_node: HashMap<NodeId, Repository>,
+}
+
+impl RepoRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        RepoRegistry::default()
+    }
+
+    /// Creates a repository host: registers a network node under
+    /// `host` and a [`Repository`] served by it.
+    pub fn create(&mut self, net: &mut Network, host: &str) -> NodeId {
+        let node = net.add_node(host);
+        self.by_node.insert(node, Repository::new(host, node));
+        node
+    }
+
+    /// The repository served by `node`.
+    pub fn get(&self, node: NodeId) -> Option<&Repository> {
+        self.by_node.get(&node)
+    }
+
+    /// Mutable access to the repository served by `node`.
+    pub fn get_mut(&mut self, node: NodeId) -> &mut Repository {
+        self.by_node.get_mut(&node).expect("no repository at node")
+    }
+
+    /// Finds the repository serving `host`.
+    pub fn by_host(&self, host: &str) -> Option<&Repository> {
+        self.by_node.values().find(|r| r.host() == host)
+    }
+
+    /// Mutable access by host name.
+    pub fn by_host_mut(&mut self, host: &str) -> Option<&mut Repository> {
+        self.by_node.values_mut().find(|r| r.host() == host)
+    }
+
+    /// The node serving `host`.
+    pub fn node_of(&self, host: &str) -> Option<NodeId> {
+        self.by_host(host).map(Repository::node)
+    }
+
+    /// Iterates all repositories.
+    pub fn iter(&self) -> impl Iterator<Item = &Repository> {
+        self.by_node.values()
+    }
+
+    /// Answers one decoded request against the stored data.
+    fn answer(&self, node: NodeId, req: &RsyncRequest) -> RsyncResponse {
+        let Some(repo) = self.by_node.get(&node) else {
+            // A request landed on a non-repository node; treat as empty.
+            return match req {
+                RsyncRequest::List { dir } => {
+                    RsyncResponse::NotFound { dir: dir.clone(), name: None }
+                }
+                RsyncRequest::Get { dir, name } => {
+                    RsyncResponse::NotFound { dir: dir.clone(), name: Some(name.clone()) }
+                }
+            };
+        };
+        match req {
+            RsyncRequest::List { dir } => {
+                let entries = repo.list(dir);
+                if entries.is_empty() {
+                    RsyncResponse::NotFound { dir: dir.clone(), name: None }
+                } else {
+                    RsyncResponse::Listing { dir: dir.clone(), entries }
+                }
+            }
+            RsyncRequest::Get { dir, name } => match repo.fetch(dir, name) {
+                Some(bytes) => RsyncResponse::File {
+                    dir: dir.clone(),
+                    name: name.clone(),
+                    bytes: bytes.to_vec(),
+                },
+                None => RsyncResponse::NotFound { dir: dir.clone(), name: Some(name.clone()) },
+            },
+        }
+    }
+}
+
+/// What one directory sync produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncOutcome {
+    /// The directory synced.
+    pub dir: RepoUri,
+    /// Files that arrived (bytes exactly as received — corruption, if
+    /// any, is *in* these bytes, for the relying party to detect).
+    pub files: BTreeMap<String, Vec<u8>>,
+    /// Files the listing promised but that never arrived intact as a
+    /// frame (dropped in flight, or response frame corrupted beyond
+    /// decoding).
+    pub missing: Vec<String>,
+    /// Whether the listing itself was obtained. `false` means the
+    /// repository was effectively unreachable this session.
+    pub listed: bool,
+}
+
+impl SyncOutcome {
+    /// Whether every listed file arrived (says nothing about content
+    /// integrity — that is the relying party's manifest check).
+    pub fn complete(&self) -> bool {
+        self.listed && self.missing.is_empty()
+    }
+}
+
+/// Runs one sync session of `dir` from the relying party's node
+/// `client` against the world's repositories.
+///
+/// Pumps the network until idle; any message addressed to a repository
+/// node is answered from the registry (so concurrent scenarios with
+/// multiple repositories work), and messages to other nodes are
+/// dropped on the floor (no one is listening).
+pub fn sync_dir(
+    net: &mut Network,
+    repos: &RepoRegistry,
+    client: NodeId,
+    dir: &RepoUri,
+) -> SyncOutcome {
+    let server = match repos.node_of(dir.host()) {
+        Some(n) => n,
+        None => {
+            // Host not in this world at all: like DNS failure.
+            return SyncOutcome {
+                dir: dir.clone(),
+                files: BTreeMap::new(),
+                missing: Vec::new(),
+                listed: false,
+            };
+        }
+    };
+
+    let mut outcome = SyncOutcome {
+        dir: dir.clone(),
+        files: BTreeMap::new(),
+        missing: Vec::new(),
+        listed: false,
+    };
+    let mut expected: Vec<String> = Vec::new();
+    let mut received: Vec<String> = Vec::new();
+
+    net.send(client, server, RsyncRequest::List { dir: dir.clone() }.to_bytes());
+
+    while let Some(occ) = net.step() {
+        let delivery = match occ {
+            Occurrence::Delivered(d) => d,
+            Occurrence::Dropped { .. } | Occurrence::Timer { .. } => continue,
+        };
+        if delivery.to == client {
+            // A response frame for us.
+            let Ok(resp) = RsyncResponse::from_bytes(&delivery.payload) else {
+                // Frame corrupted beyond parsing: a torn session; the
+                // file (unknown which) never arrives. Handled below via
+                // the expected/received diff.
+                continue;
+            };
+            match resp {
+                RsyncResponse::Listing { entries, .. } => {
+                    outcome.listed = true;
+                    for (name, _digest) in entries {
+                        expected.push(name.clone());
+                        net.send(
+                            client,
+                            server,
+                            RsyncRequest::Get { dir: dir.clone(), name }.to_bytes(),
+                        );
+                    }
+                }
+                RsyncResponse::File { name, bytes, .. } => {
+                    received.push(name.clone());
+                    outcome.files.insert(name, bytes);
+                }
+                RsyncResponse::NotFound { name, .. } => {
+                    if name.is_none() {
+                        // Directory absent: an empty (but reachable)
+                        // publication point.
+                        outcome.listed = true;
+                    }
+                }
+            }
+        } else if delivery.to == server || repos.get(delivery.to).is_some() {
+            // A request frame for a repository.
+            if let Ok(req) = RsyncRequest::from_bytes(&delivery.payload) {
+                let resp = repos.answer(delivery.to, &req);
+                net.send(delivery.to, delivery.from, resp.to_bytes());
+            }
+            // An unparseable request is a torn session: no response.
+        }
+    }
+
+    outcome.missing = expected.into_iter().filter(|n| !received.contains(n)).collect();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Network;
+
+    fn world() -> (Network, RepoRegistry, NodeId, NodeId, RepoUri) {
+        let mut net = Network::new(1);
+        let client = net.add_node("relying-party");
+        let mut repos = RepoRegistry::new();
+        let server = repos.create(&mut net, "rpki.sprint.example");
+        let dir = RepoUri::new("rpki.sprint.example", &["repo"]);
+        let repo = repos.get_mut(server);
+        repo.publish_raw(&dir, "a.roa", vec![1, 2, 3]);
+        repo.publish_raw(&dir, "b.cer", vec![4, 5]);
+        (net, repos, client, server, dir)
+    }
+
+    #[test]
+    fn clean_sync_fetches_everything() {
+        let (mut net, repos, client, _, dir) = world();
+        let out = sync_dir(&mut net, &repos, client, &dir);
+        assert!(out.listed);
+        assert!(out.complete());
+        assert_eq!(out.files.len(), 2);
+        assert_eq!(out.files["a.roa"], vec![1, 2, 3]);
+        assert_eq!(out.files["b.cer"], vec![4, 5]);
+    }
+
+    #[test]
+    fn partition_makes_repo_unreachable() {
+        let (mut net, repos, client, server, dir) = world();
+        net.faults.partition(client, server);
+        let out = sync_dir(&mut net, &repos, client, &dir);
+        assert!(!out.listed);
+        assert!(out.files.is_empty());
+    }
+
+    #[test]
+    fn dropped_listing_means_unreachable() {
+        let (mut net, repos, client, server, dir) = world();
+        // Server→client frame #1 is the listing.
+        net.faults.drop_nth(server, client, 1);
+        let out = sync_dir(&mut net, &repos, client, &dir);
+        assert!(!out.listed);
+        assert!(out.files.is_empty());
+    }
+
+    #[test]
+    fn dropped_file_response_reported_missing() {
+        let (mut net, repos, client, server, dir) = world();
+        // Server→client frames: #1 listing, #2 first file (a.roa in
+        // BTreeMap order), #3 second file.
+        net.faults.drop_nth(server, client, 2);
+        let out = sync_dir(&mut net, &repos, client, &dir);
+        assert!(out.listed);
+        assert!(!out.complete());
+        assert_eq!(out.missing, vec!["a.roa".to_owned()]);
+        assert_eq!(out.files.len(), 1);
+        assert!(out.files.contains_key("b.cer"));
+    }
+
+    #[test]
+    fn dropped_get_request_reported_missing() {
+        let (mut net, repos, client, server, dir) = world();
+        // Client→server frames: #1 LIST, #2 GET a.roa, #3 GET b.cer.
+        net.faults.drop_nth(client, server, 3);
+        let out = sync_dir(&mut net, &repos, client, &dir);
+        assert!(out.listed);
+        assert_eq!(out.missing, vec!["b.cer".to_owned()]);
+        assert!(out.files.contains_key("a.roa"));
+    }
+
+    #[test]
+    fn corrupted_file_bytes_are_delivered_as_is() {
+        let (mut net, repos, client, server, dir) = world();
+        // Corrupt the first *file* frame, not the listing. The response
+        // frame still parses (the flipped byte is the leading tag... so
+        // it may not parse; either way the file must not arrive intact).
+        net.faults.corrupt_nth(server, client, 2);
+        let out = sync_dir(&mut net, &repos, client, &dir);
+        assert!(out.listed);
+        let intact = out.files.get("a.roa").map(|b| b == &vec![1, 2, 3]).unwrap_or(false);
+        assert!(!intact, "corrupted file must not arrive intact");
+        // The session as a whole is not complete-and-intact: either the
+        // frame failed to decode (missing) or the bytes differ.
+        assert!(!out.complete() || out.files["a.roa"] != vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn corrupted_listing_means_unreachable() {
+        let (mut net, repos, client, server, dir) = world();
+        net.faults.corrupt_nth(server, client, 1);
+        let out = sync_dir(&mut net, &repos, client, &dir);
+        assert!(!out.listed);
+    }
+
+    #[test]
+    fn missing_host_is_unreachable() {
+        let (mut net, repos, client, _, _) = world();
+        let dir = RepoUri::new("rpki.nowhere.example", &["repo"]);
+        let out = sync_dir(&mut net, &repos, client, &dir);
+        assert!(!out.listed);
+    }
+
+    #[test]
+    fn empty_directory_is_reachable_but_empty() {
+        let (mut net, repos, client, _, _) = world();
+        let dir = RepoUri::new("rpki.sprint.example", &["empty-dir"]);
+        let out = sync_dir(&mut net, &repos, client, &dir);
+        assert!(out.listed);
+        assert!(out.files.is_empty());
+        assert!(out.complete());
+    }
+
+    #[test]
+    fn registry_lookup_by_host() {
+        let (_, repos, _, server, _) = world();
+        assert_eq!(repos.node_of("rpki.sprint.example"), Some(server));
+        assert_eq!(repos.node_of("rpki.other.example"), None);
+        assert_eq!(repos.by_host("rpki.sprint.example").unwrap().node(), server);
+    }
+}

@@ -1,0 +1,32 @@
+//! Distributed RPKI repositories and their retrieval protocol.
+//!
+//! RFC 6481 stores RPKI objects at *publication points*: directories
+//! controlled by the **issuer** of the objects, spread across the
+//! Internet, fetched out of band over rsync. Three consequences drive
+//! the paper, and all three are modelled here:
+//!
+//! - An issuer can silently delete or overwrite anything in its own
+//!   directory ([`Repository`] mutation APIs — Side Effect 2).
+//! - A relying party sees only what the transport delivers: files can
+//!   be missing or corrupted ([`client::sync_dir`] over `netsim` —
+//!   Side Effect 6).
+//! - A repository is itself a host with an IP address, so fetching from
+//!   it depends on BGP ([`Repository::hosted_at`] + the netsim
+//!   reachability oracle — Side Effect 7).
+//!
+//! Module layout: [`store`] (the at-rest file store), [`proto`] (wire
+//! messages of the rsync-like list/get protocol), [`client`] (the
+//! synchronous sync driver that pumps the event loop).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod store;
+
+pub use cache::{sync_dir_caching, sync_dir_incremental, IncrementalStats, SyncCache};
+pub use client::{sync_dir, RepoRegistry, SyncOutcome};
+pub use proto::{RsyncRequest, RsyncResponse};
+pub use store::Repository;

@@ -1,0 +1,199 @@
+//! Wire messages of the rsync-like retrieval protocol.
+//!
+//! Real rsync does delta transfer; what the paper cares about is only
+//! *which bytes reach the relying party*, so the protocol here is the
+//! minimal list/get pair. Messages use the same canonical codec as the
+//! objects themselves, so in-flight corruption by the fault layer can
+//! hit protocol frames too (a corrupted frame decodes as garbage and the
+//! client records a failed fetch — exactly like a torn rsync session).
+
+use rpki_objects::{Decode, DecodeError, Encode, Reader, RepoUri, Writer};
+use rpkisim_crypto::Digest;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsyncRequest {
+    /// List a directory's `(name, digest)` entries.
+    List {
+        /// The publication-point directory.
+        dir: RepoUri,
+    },
+    /// Fetch one file's bytes.
+    Get {
+        /// The publication-point directory.
+        dir: RepoUri,
+        /// File name within the directory.
+        name: String,
+    },
+}
+
+const REQ_LIST: u8 = 1;
+const REQ_GET: u8 = 2;
+
+impl Encode for RsyncRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RsyncRequest::List { dir } => {
+                out.push(REQ_LIST);
+                dir.encode(out);
+            }
+            RsyncRequest::Get { dir, name } => {
+                out.push(REQ_GET);
+                dir.encode(out);
+                Writer::string(out, name);
+            }
+        }
+    }
+}
+
+impl Decode for RsyncRequest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            REQ_LIST => Ok(RsyncRequest::List { dir: RepoUri::decode(r)? }),
+            REQ_GET => Ok(RsyncRequest::Get { dir: RepoUri::decode(r)?, name: r.string()? }),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsyncResponse {
+    /// Directory listing.
+    Listing {
+        /// The directory listed (echoed so the client can correlate).
+        dir: RepoUri,
+        /// `(file name, digest)` pairs.
+        entries: Vec<(String, Digest)>,
+    },
+    /// File contents.
+    File {
+        /// The file's directory.
+        dir: RepoUri,
+        /// The file's name.
+        name: String,
+        /// The bytes as stored (possibly corrupted at rest).
+        bytes: Vec<u8>,
+    },
+    /// The requested directory or file does not exist.
+    NotFound {
+        /// The directory requested.
+        dir: RepoUri,
+        /// The file requested, if the request was a `Get`.
+        name: Option<String>,
+    },
+}
+
+const RESP_LISTING: u8 = 1;
+const RESP_FILE: u8 = 2;
+const RESP_NOT_FOUND: u8 = 3;
+
+/// A `(name, digest)` listing entry — helper for the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry(String, Digest);
+
+impl Encode for Entry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        Writer::string(out, &self.0);
+        self.1.encode(out);
+    }
+}
+
+impl Decode for Entry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Entry(r.string()?, Digest::decode(r)?))
+    }
+}
+
+impl Encode for RsyncResponse {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RsyncResponse::Listing { dir, entries } => {
+                out.push(RESP_LISTING);
+                dir.encode(out);
+                let entries: Vec<Entry> =
+                    entries.iter().map(|(n, d)| Entry(n.clone(), *d)).collect();
+                entries.encode(out);
+            }
+            RsyncResponse::File { dir, name, bytes } => {
+                out.push(RESP_FILE);
+                dir.encode(out);
+                Writer::string(out, name);
+                Writer::bytes(out, bytes);
+            }
+            RsyncResponse::NotFound { dir, name } => {
+                out.push(RESP_NOT_FOUND);
+                dir.encode(out);
+                name.clone().encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for RsyncResponse {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            RESP_LISTING => {
+                let dir = RepoUri::decode(r)?;
+                let entries = Vec::<Entry>::decode(r)?
+                    .into_iter()
+                    .map(|Entry(n, d)| (n, d))
+                    .collect();
+                Ok(RsyncResponse::Listing { dir, entries })
+            }
+            RESP_FILE => Ok(RsyncResponse::File {
+                dir: RepoUri::decode(r)?,
+                name: r.string()?,
+                bytes: r.bytes()?.to_vec(),
+            }),
+            RESP_NOT_FOUND => Ok(RsyncResponse::NotFound {
+                dir: RepoUri::decode(r)?,
+                name: Option::<String>::decode(r)?,
+            }),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpkisim_crypto::sha256;
+
+    fn dir() -> RepoUri {
+        RepoUri::new("rpki.sprint.example", &["repo"])
+    }
+
+    #[test]
+    fn request_round_trips() {
+        for req in [
+            RsyncRequest::List { dir: dir() },
+            RsyncRequest::Get { dir: dir(), name: "a.roa".to_owned() },
+        ] {
+            assert_eq!(RsyncRequest::from_bytes(&req.to_bytes()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for resp in [
+            RsyncResponse::Listing {
+                dir: dir(),
+                entries: vec![("a.roa".to_owned(), sha256(b"x"))],
+            },
+            RsyncResponse::File { dir: dir(), name: "a.roa".to_owned(), bytes: vec![1, 2, 3] },
+            RsyncResponse::NotFound { dir: dir(), name: Some("b.cer".to_owned()) },
+            RsyncResponse::NotFound { dir: dir(), name: None },
+        ] {
+            assert_eq!(RsyncResponse::from_bytes(&resp.to_bytes()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn corrupted_frame_fails_decode() {
+        let resp = RsyncResponse::Listing { dir: dir(), entries: vec![] };
+        let mut bytes = resp.to_bytes();
+        bytes[0] = 0x77; // smash the tag
+        assert!(RsyncResponse::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! The at-rest object store of one repository host.
+
+use std::collections::BTreeMap;
+
+use ipres::{Asn, Prefix};
+use netsim::NodeId;
+use rpki_ca::PublicationSnapshot;
+use rpki_objects::{Encode, RepoUri};
+use rpkisim_crypto::{sha256, Digest};
+
+/// One repository host: a named server carrying any number of
+/// publication-point directories, each holding named files.
+///
+/// The store is byte-oriented: objects are serialised at publication,
+/// and anything — including corrupted garbage — can sit at rest. That
+/// mirrors production rsync servers, which know nothing about RPKI.
+#[derive(Debug)]
+pub struct Repository {
+    /// Host name; equals the `netsim` node name.
+    host: String,
+    /// The simulated network node serving this repository.
+    node: NodeId,
+    /// `directory path (joined) → file name → bytes`.
+    dirs: BTreeMap<Vec<String>, BTreeMap<String, Vec<u8>>>,
+    /// Where this repository host lives in IP space, if the scenario
+    /// cares (Side Effect 7 does: reaching the repo requires a
+    /// non-invalid route to this prefix).
+    hosted_at: Option<(Prefix, Asn)>,
+}
+
+impl Repository {
+    /// A repository served by `node` (already registered in the network
+    /// under `host`).
+    pub fn new(host: &str, node: NodeId) -> Self {
+        Repository { host: host.to_owned(), node, dirs: BTreeMap::new(), hosted_at: None }
+    }
+
+    /// The host name.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The serving network node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Declares where this host lives in IP space.
+    pub fn set_hosted_at(&mut self, prefix: Prefix, origin: Asn) {
+        self.hosted_at = Some((prefix, origin));
+    }
+
+    /// Where this host lives in IP space, if declared.
+    pub fn hosted_at(&self) -> Option<(Prefix, Asn)> {
+        self.hosted_at
+    }
+
+    fn dir_key(&self, dir: &RepoUri) -> Vec<String> {
+        assert_eq!(dir.host(), self.host, "directory {dir} is not on host {}", self.host);
+        dir.path().to_vec()
+    }
+
+    /// Publishes raw bytes under `dir/name`, overwriting any previous
+    /// file of that name — the RPKI's "objects can be overwritten"
+    /// design decision, verbatim.
+    pub fn publish_raw(&mut self, dir: &RepoUri, name: &str, bytes: Vec<u8>) {
+        let key = self.dir_key(dir);
+        self.dirs.entry(key).or_default().insert(name.to_owned(), bytes);
+    }
+
+    /// Publishes a CA's complete snapshot into `dir`, replacing the
+    /// directory's previous contents (rsync `--delete` semantics: files
+    /// the CA no longer issues disappear).
+    pub fn publish_snapshot(&mut self, dir: &RepoUri, snapshot: &PublicationSnapshot) {
+        let key = self.dir_key(dir);
+        let entry = self.dirs.entry(key).or_default();
+        entry.clear();
+        for (name, obj) in &snapshot.files {
+            entry.insert(name.clone(), obj.to_bytes());
+        }
+    }
+
+    /// Deletes `dir/name`. Returns the removed bytes, or `None`.
+    pub fn delete(&mut self, dir: &RepoUri, name: &str) -> Option<Vec<u8>> {
+        let key = self.dir_key(dir);
+        self.dirs.get_mut(&key)?.remove(name)
+    }
+
+    /// Corrupts a stored file in place (filesystem rot, the at-rest
+    /// variant of Side Effect 6's fault list). Returns false if absent.
+    pub fn corrupt_at_rest(&mut self, dir: &RepoUri, name: &str) -> bool {
+        let key = self.dir_key(dir);
+        match self.dirs.get_mut(&key).and_then(|d| d.get_mut(name)) {
+            Some(bytes) if !bytes.is_empty() => {
+                bytes[0] ^= 0xff;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Lists `(name, digest)` for every file in `dir`.
+    pub fn list(&self, dir: &RepoUri) -> Vec<(String, Digest)> {
+        let key = self.dir_key(dir);
+        self.dirs
+            .get(&key)
+            .map(|d| d.iter().map(|(n, b)| (n.clone(), sha256(b))).collect())
+            .unwrap_or_default()
+    }
+
+    /// Fetches the bytes of `dir/name`.
+    pub fn fetch(&self, dir: &RepoUri, name: &str) -> Option<&[u8]> {
+        let key = self.dir_key(dir);
+        self.dirs.get(&key).and_then(|d| d.get(name)).map(Vec::as_slice)
+    }
+
+    /// All directories on this host.
+    pub fn directories(&self) -> impl Iterator<Item = RepoUri> + '_ {
+        self.dirs.keys().map(|path| {
+            let parts: Vec<&str> = path.iter().map(String::as_str).collect();
+            RepoUri::new(&self.host, &parts)
+        })
+    }
+
+    /// Total number of stored files.
+    pub fn file_count(&self) -> usize {
+        self.dirs.values().map(BTreeMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo() -> (Repository, RepoUri) {
+        let repo = Repository::new("rpki.sprint.example", NodeId(0));
+        let dir = RepoUri::new("rpki.sprint.example", &["repo"]);
+        (repo, dir)
+    }
+
+    #[test]
+    fn publish_overwrite_delete() {
+        let (mut repo, dir) = repo();
+        repo.publish_raw(&dir, "a.roa", vec![1, 2]);
+        assert_eq!(repo.fetch(&dir, "a.roa"), Some(&[1u8, 2][..]));
+        repo.publish_raw(&dir, "a.roa", vec![3]);
+        assert_eq!(repo.fetch(&dir, "a.roa"), Some(&[3u8][..]));
+        assert_eq!(repo.delete(&dir, "a.roa"), Some(vec![3]));
+        assert_eq!(repo.fetch(&dir, "a.roa"), None);
+        assert_eq!(repo.delete(&dir, "a.roa"), None);
+    }
+
+    #[test]
+    fn list_reports_digests() {
+        let (mut repo, dir) = repo();
+        repo.publish_raw(&dir, "b.cer", vec![9]);
+        let listing = repo.list(&dir);
+        assert_eq!(listing.len(), 1);
+        assert_eq!(listing[0].0, "b.cer");
+        assert_eq!(listing[0].1, sha256(&[9]));
+        // Unknown directory lists empty.
+        let other = RepoUri::new("rpki.sprint.example", &["elsewhere"]);
+        assert!(repo.list(&other).is_empty());
+    }
+
+    #[test]
+    fn corruption_at_rest_changes_digest() {
+        let (mut repo, dir) = repo();
+        repo.publish_raw(&dir, "c.roa", vec![0xab, 0xcd]);
+        let before = repo.list(&dir)[0].1;
+        assert!(repo.corrupt_at_rest(&dir, "c.roa"));
+        let after = repo.list(&dir)[0].1;
+        assert_ne!(before, after);
+        assert!(!repo.corrupt_at_rest(&dir, "missing.roa"));
+    }
+
+    #[test]
+    fn directories_iterate() {
+        let (mut repo, dir) = repo();
+        repo.publish_raw(&dir, "x", vec![]);
+        let sub = dir.join("sub-ca");
+        repo.publish_raw(&sub, "y", vec![1]);
+        let dirs: Vec<String> = repo.directories().map(|d| d.to_string()).collect();
+        assert_eq!(
+            dirs,
+            vec![
+                "rsync://rpki.sprint.example/repo".to_owned(),
+                "rsync://rpki.sprint.example/repo/sub-ca".to_owned()
+            ]
+        );
+        assert_eq!(repo.file_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not on host")]
+    fn foreign_directory_rejected() {
+        let (mut repo, _) = repo();
+        let foreign = RepoUri::new("rpki.arin.example", &["repo"]);
+        repo.publish_raw(&foreign, "x", vec![]);
+    }
+
+    #[test]
+    fn hosting_metadata() {
+        let (mut repo, _) = repo();
+        assert_eq!(repo.hosted_at(), None);
+        let p: Prefix = "63.174.16.0/20".parse().unwrap();
+        repo.set_hosted_at(p, Asn(17054));
+        assert_eq!(repo.hosted_at(), Some((p, Asn(17054))));
+    }
+}

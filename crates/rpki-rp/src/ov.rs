@@ -1,0 +1,209 @@
+//! RFC 6811 route origin validation.
+//!
+//! The three-state classification is the paper's Section 4 verbatim:
+//!
+//! - **Valid** — some VRP *matches* (origin equal, prefix covered,
+//!   length ≤ maxLength).
+//! - **Unknown** (RFC: NotFound) — no VRP even *covers* the prefix.
+//! - **Invalid** — covered but not matched.
+//!
+//! The asymmetry between the last two is the crux of Side Effects 5
+//! and 6: adding or removing a ROA changes which routes are *covered*,
+//! silently flipping other routes between Unknown and Invalid.
+
+use std::fmt;
+
+use ipres::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+
+use crate::vrp::VrpCache;
+
+/// A BGP route, reduced to what origin validation sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Route {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// The origin AS of the announcement.
+    pub origin: Asn,
+}
+
+impl Route {
+    /// Builds a route.
+    pub fn new(prefix: Prefix, origin: Asn) -> Self {
+        Route { prefix, origin }
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ← {}", self.prefix, self.origin)
+    }
+}
+
+/// The RFC 6811 validation state of a route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouteValidity {
+    /// A VRP matches the route.
+    Valid,
+    /// Some VRP covers the route's prefix, but none matches.
+    Invalid,
+    /// No VRP covers the route's prefix.
+    Unknown,
+}
+
+impl fmt::Display for RouteValidity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RouteValidity::Valid => "valid",
+            RouteValidity::Invalid => "invalid",
+            RouteValidity::Unknown => "unknown",
+        })
+    }
+}
+
+impl VrpCache {
+    /// Classifies a route per RFC 6811.
+    pub fn classify(&self, route: Route) -> RouteValidity {
+        let covering = self.covering(route.prefix);
+        if covering.is_empty() {
+            return RouteValidity::Unknown;
+        }
+        if covering.iter().any(|v| v.matches(route.prefix, route.origin)) {
+            RouteValidity::Valid
+        } else {
+            RouteValidity::Invalid
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vrp::Vrp;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// The cache corresponding to the paper's Figure 2 ROA set.
+    fn figure2_cache() -> VrpCache {
+        [
+            Vrp::new(p("63.160.64.0/20"), 24, Asn(1239)),
+            Vrp::new(p("208.24.0.0/16"), 24, Asn(1239)),
+            Vrp::new(p("63.174.16.0/22"), 22, Asn(7341)),
+            Vrp::new(p("63.174.20.0/23"), 23, Asn(7341)),
+            Vrp::new(p("63.174.22.0/24"), 24, Asn(7341)),
+            Vrp::new(p("63.174.16.0/20"), 20, Asn(17054)),
+            Vrp::new(p("66.174.161.0/24"), 24, Asn(6167)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn figure5_left_spot_checks() {
+        let cache = figure2_cache();
+        // Route for the /12 with any origin: unknown (no covering ROA).
+        assert_eq!(
+            cache.classify(Route::new(p("63.160.0.0/12"), Asn(1239))),
+            RouteValidity::Unknown
+        );
+        // (63.160.64.0/20, AS1239): valid.
+        assert_eq!(
+            cache.classify(Route::new(p("63.160.64.0/20"), Asn(1239))),
+            RouteValidity::Valid
+        );
+        // Subprefix /24 inside the maxlen-24 ROA: valid for AS1239.
+        assert_eq!(
+            cache.classify(Route::new(p("63.160.65.0/24"), Asn(1239))),
+            RouteValidity::Valid
+        );
+        // Same prefix, wrong origin: invalid (subprefix hijack stopped).
+        assert_eq!(
+            cache.classify(Route::new(p("63.160.65.0/24"), Asn(666))),
+            RouteValidity::Invalid
+        );
+        // The paper's Section 4 example: 63.174.17.0/24 has no ROA of
+        // its own, but the /20 ROA covers it → invalid, not unknown.
+        assert_eq!(
+            cache.classify(Route::new(p("63.174.17.0/24"), Asn(17054))),
+            RouteValidity::Invalid
+        );
+        // While 63.160.0.0/12 routes stay unknown entirely.
+        assert_eq!(
+            cache.classify(Route::new(p("63.160.0.0/12"), Asn(666))),
+            RouteValidity::Unknown
+        );
+    }
+
+    #[test]
+    fn side_effect_5_new_roa_flips_unknown_to_invalid() {
+        let mut cache = figure2_cache();
+        let route = Route::new(p("63.161.0.0/16"), Asn(4323));
+        assert_eq!(cache.classify(route), RouteValidity::Unknown);
+        // Sprint issues (63.160.0.0/12-13, AS1239) — Figure 5 (right).
+        cache.insert(Vrp::new(p("63.160.0.0/12"), 13, Asn(1239)));
+        assert_eq!(cache.classify(route), RouteValidity::Invalid);
+        // And the /12 route itself becomes valid for Sprint...
+        assert_eq!(
+            cache.classify(Route::new(p("63.160.0.0/12"), Asn(1239))),
+            RouteValidity::Valid
+        );
+        // ...and /13s too (maxlen 13), but not /14s.
+        assert_eq!(
+            cache.classify(Route::new(p("63.160.0.0/13"), Asn(1239))),
+            RouteValidity::Valid
+        );
+        assert_eq!(
+            cache.classify(Route::new(p("63.160.0.0/14"), Asn(1239))),
+            RouteValidity::Invalid
+        );
+    }
+
+    #[test]
+    fn side_effect_6_missing_roa_flips_valid_to_invalid() {
+        let mut cache = figure2_cache();
+        let route = Route::new(p("63.174.16.0/22"), Asn(7341));
+        assert_eq!(cache.classify(route), RouteValidity::Valid);
+        // The ROA goes missing from the local cache; the covering /20
+        // ROA (AS 17054) remains → invalid, NOT unknown.
+        assert!(cache.remove(&Vrp::new(p("63.174.16.0/22"), 22, Asn(7341))));
+        assert_eq!(cache.classify(route), RouteValidity::Invalid);
+    }
+
+    #[test]
+    fn removing_noncovering_roa_never_invalidates() {
+        // DESIGN.md invariant 3 (spot form; the property test
+        // generalises it).
+        let mut cache = figure2_cache();
+        let route = Route::new(p("63.174.16.0/22"), Asn(7341));
+        assert_eq!(cache.classify(route), RouteValidity::Valid);
+        assert!(cache.remove(&Vrp::new(p("208.24.0.0/16"), 24, Asn(1239))));
+        assert_eq!(cache.classify(route), RouteValidity::Valid);
+    }
+
+    #[test]
+    fn empty_cache_knows_nothing() {
+        let cache = VrpCache::new();
+        assert_eq!(
+            cache.classify(Route::new(p("8.8.8.0/24"), Asn(15169))),
+            RouteValidity::Unknown
+        );
+    }
+
+    #[test]
+    fn exact_duplicate_prefix_two_origins() {
+        let cache: VrpCache = [
+            Vrp::new(p("10.0.0.0/16"), 16, Asn(1)),
+            Vrp::new(p("10.0.0.0/16"), 16, Asn(2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(cache.classify(Route::new(p("10.0.0.0/16"), Asn(1))), RouteValidity::Valid);
+        assert_eq!(cache.classify(Route::new(p("10.0.0.0/16"), Asn(2))), RouteValidity::Valid);
+        assert_eq!(
+            cache.classify(Route::new(p("10.0.0.0/16"), Asn(3))),
+            RouteValidity::Invalid
+        );
+    }
+}

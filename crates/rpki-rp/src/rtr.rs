@@ -1,0 +1,605 @@
+//! The RPKI-to-Router protocol (RFC 6810-shaped).
+//!
+//! Validated VRPs are useless until they reach routers; production
+//! deployments run the RTR protocol between the relying party's cache
+//! and each router. The protocol matters to the paper's story for one
+//! reason: it adds *another* stage at which the set of VRPs a router
+//! acts on can lag or diverge from repository state — a whacked ROA
+//! takes effect at the router only after the next serial, and a router
+//! that loses too many updates falls back to a full cache reset.
+//!
+//! Implemented faithfully at the semantic level:
+//!
+//! - a [`RtrServer`] owns the session id, a monotonically increasing
+//!   **serial**, the current VRP set, and a bounded history of deltas;
+//! - a [`RtrClient`] (the router side) issues `ResetQuery` when it has
+//!   nothing and `SerialQuery` thereafter, applies announce/withdraw
+//!   PDUs, and treats `CacheReset` / session-id changes as a signal to
+//!   start over;
+//! - PDUs use the workspace's canonical codec, so they run over
+//!   `netsim` and are subject to the same fault model as everything
+//!   else.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use rpki_objects::{Decode, DecodeError, Encode, Reader};
+
+use crate::vrp::{Vrp, VrpCache};
+
+/// One VRP change: announced (`true`) or withdrawn (`false`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delta {
+    /// The payload.
+    pub vrp: Vrp,
+    /// `true` = announce, `false` = withdraw.
+    pub announce: bool,
+}
+
+/// RTR protocol data units (the RFC 6810 set, minus transport-security
+/// PDUs that have no analogue in the simulator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtrPdu {
+    /// Server → client: "I have new data" (sent after each update).
+    SerialNotify {
+        /// Current session.
+        session: u16,
+        /// The server's new serial.
+        serial: u32,
+    },
+    /// Client → server: "send me deltas after `serial`".
+    SerialQuery {
+        /// The client's session (must match the server's).
+        session: u16,
+        /// The last serial the client applied.
+        serial: u32,
+    },
+    /// Client → server: "send me everything".
+    ResetQuery,
+    /// Server → client: header opening a response.
+    CacheResponse {
+        /// The server's session.
+        session: u16,
+    },
+    /// Server → client: one VRP change.
+    Prefix(Delta),
+    /// Server → client: response complete; client is now at `serial`.
+    EndOfData {
+        /// The session.
+        session: u16,
+        /// The serial the client has now reached.
+        serial: u32,
+    },
+    /// Server → client: "I cannot serve deltas from your serial; issue
+    /// a ResetQuery."
+    CacheReset,
+    /// Either direction: protocol error (the simulator treats these as
+    /// fatal to the session).
+    ErrorReport {
+        /// Numeric error code (RFC 6810 §10 style; only a few used).
+        code: u16,
+    },
+}
+
+const PDU_SERIAL_NOTIFY: u8 = 0;
+const PDU_SERIAL_QUERY: u8 = 1;
+const PDU_RESET_QUERY: u8 = 2;
+const PDU_CACHE_RESPONSE: u8 = 3;
+const PDU_PREFIX: u8 = 4;
+const PDU_END_OF_DATA: u8 = 7;
+const PDU_CACHE_RESET: u8 = 8;
+const PDU_ERROR: u8 = 10;
+
+impl Encode for RtrPdu {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RtrPdu::SerialNotify { session, serial } => {
+                out.push(PDU_SERIAL_NOTIFY);
+                session.encode(out);
+                serial.encode(out);
+            }
+            RtrPdu::SerialQuery { session, serial } => {
+                out.push(PDU_SERIAL_QUERY);
+                session.encode(out);
+                serial.encode(out);
+            }
+            RtrPdu::ResetQuery => out.push(PDU_RESET_QUERY),
+            RtrPdu::CacheResponse { session } => {
+                out.push(PDU_CACHE_RESPONSE);
+                session.encode(out);
+            }
+            RtrPdu::Prefix(delta) => {
+                out.push(PDU_PREFIX);
+                out.push(delta.announce as u8);
+                delta.vrp.prefix.encode(out);
+                out.push(delta.vrp.max_len);
+                delta.vrp.asn.encode(out);
+            }
+            RtrPdu::EndOfData { session, serial } => {
+                out.push(PDU_END_OF_DATA);
+                session.encode(out);
+                serial.encode(out);
+            }
+            RtrPdu::CacheReset => out.push(PDU_CACHE_RESET),
+            RtrPdu::ErrorReport { code } => {
+                out.push(PDU_ERROR);
+                code.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for RtrPdu {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            PDU_SERIAL_NOTIFY => Ok(RtrPdu::SerialNotify { session: r.u16()?, serial: r.u32()? }),
+            PDU_SERIAL_QUERY => Ok(RtrPdu::SerialQuery { session: r.u16()?, serial: r.u32()? }),
+            PDU_RESET_QUERY => Ok(RtrPdu::ResetQuery),
+            PDU_CACHE_RESPONSE => Ok(RtrPdu::CacheResponse { session: r.u16()? }),
+            PDU_PREFIX => {
+                let announce = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(DecodeError::BadTag(t)),
+                };
+                let prefix = ipres::Prefix::decode(r)?;
+                let max_len = r.u8()?;
+                let asn = ipres::Asn::decode(r)?;
+                if max_len < prefix.len() || max_len > prefix.family().bits() {
+                    return Err(DecodeError::Invalid("RTR prefix maxLength out of range"));
+                }
+                Ok(RtrPdu::Prefix(Delta { vrp: Vrp::new(prefix, max_len, asn), announce }))
+            }
+            PDU_END_OF_DATA => Ok(RtrPdu::EndOfData { session: r.u16()?, serial: r.u32()? }),
+            PDU_CACHE_RESET => Ok(RtrPdu::CacheReset),
+            PDU_ERROR => Ok(RtrPdu::ErrorReport { code: r.u16()? }),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+/// The cache side of the protocol.
+#[derive(Debug)]
+pub struct RtrServer {
+    session: u16,
+    serial: u32,
+    current: BTreeSet<Vrp>,
+    /// `(serial reached, deltas that got there)`, oldest first.
+    history: VecDeque<(u32, Vec<Delta>)>,
+    max_history: usize,
+}
+
+impl RtrServer {
+    /// A server with the given session id and delta-history depth.
+    pub fn new(session: u16, max_history: usize) -> Self {
+        RtrServer {
+            session,
+            serial: 0,
+            current: BTreeSet::new(),
+            history: VecDeque::new(),
+            max_history,
+        }
+    }
+
+    /// The current serial.
+    pub fn serial(&self) -> u32 {
+        self.serial
+    }
+
+    /// The session id.
+    pub fn session(&self) -> u16 {
+        self.session
+    }
+
+    /// Installs a new VRP snapshot (e.g. after a validation run).
+    /// Computes the delta, bumps the serial, and returns the
+    /// `SerialNotify` to broadcast — or `None` if nothing changed.
+    pub fn update<I: IntoIterator<Item = Vrp>>(&mut self, vrps: I) -> Option<RtrPdu> {
+        let new: BTreeSet<Vrp> = vrps.into_iter().collect();
+        let mut delta: Vec<Delta> = Vec::new();
+        for &v in new.difference(&self.current) {
+            delta.push(Delta { vrp: v, announce: true });
+        }
+        for &v in self.current.difference(&new) {
+            delta.push(Delta { vrp: v, announce: false });
+        }
+        if delta.is_empty() {
+            return None;
+        }
+        self.serial += 1;
+        self.current = new;
+        self.history.push_back((self.serial, delta));
+        while self.history.len() > self.max_history {
+            self.history.pop_front();
+        }
+        Some(RtrPdu::SerialNotify { session: self.session, serial: self.serial })
+    }
+
+    /// Handles one client PDU, producing the response PDU sequence.
+    pub fn handle(&self, pdu: &RtrPdu) -> Vec<RtrPdu> {
+        match pdu {
+            RtrPdu::ResetQuery => {
+                let mut out = vec![RtrPdu::CacheResponse { session: self.session }];
+                for &v in &self.current {
+                    out.push(RtrPdu::Prefix(Delta { vrp: v, announce: true }));
+                }
+                out.push(RtrPdu::EndOfData { session: self.session, serial: self.serial });
+                out
+            }
+            RtrPdu::SerialQuery { session, serial } => {
+                if *session != self.session {
+                    // Session mismatch: the client must start over.
+                    return vec![RtrPdu::CacheReset];
+                }
+                if *serial == self.serial {
+                    // Nothing new.
+                    return vec![
+                        RtrPdu::CacheResponse { session: self.session },
+                        RtrPdu::EndOfData { session: self.session, serial: self.serial },
+                    ];
+                }
+                // Can we replay from the client's serial? We need every
+                // delta with serial > client serial, contiguously.
+                let available: Vec<&(u32, Vec<Delta>)> =
+                    self.history.iter().filter(|(s, _)| *s > *serial).collect();
+                let contiguous = available
+                    .first()
+                    .map(|(s, _)| *s == serial + 1)
+                    .unwrap_or(false)
+                    && available.len() as u32 == self.serial - serial;
+                if !contiguous {
+                    return vec![RtrPdu::CacheReset];
+                }
+                let mut out = vec![RtrPdu::CacheResponse { session: self.session }];
+                for (_, deltas) in available {
+                    for d in deltas {
+                        out.push(RtrPdu::Prefix(*d));
+                    }
+                }
+                out.push(RtrPdu::EndOfData { session: self.session, serial: self.serial });
+                out
+            }
+            _ => vec![RtrPdu::ErrorReport { code: 3 /* invalid request */ }],
+        }
+    }
+}
+
+/// The router side of the protocol.
+#[derive(Debug, Default)]
+pub struct RtrClient {
+    session: Option<u16>,
+    serial: u32,
+    vrps: BTreeSet<Vrp>,
+    /// Deltas buffered between `CacheResponse` and `EndOfData` (applied
+    /// atomically, per the RFC).
+    pending: Option<Vec<Delta>>,
+}
+
+/// What the client wants to do next after processing PDUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientAction {
+    /// Nothing; wait for the next notify/poll interval.
+    Idle,
+    /// Send this query to the server.
+    Query,
+    /// Session invalid: clear state and send `ResetQuery`.
+    Reset,
+}
+
+impl RtrClient {
+    /// A fresh client with no data.
+    pub fn new() -> Self {
+        RtrClient::default()
+    }
+
+    /// The serial this client has applied.
+    pub fn serial(&self) -> u32 {
+        self.serial
+    }
+
+    /// The PDU to send when polling the server.
+    pub fn poll(&self) -> RtrPdu {
+        match self.session {
+            Some(session) => RtrPdu::SerialQuery { session, serial: self.serial },
+            None => RtrPdu::ResetQuery,
+        }
+    }
+
+    /// Processes one server PDU; returns what to do next.
+    pub fn handle(&mut self, pdu: &RtrPdu) -> ClientAction {
+        match pdu {
+            RtrPdu::SerialNotify { session, serial } => {
+                if Some(*session) != self.session || *serial != self.serial {
+                    ClientAction::Query
+                } else {
+                    ClientAction::Idle
+                }
+            }
+            RtrPdu::CacheResponse { session } => {
+                match self.session {
+                    Some(s) if s != *session => {
+                        // Session changed under us: restart.
+                        self.session = None;
+                        self.serial = 0;
+                        self.vrps.clear();
+                        self.pending = None;
+                        return ClientAction::Reset;
+                    }
+                    _ => {}
+                }
+                if self.session.is_none() {
+                    // Response to our ResetQuery establishes the
+                    // session; the full set replaces everything.
+                    self.session = Some(*session);
+                    self.vrps.clear();
+                }
+                self.pending = Some(Vec::new());
+                ClientAction::Idle
+            }
+            RtrPdu::Prefix(delta) => {
+                if let Some(pending) = self.pending.as_mut() {
+                    pending.push(*delta);
+                }
+                ClientAction::Idle
+            }
+            RtrPdu::EndOfData { session, serial } => {
+                if Some(*session) != self.session {
+                    return ClientAction::Reset;
+                }
+                if let Some(pending) = self.pending.take() {
+                    for d in pending {
+                        if d.announce {
+                            self.vrps.insert(d.vrp);
+                        } else {
+                            self.vrps.remove(&d.vrp);
+                        }
+                    }
+                }
+                self.serial = *serial;
+                ClientAction::Idle
+            }
+            RtrPdu::CacheReset => {
+                self.session = None;
+                self.serial = 0;
+                self.vrps.clear();
+                self.pending = None;
+                ClientAction::Reset
+            }
+            RtrPdu::ErrorReport { .. } => ClientAction::Reset,
+            RtrPdu::SerialQuery { .. } | RtrPdu::ResetQuery => ClientAction::Idle,
+        }
+    }
+
+    /// The router's current VRPs as a queryable cache.
+    pub fn cache(&self) -> VrpCache {
+        self.vrps.iter().copied().collect()
+    }
+
+    /// Number of VRPs the router holds.
+    pub fn len(&self) -> usize {
+        self.vrps.len()
+    }
+
+    /// Whether the router holds no VRPs.
+    pub fn is_empty(&self) -> bool {
+        self.vrps.is_empty()
+    }
+}
+
+/// Drives one complete poll cycle synchronously (no network): the
+/// client sends its poll PDU, the server answers, the client applies.
+/// Returns the number of PDUs exchanged. Loops on `Reset` until the
+/// client converges (at most twice).
+pub fn poll_cycle(client: &mut RtrClient, server: &RtrServer) -> usize {
+    let mut exchanged = 0;
+    for _ in 0..3 {
+        let query = client.poll();
+        exchanged += 1;
+        let mut reset = false;
+        for pdu in server.handle(&query) {
+            exchanged += 1;
+            if client.handle(&pdu) == ClientAction::Reset {
+                reset = true;
+            }
+        }
+        if !reset {
+            break;
+        }
+    }
+    exchanged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipres::{Asn, Prefix};
+
+    fn v(s: &str, max: u8, asn: u32) -> Vrp {
+        Vrp::new(s.parse::<Prefix>().unwrap(), max, Asn(asn))
+    }
+
+    fn sample() -> Vec<Vrp> {
+        vec![v("10.0.0.0/16", 24, 1), v("10.1.0.0/16", 16, 2), v("2001:db8::/32", 48, 3)]
+    }
+
+    #[test]
+    fn pdus_round_trip() {
+        for pdu in [
+            RtrPdu::SerialNotify { session: 7, serial: 42 },
+            RtrPdu::SerialQuery { session: 7, serial: 41 },
+            RtrPdu::ResetQuery,
+            RtrPdu::CacheResponse { session: 7 },
+            RtrPdu::Prefix(Delta { vrp: v("10.0.0.0/16", 24, 1), announce: true }),
+            RtrPdu::Prefix(Delta { vrp: v("2001:db8::/32", 48, 3), announce: false }),
+            RtrPdu::EndOfData { session: 7, serial: 42 },
+            RtrPdu::CacheReset,
+            RtrPdu::ErrorReport { code: 3 },
+        ] {
+            assert_eq!(RtrPdu::from_bytes(&pdu.to_bytes()).unwrap(), pdu);
+        }
+    }
+
+    #[test]
+    fn corrupted_pdu_rejected() {
+        let pdu = RtrPdu::Prefix(Delta { vrp: v("10.0.0.0/16", 24, 1), announce: true });
+        let mut bytes = pdu.to_bytes();
+        bytes[1] = 9; // bad announce flag
+        assert!(RtrPdu::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn full_sync_from_reset() {
+        let mut server = RtrServer::new(1, 8);
+        assert!(server.update(sample()).is_some());
+        let mut client = RtrClient::new();
+        let n = poll_cycle(&mut client, &server);
+        assert!(n >= 5); // query + response + 3 prefixes + EOD
+        assert_eq!(client.len(), 3);
+        assert_eq!(client.serial(), server.serial());
+        assert_eq!(client.cache().vrps(), server.current.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn incremental_sync_sends_only_deltas() {
+        let mut server = RtrServer::new(1, 8);
+        server.update(sample());
+        let mut client = RtrClient::new();
+        poll_cycle(&mut client, &server);
+
+        // One VRP replaced by another.
+        let mut vrps = sample();
+        vrps.remove(0);
+        vrps.push(v("10.9.0.0/16", 16, 9));
+        let notify = server.update(vrps.clone()).expect("changed");
+        assert_eq!(notify, RtrPdu::SerialNotify { session: 1, serial: 2 });
+
+        let query = client.poll();
+        let response = server.handle(&query);
+        // CacheResponse + 2 deltas + EndOfData.
+        assert_eq!(response.len(), 4);
+        let prefix_count =
+            response.iter().filter(|p| matches!(p, RtrPdu::Prefix(_))).count();
+        assert_eq!(prefix_count, 2);
+        for pdu in &response {
+            client.handle(pdu);
+        }
+        assert_eq!(client.serial(), 2);
+        let mut want = vrps;
+        want.sort_unstable();
+        assert_eq!(client.cache().vrps(), want);
+    }
+
+    #[test]
+    fn no_change_no_serial_bump() {
+        let mut server = RtrServer::new(1, 8);
+        server.update(sample());
+        assert!(server.update(sample()).is_none());
+        assert_eq!(server.serial(), 1);
+    }
+
+    #[test]
+    fn history_eviction_forces_cache_reset() {
+        let mut server = RtrServer::new(1, 2); // only 2 deltas retained
+        server.update(sample());
+        let mut client = RtrClient::new();
+        poll_cycle(&mut client, &server);
+        assert_eq!(client.serial(), 1);
+
+        // Four more updates: the client's serial falls off the history.
+        for i in 0..4u32 {
+            let mut vrps = sample();
+            vrps.push(v("10.9.0.0/16", 16, 100 + i));
+            server.update(vrps);
+            // (each update replaces the previous extra VRP)
+        }
+        let response = server.handle(&client.poll());
+        assert_eq!(response, vec![RtrPdu::CacheReset]);
+        // The poll cycle recovers via reset.
+        poll_cycle(&mut client, &server);
+        assert_eq!(client.serial(), server.serial());
+        assert_eq!(client.cache().vrps(), server.current.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn session_change_resets_client() {
+        let mut server = RtrServer::new(1, 8);
+        server.update(sample());
+        let mut client = RtrClient::new();
+        poll_cycle(&mut client, &server);
+
+        // The cache restarts with a new session id (e.g. RP rebooted).
+        let mut server2 = RtrServer::new(2, 8);
+        server2.update(vec![v("10.0.0.0/16", 24, 1)]);
+        poll_cycle(&mut client, &server2);
+        assert_eq!(client.serial(), server2.serial());
+        assert_eq!(client.len(), 1);
+    }
+
+    #[test]
+    fn deltas_apply_atomically_at_end_of_data() {
+        let mut server = RtrServer::new(1, 8);
+        server.update(sample());
+        let mut client = RtrClient::new();
+        // Feed the response but stop before EndOfData: nothing applied.
+        let response = server.handle(&client.poll());
+        for pdu in &response[..response.len() - 1] {
+            client.handle(pdu);
+        }
+        assert_eq!(client.len(), 0, "deltas must not apply before EndOfData");
+        client.handle(response.last().unwrap());
+        assert_eq!(client.len(), 3);
+    }
+
+    #[test]
+    fn serial_notify_prompts_query_only_when_behind() {
+        let mut server = RtrServer::new(1, 8);
+        server.update(sample());
+        let mut client = RtrClient::new();
+        poll_cycle(&mut client, &server);
+        // In-sync notify: idle.
+        let notify = RtrPdu::SerialNotify { session: 1, serial: server.serial() };
+        assert_eq!(client.handle(&notify), ClientAction::Idle);
+        // Ahead notify: query.
+        let notify = RtrPdu::SerialNotify { session: 1, serial: server.serial() + 1 };
+        assert_eq!(client.handle(&notify), ClientAction::Query);
+    }
+
+    /// End to end over the simulated network with a dropped frame: the
+    /// router simply retries its poll on the next cycle.
+    #[test]
+    fn rtr_over_netsim_with_loss() {
+        use netsim::{Network, Occurrence};
+        use rpki_objects::{Decode as _, Encode as _};
+
+        let mut net = Network::new(4);
+        let cache_node = net.add_node("rp-cache");
+        let router_node = net.add_node("router");
+
+        let mut server = RtrServer::new(9, 8);
+        server.update(sample());
+        let mut client = RtrClient::new();
+
+        // Drop the first server→router frame (the CacheResponse).
+        net.faults.drop_nth(cache_node, router_node, 1);
+
+        for _attempt in 0..3 {
+            net.send(router_node, cache_node, client.poll().to_bytes());
+            while let Some(occ) = net.step() {
+                let Occurrence::Delivered(d) = occ else { continue };
+                if d.to == cache_node {
+                    if let Ok(pdu) = RtrPdu::from_bytes(&d.payload) {
+                        for resp in server.handle(&pdu) {
+                            net.send(cache_node, router_node, resp.to_bytes());
+                        }
+                    }
+                } else if let Ok(pdu) = RtrPdu::from_bytes(&d.payload) {
+                    client.handle(&pdu);
+                }
+            }
+            if client.serial() == server.serial() && !client.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(client.len(), 3);
+        assert_eq!(client.serial(), server.serial());
+    }
+}

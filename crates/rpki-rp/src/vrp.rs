@@ -1,0 +1,208 @@
+//! Validated ROA payloads and the covering-query cache.
+
+use std::fmt;
+
+use ipres::{Asn, Prefix, PrefixTrie};
+use serde::{Deserialize, Serialize};
+
+/// One validated ROA payload: the unit of origin validation (RFC 6811
+/// calls these VRPs). A ROA with several prefixes yields several VRPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Vrp {
+    /// The authorised prefix.
+    pub prefix: Prefix,
+    /// Maximum announced length the authorisation tolerates.
+    pub max_len: u8,
+    /// The authorised origin AS.
+    pub asn: Asn,
+}
+
+impl Vrp {
+    /// Builds a VRP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len` is below the prefix length or beyond the
+    /// family width (validated objects can't carry such values; fixture
+    /// code could).
+    pub fn new(prefix: Prefix, max_len: u8, asn: Asn) -> Self {
+        assert!(
+            max_len >= prefix.len() && max_len <= prefix.family().bits(),
+            "VRP maxLength {max_len} out of range for {prefix}"
+        );
+        Vrp { prefix, max_len, asn }
+    }
+
+    /// RFC 6811 *covers*: the VRP's prefix covers the route's prefix.
+    pub fn covers(&self, route_prefix: Prefix) -> bool {
+        self.prefix.covers(route_prefix)
+    }
+
+    /// RFC 6811 *matches*: covers, and the route is within `max_len`,
+    /// and the origin matches.
+    pub fn matches(&self, route_prefix: Prefix, origin: Asn) -> bool {
+        self.asn == origin && self.covers(route_prefix) && route_prefix.len() <= self.max_len
+    }
+}
+
+impl fmt::Display for Vrp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.max_len == self.prefix.len() {
+            write!(f, "({}, {})", self.prefix, self.asn)
+        } else {
+            write!(f, "({}-{}, {})", self.prefix, self.max_len, self.asn)
+        }
+    }
+}
+
+/// A queryable set of VRPs: a prefix trie supporting the covering
+/// lookups RFC 6811 needs per route.
+#[derive(Debug, Default)]
+pub struct VrpCache {
+    trie: PrefixTrie<(u8, Asn)>,
+    all: Vec<Vrp>,
+}
+
+impl VrpCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        VrpCache::default()
+    }
+
+    /// Builds a cache from VRPs (duplicates collapse).
+    pub fn from_vrps<I: IntoIterator<Item = Vrp>>(vrps: I) -> Self {
+        let mut all: Vec<Vrp> = vrps.into_iter().collect();
+        all.sort_unstable();
+        all.dedup();
+        let mut trie = PrefixTrie::new();
+        for v in &all {
+            trie.insert(v.prefix, (v.max_len, v.asn));
+        }
+        VrpCache { trie, all }
+    }
+
+    /// Adds one VRP (no-op if already present).
+    pub fn insert(&mut self, vrp: Vrp) {
+        if let Err(pos) = self.all.binary_search(&vrp) {
+            self.all.insert(pos, vrp);
+            self.trie.insert(vrp.prefix, (vrp.max_len, vrp.asn));
+        }
+    }
+
+    /// Removes one VRP. Returns whether it was present.
+    pub fn remove(&mut self, vrp: &Vrp) -> bool {
+        match self.all.binary_search(vrp) {
+            Ok(pos) => {
+                self.all.remove(pos);
+                let removed =
+                    self.trie.remove_if(vrp.prefix, |(m, a)| *m == vrp.max_len && *a == vrp.asn);
+                debug_assert_eq!(removed.len(), 1);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// All VRPs, sorted.
+    pub fn vrps(&self) -> &[Vrp] {
+        &self.all
+    }
+
+    /// Number of VRPs.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// Every VRP whose prefix covers `route_prefix`.
+    pub fn covering(&self, route_prefix: Prefix) -> Vec<Vrp> {
+        self.trie
+            .covering(route_prefix)
+            .into_iter()
+            .map(|(p, (m, a))| Vrp { prefix: p, max_len: *m, asn: *a })
+            .collect()
+    }
+}
+
+impl FromIterator<Vrp> for VrpCache {
+    fn from_iter<T: IntoIterator<Item = Vrp>>(iter: T) -> Self {
+        VrpCache::from_vrps(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn match_and_cover() {
+        let v = Vrp::new(p("63.160.64.0/20"), 24, Asn(1239));
+        assert!(v.matches(p("63.160.64.0/20"), Asn(1239)));
+        assert!(v.matches(p("63.160.65.0/24"), Asn(1239)));
+        assert!(!v.matches(p("63.160.65.0/24"), Asn(666)));
+        assert!(!v.matches(p("63.160.64.0/25"), Asn(1239)));
+        assert!(v.covers(p("63.160.64.0/25")));
+    }
+
+    #[test]
+    fn cache_covering_query() {
+        let cache: VrpCache = [
+            Vrp::new(p("63.160.0.0/12"), 12, Asn(1239)),
+            Vrp::new(p("63.174.16.0/20"), 24, Asn(17054)),
+            Vrp::new(p("8.0.0.0/8"), 8, Asn(3356)),
+        ]
+        .into_iter()
+        .collect();
+        let cov = cache.covering(p("63.174.17.0/24"));
+        assert_eq!(cov.len(), 2);
+        assert!(cov.iter().any(|v| v.asn == Asn(1239)));
+        assert!(cov.iter().any(|v| v.asn == Asn(17054)));
+        assert!(cache.covering(p("9.0.0.0/9")).is_empty());
+    }
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut cache = VrpCache::new();
+        let v = Vrp::new(p("10.0.0.0/8"), 16, Asn(1));
+        cache.insert(v);
+        cache.insert(v); // duplicate is a no-op
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.covering(p("10.1.0.0/16")), vec![v]);
+        assert!(cache.remove(&v));
+        assert!(!cache.remove(&v));
+        assert!(cache.is_empty());
+        assert!(cache.covering(p("10.1.0.0/16")).is_empty());
+    }
+
+    #[test]
+    fn duplicate_prefix_different_origin_both_kept() {
+        let cache: VrpCache = [
+            Vrp::new(p("10.0.0.0/8"), 8, Asn(1)),
+            Vrp::new(p("10.0.0.0/8"), 8, Asn(2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.covering(p("10.0.0.0/8")).len(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Vrp::new(p("10.0.0.0/8"), 8, Asn(1)).to_string(), "(10.0.0.0/8, AS1)");
+        assert_eq!(Vrp::new(p("10.0.0.0/8"), 24, Asn(1)).to_string(), "(10.0.0.0/8-24, AS1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_max_len_panics() {
+        let _ = Vrp::new(p("10.0.0.0/24"), 8, Asn(1));
+    }
+}

@@ -1,0 +1,189 @@
+//! Static reference data: RIR service regions and the paper's Table 4
+//! anchor organisations.
+
+/// One Regional Internet Registry and the country codes it serves.
+/// The lists are representative subsets, enough to make jurisdiction
+/// questions meaningful; adding codes does not change any algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct Rir {
+    /// Registry name.
+    pub name: &'static str,
+    /// ISO-3166 alpha-2 codes of member countries.
+    pub countries: &'static [&'static str],
+    /// First octet of the /8 pool this registry draws from in the
+    /// synthetic allocation plan.
+    pub base_octet: u8,
+}
+
+/// The five RIRs.
+pub const RIRS: [Rir; 5] = [
+    Rir {
+        name: "ARIN",
+        countries: &["US", "CA", "GU", "AS", "PR"],
+        base_octet: 11,
+    },
+    Rir {
+        name: "RIPE",
+        countries: &["GB", "FR", "NL", "DE", "ES", "IT", "RU", "SE", "YE", "AE", "EU"],
+        base_octet: 62,
+    },
+    Rir {
+        name: "APNIC",
+        countries: &["CN", "JP", "IN", "AU", "TW", "HK", "PH", "SG", "MH"],
+        base_octet: 110,
+    },
+    Rir {
+        name: "LACNIC",
+        countries: &["BR", "CO", "EC", "BO", "GT", "HN", "NI", "MX", "AN"],
+        base_octet: 160,
+    },
+    Rir {
+        name: "AFRINIC",
+        countries: &["ZA", "ZW", "NG", "KE", "EG"],
+        base_octet: 196,
+    },
+];
+
+/// The RIR index whose region contains `country`, if any.
+pub fn rir_of_country(country: &str) -> Option<usize> {
+    RIRS.iter().position(|r| r.countries.contains(&country))
+}
+
+/// An anchor organisation: a Table 4 row planted verbatim into the
+/// synthetic Internet so the jurisdiction analysis reproduces the
+/// paper's own examples. `customer_countries` are the countries the
+/// paper found covered by each RC.
+#[derive(Debug, Clone, Copy)]
+pub struct AnchorOrg {
+    /// Organisation handle.
+    pub name: &'static str,
+    /// Home country (determines its RIR).
+    pub home: &'static str,
+    /// The RC prefix from Table 4.
+    pub rc_prefix: &'static str,
+    /// Countries of the descendants under that RC (Table 4, col. 3).
+    pub customer_countries: &'static [&'static str],
+}
+
+/// The rows of the paper's Table 4.
+pub const ANCHOR_ORGS: [AnchorOrg; 9] = [
+    AnchorOrg {
+        name: "Level3",
+        home: "US",
+        rc_prefix: "8.0.0.0/8",
+        customer_countries: &["RU", "FR", "NL", "CN", "TW", "JP", "GU", "AU", "GB", "MX"],
+    },
+    AnchorOrg {
+        name: "Cogent",
+        home: "US",
+        rc_prefix: "38.0.0.0/8",
+        customer_countries: &["GU", "GT", "HK", "GB", "IN", "PH", "MX"],
+    },
+    AnchorOrg {
+        name: "Verizon",
+        home: "US",
+        rc_prefix: "65.192.0.0/11",
+        customer_countries: &["CO", "IT", "AN", "AS", "GB", "EU", "SG"],
+    },
+    AnchorOrg {
+        name: "Sprint-208",
+        home: "US",
+        rc_prefix: "208.0.0.0/11",
+        customer_countries: &["AS", "BO", "CO", "ES", "EC"],
+    },
+    AnchorOrg {
+        name: "Sprint-63",
+        home: "US",
+        rc_prefix: "63.160.0.0/12",
+        customer_countries: &["FR", "CO", "YE", "AN", "HN"],
+    },
+    AnchorOrg {
+        name: "Tata Comm.",
+        home: "US",
+        rc_prefix: "64.86.0.0/16",
+        customer_countries: &["GU", "CO", "MH", "HN", "PH", "ZW"],
+    },
+    AnchorOrg {
+        name: "Columbus",
+        home: "US",
+        rc_prefix: "63.245.0.0/17",
+        customer_countries: &["NI", "GT", "CO", "AN", "HN", "MX"],
+    },
+    AnchorOrg {
+        name: "Servcorp",
+        home: "FR",
+        rc_prefix: "61.28.192.0/19",
+        customer_countries: &["FR", "AE", "CA", "US", "GB"],
+    },
+    AnchorOrg {
+        name: "Resilans",
+        home: "SE",
+        rc_prefix: "192.71.0.0/16",
+        customer_countries: &["US", "IN"],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rir_lookup() {
+        assert_eq!(rir_of_country("US"), Some(0));
+        assert_eq!(rir_of_country("FR"), Some(1));
+        assert_eq!(rir_of_country("CN"), Some(2));
+        assert_eq!(rir_of_country("CO"), Some(3));
+        assert_eq!(rir_of_country("ZA"), Some(4));
+        assert_eq!(rir_of_country("XX"), None);
+    }
+
+    #[test]
+    fn rir_pools_are_distinct() {
+        let mut octets: Vec<u8> = RIRS.iter().map(|r| r.base_octet).collect();
+        octets.sort_unstable();
+        octets.dedup();
+        assert_eq!(octets.len(), RIRS.len());
+    }
+
+    #[test]
+    fn rir_pools_never_overlap_anchor_blocks() {
+        // Address collisions would hand two organisations the same
+        // space (and once did: ARIN's pool used to sit at 8/8, inside
+        // Level3's anchor block).
+        for rir in &RIRS {
+            let pool = ipres::Prefix::v4(rir.base_octet, 0, 0, 0, 8);
+            for org in &ANCHOR_ORGS {
+                let anchor: ipres::Prefix = org.rc_prefix.parse().unwrap();
+                assert!(
+                    !pool.overlaps(anchor),
+                    "{} pool {pool} overlaps {} anchor {anchor}",
+                    rir.name,
+                    org.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anchor_homes_resolve_to_rirs() {
+        for org in &ANCHOR_ORGS {
+            assert!(rir_of_country(org.home).is_some(), "{} home {}", org.name, org.home);
+            // Every anchor has at least one out-of-region customer —
+            // otherwise it would not be a Table 4 row.
+            let home_rir = rir_of_country(org.home).unwrap();
+            assert!(
+                org.customer_countries.iter().any(|c| rir_of_country(c) != Some(home_rir)),
+                "{} has no cross-region customer",
+                org.name
+            );
+        }
+    }
+
+    #[test]
+    fn anchor_prefixes_parse() {
+        for org in &ANCHOR_ORGS {
+            let p: Result<ipres::Prefix, _> = org.rc_prefix.parse();
+            assert!(p.is_ok(), "{}: {}", org.name, org.rc_prefix);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Seeded synthetic Internet generation.
+//!
+//! The paper's Table 4 is built from BGP dumps, RIR allocation files,
+//! and RIR AS-to-country mappings. Those datasets are point-in-time
+//! snapshots that cannot ship with a reproduction, so this crate grows
+//! a synthetic Internet with the same *structure* (see DESIGN.md's
+//! substitution table):
+//!
+//! - an AS graph with Gao–Rexford roles: a tier-1 clique, transit
+//!   ISPs attached by preferential attachment, stubs at the edge;
+//! - the allocation hierarchy: IANA → five RIRs → ISPs/LIRs →
+//!   customers, realised as actual `rpki-ca` authorities so every
+//!   downstream experiment (validation, whacking, monitoring) runs on
+//!   the generated world unmodified;
+//! - country assignments with deliberate **cross-border
+//!   suballocation** — the phenomenon Table 4 measures — including
+//!   anchor organisations mirroring the paper's own rows (Level3,
+//!   Cogent, Verizon, Sprint, …);
+//! - partial ROA adoption, calibrated by a single `roa_adoption` knob
+//!   (the paper notes production had ~1200–1400 ROAs, under 1% of
+//!   projected deployment).
+//!
+//! Everything is driven by one `u64` seed: same seed, same Internet
+//! (DESIGN.md invariant 8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod gen;
+
+pub use data::{rir_of_country, AnchorOrg, ANCHOR_ORGS, RIRS};
+pub use gen::{Config, Org, OrgKind, ParentRef, SyntheticInternet};

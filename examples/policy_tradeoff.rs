@@ -1,0 +1,65 @@
+//! Table 6 as a story: the same network, two threats, three policies —
+//! and no policy wins both.
+//!
+//! ```sh
+//! cargo run --example policy_tradeoff
+//! ```
+
+use bgp_sim::{Announcement, RpkiPolicy};
+use ipres::Asn;
+use rpki_objects::Moment;
+use rpki_risk::fixtures::asn;
+use rpki_risk::tradeoff::TradeoffScenario;
+use rpki_risk::{policy_tradeoff, ModelRpki};
+use rpki_rp::{Vrp, VrpCache};
+
+fn main() {
+    let mut w = ModelRpki::build();
+    let attacker = Asn(666);
+    w.topology.add_provider_customer(asn::SPRINT, attacker);
+
+    // Caches: intact (all ROAs + Sprint's covering /12-13), and whacked
+    // (Continental's /20 ROA removed — its route turns INVALID because
+    // the covering ROA remains).
+    let covering = Vrp::new("63.160.0.0/12".parse().unwrap(), 13, asn::SPRINT);
+    let mut intact = w.validate_direct(Moment(2)).vrps;
+    intact.push(covering);
+    let whacked: Vec<Vrp> =
+        intact.iter().copied().filter(|v| v.asn != asn::CONTINENTAL).collect();
+    let cache_intact: VrpCache = intact.into_iter().collect();
+    let cache_whacked: VrpCache = whacked.into_iter().collect();
+
+    let table = policy_tradeoff(&TradeoffScenario {
+        topology: &w.topology,
+        announcements: &w.announcements,
+        victim: Announcement {
+            prefix: "63.174.16.0/20".parse().unwrap(),
+            origin: asn::CONTINENTAL,
+        },
+        probe_addr: "63.174.24.9".parse().unwrap(),
+        attacker,
+        hijack: Announcement { prefix: "63.174.24.0/24".parse().unwrap(), origin: attacker },
+        cache_intact: &cache_intact,
+        cache_whacked: &cache_whacked,
+    });
+
+    println!("reachability of the victim prefix (fraction of other ASes):\n");
+    println!("{:<18} {:>16} {:>20}", "policy", "under hijack", "under manipulation");
+    for policy in [RpkiPolicy::Ignore, RpkiPolicy::DropInvalid, RpkiPolicy::DeprefInvalid] {
+        println!(
+            "{:<18} {:>15.0}% {:>19.0}%",
+            format!("{policy:?}"),
+            table.get("routing attack", policy).unwrap() * 100.0,
+            table.get("RPKI manipulation", policy).unwrap() * 100.0,
+        );
+    }
+
+    println!(
+        "\nno row is all-green: protecting against BGP attacks (drop invalid) hands \
+         RPKI authorities a kill switch; tolerating RPKI problems (depref) re-opens \
+         subprefix hijacking. That is the paper's Table 6."
+    );
+    assert_eq!(table.get("routing attack", RpkiPolicy::DropInvalid), Some(1.0));
+    assert_eq!(table.get("RPKI manipulation", RpkiPolicy::DropInvalid), Some(0.0));
+    println!("\npolicy_tradeoff OK");
+}

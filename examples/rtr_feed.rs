@@ -1,0 +1,88 @@
+//! Feeding routers over the RPKI-to-Router protocol (RFC 6810): the
+//! last hop of the pipeline, and one more place where a whack's effect
+//! is delayed, batched — and visible as a suspicious withdraw.
+//!
+//! ```sh
+//! cargo run --example rtr_feed
+//! ```
+
+use rpki_attacks::{plan_whack, CaView};
+use rpki_objects::Moment;
+use rpki_risk::fixtures::asn;
+use rpki_risk::ModelRpki;
+use rpki_rp::{Route, RouteValidity, RtrClient, RtrServer};
+
+fn main() {
+    let mut w = ModelRpki::build();
+    let victim = Route::new("63.174.16.0/20".parse().unwrap(), asn::CONTINENTAL);
+
+    // The relying party validates and loads its RTR cache.
+    let run = w.validate_direct(Moment(2));
+    let mut cache_server = RtrServer::new(1, 16);
+    cache_server.update(run.vrps.iter().copied());
+    println!(
+        "relying party validated {} VRPs; RTR cache at serial {}",
+        run.vrps.len(),
+        cache_server.serial()
+    );
+
+    // Two routers sync from it.
+    let mut router_a = RtrClient::new();
+    let mut router_b = RtrClient::new();
+    rpki_rp::rtr::poll_cycle(&mut router_a, &cache_server);
+    rpki_rp::rtr::poll_cycle(&mut router_b, &cache_server);
+    println!(
+        "router A at serial {} with {} VRPs; router B likewise",
+        router_a.serial(),
+        router_a.len()
+    );
+    assert_eq!(router_a.cache().classify(victim), RouteValidity::Valid);
+
+    // Sprint whacks Continental's covering ROA.
+    let rc = w.sprint.issued_cert_for(w.continental.key_id()).unwrap().clone();
+    let view = CaView::from_repos(&rc, &w.repos);
+    let file = w.covering_roa_file();
+    let plan = plan_whack(std::slice::from_ref(&view), &file).unwrap();
+    plan.execute(&mut w.sprint, Moment(3)).unwrap();
+    w.publish_all(Moment(3));
+
+    // Until the RP revalidates and the routers poll, they still act on
+    // the old data: the whack has *latency*.
+    assert_eq!(router_a.cache().classify(victim), RouteValidity::Valid);
+    println!("\nafter the whack, before the next RTR cycle: routers still see the victim as valid");
+
+    // The RP's next validation run feeds the cache; the server computes
+    // the delta (one withdraw).
+    let run = w.validate_direct(Moment(4));
+    let notify = cache_server.update(run.vrps.iter().copied()).expect("changed");
+    println!("cache update → {notify:?}");
+
+    // Router A polls; router B misses this cycle (it will catch up).
+    let query = router_a.poll();
+    let response = cache_server.handle(&query);
+    let withdraws = response
+        .iter()
+        .filter(|p| matches!(p, rpki_rp::RtrPdu::Prefix(d) if !d.announce))
+        .count();
+    println!("router A receives {withdraws} withdraw in {} PDUs", response.len());
+    for pdu in &response {
+        router_a.handle(pdu);
+    }
+    assert_eq!(router_a.cache().classify(victim), RouteValidity::Unknown);
+    assert_eq!(router_b.cache().classify(victim), RouteValidity::Valid);
+    println!(
+        "router A now sees the victim as {}; router B (one cycle behind) still {}",
+        router_a.cache().classify(victim),
+        router_b.cache().classify(victim)
+    );
+
+    // B catches up on its next poll.
+    rpki_rp::rtr::poll_cycle(&mut router_b, &cache_server);
+    assert_eq!(router_b.serial(), cache_server.serial());
+    assert_eq!(router_b.cache().classify(victim), RouteValidity::Unknown);
+
+    println!(
+        "\nrtr_feed OK: whacks reach the data plane with RTR-cycle latency, \
+         as a single withdraw PDU any router operator could log and question"
+    );
+}

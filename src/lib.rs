@@ -1,0 +1,20 @@
+//! Umbrella crate for the `rpki-risk` workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The actual library
+//! surface lives in the member crates; the most convenient entry point
+//! for downstream users is the [`rpki_risk`] facade crate.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use bgp_sim;
+pub use ipres;
+pub use netsim;
+pub use rpki_attacks;
+pub use rpki_ca;
+pub use rpki_objects;
+pub use rpki_repo;
+pub use rpki_risk;
+pub use rpki_rp;
+pub use rpkisim_crypto;
+pub use topogen;

@@ -1,0 +1,219 @@
+//! Workspace integration: the full pipeline on a generated Internet —
+//! topology → CA hierarchy → repositories → network sync → validation
+//! → BGP → attack → monitor → re-validation.
+
+use bgp_sim::{propagate, RpkiPolicy};
+use ipres::Asn;
+use netsim::Network;
+use rpki_attacks::{damage_between, plan_whack, probes_for, CaView, Monitor, MonitorSnapshot};
+use rpki_objects::Moment;
+use rpki_repo::RepoRegistry;
+use rpki_rp::{NetworkSource, Route, RouteValidity, ValidationConfig, Validator};
+use topogen::{Config, OrgKind, ParentRef, SyntheticInternet};
+
+fn build_world() -> (SyntheticInternet, Network, RepoRegistry, rpki_objects::TrustAnchorLocator) {
+    let mut world = SyntheticInternet::generate(Config::small(2024));
+    let mut net = Network::new(9);
+    let mut repos = RepoRegistry::new();
+    let tal = world.materialize(&mut net, &mut repos, Moment(1));
+    (world, net, repos, tal)
+}
+
+#[test]
+fn generated_world_validates_and_routes() {
+    let (world, mut net, repos, tal) = build_world();
+    let rp = net.add_node("relying-party");
+
+    // Validate over the network.
+    let mut source = NetworkSource::new(&mut net, &repos, rp);
+    let run =
+        Validator::new(ValidationConfig::at(Moment(2))).run(&mut source, std::slice::from_ref(&tal));
+    assert_eq!(run.cas.len(), 6 + world.orgs.len());
+    let expected_vrps: usize =
+        world.orgs.iter().filter(|o| o.adopted_roa).map(|o| o.prefixes.len()).sum();
+    assert_eq!(run.vrps.len(), expected_vrps);
+
+    // Every legitimate announcement is RFC 6811-valid.
+    let cache = run.vrp_cache();
+    for ann in &world.announcements {
+        assert_eq!(
+            cache.classify(Route::new(ann.prefix, ann.origin)),
+            RouteValidity::Valid,
+            "{} ← {}",
+            ann.prefix,
+            ann.origin
+        );
+    }
+
+    // BGP: under drop-invalid, a hijack of a random stub's prefix by a
+    // random transit fails everywhere.
+    let victim = world.orgs.iter().find(|o| o.kind == OrgKind::Stub).expect("stubs exist");
+    let attacker = world
+        .orgs
+        .iter()
+        .find(|o| o.kind == OrgKind::Transit && o.asn != victim.asn)
+        .expect("transits exist");
+    let mut anns = world.announcements.clone();
+    anns.push(bgp_sim::Announcement { prefix: victim.prefixes[0], origin: attacker.asn });
+    let state = propagate(&world.topology, &anns, RpkiPolicy::DropInvalid, &cache);
+    let frac_drop = state.reachability_of(
+        world.topology.ases().filter(|a| *a != attacker.asn),
+        victim.prefixes[0].addr(),
+        victim.asn,
+    );
+    // Not exactly 1.0: ASes whose forwarding path *transits the
+    // attacker* are blackholed by the attacker's own origination —
+    // origin validation protects everyone not already routing through
+    // the liar. Off-path ASes (the overwhelming majority) all recover.
+    assert!(frac_drop > 0.85, "drop-invalid must protect off-path ASes: {frac_drop}");
+    // Under Ignore the attacker's shorter paths capture far more.
+    let state = propagate(&world.topology, &anns, RpkiPolicy::Ignore, &cache);
+    let frac_ignore = state.reachability_of(
+        world.topology.ases().filter(|a| *a != attacker.asn),
+        victim.prefixes[0].addr(),
+        victim.asn,
+    );
+    assert!(
+        frac_ignore < frac_drop,
+        "RPKI must strictly improve reachability: ignore {frac_ignore} vs drop {frac_drop}"
+    );
+}
+
+#[test]
+fn whack_on_generated_world_is_targeted_and_detected() {
+    let (mut world, mut net, mut repos, tal) = build_world();
+    let rp = net.add_node("relying-party");
+
+    // Baseline validation + monitor snapshot.
+    let before = {
+        let mut source = NetworkSource::new(&mut net, &repos, rp);
+        Validator::new(ValidationConfig::at(Moment(2)))
+            .run(&mut source, std::slice::from_ref(&tal))
+    };
+    let mut monitor = Monitor::new();
+    monitor.observe(MonitorSnapshot::capture(&repos, Moment(2)));
+
+    // Pick a stub with a ROA whose parent is an org (so the parent's
+    // parent — an RIR or org — could whack it; here the direct parent
+    // manipulates: a grandchild whack seen from the RIR would use a
+    // chain of length 2).
+    let (stub_idx, stub) = world
+        .orgs
+        .iter()
+        .enumerate()
+        .find(|(_, o)| {
+            o.kind == OrgKind::Stub && o.adopted_roa && matches!(o.parent, ParentRef::Org(_))
+        })
+        .expect("an adopted stub exists");
+    let ParentRef::Org(parent_idx) = stub.parent else { unreachable!() };
+    let stub_asn = stub.asn;
+    let parent_ca_idx = world.orgs[parent_idx].ca;
+
+    // The manipulator is the stub's provider. Its view of… itself? No:
+    // the *RIR* whacks through the provider. Chain: provider's RC
+    // (issued by the RIR) → we need the provider CA's issued cert for
+    // the stub. Simpler grandchild case: the RIR manipulates, chain =
+    // [provider view].
+    let rir_idx = {
+        let mut at = parent_idx;
+        loop {
+            match world.orgs[at].parent {
+                ParentRef::Rir(r) => break 1 + r,
+                ParentRef::Org(p) => at = p,
+            }
+        }
+    };
+    let provider_rc = world.cas[rir_idx]
+        .issued_cert_for(world.cas[parent_ca_idx].key_id())
+        .expect("provider certified by RIR")
+        .clone();
+    let provider_view = CaView::from_repos(&provider_rc, &repos);
+    let target_file = provider_view
+        .roas
+        .iter()
+        .find(|r| r.asn() == stub_asn)
+        .map(|r| r.file_name());
+
+    // The stub's ROA is issued by the stub itself (its own CA), not the
+    // provider — so the provider's pub point holds the stub's RC, and
+    // the chain for the RIR is [provider, stub].
+    assert!(target_file.is_none(), "stub ROAs live at the stub's own pub point");
+    let stub_rc = world.cas[parent_ca_idx]
+        .issued_cert_for(world.cas[world.orgs[stub_idx].ca].key_id())
+        .expect("stub certified by provider")
+        .clone();
+    let stub_view = CaView::from_repos(&stub_rc, &repos);
+    let target_file = stub_view
+        .roas
+        .iter()
+        .find(|r| r.asn() == stub_asn)
+        .expect("stub's ROA at its own point")
+        .file_name();
+
+    let chain = vec![provider_view, stub_view];
+    let plan = plan_whack(&chain, &target_file).expect("plan");
+    assert!(plan.reissued >= 1, "great-grandchild whack needs reissues");
+    plan.execute(&mut world.cas[rir_idx], Moment(3)).expect("execute");
+    world.publish_all(&mut repos, Moment(3));
+
+    // Re-validate: only the victim lost validity.
+    let after = {
+        let mut source = NetworkSource::new(&mut net, &repos, rp);
+        Validator::new(ValidationConfig::at(Moment(4)))
+            .run(&mut source, std::slice::from_ref(&tal))
+    };
+    let damage = damage_between(&before.vrps, &after.vrps, &probes_for(&before.vrps));
+    assert!(damage.clean_except(&[stub_asn]), "collateral: {damage:?}");
+    assert!(damage.lost_vrps.iter().any(|v| v.asn == stub_asn));
+
+    // And the monitor flagged the manipulation.
+    let events = monitor.observe(MonitorSnapshot::capture(&repos, Moment(4)));
+    assert!(
+        events.iter().any(|e| e.classification.is_suspicious()),
+        "whack escaped the monitor: {events:#?}"
+    );
+}
+
+#[test]
+fn transport_faults_degrade_validation_gracefully() {
+    let (world, mut net, repos, tal) = build_world();
+    let rp = net.add_node("relying-party");
+
+    // Take down one transit's repository host.
+    let victim_transit =
+        world.orgs.iter().find(|o| o.kind == OrgKind::Transit).expect("transits");
+    let host = world.cas[victim_transit.ca].sia().host().to_owned();
+    let node = repos.node_of(&host).expect("materialized");
+    net.faults.set_down(node, true);
+
+    let mut source = NetworkSource::new(&mut net, &repos, rp);
+    let run =
+        Validator::new(ValidationConfig::at(Moment(2))).run(&mut source, std::slice::from_ref(&tal));
+
+    // The transit's own ROA and every stub *certified by it* are gone;
+    // everything else survives.
+    assert!(run.vrps.iter().all(|v| v.asn != victim_transit.asn));
+    let dependents: Vec<Asn> = world
+        .orgs
+        .iter()
+        .filter(|o| matches!(o.parent, ParentRef::Org(p) if world.orgs[p].asn == victim_transit.asn))
+        .map(|o| o.asn)
+        .collect();
+    for dep in &dependents {
+        assert!(
+            run.vrps.iter().all(|v| v.asn != *dep),
+            "descendant {dep} should be unreachable with its issuer's repo down"
+        );
+    }
+    let unaffected: usize = world
+        .orgs
+        .iter()
+        .filter(|o| {
+            o.adopted_roa
+                && o.asn != victim_transit.asn
+                && !dependents.contains(&o.asn)
+        })
+        .map(|o| o.prefixes.len())
+        .sum();
+    assert_eq!(run.vrps.len(), unaffected);
+}

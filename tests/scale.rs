@@ -1,0 +1,73 @@
+//! Large-scale smoke tests, `#[ignore]`d by default:
+//!
+//! ```sh
+//! cargo test --release --test scale -- --ignored
+//! ```
+//!
+//! They document that the pipeline holds up at thousands of
+//! organisations — the scale the paper's footnote 4 projects for full
+//! deployment ("about 1200–1400 ROAs, less than 1% of projected
+//! deployment" puts full deployment above 100k ROAs; several thousand
+//! here keeps the ignored run under a minute in release mode).
+
+use netsim::Network;
+use rpki_objects::Moment;
+use rpki_repo::RepoRegistry;
+use rpki_rp::{NetworkSource, ValidationConfig, Validator};
+use topogen::{Config, SyntheticInternet};
+
+fn big_config() -> Config {
+    Config {
+        seed: 404,
+        transits: 120,
+        stubs: 3000,
+        roa_adoption: 1.0,
+        cross_border: 0.15,
+        anchors: true,
+    }
+}
+
+#[test]
+#[ignore = "large; run with --ignored in release mode"]
+fn thousands_of_orgs_validate() {
+    let mut world = SyntheticInternet::generate(big_config());
+    let mut net = Network::new(0);
+    let mut repos = RepoRegistry::new();
+    let tal = world.materialize(&mut net, &mut repos, Moment(1));
+    let rp = net.add_node("relying-party");
+    let mut source = NetworkSource::new(&mut net, &repos, rp);
+    let run =
+        Validator::new(ValidationConfig::at(Moment(2))).run(&mut source, std::slice::from_ref(&tal));
+    assert_eq!(run.cas.len(), 6 + world.orgs.len());
+    let expected: usize =
+        world.orgs.iter().filter(|o| o.adopted_roa).map(|o| o.prefixes.len()).sum();
+    assert_eq!(run.vrps.len(), expected);
+    assert!(run.vrps.len() > 3000);
+}
+
+#[test]
+#[ignore = "large; run with --ignored in release mode"]
+fn thousands_of_orgs_route() {
+    use bgp_sim::{propagate, RpkiPolicy};
+    use rpki_rp::{Vrp, VrpCache};
+    let world = SyntheticInternet::generate(big_config());
+    let cache: VrpCache = world
+        .orgs
+        .iter()
+        .filter(|o| o.adopted_roa)
+        .flat_map(|o| o.prefixes.iter().map(move |&p| Vrp::new(p, p.len(), o.asn)))
+        .collect();
+    // Propagate a 50-prefix slice across the whole graph.
+    let slice: Vec<_> = world.announcements.iter().copied().take(50).collect();
+    let state = propagate(&world.topology, &slice, RpkiPolicy::DropInvalid, &cache);
+    // Every AS must hold a route for each propagated prefix (the graph
+    // is connected).
+    for ann in &slice {
+        let holders = world
+            .topology
+            .ases()
+            .filter(|a| state.best_route(*a, ann.prefix).is_some())
+            .count();
+        assert_eq!(holders, world.topology.len(), "{} under-propagated", ann.prefix);
+    }
+}

@@ -1,0 +1,182 @@
+//! Soak test: 300 simulated days of normal RPKI operations — daily
+//! publication refresh, ROA renewal before expiry, a key rollover —
+//! with one injected attack. Asserts that:
+//!
+//! - validity never degrades outside the injected attack window;
+//! - the monitor stays quiet through all the churn and flags the attack;
+//! - the Suspenders layer bridges the attack window entirely.
+
+use rpki_attacks::{Monitor, MonitorSnapshot};
+use rpki_objects::{Moment, Span};
+use rpki_risk::fixtures::asn;
+use rpki_risk::{ModelRpki, SuspendersConfig, SuspendersState};
+use rpki_rp::{Route, RouteValidity};
+
+const DAY: u64 = 86_400;
+
+fn day(n: u64) -> Moment {
+    Moment(n * DAY)
+}
+
+#[test]
+fn three_hundred_days_of_operations() {
+    let mut w = ModelRpki::build();
+    let mut monitor = Monitor::new();
+    let mut suspenders = SuspendersState::new(SuspendersConfig { hold_down: Span::days(45) });
+    let victim_route = Route::new("63.174.16.0/20".parse().unwrap(), asn::CONTINENTAL);
+
+    // The attack: at day 100 Continental is coerced into stealthily
+    // withdrawing its covering ROA; at day 140 it reissues (dispute
+    // resolved).
+    let attack_day = 100u64;
+    let restore_day = 140u64;
+    let mut withdrawn_file: Option<String> = None;
+
+    let mut monitor_alarms: Vec<u64> = Vec::new();
+
+    for d in 1..=300u64 {
+        let now = day(d);
+
+        // -- CA operations --
+        // Renew ROAs within 90 days of expiry (monthly maintenance).
+        if d % 30 == 0 {
+            for ca in [&mut w.arin, &mut w.sprint, &mut w.etb, &mut w.continental] {
+                let expiring: Vec<String> = ca
+                    .expiring_roas(now, Span::days(90))
+                    .iter()
+                    .map(|r| r.file_name())
+                    .collect();
+                for file in expiring {
+                    ca.renew_roa(&file, now).expect("renewable");
+                }
+            }
+            // Parent certs expire too (365d): reissue the child RCs
+            // with the same resources when their window nears its end.
+            if d % 180 == 0 {
+                let sprint_key = w.sprint.public_key();
+                let sprint_res = w.sprint.resources();
+                let rc = w
+                    .arin
+                    .issue_cert("Sprint", sprint_key, sprint_res, w.sprint.sia().clone(), now)
+                    .expect("renewal");
+                w.sprint.install_cert(rc);
+                for (ca, handle) in
+                    [(&mut w.etb, "ETB S.A. ESP."), (&mut w.continental, "Continental Broadband")]
+                {
+                    let key = ca.public_key();
+                    let res = ca.resources();
+                    let rc = w
+                        .sprint
+                        .issue_cert(handle, key, res, ca.sia().clone(), now)
+                        .expect("renewal");
+                    ca.install_cert(rc);
+                }
+            }
+        }
+
+        // Key rollover at day 200: ETB rolls, Sprint recertifies.
+        if d == 200 {
+            let old_serial = w
+                .sprint
+                .issued_cert_for(w.etb.key_id())
+                .expect("certified")
+                .data()
+                .serial;
+            // Capture the allocation before rolling: `roll_key` drops
+            // the certificate (the parent must re-certify), after which
+            // `resources()` is empty.
+            let etb_resources = w.etb.resources();
+            let report = w.etb.roll_key("model-etb-key2", now);
+            w.sprint.revoke_serial(old_serial);
+            let rc = w
+                .sprint
+                .issue_cert(
+                    "ETB S.A. ESP.",
+                    report.new_key,
+                    etb_resources,
+                    w.etb.sia().clone(),
+                    now,
+                )
+                .expect("rollover recert");
+            w.etb.install_cert(rc);
+        }
+
+        // The attack window.
+        if d == attack_day {
+            let file = w.covering_roa_file();
+            w.continental.withdraw(&file).expect("present");
+            withdrawn_file = Some(file);
+        }
+        if d == restore_day {
+            let _ = withdrawn_file.take();
+            w.continental
+                .issue_roa(
+                    asn::CONTINENTAL,
+                    vec![rpki_objects::RoaPrefix::exact("63.174.16.0/20".parse().unwrap())],
+                    now,
+                )
+                .expect("reissue");
+        }
+
+        // -- Daily publication refresh --
+        w.publish_all(now);
+
+        // -- Weekly relying-party and monitor passes --
+        if d % 7 == 0 {
+            let run = w.validate_direct(now + Span::hours(1));
+            suspenders.ingest(&run, now + Span::hours(1));
+            let events = monitor.observe(MonitorSnapshot::capture(&w.repos, now));
+            if events.iter().any(|e| e.classification.is_suspicious()) {
+                monitor_alarms.push(d);
+            }
+
+            let bare = run.vrp_cache().classify(victim_route);
+            let failsafe = suspenders.effective_cache().classify(victim_route);
+            let in_attack_window = (attack_day..restore_day).contains(&d);
+            if in_attack_window {
+                assert_ne!(
+                    bare,
+                    RouteValidity::Valid,
+                    "day {d}: bare RP should have lost the victim VRP"
+                );
+                // Suspenders bridges the whole 40-day window (hold-down
+                // 45 days).
+                assert_eq!(
+                    failsafe,
+                    RouteValidity::Valid,
+                    "day {d}: fail-safe must bridge the attack window"
+                );
+            } else {
+                assert_eq!(bare, RouteValidity::Valid, "day {d}: bare validity dipped");
+                assert_eq!(failsafe, RouteValidity::Valid, "day {d}: fail-safe dipped");
+            }
+
+            // Everything else stays valid throughout.
+            let cache = run.vrp_cache();
+            for ann in &w.announcements {
+                if ann.origin == asn::CONTINENTAL {
+                    continue;
+                }
+                assert_eq!(
+                    cache.classify(Route::new(ann.prefix, ann.origin)),
+                    RouteValidity::Valid,
+                    "day {d}: {} ← {} degraded",
+                    ann.prefix,
+                    ann.origin
+                );
+            }
+        }
+    }
+
+    // The monitor flagged the attack week and nothing else.
+    let attack_week = (attack_day..attack_day + 7).find(|d| d % 7 == 0).expect("a week boundary");
+    assert!(
+        monitor_alarms.contains(&attack_week),
+        "monitor missed the attack week; alarms at {monitor_alarms:?}"
+    );
+    assert!(
+        monitor_alarms.iter().all(|d| (attack_day..attack_day + 7).contains(d)),
+        "false alarms outside the attack week: {monitor_alarms:?}"
+    );
+}
+
