@@ -38,10 +38,8 @@ pub fn damage_between(before: &[Vrp], after: &[Vrp], probes: &[Route]) -> Damage
     let before_cache: VrpCache = before.iter().copied().collect();
     let after_cache: VrpCache = after.iter().copied().collect();
 
-    let lost_vrps: Vec<Vrp> =
-        before.iter().filter(|v| !after.contains(v)).copied().collect();
-    let gained_vrps: Vec<Vrp> =
-        after.iter().filter(|v| !before.contains(v)).copied().collect();
+    let lost_vrps: Vec<Vrp> = before.iter().filter(|v| !after.contains(v)).copied().collect();
+    let gained_vrps: Vec<Vrp> = after.iter().filter(|v| !before.contains(v)).copied().collect();
 
     let mut routes_degraded = Vec::new();
     let mut routes_changed = 0;
@@ -63,8 +61,7 @@ pub fn damage_between(before: &[Vrp], after: &[Vrp], probes: &[Route]) -> Damage
 /// holder would announce it (prefix at its own length, authorised
 /// origin).
 pub fn probes_for(vrps: &[Vrp]) -> Vec<Route> {
-    let mut probes: Vec<Route> =
-        vrps.iter().map(|v| Route::new(v.prefix, v.asn)).collect();
+    let mut probes: Vec<Route> = vrps.iter().map(|v| Route::new(v.prefix, v.asn)).collect();
     probes.sort_unstable();
     probes.dedup();
     probes
@@ -94,10 +91,8 @@ mod tests {
     fn whack_with_cover_degrades_to_invalid() {
         // The victim's VRP disappears; a covering VRP remains → the
         // victim's route flips valid → INVALID (Side Effect 6 shape).
-        let before = vec![
-            Vrp::new(p("10.0.0.0/8"), 8, Asn(99)),
-            Vrp::new(p("10.1.0.0/16"), 16, Asn(1)),
-        ];
+        let before =
+            vec![Vrp::new(p("10.0.0.0/8"), 8, Asn(99)), Vrp::new(p("10.1.0.0/16"), 16, Asn(1))];
         let after = vec![Vrp::new(p("10.0.0.0/8"), 8, Asn(99))];
         let report = damage_between(&before, &after, &probes_for(&before));
         assert_eq!(report.lost_vrps, vec![Vrp::new(p("10.1.0.0/16"), 16, Asn(1))]);
@@ -120,10 +115,8 @@ mod tests {
     fn reissue_shows_as_gain_and_prevents_degradation() {
         // Make-before-break: same VRP content reappears (from the
         // manipulator's pub point) → no degradation.
-        let before = vec![
-            Vrp::new(p("10.0.0.0/8"), 8, Asn(99)),
-            Vrp::new(p("10.1.0.0/16"), 16, Asn(1)),
-        ];
+        let before =
+            vec![Vrp::new(p("10.0.0.0/8"), 8, Asn(99)), Vrp::new(p("10.1.0.0/16"), 16, Asn(1))];
         let after = before.clone(); // identical VRPs, different issuer
         let report = damage_between(&before, &after, &probes_for(&before));
         assert!(report.routes_degraded.is_empty());
@@ -131,10 +124,8 @@ mod tests {
 
     #[test]
     fn probes_deduplicate() {
-        let vrps = vec![
-            Vrp::new(p("10.0.0.0/8"), 8, Asn(1)),
-            Vrp::new(p("10.0.0.0/8"), 24, Asn(1)),
-        ];
+        let vrps =
+            vec![Vrp::new(p("10.0.0.0/8"), 8, Asn(1)), Vrp::new(p("10.0.0.0/8"), 24, Asn(1))];
         assert_eq!(probes_for(&vrps).len(), 1);
     }
 }

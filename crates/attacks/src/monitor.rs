@@ -213,12 +213,7 @@ impl Monitor {
                             dir: dir.clone(),
                             file: name.clone(),
                             kind: ChangeKind::Removed,
-                            classification: classify_removal(
-                                dir,
-                                old_obj,
-                                new_files,
-                                &revoked,
-                            ),
+                            classification: classify_removal(dir, old_obj, new_files, &revoked),
                         });
                     }
                 }
@@ -359,20 +354,12 @@ fn classify_addition(
             }
             // Same content living at (or vanished from) another
             // publication point → make-before-break fingerprint.
-            let elsewhere_new = new_roa_dirs
-                .get(&key)
-                .into_iter()
-                .flatten()
-                .find(|d| d.as_str() != dir);
-            let elsewhere_old = old_roa_dirs
-                .get(&key)
-                .into_iter()
-                .flatten()
-                .find(|d| d.as_str() != dir);
+            let elsewhere_new =
+                new_roa_dirs.get(&key).into_iter().flatten().find(|d| d.as_str() != dir);
+            let elsewhere_old =
+                old_roa_dirs.get(&key).into_iter().flatten().find(|d| d.as_str() != dir);
             if let Some(original) = elsewhere_new.or(elsewhere_old) {
-                return Classification::SuspiciousReissue {
-                    original_dir: (*original).clone(),
-                };
+                return Classification::SuspiciousReissue { original_dir: (*original).clone() };
             }
             Classification::NewIssuance
         }
@@ -442,15 +429,12 @@ mod tests {
 
     fn publish(rig: &mut Rig, now: Moment) {
         let snap = rig.ta.publication_snapshot(now);
-        rig.repos.by_host_mut("rpki.ta.example").unwrap().publish_snapshot(
-            &RepoUri::new("rpki.ta.example", &["repo"]),
-            &snap,
-        );
-        let snap = rig.sprint.publication_snapshot(now);
         rig.repos
-            .by_host_mut("rpki.sprint.example")
+            .by_host_mut("rpki.ta.example")
             .unwrap()
-            .publish_snapshot(&rig.dir, &snap);
+            .publish_snapshot(&RepoUri::new("rpki.ta.example", &["repo"]), &snap);
+        let snap = rig.sprint.publication_snapshot(now);
+        rig.repos.by_host_mut("rpki.sprint.example").unwrap().publish_snapshot(&rig.dir, &snap);
         let _ = &rig.net;
     }
 
@@ -504,9 +488,7 @@ mod tests {
         rig.sprint.withdraw(&roa.file_name()).unwrap();
         publish(&mut rig, Moment(2));
         let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(2)));
-        assert!(events
-            .iter()
-            .any(|e| e.classification == Classification::StealthyRemoval));
+        assert!(events.iter().any(|e| e.classification == Classification::StealthyRemoval));
     }
 
     #[test]
@@ -522,9 +504,7 @@ mod tests {
         rig.sprint.revoke_serial(roa.serial());
         publish(&mut rig, Moment(2));
         let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(2)));
-        assert!(events
-            .iter()
-            .any(|e| e.classification == Classification::RevokedRemoval));
+        assert!(events.iter().any(|e| e.classification == Classification::RevokedRemoval));
         assert!(events.iter().all(|e| !e.classification.is_suspicious()));
     }
 
@@ -547,9 +527,9 @@ mod tests {
             .unwrap();
         publish(&mut rig, Moment(2));
         let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(2)));
-        let whack = events.iter().find(|e| {
-            matches!(e.classification, Classification::SuspectedWhack { .. })
-        });
+        let whack = events
+            .iter()
+            .find(|e| matches!(e.classification, Classification::SuspectedWhack { .. }));
         let whack = whack.expect("whack flagged");
         match &whack.classification {
             Classification::SuspectedWhack { orphaned } => {
@@ -571,9 +551,7 @@ mod tests {
         mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(1)));
         // The TA reissues the same authorization as its own ROA (the
         // "make" of make-before-break) at the TA's publication point.
-        rig.ta
-            .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(2))
-            .unwrap();
+        rig.ta.issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(2)).unwrap();
         publish(&mut rig, Moment(2));
         let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(2)));
         let reissue = events
@@ -599,9 +577,7 @@ mod tests {
             .unwrap();
         publish(&mut rig, Moment(2));
         let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(2)));
-        assert!(events
-            .iter()
-            .any(|e| e.classification == Classification::NewIssuance));
+        assert!(events.iter().any(|e| e.classification == Classification::NewIssuance));
         assert!(events.iter().all(|e| !e.classification.is_suspicious()));
     }
 }

@@ -76,11 +76,8 @@ impl CaView {
     /// is carved away.
     pub fn overlapping(&self, space: &ResourceSet) -> (Vec<&Roa>, Vec<&ResourceCert>) {
         let roas = self.roas.iter().filter(|r| r.resources().overlaps(space)).collect();
-        let certs = self
-            .child_certs
-            .iter()
-            .filter(|c| c.data().resources.overlaps(space))
-            .collect();
+        let certs =
+            self.child_certs.iter().filter(|c| c.data().resources.overlaps(space)).collect();
         (roas, certs)
     }
 
@@ -120,9 +117,7 @@ mod tests {
             .issue_cert("Sprint", sprint.public_key(), rs("63.160.0.0/12"), dir.clone(), Moment(0))
             .unwrap();
         sprint.install_cert(rc.clone());
-        sprint
-            .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0))
-            .unwrap();
+        sprint.issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0)).unwrap();
         let roa2 = sprint
             .issue_roa(Asn(7341), vec![RoaPrefix::exact(p("63.161.0.0/20"))], Moment(0))
             .unwrap();

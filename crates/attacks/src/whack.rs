@@ -205,10 +205,7 @@ pub fn plan_whack(chain: &[CaView], target_file: &str) -> Result<WhackPlan, Whac
                     .map(|ca| {
                         let (roas, certs) = ca.overlapping(s);
                         // Exclude target and chain RCs from the count.
-                        let roas = roas
-                            .iter()
-                            .filter(|r| r.file_name() != target_file)
-                            .count();
+                        let roas = roas.iter().filter(|r| r.file_name() != target_file).count();
                         roas + certs.len()
                     })
                     .sum();
@@ -271,13 +268,7 @@ pub fn plan_whack(chain: &[CaView], target_file: &str) -> Result<WhackPlan, Whac
         sia: chain[0].sia.clone(),
     });
 
-    Ok(WhackPlan {
-        target: target.to_string(),
-        carved,
-        steps,
-        reissued,
-        collateral: Vec::new(),
-    })
+    Ok(WhackPlan { target: target.to_string(), carved, steps, reissued, collateral: Vec::new() })
 }
 
 impl WhackPlan {
@@ -293,11 +284,23 @@ impl WhackPlan {
         for step in &self.steps {
             match step {
                 WhackStep::OverwriteChildCert { handle, subject_key, new_resources, sia } => {
-                    manipulator.issue_cert(handle, *subject_key, new_resources.clone(), sia.clone(), now)?;
+                    manipulator.issue_cert(
+                        handle,
+                        *subject_key,
+                        new_resources.clone(),
+                        sia.clone(),
+                        now,
+                    )?;
                     log.push(format!("overwrote RC of {handle} with {new_resources}"));
                 }
                 WhackStep::ReissueCertAsOwn { handle, subject_key, resources, sia } => {
-                    manipulator.issue_cert(handle, *subject_key, resources.clone(), sia.clone(), now)?;
+                    manipulator.issue_cert(
+                        handle,
+                        *subject_key,
+                        resources.clone(),
+                        sia.clone(),
+                        now,
+                    )?;
                     log.push(format!("reissued RC of {handle} as own child"));
                 }
                 WhackStep::ReissueRoaAsOwn { asn, prefixes } => {

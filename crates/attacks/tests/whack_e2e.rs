@@ -64,7 +64,13 @@ impl ModelWorld {
 
         let mut etb = CertAuthority::new("ETB S.A. ESP.", "e2e-etb", dir("rpki.etb.example"));
         let rc = sprint
-            .issue_cert("ETB S.A. ESP.", etb.public_key(), rs("63.166.0.0/16"), etb.sia().clone(), Moment(0))
+            .issue_cert(
+                "ETB S.A. ESP.",
+                etb.public_key(),
+                rs("63.166.0.0/16"),
+                etb.sia().clone(),
+                Moment(0),
+            )
             .unwrap();
         etb.install_cert(rc);
 
@@ -92,8 +98,7 @@ impl ModelWorld {
             .issue_roa(Asn(1239), vec![RoaPrefix::up_to(p("208.24.0.0/16"), 24)], Moment(0))
             .unwrap();
         // ETB's ROA.
-        etb.issue_roa(Asn(19094), vec![RoaPrefix::exact(p("63.166.0.0/16"))], Moment(0))
-            .unwrap();
+        etb.issue_roa(Asn(19094), vec![RoaPrefix::exact(p("63.166.0.0/16"))], Moment(0)).unwrap();
         // Continental's five ROAs (Figure 3's cast): the /20 covering
         // ROA, a customer /22, and three more inside [16.0–23.255] ∪
         // [25.0–31.255] so that 63.174.24.0/24 is collateral-free.
@@ -126,10 +131,11 @@ impl ModelWorld {
     fn publish_all(&mut self, now: Moment) {
         let ta_cert = self.arin.cert().unwrap().clone();
         let ta_dir = RepoUri::new("rpki.arin.example", &["ta"]);
-        self.repos
-            .by_host_mut("rpki.arin.example")
-            .unwrap()
-            .publish_raw(&ta_dir, "root.cer", RpkiObject::Cert(ta_cert).to_bytes());
+        self.repos.by_host_mut("rpki.arin.example").unwrap().publish_raw(
+            &ta_dir,
+            "root.cer",
+            RpkiObject::Cert(ta_cert).to_bytes(),
+        );
         for (host, ca) in [
             ("rpki.arin.example", &mut self.arin),
             ("rpki.sprint.example", &mut self.sprint),
@@ -171,12 +177,7 @@ fn grandchild_whack_without_collateral() {
     let mut w = ModelWorld::build();
     let before = w.validate(Moment(2));
     let view = w.continental_view();
-    let target_file = view
-        .roas
-        .iter()
-        .find(|r| r.asn() == Asn(17054))
-        .unwrap()
-        .file_name();
+    let target_file = view.roas.iter().find(|r| r.asn() == Asn(17054)).unwrap().file_name();
 
     let plan = plan_whack(std::slice::from_ref(&view), &target_file).unwrap();
     // Zero suspicious reissues: the clean carve exists.
@@ -194,10 +195,7 @@ fn grandchild_whack_without_collateral() {
         WhackStep::OverwriteChildCert { new_resources, .. } => {
             // The shape of Figure 3's published RC: the /20 minus one
             // /24, expressed as two non-CIDR ranges.
-            assert_eq!(
-                new_resources,
-                &rs("63.174.16.0/20").difference(&plan.carved)
-            );
+            assert_eq!(new_resources, &rs("63.174.16.0/20").difference(&plan.carved));
             assert_eq!(new_resources.num_runs(), 2);
         }
         other => panic!("unexpected step {other:?}"),
@@ -229,8 +227,7 @@ fn make_before_break_whack() {
     let mut w = ModelWorld::build();
     let before = w.validate(Moment(2));
     let view = w.continental_view();
-    let target_file =
-        view.roas.iter().find(|r| r.asn() == Asn(7341)).unwrap().file_name();
+    let target_file = view.roas.iter().find(|r| r.asn() == Asn(7341)).unwrap().file_name();
 
     let plan = plan_whack(std::slice::from_ref(&view), &target_file).unwrap();
     // The covering /20 ROA is damaged and must be reissued: exactly one
@@ -250,16 +247,10 @@ fn make_before_break_whack() {
     // The reissued /20 VRP is identical in content, so route validity
     // for AS17054 is unchanged.
     let cache = after.vrp_cache();
-    assert_eq!(
-        cache.classify(Route::new(p("63.174.16.0/20"), Asn(17054))),
-        RouteValidity::Valid
-    );
+    assert_eq!(cache.classify(Route::new(p("63.174.16.0/20"), Asn(17054))), RouteValidity::Valid);
     // The target dies as INVALID, not unknown: the covering /20 remains
     // (Section 3's "whacked AND covered" summary case).
-    assert_eq!(
-        cache.classify(Route::new(p("63.174.16.0/22"), Asn(7341))),
-        RouteValidity::Invalid
-    );
+    assert_eq!(cache.classify(Route::new(p("63.174.16.0/22"), Asn(7341))), RouteValidity::Invalid);
 }
 
 /// Side Effect 4: ARIN (the grandparent's parent) whacks a
@@ -274,12 +265,8 @@ fn great_grandchild_whack_needs_more_reissues() {
     let sprint_rc = w.arin.issued_cert_for(w.sprint.key_id()).unwrap().clone();
     let sprint_view = CaView::from_repos(&sprint_rc, &w.repos);
     let continental_view = w.continental_view();
-    let target_file = continental_view
-        .roas
-        .iter()
-        .find(|r| r.asn() == Asn(17054))
-        .unwrap()
-        .file_name();
+    let target_file =
+        continental_view.roas.iter().find(|r| r.asn() == Asn(17054)).unwrap().file_name();
 
     let chain = vec![sprint_view, continental_view];
     let plan = plan_whack(&chain, &target_file).unwrap();
@@ -306,12 +293,7 @@ fn great_grandchild_whack_needs_more_reissues() {
 fn naive_revocation_causes_collateral() {
     let mut w = ModelWorld::build();
     let before = w.validate(Moment(2));
-    let serial = w
-        .sprint
-        .issued_cert_for(w.continental.key_id())
-        .unwrap()
-        .data()
-        .serial;
+    let serial = w.sprint.issued_cert_for(w.continental.key_id()).unwrap().data().serial;
     w.sprint.revoke_serial(serial);
     w.publish_all(Moment(3));
     let after = w.validate(Moment(4));
@@ -351,17 +333,12 @@ fn monitor_catches_make_before_break() {
     monitor.observe(MonitorSnapshot::capture(&w.repos, Moment(2)));
 
     let view = w.continental_view();
-    let target_file =
-        view.roas.iter().find(|r| r.asn() == Asn(7341)).unwrap().file_name();
+    let target_file = view.roas.iter().find(|r| r.asn() == Asn(7341)).unwrap().file_name();
     let plan = plan_whack(std::slice::from_ref(&view), &target_file).unwrap();
     plan.execute(&mut w.sprint, Moment(3)).unwrap();
     w.publish_all(Moment(3));
 
     let events = monitor.observe(MonitorSnapshot::capture(&w.repos, Moment(3)));
-    let suspicious: Vec<_> =
-        events.iter().filter(|e| e.classification.is_suspicious()).collect();
-    assert!(
-        suspicious.len() >= 2,
-        "expect whack + reissue flagged, got {events:?}"
-    );
+    let suspicious: Vec<_> = events.iter().filter(|e| e.classification.is_suspicious()).collect();
+    assert!(suspicious.len() >= 2, "expect whack + reissue flagged, got {events:?}");
 }

@@ -91,10 +91,11 @@ fn build(shape: &ChildShape, case: u64) -> World {
 fn publish(w: &mut World, now: Moment) {
     let ta_cert = w.ta.cert().expect("certified").clone();
     let ta_pub_dir = RepoUri::new("ta.example", &["repo-ta"]);
-    w.repos
-        .by_host_mut("ta.example")
-        .expect("exists")
-        .publish_raw(&ta_pub_dir, "root.cer", RpkiObject::Cert(ta_cert).to_bytes());
+    w.repos.by_host_mut("ta.example").expect("exists").publish_raw(
+        &ta_pub_dir,
+        "root.cer",
+        RpkiObject::Cert(ta_cert).to_bytes(),
+    );
     for host in ["ta.example", "child.example"] {
         let ca = if host == "ta.example" { &mut w.ta } else { &mut w.child };
         let sia = ca.sia().clone();
@@ -105,9 +106,7 @@ fn publish(w: &mut World, now: Moment) {
 
 fn validate(w: &World, now: Moment) -> Vec<Vrp> {
     let mut source = DirectSource::new(&w.repos);
-    Validator::new(ValidationConfig::at(now))
-        .run(&mut source, std::slice::from_ref(&w.tal))
-        .vrps
+    Validator::new(ValidationConfig::at(now)).run(&mut source, std::slice::from_ref(&w.tal)).vrps
 }
 
 proptest! {

@@ -64,8 +64,7 @@ fn bench_incremental_sync(c: &mut Criterion) {
             let mut cache = SyncCache::new();
             sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
             b.iter(|| {
-                let (out, stats) =
-                    sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
+                let (out, stats) = sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
                 assert_eq!(stats.fetched, 0);
                 black_box(out.files.len())
             })
@@ -73,8 +72,7 @@ fn bench_incremental_sync(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cold_full", files), &files, |b, _| {
             b.iter(|| {
                 let mut cache = SyncCache::new();
-                let (out, _) =
-                    sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
+                let (out, _) = sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
                 black_box(out.files.len())
             })
         });

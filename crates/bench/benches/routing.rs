@@ -26,7 +26,8 @@ fn bench_propagation(c: &mut Criterion) {
         for policy in [RpkiPolicy::Ignore, RpkiPolicy::DropInvalid] {
             group.bench_function(BenchmarkId::new(format!("{policy:?}"), label), |b| {
                 b.iter(|| {
-                    let state = propagate(&world.topology, &slice, policy, &cache);
+                    let state =
+                        propagate(&world.topology, &slice, policy, &cache).expect("converges");
                     black_box(state.ases_with_routes())
                 })
             });
@@ -47,7 +48,8 @@ fn bench_forwarding(c: &mut Criterion) {
         anchors: false,
     });
     let slice: Vec<_> = world.announcements.iter().copied().take(20).collect();
-    let state = propagate(&world.topology, &slice, RpkiPolicy::Ignore, &VrpCache::new());
+    let state = propagate(&world.topology, &slice, RpkiPolicy::Ignore, &VrpCache::new())
+        .expect("converges");
     let src = world.orgs.last().expect("orgs").asn;
     let dst = slice[0];
     group.bench_function("forward_one_packet", |b| {

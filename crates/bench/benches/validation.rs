@@ -53,21 +53,17 @@ fn bench_origin_validation(c: &mut Criterion) {
                 Route::new(ipres::Prefix::new(addr, 24), Asn(i % 700))
             })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("classify_1k_routes", n),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    let mut valid = 0usize;
-                    for r in &routes {
-                        if cache.classify(*r) == rpki_rp::RouteValidity::Valid {
-                            valid += 1;
-                        }
+        group.bench_with_input(BenchmarkId::new("classify_1k_routes", n), &n, |b, _| {
+            b.iter(|| {
+                let mut valid = 0usize;
+                for r in &routes {
+                    if cache.classify(*r) == rpki_rp::RouteValidity::Valid {
+                        valid += 1;
                     }
-                    black_box(valid)
-                })
-            },
-        );
+                }
+                black_box(valid)
+            })
+        });
     }
     group.finish();
 }

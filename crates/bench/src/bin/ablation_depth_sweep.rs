@@ -11,14 +11,12 @@
 
 use ipres::{Addr, Asn, Prefix, ResourceSet};
 use netsim::Network;
-use rpki_attacks::{
-    damage_between, plan_whack, probes_for, CaView, Monitor, MonitorSnapshot,
-};
+use rpki_attacks::{damage_between, plan_whack, probes_for, CaView, Monitor, MonitorSnapshot};
 use rpki_ca::CertAuthority;
 use rpki_objects::{Encode, Moment, RepoUri, RoaPrefix, RpkiObject, Span, TrustAnchorLocator};
 use rpki_repo::RepoRegistry;
-use rpki_rp::{DirectSource, ValidationConfig, Validator};
 use rpki_risk_bench::{emit_json, Table};
+use rpki_rp::{DirectSource, ValidationConfig, Validator};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -78,8 +76,7 @@ fn build_chain(depth: usize) -> Chain {
             .expect("own space");
         if i == depth {
             // The target ROA at the leaf, in the lower half.
-            ca.issue_roa(Asn(42), vec![RoaPrefix::exact(lower)], Moment(0))
-                .expect("own space");
+            ca.issue_roa(Asn(42), vec![RoaPrefix::exact(lower)], Moment(0)).expect("own space");
         }
         space = Prefix::new(lower.addr(), lower.len() + 1); // delegate deeper
         cas.push(ca);
@@ -97,10 +94,11 @@ fn build_chain(depth: usize) -> Chain {
 fn publish(c: &mut Chain) {
     let ta_cert = c.cas[0].cert().expect("certified").clone();
     let ta_dir = RepoUri::new("ta.example", &["ta"]);
-    c.repos
-        .by_host_mut("ta.example")
-        .expect("exists")
-        .publish_raw(&ta_dir, "root.cer", RpkiObject::Cert(ta_cert).to_bytes());
+    c.repos.by_host_mut("ta.example").expect("exists").publish_raw(
+        &ta_dir,
+        "root.cer",
+        RpkiObject::Cert(ta_cert).to_bytes(),
+    );
     for ca in &mut c.cas {
         let sia = ca.sia().clone();
         let snap = ca.publication_snapshot(Moment(1));
@@ -153,17 +151,17 @@ fn main() {
         }
         let ta_cert = c.cas[0].cert().expect("certified").clone();
         let ta_dir = RepoUri::new("ta.example", &["ta"]);
-        c.repos
-            .by_host_mut("ta.example")
-            .expect("exists")
-            .publish_raw(&ta_dir, "root.cer", RpkiObject::Cert(ta_cert).to_bytes());
+        c.repos.by_host_mut("ta.example").expect("exists").publish_raw(
+            &ta_dir,
+            "root.cer",
+            RpkiObject::Cert(ta_cert).to_bytes(),
+        );
 
         let mut source = DirectSource::new(&c.repos);
         let after = Validator::new(ValidationConfig::at(Moment(4)))
             .run(&mut source, std::slice::from_ref(&c.tal));
         let damage = damage_between(&before.vrps, &after.vrps, &probes_for(&before.vrps));
-        let collateral =
-            damage.routes_degraded.iter().filter(|(r, _)| r.origin != Asn(42)).count();
+        let collateral = damage.routes_degraded.iter().filter(|(r, _)| r.origin != Asn(42)).count();
 
         let events = monitor.observe(MonitorSnapshot::capture(&c.repos, Moment(3)));
         let flags = events.iter().filter(|e| e.classification.is_suspicious()).count();
@@ -226,12 +224,8 @@ fn main() {
         // removing the target's space; no make-before-break.
         let child_key = c.cas[1].public_key();
         let child_sia = c.cas[1].sia().clone();
-        let child_resources = c.cas[0]
-            .issued_cert_for(c.cas[1].key_id())
-            .expect("issued")
-            .data()
-            .resources
-            .clone();
+        let child_resources =
+            c.cas[0].issued_cert_for(c.cas[1].key_id()).expect("issued").data().resources.clone();
         // The target ROA's actual space, read from the leaf CA.
         let target_space = c.cas[depth]
             .issued_roas()
@@ -263,11 +257,8 @@ fn main() {
         twist_rows.push((depth, strict_dead, strict_coll, trim_dead, trim_coll));
     }
 
-    let mut twist = Table::new(&[
-        "depth",
-        "naive carve under RFC 6487 (strict)",
-        "…under RFC 8360 (trim)",
-    ]);
+    let mut twist =
+        Table::new(&["depth", "naive carve under RFC 6487 (strict)", "…under RFC 8360 (trim)"]);
     for (depth, sd, sc, td, tc) in &twist_rows {
         twist.row(&[
             (depth + 1).to_string(),

@@ -79,18 +79,13 @@ fn main() {
                     // Fresh issuance inside ETB's block.
                     let fourth = (issued_extra % 200) as u8;
                     issued_extra += 1;
-                    let p: Prefix =
-                        format!("63.166.{fourth}.0/24").parse().expect("valid");
+                    let p: Prefix = format!("63.166.{fourth}.0/24").parse().expect("valid");
                     let _ = w.etb.issue_roa(asn::ETB, vec![RoaPrefix::exact(p)], now);
                 }
                 2 => {
                     // Transparent revocation of the most recent extra
                     // ROA (if any besides the original).
-                    let serial = w
-                        .etb
-                        .issued_roas()
-                        .map(|r| r.serial())
-                        .max();
+                    let serial = w.etb.issued_roas().map(|r| r.serial()).max();
                     if let Some(serial) = serial {
                         if w.etb.issued_roas().count() > 1 {
                             w.etb.revoke_serial(serial);
@@ -121,8 +116,8 @@ fn main() {
     table.print("Monitor confusion matrix");
 
     let recall = conf.true_positives as f64 / conf.attack_rounds.max(1) as f64;
-    let fpr = conf.false_positives as f64
-        / (conf.false_positives + conf.true_negatives).max(1) as f64;
+    let fpr =
+        conf.false_positives as f64 / (conf.false_positives + conf.true_negatives).max(1) as f64;
     println!("\nrecall = {:.0}%, false-positive rate = {:.0}%", recall * 100.0, fpr * 100.0);
     assert!(recall >= 0.9, "monitor must catch whacks: recall {recall}");
     assert!(fpr <= 0.2, "churn must mostly pass: fpr {fpr}");

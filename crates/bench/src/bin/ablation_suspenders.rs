@@ -71,12 +71,8 @@ fn main() {
         let mut w = ModelRpki::build();
         let mut s = SuspendersState::new(SuspendersConfig::default());
         s.ingest(&w.validate_direct(Moment(2)), Moment(2));
-        let serial = w
-            .continental
-            .issued_roas()
-            .find(|r| r.asn() == asn::CONTINENTAL)
-            .unwrap()
-            .serial();
+        let serial =
+            w.continental.issued_roas().find(|r| r.asn() == asn::CONTINENTAL).unwrap().serial();
         w.continental.revoke_serial(serial);
         w.publish_all(Moment(3));
         let run = w.validate_direct(Moment(4));
@@ -112,9 +108,7 @@ fn main() {
         w.net.faults.set_down(node, false);
         let run = w.validate_network(Moment(4) + Span::hours(8));
         let events = s.ingest(&run, Moment(4) + Span::hours(8));
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, rpki_risk::SuspendersEvent::Recovered(_))));
+        assert!(events.iter().any(|e| matches!(e, rpki_risk::SuspendersEvent::Recovered(_))));
     }
 
     let mut table = Table::new(&["incident", "bare RP sees", "Suspenders RP sees"]);

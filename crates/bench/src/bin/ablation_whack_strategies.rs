@@ -36,11 +36,7 @@ fn measure(
     w.publish_all(Moment(3));
     let after = w.validate_direct(Moment(4)).vrps;
     let damage = damage_between(before, &after, &probes_for(before));
-    let collateral = damage
-        .routes_degraded
-        .iter()
-        .filter(|(r, _)| r.origin != target_asn)
-        .count();
+    let collateral = damage.routes_degraded.iter().filter(|(r, _)| r.origin != target_asn).count();
     (collateral, after)
 }
 
@@ -127,8 +123,7 @@ fn main() {
         let before = w.validate_direct(Moment(2)).vrps;
         let sprint_rc = w.arin.issued_cert_for(w.sprint.key_id()).expect("issued").clone();
         let sprint_view = CaView::from_repos(&sprint_rc, &w.repos);
-        let continental_rc =
-            w.sprint.issued_cert_for(w.continental.key_id()).expect("issued");
+        let continental_rc = w.sprint.issued_cert_for(w.continental.key_id()).expect("issued");
         let continental_view = CaView::from_repos(continental_rc, &w.repos);
         let file = w.covering_roa_file();
         let chain = vec![sprint_view, continental_view];

@@ -1,0 +1,160 @@
+//! Propagation-engine benchmark: worklist vs the full-scan reference,
+//! at growing topology sizes, exported to `BENCH_propagation.json`.
+//!
+//! The Criterion bench (`benches/routing.rs`) tracks the worklist
+//! engine's absolute numbers over time; this binary is the comparative
+//! harness behind EXPERIMENTS.md — it times both engines on identical
+//! inputs and records the speedup, the round counts, and the validity
+//! memo's hit rate.
+//!
+//! ```sh
+//! cargo run --release -p rpki-risk-bench --bin bench_propagation
+//! ```
+//!
+//! `--scale N` multiplies every topology size; `--json` additionally
+//! mirrors the records to stderr like the other harness binaries.
+
+use std::time::Instant;
+
+use bgp_sim::{propagate_with_stats, reference, RpkiPolicy};
+use rpki_risk_bench::{emit_json, scale_arg, Table};
+use rpki_rp::{Vrp, VrpCache};
+use serde::Serialize;
+use topogen::{Config, SyntheticInternet};
+
+/// One measured configuration.
+#[derive(Debug, Serialize)]
+struct Record {
+    ases: usize,
+    prefixes: usize,
+    policy: String,
+    worklist_ns: u128,
+    reference_ns: u128,
+    speedup: f64,
+    worklist_rounds: usize,
+    reference_rounds: usize,
+    route_updates: usize,
+    pairs_evaluated: usize,
+    memo_hits: usize,
+    memo_misses: usize,
+}
+
+/// Minimum wall time of `iters` runs of `f` (after one warmup run).
+fn time_min<F: FnMut()>(iters: usize, mut f: F) -> u128 {
+    f();
+    (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .expect("at least one iteration")
+}
+
+fn main() {
+    // `--scale 0` would generate an empty world and a NaN speedup.
+    let scale = scale_arg().max(1);
+    println!("Propagation engine benchmark (scale {scale})");
+
+    let sizes = [(15usize, 85usize), (40, 360), (80, 720)];
+    let mut records: Vec<Record> = Vec::new();
+    for (transits, stubs) in sizes {
+        let world = SyntheticInternet::generate(Config {
+            seed: 7,
+            transits: transits * scale,
+            stubs: stubs * scale,
+            roa_adoption: 1.0,
+            cross_border: 0.1,
+            anchors: false,
+        });
+        let cache: VrpCache = world
+            .orgs
+            .iter()
+            .filter(|o| o.adopted_roa)
+            .flat_map(|o| o.prefixes.iter().map(move |&p| Vrp::new(p, p.len(), o.asn)))
+            .collect();
+        let slice: Vec<_> = world.announcements.iter().copied().take(20).collect();
+        let ases = world.topology.len();
+
+        for policy in [RpkiPolicy::Ignore, RpkiPolicy::DropInvalid, RpkiPolicy::DeprefInvalid] {
+            let (state, stats) = propagate_with_stats(&world.topology, &slice, policy, &cache)
+                .expect("worklist converges");
+            let (oracle, oracle_rounds) =
+                reference::propagate(&world.topology, &slice, policy, &cache)
+                    .expect("reference converges");
+            assert_eq!(state, oracle, "engines diverged under {policy:?} at {ases} ASes");
+
+            let worklist_ns = time_min(5, || {
+                propagate_with_stats(&world.topology, &slice, policy, &cache)
+                    .expect("worklist converges");
+            });
+            let reference_ns = time_min(3, || {
+                reference::propagate(&world.topology, &slice, policy, &cache)
+                    .expect("reference converges");
+            });
+
+            records.push(Record {
+                ases,
+                prefixes: slice.len(),
+                policy: format!("{policy:?}"),
+                worklist_ns,
+                reference_ns,
+                speedup: reference_ns as f64 / worklist_ns as f64,
+                worklist_rounds: stats.rounds,
+                reference_rounds: oracle_rounds,
+                route_updates: stats.route_updates,
+                pairs_evaluated: stats.pairs_evaluated,
+                memo_hits: stats.memo_hits,
+                memo_misses: stats.memo_misses,
+            });
+        }
+    }
+
+    let mut out = Table::new(&[
+        "ASes",
+        "policy",
+        "worklist (ms)",
+        "reference (ms)",
+        "speedup",
+        "rounds (wl/ref)",
+        "memo hits",
+    ]);
+    for r in &records {
+        out.row(&[
+            r.ases.to_string(),
+            r.policy.clone(),
+            format!("{:.3}", r.worklist_ns as f64 / 1e6),
+            format!("{:.3}", r.reference_ns as f64 / 1e6),
+            format!("{:.1}x", r.speedup),
+            format!("{}/{}", r.worklist_rounds, r.reference_rounds),
+            format!("{}/{}", r.memo_hits, r.memo_hits + r.memo_misses),
+        ]);
+    }
+    out.print("worklist vs reference");
+
+    let largest = records.iter().map(|r| r.ases).max().expect("records");
+    let min_speedup_at_largest = records
+        .iter()
+        .filter(|r| r.ases == largest)
+        .map(|r| r.speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nminimum speedup at the largest size ({largest} ASes): {min_speedup_at_largest:.1}x"
+    );
+    if cfg!(debug_assertions) {
+        println!("(debug build — speedup target not enforced; run with --release)");
+    } else {
+        assert!(
+            min_speedup_at_largest >= 5.0,
+            "worklist engine regressed below the 5x target at {largest} ASes"
+        );
+        println!("OK: >= 5x at the largest size.");
+    }
+
+    let json = serde_json::to_string(&records).expect("serialise records");
+    std::fs::write("BENCH_propagation.json", format!("{json}\n"))
+        .expect("write BENCH_propagation.json");
+    println!("wrote BENCH_propagation.json ({} records)", records.len());
+    emit_json("bench_propagation", &records);
+}

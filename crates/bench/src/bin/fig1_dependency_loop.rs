@@ -18,8 +18,7 @@ fn main() {
     let mut w = ModelRpki::build();
     w.add_figure5_right_roa(Moment(2));
     let full = w.validate_direct(Moment(3)).vrps;
-    let degraded: Vec<Vrp> =
-        full.iter().copied().filter(|v| v.asn != asn::CONTINENTAL).collect();
+    let degraded: Vec<Vrp> = full.iter().copied().filter(|v| v.asn != asn::CONTINENTAL).collect();
 
     let ModelRpki { net, repos, rp_node, tal, topology, announcements, .. } = &mut w;
     let tals = std::slice::from_ref(&*tal);

@@ -36,8 +36,7 @@ fn render_panel(title: &str, cache: &rpki_rp::VrpCache, origins: &[Asn]) -> Vec<
 
 fn main() {
     let mut w = ModelRpki::build();
-    let origins =
-        [asn::SPRINT, asn::CONTINENTAL, asn::CUSTOMER_A, Asn(666) /* anyone else */];
+    let origins = [asn::SPRINT, asn::CONTINENTAL, asn::CUSTOMER_A, Asn(666) /* anyone else */];
 
     let left_cache = w.validate_direct(Moment(2)).vrp_cache();
     let left =

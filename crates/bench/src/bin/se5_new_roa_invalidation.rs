@@ -49,16 +49,11 @@ fn main() {
             .orgs
             .iter()
             .filter(|o| o.adopted_roa)
-            .flat_map(|o| {
-                o.prefixes.iter().map(move |&p| Vrp::new(p, p.len(), o.asn))
-            })
+            .flat_map(|o| o.prefixes.iter().map(move |&p| Vrp::new(p, p.len(), o.asn)))
             .collect();
         // Routes: everyone's announcements.
-        let routes: Vec<Route> = world
-            .announcements
-            .iter()
-            .map(|a| Route::new(a.prefix, a.origin))
-            .collect();
+        let routes: Vec<Route> =
+            world.announcements.iter().map(|a| Route::new(a.prefix, a.origin)).collect();
 
         // The early adopter: a transit that has NOT yet issued a ROA
         // (so the covering ROA is genuinely new) issues one for its /16

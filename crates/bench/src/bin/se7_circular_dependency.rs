@@ -33,11 +33,7 @@ fn main() {
     // Phase 1 — a healthy sync over the network.
     let healthy = w.validate_network(Moment(3));
     println!("phase 1: healthy sync           → {} VRPs", healthy.vrps.len());
-    phases.push(Phase {
-        phase: "healthy",
-        vrps: healthy.vrps.len(),
-        continental_fetchable: true,
-    });
+    phases.push(Phase { phase: "healthy", vrps: healthy.vrps.len(), continental_fetchable: true });
 
     // Phase 2 — the transient fault: corrupt ONE fetch from
     // Continental's repository (Side Effect 6's corrupted-object case).
@@ -109,7 +105,17 @@ fn main() {
         table.row(&[p.phase.to_owned(), p.vrps.to_string(), p.continental_fetchable.to_string()]);
     }
     table.print("Side Effect 7 timeline");
+    let mut work = stuck.propagation;
+    work.absorb(recovered.propagation);
+    println!(
+        "work: {} BGP rounds, {} route updates, validity memo {}/{} hits across both loop runs",
+        work.rounds,
+        work.route_updates,
+        work.memo_hits,
+        work.memo_hits + work.memo_misses,
+    );
     println!("\nOK: a transient fault persisted until manual intervention (Section 6).");
 
     emit_json("se7_phases", &phases);
+    emit_json("se7_convergence", &work);
 }

@@ -31,9 +31,9 @@ fn main() {
     // The paper's table: the planted anchors, with their foreign
     // coverage as measured on the generated world.
     let mut table = Table::new(&["Holder", "RC", "RIR", "Countries outside RIR jurisdiction"]);
-    for row in report.rows.iter().filter(|r| {
-        topogen::ANCHOR_ORGS.iter().any(|a| a.name == r.holder)
-    }) {
+    for row in
+        report.rows.iter().filter(|r| topogen::ANCHOR_ORGS.iter().any(|a| a.name == r.holder))
+    {
         table.row(&[
             row.holder.clone(),
             row.rc.join(", "),
@@ -52,11 +52,11 @@ fn main() {
         .collect();
     let mut agg = Table::new(&["metric", "value"]);
     agg.row(&["RCs examined".to_owned(), report.rcs_examined.to_string()]);
-    agg.row(&["RCs covering foreign countries".to_owned(), report.rcs_crossing_borders.to_string()]);
     agg.row(&[
-        "…of which organic (non-anchor)".to_owned(),
-        organic.len().to_string(),
+        "RCs covering foreign countries".to_owned(),
+        report.rcs_crossing_borders.to_string(),
     ]);
+    agg.row(&["…of which organic (non-anchor)".to_owned(), organic.len().to_string()]);
     agg.row(&[
         "fraction crossing borders".to_owned(),
         format!("{:.1}%", 100.0 * report.rcs_crossing_borders as f64 / report.rcs_examined as f64),

@@ -23,8 +23,7 @@ fn main() {
     let covering = Vrp::new("63.160.0.0/12".parse().unwrap(), 13, asn::SPRINT);
     let mut intact: Vec<Vrp> = w.validate_direct(Moment(2)).vrps;
     intact.push(covering);
-    let whacked: Vec<Vrp> =
-        intact.iter().copied().filter(|v| v.asn != asn::CONTINENTAL).collect();
+    let whacked: Vec<Vrp> = intact.iter().copied().filter(|v| v.asn != asn::CONTINENTAL).collect();
     let cache_intact: VrpCache = intact.into_iter().collect();
     let cache_whacked: VrpCache = whacked.into_iter().collect();
 
@@ -80,5 +79,16 @@ fn main() {
          (Section 5's tradeoff)."
     );
 
+    let c = table.convergence;
+    println!(
+        "work: {} rounds, {} route updates, {} pairs evaluated, validity memo {}/{} hits",
+        c.rounds,
+        c.route_updates,
+        c.pairs_evaluated,
+        c.memo_hits,
+        c.memo_hits + c.memo_misses,
+    );
+
     emit_json("tab6", &table.rows);
+    emit_json("tab6_convergence", &c);
 }

@@ -75,10 +75,7 @@ pub fn json_requested() -> bool {
 /// Emits a JSON record to stderr when `--json` was requested.
 pub fn emit_json<T: serde::Serialize>(label: &str, value: &T) {
     if json_requested() {
-        eprintln!(
-            "{}",
-            serde_json::json!({ "experiment": label, "data": value })
-        );
+        eprintln!("{}", serde_json::json!({ "experiment": label, "data": value }));
     }
 }
 

@@ -136,7 +136,8 @@ mod tests {
             &[Announcement { prefix: p("10.0.0.0/16"), origin: a(2) }],
             RpkiPolicy::Ignore,
             &VrpCache::new(),
-        );
+        )
+        .unwrap();
         let out = state.forward(a(4), addr("10.0.1.1"));
         assert!(out.delivered_to(a(2)));
         match out {
@@ -153,7 +154,8 @@ mod tests {
             &[Announcement { prefix: p("10.0.0.0/16"), origin: a(2) }],
             RpkiPolicy::Ignore,
             &VrpCache::new(),
-        );
+        )
+        .unwrap();
         match state.forward(a(4), addr("99.0.0.1")) {
             ForwardOutcome::NoRoute { at, .. } => assert_eq!(at, a(4)),
             other => panic!("{other:?}"),
@@ -168,7 +170,7 @@ mod tests {
             Announcement { prefix: p("10.0.0.0/16"), origin: a(2) },
             Announcement { prefix: p("10.0.1.0/24"), origin: a(66) },
         ];
-        let state = propagate(&t, &anns, RpkiPolicy::Ignore, &VrpCache::new());
+        let state = propagate(&t, &anns, RpkiPolicy::Ignore, &VrpCache::new()).unwrap();
         // Traffic to the hijacked /24 goes to the attacker, the rest of
         // the /16 still reaches the victim.
         assert!(state.forward(a(4), addr("10.0.1.1")).delivered_to(a(66)));
@@ -184,7 +186,7 @@ mod tests {
             Announcement { prefix: p("10.0.0.0/16"), origin: a(2) },
             Announcement { prefix: p("10.0.1.0/24"), origin: a(66) },
         ];
-        let state = propagate(&t, &anns, RpkiPolicy::DropInvalid, &cache);
+        let state = propagate(&t, &anns, RpkiPolicy::DropInvalid, &cache).unwrap();
         assert!(state.forward(a(4), addr("10.0.1.1")).delivered_to(a(2)));
     }
 
@@ -199,7 +201,7 @@ mod tests {
             Announcement { prefix: p("10.0.0.0/16"), origin: a(2) },
             Announcement { prefix: p("10.0.1.0/24"), origin: a(66) },
         ];
-        let state = propagate(&t, &anns, RpkiPolicy::DeprefInvalid, &cache);
+        let state = propagate(&t, &anns, RpkiPolicy::DeprefInvalid, &cache).unwrap();
         assert!(state.forward(a(4), addr("10.0.1.1")).delivered_to(a(66)));
     }
 
@@ -211,7 +213,8 @@ mod tests {
             &[Announcement { prefix: p("10.0.0.0/16"), origin: a(2) }],
             RpkiPolicy::Ignore,
             &VrpCache::new(),
-        );
+        )
+        .unwrap();
         let frac = state.reachability_of(t.ases(), addr("10.0.0.1"), a(2));
         assert_eq!(frac, 1.0);
         let frac = state.reachability_of(t.ases(), addr("10.0.0.1"), a(66));
@@ -221,7 +224,7 @@ mod tests {
     #[test]
     fn empty_iterator_reachability_is_zero() {
         let t = diamond();
-        let state = propagate(&t, &[], RpkiPolicy::Ignore, &VrpCache::new());
+        let state = propagate(&t, &[], RpkiPolicy::Ignore, &VrpCache::new()).unwrap();
         assert_eq!(state.reachability_of(std::iter::empty(), addr("10.0.0.1"), a(2)), 0.0);
     }
 }

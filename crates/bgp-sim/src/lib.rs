@@ -27,5 +27,8 @@ pub mod propagate;
 pub mod topology;
 
 pub use forward::ForwardOutcome;
-pub use propagate::{propagate, Announcement, RoutingState, RpkiPolicy, SelectedRoute};
-pub use topology::{Relationship, Topology};
+pub use propagate::{
+    propagate, propagate_with_stats, reference, Announcement, ConvergenceError, ConvergenceStats,
+    RoutingState, RpkiPolicy, SelectedRoute,
+};
+pub use topology::{Relationship, Topology, TopologyIndex};

@@ -1,12 +1,35 @@
 //! Route propagation to a Gao–Rexford fixed point, with RPKI policies.
+//!
+//! Two engines compute the same fixed point:
+//!
+//! - [`propagate`] / [`propagate_with_stats`] — the production
+//!   **worklist engine**: ASes and prefixes are interned into dense
+//!   indices, per-AS tables live in flat `Vec`s, and each round
+//!   re-evaluates only the `(AS, prefix)` pairs whose neighbours'
+//!   selections changed in the previous round. Origin validation is
+//!   memoized per `(prefix, origin)` — validity is round-invariant —
+//!   and AS-path tails are shared through an `Arc` cons list, so a
+//!   candidate evaluation allocates nothing and a route update
+//!   allocates one path node.
+//! - [`reference`] — the original synchronous full-scan engine, kept
+//!   as the oracle the equivalence property tests pin the worklist
+//!   engine against (see DESIGN.md "Routing engine" for the
+//!   determinism and equivalence argument).
+//!
+//! Both iterate *synchronised rounds* reading only previous-round
+//! state, which makes the computation order-independent and therefore
+//! deterministic; the worklist engine's dirty set is a `BTreeSet`, so
+//! even its internal evaluation order is reproducible.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
 
 use ipres::{Asn, Prefix};
 use rpki_rp::{Route, RouteValidity, VrpCache};
 use serde::Serialize;
 
-use crate::topology::{Relationship, Topology};
+use crate::topology::{Relationship, Topology, TopologyIndex};
 
 /// One origination: `origin` claims to be the destination for `prefix`.
 /// Hijacks are simply announcements whose origin is not the legitimate
@@ -52,22 +75,32 @@ pub struct SelectedRoute {
 
 impl SelectedRoute {
     fn pref_key(&self, policy: RpkiPolicy) -> (u8, u8, usize, u32) {
-        let validity_rank = match (policy, self.validity) {
-            (RpkiPolicy::DeprefInvalid, RouteValidity::Valid) => 0,
-            (RpkiPolicy::DeprefInvalid, RouteValidity::Unknown) => 1,
-            (RpkiPolicy::DeprefInvalid, RouteValidity::Invalid) => 2,
-            _ => 0,
-        };
         let rel_rank = self.learned_from.map(Relationship::rank).unwrap_or(0);
         let next_hop = self.path.first().map(|a| a.0).unwrap_or(0);
-        (validity_rank, rel_rank, self.path.len(), next_hop)
+        (validity_rank(policy, self.validity), rel_rank, self.path.len(), next_hop)
+    }
+}
+
+/// Position of `validity` in the selection order under `policy`: only
+/// `DeprefInvalid` lets validity influence preference.
+fn validity_rank(policy: RpkiPolicy, validity: RouteValidity) -> u8 {
+    match (policy, validity) {
+        (RpkiPolicy::DeprefInvalid, RouteValidity::Valid) => 0,
+        (RpkiPolicy::DeprefInvalid, RouteValidity::Unknown) => 1,
+        (RpkiPolicy::DeprefInvalid, RouteValidity::Invalid) => 2,
+        _ => 0,
     }
 }
 
 /// The converged routing state of the whole topology.
-#[derive(Debug, Default)]
+///
+/// Compares bit-for-bit (`PartialEq`): the equivalence property tests
+/// assert the worklist engine and the [`reference`] oracle produce
+/// equal states.
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct RoutingState {
-    /// `AS → prefix → selected route`.
+    /// `AS → prefix → selected route`. ASes holding no route for any
+    /// prefix have no entry.
     tables: BTreeMap<Asn, BTreeMap<Prefix, SelectedRoute>>,
     /// The policy the state was computed under.
     policy: Option<RpkiPolicy>,
@@ -95,134 +128,585 @@ impl RoutingState {
     }
 }
 
+/// Work done by a propagation run. Callers report these next to their
+/// experiment output, and the scale tests assert the worklist engine
+/// never runs more rounds than the [`reference`] oracle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ConvergenceStats {
+    /// Synchronised rounds executed (rounds in which at least one
+    /// `(AS, prefix)` pair was re-evaluated). The reference engine
+    /// additionally runs a final quiescent confirmation round; the
+    /// worklist engine stops as soon as the dirty set drains.
+    pub rounds: usize,
+    /// Route-table writes: selections that changed, including
+    /// withdrawals.
+    pub route_updates: usize,
+    /// `(AS, prefix)` pairs re-evaluated across all rounds.
+    pub pairs_evaluated: usize,
+    /// Validity lookups answered from the per-call memo.
+    pub memo_hits: usize,
+    /// Validity lookups that ran RFC 6811 classification.
+    pub memo_misses: usize,
+}
+
+impl ConvergenceStats {
+    /// Accumulates another run's counters — for experiments that
+    /// propagate several times and report the total work.
+    pub fn absorb(&mut self, other: ConvergenceStats) {
+        self.rounds += other.rounds;
+        self.route_updates += other.route_updates;
+        self.pairs_evaluated += other.pairs_evaluated;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+    }
+}
+
+/// Propagation failed to converge within the round cap — which for
+/// Gao–Rexford preferences indicates a cycle in the provider→customer
+/// hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ConvergenceError {
+    /// The round cap that was exhausted.
+    pub rounds: usize,
+    /// A provider→customer cycle in the topology, if one exists (first
+    /// AS repeated at the end, as returned by
+    /// [`Topology::find_transit_cycle`]).
+    pub cycle: Option<Vec<Asn>>,
+}
+
+impl fmt::Display for ConvergenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BGP propagation failed to converge in {} rounds", self.rounds)?;
+        match &self.cycle {
+            Some(cycle) => {
+                write!(f, "; transit cycle:")?;
+                for asn in cycle {
+                    write!(f, " {asn}")?;
+                }
+                Ok(())
+            }
+            None => write!(f, "; no transit cycle found (policy oscillation?)"),
+        }
+    }
+}
+
+impl std::error::Error for ConvergenceError {}
+
 /// Propagates `announcements` over `topology` under `policy`, using
 /// `cache` for origin validation, and returns the converged state.
 ///
-/// Iterates synchronous rounds to a fixed point (Gao–Rexford graphs
-/// converge; a cycle in the transit hierarchy would not, so the round
-/// count is capped).
-///
-/// # Panics
-///
-/// Panics if the computation has not converged after an iteration cap
-/// proportional to the AS count — which indicates a transit cycle; call
-/// [`Topology::find_transit_cycle`] to locate it.
+/// Event-driven: only `(AS, prefix)` pairs whose inputs changed are
+/// re-evaluated, but the result is bit-for-bit identical to the
+/// synchronous full-scan [`reference`] engine (pinned by the
+/// equivalence property tests). Returns [`ConvergenceError`] —
+/// carrying the transit cycle, if one exists — instead of looping
+/// forever when the round cap is exhausted.
 pub fn propagate(
     topology: &Topology,
     announcements: &[Announcement],
     policy: RpkiPolicy,
     cache: &VrpCache,
-) -> RoutingState {
-    let mut state = RoutingState { tables: BTreeMap::new(), policy: Some(policy) };
+) -> Result<RoutingState, ConvergenceError> {
+    propagate_with_stats(topology, announcements, policy, cache).map(|(state, _)| state)
+}
 
-    // Seed origins. An origin always carries its own announcement,
-    // whatever the RPKI says (it is lying deliberately or it is the
-    // legitimate holder; either way it announces).
-    let prefixes: BTreeSet<Prefix> = announcements.iter().map(|a| a.prefix).collect();
-    for ann in announcements {
-        let validity = cache.classify(Route::new(ann.prefix, ann.origin));
-        state.tables.entry(ann.origin).or_default().insert(
-            ann.prefix,
-            SelectedRoute {
-                prefix: ann.prefix,
-                origin: ann.origin,
-                path: Vec::new(),
-                learned_from: None,
-                validity,
-            },
-        );
+/// [`propagate`], also returning the work done ([`ConvergenceStats`]).
+pub fn propagate_with_stats(
+    topology: &Topology,
+    announcements: &[Announcement],
+    policy: RpkiPolicy,
+    cache: &VrpCache,
+) -> Result<(RoutingState, ConvergenceStats), ConvergenceError> {
+    Worklist::new(topology, announcements, policy, cache).run(announcements)
+}
+
+/// A selected route in the worklist engine's internal representation:
+/// the AS path is an immutable cons list whose tail is shared with the
+/// neighbour route it was learned from, so extending a path costs one
+/// allocation and paths common to many ASes are stored once.
+#[derive(Debug, Clone)]
+struct WorkRoute {
+    origin: Asn,
+    learned_from: Option<Relationship>,
+    /// Cached length of `path` (hops to the origin).
+    path_len: u32,
+    path: PathRef,
+}
+
+type PathRef = Option<Arc<PathNode>>;
+
+/// Candidate preference key: (validity rank, relationship rank, path
+/// length, next-hop ASN), lower wins. Distinct neighbours differ in
+/// the last component, so the key totally orders candidates.
+type CandidateKey = (u8, u8, u32, u32);
+
+#[derive(Debug)]
+struct PathNode {
+    /// The AS at this hop; the head of a route's list is its next hop.
+    head: Asn,
+    tail: PathRef,
+}
+
+/// Whether `path` contains `asn` (loop prevention).
+fn path_contains(path: &PathRef, asn: Asn) -> bool {
+    let mut cur = path;
+    while let Some(node) = cur {
+        if node.head == asn {
+            return true;
+        }
+        cur = &node.tail;
+    }
+    false
+}
+
+/// Structural path equality. Shared tails make the common case — the
+/// neighbour's route object is unchanged — a pointer comparison.
+fn paths_equal(a: &PathRef, b: &PathRef) -> bool {
+    let (mut a, mut b) = (a, b);
+    loop {
+        match (a, b) {
+            (None, None) => return true,
+            (Some(x), Some(y)) => {
+                if Arc::ptr_eq(x, y) {
+                    return true;
+                }
+                if x.head != y.head {
+                    return false;
+                }
+                a = &x.tail;
+                b = &y.tail;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Copies a cons-list path into the `Vec<Asn>` form of
+/// [`SelectedRoute`].
+fn materialize_path(path: &PathRef, len: u32) -> Vec<Asn> {
+    let mut out = Vec::with_capacity(len as usize);
+    let mut cur = path;
+    while let Some(node) = cur {
+        out.push(node.head);
+        cur = &node.tail;
+    }
+    debug_assert_eq!(out.len(), len as usize);
+    out
+}
+
+/// Per-call memo for RFC 6811 classification. Validity depends only on
+/// `(prefix, origin)` and the fixed VRP cache, never on the round, so
+/// each distinct pair is classified at most once per propagation.
+struct ValidityMemo<'a> {
+    cache: &'a VrpCache,
+    /// Keyed by (interned prefix index, raw origin ASN).
+    memo: HashMap<(u32, u32), RouteValidity>,
+    hits: usize,
+    misses: usize,
+}
+
+impl<'a> ValidityMemo<'a> {
+    fn new(cache: &'a VrpCache) -> Self {
+        ValidityMemo { cache, memo: HashMap::new(), hits: 0, misses: 0 }
     }
 
-    let cap = 2 * topology.len() + 10;
-    let mut rounds = 0;
-    loop {
-        rounds += 1;
-        assert!(
-            rounds <= cap,
-            "BGP propagation failed to converge in {cap} rounds; transit cycle?"
-        );
-        let mut changed = false;
+    fn classify(&mut self, prefix_idx: u32, prefix: Prefix, origin: Asn) -> RouteValidity {
+        match self.memo.entry((prefix_idx, origin.0)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                *e.get()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                *e.insert(self.cache.classify(Route::new(prefix, origin)))
+            }
+        }
+    }
+}
 
-        // Synchronous round: every AS re-selects from neighbours'
-        // *previous-round* tables, which keeps the computation
-        // deterministic and order-independent.
-        let mut next = state.tables.clone();
-        for asn in topology.ases() {
-            for &prefix in &prefixes {
-                let current = state.tables.get(&asn).and_then(|t| t.get(&prefix));
-                // Origins never replace their own announcement.
-                if matches!(current, Some(r) if r.learned_from.is_none()) {
-                    continue;
+struct Worklist<'a> {
+    topology: &'a Topology,
+    policy: RpkiPolicy,
+    index: TopologyIndex,
+    /// Interned announced prefixes, sorted.
+    prefixes: Vec<Prefix>,
+    /// Flattened route tables: `[as_idx * prefixes.len() + prefix_idx]`.
+    tables: Vec<Option<WorkRoute>>,
+    /// Cells holding their own announcement; never re-evaluated.
+    origin_locked: Vec<bool>,
+    memo: ValidityMemo<'a>,
+    stats: ConvergenceStats,
+}
+
+impl<'a> Worklist<'a> {
+    fn new(
+        topology: &'a Topology,
+        announcements: &[Announcement],
+        policy: RpkiPolicy,
+        cache: &'a VrpCache,
+    ) -> Self {
+        let index = TopologyIndex::with_extra(topology, announcements.iter().map(|a| a.origin));
+        let mut prefixes: Vec<Prefix> = announcements.iter().map(|a| a.prefix).collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        let cells = index.len() * prefixes.len();
+        Worklist {
+            topology,
+            policy,
+            index,
+            prefixes,
+            tables: vec![None; cells],
+            origin_locked: vec![false; cells],
+            memo: ValidityMemo::new(cache),
+            stats: ConvergenceStats::default(),
+        }
+    }
+
+    fn run(
+        mut self,
+        announcements: &[Announcement],
+    ) -> Result<(RoutingState, ConvergenceStats), ConvergenceError> {
+        let mut dirty = self.seed(announcements);
+
+        // Same cap as the reference engine. A worklist round is the
+        // synchronous round restricted to the pairs that could change,
+        // so the worklist engine never needs more rounds.
+        let cap = 2 * self.topology.len() + 10;
+        let mut updates: Vec<(u32, u32, Option<WorkRoute>)> = Vec::new();
+        while !dirty.is_empty() {
+            self.stats.rounds += 1;
+            if self.stats.rounds > cap {
+                return Err(ConvergenceError {
+                    rounds: cap,
+                    cycle: self.topology.find_transit_cycle(),
+                });
+            }
+            // Evaluate every dirty pair against previous-round state,
+            // buffering writes: the round stays synchronous, so the
+            // BTreeSet iteration order can't influence the outcome.
+            updates.clear();
+            for &(as_idx, prefix_idx) in &dirty {
+                self.stats.pairs_evaluated += 1;
+                if let Some(new_route) = self.evaluate(as_idx, prefix_idx) {
+                    updates.push((as_idx, prefix_idx, new_route));
                 }
-                let mut best: Option<SelectedRoute> = None;
-                for (neighbor, rel) in topology.neighbors(asn) {
-                    let Some(route) = state.tables.get(&neighbor).and_then(|t| t.get(&prefix))
-                    else {
-                        continue;
-                    };
-                    // Export rule at the neighbour: routes learned from
-                    // customers (or self-originated) go to everyone;
-                    // peer/provider routes go to customers only. From
-                    // `asn`'s view, `rel` is the neighbour's role; the
-                    // neighbour sees `asn` as a customer iff `rel` is
-                    // Provider.
-                    let exported = match route.learned_from {
-                        None | Some(Relationship::Customer) => true,
-                        Some(Relationship::Peer) | Some(Relationship::Provider) => {
-                            rel == Relationship::Provider
-                        }
-                    };
-                    if !exported {
-                        continue;
+            }
+            // Apply, and mark the neighbours of every changed pair
+            // dirty for the next round.
+            let npfx = self.prefixes.len();
+            let mut next_dirty = BTreeSet::new();
+            for (as_idx, prefix_idx, route) in updates.drain(..) {
+                self.tables[as_idx as usize * npfx + prefix_idx as usize] = route;
+                self.stats.route_updates += 1;
+                for &(nbr, _) in self.index.neighbors(as_idx) {
+                    if !self.origin_locked[nbr as usize * npfx + prefix_idx as usize] {
+                        next_dirty.insert((nbr, prefix_idx));
                     }
-                    // Loop prevention.
-                    if route.path.contains(&asn) || route.origin == asn {
-                        continue;
-                    }
-                    let mut path = Vec::with_capacity(route.path.len() + 1);
-                    path.push(neighbor);
-                    path.extend_from_slice(&route.path);
-                    let candidate = SelectedRoute {
-                        prefix,
-                        origin: route.origin,
-                        path,
-                        learned_from: Some(rel),
-                        validity: cache.classify(Route::new(prefix, route.origin)),
-                    };
-                    // Import filter.
-                    if policy == RpkiPolicy::DropInvalid
-                        && candidate.validity == RouteValidity::Invalid
+                }
+            }
+            dirty = next_dirty;
+        }
+
+        let state = self.materialize();
+        self.stats.memo_hits = self.memo.hits;
+        self.stats.memo_misses = self.memo.misses;
+        Ok((state, self.stats))
+    }
+
+    /// Seeds origin routes and returns the initial dirty set: every
+    /// non-origin neighbour cell of an origin. An origin always
+    /// carries its own announcement, whatever the RPKI says — it is
+    /// lying deliberately or it is the legitimate holder; either way
+    /// it announces — so origin cells are locked and never
+    /// re-evaluated.
+    fn seed(&mut self, announcements: &[Announcement]) -> BTreeSet<(u32, u32)> {
+        let npfx = self.prefixes.len();
+        for ann in announcements {
+            let as_idx = self.index.index_of(ann.origin).expect("origin was interned");
+            let prefix_idx = self.prefixes.binary_search(&ann.prefix).expect("prefix interned");
+            let cell = as_idx as usize * npfx + prefix_idx;
+            self.tables[cell] =
+                Some(WorkRoute { origin: ann.origin, learned_from: None, path_len: 0, path: None });
+            self.origin_locked[cell] = true;
+        }
+        // Second pass, once all locks are set: a neighbour that is
+        // itself an origin for the same prefix must not enter the
+        // worklist.
+        let mut dirty = BTreeSet::new();
+        for ann in announcements {
+            let as_idx = self.index.index_of(ann.origin).expect("origin was interned");
+            let prefix_idx =
+                self.prefixes.binary_search(&ann.prefix).expect("prefix interned") as u32;
+            for &(nbr, _) in self.index.neighbors(as_idx) {
+                if !self.origin_locked[nbr as usize * npfx + prefix_idx as usize] {
+                    dirty.insert((nbr, prefix_idx));
+                }
+            }
+        }
+        dirty
+    }
+
+    /// Re-runs best-route selection for one `(AS, prefix)` cell against
+    /// current (previous-round) tables. Returns `None` when the
+    /// selection is unchanged, `Some(new)` — possibly a withdrawal —
+    /// when it changed. Only a changed selection allocates (one path
+    /// node).
+    fn evaluate(&mut self, as_idx: u32, prefix_idx: u32) -> Option<Option<WorkRoute>> {
+        let npfx = self.prefixes.len();
+        let asn = self.index.asn(as_idx);
+        let prefix = self.prefixes[prefix_idx as usize];
+
+        // Best candidate so far, as (pref_key, neighbour index, role).
+        // The key is computed from the neighbour's stored route without
+        // materialising the candidate: validity depends only on
+        // (prefix, origin), the candidate's path length is the
+        // neighbour's plus one, and its next hop is the neighbour.
+        let mut best: Option<(CandidateKey, u32, Relationship)> = None;
+        for &(nbr, rel) in self.index.neighbors(as_idx) {
+            let Some(route) = &self.tables[nbr as usize * npfx + prefix_idx as usize] else {
+                continue;
+            };
+            // Export rule at the neighbour: routes learned from
+            // customers (or self-originated) go to everyone;
+            // peer/provider routes go to customers only. From `asn`'s
+            // view `rel` is the neighbour's role; the neighbour sees
+            // `asn` as a customer iff `rel` is Provider.
+            let exported = match route.learned_from {
+                None | Some(Relationship::Customer) => true,
+                Some(Relationship::Peer) | Some(Relationship::Provider) => {
+                    rel == Relationship::Provider
+                }
+            };
+            if !exported {
+                continue;
+            }
+            // Loop prevention.
+            if route.origin == asn || path_contains(&route.path, asn) {
+                continue;
+            }
+            // Import filter and validity preference. Under Ignore,
+            // validity never influences selection, so classification is
+            // deferred until materialisation.
+            let vrank = match self.policy {
+                RpkiPolicy::Ignore => 0,
+                RpkiPolicy::DropInvalid => {
+                    if self.memo.classify(prefix_idx, prefix, route.origin)
+                        == RouteValidity::Invalid
                     {
                         continue;
                     }
-                    let better = match &best {
-                        None => true,
-                        Some(b) => candidate.pref_key(policy) < b.pref_key(policy),
-                    };
-                    if better {
-                        best = Some(candidate);
-                    }
+                    0
                 }
-                if best.as_ref() != current {
-                    changed = true;
-                    let table = next.entry(asn).or_default();
-                    match best {
-                        Some(route) => {
-                            table.insert(prefix, route);
+                RpkiPolicy::DeprefInvalid => {
+                    validity_rank(self.policy, self.memo.classify(prefix_idx, prefix, route.origin))
+                }
+            };
+            let key = (vrank, rel.rank(), route.path_len + 1, self.index.asn(nbr).0);
+            // Strictly-less-than keeps the first of equals, exactly
+            // like the reference engine — and since the key totally
+            // orders candidates (distinct neighbours differ in the
+            // next-hop component), "first" can never matter.
+            if best.as_ref().is_none_or(|(bk, _, _)| key < *bk) {
+                best = Some((key, nbr, rel));
+            }
+        }
+
+        let current = &self.tables[as_idx as usize * npfx + prefix_idx as usize];
+        match best {
+            // Withdrawal iff something was selected before.
+            None => current.is_some().then_some(None),
+            Some((_, nbr, rel)) => {
+                let nbr_asn = self.index.asn(nbr);
+                let nbr_route = self.tables[nbr as usize * npfx + prefix_idx as usize]
+                    .as_ref()
+                    .expect("best candidate came from this cell");
+                let unchanged = matches!(current, Some(cur)
+                    if cur.learned_from == Some(rel)
+                        && cur.origin == nbr_route.origin
+                        && cur.path_len == nbr_route.path_len + 1
+                        && matches!(&cur.path, Some(node)
+                            if node.head == nbr_asn && paths_equal(&node.tail, &nbr_route.path)));
+                if unchanged {
+                    return None;
+                }
+                Some(Some(WorkRoute {
+                    origin: nbr_route.origin,
+                    learned_from: Some(rel),
+                    path_len: nbr_route.path_len + 1,
+                    path: Some(Arc::new(PathNode { head: nbr_asn, tail: nbr_route.path.clone() })),
+                }))
+            }
+        }
+    }
+
+    /// Converts the flat tables into the public [`RoutingState`] form,
+    /// classifying each selected route's validity — from the memo, or
+    /// for the first time under `Ignore`, where selection never needed
+    /// it.
+    fn materialize(&mut self) -> RoutingState {
+        let npfx = self.prefixes.len();
+        let mut tables: BTreeMap<Asn, BTreeMap<Prefix, SelectedRoute>> = BTreeMap::new();
+        if npfx == 0 {
+            return RoutingState { tables, policy: Some(self.policy) };
+        }
+        for (as_idx, row) in self.tables.chunks(npfx).enumerate() {
+            let mut table = BTreeMap::new();
+            for (prefix_idx, cell) in row.iter().enumerate() {
+                let Some(route) = cell else { continue };
+                let prefix = self.prefixes[prefix_idx];
+                let validity = self.memo.classify(prefix_idx as u32, prefix, route.origin);
+                table.insert(
+                    prefix,
+                    SelectedRoute {
+                        prefix,
+                        origin: route.origin,
+                        path: materialize_path(&route.path, route.path_len),
+                        learned_from: route.learned_from,
+                        validity,
+                    },
+                );
+            }
+            if !table.is_empty() {
+                tables.insert(self.index.asn(as_idx as u32), table);
+            }
+        }
+        RoutingState { tables, policy: Some(self.policy) }
+    }
+}
+
+pub mod reference {
+    //! The original synchronous full-scan engine, kept (plus the typed
+    //! convergence error) as the oracle for the worklist engine: every
+    //! round, every `(AS, prefix)` pair re-selects from neighbours'
+    //! previous-round tables, stopping after a round with no change.
+    //!
+    //! The only divergence from the historical implementation is that
+    //! empty per-AS tables left behind by insert-then-withdraw
+    //! sequences are pruned before returning, so [`RoutingState`]
+    //! equality is structural rather than historical.
+
+    use super::*;
+
+    /// Synchronous full-scan propagation; returns the converged state
+    /// and the number of rounds (including the final quiescent
+    /// confirmation round the worklist engine skips).
+    pub fn propagate(
+        topology: &Topology,
+        announcements: &[Announcement],
+        policy: RpkiPolicy,
+        cache: &VrpCache,
+    ) -> Result<(RoutingState, usize), ConvergenceError> {
+        let mut state = RoutingState { tables: BTreeMap::new(), policy: Some(policy) };
+
+        // Seed origins. An origin always carries its own announcement,
+        // whatever the RPKI says (it is lying deliberately or it is the
+        // legitimate holder; either way it announces).
+        let prefixes: BTreeSet<Prefix> = announcements.iter().map(|a| a.prefix).collect();
+        for ann in announcements {
+            let validity = cache.classify(Route::new(ann.prefix, ann.origin));
+            state.tables.entry(ann.origin).or_default().insert(
+                ann.prefix,
+                SelectedRoute {
+                    prefix: ann.prefix,
+                    origin: ann.origin,
+                    path: Vec::new(),
+                    learned_from: None,
+                    validity,
+                },
+            );
+        }
+
+        let cap = 2 * topology.len() + 10;
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            if rounds > cap {
+                return Err(ConvergenceError { rounds: cap, cycle: topology.find_transit_cycle() });
+            }
+            let mut changed = false;
+
+            // Synchronous round: every AS re-selects from neighbours'
+            // *previous-round* tables, which keeps the computation
+            // deterministic and order-independent.
+            let mut next = state.tables.clone();
+            for asn in topology.ases() {
+                for &prefix in &prefixes {
+                    let current = state.tables.get(&asn).and_then(|t| t.get(&prefix));
+                    // Origins never replace their own announcement.
+                    if matches!(current, Some(r) if r.learned_from.is_none()) {
+                        continue;
+                    }
+                    let mut best: Option<SelectedRoute> = None;
+                    for (neighbor, rel) in topology.neighbors(asn) {
+                        let Some(route) = state.tables.get(&neighbor).and_then(|t| t.get(&prefix))
+                        else {
+                            continue;
+                        };
+                        // Export rule at the neighbour: routes learned
+                        // from customers (or self-originated) go to
+                        // everyone; peer/provider routes go to
+                        // customers only.
+                        let exported = match route.learned_from {
+                            None | Some(Relationship::Customer) => true,
+                            Some(Relationship::Peer) | Some(Relationship::Provider) => {
+                                rel == Relationship::Provider
+                            }
+                        };
+                        if !exported {
+                            continue;
                         }
-                        None => {
-                            table.remove(&prefix);
+                        // Loop prevention.
+                        if route.path.contains(&asn) || route.origin == asn {
+                            continue;
+                        }
+                        let mut path = Vec::with_capacity(route.path.len() + 1);
+                        path.push(neighbor);
+                        path.extend_from_slice(&route.path);
+                        let candidate = SelectedRoute {
+                            prefix,
+                            origin: route.origin,
+                            path,
+                            learned_from: Some(rel),
+                            validity: cache.classify(Route::new(prefix, route.origin)),
+                        };
+                        // Import filter.
+                        if policy == RpkiPolicy::DropInvalid
+                            && candidate.validity == RouteValidity::Invalid
+                        {
+                            continue;
+                        }
+                        let better = match &best {
+                            None => true,
+                            Some(b) => candidate.pref_key(policy) < b.pref_key(policy),
+                        };
+                        if better {
+                            best = Some(candidate);
+                        }
+                    }
+                    if best.as_ref() != current {
+                        changed = true;
+                        let table = next.entry(asn).or_default();
+                        match best {
+                            Some(route) => {
+                                table.insert(prefix, route);
+                            }
+                            None => {
+                                table.remove(&prefix);
+                            }
                         }
                     }
                 }
             }
+            state.tables = next;
+            if !changed {
+                break;
+            }
         }
-        state.tables = next;
-        if !changed {
-            break;
-        }
+        // Insert-then-withdraw leaves empty per-AS maps behind; prune
+        // them so state comparison is structural, not historical.
+        state.tables.retain(|_, t| !t.is_empty());
+        Ok((state, rounds))
     }
-    state
 }
 
 #[cfg(test)]
@@ -238,6 +722,26 @@ mod tests {
         s.parse().unwrap()
     }
 
+    /// Runs both engines, asserts they agree bit-for-bit and that the
+    /// worklist engine never needs more rounds, and returns the state.
+    fn propagate_checked(
+        topology: &Topology,
+        announcements: &[Announcement],
+        policy: RpkiPolicy,
+        cache: &VrpCache,
+    ) -> RoutingState {
+        let (state, stats) = propagate_with_stats(topology, announcements, policy, cache).unwrap();
+        let (oracle, oracle_rounds) =
+            reference::propagate(topology, announcements, policy, cache).unwrap();
+        assert_eq!(state, oracle, "worklist and reference engines diverged");
+        assert!(
+            stats.rounds <= oracle_rounds,
+            "worklist took {} rounds, reference only {oracle_rounds}",
+            stats.rounds,
+        );
+        state
+    }
+
     /// A line: 1 ← 2 ← 3 (1 is 2's provider, 2 is 3's provider).
     fn chain() -> Topology {
         let mut t = Topology::new();
@@ -249,7 +753,7 @@ mod tests {
     #[test]
     fn routes_propagate_up_and_down() {
         let t = chain();
-        let state = propagate(
+        let state = propagate_checked(
             &t,
             &[Announcement { prefix: p("10.0.0.0/8"), origin: a(3) }],
             RpkiPolicy::Ignore,
@@ -270,7 +774,7 @@ mod tests {
         let mut t = Topology::new();
         t.add_peering(a(2), a(3));
         t.add_peering(a(3), a(4));
-        let state = propagate(
+        let state = propagate_checked(
             &t,
             &[Announcement { prefix: p("10.0.0.0/8"), origin: a(2) }],
             RpkiPolicy::Ignore,
@@ -291,7 +795,7 @@ mod tests {
         t.add_provider_customer(a(2), a(5));
         t.add_provider_customer(a(3), a(5));
         t.add_provider_customer(a(4), a(5));
-        let state = propagate(
+        let state = propagate_checked(
             &t,
             &[Announcement { prefix: p("10.0.0.0/8"), origin: a(5) }],
             RpkiPolicy::Ignore,
@@ -311,7 +815,7 @@ mod tests {
         t.add_provider_customer(a(3), a(4));
         t.add_provider_customer(a(2), a(9));
         t.add_provider_customer(a(4), a(9));
-        let state = propagate(
+        let state = propagate_checked(
             &t,
             &[Announcement { prefix: p("10.0.0.0/8"), origin: a(9) }],
             RpkiPolicy::Ignore,
@@ -334,13 +838,13 @@ mod tests {
             Announcement { prefix: p("10.0.0.0/8"), origin: a(3) },
             Announcement { prefix: p("10.0.0.0/8"), origin: a(66) },
         ];
-        let state = propagate(&t, &hijack, RpkiPolicy::DropInvalid, &cache);
+        let state = propagate_checked(&t, &hijack, RpkiPolicy::DropInvalid, &cache);
         // AS 1 is adjacent to the hijacker (customer, path length 1 —
         // normally irresistible) but drops the invalid route.
         let r = state.best_route(a(1), p("10.0.0.0/8")).unwrap();
         assert_eq!(r.origin, a(3));
         // Under Ignore, the hijacker's shorter customer route wins.
-        let state = propagate(&t, &hijack, RpkiPolicy::Ignore, &cache);
+        let state = propagate_checked(&t, &hijack, RpkiPolicy::Ignore, &cache);
         let r = state.best_route(a(1), p("10.0.0.0/8")).unwrap();
         assert_eq!(r.origin, a(66));
     }
@@ -359,16 +863,15 @@ mod tests {
             Announcement { prefix: p("10.0.0.0/8"), origin: a(3) },
             Announcement { prefix: p("10.0.0.0/8"), origin: a(66) },
         ];
-        let state = propagate(&t, &both, RpkiPolicy::DeprefInvalid, &cache);
+        let state = propagate_checked(&t, &both, RpkiPolicy::DeprefInvalid, &cache);
         assert_eq!(state.best_route(a(1), p("10.0.0.0/8")).unwrap().origin, a(3));
         // Manipulation scenario: only the (now-invalid) legitimate route
         // exists — depref still uses it, drop would not.
-        let cache_whacked: VrpCache =
-            [Vrp::new(p("10.0.0.0/8"), 8, a(42))].into_iter().collect(); // covering, not matching
+        let cache_whacked: VrpCache = [Vrp::new(p("10.0.0.0/8"), 8, a(42))].into_iter().collect(); // covering, not matching
         let legit_only = [Announcement { prefix: p("10.0.0.0/8"), origin: a(3) }];
-        let state = propagate(&t, &legit_only, RpkiPolicy::DeprefInvalid, &cache_whacked);
+        let state = propagate_checked(&t, &legit_only, RpkiPolicy::DeprefInvalid, &cache_whacked);
         assert_eq!(state.best_route(a(1), p("10.0.0.0/8")).unwrap().origin, a(3));
-        let state = propagate(&t, &legit_only, RpkiPolicy::DropInvalid, &cache_whacked);
+        let state = propagate_checked(&t, &legit_only, RpkiPolicy::DropInvalid, &cache_whacked);
         assert!(state.best_route(a(1), p("10.0.0.0/8")).is_none());
     }
 
@@ -380,7 +883,7 @@ mod tests {
         t.add_provider_customer(a(1), a(3));
         t.add_provider_customer(a(2), a(9));
         t.add_provider_customer(a(3), a(9));
-        let state = propagate(
+        let state = propagate_checked(
             &t,
             &[Announcement { prefix: p("10.0.0.0/8"), origin: a(9) }],
             RpkiPolicy::Ignore,
@@ -392,7 +895,7 @@ mod tests {
     #[test]
     fn multiple_prefixes_propagate_independently() {
         let t = chain();
-        let state = propagate(
+        let state = propagate_checked(
             &t,
             &[
                 Announcement { prefix: p("10.0.0.0/8"), origin: a(3) },
@@ -415,12 +918,90 @@ mod tests {
         t.add_provider_customer(a(2), a(3));
         t.add_provider_customer(a(3), a(1));
         assert!(t.find_transit_cycle().is_some());
-        let state = propagate(
+        let state = propagate_checked(
             &t,
             &[Announcement { prefix: p("10.0.0.0/8"), origin: a(1) }],
             RpkiPolicy::Ignore,
             &VrpCache::new(),
         );
         assert_eq!(state.ases_with_routes(), 3);
+    }
+
+    #[test]
+    fn empty_announcements_converge_in_zero_rounds() {
+        let t = chain();
+        let (state, stats) =
+            propagate_with_stats(&t, &[], RpkiPolicy::Ignore, &VrpCache::new()).unwrap();
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.route_updates, 0);
+        assert_eq!(state.ases_with_routes(), 0);
+        let (oracle, _) =
+            reference::propagate(&t, &[], RpkiPolicy::Ignore, &VrpCache::new()).unwrap();
+        assert_eq!(state, oracle);
+    }
+
+    #[test]
+    fn origin_outside_topology_keeps_its_route_but_propagates_nothing() {
+        let t = chain();
+        let state = propagate_checked(
+            &t,
+            &[Announcement { prefix: p("10.0.0.0/8"), origin: a(99) }],
+            RpkiPolicy::Ignore,
+            &VrpCache::new(),
+        );
+        assert!(state.best_route(a(99), p("10.0.0.0/8")).is_some());
+        assert_eq!(state.ases_with_routes(), 1);
+    }
+
+    #[test]
+    fn stats_count_memoized_validity_lookups() {
+        // Under DeprefInvalid every candidate evaluation consults the
+        // memo; with one (prefix, origin) pair there is exactly one
+        // miss, and at least one hit on any multi-AS topology.
+        let t = chain();
+        let cache: VrpCache = [Vrp::new(p("10.0.0.0/8"), 8, a(3))].into_iter().collect();
+        let (_, stats) = propagate_with_stats(
+            &t,
+            &[Announcement { prefix: p("10.0.0.0/8"), origin: a(3) }],
+            RpkiPolicy::DeprefInvalid,
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(stats.memo_misses, 1);
+        assert!(stats.memo_hits >= 1);
+        assert!(stats.rounds >= 2);
+        assert!(stats.route_updates >= 2);
+        assert!(stats.pairs_evaluated >= stats.route_updates);
+    }
+
+    #[test]
+    fn ignore_policy_defers_validity_to_materialisation() {
+        // One (prefix, origin) pair → exactly one classification in
+        // total under Ignore, and the stored validity still reflects
+        // the cache.
+        let t = chain();
+        let cache: VrpCache = [Vrp::new(p("10.0.0.0/8"), 8, a(42))].into_iter().collect();
+        let (state, stats) = propagate_with_stats(
+            &t,
+            &[Announcement { prefix: p("10.0.0.0/8"), origin: a(3) }],
+            RpkiPolicy::Ignore,
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(stats.memo_misses, 1);
+        assert_eq!(
+            state.best_route(a(1), p("10.0.0.0/8")).unwrap().validity,
+            RouteValidity::Invalid
+        );
+    }
+
+    #[test]
+    fn convergence_error_reports_cycle() {
+        let err = ConvergenceError { rounds: 16, cycle: Some(vec![a(1), a(2), a(1)]) };
+        let text = err.to_string();
+        assert!(text.contains("16 rounds"), "{text}");
+        assert!(text.contains("transit cycle: AS1 AS2 AS1"), "{text}");
+        let err = ConvergenceError { rounds: 16, cycle: None };
+        assert!(err.to_string().contains("no transit cycle"), "{}", err);
     }
 }

@@ -128,9 +128,8 @@ impl Topology {
     /// the neighbour plays from `asn`'s point of view).
     pub fn neighbors(&self, asn: Asn) -> Vec<(Asn, Relationship)> {
         let Some(node) = self.nodes.get(&asn) else { return Vec::new() };
-        let mut out = Vec::with_capacity(
-            node.customers.len() + node.peers.len() + node.providers.len(),
-        );
+        let mut out =
+            Vec::with_capacity(node.customers.len() + node.peers.len() + node.providers.len());
         for &c in &node.customers {
             out.push((c, Relationship::Customer));
         }
@@ -208,6 +207,76 @@ impl Topology {
             }
         }
         None
+    }
+}
+
+/// A dense-index view of a [`Topology`] for propagation hot loops.
+///
+/// Interns every AS into a `u32` index (ascending ASN order, so index
+/// order equals `Topology::ases` order) and resolves each neighbour
+/// list to indices once, replacing per-round `BTreeMap` lookups with
+/// array indexing. Neighbour order is preserved from
+/// [`Topology::neighbors`]: customers, then peers, then providers,
+/// each in insertion order — selection tie-breaks depend on it.
+#[derive(Debug, Clone)]
+pub struct TopologyIndex {
+    ases: Vec<Asn>,
+    neighbors: Vec<Vec<(u32, Relationship)>>,
+}
+
+impl TopologyIndex {
+    /// Indexes `topology`.
+    pub fn new(topology: &Topology) -> Self {
+        Self::with_extra(topology, std::iter::empty())
+    }
+
+    /// Indexes `topology` plus `extra` ASes that may not be in the
+    /// graph (announcement origins can sit outside it); extras get
+    /// empty neighbour lists.
+    pub fn with_extra(topology: &Topology, extra: impl IntoIterator<Item = Asn>) -> Self {
+        let mut ases: Vec<Asn> = topology.ases().chain(extra).collect();
+        ases.sort_unstable();
+        ases.dedup();
+        let neighbors = ases
+            .iter()
+            .map(|&asn| {
+                topology
+                    .neighbors(asn)
+                    .into_iter()
+                    .map(|(n, rel)| {
+                        let idx = ases.binary_search(&n).expect("neighbor is interned");
+                        (idx as u32, rel)
+                    })
+                    .collect()
+            })
+            .collect();
+        TopologyIndex { ases, neighbors }
+    }
+
+    /// Number of interned ASes.
+    pub fn len(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// Whether no AS is interned.
+    pub fn is_empty(&self) -> bool {
+        self.ases.is_empty()
+    }
+
+    /// The ASN at `idx`.
+    pub fn asn(&self, idx: u32) -> Asn {
+        self.ases[idx as usize]
+    }
+
+    /// The index of `asn`, if interned.
+    pub fn index_of(&self, asn: Asn) -> Option<u32> {
+        self.ases.binary_search(&asn).ok().map(|i| i as u32)
+    }
+
+    /// Neighbour indices of the AS at `idx`, role-annotated from its
+    /// point of view, in [`Topology::neighbors`] order.
+    pub fn neighbors(&self, idx: u32) -> &[(u32, Relationship)] {
+        &self.neighbors[idx as usize]
     }
 }
 
@@ -293,5 +362,37 @@ mod tests {
     fn self_peering_rejected() {
         let mut t = Topology::new();
         t.add_peering(a(1), a(1));
+    }
+
+    #[test]
+    fn index_matches_topology_view() {
+        let mut t = Topology::new();
+        t.add_provider_customer(a(10), a(20));
+        t.add_peering(a(20), a(30));
+        t.add_provider_customer(a(20), a(40));
+        let idx = TopologyIndex::new(&t);
+        assert_eq!(idx.len(), 4);
+        // Index order is ascending ASN order.
+        let interned: Vec<Asn> = (0..idx.len() as u32).map(|i| idx.asn(i)).collect();
+        assert_eq!(interned, t.ases().collect::<Vec<_>>());
+        // Neighbour lists resolve back to the Topology view, in order.
+        for asn in t.ases() {
+            let i = idx.index_of(asn).unwrap();
+            let via_index: Vec<(Asn, Relationship)> =
+                idx.neighbors(i).iter().map(|&(n, rel)| (idx.asn(n), rel)).collect();
+            assert_eq!(via_index, t.neighbors(asn), "neighbor mismatch at {asn}");
+        }
+        assert_eq!(idx.index_of(a(99)), None);
+    }
+
+    #[test]
+    fn index_with_extra_origins() {
+        let mut t = Topology::new();
+        t.add_provider_customer(a(1), a(2));
+        let idx = TopologyIndex::with_extra(&t, [a(66), a(2)]);
+        assert_eq!(idx.len(), 3);
+        let i66 = idx.index_of(a(66)).unwrap();
+        assert_eq!(idx.asn(i66), a(66));
+        assert!(idx.neighbors(i66).is_empty());
     }
 }

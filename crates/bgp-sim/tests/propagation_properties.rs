@@ -120,7 +120,7 @@ proptest! {
             .collect();
         let cache: VrpCache = [Vrp::new(prefixes[0], 16, origins[0])].into_iter().collect();
 
-        let state = propagate(&t, &anns, policy, &cache);
+        let state = propagate(&t, &anns, policy, &cache).expect("converges");
 
         for asn in t.ases() {
             for route in state.table(asn) {
@@ -162,7 +162,7 @@ proptest! {
             Announcement { prefix, origin: attacker },
         ];
         let cache: VrpCache = [Vrp::new(prefix, 16, victim)].into_iter().collect();
-        let state = propagate(&t, &anns, RpkiPolicy::DropInvalid, &cache);
+        let state = propagate(&t, &anns, RpkiPolicy::DropInvalid, &cache).expect("converges");
         for asn in t.ases() {
             if let Some(route) = state.best_route(asn, prefix) {
                 if asn == attacker {

@@ -4,10 +4,7 @@
 use std::process::{Command, Output};
 
 fn run(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_rpki-risk"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_rpki-risk")).args(args).output().expect("binary runs")
 }
 
 fn stdout(out: &Output) -> String {

@@ -20,13 +20,13 @@
 //! target must *not* be, and `63.174.17.0/24` must be invalid while
 //! `63.160.0.0/12` is unknown (Figure 5, left).
 
+use bgp_sim::{Announcement, Topology};
 use ipres::{Prefix, ResourceSet};
 use netsim::{Network, NodeId};
 use rpki_ca::CertAuthority;
 use rpki_objects::{Encode, Moment, RepoUri, Roa, RoaPrefix, RpkiObject, Span, TrustAnchorLocator};
 use rpki_repo::RepoRegistry;
 use rpki_rp::{DirectSource, NetworkSource, ValidationConfig, ValidationRun, Validator};
-use bgp_sim::{Announcement, Topology};
 
 fn p(s: &str) -> Prefix {
     s.parse().unwrap()
@@ -223,10 +223,11 @@ impl ModelRpki {
     pub fn publish_all(&mut self, now: Moment) {
         let ta_cert = self.arin.cert().expect("TA certified").clone();
         let ta_dir = RepoUri::new("rpki.arin.example", &["ta"]);
-        self.repos
-            .by_host_mut("rpki.arin.example")
-            .expect("exists")
-            .publish_raw(&ta_dir, "root.cer", RpkiObject::Cert(ta_cert).to_bytes());
+        self.repos.by_host_mut("rpki.arin.example").expect("exists").publish_raw(
+            &ta_dir,
+            "root.cer",
+            RpkiObject::Cert(ta_cert).to_bytes(),
+        );
         for (host, ca) in [
             ("rpki.arin.example", &mut self.arin),
             ("rpki.sprint.example", &mut self.sprint),
@@ -361,8 +362,8 @@ mod tests {
         use bgp_sim::{propagate, RpkiPolicy};
         let w = ModelRpki::build();
         let cache = w.validate_direct(Moment(2)).vrp_cache();
-        let state =
-            propagate(&w.topology, &w.announcements, RpkiPolicy::DropInvalid, &cache);
+        let state = propagate(&w.topology, &w.announcements, RpkiPolicy::DropInvalid, &cache)
+            .expect("model topology converges");
         for ann in &w.announcements {
             // The data plane delivers to whoever announced the longest
             // matching prefix for the probe address (e.g. probing the

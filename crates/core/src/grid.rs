@@ -27,19 +27,12 @@ pub struct GridRow {
 ///
 /// Panics if `max_len` expands more than 2^24 subprefixes (see
 /// [`Prefix::subprefixes`]).
-pub fn validity_grid(
-    cache: &VrpCache,
-    root: Prefix,
-    max_len: u8,
-    origins: &[Asn],
-) -> Vec<GridRow> {
+pub fn validity_grid(cache: &VrpCache, root: Prefix, max_len: u8, origins: &[Asn]) -> Vec<GridRow> {
     let mut rows = Vec::new();
     for len in root.len()..=max_len {
         for prefix in root.subprefixes(len) {
-            let states = origins
-                .iter()
-                .map(|&o| (o, cache.classify(Route::new(prefix, o))))
-                .collect();
+            let states =
+                origins.iter().map(|&o| (o, cache.classify(Route::new(prefix, o)))).collect();
             rows.push(GridRow { prefix, states });
         }
     }
@@ -65,16 +58,10 @@ pub struct Band {
 pub fn collapse_bands(rows: &[GridRow]) -> Vec<Band> {
     let mut bands: Vec<Band> = Vec::new();
     for row in rows {
-        let extend = match bands.last() {
-            Some(b)
-                if b.last.len() == row.prefix.len()
-                    && b.states == row.states
-                    && b.last.range().hi().succ().map(|a| a == row.prefix.addr()).unwrap_or(false) =>
-            {
-                true
-            }
-            _ => false,
-        };
+        let extend = matches!(bands.last(), Some(b)
+            if b.last.len() == row.prefix.len()
+                && b.states == row.states
+                && b.last.range().hi().succ().map(|a| a == row.prefix.addr()).unwrap_or(false));
         if extend {
             let b = bands.last_mut().expect("nonempty");
             b.last = row.prefix;
@@ -101,12 +88,9 @@ mod tests {
     }
 
     fn cache() -> VrpCache {
-        [
-            Vrp::new(p("10.0.0.0/10"), 12, Asn(1)),
-            Vrp::new(p("10.64.0.0/12"), 12, Asn(2)),
-        ]
-        .into_iter()
-        .collect()
+        [Vrp::new(p("10.0.0.0/10"), 12, Asn(1)), Vrp::new(p("10.64.0.0/12"), 12, Asn(2))]
+            .into_iter()
+            .collect()
     }
 
     #[test]

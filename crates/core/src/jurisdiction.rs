@@ -61,11 +61,7 @@ pub struct RirReach {
 pub fn rir_reach(world: &SyntheticInternet) -> Vec<RirReach> {
     let mut out: Vec<RirReach> = RIRS
         .iter()
-        .map(|r| RirReach {
-            rir: r.name,
-            whackable_foreign_countries: Vec::new(),
-            foreign_orgs: 0,
-        })
+        .map(|r| RirReach { rir: r.name, whackable_foreign_countries: Vec::new(), foreign_orgs: 0 })
         .collect();
     let mut per_rir: Vec<BTreeSet<String>> = vec![BTreeSet::new(); RIRS.len()];
     for org in &world.orgs {
@@ -144,10 +140,7 @@ pub fn jurisdiction_report(world: &SyntheticInternet) -> JurisdictionReport {
         });
     }
     rows.sort_by(|a, b| {
-        b.foreign_countries
-            .len()
-            .cmp(&a.foreign_countries.len())
-            .then(a.holder.cmp(&b.holder))
+        b.foreign_countries.len().cmp(&a.foreign_countries.len()).then(a.holder.cmp(&b.holder))
     });
     JurisdictionReport { rows, rcs_examined, rcs_crossing_borders: rcs_crossing }
 }

@@ -40,7 +40,9 @@ pub mod tradeoff;
 
 pub use fixtures::ModelRpki;
 pub use grid::{collapse_bands, validity_grid, Band, GridRow};
-pub use jurisdiction::{jurisdiction_report, rir_reach, JurisdictionReport, JurisdictionRow, RirReach};
+pub use jurisdiction::{
+    jurisdiction_report, rir_reach, JurisdictionReport, JurisdictionRow, RirReach,
+};
 pub use loopback::{LoopbackOutcome, LoopbackWorld};
 pub use side_effects::{se5_new_roa_impact, se6_missing_roa_impact, Se5Impact, Se6Impact};
 pub use suspenders::{SuspendersConfig, SuspendersEvent, SuspendersState};

@@ -19,12 +19,12 @@
 
 use std::collections::BTreeSet;
 
-use bgp_sim::{propagate, Announcement, RpkiPolicy, Topology};
+use bgp_sim::{propagate_with_stats, Announcement, ConvergenceStats, RpkiPolicy, Topology};
 use ipres::Asn;
+use netsim::{Network, NodeId};
 use rpki_objects::{Moment, TrustAnchorLocator};
 use rpki_repo::RepoRegistry;
 use rpki_rp::{NetworkSource, ValidationConfig, ValidationRun, Validator, Vrp};
-use netsim::{Network, NodeId};
 use serde::Serialize;
 
 /// The converged outcome of one loop evaluation.
@@ -38,6 +38,8 @@ pub struct LoopbackOutcome {
     pub unreachable_repos: Vec<String>,
     /// The final validated VRPs.
     pub vrps: Vec<Vrp>,
+    /// Total BGP propagation work across all loop iterations.
+    pub propagation: ConvergenceStats,
 }
 
 impl LoopbackOutcome {
@@ -72,9 +74,12 @@ impl LoopbackWorld<'_> {
     /// addresses are always fetchable (out-of-band hosting); declared
     /// ones need the relying party's traffic to their address to reach
     /// their AS.
-    fn fetchable_hosts(&self, vrps: &[Vrp]) -> BTreeSet<String> {
+    fn fetchable_hosts(&self, vrps: &[Vrp], work: &mut ConvergenceStats) -> BTreeSet<String> {
         let cache = vrps.iter().copied().collect();
-        let state = propagate(self.topology, self.announcements, self.policy, &cache);
+        let (state, stats) =
+            propagate_with_stats(self.topology, self.announcements, self.policy, &cache)
+                .expect("loopback topology converges");
+        work.absorb(stats);
         self.repos
             .iter()
             .filter(|repo| match repo.hosted_at() {
@@ -94,7 +99,8 @@ impl LoopbackWorld<'_> {
     /// reached when the set of fetchable hosts stops changing.
     pub fn run(&mut self, initial_vrps: &[Vrp], now: Moment) -> LoopbackOutcome {
         let mut vrps: Vec<Vrp> = initial_vrps.to_vec();
-        let mut fetchable = self.fetchable_hosts(&vrps);
+        let mut propagation = ConvergenceStats::default();
+        let mut fetchable = self.fetchable_hosts(&vrps, &mut propagation);
         let mut iterations = 0;
         loop {
             iterations += 1;
@@ -125,7 +131,7 @@ impl LoopbackWorld<'_> {
             let run: ValidationRun =
                 Validator::new(ValidationConfig::at(now)).run(&mut source, self.tals);
             let new_vrps = run.vrps;
-            let new_fetchable = self.fetchable_hosts(&new_vrps);
+            let new_fetchable = self.fetchable_hosts(&new_vrps, &mut propagation);
             let settled = new_fetchable == fetchable && new_vrps == vrps;
             vrps = new_vrps;
             fetchable = new_fetchable;
@@ -135,13 +141,13 @@ impl LoopbackWorld<'_> {
         }
         self.net.clear_reachability();
 
-        let all_hosts: BTreeSet<String> =
-            self.repos.iter().map(|r| r.host().to_owned()).collect();
+        let all_hosts: BTreeSet<String> = self.repos.iter().map(|r| r.host().to_owned()).collect();
         LoopbackOutcome {
             iterations,
             reachable_repos: fetchable.iter().cloned().collect(),
             unreachable_repos: all_hosts.difference(&fetchable).cloned().collect(),
             vrps,
+            propagation,
         }
     }
 }

@@ -46,9 +46,7 @@ pub fn se5_new_roa_impact(vrps: &[Vrp], new_vrp: Vrp, routes: &[Route]) -> Se5Im
         let was = before.classify(route);
         let is = after.classify(route);
         match (was, is) {
-            (RouteValidity::Unknown, RouteValidity::Invalid) => {
-                impact.newly_invalid.push(route)
-            }
+            (RouteValidity::Unknown, RouteValidity::Invalid) => impact.newly_invalid.push(route),
             (RouteValidity::Unknown, RouteValidity::Valid) => impact.newly_valid.push(route),
             _ => impact.unchanged += 1,
         }
@@ -143,13 +141,9 @@ mod tests {
             r("63.160.64.0/20", 1239), // already valid: unchanged
             r("8.8.8.0/24", 15169),    // unrelated: unchanged
         ];
-        let impact =
-            se5_new_roa_impact(&vrps, v("63.160.0.0/12", 13, 1239), &routes);
+        let impact = se5_new_roa_impact(&vrps, v("63.160.0.0/12", 13, 1239), &routes);
         assert_eq!(impact.newly_invalid, vec![r("63.161.0.0/16", 4001), r("63.162.0.0/16", 4002)]);
-        assert_eq!(
-            impact.newly_valid,
-            vec![r("63.160.0.0/12", 1239), r("63.160.0.0/13", 1239)]
-        );
+        assert_eq!(impact.newly_valid, vec![r("63.160.0.0/12", 1239), r("63.160.0.0/13", 1239)]);
         assert_eq!(impact.unchanged, 2);
     }
 
@@ -164,12 +158,10 @@ mod tests {
         let impact = se6_missing_roa_impact(&vrps, &routes);
         assert_eq!(impact.vrps_examined, 2);
         assert_eq!(impact.vrps_with_invalid_fallout, 1);
-        let covered_loss =
-            impact.rows.iter().find(|row| row.missing.asn == Asn(7341)).unwrap();
+        let covered_loss = impact.rows.iter().find(|row| row.missing.asn == Asn(7341)).unwrap();
         assert_eq!(covered_loss.to_invalid, 1);
         assert_eq!(covered_loss.to_unknown, 0);
-        let covering_loss =
-            impact.rows.iter().find(|row| row.missing.asn == Asn(17054)).unwrap();
+        let covering_loss = impact.rows.iter().find(|row| row.missing.asn == Asn(17054)).unwrap();
         assert_eq!(covering_loss.to_invalid, 0);
         assert_eq!(covering_loss.to_unknown, 1);
     }

@@ -106,8 +106,7 @@ impl SuspendersState {
         let mut events = Vec::new();
 
         // Index the new run.
-        let fresh: BTreeMap<Vrp, VrpRecord> =
-            run.vrp_records.iter().map(|r| (r.vrp, *r)).collect();
+        let fresh: BTreeMap<Vrp, VrpRecord> = run.vrp_records.iter().map(|r| (r.vrp, *r)).collect();
 
         // Update existing entries.
         let mut to_remove: Vec<Vrp> = Vec::new();
@@ -138,10 +137,8 @@ impl SuspendersState {
             match entry.disposition {
                 Disposition::Fresh => {
                     // First disappearance: hold and alarm.
-                    entry.disposition = Disposition::Held {
-                        since: now,
-                        until: now + self.config.hold_down,
-                    };
+                    entry.disposition =
+                        Disposition::Held { since: now, until: now + self.config.hold_down };
                     events.push(SuspendersEvent::HeldSuspicious(*vrp));
                 }
                 Disposition::Held { until, .. } => {
@@ -159,9 +156,7 @@ impl SuspendersState {
 
         // Adopt genuinely new VRPs.
         for (vrp, record) in fresh {
-            self.entries
-                .entry(vrp)
-                .or_insert(Entry { record, disposition: Disposition::Fresh });
+            self.entries.entry(vrp).or_insert(Entry { record, disposition: Disposition::Fresh });
         }
 
         events
@@ -255,12 +250,8 @@ mod tests {
         let mut s = SuspendersState::new(cfg());
         s.ingest(&w.validate_direct(Moment(2)), Moment(2));
 
-        let serial = w
-            .continental
-            .issued_roas()
-            .find(|r| r.asn() == asn::CONTINENTAL)
-            .unwrap()
-            .serial();
+        let serial =
+            w.continental.issued_roas().find(|r| r.asn() == asn::CONTINENTAL).unwrap().serial();
         w.continental.revoke_serial(serial);
         w.publish_all(Moment(3));
         let events = s.ingest(&w.validate_direct(Moment(4)), Moment(4));
@@ -304,15 +295,16 @@ mod tests {
         s.ingest(&run, Moment(4));
         assert_eq!(s.held().len(), 1);
         // Day 1: still held, no repeat alarm.
-        let events = s.ingest(&w.validate_direct(Moment(4) + Span::days(1)), Moment(4) + Span::days(1));
+        let events =
+            s.ingest(&w.validate_direct(Moment(4) + Span::days(1)), Moment(4) + Span::days(1));
         assert!(events.is_empty());
         assert_eq!(s.held().len(), 1);
         // Day 3 (past the 2-day hold-down): dropped for real.
         let t = Moment(4) + Span::days(3);
         let events = s.ingest(&w.validate_direct(t), t);
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, SuspendersEvent::HoldDownExpired(v) if v.asn == asn::CONTINENTAL)));
+        assert!(events.iter().any(
+            |e| matches!(e, SuspendersEvent::HoldDownExpired(v) if v.asn == asn::CONTINENTAL)
+        ));
         assert_eq!(s.held().len(), 0);
         assert_eq!(s.len(), 7);
     }
@@ -338,10 +330,7 @@ mod tests {
         w.net.faults.set_down(node, false);
         let run = w.validate_network(Moment(4));
         let events = s.ingest(&run, Moment(4));
-        assert_eq!(
-            events.iter().filter(|e| matches!(e, SuspendersEvent::Recovered(_))).count(),
-            5
-        );
+        assert_eq!(events.iter().filter(|e| matches!(e, SuspendersEvent::Recovered(_))).count(), 5);
         assert!(s.held().is_empty());
     }
 

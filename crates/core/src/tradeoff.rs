@@ -14,7 +14,7 @@
 //! For each scenario × each relying-party policy, the table reports the
 //! fraction of ASes whose traffic to the victim still reaches it.
 
-use bgp_sim::{propagate, Announcement, RpkiPolicy, Topology};
+use bgp_sim::{propagate_with_stats, Announcement, ConvergenceStats, RpkiPolicy, Topology};
 use ipres::{Addr, Asn};
 use rpki_rp::VrpCache;
 use serde::Serialize;
@@ -33,6 +33,8 @@ pub struct ScenarioOutcome {
 pub struct TradeoffTable {
     /// One row per scenario.
     pub rows: Vec<ScenarioOutcome>,
+    /// Total propagation work across all scenario × policy runs.
+    pub convergence: ConvergenceStats,
 }
 
 impl TradeoffTable {
@@ -73,14 +75,12 @@ pub struct TradeoffScenario<'a> {
 /// Runs Table 6: both scenarios under `Ignore`, `DropInvalid`, and
 /// `DeprefInvalid`.
 pub fn policy_tradeoff(s: &TradeoffScenario<'_>) -> TradeoffTable {
-    let policies =
-        [RpkiPolicy::Ignore, RpkiPolicy::DropInvalid, RpkiPolicy::DeprefInvalid];
+    let policies = [RpkiPolicy::Ignore, RpkiPolicy::DropInvalid, RpkiPolicy::DeprefInvalid];
 
     // Scenario A: routing attack (subprefix hijack), RPKI intact.
     let mut attack_anns = s.announcements.to_vec();
     attack_anns.push(s.hijack);
-    let mut attack_row =
-        ScenarioOutcome { scenario: "routing attack", reachability: Vec::new() };
+    let mut attack_row = ScenarioOutcome { scenario: "routing attack", reachability: Vec::new() };
     // The denominator is "other networks": the attacker (who reaches
     // itself by construction) and the victim (likewise) are excluded.
     let probes = |state: &bgp_sim::RoutingState| {
@@ -90,20 +90,25 @@ pub fn policy_tradeoff(s: &TradeoffScenario<'_>) -> TradeoffTable {
             s.victim.origin,
         )
     };
+    let mut convergence = ConvergenceStats::default();
     for policy in policies {
-        let state = propagate(s.topology, &attack_anns, policy, s.cache_intact);
+        let (state, stats) = propagate_with_stats(s.topology, &attack_anns, policy, s.cache_intact)
+            .expect("Table 6 topology converges");
+        convergence.absorb(stats);
         attack_row.reachability.push((policy, probes(&state)));
     }
 
     // Scenario B: RPKI manipulation (ROA whacked), no hijacker.
-    let mut manip_row =
-        ScenarioOutcome { scenario: "RPKI manipulation", reachability: Vec::new() };
+    let mut manip_row = ScenarioOutcome { scenario: "RPKI manipulation", reachability: Vec::new() };
     for policy in policies {
-        let state = propagate(s.topology, s.announcements, policy, s.cache_whacked);
+        let (state, stats) =
+            propagate_with_stats(s.topology, s.announcements, policy, s.cache_whacked)
+                .expect("Table 6 topology converges");
+        convergence.absorb(stats);
         manip_row.reachability.push((policy, probes(&state)));
     }
 
-    TradeoffTable { rows: vec![attack_row, manip_row] }
+    TradeoffTable { rows: vec![attack_row, manip_row], convergence }
 }
 
 #[cfg(test)]
@@ -126,14 +131,8 @@ mod tests {
         intact_vrps.push(Vrp::new("63.160.0.0/12".parse().unwrap(), 13, asn::SPRINT));
         let victim =
             Announcement { prefix: "63.174.16.0/20".parse().unwrap(), origin: asn::CONTINENTAL };
-        let hijack =
-            Announcement { prefix: "63.174.24.0/24".parse().unwrap(), origin: Asn(666) };
-        (
-            intact_vrps.into_iter().collect(),
-            whacked_vrps.into_iter().collect(),
-            victim,
-            hijack,
-        )
+        let hijack = Announcement { prefix: "63.174.24.0/24".parse().unwrap(), origin: Asn(666) };
+        (intact_vrps.into_iter().collect(), whacked_vrps.into_iter().collect(), victim, hijack)
     }
 
     #[test]
@@ -163,8 +162,7 @@ mod tests {
         // Row "depref invalid": hijack succeeds (LPM), manipulation
         // survivable.
         let depref_attack = table.get("routing attack", RpkiPolicy::DeprefInvalid).unwrap();
-        let depref_manip =
-            table.get("RPKI manipulation", RpkiPolicy::DeprefInvalid).unwrap();
+        let depref_manip = table.get("RPKI manipulation", RpkiPolicy::DeprefInvalid).unwrap();
         assert!(depref_attack < 1.0, "subprefix hijack possible under depref");
         assert_eq!(depref_manip, 1.0, "depref keeps the whacked prefix reachable");
 
@@ -172,11 +170,16 @@ mod tests {
         let ignore_attack = table.get("routing attack", RpkiPolicy::Ignore).unwrap();
         assert!(ignore_attack < 1.0);
         assert_eq!(table.get("RPKI manipulation", RpkiPolicy::Ignore).unwrap(), 1.0);
+
+        // Six propagations ran; the memo did real work.
+        assert!(table.convergence.rounds >= 6);
+        assert!(table.convergence.route_updates > 0);
+        assert!(table.convergence.memo_misses > 0);
     }
 
     #[test]
     fn get_on_missing_keys() {
-        let table = TradeoffTable { rows: vec![] };
+        let table = TradeoffTable { rows: vec![], convergence: ConvergenceStats::default() };
         assert!(table.get("nope", RpkiPolicy::Ignore).is_none());
     }
 }

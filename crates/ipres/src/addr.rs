@@ -101,10 +101,7 @@ impl Addr {
     /// error: a v4 address must fit in 32 bits).
     #[inline]
     pub fn new(family: Family, value: u128) -> Self {
-        assert!(
-            value <= family.max_value(),
-            "address value {value:#x} out of range for {family}"
-        );
+        assert!(value <= family.max_value(), "address value {value:#x} out of range for {family}");
         Addr { family, value }
     }
 
@@ -173,13 +170,15 @@ impl FromStr for Addr {
                     return Ok(Vec::new());
                 }
                 part.split(':')
-                    .map(|g| u128::from_str_radix(g, 16).map_err(|_| err()).and_then(|v| {
-                        if v > 0xffff {
-                            Err(err())
-                        } else {
-                            Ok(v)
-                        }
-                    }))
+                    .map(|g| {
+                        u128::from_str_radix(g, 16).map_err(|_| err()).and_then(|v| {
+                            if v > 0xffff {
+                                Err(err())
+                            } else {
+                                Ok(v)
+                            }
+                        })
+                    })
                     .collect()
             };
             let (head, tail) = match s.find("::") {

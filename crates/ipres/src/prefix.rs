@@ -75,6 +75,10 @@ impl Prefix {
     }
 
     /// The prefix length.
+    ///
+    /// Length 0 is the default route, not emptiness — see
+    /// [`is_default`](Self::is_default).
+    #[allow(clippy::len_without_is_empty)]
     #[inline]
     pub const fn len(self) -> u8 {
         self.len
@@ -150,8 +154,7 @@ impl Prefix {
         }
         let left = Prefix::new(self.addr, self.len + 1);
         let branch = 1u128 << (bits - self.len - 1);
-        let right =
-            Prefix::new(Addr::new(self.family(), self.addr.value() | branch), self.len + 1);
+        let right = Prefix::new(Addr::new(self.family(), self.addr.value() | branch), self.len + 1);
         Some((left, right))
     }
 

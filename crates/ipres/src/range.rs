@@ -107,7 +107,7 @@ impl AddrRange {
             let align = if cur == 0 { bits } else { cur.trailing_zeros().min(bits) };
             // Largest block size that still fits before `end`.
             let remaining = end - cur + 1; // >= 1; cannot overflow: end >= cur
-            // floor(log2(remaining)); remaining >= 1.
+                                           // floor(log2(remaining)); remaining >= 1.
             let fit = 127 - remaining.leading_zeros();
             let k = align.min(fit).min(bits);
             let len = (bits - k) as u8;

@@ -127,9 +127,30 @@ impl<V> PrefixTrie<V> {
     /// (including at `prefix` itself), from shortest to longest.
     pub fn covering(&self, prefix: Prefix) -> Vec<(Prefix, &V)> {
         let mut out = Vec::new();
+        self.covering_for_each(prefix, |p, v| {
+            out.push((p, v));
+            true
+        });
+        out
+    }
+
+    /// Calls `f` on every `(prefix, value)` entry whose prefix covers
+    /// `prefix` (including at `prefix` itself), shortest to longest,
+    /// without allocating. `f` returns whether to keep scanning; the
+    /// walk stops early on `false`.
+    ///
+    /// This is the hot path of origin validation: one covering query
+    /// per classified route, so the `Vec` the plain [`Self::covering`]
+    /// API returns would be allocated per route per propagation step.
+    pub fn covering_for_each<'a, F>(&'a self, prefix: Prefix, mut f: F)
+    where
+        F: FnMut(Prefix, &'a V) -> bool,
+    {
         let mut node = self.root(prefix.family());
         for v in &node.values {
-            out.push((Prefix::new(prefix.addr(), 0), v));
+            if !f(Prefix::new(prefix.addr(), 0), v) {
+                return;
+            }
         }
         for i in 0..prefix.len() {
             let b = prefix.bit(i) as usize;
@@ -137,13 +158,14 @@ impl<V> PrefixTrie<V> {
                 Some(child) => {
                     node = child;
                     for v in &node.values {
-                        out.push((Prefix::new(prefix.addr(), i + 1), v));
+                        if !f(Prefix::new(prefix.addr(), i + 1), v) {
+                            return;
+                        }
                     }
                 }
                 None => break,
             }
         }
-        out
     }
 
     /// All `(prefix, value)` entries covered by `prefix` (its subtree,
@@ -181,7 +203,8 @@ impl<V> PrefixTrie<V> {
     pub fn longest_match(&self, addr: Addr) -> Option<(Prefix, &[V])> {
         let host = Prefix::new(addr, addr.family().bits());
         let mut node = self.root(addr.family());
-        let mut best: Option<(u8, &Node<V>)> = if node.values.is_empty() { None } else { Some((0, node)) };
+        let mut best: Option<(u8, &Node<V>)> =
+            if node.values.is_empty() { None } else { Some((0, node)) };
         for i in 0..host.len() {
             let b = host.bit(i) as usize;
             match node.children[b].as_deref() {
@@ -254,6 +277,17 @@ mod tests {
         assert_eq!(vals, vec![1, 2, 3, 33]);
         // Nothing covers an unrelated prefix.
         assert!(t.covering(p("8.0.0.0/8")).is_empty());
+    }
+
+    #[test]
+    fn covering_for_each_stops_on_false() {
+        let t = sample();
+        let mut seen = Vec::new();
+        t.covering_for_each(p("63.174.17.0/24"), |_, v| {
+            seen.push(*v);
+            seen.len() < 2
+        });
+        assert_eq!(seen, vec![1, 2]);
     }
 
     #[test]

@@ -162,6 +162,66 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 
+    /// The allocation-free walk visits exactly the entries `covering`
+    /// returns, in the same shortest-prefix-first order, and agrees
+    /// with the brute-force scan.
+    #[test]
+    fn trie_covering_for_each_agrees_with_covering_and_scan(
+        entries in proptest::collection::vec(arb_prefix(), 0..40),
+        probe in arb_prefix(),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (i, p) in entries.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        let mut walked: Vec<(Prefix, usize)> = Vec::new();
+        trie.covering_for_each(probe, |p, v| {
+            walked.push((p, *v));
+            true
+        });
+        let full: Vec<(Prefix, usize)> =
+            trie.covering(probe).into_iter().map(|(p, v)| (p, *v)).collect();
+        prop_assert_eq!(&walked, &full);
+        for w in walked.windows(2) {
+            prop_assert!(w[0].0.len() <= w[1].0.len(), "walk must be shortest-prefix-first");
+        }
+        let mut got = walked.clone();
+        got.sort();
+        let mut want: Vec<(Prefix, usize)> = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.covers(probe))
+            .map(|(i, p)| (*p, i))
+            .collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Returning `false` after `k` callbacks yields exactly the first
+    /// `k` elements of the full covering sequence — the early-stop path
+    /// truncates, never reorders or skips.
+    #[test]
+    fn trie_covering_for_each_early_stop_is_a_prefix(
+        entries in proptest::collection::vec(arb_prefix(), 1..40),
+        probe in arb_prefix(),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (i, p) in entries.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        let full: Vec<(Prefix, usize)> =
+            trie.covering(probe).into_iter().map(|(p, v)| (p, *v)).collect();
+        if !full.is_empty() {
+            let k = full.len().div_ceil(2);
+            let mut cut: Vec<(Prefix, usize)> = Vec::new();
+            trie.covering_for_each(probe, |p, v| {
+                cut.push((p, *v));
+                cut.len() < k
+            });
+            prop_assert_eq!(cut.as_slice(), &full[..k]);
+        }
+    }
+
     #[test]
     fn trie_lpm_agrees_with_scan(entries in proptest::collection::vec(arb_prefix(), 1..40), addr in any::<u32>()) {
         let mut trie = PrefixTrie::new();

@@ -286,12 +286,7 @@ impl Network {
                 } else {
                     self.stats.delivered += 1;
                 }
-                Occurrence::Delivered(Delivery {
-                    from,
-                    to,
-                    payload,
-                    corrupted_in_flight: corrupt,
-                })
+                Occurrence::Delivered(Delivery { from, to, payload, corrupted_in_flight: corrupt })
             }
         })
     }
@@ -398,10 +393,9 @@ mod tests {
         net.send(a, b, vec![1]);
         net.send(b, a, vec![2]);
         let occs = net.run_to_idle();
-        assert!(occs.iter().all(|o| matches!(
-            o,
-            Occurrence::Dropped { reason: DropReason::Partition, .. }
-        )));
+        assert!(occs
+            .iter()
+            .all(|o| matches!(o, Occurrence::Dropped { reason: DropReason::Partition, .. })));
         assert_eq!(net.stats().dropped, 2);
         // Healing restores delivery.
         net.faults.heal(a, b);
@@ -449,10 +443,7 @@ mod tests {
         net.send(a, b, vec![3]); // delivered
         let occs = net.run_to_idle();
         assert!(matches!(occs[0], Occurrence::Delivered(_)));
-        assert!(matches!(
-            occs[1],
-            Occurrence::Dropped { reason: DropReason::Scheduled, .. }
-        ));
+        assert!(matches!(occs[1], Occurrence::Dropped { reason: DropReason::Scheduled, .. }));
         assert!(matches!(occs[2], Occurrence::Delivered(_)));
     }
 
@@ -483,10 +474,7 @@ mod tests {
             for _ in 0..64 {
                 net.send(a, b, vec![0]);
             }
-            net.run_to_idle()
-                .into_iter()
-                .map(|o| matches!(o, Occurrence::Delivered(_)))
-                .collect()
+            net.run_to_idle().into_iter().map(|o| matches!(o, Occurrence::Delivered(_))).collect()
         };
         let first = run(7);
         assert_eq!(first, run(7), "same seed, same outcome");

@@ -297,11 +297,8 @@ impl CertAuthority {
         if let Some(roa) = self.issued_roas.remove(file_name) {
             return Ok(RpkiObject::Roa(roa));
         }
-        let key = self
-            .issued_certs
-            .iter()
-            .find(|(_, c)| c.file_name() == file_name)
-            .map(|(k, _)| *k);
+        let key =
+            self.issued_certs.iter().find(|(_, c)| c.file_name() == file_name).map(|(k, _)| *k);
         if let Some(k) = key {
             let cert = self.issued_certs.remove(&k).expect("key just found");
             return Ok(RpkiObject::Cert(cert));
@@ -328,10 +325,7 @@ impl CertAuthority {
     /// the renewal worklist. Delayed renewal is one of the paper's
     /// missing-ROA triggers (Side Effect 6).
     pub fn expiring_roas(&self, now: Moment, horizon: Span) -> Vec<&Roa> {
-        self.issued_roas
-            .values()
-            .filter(|r| r.validity().not_after <= now + horizon)
-            .collect()
+        self.issued_roas.values().filter(|r| r.validity().not_after <= now + horizon).collect()
     }
 
     /// Generates the current CRL.
@@ -363,10 +357,8 @@ impl CertAuthority {
         files.push((crl.file_name(), RpkiObject::Crl(crl)));
 
         self.manifest_number += 1;
-        let entries = files
-            .iter()
-            .map(|(name, obj)| Manifest::entry_for(name, &obj.to_bytes()))
-            .collect();
+        let entries =
+            files.iter().map(|(name, obj)| Manifest::entry_for(name, &obj.to_bytes())).collect();
         let manifest = Manifest::sign(
             ManifestData {
                 issuer_key: self.key.id(),
@@ -412,8 +404,7 @@ impl CertAuthority {
             self.ee_counter += 1;
             let ee_key = KeyPair::from_seed(&ee_seed);
             let serial = self.bump_serial();
-            let roa =
-                Roa::issue(r.data().clone(), serial, r.validity(), &self.key, &ee_key);
+            let roa = Roa::issue(r.data().clone(), serial, r.validity(), &self.key, &ee_key);
             self.issued_roas.insert(roa.file_name(), roa);
             resigned += 1;
         }

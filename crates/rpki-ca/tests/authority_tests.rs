@@ -62,9 +62,8 @@ fn issuance_enforces_containment() {
         .unwrap();
     assert_eq!(roa.verify(&sprint.public_key()), Ok(()));
     // Out-of-range is refused with the precise excess.
-    let err = sprint
-        .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("8.0.0.0/8"))], Moment(0))
-        .unwrap_err();
+    let err =
+        sprint.issue_roa(Asn(1239), vec![RoaPrefix::exact(p("8.0.0.0/8"))], Moment(0)).unwrap_err();
     match err {
         IssueError::ResourcesNotHeld { excess } => {
             assert_eq!(excess, rs("8.0.0.0/8"));
@@ -88,9 +87,8 @@ fn validity_clamped_to_issuer_window() {
     let child = CertAuthority::new("C", "test-c-short", uri("h2"));
     // Default child lifetime (365d) exceeds the TA's 10-day window: the
     // issued window is clamped, never extended past the issuer's.
-    let rc = ta
-        .issue_cert("C", child.public_key(), rs("10.0.0.0/16"), uri("h2"), Moment(0))
-        .unwrap();
+    let rc =
+        ta.issue_cert("C", child.public_key(), rs("10.0.0.0/16"), uri("h2"), Moment(0)).unwrap();
     assert_eq!(rc.data().validity.not_after, Moment(0) + Span::days(10));
     let roa = ta.issue_roa(Asn(5), vec![RoaPrefix::exact(p("10.0.0.0/16"))], Moment(5)).unwrap();
     assert_eq!(roa.validity().not_after, Moment(0) + Span::days(10));
@@ -126,9 +124,8 @@ fn reissue_overwrites_same_file_name() {
 #[test]
 fn revocation_is_transparent() {
     let (_, mut sprint) = arin_and_sprint();
-    let roa = sprint
-        .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0))
-        .unwrap();
+    let roa =
+        sprint.issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0)).unwrap();
     sprint.revoke_serial(roa.serial());
     // The ROA is gone from the issued set...
     assert_eq!(sprint.issued_roas().count(), 0);
@@ -140,9 +137,8 @@ fn revocation_is_transparent() {
 #[test]
 fn withdraw_is_stealthy() {
     let (_, mut sprint) = arin_and_sprint();
-    let roa = sprint
-        .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0))
-        .unwrap();
+    let roa =
+        sprint.issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0)).unwrap();
     let taken = sprint.withdraw(&roa.file_name()).unwrap();
     assert!(matches!(taken, RpkiObject::Roa(_)));
     assert_eq!(sprint.issued_roas().count(), 0);
@@ -150,10 +146,7 @@ fn withdraw_is_stealthy() {
     let crl = sprint.generate_crl(Moment(10));
     assert!(!crl.is_revoked(roa.serial()));
     // Withdrawing twice fails.
-    assert!(matches!(
-        sprint.withdraw(&roa.file_name()),
-        Err(IssueError::NoSuchObject(_))
-    ));
+    assert!(matches!(sprint.withdraw(&roa.file_name()), Err(IssueError::NoSuchObject(_))));
 }
 
 #[test]
@@ -163,9 +156,7 @@ fn publication_snapshot_is_complete_and_hash_consistent() {
     sprint
         .issue_roa(Asn(1239), vec![RoaPrefix::up_to(p("63.160.64.0/20"), 24)], Moment(0))
         .unwrap();
-    sprint
-        .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("208.24.0.0/16"))], Moment(0))
-        .unwrap();
+    sprint.issue_roa(Asn(1239), vec![RoaPrefix::exact(p("208.24.0.0/16"))], Moment(0)).unwrap();
     let snap = sprint.publication_snapshot(Moment(5));
     // 2 ROAs + CRL + manifest.
     assert_eq!(snap.files.len(), 4);
@@ -187,12 +178,10 @@ fn crl_and_manifest_never_share_revoked_serials() {
     // DESIGN.md invariant 7 (second half): nothing on the manifest is
     // revoked.
     let (_, mut sprint) = arin_and_sprint();
-    let keep = sprint
-        .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0))
-        .unwrap();
-    let kill = sprint
-        .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.161.0.0/20"))], Moment(0))
-        .unwrap();
+    let keep =
+        sprint.issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0)).unwrap();
+    let kill =
+        sprint.issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.161.0.0/20"))], Moment(0)).unwrap();
     sprint.revoke_serial(kill.serial());
     let snap = sprint.publication_snapshot(Moment(5));
     let mft = snap.manifest().unwrap();
@@ -222,9 +211,7 @@ fn renewal_is_same_content_new_identity() {
 #[test]
 fn key_rollover_resigns_everything() {
     let (mut arin, mut sprint) = arin_and_sprint();
-    sprint
-        .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0))
-        .unwrap();
+    sprint.issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0)).unwrap();
     let mut etb = CertAuthority::new("ETB", "test-etb", uri("rpki.etb.example"));
     let rc = sprint
         .issue_cert("ETB", etb.public_key(), rs("208.24.0.0/16"), etb.sia().clone(), Moment(0))
@@ -236,7 +223,7 @@ fn key_rollover_resigns_everything() {
     assert_eq!(report.old_key, old_key);
     assert_ne!(report.new_key.id(), old_key);
     assert_eq!(report.resigned_objects, 2); // 1 cert + 1 ROA
-    // Sprint is uncertified until ARIN re-certifies the new key.
+                                            // Sprint is uncertified until ARIN re-certifies the new key.
     assert!(sprint.cert().is_none());
     let rc2 = arin
         .issue_cert(
@@ -282,7 +269,13 @@ fn snapshot_reflects_overwrite_not_just_delete() {
     let (_, mut sprint) = arin_and_sprint();
     let mut cb = CertAuthority::new("Continental", "test-cb", uri("rpki.continental.example"));
     sprint
-        .issue_cert("Continental", cb.public_key(), rs("63.174.16.0/20"), cb.sia().clone(), Moment(0))
+        .issue_cert(
+            "Continental",
+            cb.public_key(),
+            rs("63.174.16.0/20"),
+            cb.sia().clone(),
+            Moment(0),
+        )
         .unwrap();
     let before = sprint.publication_snapshot(Moment(1));
     let carved = rs("63.174.16.0/20").difference(&rs("63.174.24.0/24"));

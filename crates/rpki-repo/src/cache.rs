@@ -117,10 +117,8 @@ pub fn sync_dir_incremental(
                     for (name, digest) in entries {
                         if cache.digest_of(&dir_key, &name) == Some(digest) {
                             // Unchanged: reuse without a GET.
-                            let bytes = cache
-                                .get(dir, &name)
-                                .expect("digest implies presence")
-                                .to_vec();
+                            let bytes =
+                                cache.get(dir, &name).expect("digest implies presence").to_vec();
                             outcome.files.insert(name, bytes);
                             stats.reused += 1;
                         } else {

@@ -135,10 +135,8 @@ impl Decode for RsyncResponse {
         match r.u8()? {
             RESP_LISTING => {
                 let dir = RepoUri::decode(r)?;
-                let entries = Vec::<Entry>::decode(r)?
-                    .into_iter()
-                    .map(|Entry(n, d)| (n, d))
-                    .collect();
+                let entries =
+                    Vec::<Entry>::decode(r)?.into_iter().map(|Entry(n, d)| (n, d)).collect();
                 Ok(RsyncResponse::Listing { dir, entries })
             }
             RESP_FILE => Ok(RsyncResponse::File {

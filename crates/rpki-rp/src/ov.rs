@@ -63,15 +63,24 @@ impl fmt::Display for RouteValidity {
 
 impl VrpCache {
     /// Classifies a route per RFC 6811.
+    ///
+    /// Allocation-free: walks the covering trie path directly (see
+    /// [`VrpCache::covering_for_each`]) and stops at the first match,
+    /// since one matching VRP already decides Valid.
     pub fn classify(&self, route: Route) -> RouteValidity {
-        let covering = self.covering(route.prefix);
-        if covering.is_empty() {
-            return RouteValidity::Unknown;
-        }
-        if covering.iter().any(|v| v.matches(route.prefix, route.origin)) {
+        let mut covered = false;
+        let mut matched = false;
+        self.covering_for_each(route.prefix, |v| {
+            covered = true;
+            matched = v.matches(route.prefix, route.origin);
+            !matched
+        });
+        if matched {
             RouteValidity::Valid
-        } else {
+        } else if covered {
             RouteValidity::Invalid
+        } else {
+            RouteValidity::Unknown
         }
     }
 }
@@ -145,15 +154,9 @@ mod tests {
         cache.insert(Vrp::new(p("63.160.0.0/12"), 13, Asn(1239)));
         assert_eq!(cache.classify(route), RouteValidity::Invalid);
         // And the /12 route itself becomes valid for Sprint...
-        assert_eq!(
-            cache.classify(Route::new(p("63.160.0.0/12"), Asn(1239))),
-            RouteValidity::Valid
-        );
+        assert_eq!(cache.classify(Route::new(p("63.160.0.0/12"), Asn(1239))), RouteValidity::Valid);
         // ...and /13s too (maxlen 13), but not /14s.
-        assert_eq!(
-            cache.classify(Route::new(p("63.160.0.0/13"), Asn(1239))),
-            RouteValidity::Valid
-        );
+        assert_eq!(cache.classify(Route::new(p("63.160.0.0/13"), Asn(1239))), RouteValidity::Valid);
         assert_eq!(
             cache.classify(Route::new(p("63.160.0.0/14"), Asn(1239))),
             RouteValidity::Invalid
@@ -185,25 +188,17 @@ mod tests {
     #[test]
     fn empty_cache_knows_nothing() {
         let cache = VrpCache::new();
-        assert_eq!(
-            cache.classify(Route::new(p("8.8.8.0/24"), Asn(15169))),
-            RouteValidity::Unknown
-        );
+        assert_eq!(cache.classify(Route::new(p("8.8.8.0/24"), Asn(15169))), RouteValidity::Unknown);
     }
 
     #[test]
     fn exact_duplicate_prefix_two_origins() {
-        let cache: VrpCache = [
-            Vrp::new(p("10.0.0.0/16"), 16, Asn(1)),
-            Vrp::new(p("10.0.0.0/16"), 16, Asn(2)),
-        ]
-        .into_iter()
-        .collect();
+        let cache: VrpCache =
+            [Vrp::new(p("10.0.0.0/16"), 16, Asn(1)), Vrp::new(p("10.0.0.0/16"), 16, Asn(2))]
+                .into_iter()
+                .collect();
         assert_eq!(cache.classify(Route::new(p("10.0.0.0/16"), Asn(1))), RouteValidity::Valid);
         assert_eq!(cache.classify(Route::new(p("10.0.0.0/16"), Asn(2))), RouteValidity::Valid);
-        assert_eq!(
-            cache.classify(Route::new(p("10.0.0.0/16"), Asn(3))),
-            RouteValidity::Invalid
-        );
+        assert_eq!(cache.classify(Route::new(p("10.0.0.0/16"), Asn(3))), RouteValidity::Invalid);
     }
 }

@@ -241,10 +241,7 @@ impl RtrServer {
                 // delta with serial > client serial, contiguously.
                 let available: Vec<&(u32, Vec<Delta>)> =
                     self.history.iter().filter(|(s, _)| *s > *serial).collect();
-                let contiguous = available
-                    .first()
-                    .map(|(s, _)| *s == serial + 1)
-                    .unwrap_or(false)
+                let contiguous = available.first().map(|(s, _)| *s == serial + 1).unwrap_or(false)
                     && available.len() as u32 == self.serial - serial;
                 if !contiguous {
                     return vec![RtrPdu::CacheReset];
@@ -476,8 +473,7 @@ mod tests {
         let response = server.handle(&query);
         // CacheResponse + 2 deltas + EndOfData.
         assert_eq!(response.len(), 4);
-        let prefix_count =
-            response.iter().filter(|p| matches!(p, RtrPdu::Prefix(_))).count();
+        let prefix_count = response.iter().filter(|p| matches!(p, RtrPdu::Prefix(_))).count();
         assert_eq!(prefix_count, 2);
         for pdu in &response {
             client.handle(pdu);

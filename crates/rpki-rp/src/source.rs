@@ -13,8 +13,8 @@
 use std::collections::BTreeMap;
 
 use netsim::{Network, NodeId};
-use rpki_repo::{sync_dir, RepoRegistry, SyncOutcome};
 use rpki_objects::RepoUri;
+use rpki_repo::{sync_dir, RepoRegistry, SyncOutcome};
 
 /// Supplies publication-point contents to the validator.
 pub trait ObjectSource {

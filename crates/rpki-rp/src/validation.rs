@@ -92,10 +92,7 @@ impl ValidationConfig {
 
     /// Same, with the strict completeness policy.
     pub fn strict_at(now: Moment) -> Self {
-        ValidationConfig {
-            incomplete: IncompletePolicy::RejectPublicationPoint,
-            ..Self::at(now)
-        }
+        ValidationConfig { incomplete: IncompletePolicy::RejectPublicationPoint, ..Self::at(now) }
     }
 
     /// Same as [`ValidationConfig::at`], with RFC 8360 trimming.

@@ -120,11 +120,21 @@ impl VrpCache {
 
     /// Every VRP whose prefix covers `route_prefix`.
     pub fn covering(&self, route_prefix: Prefix) -> Vec<Vrp> {
-        self.trie
-            .covering(route_prefix)
-            .into_iter()
-            .map(|(p, (m, a))| Vrp { prefix: p, max_len: *m, asn: *a })
-            .collect()
+        let mut out = Vec::new();
+        self.covering_for_each(route_prefix, |v| {
+            out.push(v);
+            true
+        });
+        out
+    }
+
+    /// Calls `f` on every VRP whose prefix covers `route_prefix`,
+    /// shortest prefix first, without allocating. `f` returns whether
+    /// to keep scanning; the walk stops early on `false`.
+    pub fn covering_for_each<F: FnMut(Vrp) -> bool>(&self, route_prefix: Prefix, mut f: F) {
+        self.trie.covering_for_each(route_prefix, |p, &(max_len, asn)| {
+            f(Vrp { prefix: p, max_len, asn })
+        });
     }
 }
 
@@ -184,12 +194,10 @@ mod tests {
 
     #[test]
     fn duplicate_prefix_different_origin_both_kept() {
-        let cache: VrpCache = [
-            Vrp::new(p("10.0.0.0/8"), 8, Asn(1)),
-            Vrp::new(p("10.0.0.0/8"), 8, Asn(2)),
-        ]
-        .into_iter()
-        .collect();
+        let cache: VrpCache =
+            [Vrp::new(p("10.0.0.0/8"), 8, Asn(1)), Vrp::new(p("10.0.0.0/8"), 8, Asn(2))]
+                .into_iter()
+                .collect();
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.covering(p("10.0.0.0/8")).len(), 2);
     }

@@ -8,9 +8,7 @@ use rpki_rp::{Route, RouteValidity, Vrp, VrpCache};
 /// Small universe: prefixes inside 10.0.0.0/8, lengths 8..=24, origins
 /// from a handful of ASNs — overlap probability stays high.
 fn arb_prefix() -> impl Strategy<Value = Prefix> {
-    (0u32..=0xffff, 8u8..=24).prop_map(|(v, len)| {
-        Prefix::new(Addr::v4((10 << 24) | (v << 8)), len)
-    })
+    (0u32..=0xffff, 8u8..=24).prop_map(|(v, len)| Prefix::new(Addr::v4((10 << 24) | (v << 8)), len))
 }
 
 fn arb_vrp() -> impl Strategy<Value = Vrp> {

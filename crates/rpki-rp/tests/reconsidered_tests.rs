@@ -32,13 +32,18 @@ impl World {
         for host in ["ta.example", "middle.example", "leaf.example"] {
             repos.create(&mut net, host);
         }
-        let mut ta =
-            CertAuthority::new("TA", "rec-ta", RepoUri::new("ta.example", &["repo"]));
+        let mut ta = CertAuthority::new("TA", "rec-ta", RepoUri::new("ta.example", &["repo"]));
         ta.certify_self(rs("10.0.0.0/8"), Moment(0), Span::days(3650));
         let mut middle =
             CertAuthority::new("Middle", "rec-middle", RepoUri::new("middle.example", &["repo"]));
         let rc = ta
-            .issue_cert("Middle", middle.public_key(), rs("10.1.0.0/16"), middle.sia().clone(), Moment(0))
+            .issue_cert(
+                "Middle",
+                middle.public_key(),
+                rs("10.1.0.0/16"),
+                middle.sia().clone(),
+                Moment(0),
+            )
             .unwrap();
         middle.install_cert(rc);
         let mut leaf =
@@ -63,10 +68,11 @@ impl World {
     fn publish(&mut self, now: Moment) {
         let ta_cert = self.ta.cert().unwrap().clone();
         let ta_dir = RepoUri::new("ta.example", &["ta"]);
-        self.repos
-            .by_host_mut("ta.example")
-            .unwrap()
-            .publish_raw(&ta_dir, "root.cer", RpkiObject::Cert(ta_cert).to_bytes());
+        self.repos.by_host_mut("ta.example").unwrap().publish_raw(
+            &ta_dir,
+            "root.cer",
+            RpkiObject::Cert(ta_cert).to_bytes(),
+        );
         for ca in [&mut self.ta, &mut self.middle, &mut self.leaf] {
             let sia = ca.sia().clone();
             let snap = ca.publication_snapshot(now);
@@ -136,12 +142,7 @@ fn multi_prefix_roa_dies_whole_under_trim() {
     let mut w = World::build();
     // Replace the target with a two-prefix ROA spanning carved and
     // uncarved space.
-    let file = w
-        .leaf
-        .issued_roas()
-        .find(|r| r.asn() == Asn(42))
-        .unwrap()
-        .file_name();
+    let file = w.leaf.issued_roas().find(|r| r.asn() == Asn(42)).unwrap().file_name();
     w.leaf.withdraw(&file).unwrap();
     w.leaf
         .issue_roa(
@@ -166,28 +167,26 @@ fn multi_prefix_roa_dies_whole_under_trim() {
 fn trim_policy_contains_accidental_overclaims() {
     let mut w = World::build();
     // The TA renews Middle's RC but forgets the upper half of its /16.
-    w.ta
-        .issue_cert(
-            "Middle",
-            w.middle.public_key(),
-            rs("10.1.0.0/17"),
-            w.middle.sia().clone(),
-            Moment(2),
-        )
-        .unwrap();
+    w.ta.issue_cert(
+        "Middle",
+        w.middle.public_key(),
+        rs("10.1.0.0/17"),
+        w.middle.sia().clone(),
+        Moment(2),
+    )
+    .unwrap();
     w.publish(Moment(2));
     // Strict: everything under Middle dies (the leaf RC's /20 is inside
     // the kept /17, so actually the leaf survives strict too — make the
     // mistake overlap the leaf: keep only the upper /17).
-    w.ta
-        .issue_cert(
-            "Middle",
-            w.middle.public_key(),
-            rs("10.1.128.0/17"),
-            w.middle.sia().clone(),
-            Moment(3),
-        )
-        .unwrap();
+    w.ta.issue_cert(
+        "Middle",
+        w.middle.public_key(),
+        rs("10.1.128.0/17"),
+        w.middle.sia().clone(),
+        Moment(3),
+    )
+    .unwrap();
     w.publish(Moment(3));
     let strict = w.validate(ValidationConfig::at(Moment(4)));
     assert!(strict.vrps.is_empty());

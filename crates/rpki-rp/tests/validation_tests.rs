@@ -156,16 +156,14 @@ fn clean_world_validates_fully() {
     assert!(run.vrps.contains(&Vrp::new(p("63.174.16.0/20"), 20, Asn(17054))));
     assert!(run.vrps.contains(&Vrp::new(p("63.174.16.0/22"), 22, Asn(7341))));
     // No hard failures (unlisted-file notes aside).
-    assert!(run
-        .diagnostics
-        .iter()
-        .all(|d| matches!(d.issue, Issue::UnlistedFile(_))), "{:?}", run.diagnostics);
+    assert!(
+        run.diagnostics.iter().all(|d| matches!(d.issue, Issue::UnlistedFile(_))),
+        "{:?}",
+        run.diagnostics
+    );
     // And origin validation works off the result.
     let cache = run.vrp_cache();
-    assert_eq!(
-        cache.classify(Route::new(p("63.174.16.0/22"), Asn(7341))),
-        RouteValidity::Valid
-    );
+    assert_eq!(cache.classify(Route::new(p("63.174.16.0/22"), Asn(7341))), RouteValidity::Valid);
 }
 
 #[test]
@@ -191,21 +189,13 @@ fn unreachable_repo_loses_subtree_only() {
     // covering ROA from Sprint would have made it invalid; transport
     // faults change route validity. (Section 4 of the paper.)
     let cache = run.vrp_cache();
-    assert_eq!(
-        cache.classify(Route::new(p("63.174.16.0/22"), Asn(7341))),
-        RouteValidity::Unknown
-    );
+    assert_eq!(cache.classify(Route::new(p("63.174.16.0/22"), Asn(7341))), RouteValidity::Unknown);
 }
 
 #[test]
 fn stealthy_withdraw_removes_vrp_without_revocation() {
     let mut w = World::build();
-    let target = w
-        .continental
-        .issued_roas()
-        .find(|r| r.asn() == Asn(7341))
-        .unwrap()
-        .file_name();
+    let target = w.continental.issued_roas().find(|r| r.asn() == Asn(7341)).unwrap().file_name();
     w.continental.withdraw(&target).unwrap();
     w.publish_all(Moment(3));
     let run = w.validate_direct(ValidationConfig::at(Moment(4)));
@@ -216,22 +206,14 @@ fn stealthy_withdraw_removes_vrp_without_revocation() {
     // Side Effect 6 consequence: the route flips valid → invalid
     // because the /20 ROA still covers it.
     let cache = run.vrp_cache();
-    assert_eq!(
-        cache.classify(Route::new(p("63.174.16.0/22"), Asn(7341))),
-        RouteValidity::Invalid
-    );
+    assert_eq!(cache.classify(Route::new(p("63.174.16.0/22"), Asn(7341))), RouteValidity::Invalid);
 }
 
 #[test]
 fn corrupted_file_detected_and_policy_matters() {
     let mut w = World::build();
     // Corrupt one of Continental's ROAs at rest.
-    let target = w
-        .continental
-        .issued_roas()
-        .find(|r| r.asn() == Asn(7341))
-        .unwrap()
-        .file_name();
+    let target = w.continental.issued_roas().find(|r| r.asn() == Asn(7341)).unwrap().file_name();
     w.repos
         .by_host_mut("rpki.continental.example")
         .unwrap()
@@ -253,8 +235,7 @@ fn corrupted_file_detected_and_policy_matters() {
 #[test]
 fn revoked_roa_is_rejected_via_crl() {
     let mut w = World::build();
-    let target =
-        w.continental.issued_roas().find(|r| r.asn() == Asn(7341)).unwrap().clone();
+    let target = w.continental.issued_roas().find(|r| r.asn() == Asn(7341)).unwrap().clone();
     let serial = target.serial();
     let name = target.file_name();
     // Revoke, but *also* keep serving the old ROA bytes (a repository
@@ -265,10 +246,11 @@ fn revoked_roa_is_rejected_via_crl() {
         use rpki_objects::Encode;
         rpki_objects::RpkiObject::Roa(target.clone()).to_bytes()
     };
-    w.repos
-        .by_host_mut("rpki.continental.example")
-        .unwrap()
-        .publish_raw(&w.continental_dir.clone(), &name, stale_bytes);
+    w.repos.by_host_mut("rpki.continental.example").unwrap().publish_raw(
+        &w.continental_dir.clone(),
+        &name,
+        stale_bytes,
+    );
     let run = w.validate_direct(ValidationConfig::at(Moment(4)));
     // The lingering file is not on the manifest → unlisted, not used.
     assert!(run.has_issue(&Issue::UnlistedFile(name)));
@@ -286,10 +268,7 @@ fn expired_objects_are_rejected() {
     // Just past Sprint's 365-day cert: TA still alive, subtree dead.
     let run = w.validate_direct(ValidationConfig::at(Moment(1) + Span::days(366)));
     assert!(run.vrps.is_empty());
-    assert!(run
-        .diagnostics
-        .iter()
-        .any(|d| matches!(d.issue, Issue::Expired(_))));
+    assert!(run.diagnostics.iter().any(|d| matches!(d.issue, Issue::Expired(_))));
 }
 
 #[test]
@@ -360,10 +339,7 @@ fn in_flight_corruption_surfaces_as_hash_mismatch_or_missing() {
     }
     let run = w.validate_network(ValidationConfig::at(Moment(2)));
     let hit = run.diagnostics.iter().any(|d| {
-        matches!(
-            d.issue,
-            Issue::HashMismatch(_) | Issue::MissingFile(_) | Issue::DecodeFailed(_)
-        )
+        matches!(d.issue, Issue::HashMismatch(_) | Issue::MissingFile(_) | Issue::DecodeFailed(_))
     });
     assert!(hit, "corruption must surface somewhere: {:?}", run.diagnostics);
     // And fewer VRPs than the clean run.

@@ -31,10 +31,11 @@ fn rig(seed: &str) -> Rig {
 fn publish_ta(rig: &mut Rig, now: Moment) {
     let cert = rig.ta.cert().unwrap().clone();
     let ta_dir = RepoUri::new("ta.example", &["ta"]);
-    rig.repos
-        .by_host_mut("ta.example")
-        .unwrap()
-        .publish_raw(&ta_dir, "root.cer", RpkiObject::Cert(cert).to_bytes());
+    rig.repos.by_host_mut("ta.example").unwrap().publish_raw(
+        &ta_dir,
+        "root.cer",
+        RpkiObject::Cert(cert).to_bytes(),
+    );
     let sia = rig.ta.sia().clone();
     let snap = rig.ta.publication_snapshot(now);
     rig.repos.by_host_mut("ta.example").unwrap().publish_snapshot(&sia, &snap);
@@ -76,27 +77,25 @@ fn mutual_certification_loop_detected() {
     ta.certify_self(rs("10.0.0.0/8"), Moment(0), Span::days(3650));
     let mut a = CertAuthority::new("A", "edge-mutual-a", RepoUri::new("a.example", &["repo"]));
     let mut b = CertAuthority::new("B", "edge-mutual-b", RepoUri::new("b.example", &["repo"]));
-    let rc = ta
-        .issue_cert("A", a.public_key(), rs("10.0.0.0/16"), a.sia().clone(), Moment(0))
-        .unwrap();
+    let rc =
+        ta.issue_cert("A", a.public_key(), rs("10.0.0.0/16"), a.sia().clone(), Moment(0)).unwrap();
     a.install_cert(rc);
     // A certifies B, and B certifies A back.
-    let rc = a
-        .issue_cert("B", b.public_key(), rs("10.0.0.0/20"), b.sia().clone(), Moment(0))
-        .unwrap();
+    let rc =
+        a.issue_cert("B", b.public_key(), rs("10.0.0.0/20"), b.sia().clone(), Moment(0)).unwrap();
     b.install_cert(rc.clone());
     // B needs a cert to issue from; it has one. It certifies A's key.
-    b.issue_cert("A-again", a.public_key(), rs("10.0.0.0/24"), a.sia().clone(), Moment(0))
-        .unwrap();
+    b.issue_cert("A-again", a.public_key(), rs("10.0.0.0/24"), a.sia().clone(), Moment(0)).unwrap();
 
     let tal =
         TrustAnchorLocator::new(RepoUri::new("ta.example", &["ta", "root.cer"]), ta.public_key());
     let ta_dir = RepoUri::new("ta.example", &["ta"]);
     let cert = ta.cert().unwrap().clone();
-    repos
-        .by_host_mut("ta.example")
-        .unwrap()
-        .publish_raw(&ta_dir, "root.cer", RpkiObject::Cert(cert).to_bytes());
+    repos.by_host_mut("ta.example").unwrap().publish_raw(
+        &ta_dir,
+        "root.cer",
+        RpkiObject::Cert(cert).to_bytes(),
+    );
     for ca in [&mut ta, &mut a, &mut b] {
         let sia = ca.sia().clone();
         let snap = ca.publication_snapshot(Moment(1));
@@ -115,8 +114,12 @@ fn mutual_certification_loop_detected() {
 #[test]
 fn depth_cap_enforced() {
     let mut r = rig("edge-depth");
-    r.ta.issue_roa(Asn(1), vec![RoaPrefix::exact("10.0.0.0/16".parse::<Prefix>().unwrap())], Moment(0))
-        .unwrap();
+    r.ta.issue_roa(
+        Asn(1),
+        vec![RoaPrefix::exact("10.0.0.0/16".parse::<Prefix>().unwrap())],
+        Moment(0),
+    )
+    .unwrap();
     publish_ta(&mut r, Moment(1));
     let config = ValidationConfig { max_depth: 0, ..ValidationConfig::at(Moment(2)) };
     let run = validate(&r, config);
@@ -130,8 +133,12 @@ fn depth_cap_enforced() {
 #[test]
 fn garbage_tolerance() {
     let mut r = rig("edge-garbage");
-    r.ta.issue_roa(Asn(1), vec![RoaPrefix::exact("10.0.0.0/16".parse::<Prefix>().unwrap())], Moment(0))
-        .unwrap();
+    r.ta.issue_roa(
+        Asn(1),
+        vec![RoaPrefix::exact("10.0.0.0/16".parse::<Prefix>().unwrap())],
+        Moment(0),
+    )
+    .unwrap();
     publish_ta(&mut r, Moment(1));
     let dir = r.ta.sia().clone();
     let repo = r.repos.by_host_mut("ta.example").unwrap();
@@ -141,11 +148,8 @@ fn garbage_tolerance() {
     let run = validate(&r, ValidationConfig::at(Moment(2)));
     assert_eq!(run.vrps.len(), 1);
     // Garbage files are off-manifest: noted as unlisted, not fatal.
-    let unlisted = run
-        .diagnostics
-        .iter()
-        .filter(|d| matches!(d.issue, Issue::UnlistedFile(_)))
-        .count();
+    let unlisted =
+        run.diagnostics.iter().filter(|d| matches!(d.issue, Issue::UnlistedFile(_))).count();
     assert_eq!(unlisted, 3);
 }
 
@@ -169,10 +173,11 @@ fn multiple_trust_anchors() {
         .unwrap();
         let ta_dir = RepoUri::new(host, &["ta"]);
         let cert = ta.cert().unwrap().clone();
-        repos
-            .by_host_mut(host)
-            .unwrap()
-            .publish_raw(&ta_dir, "root.cer", RpkiObject::Cert(cert).to_bytes());
+        repos.by_host_mut(host).unwrap().publish_raw(
+            &ta_dir,
+            "root.cer",
+            RpkiObject::Cert(cert).to_bytes(),
+        );
         let sia = ta.sia().clone();
         let snap = ta.publication_snapshot(Moment(1));
         repos.by_host_mut(host).unwrap().publish_snapshot(&sia, &snap);

@@ -1,0 +1,126 @@
+//! `VrpCache` consistency: the cache maintains two views of the same
+//! VRP set — a sorted `Vec` (for iteration and serialisation) and a
+//! prefix trie (for covering queries). These properties drive random
+//! insert/remove interleavings and check after every operation that the
+//! two views still describe the same set, pinned against a `BTreeSet`
+//! model and a brute-force RFC 6811 oracle.
+
+use std::collections::BTreeSet;
+
+use ipres::{Addr, Asn, Prefix};
+use proptest::prelude::*;
+use rpki_rp::{Route, RouteValidity, Vrp, VrpCache};
+
+/// Small universe inside 10.0.0.0/8 (same shape as ov_properties.rs):
+/// collisions between inserts and removes stay frequent.
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (0u32..=0xff, 8u8..=20).prop_map(|(v, len)| Prefix::new(Addr::v4((10 << 24) | (v << 16)), len))
+}
+
+fn arb_vrp() -> impl Strategy<Value = Vrp> {
+    (arb_prefix(), 0u8..=4, 1u32..=3).prop_map(|(p, extra, asn)| {
+        let max = (p.len() + extra).min(32);
+        Vrp::new(p, max, Asn(asn))
+    })
+}
+
+/// An operation against both the cache and the model: insert or remove.
+fn arb_op() -> impl Strategy<Value = (bool, Vrp)> {
+    (any::<bool>(), arb_vrp())
+}
+
+/// Brute-force RFC 6811 over the model set.
+fn oracle(vrps: &BTreeSet<Vrp>, route: Route) -> RouteValidity {
+    let covering: Vec<&Vrp> = vrps.iter().filter(|v| v.covers(route.prefix)).collect();
+    if covering.is_empty() {
+        RouteValidity::Unknown
+    } else if covering.iter().any(|v| v.matches(route.prefix, route.origin)) {
+        RouteValidity::Valid
+    } else {
+        RouteValidity::Invalid
+    }
+}
+
+proptest! {
+    /// After every insert/remove, the sorted-Vec view equals the model
+    /// set, `remove` reports presence truthfully, and the trie-backed
+    /// `covering` query agrees with a linear scan of the Vec view.
+    #[test]
+    fn views_agree_under_interleaved_inserts_and_removes(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        probe in arb_prefix(),
+    ) {
+        let mut cache = VrpCache::new();
+        let mut model: BTreeSet<Vrp> = BTreeSet::new();
+        for (is_insert, vrp) in ops {
+            if is_insert {
+                cache.insert(vrp);
+                model.insert(vrp);
+            } else {
+                let was_present = model.remove(&vrp);
+                prop_assert_eq!(cache.remove(&vrp), was_present);
+            }
+
+            // Sorted-Vec view ≡ model.
+            prop_assert_eq!(cache.len(), model.len());
+            prop_assert_eq!(cache.is_empty(), model.is_empty());
+            let want_all: Vec<Vrp> = model.iter().copied().collect();
+            prop_assert_eq!(cache.vrps(), want_all.as_slice());
+
+            // Trie view ≡ a scan of the Vec view.
+            let mut got = cache.covering(probe);
+            got.sort_unstable();
+            let want: Vec<Vrp> =
+                model.iter().copied().filter(|v| v.covers(probe)).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// `classify` (which reads through the trie) agrees with the
+    /// brute-force oracle over the model after arbitrary mutations —
+    /// removals included, so stale trie nodes would be caught.
+    #[test]
+    fn classify_agrees_with_oracle_after_mutations(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        probe in arb_prefix(),
+        origin in 1u32..=4,
+    ) {
+        let mut cache = VrpCache::new();
+        let mut model: BTreeSet<Vrp> = BTreeSet::new();
+        for (is_insert, vrp) in ops {
+            if is_insert {
+                cache.insert(vrp);
+                model.insert(vrp);
+            } else {
+                model.remove(&vrp);
+                cache.remove(&vrp);
+            }
+            let route = Route::new(probe, Asn(origin));
+            prop_assert_eq!(cache.classify(route), oracle(&model, route));
+        }
+    }
+
+    /// Rebuilding from the Vec view yields an equivalent cache: the two
+    /// representations carry the same information.
+    #[test]
+    fn rebuild_from_vec_view_is_lossless(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        probe in arb_prefix(),
+    ) {
+        let mut cache = VrpCache::new();
+        for (is_insert, vrp) in ops {
+            if is_insert {
+                cache.insert(vrp);
+            } else {
+                cache.remove(&vrp);
+            }
+        }
+        let rebuilt: VrpCache = cache.vrps().iter().copied().collect();
+        prop_assert_eq!(rebuilt.vrps(), cache.vrps());
+        let mut a = cache.covering(probe);
+        let mut b = rebuilt.covering(probe);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -17,11 +17,7 @@ pub struct Rir {
 
 /// The five RIRs.
 pub const RIRS: [Rir; 5] = [
-    Rir {
-        name: "ARIN",
-        countries: &["US", "CA", "GU", "AS", "PR"],
-        base_octet: 11,
-    },
+    Rir { name: "ARIN", countries: &["US", "CA", "GU", "AS", "PR"], base_octet: 11 },
     Rir {
         name: "RIPE",
         countries: &["GB", "FR", "NL", "DE", "ES", "IT", "RU", "SE", "YE", "AE", "EU"],
@@ -37,11 +33,7 @@ pub const RIRS: [Rir; 5] = [
         countries: &["BR", "CO", "EC", "BO", "GT", "HN", "NI", "MX", "AN"],
         base_octet: 160,
     },
-    Rir {
-        name: "AFRINIC",
-        countries: &["ZA", "ZW", "NG", "KE", "EG"],
-        base_octet: 196,
-    },
+    Rir { name: "AFRINIC", countries: &["ZA", "ZW", "NG", "KE", "EG"], base_octet: 196 },
 ];
 
 /// The RIR index whose region contains `country`, if any.

@@ -4,13 +4,13 @@ use std::collections::BTreeMap;
 
 use bgp_sim::{Announcement, Topology};
 use ipres::{Asn, Prefix, ResourceSet};
+use netsim::Network;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rpki_ca::CertAuthority;
 use rpki_objects::{Encode, Moment, RepoUri, RoaPrefix, RpkiObject, Span, TrustAnchorLocator};
 use rpki_repo::RepoRegistry;
-use netsim::Network;
 
 use crate::data::{rir_of_country, ANCHOR_ORGS, RIRS};
 
@@ -36,7 +36,14 @@ pub struct Config {
 impl Config {
     /// A small, fast world for tests.
     pub fn small(seed: u64) -> Self {
-        Config { seed, transits: 12, stubs: 60, roa_adoption: 1.0, cross_border: 0.2, anchors: true }
+        Config {
+            seed,
+            transits: 12,
+            stubs: 60,
+            roa_adoption: 1.0,
+            cross_border: 0.2,
+            anchors: true,
+        }
     }
 }
 
@@ -116,18 +123,12 @@ impl SyntheticInternet {
 
         // --- IANA and the RIRs ---
         let mut cas: Vec<CertAuthority> = Vec::new();
-        let mut iana =
-            CertAuthority::new("IANA", &seeded(config.seed, "iana"), sia_of("iana"));
-        iana.certify_self(
-            ResourceSet::from_prefix_strs("0.0.0.0/0"),
-            now,
-            Span::days(3650),
-        );
+        let mut iana = CertAuthority::new("IANA", &seeded(config.seed, "iana"), sia_of("iana"));
+        iana.certify_self(ResourceSet::from_prefix_strs("0.0.0.0/0"), now, Span::days(3650));
         cas.push(iana);
 
         for (i, rir) in RIRS.iter().enumerate() {
-            let mut resources =
-                ResourceSet::from_prefix(Prefix::v4(rir.base_octet, 0, 0, 0, 8));
+            let mut resources = ResourceSet::from_prefix(Prefix::v4(rir.base_octet, 0, 0, 0, 8));
             if config.anchors {
                 for anchor in &ANCHOR_ORGS {
                     if rir_of_country(anchor.home) == Some(i) {
@@ -136,11 +137,8 @@ impl SyntheticInternet {
                     }
                 }
             }
-            let mut ca = CertAuthority::new(
-                rir.name,
-                &seeded(config.seed, rir.name),
-                sia_of(rir.name),
-            );
+            let mut ca =
+                CertAuthority::new(rir.name, &seeded(config.seed, rir.name), sia_of(rir.name));
             let cert = cas[0]
                 .issue_cert(rir.name, ca.public_key(), resources, ca.sia().clone(), now)
                 .expect("IANA holds everything");
@@ -292,27 +290,19 @@ impl SyntheticInternet {
                 .collect();
             for &ai in &anchor_indices {
                 let anchor_name = orgs[ai].handle.clone();
-                let spec = ANCHOR_ORGS
-                    .iter()
-                    .find(|s| s.name == anchor_name)
-                    .expect("anchor spec");
+                let spec = ANCHOR_ORGS.iter().find(|s| s.name == anchor_name).expect("anchor spec");
                 let base = orgs[ai].prefixes[0];
                 for (k, country) in spec.customer_countries.iter().enumerate() {
                     let a = asn();
                     // The k-th /24 inside the anchor's block.
                     let step = 1u128 << (32 - 24);
-                    let addr = ipres::Addr::new(
-                        base.family(),
-                        base.addr().value() + (k as u128) * step,
-                    );
+                    let addr =
+                        ipres::Addr::new(base.family(), base.addr().value() + (k as u128) * step);
                     let prefix = Prefix::new(addr, 24);
                     let handle = format!("{}-cust-{}", slug(&anchor_name), country);
                     let ca_idx = cas.len();
-                    let mut ca = CertAuthority::new(
-                        &handle,
-                        &seeded(config.seed, &handle),
-                        sia_of(&handle),
-                    );
+                    let mut ca =
+                        CertAuthority::new(&handle, &seeded(config.seed, &handle), sia_of(&handle));
                     let cert = cas[orgs[ai].ca]
                         .issue_cert(
                             &handle,
@@ -351,9 +341,8 @@ impl SyntheticInternet {
         assert!(!transit_pool.is_empty() || config.stubs == 0, "stubs need transits");
         let mut stub_cursor: BTreeMap<usize, u8> = BTreeMap::new(); // per-provider /24 counter
         for s in 0..config.stubs {
-            let &prov = transit_pool
-                .get(rng.gen_range(0..transit_pool.len()))
-                .expect("non-empty pool");
+            let &prov =
+                transit_pool.get(rng.gen_range(0..transit_pool.len())).expect("non-empty pool");
             let count = stub_cursor.entry(prov).or_insert(0);
             if *count == 255 {
                 continue; // provider block full; skip (rare at test scales)
@@ -361,10 +350,8 @@ impl SyntheticInternet {
             let third = *count;
             *count += 1;
             let base = orgs[prov].prefixes[0];
-            let addr = ipres::Addr::new(
-                base.family(),
-                base.addr().value() + ((third as u128) << 8),
-            );
+            let addr =
+                ipres::Addr::new(base.family(), base.addr().value() + ((third as u128) << 8));
             let prefix = Prefix::new(addr, 24);
             let a = asn();
             // Country: provider's, or (cross-border) a random other.
@@ -408,15 +395,13 @@ impl SyntheticInternet {
         // --- ROAs and announcements ---
         let mut announcements = Vec::new();
         let mut as_country = BTreeMap::new();
-        for i in 0..orgs.len() {
-            as_country.insert(orgs[i].asn, orgs[i].country.clone());
-            for &prefix in &orgs[i].prefixes.clone() {
-                announcements.push(Announcement { prefix, origin: orgs[i].asn });
-                if orgs[i].adopted_roa {
-                    let ca = orgs[i].ca;
-                    let asn = orgs[i].asn;
-                    cas[ca]
-                        .issue_roa(asn, vec![RoaPrefix::exact(prefix)], now)
+        for org in &orgs {
+            as_country.insert(org.asn, org.country.clone());
+            for &prefix in &org.prefixes {
+                announcements.push(Announcement { prefix, origin: org.asn });
+                if org.adopted_roa {
+                    cas[org.ca]
+                        .issue_roa(org.asn, vec![RoaPrefix::exact(prefix)], now)
                         .expect("own prefix");
                 }
             }
@@ -448,10 +433,11 @@ impl SyntheticInternet {
         let ta_cert = self.cas[0].cert().expect("TA certified").clone();
         let ta_host = self.cas[0].sia().host().to_owned();
         let ta_dir = RepoUri::new(&ta_host, &["ta"]);
-        repos
-            .by_host_mut(&ta_host)
-            .expect("just created")
-            .publish_raw(&ta_dir, "root.cer", RpkiObject::Cert(ta_cert).to_bytes());
+        repos.by_host_mut(&ta_host).expect("just created").publish_raw(
+            &ta_dir,
+            "root.cer",
+            RpkiObject::Cert(ta_cert).to_bytes(),
+        );
         self.publish_all(repos, now);
         TrustAnchorLocator::new(ta_dir.join("root.cer"), self.cas[0].public_key())
     }
@@ -516,8 +502,7 @@ mod tests {
         assert_eq!(anchors, ANCHOR_ORGS.len());
         assert_eq!(transits, cfg.transits);
         // Stubs: the configured ones plus one per anchor-customer row.
-        let anchor_customers: usize =
-            ANCHOR_ORGS.iter().map(|a| a.customer_countries.len()).sum();
+        let anchor_customers: usize = ANCHOR_ORGS.iter().map(|a| a.customer_countries.len()).sum();
         let stubs = net.orgs.iter().filter(|o| o.kind == OrgKind::Stub).count();
         assert_eq!(stubs, cfg.stubs + anchor_customers);
         // CA count: IANA + 5 RIRs + one per org.
@@ -533,9 +518,7 @@ mod tests {
             let own: ResourceSet = org.prefixes.iter().copied().collect();
             let parent_resources = match org.parent {
                 ParentRef::Rir(r) => net.cas[1 + r].resources(),
-                ParentRef::Org(p) => {
-                    net.orgs[p].prefixes.iter().copied().collect::<ResourceSet>()
-                }
+                ParentRef::Org(p) => net.orgs[p].prefixes.iter().copied().collect::<ResourceSet>(),
             };
             assert!(
                 parent_resources.contains_set(&own),
@@ -623,12 +606,8 @@ mod tests {
         // Every org is a CA on the tree (plus IANA + RIRs).
         assert_eq!(run.cas.len(), 6 + world.orgs.len());
         // One VRP per adopted prefix.
-        let expected: usize = world
-            .orgs
-            .iter()
-            .filter(|o| o.adopted_roa)
-            .map(|o| o.prefixes.len())
-            .sum();
+        let expected: usize =
+            world.orgs.iter().filter(|o| o.adopted_roa).map(|o| o.prefixes.len()).sum();
         assert_eq!(run.vrps.len(), expected);
     }
 

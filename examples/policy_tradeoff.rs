@@ -24,8 +24,7 @@ fn main() {
     let covering = Vrp::new("63.160.0.0/12".parse().unwrap(), 13, asn::SPRINT);
     let mut intact = w.validate_direct(Moment(2)).vrps;
     intact.push(covering);
-    let whacked: Vec<Vrp> =
-        intact.iter().copied().filter(|v| v.asn != asn::CONTINENTAL).collect();
+    let whacked: Vec<Vrp> = intact.iter().copied().filter(|v| v.asn != asn::CONTINENTAL).collect();
     let cache_intact: VrpCache = intact.into_iter().collect();
     let cache_whacked: VrpCache = whacked.into_iter().collect();
 

@@ -25,11 +25,7 @@ fn main() {
     let registry_dir = RepoUri::new("rpki.registry.example", &["repo"]);
     let isp_dir = RepoUri::new("rpki.isp.example", &["repo"]);
     let mut registry = CertAuthority::new("Registry", "quickstart-registry", registry_dir);
-    registry.certify_self(
-        ResourceSet::from_prefix_strs("10.0.0.0/8"),
-        Moment(0),
-        Span::days(3650),
-    );
+    registry.certify_self(ResourceSet::from_prefix_strs("10.0.0.0/8"), Moment(0), Span::days(3650));
     let mut isp = CertAuthority::new("ExampleISP", "quickstart-isp", isp_dir.clone());
     let cert = registry
         .issue_cert(
@@ -57,10 +53,11 @@ fn main() {
     //    snapshot at its publication point.
     let ta_dir = RepoUri::new("rpki.registry.example", &["ta"]);
     let ta_cert = registry.cert().expect("self-signed").clone();
-    repos
-        .by_host_mut("rpki.registry.example")
-        .unwrap()
-        .publish_raw(&ta_dir, "root.cer", RpkiObject::Cert(ta_cert).to_bytes());
+    repos.by_host_mut("rpki.registry.example").unwrap().publish_raw(
+        &ta_dir,
+        "root.cer",
+        RpkiObject::Cert(ta_cert).to_bytes(),
+    );
     for ca in [&mut registry, &mut isp] {
         let dir = ca.sia().clone();
         let snap = ca.publication_snapshot(Moment(1));

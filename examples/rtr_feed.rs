@@ -60,10 +60,8 @@ fn main() {
     // Router A polls; router B misses this cycle (it will catch up).
     let query = router_a.poll();
     let response = cache_server.handle(&query);
-    let withdraws = response
-        .iter()
-        .filter(|p| matches!(p, rpki_rp::RtrPdu::Prefix(d) if !d.announce))
-        .count();
+    let withdraws =
+        response.iter().filter(|p| matches!(p, rpki_rp::RtrPdu::Prefix(d) if !d.announce)).count();
     println!("router A receives {withdraws} withdraw in {} PDUs", response.len());
     for pdu in &response {
         router_a.handle(pdu);

@@ -18,10 +18,11 @@ fn full_run(seed: u64) -> (String, Vec<rpki_rp::Vrp>, usize) {
     let tal = world.materialize(&mut net, &mut repos, Moment(1));
     let rp = net.add_node("relying-party");
     let mut source = NetworkSource::new(&mut net, &repos, rp);
-    let run =
-        Validator::new(ValidationConfig::at(Moment(2))).run(&mut source, std::slice::from_ref(&tal));
+    let run = Validator::new(ValidationConfig::at(Moment(2)))
+        .run(&mut source, std::slice::from_ref(&tal));
     let cache = run.vrp_cache();
-    let state = propagate(&world.topology, &world.announcements, RpkiPolicy::DropInvalid, &cache);
+    let state = propagate(&world.topology, &world.announcements, RpkiPolicy::DropInvalid, &cache)
+        .expect("converges");
     let jurisdiction =
         serde_json::to_string(&rpki_risk::jurisdiction_report(&world).rows).expect("serialize");
     (jurisdiction, run.vrps, state.ases_with_routes())
@@ -55,8 +56,7 @@ fn repository_bytes_are_reproducible() {
         let mut repos = RepoRegistry::new();
         world.materialize(&mut net, &mut repos, Moment(1));
         // Hash every stored byte, in deterministic iteration order.
-        let mut hosts: Vec<String> =
-            repos.iter().map(|r| r.host().to_owned()).collect();
+        let mut hosts: Vec<String> = repos.iter().map(|r| r.host().to_owned()).collect();
         hosts.sort();
         let mut acc = Vec::new();
         for host in hosts {

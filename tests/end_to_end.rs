@@ -26,8 +26,8 @@ fn generated_world_validates_and_routes() {
 
     // Validate over the network.
     let mut source = NetworkSource::new(&mut net, &repos, rp);
-    let run =
-        Validator::new(ValidationConfig::at(Moment(2))).run(&mut source, std::slice::from_ref(&tal));
+    let run = Validator::new(ValidationConfig::at(Moment(2)))
+        .run(&mut source, std::slice::from_ref(&tal));
     assert_eq!(run.cas.len(), 6 + world.orgs.len());
     let expected_vrps: usize =
         world.orgs.iter().filter(|o| o.adopted_roa).map(|o| o.prefixes.len()).sum();
@@ -55,7 +55,8 @@ fn generated_world_validates_and_routes() {
         .expect("transits exist");
     let mut anns = world.announcements.clone();
     anns.push(bgp_sim::Announcement { prefix: victim.prefixes[0], origin: attacker.asn });
-    let state = propagate(&world.topology, &anns, RpkiPolicy::DropInvalid, &cache);
+    let state =
+        propagate(&world.topology, &anns, RpkiPolicy::DropInvalid, &cache).expect("converges");
     let frac_drop = state.reachability_of(
         world.topology.ases().filter(|a| *a != attacker.asn),
         victim.prefixes[0].addr(),
@@ -67,7 +68,7 @@ fn generated_world_validates_and_routes() {
     // the liar. Off-path ASes (the overwhelming majority) all recover.
     assert!(frac_drop > 0.85, "drop-invalid must protect off-path ASes: {frac_drop}");
     // Under Ignore the attacker's shorter paths capture far more.
-    let state = propagate(&world.topology, &anns, RpkiPolicy::Ignore, &cache);
+    let state = propagate(&world.topology, &anns, RpkiPolicy::Ignore, &cache).expect("converges");
     let frac_ignore = state.reachability_of(
         world.topology.ases().filter(|a| *a != attacker.asn),
         victim.prefixes[0].addr(),
@@ -87,8 +88,7 @@ fn whack_on_generated_world_is_targeted_and_detected() {
     // Baseline validation + monitor snapshot.
     let before = {
         let mut source = NetworkSource::new(&mut net, &repos, rp);
-        Validator::new(ValidationConfig::at(Moment(2)))
-            .run(&mut source, std::slice::from_ref(&tal))
+        Validator::new(ValidationConfig::at(Moment(2))).run(&mut source, std::slice::from_ref(&tal))
     };
     let mut monitor = Monitor::new();
     monitor.observe(MonitorSnapshot::capture(&repos, Moment(2)));
@@ -128,11 +128,8 @@ fn whack_on_generated_world_is_targeted_and_detected() {
         .expect("provider certified by RIR")
         .clone();
     let provider_view = CaView::from_repos(&provider_rc, &repos);
-    let target_file = provider_view
-        .roas
-        .iter()
-        .find(|r| r.asn() == stub_asn)
-        .map(|r| r.file_name());
+    let target_file =
+        provider_view.roas.iter().find(|r| r.asn() == stub_asn).map(|r| r.file_name());
 
     // The stub's ROA is issued by the stub itself (its own CA), not the
     // provider — so the provider's pub point holds the stub's RC, and
@@ -159,8 +156,7 @@ fn whack_on_generated_world_is_targeted_and_detected() {
     // Re-validate: only the victim lost validity.
     let after = {
         let mut source = NetworkSource::new(&mut net, &repos, rp);
-        Validator::new(ValidationConfig::at(Moment(4)))
-            .run(&mut source, std::slice::from_ref(&tal))
+        Validator::new(ValidationConfig::at(Moment(4))).run(&mut source, std::slice::from_ref(&tal))
     };
     let damage = damage_between(&before.vrps, &after.vrps, &probes_for(&before.vrps));
     assert!(damage.clean_except(&[stub_asn]), "collateral: {damage:?}");
@@ -180,15 +176,14 @@ fn transport_faults_degrade_validation_gracefully() {
     let rp = net.add_node("relying-party");
 
     // Take down one transit's repository host.
-    let victim_transit =
-        world.orgs.iter().find(|o| o.kind == OrgKind::Transit).expect("transits");
+    let victim_transit = world.orgs.iter().find(|o| o.kind == OrgKind::Transit).expect("transits");
     let host = world.cas[victim_transit.ca].sia().host().to_owned();
     let node = repos.node_of(&host).expect("materialized");
     net.faults.set_down(node, true);
 
     let mut source = NetworkSource::new(&mut net, &repos, rp);
-    let run =
-        Validator::new(ValidationConfig::at(Moment(2))).run(&mut source, std::slice::from_ref(&tal));
+    let run = Validator::new(ValidationConfig::at(Moment(2)))
+        .run(&mut source, std::slice::from_ref(&tal));
 
     // The transit's own ROA and every stub *certified by it* are gone;
     // everything else survives.
@@ -196,7 +191,9 @@ fn transport_faults_degrade_validation_gracefully() {
     let dependents: Vec<Asn> = world
         .orgs
         .iter()
-        .filter(|o| matches!(o.parent, ParentRef::Org(p) if world.orgs[p].asn == victim_transit.asn))
+        .filter(
+            |o| matches!(o.parent, ParentRef::Org(p) if world.orgs[p].asn == victim_transit.asn),
+        )
         .map(|o| o.asn)
         .collect();
     for dep in &dependents {
@@ -208,11 +205,7 @@ fn transport_faults_degrade_validation_gracefully() {
     let unaffected: usize = world
         .orgs
         .iter()
-        .filter(|o| {
-            o.adopted_roa
-                && o.asn != victim_transit.asn
-                && !dependents.contains(&o.asn)
-        })
+        .filter(|o| o.adopted_roa && o.asn != victim_transit.asn && !dependents.contains(&o.asn))
         .map(|o| o.prefixes.len())
         .sum();
     assert_eq!(run.vrps.len(), unaffected);

@@ -10,11 +10,7 @@ use rpki_risk::{validity_grid, ModelRpki};
 use rpki_rp::RouteValidity;
 
 /// Counts (valid, invalid, unknown) for one origin at one length.
-fn count(
-    rows: &[rpki_risk::GridRow],
-    len: u8,
-    origin: Asn,
-) -> (usize, usize, usize) {
+fn count(rows: &[rpki_risk::GridRow], len: u8, origin: Asn) -> (usize, usize, usize) {
     let mut v = 0;
     let mut i = 0;
     let mut u = 0;
@@ -65,12 +61,8 @@ fn figure5_right_counts() {
     let mut w = ModelRpki::build();
     w.add_figure5_right_roa(Moment(2));
     let cache = w.validate_direct(Moment(3)).vrp_cache();
-    let rows = validity_grid(
-        &cache,
-        "63.160.0.0/12".parse().unwrap(),
-        24,
-        &[asn::SPRINT, Asn(666)],
-    );
+    let rows =
+        validity_grid(&cache, "63.160.0.0/12".parse().unwrap(), 24, &[asn::SPRINT, Asn(666)]);
 
     // The covering /12-13 ROA: nothing inside the /12 is unknown any
     // more — Side Effect 5's whole point.

@@ -43,10 +43,7 @@ fn se2_stealthy_revocation() {
     // notes.
     let crl = w.continental.generate_crl(Moment(5));
     assert!(crl.data().revoked.is_empty());
-    assert!(run
-        .diagnostics
-        .iter()
-        .all(|d| matches!(d.issue, rpki_rp::Issue::UnlistedFile(_))));
+    assert!(run.diagnostics.iter().all(|d| matches!(d.issue, rpki_rp::Issue::UnlistedFile(_))));
 }
 
 /// Side Effect 3 (§3.1): a grandparent whacks a grandchild ROA with
@@ -120,20 +117,13 @@ fn se7_preconditions_hold() {
     let (repo_prefix, repo_asn) = repo.hosted_at().unwrap();
     // (a) the ROA authorising the route to the repo is published AT the
     // repo.
-    let covering = w
-        .continental
-        .issued_roas()
-        .find(|r| r.asn() == repo_asn)
-        .expect("covering ROA exists");
+    let covering =
+        w.continental.issued_roas().find(|r| r.asn() == repo_asn).expect("covering ROA exists");
     assert!(covering.resources().contains_prefix(repo_prefix));
     // (b) with that ROA missing, the repo route is covered-not-matched.
     let cache = w.validate_direct(Moment(3)).vrp_cache();
-    let without: rpki_rp::VrpCache = cache
-        .vrps()
-        .iter()
-        .copied()
-        .filter(|v| v.asn != repo_asn)
-        .collect();
+    let without: rpki_rp::VrpCache =
+        cache.vrps().iter().copied().filter(|v| v.asn != repo_asn).collect();
     let repo_route = Route::new("63.174.16.0/20".parse().unwrap(), repo_asn);
     assert_eq!(without.classify(repo_route), RouteValidity::Invalid);
 }
@@ -170,6 +160,8 @@ fn least_privilege_holds() {
     let bytes = rpki_objects::RpkiObject::Roa(rogue.clone()).to_bytes();
     w.repos.by_host_mut(dir.host()).unwrap().publish_raw(&dir, &rogue.file_name(), bytes);
     let run = w.validate_direct(Moment(3));
-    assert!(!run.vrps.iter().any(|v| v.prefix == "208.24.0.0/16".parse().unwrap()
-        && v.asn == Asn(19094)));
+    assert!(!run
+        .vrps
+        .iter()
+        .any(|v| v.prefix == "208.24.0.0/16".parse().unwrap() && v.asn == Asn(19094)));
 }

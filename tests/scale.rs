@@ -36,8 +36,8 @@ fn thousands_of_orgs_validate() {
     let tal = world.materialize(&mut net, &mut repos, Moment(1));
     let rp = net.add_node("relying-party");
     let mut source = NetworkSource::new(&mut net, &repos, rp);
-    let run =
-        Validator::new(ValidationConfig::at(Moment(2))).run(&mut source, std::slice::from_ref(&tal));
+    let run = Validator::new(ValidationConfig::at(Moment(2)))
+        .run(&mut source, std::slice::from_ref(&tal));
     assert_eq!(run.cas.len(), 6 + world.orgs.len());
     let expected: usize =
         world.orgs.iter().filter(|o| o.adopted_roa).map(|o| o.prefixes.len()).sum();
@@ -48,7 +48,7 @@ fn thousands_of_orgs_validate() {
 #[test]
 #[ignore = "large; run with --ignored in release mode"]
 fn thousands_of_orgs_route() {
-    use bgp_sim::{propagate, RpkiPolicy};
+    use bgp_sim::{propagate_with_stats, RpkiPolicy};
     use rpki_rp::{Vrp, VrpCache};
     let world = SyntheticInternet::generate(big_config());
     let cache: VrpCache = world
@@ -59,15 +59,49 @@ fn thousands_of_orgs_route() {
         .collect();
     // Propagate a 50-prefix slice across the whole graph.
     let slice: Vec<_> = world.announcements.iter().copied().take(50).collect();
-    let state = propagate(&world.topology, &slice, RpkiPolicy::DropInvalid, &cache);
+    let (state, stats) =
+        propagate_with_stats(&world.topology, &slice, RpkiPolicy::DropInvalid, &cache)
+            .expect("converges");
     // Every AS must hold a route for each propagated prefix (the graph
     // is connected).
     for ann in &slice {
-        let holders = world
-            .topology
-            .ases()
-            .filter(|a| state.best_route(*a, ann.prefix).is_some())
-            .count();
+        let holders =
+            world.topology.ases().filter(|a| state.best_route(*a, ann.prefix).is_some()).count();
         assert_eq!(holders, world.topology.len(), "{} under-propagated", ann.prefix);
+    }
+    // The validity memo collapses per-candidate classification to one
+    // per (prefix, origin): never more misses than prefixes × origins.
+    assert!(stats.memo_misses <= slice.len() * slice.len());
+    assert!(stats.memo_hits > stats.memo_misses, "memo should dominate at scale");
+}
+
+#[test]
+#[ignore = "large; run with --ignored in release mode"]
+fn worklist_engine_never_rounds_regresses_reference() {
+    use bgp_sim::{propagate_with_stats, reference, RpkiPolicy};
+    use rpki_rp::VrpCache;
+    // A smaller world than `big_config` — the reference engine is the
+    // slow side of this comparison.
+    let world = SyntheticInternet::generate(Config {
+        seed: 404,
+        transits: 40,
+        stubs: 400,
+        roa_adoption: 1.0,
+        cross_border: 0.15,
+        anchors: false,
+    });
+    let slice: Vec<_> = world.announcements.iter().copied().take(10).collect();
+    let cache = VrpCache::new();
+    for policy in [RpkiPolicy::Ignore, RpkiPolicy::DropInvalid, RpkiPolicy::DeprefInvalid] {
+        let (state, stats) =
+            propagate_with_stats(&world.topology, &slice, policy, &cache).expect("converges");
+        let (oracle, oracle_rounds) =
+            reference::propagate(&world.topology, &slice, policy, &cache).expect("converges");
+        assert_eq!(state, oracle, "engines diverged under {policy:?}");
+        assert!(
+            stats.rounds <= oracle_rounds,
+            "worklist took {} rounds, reference {oracle_rounds} under {policy:?}",
+            stats.rounds,
+        );
     }
 }

@@ -41,11 +41,8 @@ fn three_hundred_days_of_operations() {
         // Renew ROAs within 90 days of expiry (monthly maintenance).
         if d % 30 == 0 {
             for ca in [&mut w.arin, &mut w.sprint, &mut w.etb, &mut w.continental] {
-                let expiring: Vec<String> = ca
-                    .expiring_roas(now, Span::days(90))
-                    .iter()
-                    .map(|r| r.file_name())
-                    .collect();
+                let expiring: Vec<String> =
+                    ca.expiring_roas(now, Span::days(90)).iter().map(|r| r.file_name()).collect();
                 for file in expiring {
                     ca.renew_roa(&file, now).expect("renewable");
                 }
@@ -76,12 +73,8 @@ fn three_hundred_days_of_operations() {
 
         // Key rollover at day 200: ETB rolls, Sprint recertifies.
         if d == 200 {
-            let old_serial = w
-                .sprint
-                .issued_cert_for(w.etb.key_id())
-                .expect("certified")
-                .data()
-                .serial;
+            let old_serial =
+                w.sprint.issued_cert_for(w.etb.key_id()).expect("certified").data().serial;
             // Capture the allocation before rolling: `roll_key` drops
             // the certificate (the parent must re-certify), after which
             // `resources()` is empty.
@@ -179,4 +172,3 @@ fn three_hundred_days_of_operations() {
         "false alarms outside the attack week: {monitor_alarms:?}"
     );
 }
-

@@ -1,0 +1,210 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Same macro and builder surface as the real crate for the benches in
+//! this workspace (`benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`,
+//! `criterion_group!`/`criterion_main!`), but measurement is a plain
+//! calibrated wall-clock loop: per benchmark it auto-scales the
+//! iteration count to a ~¼-second budget and reports the mean
+//! nanoseconds per iteration on stdout as
+//! `bench: <group>/<id> ... <mean> ns/iter (<iters> iters)`.
+//! No statistics, no HTML report, no saved baselines.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target number of measurement samples per benchmark.
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `routine` as a benchmark named `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.0, &mut routine);
+        self
+    }
+
+    /// Like [`Self::bench_function`], passing `input` to the routine.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.0, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    /// Ends the group. (The real crate finalises reports here; the
+    /// stand-in prints per-benchmark lines eagerly, so this is a no-op
+    /// kept for API compatibility.)
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { sample_size: self.sample_size, result: None };
+        routine(&mut bencher);
+        if let Some(m) = bencher.result {
+            println!(
+                "bench: {}/{} ... {:.1} ns/iter ({} iters)",
+                self.name, id, m.mean_ns, m.iters
+            );
+        }
+    }
+}
+
+/// Identifies one benchmark within a group, e.g. `trie_insert/1000`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+struct Measurement {
+    mean_ns: f64,
+    iters: u64,
+}
+
+/// Timing harness handed to each benchmark routine.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `routine`, auto-calibrating the iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + calibration: time single runs until 10ms or 5 runs.
+        let mut est_ns: f64 = 0.0;
+        let mut calib_runs = 0u32;
+        let calib_start = Instant::now();
+        while calib_runs < 5 && calib_start.elapsed().as_millis() < 10 {
+            let t = Instant::now();
+            black_box(routine());
+            est_ns = est_ns.max(t.elapsed().as_nanos() as f64);
+            calib_runs += 1;
+        }
+        // Aim for sample_size samples within a ~250ms budget.
+        const BUDGET_NS: f64 = 250_000_000.0;
+        let per_sample = (BUDGET_NS / self.sample_size as f64).max(1.0);
+        let iters_per_sample = (per_sample / est_ns.max(1.0)).clamp(1.0, 1_000_000.0) as u64;
+        let samples = self.sample_size.max(1) as u64;
+
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u64;
+        let bench_start = Instant::now();
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            total_ns += t.elapsed().as_nanos();
+            total_iters += iters_per_sample;
+            // Hard stop so pathological routines can't hang a run.
+            if bench_start.elapsed().as_secs() >= 2 {
+                break;
+            }
+        }
+        self.result = Some(Measurement {
+            mean_ns: total_ns as f64 / total_iters.max(1) as f64,
+            iters: total_iters,
+        });
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring the
+/// real crate's simple form: `criterion_group!(benches, f, g);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups:
+/// `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test --benches` the harness passes flags the
+            // real criterion understands; the stand-in just runs.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(10);
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran > 0, "routine never executed");
+    }
+}

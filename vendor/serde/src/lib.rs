@@ -1,0 +1,344 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! This workspace builds in containers with no access to crates.io, so
+//! the real serde cannot be fetched. This crate supplies the same
+//! *surface* the workspace actually uses — the `Serialize` /
+//! `Deserialize` traits and their derive macros — backed by a single
+//! concrete data model ([`Json`]) instead of serde's generic
+//! serializer architecture. `#[derive(Serialize)]` (see the sibling
+//! `serde_derive` stub) generates a `to_json` tree mirroring serde's
+//! default encodings: structs become objects, newtype structs are
+//! transparent, unit enum variants become strings, and data-carrying
+//! variants become externally-tagged single-entry objects.
+//!
+//! Swapping the real serde back in is a one-line change in the
+//! workspace `Cargo.toml`; no call site would change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A JSON value tree — the single data model all serialization targets.
+///
+/// Object fields keep insertion order (a `Vec` of pairs, not a map),
+/// matching `serde_json`'s `preserve_order` behaviour so that derived
+/// output lists struct fields in declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its literal text (avoids f64 precision loss
+    /// for u128 and friends).
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+static NULL: Json = Json::Null;
+
+impl Json {
+    /// The value at `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The text if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is a whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Json {
+    type Output = Json;
+    fn index(&self, key: &str) -> &Json {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Json {
+    type Output = Json;
+    fn index(&self, idx: usize) -> &Json {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Json {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Json::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<str> for Json {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Json::Str(s) if s == other)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    /// Compact JSON, like `serde_json::to_string`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl Json {
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(n),
+            Json::Str(s) => escape_into(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Types that can render themselves as a [`Json`] tree.
+///
+/// The stand-in for serde's `Serialize`; derived by
+/// `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// The value as a JSON tree.
+    fn to_json(&self) -> Json;
+}
+
+/// Marker stand-in for serde's `Deserialize`. The workspace only ever
+/// deserializes untyped `serde_json::Value`s, so the derive emits no
+/// code and nothing bounds on this trait.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(self.to_string())
+            }
+        })*
+    };
+}
+
+impl_ser_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                if self.is_finite() {
+                    Json::Num(self.to_string())
+                } else {
+                    Json::Null
+                }
+            }
+        })*
+    };
+}
+
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_json())).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {
+        $(impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Array(vec![$(self.$idx.to_json()),+])
+            }
+        })*
+    };
+}
+
+impl_ser_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = Json::Object(vec![
+            ("a".into(), Json::Num("1".into())),
+            ("b".into(), Json::Array(vec![Json::Bool(true), Json::Null])),
+            ("c".into(), Json::Str("x\"y".into())),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[true,null],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn std_impls_compose() {
+        let v = vec![(1u32, "one".to_string()), (2, "two".to_string())];
+        assert_eq!(v.to_json().to_string(), r#"[[1,"one"],[2,"two"]]"#);
+        assert_eq!(Some(3u8).to_json(), Json::Num("3".into()));
+        assert_eq!(None::<u8>.to_json(), Json::Null);
+    }
+
+    #[test]
+    fn index_and_eq_sugar() {
+        let v = Json::Object(vec![("k".into(), Json::Str("v".into()))]);
+        assert_eq!(v["k"], "v");
+        assert_eq!(v["missing"], Json::Null);
+    }
+}

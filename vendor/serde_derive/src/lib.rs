@@ -1,0 +1,307 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input by walking the raw `TokenStream` (no
+//! `syn`/`quote`, which are equally unfetchable offline) and emits an
+//! `impl serde::Serialize` producing a `serde::Json` tree with serde's
+//! default shape: structs → objects in field order, newtype structs →
+//! transparent, tuple structs → arrays, unit enum variants → strings,
+//! newtype variants → `{"Variant": inner}`, tuple variants →
+//! `{"Variant": [..]}`, struct variants → `{"Variant": {..}}`.
+//! `#[serde(skip)]` on a named field omits it.
+//!
+//! Limitations (checked against this workspace, which satisfies them):
+//! no generic type parameters on derived types, and no other
+//! `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the offline stand-in's Json-tree form).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::UnitStruct => "::serde::Json::Null".to_owned(),
+        ItemKind::TupleStruct(arity) => tuple_struct_body(*arity),
+        ItemKind::NamedStruct(fields) => named_fields_expr(fields, "&self."),
+        ItemKind::Enum(variants) => enum_body(&item.name, variants),
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_json(&self) -> ::serde::Json {{ {} }}\n\
+         }}",
+        item.name, body
+    )
+    .parse()
+    .expect("serde_derive stub generated invalid Rust")
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits the marker impl. Nothing
+/// in the workspace deserializes into typed values (only untyped
+/// `serde_json::Value`), so no decoding code is generated.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive stub generated invalid Rust")
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn tuple_struct_body(arity: usize) -> String {
+    match arity {
+        0 => "::serde::Json::Null".to_owned(),
+        1 => "::serde::Serialize::to_json(&self.0)".to_owned(),
+        n => {
+            let items: Vec<String> =
+                (0..n).map(|i| format!("::serde::Serialize::to_json(&self.{i})")).collect();
+            format!("::serde::Json::Array(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+/// `{"f1": .., "f2": ..}` over named fields; `access` is the prefix
+/// applied to each field name (`&self.` in struct impls, `` for
+/// variant bindings which are already references).
+fn named_fields_expr(fields: &[String], access: &str) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json({access}{f}))"))
+        .collect();
+    format!("::serde::Json::Object(vec![{}])", pairs.join(", "))
+}
+
+fn enum_body(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                VariantFields::Unit => {
+                    format!("{name}::{vname} => ::serde::Json::Str(\"{vname}\".to_string())")
+                }
+                VariantFields::Tuple(1) => format!(
+                    "{name}::{vname}(__f0) => ::serde::Json::Object(vec![(\
+                         \"{vname}\".to_string(), ::serde::Serialize::to_json(__f0))])"
+                ),
+                VariantFields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let items: Vec<String> =
+                        binds.iter().map(|b| format!("::serde::Serialize::to_json({b})")).collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Json::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Json::Array(vec![{}]))])",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                VariantFields::Named(fields) => {
+                    let inner = named_fields_expr(fields, "");
+                    format!(
+                        "{name}::{vname} {{ {} }} => ::serde::Json::Object(vec![(\
+                             \"{vname}\".to_string(), {inner})])",
+                        fields.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(",\n"))
+}
+
+// ---- token-stream parsing ----------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility to the `struct` / `enum` keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // #[...]
+            TokenTree::Ident(id) if *id.to_string() == *"struct" => {
+                let name = ident_at(&tokens, i + 1);
+                return Item { name, kind: parse_struct_kind(&tokens, i + 2) };
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"enum" => {
+                let name = ident_at(&tokens, i + 1);
+                return Item { name, kind: parse_enum_kind(&tokens, i + 2) };
+            }
+            _ => i += 1, // pub, pub(...), etc.
+        }
+    }
+    panic!("serde_derive stub: no struct or enum found in derive input");
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> String {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, found {other:?}"),
+    }
+}
+
+fn parse_struct_kind(tokens: &[TokenTree], i: usize) -> ItemKind {
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::NamedStruct(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+        other => panic!(
+            "serde_derive stub: generic or unsupported struct shape at {other:?} \
+             (generics are not supported — this workspace derives none)"
+        ),
+    }
+}
+
+/// Parses `name: Type, ...` from a brace group, honouring
+/// `#[serde(skip)]` and tracking `<...>` depth so commas inside
+/// generic types don't split fields. `()`/`[]`/`{}` arrive as single
+/// `Group` tokens, so only angle brackets need manual depth counting.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Field attributes.
+        let mut skip = false;
+        while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+            (tokens.get(i), tokens.get(i + 1))
+        {
+            if p.as_char() != '#' {
+                break;
+            }
+            if attr_is_serde_skip(g.stream()) {
+                skip = true;
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if *id.to_string() == *"pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1; // pub(crate) and friends
+            }
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        let name = name.to_string();
+        i += 1;
+        // `:` then the type, up to a comma at angle depth 0.
+        debug_assert!(matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'));
+        i += 1;
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        if !skip {
+            fields.push(name);
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        saw_any = true;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_enum_kind(tokens: &[TokenTree], i: usize) -> ItemKind {
+    let Some(TokenTree::Group(g)) = tokens.get(i) else {
+        panic!("serde_derive stub: generic enums are not supported");
+    };
+    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        // Variant attributes (doc comments etc.).
+        while matches!(&body.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            j += 2;
+        }
+        let Some(TokenTree::Ident(name)) = body.get(j) else { break };
+        let name = name.to_string();
+        j += 1;
+        let fields = match body.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                j += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                j += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip to the comma separating variants (covers discriminants).
+        while let Some(tok) = body.get(j) {
+            j += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    ItemKind::Enum(variants)
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if *id.to_string() == *"serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if *id.to_string() == *"skip")),
+        _ => false,
+    }
+}

@@ -1,0 +1,254 @@
+//! Offline stand-in for `serde_json`, layered on the `serde` stub's
+//! concrete [`Json`] tree. Provides the surface this workspace uses:
+//! [`to_string`], [`from_str`] (a real recursive-descent JSON parser,
+//! since tests round-trip emitted records), the untyped [`Value`]
+//! alias, and the [`json!`] macro for object literals.
+
+pub use serde::Json;
+use serde::Serialize;
+
+/// Untyped JSON value, like `serde_json::Value`.
+pub type Value = Json;
+
+/// Serialization/parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    /// Byte offset of the failure when parsing.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string. Infallible for the
+/// stub's data model, but keeps serde_json's `Result` signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_string())
+}
+
+/// Parses a JSON document into an untyped [`Value`].
+///
+/// Unlike the real generic `from_str<T>`, this stub only produces
+/// `Value` — every call site in the workspace annotates exactly that.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error { msg: msg.to_owned(), offset: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err("unexpected token"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|_| Json::Null),
+            Some(b't') => self.eat("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.eat("false").map(|_| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if text.parse::<f64>().is_err() {
+            return Err(self.err("invalid number"));
+        }
+        Ok(Json::Num(text.to_owned()))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat("\"")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not needed by any
+                            // emitter in this workspace; map lone
+                            // surrogates to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, Error> {
+        self.eat("[")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, Error> {
+        self.eat("{")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":")?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Builds a [`Value`] from an object literal, e.g.
+/// `json!({ "command": label, "data": value })`. Values can be any
+/// `Serialize` expression. Only the object form is provided — the
+/// workspace uses no other shapes.
+#[macro_export]
+macro_rules! json {
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Json::Object(vec![
+            $(($key.to_string(), ::serde::Serialize::to_json(&$val))),*
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_emitted_records() {
+        let rec = json!({ "command": "demo", "data": vec![1u32, 2, 3] });
+        let text = to_string(&rec).unwrap();
+        assert_eq!(text, r#"{"command":"demo","data":[1,2,3]}"#);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back["command"], "demo");
+        assert_eq!(back["data"].as_array().map(Vec::len), Some(3));
+    }
+
+    #[test]
+    fn parses_escapes_and_numbers() {
+        let v = from_str(r#"{"s": "a\"b\nc", "n": -3.5e2, "l": [true, null]}"#).unwrap();
+        assert_eq!(v["s"].as_str(), Some("a\"b\nc"));
+        assert_eq!(v["n"].as_f64(), Some(-350.0));
+        assert_eq!(v["l"][1], Json::Null);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{\"a\": }").is_err());
+        assert!(from_str("[1, 2,]").is_err());
+        assert!(from_str("12 34").is_err());
+        assert!(from_str("").is_err());
+    }
+}
