@@ -58,7 +58,11 @@ fn bench_incremental_sync(c: &mut Criterion) {
         let server = repos.create(&mut net, "h");
         let dir = RepoUri::new("h", &["repo"]);
         for i in 0..files {
-            repos.get_mut(server).publish_raw(&dir, &format!("f{i}.roa"), vec![i as u8; 1024]);
+            repos.get_mut(server).unwrap().publish_raw(
+                &dir,
+                &format!("f{i}.roa"),
+                vec![i as u8; 1024],
+            );
         }
         group.bench_with_input(BenchmarkId::new("warm_noop", files), &files, |b, _| {
             let mut cache = SyncCache::new();

@@ -9,9 +9,11 @@
 
 use bgp_sim::RpkiPolicy;
 use rpki_objects::Moment;
+use rpki_repo::SyncPolicy;
 use rpki_risk::fixtures::asn;
 use rpki_risk::{LoopbackWorld, ModelRpki};
 use rpki_risk_bench::{emit_json, Table};
+use rpki_rp::{ResilienceConfig, ResilientState};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -30,10 +32,15 @@ fn main() {
     let mut w = ModelRpki::build();
     w.add_figure5_right_roa(Moment(2));
 
-    // Phase 1 — a healthy sync over the network.
+    // Phase 1 — a healthy sync over the network. A resilient relying
+    // party would also warm its last-good snapshots here (used by
+    // phase 5).
     let healthy = w.validate_network(Moment(3));
     println!("phase 1: healthy sync           → {} VRPs", healthy.vrps.len());
     phases.push(Phase { phase: "healthy", vrps: healthy.vrps.len(), continental_fetchable: true });
+    let policy = SyncPolicy::default();
+    let mut resilient = ResilientState::new(ResilienceConfig::default());
+    w.validate_resilient(Moment(3), policy, &mut resilient);
 
     // Phase 2 — the transient fault: corrupt ONE fetch from
     // Continental's repository (Side Effect 6's corrupted-object case).
@@ -100,6 +107,25 @@ fn main() {
         continental_fetchable: true,
     });
 
+    // Phase 5 — the same trap with the resilient pipeline armed from
+    // the start: the stale snapshot bridges the gated transport, BGP
+    // never sees the degraded cache, and the fixed point recovers
+    // WITHOUT leaving drop-invalid. No manual procedure needed.
+    let mut defended = LoopbackWorld { policy: RpkiPolicy::DropInvalid, ..relaxed };
+    let bridged = defended.run_resilient(&degraded, Moment(7), policy, &mut resilient);
+    println!(
+        "phase 5: resilient RP (stale-cache fallback) → {} VRPs, Continental fetchable: {}",
+        bridged.vrps.len(),
+        bridged.can_fetch("rpki.continental.example")
+    );
+    assert!(bridged.can_fetch("rpki.continental.example"), "the defense must break the trap");
+    assert_eq!(bridged.vrps.len(), healthy.vrps.len());
+    phases.push(Phase {
+        phase: "resilient RP (automatic)",
+        vrps: bridged.vrps.len(),
+        continental_fetchable: true,
+    });
+
     let mut table = Table::new(&["phase", "VRPs in cache", "Continental repo fetchable"]);
     for p in &phases {
         table.row(&[p.phase.to_owned(), p.vrps.to_string(), p.continental_fetchable.to_string()]);
@@ -114,7 +140,8 @@ fn main() {
         work.memo_hits,
         work.memo_hits + work.memo_misses,
     );
-    println!("\nOK: a transient fault persisted until manual intervention (Section 6).");
+    println!("\nOK: a transient fault persisted until manual intervention (Section 6) —");
+    println!("    unless the RP's fetch pipeline bridges it automatically (phase 5).");
 
     emit_json("se7_phases", &phases);
     emit_json("se7_convergence", &work);

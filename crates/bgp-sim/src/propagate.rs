@@ -11,7 +11,7 @@
 //!   and AS-path tails are shared through an `Arc` cons list, so a
 //!   candidate evaluation allocates nothing and a route update
 //!   allocates one path node.
-//! - [`reference`] — the original synchronous full-scan engine, kept
+//! - [`mod@reference`] — the original synchronous full-scan engine, kept
 //!   as the oracle the equivalence property tests pin the worklist
 //!   engine against (see DESIGN.md "Routing engine" for the
 //!   determinism and equivalence argument).
@@ -95,7 +95,7 @@ fn validity_rank(policy: RpkiPolicy, validity: RouteValidity) -> u8 {
 /// The converged routing state of the whole topology.
 ///
 /// Compares bit-for-bit (`PartialEq`): the equivalence property tests
-/// assert the worklist engine and the [`reference`] oracle produce
+/// assert the worklist engine and the [`mod@reference`] oracle produce
 /// equal states.
 #[derive(Debug, Default, PartialEq, Eq)]
 pub struct RoutingState {
@@ -130,7 +130,7 @@ impl RoutingState {
 
 /// Work done by a propagation run. Callers report these next to their
 /// experiment output, and the scale tests assert the worklist engine
-/// never runs more rounds than the [`reference`] oracle.
+/// never runs more rounds than the [`mod@reference`] oracle.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct ConvergenceStats {
     /// Synchronised rounds executed (rounds in which at least one
@@ -197,7 +197,7 @@ impl std::error::Error for ConvergenceError {}
 ///
 /// Event-driven: only `(AS, prefix)` pairs whose inputs changed are
 /// re-evaluated, but the result is bit-for-bit identical to the
-/// synchronous full-scan [`reference`] engine (pinned by the
+/// synchronous full-scan [`mod@reference`] engine (pinned by the
 /// equivalence property tests). Returns [`ConvergenceError`] —
 /// carrying the transit cycle, if one exists — instead of looping
 /// forever when the round cap is exhausted.

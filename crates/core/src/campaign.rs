@@ -1,0 +1,487 @@
+//! Seeded fault campaigns: the `ablation_resilience` harness.
+//!
+//! A *campaign* is a deterministic schedule of repository faults —
+//! corruption bursts, flapping partitions, takedowns, Stalloris-style
+//! slow serves, stealthy withdrawals — played against the model world
+//! while four relying-party configurations validate on a fixed cadence:
+//!
+//! 1. **bare** — one sync per directory, no timeouts (the RP the paper
+//!    assumes);
+//! 2. **retrying** — deadlines, exponential backoff, digest-checked
+//!    retries ([`SyncPolicy`]);
+//! 3. **retrying + stale cache** — plus last-good snapshot fallback and
+//!    circuit breaking ([`ResilientState`]);
+//! 4. **suspenders** — plus the hold-down fail-safe
+//!    ([`SuspendersState`]) over the validated VRPs.
+//!
+//! Each tier runs in its *own* freshly seeded world, so tiers never
+//! contaminate each other's fault dice; determinism is per
+//! `(campaign, seed, tier)`. All metrics are integers, so serialized
+//! outcomes are byte-identical across runs of the same seed — the
+//! property `tests/resilience_campaign.rs` pins.
+//!
+//! The interesting separations the standard campaigns expose:
+//!
+//! - transport faults (corruption, partitions, takedowns) separate the
+//!   first three tiers: retries repair lossy rounds, the stale cache
+//!   bridges rounds where even retries fail;
+//! - a **slow serve** separates *boundedness* from availability: the
+//!   bare RP hangs until the stalled bytes arrive (counted available,
+//!   hours late), the retrying RP times out and loses the round — only
+//!   the stale cache gets both bounded time and availability;
+//! - a **withdrawal** separates the stale cache from Suspenders: a
+//!   complete sync that simply lacks a file updates the snapshot, so
+//!   only the hold-down layer bridges authority-side removals.
+
+use std::collections::BTreeSet;
+
+use ipres::Prefix;
+use rpki_objects::{Moment, RoaPrefix, Span};
+use rpki_repo::{Freshness, SyncPolicy};
+use rpki_rp::{ResilienceConfig, ResilientState, Route, RouteValidity, ValidationRun, VrpCache};
+use serde::Serialize;
+
+use crate::fixtures::{asn, ModelRpki};
+use crate::suspenders::{SuspendersConfig, SuspendersState};
+
+/// Seconds between validation rounds (a 30-minute RP cadence; short
+/// enough that a full campaign stays inside every manifest's one-day
+/// validity window, so no republishing perturbs the schedule).
+pub const ROUND_SECS: u64 = 1800;
+
+/// One kind of repository fault a window can impose.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum FaultKind {
+    /// Probabilistic corruption of every repository→RP frame.
+    CorruptionBurst {
+        /// Per-message corruption probability.
+        prob: f64,
+    },
+    /// A hard partition between the RP and the repository.
+    Partition,
+    /// A partition present on every other round of the window.
+    Flapping,
+    /// The repository host is down entirely.
+    Takedown,
+    /// Stalloris: the repository serves, but `extra` seconds late.
+    Stall {
+        /// Added one-way delay on repository→RP frames.
+        extra: u64,
+    },
+    /// The authority stealthily withdraws Continental's covering `/20`
+    /// ROA (file deleted, manifest regenerated — no revocation) for the
+    /// window, then reissues it. An authority-side fault: transport
+    /// defenses must *not* bridge it; Suspenders must.
+    Withdraw,
+}
+
+/// A fault applied to one repository host over a round interval
+/// (inclusive on both ends; rounds are numbered from 1).
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultWindow {
+    /// The repository host the fault targets.
+    pub host: String,
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// First affected round.
+    pub from: usize,
+    /// Last affected round.
+    pub to: usize,
+}
+
+impl FaultWindow {
+    fn active(&self, round: usize) -> bool {
+        self.from <= round && round <= self.to
+    }
+}
+
+/// A named, fully deterministic fault schedule.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignSpec {
+    /// Campaign name (stable; used in reports).
+    pub name: String,
+    /// Number of validation rounds after the warm-up.
+    pub rounds: usize,
+    /// The fault windows in force.
+    pub windows: Vec<FaultWindow>,
+}
+
+/// The relying-party configurations the ablation compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RpTier {
+    /// One bare sync per directory; no timeouts, no cache.
+    Bare,
+    /// Retries with deadlines and backoff, but no cache fallback.
+    Retrying,
+    /// Retries plus last-good snapshot fallback and circuit breaking.
+    RetryingStale,
+    /// The full stack plus the Suspenders hold-down over VRPs.
+    Suspenders,
+}
+
+impl RpTier {
+    /// All tiers, weakest first.
+    pub const ALL: [RpTier; 4] =
+        [RpTier::Bare, RpTier::Retrying, RpTier::RetryingStale, RpTier::Suspenders];
+
+    /// A short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RpTier::Bare => "bare",
+            RpTier::Retrying => "retrying",
+            RpTier::RetryingStale => "retrying+stale",
+            RpTier::Suspenders => "suspenders",
+        }
+    }
+}
+
+/// What one tier saw in one round. All counts are integers so that the
+/// serialized campaign outcome is byte-identical across replays.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RoundMetrics {
+    /// Round number (1-based; the warm-up round is not recorded).
+    pub round: usize,
+    /// VRPs in the tier's effective cache.
+    pub vrps: usize,
+    /// Legitimate announcements classified valid.
+    pub valid: usize,
+    /// Legitimate announcements classified invalid (flips from the
+    /// all-valid healthy baseline).
+    pub invalid: usize,
+    /// Legitimate announcements classified unknown (flips from the
+    /// all-valid healthy baseline).
+    pub unknown: usize,
+    /// Publication points served from a stale snapshot this round.
+    pub stale_dirs: usize,
+}
+
+/// Campaign-wide sums for one tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct TierTotals {
+    /// Σ `vrps` over rounds — the VRP-availability integral.
+    pub vrp_round_sum: usize,
+    /// The worst single round's VRP count.
+    pub min_vrps: usize,
+    /// Σ `valid` over rounds.
+    pub valid_round_sum: usize,
+    /// Σ `invalid`: announcement-rounds flipped valid→invalid.
+    pub invalid_flips: usize,
+    /// Σ `unknown`: announcement-rounds flipped valid→unknown.
+    pub unknown_flips: usize,
+    /// Σ `stale_dirs`: directory-rounds bridged by the snapshot cache.
+    pub stale_dir_rounds: usize,
+}
+
+/// One tier's full trace through a campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct TierOutcome {
+    /// Which configuration this is.
+    pub tier: RpTier,
+    /// Per-round metrics, in round order.
+    pub rounds: Vec<RoundMetrics>,
+    /// Campaign-wide sums.
+    pub totals: TierTotals,
+}
+
+/// The result of running one campaign at one seed across all tiers.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignOutcome {
+    /// The campaign's name.
+    pub name: String,
+    /// The network seed used.
+    pub seed: u64,
+    /// Rounds per tier.
+    pub rounds: usize,
+    /// One trace per tier, in [`RpTier::ALL`] order.
+    pub tiers: Vec<TierOutcome>,
+}
+
+impl CampaignOutcome {
+    /// The trace of `tier`.
+    pub fn tier(&self, tier: RpTier) -> &TierOutcome {
+        self.tiers.iter().find(|t| t.tier == tier).expect("all tiers present")
+    }
+}
+
+/// The retry policy every non-bare tier uses.
+pub fn campaign_policy() -> SyncPolicy {
+    SyncPolicy::default()
+}
+
+/// The resilience knobs the stale-cache tiers use: snapshots may bridge
+/// up to six hours (12 rounds); three dead sessions open the circuit
+/// for one round.
+pub fn campaign_resilience() -> ResilienceConfig {
+    ResilienceConfig { max_stale: 6 * 3600, failure_threshold: 3, cooldown: ROUND_SECS }
+}
+
+/// Runs `spec` at `seed` across all four tiers.
+pub fn run_campaign(spec: &CampaignSpec, seed: u64) -> CampaignOutcome {
+    let tiers = RpTier::ALL.iter().map(|&tier| run_tier(spec, seed, tier)).collect();
+    CampaignOutcome { name: spec.name.clone(), seed, rounds: spec.rounds, tiers }
+}
+
+fn run_tier(spec: &CampaignSpec, seed: u64, tier: RpTier) -> TierOutcome {
+    let mut w = ModelRpki::build_seeded(seed);
+    let policy = campaign_policy();
+    let mut resilient = ResilientState::new(campaign_resilience());
+    // Hold-down of one day: longer than any campaign, so a held VRP
+    // stays held until it recovers or the campaign ends.
+    let mut suspenders = SuspendersState::new(SuspendersConfig { hold_down: Span::days(1) });
+    // Indices of `Withdraw` windows whose object is currently pulled.
+    let mut withdrawn: BTreeSet<usize> = BTreeSet::new();
+
+    // Warm-up: one faultless validation so snapshots and the
+    // suspenders baseline reflect the healthy world.
+    let moment = Moment(w.net.now());
+    let warm = validate_tier(&mut w, tier, moment, policy, &mut resilient);
+    if tier == RpTier::Suspenders {
+        suspenders.ingest(&warm, moment);
+    }
+
+    let mut rounds = Vec::with_capacity(spec.rounds);
+    for round in 1..=spec.rounds {
+        // Stalled sessions may overrun the boundary; `advance_to` is
+        // monotone, so pacing simply resumes once they drain.
+        w.net.advance_to(round as u64 * ROUND_SECS);
+        apply_faults(&mut w, spec, round, &mut withdrawn);
+
+        let moment = Moment(w.net.now());
+        let run = validate_tier(&mut w, tier, moment, policy, &mut resilient);
+
+        let (vrps, cache): (usize, VrpCache) = if tier == RpTier::Suspenders {
+            suspenders.ingest(&run, moment);
+            (suspenders.len(), suspenders.effective_cache())
+        } else {
+            (run.vrps.len(), run.vrp_cache())
+        };
+
+        let mut m = RoundMetrics { round, vrps, ..RoundMetrics::default() };
+        for ann in &w.announcements {
+            match cache.classify(Route::new(ann.prefix, ann.origin)) {
+                RouteValidity::Valid => m.valid += 1,
+                RouteValidity::Invalid => m.invalid += 1,
+                RouteValidity::Unknown => m.unknown += 1,
+            }
+        }
+        m.stale_dirs =
+            run.freshness.iter().filter(|(_, f)| matches!(f, Freshness::Stale { .. })).count();
+        rounds.push(m);
+    }
+
+    let totals = TierTotals {
+        vrp_round_sum: rounds.iter().map(|m| m.vrps).sum(),
+        min_vrps: rounds.iter().map(|m| m.vrps).min().unwrap_or(0),
+        valid_round_sum: rounds.iter().map(|m| m.valid).sum(),
+        invalid_flips: rounds.iter().map(|m| m.invalid).sum(),
+        unknown_flips: rounds.iter().map(|m| m.unknown).sum(),
+        stale_dir_rounds: rounds.iter().map(|m| m.stale_dirs).sum(),
+    };
+    TierOutcome { tier, rounds, totals }
+}
+
+fn validate_tier(
+    w: &mut ModelRpki,
+    tier: RpTier,
+    moment: Moment,
+    policy: SyncPolicy,
+    resilient: &mut ResilientState,
+) -> ValidationRun {
+    match tier {
+        RpTier::Bare => w.validate_network(moment),
+        RpTier::Retrying => w.validate_retrying(moment, policy),
+        RpTier::RetryingStale | RpTier::Suspenders => {
+            w.validate_resilient(moment, policy, resilient)
+        }
+    }
+}
+
+/// Clears last round's transport faults, then arms this round's.
+fn apply_faults(
+    w: &mut ModelRpki,
+    spec: &CampaignSpec,
+    round: usize,
+    withdrawn: &mut BTreeSet<usize>,
+) {
+    let rp = w.rp_node;
+    // Clear every window's effect first so expired and flapping
+    // windows heal; active ones are re-armed below.
+    for win in &spec.windows {
+        let node = w.repos.by_host(&win.host).expect("campaign host exists").node();
+        match win.kind {
+            FaultKind::CorruptionBurst { .. } => w.net.faults.set_corruption(node, rp, 0.0),
+            FaultKind::Partition | FaultKind::Flapping => w.net.faults.heal(rp, node),
+            FaultKind::Takedown => w.net.faults.set_down(node, false),
+            FaultKind::Stall { .. } => w.net.faults.set_stall(node, rp, 0),
+            FaultKind::Withdraw => {}
+        }
+    }
+
+    for (i, win) in spec.windows.iter().enumerate() {
+        let node = w.repos.by_host(&win.host).expect("campaign host exists").node();
+        let active = win.active(round);
+        match win.kind {
+            FaultKind::CorruptionBurst { prob } if active => {
+                w.net.faults.set_corruption(node, rp, prob);
+            }
+            FaultKind::Partition if active => w.net.faults.partition(rp, node),
+            // Flapping: partitioned on the window's even offsets, so it
+            // always starts severed and heals every other round.
+            FaultKind::Flapping if active && (round - win.from).is_multiple_of(2) => {
+                w.net.faults.partition(rp, node);
+            }
+            FaultKind::Takedown if active => w.net.faults.set_down(node, true),
+            FaultKind::Stall { extra } if active => w.net.faults.set_stall(node, rp, extra),
+            FaultKind::Withdraw => {
+                let now = Moment(w.net.now());
+                if active && !withdrawn.contains(&i) {
+                    let file = w.covering_roa_file();
+                    w.continental.withdraw(&file).expect("covering ROA present");
+                    w.publish_all(now);
+                    withdrawn.insert(i);
+                } else if !active && withdrawn.remove(&i) {
+                    let covering: Prefix = "63.174.16.0/20".parse().expect("literal");
+                    w.continental
+                        .issue_roa(asn::CONTINENTAL, vec![RoaPrefix::exact(covering)], now)
+                        .expect("own space");
+                    w.publish_all(now);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The standard campaign suite the `ablation_resilience` binary runs.
+/// All target Continental — the paper's Section 6 repository — so the
+/// five Continental VRPs are the ones at stake each time.
+pub fn standard_campaigns() -> Vec<CampaignSpec> {
+    let c = || "rpki.continental.example".to_owned();
+    vec![
+        CampaignSpec {
+            name: "corruption-burst".to_owned(),
+            rounds: 12,
+            windows: vec![FaultWindow {
+                host: c(),
+                kind: FaultKind::CorruptionBurst { prob: 0.4 },
+                from: 3,
+                to: 8,
+            }],
+        },
+        CampaignSpec {
+            name: "flapping-partition".to_owned(),
+            rounds: 12,
+            windows: vec![FaultWindow { host: c(), kind: FaultKind::Flapping, from: 3, to: 10 }],
+        },
+        CampaignSpec {
+            name: "takedown".to_owned(),
+            rounds: 12,
+            windows: vec![FaultWindow { host: c(), kind: FaultKind::Takedown, from: 3, to: 8 }],
+        },
+        CampaignSpec {
+            name: "slow-serve".to_owned(),
+            rounds: 10,
+            windows: vec![FaultWindow {
+                host: c(),
+                kind: FaultKind::Stall { extra: 3600 },
+                from: 3,
+                to: 6,
+            }],
+        },
+        CampaignSpec {
+            name: "mixed".to_owned(),
+            rounds: 24,
+            windows: vec![
+                FaultWindow {
+                    host: c(),
+                    kind: FaultKind::CorruptionBurst { prob: 0.35 },
+                    from: 3,
+                    to: 7,
+                },
+                FaultWindow { host: c(), kind: FaultKind::Takedown, from: 10, to: 13 },
+                FaultWindow { host: c(), kind: FaultKind::Withdraw, from: 16, to: 18 },
+                FaultWindow { host: c(), kind: FaultKind::Stall { extra: 3600 }, from: 20, to: 22 },
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn takedown_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "t".to_owned(),
+            rounds: 6,
+            windows: vec![FaultWindow {
+                host: "rpki.continental.example".to_owned(),
+                kind: FaultKind::Takedown,
+                from: 2,
+                to: 4,
+            }],
+        }
+    }
+
+    #[test]
+    fn takedown_separates_stale_cache_from_the_rest() {
+        let out = run_campaign(&takedown_spec(), 42);
+        let bare = out.tier(RpTier::Bare).totals;
+        let retrying = out.tier(RpTier::Retrying).totals;
+        let stale = out.tier(RpTier::RetryingStale).totals;
+        // A hard outage defeats retries — but the snapshot bridges it.
+        assert_eq!(bare.vrp_round_sum, retrying.vrp_round_sum);
+        assert!(stale.vrp_round_sum > retrying.vrp_round_sum, "{stale:?} vs {retrying:?}");
+        assert_eq!(stale.min_vrps, 8);
+        assert!(stale.stale_dir_rounds >= 3, "{stale:?}");
+        // Outside the window everyone is whole again.
+        assert_eq!(out.tier(RpTier::Bare).rounds.last().unwrap().vrps, 8);
+    }
+
+    #[test]
+    fn withdraw_separates_suspenders_from_stale_cache() {
+        let spec = CampaignSpec {
+            name: "w".to_owned(),
+            rounds: 6,
+            windows: vec![FaultWindow {
+                host: "rpki.continental.example".to_owned(),
+                kind: FaultKind::Withdraw,
+                from: 2,
+                to: 4,
+            }],
+        };
+        let out = run_campaign(&spec, 42);
+        let stale = out.tier(RpTier::RetryingStale).totals;
+        let susp = out.tier(RpTier::Suspenders).totals;
+        // The stale cache must NOT bridge an authority-side removal…
+        assert!(stale.min_vrps < 8, "{stale:?}");
+        assert_eq!(stale.stale_dir_rounds, 0, "{stale:?}");
+        // …and the hold-down must.
+        assert_eq!(susp.min_vrps, 8, "{susp:?}");
+        assert_eq!(susp.unknown_flips, 0, "{susp:?}");
+    }
+
+    #[test]
+    fn campaign_replay_is_identical() {
+        let spec = takedown_spec();
+        let a = serde_json::to_string(&run_campaign(&spec, 7)).unwrap();
+        let b = serde_json::to_string(&run_campaign(&spec, 7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standard_campaigns_are_well_formed() {
+        let specs = standard_campaigns();
+        assert_eq!(specs.len(), 5);
+        for spec in &specs {
+            assert!(spec.rounds >= 1);
+            for win in &spec.windows {
+                assert!(win.from >= 1 && win.from <= win.to && win.to <= spec.rounds);
+                // Snapshot budget covers every transport window, so the
+                // stale tier's bridging claim is meaningful throughout.
+                let budget_rounds = (campaign_resilience().max_stale / ROUND_SECS) as usize;
+                assert!(win.to - win.from < budget_rounds, "{}: window too long", spec.name);
+            }
+        }
+    }
+}

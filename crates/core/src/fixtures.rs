@@ -25,8 +25,11 @@ use ipres::{Prefix, ResourceSet};
 use netsim::{Network, NodeId};
 use rpki_ca::CertAuthority;
 use rpki_objects::{Encode, Moment, RepoUri, Roa, RoaPrefix, RpkiObject, Span, TrustAnchorLocator};
-use rpki_repo::RepoRegistry;
-use rpki_rp::{DirectSource, NetworkSource, ValidationConfig, ValidationRun, Validator};
+use rpki_repo::{RepoRegistry, SyncPolicy};
+use rpki_rp::{
+    DirectSource, NetworkSource, ResilientSource, ResilientState, ValidationConfig, ValidationRun,
+    Validator,
+};
 
 fn p(s: &str) -> Prefix {
     s.parse().unwrap()
@@ -84,9 +87,15 @@ pub struct ModelRpki {
 }
 
 impl ModelRpki {
-    /// Builds and publishes the model world.
+    /// Builds and publishes the model world with the canonical seed.
     pub fn build() -> ModelRpki {
-        let mut net = Network::new(2013);
+        ModelRpki::build_seeded(2013)
+    }
+
+    /// Builds and publishes the model world over a network seeded with
+    /// `seed` — the entry point for fault campaigns that sweep seeds.
+    pub fn build_seeded(seed: u64) -> ModelRpki {
+        let mut net = Network::new(seed);
         let rp_node = net.add_node("relying-party");
         let mut repos = RepoRegistry::new();
         for host in [
@@ -252,6 +261,30 @@ impl ModelRpki {
         Validator::new(ValidationConfig::at(now)).run(&mut source, std::slice::from_ref(&self.tal))
     }
 
+    /// Validates over the simulated network, retrying each directory
+    /// under `policy` (a relying party with timeouts and backoff but no
+    /// cache fallback).
+    pub fn validate_retrying(&mut self, now: Moment, policy: SyncPolicy) -> ValidationRun {
+        let mut source =
+            NetworkSource::with_policy(&mut self.net, &self.repos, self.rp_node, policy);
+        Validator::new(ValidationConfig::at(now)).run(&mut source, std::slice::from_ref(&self.tal))
+    }
+
+    /// Validates over the simulated network with the full resilience
+    /// stack: per-directory retries under `policy` plus last-good
+    /// snapshot fallback and circuit breaking from `state` (which
+    /// persists across runs and accumulates snapshots).
+    pub fn validate_resilient(
+        &mut self,
+        now: Moment,
+        policy: SyncPolicy,
+        state: &mut ResilientState,
+    ) -> ValidationRun {
+        let inner = NetworkSource::with_policy(&mut self.net, &self.repos, self.rp_node, policy);
+        let mut source = ResilientSource::new(inner, state);
+        Validator::new(ValidationConfig::at(now)).run(&mut source, std::slice::from_ref(&self.tal))
+    }
+
     /// Adds Figure 5 (right)'s new ROA: `(63.160.0.0/12-13, AS1239)` —
     /// the Side Effect 5 trigger — and republishes.
     pub fn add_figure5_right_roa(&mut self, now: Moment) -> Roa {
@@ -336,6 +369,26 @@ mod tests {
         w.add_figure5_right_roa(Moment(3));
         let after = w.validate_direct(Moment(4)).vrp_cache();
         assert_eq!(after.classify(probe), RouteValidity::Invalid);
+    }
+
+    #[test]
+    fn seeded_builds_differ_only_in_network_randomness() {
+        // Same world content regardless of seed: the seed feeds the
+        // network's fault dice, not the RPKI.
+        let a = ModelRpki::build_seeded(1);
+        let b = ModelRpki::build_seeded(2);
+        assert_eq!(a.validate_direct(Moment(2)).vrps, b.validate_direct(Moment(2)).vrps);
+    }
+
+    #[test]
+    fn resilient_validation_matches_direct_when_healthy() {
+        let mut w = ModelRpki::build_seeded(7);
+        let direct = w.validate_direct(Moment(2));
+        let mut state = ResilientState::default();
+        let resilient = w.validate_resilient(Moment(2), SyncPolicy::default(), &mut state);
+        assert_eq!(direct.vrps, resilient.vrps);
+        // Every visited directory left a snapshot behind.
+        assert!(state.snapshot_count() >= 4, "snapshots: {}", state.snapshot_count());
     }
 
     #[test]

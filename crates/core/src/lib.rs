@@ -26,10 +26,15 @@
 //!   hardening direction the paper's conclusion cites
 //!   (draft-kent-sidr-suspenders): hold VRPs that vanish without
 //!   evidence, so whacks stop translating into instant outages.
+//! - [`campaign`] — seeded fault campaigns comparing relying-party
+//!   configurations (bare / retrying / stale-cache / Suspenders) on
+//!   VRP availability and validity flips under scheduled repository
+//!   faults; the harness behind the `ablation_resilience` experiment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod fixtures;
 pub mod grid;
 pub mod jurisdiction;
@@ -38,6 +43,10 @@ pub mod side_effects;
 pub mod suspenders;
 pub mod tradeoff;
 
+pub use campaign::{
+    run_campaign, standard_campaigns, CampaignOutcome, CampaignSpec, FaultKind, FaultWindow,
+    RoundMetrics, RpTier, TierOutcome, TierTotals,
+};
 pub use fixtures::ModelRpki;
 pub use grid::{collapse_bands, validity_grid, Band, GridRow};
 pub use jurisdiction::{

@@ -23,8 +23,10 @@ use bgp_sim::{propagate_with_stats, Announcement, ConvergenceStats, RpkiPolicy, 
 use ipres::Asn;
 use netsim::{Network, NodeId};
 use rpki_objects::{Moment, TrustAnchorLocator};
-use rpki_repo::RepoRegistry;
-use rpki_rp::{NetworkSource, ValidationConfig, ValidationRun, Validator, Vrp};
+use rpki_repo::{RepoRegistry, SyncPolicy};
+use rpki_rp::{
+    NetworkSource, ResilientSource, ResilientState, ValidationConfig, ValidationRun, Validator, Vrp,
+};
 use serde::Serialize;
 
 /// The converged outcome of one loop evaluation.
@@ -98,13 +100,42 @@ impl LoopbackWorld<'_> {
     /// sync round (the relying party's prior cache). The fixed point is
     /// reached when the set of fetchable hosts stops changing.
     pub fn run(&mut self, initial_vrps: &[Vrp], now: Moment) -> LoopbackOutcome {
+        self.run_inner(initial_vrps, now, None)
+    }
+
+    /// Runs the loop with the resilient fetch pipeline in place of bare
+    /// syncs: each directory retries under `policy`, and `state`
+    /// supplies last-good snapshots when the gated transport fails.
+    ///
+    /// This is the Side Effect 7 defense experiment: a relying party
+    /// whose cache bridges the transient fault never hands BGP the
+    /// degraded VRP set, so the circular trap cannot latch.
+    pub fn run_resilient(
+        &mut self,
+        initial_vrps: &[Vrp],
+        now: Moment,
+        policy: SyncPolicy,
+        state: &mut ResilientState,
+    ) -> LoopbackOutcome {
+        self.run_inner(initial_vrps, now, Some((policy, state)))
+    }
+
+    fn run_inner(
+        &mut self,
+        initial_vrps: &[Vrp],
+        now: Moment,
+        mut resilience: Option<(SyncPolicy, &mut ResilientState)>,
+    ) -> LoopbackOutcome {
         let mut vrps: Vec<Vrp> = initial_vrps.to_vec();
         let mut propagation = ConvergenceStats::default();
         let mut fetchable = self.fetchable_hosts(&vrps, &mut propagation);
         let mut iterations = 0;
         loop {
             iterations += 1;
-            assert!(iterations <= 1 + self.repos.iter().count(), "loopback failed to converge");
+            // Snapshot fallback can add one extra transition (stale
+            // data un-gates a host whose fresh fetch then changes the
+            // VRPs), hence the +2.
+            assert!(iterations <= 2 + self.repos.iter().count(), "loopback failed to converge");
 
             // Gate the transport on current fetchability.
             let gate: BTreeSet<NodeId> = self
@@ -127,9 +158,18 @@ impl LoopbackWorld<'_> {
                 }
             }));
 
-            let mut source = NetworkSource::new(self.net, self.repos, self.rp_node);
-            let run: ValidationRun =
-                Validator::new(ValidationConfig::at(now)).run(&mut source, self.tals);
+            let run: ValidationRun = match resilience.as_mut() {
+                None => {
+                    let mut source = NetworkSource::new(self.net, self.repos, self.rp_node);
+                    Validator::new(ValidationConfig::at(now)).run(&mut source, self.tals)
+                }
+                Some((policy, state)) => {
+                    let inner =
+                        NetworkSource::with_policy(self.net, self.repos, self.rp_node, *policy);
+                    let mut source = ResilientSource::new(inner, state);
+                    Validator::new(ValidationConfig::at(now)).run(&mut source, self.tals)
+                }
+            };
             let new_vrps = run.vrps;
             let new_fetchable = self.fetchable_hosts(&new_vrps, &mut propagation);
             let settled = new_fetchable == fetchable && new_vrps == vrps;
@@ -202,6 +242,51 @@ mod tests {
         // Everyone else is unaffected.
         assert!(outcome.can_fetch("rpki.sprint.example"));
         assert!(outcome.can_fetch("rpki.etb.example"));
+    }
+
+    /// The Side Effect 7 trap with the resilient pipeline armed: the
+    /// relying party's last-good snapshot bridges the gated transport,
+    /// so the degraded cache never reaches BGP and the fixed point
+    /// recovers even under drop-invalid. The bare loop over the same
+    /// degraded cache stays trapped — the contrast is the defense.
+    #[test]
+    fn transient_fault_recovers_with_resilient_source() {
+        use rpki_rp::{ResilienceConfig, ResilientState};
+
+        let mut w = ModelRpki::build();
+        w.add_figure5_right_roa(Moment(2));
+        let full_vrps = w.validate_direct(Moment(3)).vrps;
+
+        // Warm the relying party's snapshot cache while the world is
+        // healthy (any prior successful validation run does this).
+        let policy = rpki_repo::SyncPolicy::default();
+        let mut state = ResilientState::new(ResilienceConfig::default());
+        w.validate_resilient(Moment(3), policy, &mut state);
+
+        let degraded: Vec<Vrp> =
+            full_vrps.iter().copied().filter(|v| v.asn != asn::CONTINENTAL).collect();
+
+        let ModelRpki { net, repos, rp_node, tal, topology, announcements, .. } = &mut w;
+        let tals = std::slice::from_ref(&*tal);
+        let mut world = LoopbackWorld {
+            net,
+            repos,
+            rp_node: *rp_node,
+            rp_asn: asn::RELYING_PARTY,
+            tals,
+            topology,
+            announcements,
+            policy: RpkiPolicy::DropInvalid,
+        };
+
+        let outcome = world.run_resilient(&degraded, Moment(4), policy, &mut state);
+        assert!(outcome.can_fetch("rpki.continental.example"), "{outcome:?}");
+        assert_eq!(outcome.vrps, full_vrps);
+
+        // Control: the bare loop over the same degraded cache is still
+        // the persistent trap of `transient_fault_becomes_persistent`.
+        let outcome = world.run(&degraded, Moment(4));
+        assert!(!outcome.can_fetch("rpki.continental.example"), "{outcome:?}");
     }
 
     /// The same fault under depref-invalid self-heals: the invalid

@@ -21,8 +21,12 @@
 //!
 //! Partitions and node-down states are absolute: no delivery in either
 //! direction while active.
+//!
+//! Stalls model a Stalloris-style slow serve: the link still delivers,
+//! but every message is held for an extra fixed delay, so a client
+//! without a deadline hangs for the duration.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use crate::net::NodeId;
 
@@ -34,8 +38,9 @@ type Link = (NodeId, NodeId);
 pub(crate) struct ScheduledFate {
     /// Drop this message.
     pub drop: bool,
-    /// Corrupt this message (moot if dropped).
-    pub corrupt: bool,
+    /// Corrupt this message at the given payload byte offset (moot if
+    /// dropped).
+    pub corrupt: Option<usize>,
 }
 
 /// The current fault configuration of a [`Network`](crate::Network).
@@ -51,10 +56,13 @@ pub struct FaultPlan {
     partitions: HashSet<(NodeId, NodeId)>,
     /// Nodes that are down (neither send nor receive).
     down: HashSet<NodeId>,
+    /// Per-directed-link extra delay added to every send (slow serve).
+    stall: HashMap<Link, u64>,
     /// Messages evaluated so far, per directed link.
     counters: HashMap<Link, u64>,
-    /// Absolute message indices scheduled for corruption.
-    corrupt_at: HashMap<Link, BTreeSet<u64>>,
+    /// Absolute message indices scheduled for corruption, mapped to the
+    /// payload byte offset to flip.
+    corrupt_at: HashMap<Link, BTreeMap<u64, usize>>,
     /// Absolute message indices scheduled for dropping.
     drop_at: HashMap<Link, BTreeSet<u64>>,
 }
@@ -101,6 +109,21 @@ impl FaultPlan {
         }
     }
 
+    /// Adds `extra` seconds of delay to every message sent from `a` to
+    /// `b` (a Stalloris-style slow serve). Zero clears the stall.
+    pub fn set_stall(&mut self, a: NodeId, b: NodeId, extra: u64) {
+        if extra == 0 {
+            self.stall.remove(&(a, b));
+        } else {
+            self.stall.insert((a, b), extra);
+        }
+    }
+
+    /// The extra delay currently configured on the directed link.
+    pub fn stall_delay(&self, a: NodeId, b: NodeId) -> u64 {
+        self.stall.get(&(a, b)).copied().unwrap_or(0)
+    }
+
     fn counter(&self, link: Link) -> u64 {
         self.counters.get(&link).copied().unwrap_or(0)
     }
@@ -110,16 +133,24 @@ impl FaultPlan {
         let base = self.counter((a, b));
         let set = self.corrupt_at.entry((a, b)).or_default();
         for i in 1..=n {
-            set.insert(base + i);
+            set.insert(base + i, 0);
         }
     }
 
     /// Schedules exactly the `n`-th message from now (1-based) on the
     /// `a`→`b` link for corruption.
     pub fn corrupt_nth(&mut self, a: NodeId, b: NodeId, n: u64) {
+        self.corrupt_nth_at(a, b, n, 0);
+    }
+
+    /// Like [`FaultPlan::corrupt_nth`], but flips the payload byte at
+    /// `offset` instead of byte 0. Byte 0 is the frame tag, so the
+    /// default tears the frame entirely; a deeper offset produces a
+    /// corrupted-but-parseable frame that only digest checks catch.
+    pub fn corrupt_nth_at(&mut self, a: NodeId, b: NodeId, n: u64, offset: usize) {
         assert!(n >= 1, "message indices are 1-based");
         let base = self.counter((a, b));
-        self.corrupt_at.entry((a, b)).or_default().insert(base + n);
+        self.corrupt_at.entry((a, b)).or_default().insert(base + n, offset);
     }
 
     /// Schedules the next `n` messages from `a` to `b` for dropping.
@@ -186,7 +217,7 @@ impl FaultPlan {
         let idx = self.counter(link) + 1;
         self.counters.insert(link, idx);
         let drop = self.drop_at.get_mut(&link).map(|s| s.remove(&idx)).unwrap_or(false);
-        let corrupt = self.corrupt_at.get_mut(&link).map(|s| s.remove(&idx)).unwrap_or(false);
+        let corrupt = self.corrupt_at.get_mut(&link).and_then(|s| s.remove(&idx));
         ScheduledFate { drop, corrupt }
     }
 }
@@ -213,11 +244,11 @@ mod tests {
     fn corrupt_next_hits_consecutive_messages() {
         let mut f = FaultPlan::new();
         f.corrupt_next(n(1), n(2), 2);
-        assert!(f.on_message(n(1), n(2)).corrupt);
+        assert!(f.on_message(n(1), n(2)).corrupt.is_some());
         // Direction matters; this advances the reverse link only.
-        assert!(!f.on_message(n(2), n(1)).corrupt);
-        assert!(f.on_message(n(1), n(2)).corrupt);
-        assert!(!f.on_message(n(1), n(2)).corrupt);
+        assert!(f.on_message(n(2), n(1)).corrupt.is_none());
+        assert!(f.on_message(n(1), n(2)).corrupt.is_some());
+        assert!(f.on_message(n(1), n(2)).corrupt.is_none());
     }
 
     #[test]
@@ -225,10 +256,29 @@ mod tests {
         let mut f = FaultPlan::new();
         f.drop_nth(n(3), n(4), 2);
         f.corrupt_nth(n(3), n(4), 3);
-        assert_eq!(f.on_message(n(3), n(4)), ScheduledFate { drop: false, corrupt: false });
-        assert_eq!(f.on_message(n(3), n(4)), ScheduledFate { drop: true, corrupt: false });
-        assert_eq!(f.on_message(n(3), n(4)), ScheduledFate { drop: false, corrupt: true });
+        assert_eq!(f.on_message(n(3), n(4)), ScheduledFate { drop: false, corrupt: None });
+        assert_eq!(f.on_message(n(3), n(4)), ScheduledFate { drop: true, corrupt: None });
+        assert_eq!(f.on_message(n(3), n(4)), ScheduledFate { drop: false, corrupt: Some(0) });
         assert_eq!(f.on_message(n(3), n(4)), ScheduledFate::default());
+    }
+
+    #[test]
+    fn corrupt_nth_at_carries_the_offset() {
+        let mut f = FaultPlan::new();
+        f.corrupt_nth_at(n(1), n(2), 1, 7);
+        assert_eq!(f.on_message(n(1), n(2)).corrupt, Some(7));
+        assert_eq!(f.on_message(n(1), n(2)).corrupt, None);
+    }
+
+    #[test]
+    fn stall_toggles_and_is_directional() {
+        let mut f = FaultPlan::new();
+        assert_eq!(f.stall_delay(n(1), n(2)), 0);
+        f.set_stall(n(1), n(2), 300);
+        assert_eq!(f.stall_delay(n(1), n(2)), 300);
+        assert_eq!(f.stall_delay(n(2), n(1)), 0);
+        f.set_stall(n(1), n(2), 0);
+        assert_eq!(f.stall_delay(n(1), n(2)), 0);
     }
 
     #[test]

@@ -241,10 +241,10 @@ impl Network {
     }
 
     /// Sends `payload` from `from` to `to`, arriving after the link's
-    /// latency (fault layer permitting).
+    /// latency plus any configured stall (fault layer permitting).
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) {
         self.stats.sent += 1;
-        let at = self.now + self.latency(from, to);
+        let at = self.now + self.latency(from, to) + self.faults.stall_delay(from, to);
         self.push(at, EventKind::Deliver { from, to, payload });
     }
 
@@ -253,6 +253,53 @@ impl Network {
     pub fn set_timer(&mut self, node: NodeId, delay: u64, token: u64) {
         let at = self.now + delay;
         self.push(at, EventKind::Timer { node, token });
+    }
+
+    /// Cancels every pending timer on `node` carrying `token`.
+    pub fn cancel_timer(&mut self, node: NodeId, token: u64) {
+        let events = std::mem::take(&mut self.queue);
+        self.queue = events
+            .into_iter()
+            .filter(|Reverse(e)| {
+                !matches!(e.kind, EventKind::Timer { node: n, token: t } if n == node && t == token)
+            })
+            .collect();
+    }
+
+    /// Discards every in-flight message between `a` and `b` (both
+    /// directions), counting each as dropped. Models a client tearing
+    /// down a timed-out session: bytes still on the wire never reach
+    /// the application.
+    pub fn flush_pair(&mut self, a: NodeId, b: NodeId) {
+        let events = std::mem::take(&mut self.queue);
+        self.queue = events
+            .into_iter()
+            .filter(|Reverse(e)| {
+                let purge = matches!(
+                    e.kind,
+                    EventKind::Deliver { from, to, .. }
+                        if (from == a && to == b) || (from == b && to == a)
+                );
+                if purge {
+                    self.stats.dropped += 1;
+                }
+                !purge
+            })
+            .collect();
+    }
+
+    /// Jumps the clock forward to `t` (no-op when `t` is in the past).
+    /// Lets experiment drivers pace rounds on absolute simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event is queued before `t` — stepping over pending
+    /// work would silently reorder the simulation.
+    pub fn advance_to(&mut self, t: u64) {
+        if let Some(Reverse(e)) = self.queue.peek() {
+            assert!(e.at >= t, "advance_to({t}) would skip an event queued at {}", e.at);
+        }
+        self.now = self.now.max(t);
     }
 
     /// Whether any events remain queued.
@@ -276,11 +323,17 @@ impl Network {
                     self.stats.dropped += 1;
                     return Some(Occurrence::Dropped { from, to, reason });
                 }
-                let corrupt = fate.corrupt || self.roll(self.faults.corruption_prob(from, to));
-                if corrupt {
+                let offset = fate.corrupt.or_else(|| {
+                    // Probabilistic corruption always hits byte 0 (the
+                    // frame tag); only scheduled faults aim deeper.
+                    self.roll(self.faults.corruption_prob(from, to)).then_some(0)
+                });
+                let corrupt = offset.is_some();
+                if let Some(offset) = offset {
                     // Flip one payload byte; digests downstream catch it.
-                    if let Some(b) = payload.first_mut() {
-                        *b ^= 0xff;
+                    if !payload.is_empty() {
+                        let at = offset.min(payload.len() - 1);
+                        payload[at] ^= 0xff;
                     }
                     self.stats.corrupted += 1;
                 } else {
@@ -514,6 +567,98 @@ mod tests {
         let mut net = Network::new(0);
         net.add_node("x");
         net.add_node("x");
+    }
+
+    #[test]
+    fn stall_delays_delivery_without_dropping() {
+        let (mut net, a, b) = two_nodes();
+        net.faults.set_stall(a, b, 300);
+        net.send(a, b, vec![1]); // arrives at 10 + 300
+        net.send(b, a, vec![2]); // reverse direction unaffected: 10
+        let occs = net.run_to_idle();
+        match &occs[0] {
+            Occurrence::Delivered(d) => assert_eq!((d.from, d.to), (b, a)),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(&occs[1], Occurrence::Delivered(d) if d.payload == vec![1]));
+        assert_eq!(net.now(), 310);
+        assert_eq!(net.stats().dropped, 0);
+        // Clearing the stall restores normal latency.
+        net.faults.set_stall(a, b, 0);
+        net.send(a, b, vec![3]);
+        net.run_to_idle();
+        assert_eq!(net.now(), 320);
+    }
+
+    #[test]
+    fn corruption_offset_targets_payload_byte() {
+        let (mut net, a, b) = two_nodes();
+        net.faults.corrupt_nth_at(a, b, 1, 2);
+        // Offset beyond the payload clamps to the last byte.
+        net.faults.corrupt_nth_at(a, b, 2, 99);
+        net.send(a, b, vec![0xaa, 0xbb, 0xcc]);
+        net.send(a, b, vec![0xaa, 0xbb]);
+        let occs = net.run_to_idle();
+        match (&occs[0], &occs[1]) {
+            (Occurrence::Delivered(first), Occurrence::Delivered(second)) => {
+                assert_eq!(first.payload, vec![0xaa, 0xbb, 0x33]);
+                assert_eq!(second.payload, vec![0xaa, 0x44]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(net.stats().corrupted, 2);
+    }
+
+    #[test]
+    fn cancel_timer_removes_matching_timers_only() {
+        let (mut net, a, b) = two_nodes();
+        net.set_timer(a, 5, 1);
+        net.set_timer(a, 6, 2);
+        net.set_timer(b, 7, 1); // other node, same token: survives
+        net.cancel_timer(a, 1);
+        let occs = net.run_to_idle();
+        assert_eq!(
+            occs,
+            vec![Occurrence::Timer { node: a, token: 2 }, Occurrence::Timer { node: b, token: 1 },]
+        );
+    }
+
+    #[test]
+    fn flush_pair_purges_in_flight_messages_both_ways() {
+        let mut net = Network::new(0);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let c = net.add_node("c");
+        net.send(a, b, vec![1]);
+        net.send(b, a, vec![2]);
+        net.send(a, c, vec![3]); // unrelated pair survives
+        net.set_timer(a, 10, 9); // timers survive
+        net.flush_pair(a, b);
+        let occs = net.run_to_idle();
+        assert_eq!(occs.len(), 2);
+        assert!(matches!(&occs[0], Occurrence::Delivered(d) if d.to == c));
+        assert!(matches!(occs[1], Occurrence::Timer { token: 9, .. }));
+        assert_eq!(net.stats().dropped, 2);
+    }
+
+    #[test]
+    fn advance_to_moves_clock_monotonically() {
+        let (mut net, a, _b) = two_nodes();
+        net.advance_to(100);
+        assert_eq!(net.now(), 100);
+        net.advance_to(50); // past: no-op
+        assert_eq!(net.now(), 100);
+        net.set_timer(a, 20, 1);
+        net.advance_to(120); // exactly at the event is allowed
+        assert!(matches!(net.step(), Some(Occurrence::Timer { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip an event")]
+    fn advance_to_refuses_to_skip_pending_events() {
+        let (mut net, a, _b) = two_nodes();
+        net.set_timer(a, 20, 1);
+        net.advance_to(21);
     }
 
     #[test]

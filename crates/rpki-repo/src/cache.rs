@@ -15,7 +15,7 @@
 //! deletion (the file vanishes from the listing) and every overwrite
 //! (the digest changes).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use netsim::{Network, NodeId};
 use rpki_objects::RepoUri;
@@ -84,27 +84,14 @@ pub fn sync_dir_incremental(
     cache: &mut SyncCache,
 ) -> (SyncOutcome, IncrementalStats) {
     let Some(server) = repos.node_of(dir.host()) else {
-        return (
-            SyncOutcome {
-                dir: dir.clone(),
-                files: BTreeMap::new(),
-                missing: Vec::new(),
-                listed: false,
-            },
-            IncrementalStats::default(),
-        );
+        return (SyncOutcome::unreachable(dir.clone()), IncrementalStats::default());
     };
 
-    let mut outcome = SyncOutcome {
-        dir: dir.clone(),
-        files: BTreeMap::new(),
-        missing: Vec::new(),
-        listed: false,
-    };
+    let mut outcome = SyncOutcome::unreachable(dir.clone());
     let mut stats = IncrementalStats::default();
     let dir_key = dir.to_string();
-    let mut expected: Vec<String> = Vec::new();
-    let mut received: Vec<String> = Vec::new();
+    let mut expected: BTreeMap<String, Digest> = BTreeMap::new();
+    let mut received: BTreeSet<String> = BTreeSet::new();
 
     net.send(client, server, RsyncRequest::List { dir: dir.clone() }.to_bytes());
     while let Some(occ) = net.step() {
@@ -122,7 +109,7 @@ pub fn sync_dir_incremental(
                             outcome.files.insert(name, bytes);
                             stats.reused += 1;
                         } else {
-                            expected.push(name.clone());
+                            expected.insert(name.clone(), digest);
                             net.send(
                                 client,
                                 server,
@@ -131,11 +118,20 @@ pub fn sync_dir_incremental(
                         }
                     }
                 }
-                RsyncResponse::File { name, bytes, .. } => {
-                    received.push(name.clone());
-                    stats.fetched += 1;
-                    outcome.files.insert(name, bytes);
-                }
+                RsyncResponse::File { name, bytes, .. } => match expected.get(&name) {
+                    Some(digest) if sha256(&bytes) == *digest => {
+                        received.insert(name.clone());
+                        stats.fetched += 1;
+                        outcome.files.insert(name, bytes);
+                    }
+                    Some(_) => {
+                        // Digest mismatch: corrupted in flight. Keep it
+                        // out of the cache so the next session refetches.
+                        received.insert(name.clone());
+                        outcome.corrupted.push(name);
+                    }
+                    None => {}
+                },
                 RsyncResponse::NotFound { name, .. } => {
                     if name.is_none() {
                         outcome.listed = true;
@@ -150,7 +146,7 @@ pub fn sync_dir_incremental(
         }
     }
 
-    outcome.missing = expected.into_iter().filter(|n| !received.contains(n)).collect();
+    outcome.missing = expected.into_keys().filter(|n| !received.contains(n)).collect();
     cache.store(&outcome);
     (outcome, stats)
 }
@@ -208,7 +204,7 @@ mod tests {
         let mut repos = RepoRegistry::new();
         let server = repos.create(&mut net, "h");
         let dir = RepoUri::new("h", &["repo"]);
-        let repo = repos.get_mut(server);
+        let repo = repos.get_mut(server).unwrap();
         repo.publish_raw(&dir, "a.roa", vec![1, 2, 3]);
         repo.publish_raw(&dir, "b.cer", vec![4, 5]);
         (net, repos, client, server, dir)
@@ -243,7 +239,7 @@ mod tests {
         let (mut net, mut repos, client, server, dir) = world();
         let mut cache = SyncCache::new();
         sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
-        repos.get_mut(server).publish_raw(&dir, "a.roa", vec![9, 9]);
+        repos.get_mut(server).unwrap().publish_raw(&dir, "a.roa", vec![9, 9]);
         let (out, stats) = sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
         assert_eq!(stats, IncrementalStats { reused: 1, fetched: 1 });
         assert_eq!(out.files["a.roa"], vec![9, 9]);
@@ -255,7 +251,7 @@ mod tests {
         let (mut net, mut repos, client, server, dir) = world();
         let mut cache = SyncCache::new();
         sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
-        repos.get_mut(server).delete(&dir, "a.roa");
+        repos.get_mut(server).unwrap().delete(&dir, "a.roa");
         let (out, stats) = sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
         assert!(out.complete());
         assert!(!out.files.contains_key("a.roa"), "stealthy deletion must be visible");
@@ -283,7 +279,7 @@ mod tests {
         let (mut net, mut repos, client, server, dir) = world();
         let mut cache = SyncCache::new();
         sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
-        repos.get_mut(server).publish_raw(&dir, "a.roa", vec![7, 7, 7]);
+        repos.get_mut(server).unwrap().publish_raw(&dir, "a.roa", vec![7, 7, 7]);
         // Corrupt the GET response (frame 2: listing is frame 1).
         net.faults.corrupt_nth(server, client, 2);
         let (out, _) = sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);

@@ -4,19 +4,34 @@
 //! every file, and report exactly what arrived — intact bytes, corrupted
 //! bytes, or nothing. It pumps the `netsim` event loop itself, answering
 //! requests that land on repository nodes, so callers stay simple.
+//! Every fetched file is verified against the listing's digest, so
+//! corrupted-but-parseable frames are classified, not silently accepted.
 //!
 //! The outcome is deliberately *not* an `Err` when files are missing:
 //! per the paper, partial data is the dangerous case (Side Effect 6),
 //! and the relying party must decide what a gap means. Only total
 //! unreachability is reported as such.
+//!
+//! [`sync_dir_with_policy`] wraps the single session in a retry driver:
+//! bounded attempts, deterministic exponential backoff and per-attempt
+//! deadlines, all paced on the simulated clock via [`Network::set_timer`]
+//! (sans-IO: no wall time anywhere). Later attempts re-fetch only what
+//! earlier ones failed to land, reusing verified bytes by digest.
 
 use std::collections::{BTreeMap, HashMap};
 
 use netsim::{Network, NodeId, Occurrence};
 use rpki_objects::{Decode, Encode, RepoUri};
+use rpkisim_crypto::{sha256, Digest};
+use serde::Serialize;
 
 use crate::proto::{RsyncRequest, RsyncResponse};
 use crate::store::Repository;
+
+/// Timer token used for per-attempt deadlines.
+const DEADLINE_TOKEN: u64 = 0x5359_4e43_dead_0001;
+/// Timer token used for inter-attempt backoff.
+const BACKOFF_TOKEN: u64 = 0x5359_4e43_dead_0002;
 
 /// All repositories in the simulated world, keyed by serving node.
 #[derive(Debug, Default)]
@@ -44,8 +59,8 @@ impl RepoRegistry {
     }
 
     /// Mutable access to the repository served by `node`.
-    pub fn get_mut(&mut self, node: NodeId) -> &mut Repository {
-        self.by_node.get_mut(&node).expect("no repository at node")
+    pub fn get_mut(&mut self, node: NodeId) -> Option<&mut Repository> {
+        self.by_node.get_mut(&node)
     }
 
     /// Finds the repository serving `host`.
@@ -102,117 +117,355 @@ impl RepoRegistry {
     }
 }
 
+/// How fresh the data backing a [`SyncOutcome`] is.
+///
+/// Produced by live sessions (`Fresh`/`Absent`); the resilient source
+/// layer substitutes `Stale` when serving a last-good snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Freshness {
+    /// Fetched from the live repository this session.
+    Fresh,
+    /// Served from a last-good snapshot taken `age` seconds ago.
+    Stale {
+        /// Snapshot age in simulated seconds.
+        age: u64,
+    },
+    /// No data available at all (unreachable and no usable snapshot).
+    Absent,
+}
+
 /// What one directory sync produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SyncOutcome {
     /// The directory synced.
     pub dir: RepoUri,
-    /// Files that arrived (bytes exactly as received — corruption, if
-    /// any, is *in* these bytes, for the relying party to detect).
+    /// Files that arrived and matched the listing's digest.
     pub files: BTreeMap<String, Vec<u8>>,
-    /// Files the listing promised but that never arrived intact as a
-    /// frame (dropped in flight, or response frame corrupted beyond
-    /// decoding).
+    /// Files the listing promised but that never arrived as a frame
+    /// (dropped in flight, or response frame corrupted beyond decoding).
     pub missing: Vec<String>,
+    /// Files that arrived as parseable frames whose bytes failed the
+    /// listing's digest check (in-flight payload corruption).
+    pub corrupted: Vec<String>,
     /// Whether the listing itself was obtained. `false` means the
     /// repository was effectively unreachable this session.
     pub listed: bool,
+    /// Provenance of the data in `files`.
+    pub freshness: Freshness,
 }
 
 impl SyncOutcome {
-    /// Whether every listed file arrived (says nothing about content
-    /// integrity — that is the relying party's manifest check).
-    pub fn complete(&self) -> bool {
-        self.listed && self.missing.is_empty()
+    /// An empty outcome for an unreachable repository.
+    pub fn unreachable(dir: RepoUri) -> Self {
+        SyncOutcome {
+            dir,
+            files: BTreeMap::new(),
+            missing: Vec::new(),
+            corrupted: Vec::new(),
+            listed: false,
+            freshness: Freshness::Absent,
+        }
     }
+
+    /// Whether every listed file arrived digest-intact (says nothing
+    /// about signatures — that is the relying party's manifest check).
+    pub fn complete(&self) -> bool {
+        self.listed && self.missing.is_empty() && self.corrupted.is_empty()
+    }
+}
+
+/// Retry/timeout policy for [`sync_dir_with_policy`].
+///
+/// All durations are simulated seconds; the driver never consults wall
+/// time (DESIGN.md sans-IO rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SyncPolicy {
+    /// Maximum sessions per directory (≥ 1; 0 is treated as 1).
+    pub attempts: u32,
+    /// Base backoff before the second attempt; doubles per retry
+    /// (`backoff << (attempt - 1)`). Zero retries immediately.
+    pub backoff: u64,
+    /// Per-attempt deadline. A session still incomplete when the timer
+    /// fires is torn down ([`Network::flush_pair`]); `None` waits
+    /// indefinitely (a Stalloris-style slow serve then hangs the run).
+    pub deadline: Option<u64>,
+}
+
+impl Default for SyncPolicy {
+    fn default() -> Self {
+        SyncPolicy { attempts: 3, backoff: 30, deadline: Some(300) }
+    }
+}
+
+impl SyncPolicy {
+    /// One attempt, no backoff, no deadline: byte-for-byte the bare
+    /// [`sync_dir`] behaviour, for ablation baselines.
+    pub fn single() -> Self {
+        SyncPolicy { attempts: 1, backoff: 0, deadline: None }
+    }
+}
+
+/// The fate of one listed file across a whole retry sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FileFate {
+    /// Arrived and matched its listing digest.
+    Intact,
+    /// Never arrived as a frame.
+    Missing,
+    /// Arrived with bytes failing the digest check.
+    Corrupted,
+}
+
+/// Timings and results of one sync attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct AttemptReport {
+    /// Simulated clock when the attempt started.
+    pub started_at: u64,
+    /// Simulated clock when the attempt finished or was aborted.
+    pub finished_at: u64,
+    /// Whether the listing was obtained this attempt.
+    pub listed: bool,
+    /// Digest-intact files held after this attempt (including reuse).
+    pub intact: usize,
+    /// Listed files still missing after this attempt.
+    pub missing: usize,
+    /// Listed files received corrupted this attempt.
+    pub corrupted: usize,
+    /// Whether the per-attempt deadline aborted the session.
+    pub deadline_hit: bool,
+}
+
+/// Everything a retry sequence did, for diagnostics and experiments.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct SyncReport {
+    /// One entry per session attempted, in order.
+    pub attempts: Vec<AttemptReport>,
+    /// Final per-file classification from the listing's perspective.
+    pub fates: BTreeMap<String, FileFate>,
+    /// Whether the sequence ended with a complete, digest-intact sync.
+    pub complete: bool,
+}
+
+/// One session's result plus whether the deadline killed it.
+struct SessionResult {
+    outcome: SyncOutcome,
+    deadline_hit: bool,
+}
+
+/// Runs exactly one list/fetch session against `server`, accounting
+/// for every outstanding exchange so it terminates without draining
+/// unrelated events. `have` supplies already-verified bytes from prior
+/// attempts: files whose listing digest matches are reused without a
+/// GET (rsync-style delta across retries).
+fn run_session(
+    net: &mut Network,
+    repos: &RepoRegistry,
+    client: NodeId,
+    server: NodeId,
+    dir: &RepoUri,
+    deadline: Option<u64>,
+    have: &BTreeMap<String, Vec<u8>>,
+) -> SessionResult {
+    let mut outcome = SyncOutcome::unreachable(dir.clone());
+    // Digests promised by the listing; the ground truth for
+    // verification and for the missing/corrupted diff.
+    let mut digests: BTreeMap<String, Digest> = BTreeMap::new();
+    // Request/response exchanges in flight. The session ends when every
+    // exchange is resolved: a response (parseable or not) arrived, or
+    // either direction's frame was dropped.
+    let mut outstanding: u64 = 1; // the LIST
+    let mut deadline_hit = false;
+
+    if let Some(d) = deadline {
+        net.set_timer(client, d, DEADLINE_TOKEN);
+    }
+    net.send(client, server, RsyncRequest::List { dir: dir.clone() }.to_bytes());
+
+    while outstanding > 0 {
+        let Some(occ) = net.step() else { break };
+        match occ {
+            Occurrence::Timer { node, token }
+                if deadline.is_some() && node == client && token == DEADLINE_TOKEN =>
+            {
+                // Deadline: tear the session down. Frames still on the
+                // wire are flushed so they cannot leak into the next
+                // attempt.
+                deadline_hit = true;
+                net.flush_pair(client, server);
+                break;
+            }
+            Occurrence::Timer { .. } => continue,
+            Occurrence::Dropped { from, to, .. } => {
+                if (from == client && to == server) || (from == server && to == client) {
+                    outstanding = outstanding.saturating_sub(1);
+                }
+            }
+            Occurrence::Delivered(delivery) => {
+                if delivery.to == client {
+                    if delivery.from != server {
+                        continue; // not part of this session
+                    }
+                    outstanding = outstanding.saturating_sub(1);
+                    let Ok(resp) = RsyncResponse::from_bytes(&delivery.payload) else {
+                        // Frame corrupted beyond parsing: a torn
+                        // exchange. Which file it carried is unknown;
+                        // the listing diff reports it missing.
+                        continue;
+                    };
+                    match resp {
+                        RsyncResponse::Listing { entries, .. } => {
+                            outcome.listed = true;
+                            for (name, digest) in entries {
+                                let reusable =
+                                    have.get(&name).is_some_and(|bytes| sha256(bytes) == digest);
+                                digests.insert(name.clone(), digest);
+                                if reusable {
+                                    outcome.files.insert(name.clone(), have[&name].clone());
+                                } else {
+                                    outstanding += 1;
+                                    net.send(
+                                        client,
+                                        server,
+                                        RsyncRequest::Get { dir: dir.clone(), name }.to_bytes(),
+                                    );
+                                }
+                            }
+                        }
+                        RsyncResponse::File { name, bytes, .. } => {
+                            match digests.get(&name) {
+                                Some(digest) if sha256(&bytes) == *digest => {
+                                    outcome.files.insert(name, bytes);
+                                }
+                                Some(_) => outcome.corrupted.push(name),
+                                // A file the listing never promised:
+                                // ignore (unsolicited).
+                                None => {}
+                            }
+                        }
+                        RsyncResponse::NotFound { name, .. } => {
+                            if name.is_none() {
+                                // Directory absent: an empty (but
+                                // reachable) publication point.
+                                outcome.listed = true;
+                            }
+                        }
+                    }
+                } else if repos.get(delivery.to).is_some() {
+                    // A request frame for a repository.
+                    if let Ok(req) = RsyncRequest::from_bytes(&delivery.payload) {
+                        let resp = repos.answer(delivery.to, &req);
+                        net.send(delivery.to, delivery.from, resp.to_bytes());
+                    } else if delivery.from == client && delivery.to == server {
+                        // Our request arrived unparseable: the server
+                        // stays silent, so the exchange is dead.
+                        outstanding = outstanding.saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+
+    if deadline.is_some() && !deadline_hit {
+        net.cancel_timer(client, DEADLINE_TOKEN);
+    }
+    outcome.missing = digests
+        .keys()
+        .filter(|n| !outcome.files.contains_key(*n) && !outcome.corrupted.contains(n))
+        .cloned()
+        .collect();
+    outcome.freshness = if outcome.listed { Freshness::Fresh } else { Freshness::Absent };
+    SessionResult { outcome, deadline_hit }
 }
 
 /// Runs one sync session of `dir` from the relying party's node
 /// `client` against the world's repositories.
 ///
-/// Pumps the network until idle; any message addressed to a repository
-/// node is answered from the registry (so concurrent scenarios with
-/// multiple repositories work), and messages to other nodes are
-/// dropped on the floor (no one is listening).
+/// Any message addressed to a repository node is answered from the
+/// registry (so concurrent scenarios with multiple repositories work),
+/// and messages to other nodes are dropped on the floor (no one is
+/// listening). Fetched bytes are verified against the listing's
+/// digests; mismatches land in [`SyncOutcome::corrupted`].
 pub fn sync_dir(
     net: &mut Network,
     repos: &RepoRegistry,
     client: NodeId,
     dir: &RepoUri,
 ) -> SyncOutcome {
-    let server = match repos.node_of(dir.host()) {
-        Some(n) => n,
-        None => {
-            // Host not in this world at all: like DNS failure.
-            return SyncOutcome {
-                dir: dir.clone(),
-                files: BTreeMap::new(),
-                missing: Vec::new(),
-                listed: false,
-            };
+    let Some(server) = repos.node_of(dir.host()) else {
+        // Host not in this world at all: like DNS failure.
+        return SyncOutcome::unreachable(dir.clone());
+    };
+    run_session(net, repos, client, server, dir, None, &BTreeMap::new()).outcome
+}
+
+/// Runs up to `policy.attempts` sessions of `dir`, with deterministic
+/// exponential backoff between attempts and a per-attempt deadline,
+/// all on the simulated clock. Later attempts reuse digest-verified
+/// bytes from earlier ones, so a retry only refetches what failed.
+///
+/// Returns the best outcome seen (a listed outcome is never displaced
+/// by an unreachable one) plus a [`SyncReport`] of the whole sequence.
+pub fn sync_dir_with_policy(
+    net: &mut Network,
+    repos: &RepoRegistry,
+    client: NodeId,
+    dir: &RepoUri,
+    policy: &SyncPolicy,
+) -> (SyncOutcome, SyncReport) {
+    let mut report = SyncReport::default();
+    let Some(server) = repos.node_of(dir.host()) else {
+        return (SyncOutcome::unreachable(dir.clone()), report);
+    };
+    let attempts = policy.attempts.max(1);
+    let mut have: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    let mut best: Option<SyncOutcome> = None;
+    for attempt in 1..=attempts {
+        let started_at = net.now();
+        let SessionResult { outcome, deadline_hit } =
+            run_session(net, repos, client, server, dir, policy.deadline, &have);
+        report.attempts.push(AttemptReport {
+            started_at,
+            finished_at: net.now(),
+            listed: outcome.listed,
+            intact: outcome.files.len(),
+            missing: outcome.missing.len(),
+            corrupted: outcome.corrupted.len(),
+            deadline_hit,
+        });
+        have.extend(outcome.files.clone());
+        let done = outcome.complete();
+        // A listed outcome always beats an unreachable one; among
+        // listed outcomes the latest wins (it reuses all prior files).
+        if best.as_ref().is_none_or(|b| !b.listed || outcome.listed) {
+            best = Some(outcome);
         }
-    };
-
-    let mut outcome = SyncOutcome {
-        dir: dir.clone(),
-        files: BTreeMap::new(),
-        missing: Vec::new(),
-        listed: false,
-    };
-    let mut expected: Vec<String> = Vec::new();
-    let mut received: Vec<String> = Vec::new();
-
-    net.send(client, server, RsyncRequest::List { dir: dir.clone() }.to_bytes());
-
-    while let Some(occ) = net.step() {
-        let delivery = match occ {
-            Occurrence::Delivered(d) => d,
-            Occurrence::Dropped { .. } | Occurrence::Timer { .. } => continue,
-        };
-        if delivery.to == client {
-            // A response frame for us.
-            let Ok(resp) = RsyncResponse::from_bytes(&delivery.payload) else {
-                // Frame corrupted beyond parsing: a torn session; the
-                // file (unknown which) never arrives. Handled below via
-                // the expected/received diff.
-                continue;
-            };
-            match resp {
-                RsyncResponse::Listing { entries, .. } => {
-                    outcome.listed = true;
-                    for (name, _digest) in entries {
-                        expected.push(name.clone());
-                        net.send(
-                            client,
-                            server,
-                            RsyncRequest::Get { dir: dir.clone(), name }.to_bytes(),
-                        );
-                    }
-                }
-                RsyncResponse::File { name, bytes, .. } => {
-                    received.push(name.clone());
-                    outcome.files.insert(name, bytes);
-                }
-                RsyncResponse::NotFound { name, .. } => {
-                    if name.is_none() {
-                        // Directory absent: an empty (but reachable)
-                        // publication point.
-                        outcome.listed = true;
-                    }
+        if done {
+            break;
+        }
+        if attempt < attempts && policy.backoff > 0 {
+            let delay = policy.backoff << (attempt - 1);
+            net.set_timer(client, delay, BACKOFF_TOKEN);
+            while let Some(occ) = net.step() {
+                if matches!(occ, Occurrence::Timer { node, token }
+                    if node == client && token == BACKOFF_TOKEN)
+                {
+                    break;
                 }
             }
-        } else if delivery.to == server || repos.get(delivery.to).is_some() {
-            // A request frame for a repository.
-            if let Ok(req) = RsyncRequest::from_bytes(&delivery.payload) {
-                let resp = repos.answer(delivery.to, &req);
-                net.send(delivery.to, delivery.from, resp.to_bytes());
-            }
-            // An unparseable request is a torn session: no response.
         }
     }
-
-    outcome.missing = expected.into_iter().filter(|n| !received.contains(n)).collect();
-    outcome
+    let outcome = best.expect("at least one attempt runs");
+    for name in outcome.files.keys() {
+        report.fates.insert(name.clone(), FileFate::Intact);
+    }
+    for name in &outcome.missing {
+        report.fates.insert(name.clone(), FileFate::Missing);
+    }
+    for name in &outcome.corrupted {
+        report.fates.insert(name.clone(), FileFate::Corrupted);
+    }
+    report.complete = outcome.complete();
+    (outcome, report)
 }
 
 #[cfg(test)]
@@ -226,7 +479,7 @@ mod tests {
         let mut repos = RepoRegistry::new();
         let server = repos.create(&mut net, "rpki.sprint.example");
         let dir = RepoUri::new("rpki.sprint.example", &["repo"]);
-        let repo = repos.get_mut(server);
+        let repo = repos.get_mut(server).unwrap();
         repo.publish_raw(&dir, "a.roa", vec![1, 2, 3]);
         repo.publish_raw(&dir, "b.cer", vec![4, 5]);
         (net, repos, client, server, dir)
@@ -290,17 +543,30 @@ mod tests {
     #[test]
     fn corrupted_file_bytes_are_delivered_as_is() {
         let (mut net, repos, client, server, dir) = world();
-        // Corrupt the first *file* frame, not the listing. The response
-        // frame still parses (the flipped byte is the leading tag... so
-        // it may not parse; either way the file must not arrive intact).
+        // Corrupt the first *file* frame (frame 2; the listing is
+        // frame 1) deep in the payload: the File frame ends with the
+        // length-prefixed content, so a clamped large offset flips a
+        // content byte and the frame still parses. The digest check
+        // must classify it instead of accepting the bad bytes.
+        net.faults.corrupt_nth_at(server, client, 2, usize::MAX);
+        let out = sync_dir(&mut net, &repos, client, &dir);
+        assert!(out.listed);
+        assert_eq!(out.corrupted, vec!["a.roa".to_owned()], "digest mismatch must be classified");
+        assert!(!out.files.contains_key("a.roa"), "corrupted bytes must not enter files");
+        assert!(out.missing.is_empty(), "corrupted is distinct from missing");
+        assert!(!out.complete());
+        assert!(out.files.contains_key("b.cer"));
+    }
+
+    #[test]
+    fn torn_file_frame_is_missing_not_corrupted() {
+        let (mut net, repos, client, server, dir) = world();
+        // Byte 0 is the frame tag: the frame fails to decode entirely.
         net.faults.corrupt_nth(server, client, 2);
         let out = sync_dir(&mut net, &repos, client, &dir);
         assert!(out.listed);
-        let intact = out.files.get("a.roa").map(|b| b == &vec![1, 2, 3]).unwrap_or(false);
-        assert!(!intact, "corrupted file must not arrive intact");
-        // The session as a whole is not complete-and-intact: either the
-        // frame failed to decode (missing) or the bytes differ.
-        assert!(!out.complete() || out.files["a.roa"] != vec![1, 2, 3]);
+        assert_eq!(out.missing, vec!["a.roa".to_owned()]);
+        assert!(out.corrupted.is_empty());
     }
 
     #[test]
@@ -335,5 +601,151 @@ mod tests {
         assert_eq!(repos.node_of("rpki.sprint.example"), Some(server));
         assert_eq!(repos.node_of("rpki.other.example"), None);
         assert_eq!(repos.by_host("rpki.sprint.example").unwrap().node(), server);
+    }
+
+    #[test]
+    fn get_mut_returns_none_for_unknown_node() {
+        let (mut net, mut repos, _, server, _) = world();
+        let stranger = net.add_node("not-a-repo");
+        assert!(repos.get_mut(server).is_some());
+        assert!(repos.get_mut(stranger).is_none());
+    }
+
+    #[test]
+    fn retry_refetches_only_what_failed() {
+        let (mut net, repos, client, server, dir) = world();
+        // Attempt 1 loses the a.roa response; attempt 2 must reuse the
+        // verified b.cer and send a single GET for a.roa.
+        net.faults.drop_nth(server, client, 2);
+        let policy = SyncPolicy { attempts: 2, backoff: 30, deadline: Some(300) };
+        let (out, report) = sync_dir_with_policy(&mut net, &repos, client, &dir, &policy);
+        assert!(out.complete());
+        assert_eq!(out.files["a.roa"], vec![1, 2, 3]);
+        assert_eq!(report.attempts.len(), 2);
+        assert!(!report.attempts[0].listed || report.attempts[0].missing == 1);
+        assert_eq!(report.attempts[1].intact, 2);
+        assert!(report.complete);
+        assert_eq!(report.fates["a.roa"], FileFate::Intact);
+        // Attempt 2 sent LIST + one GET (b.cer reused): 2 client frames.
+        let gets_attempt2 = report.attempts[1].intact - 1; // reused files need no GET
+        assert_eq!(gets_attempt2, 1);
+    }
+
+    #[test]
+    fn successful_first_attempt_skips_backoff() {
+        let (mut net, repos, client, _, dir) = world();
+        let policy = SyncPolicy::default();
+        let (out, report) = sync_dir_with_policy(&mut net, &repos, client, &dir, &policy);
+        assert!(out.complete());
+        assert_eq!(report.attempts.len(), 1);
+        assert!(!report.attempts[0].deadline_hit);
+        // No deadline or backoff timers left behind.
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn backoff_doubles_deterministically() {
+        let (mut net, repos, client, server, dir) = world();
+        net.faults.partition(client, server);
+        let policy = SyncPolicy { attempts: 3, backoff: 30, deadline: Some(300) };
+        let (out, report) = sync_dir_with_policy(&mut net, &repos, client, &dir, &policy);
+        assert!(!out.listed);
+        assert_eq!(report.attempts.len(), 3);
+        // Gap between attempts: 30 then 60 simulated seconds.
+        let gap1 = report.attempts[1].started_at - report.attempts[0].finished_at;
+        let gap2 = report.attempts[2].started_at - report.attempts[1].finished_at;
+        assert_eq!(gap1, 30);
+        assert_eq!(gap2, 60);
+    }
+
+    #[test]
+    fn deadline_aborts_stalled_session() {
+        let (mut net, repos, client, server, dir) = world();
+        // A Stalloris-style slow serve: responses held for an hour.
+        net.faults.set_stall(server, client, 3600);
+        let policy = SyncPolicy { attempts: 1, backoff: 0, deadline: Some(300) };
+        let start = net.now();
+        let (out, report) = sync_dir_with_policy(&mut net, &repos, client, &dir, &policy);
+        assert!(!out.listed);
+        assert!(report.attempts[0].deadline_hit);
+        // The client walked away at the deadline, not after the stall.
+        assert_eq!(net.now() - start, 300);
+        // The torn session's in-flight frames were flushed.
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn listed_outcome_survives_later_unreachable_attempt() {
+        let (mut net, repos, client, server, dir) = world();
+        // Attempt 1: partial (one file lost). Attempts 2–3: repository
+        // down entirely. The partial listing must win over "absent".
+        net.faults.drop_nth(server, client, 2);
+        net.faults.drop_nth(server, client, 3 + 1); // attempt 2's listing
+        net.faults.drop_nth(server, client, 3 + 2); // attempt 3's listing
+        let policy = SyncPolicy { attempts: 3, backoff: 10, deadline: Some(300) };
+        let (out, _) = sync_dir_with_policy(&mut net, &repos, client, &dir, &policy);
+        assert!(out.listed, "a listed outcome must not be displaced by a later failure");
+        assert!(out.files.contains_key("b.cer"));
+    }
+
+    #[test]
+    fn node_down_behaves_like_partition_for_sync() {
+        let run = |down: bool| {
+            let (mut net, repos, client, server, dir) = world();
+            if down {
+                net.faults.set_down(server, true);
+            } else {
+                net.faults.partition(client, server);
+            }
+            sync_dir(&mut net, &repos, client, &dir)
+        };
+        let downed = run(true);
+        let partitioned = run(false);
+        assert!(!downed.listed && downed.files.is_empty());
+        assert_eq!(downed, partitioned, "down and partitioned must be indistinguishable");
+    }
+
+    #[test]
+    fn probabilistic_corruption_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut net = Network::new(seed);
+            let client = net.add_node("relying-party");
+            let mut repos = RepoRegistry::new();
+            let server = repos.create(&mut net, "h");
+            let dir = RepoUri::new("h", &["repo"]);
+            for i in 0..16u8 {
+                repos.get_mut(server).unwrap().publish_raw(&dir, &format!("f{i:02}"), vec![i; 8]);
+            }
+            net.faults.set_corruption(server, client, 0.4);
+            let out = sync_dir(&mut net, &repos, client, &dir);
+            (out.listed, out.files.keys().cloned().collect::<Vec<_>>(), out.missing, out.corrupted)
+        };
+        let outcomes: Vec<_> = (0..16).map(run).collect();
+        let replay: Vec<_> = (0..16).map(run).collect();
+        assert_eq!(outcomes, replay, "same seed must reproduce the same fault pattern");
+        assert!(outcomes.windows(2).any(|w| w[0] != w[1]), "seeds must diverge");
+        // At a 40% corruption rate some session must both obtain the
+        // listing and lose files to torn frames or digest mismatches.
+        assert!(outcomes.iter().any(|(listed, files, missing, corrupted)| *listed
+            && files.len() < 16
+            && (!missing.is_empty() || !corrupted.is_empty())));
+    }
+
+    #[test]
+    fn probabilistic_loss_rate_is_seeded_for_sync() {
+        let run = |seed: u64| {
+            let mut net = Network::new(seed);
+            let client = net.add_node("relying-party");
+            let mut repos = RepoRegistry::new();
+            let server = repos.create(&mut net, "h");
+            let dir = RepoUri::new("h", &["repo"]);
+            for i in 0..16u8 {
+                repos.get_mut(server).unwrap().publish_raw(&dir, &format!("f{i:02}"), vec![i]);
+            }
+            net.faults.set_loss(server, client, 0.5);
+            let out = sync_dir(&mut net, &repos, client, &dir);
+            (out.listed, out.missing)
+        };
+        assert_eq!(run(3), run(3));
     }
 }

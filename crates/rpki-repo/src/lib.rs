@@ -27,6 +27,9 @@ pub mod proto;
 pub mod store;
 
 pub use cache::{sync_dir_caching, sync_dir_incremental, IncrementalStats, SyncCache};
-pub use client::{sync_dir, RepoRegistry, SyncOutcome};
+pub use client::{
+    sync_dir, sync_dir_with_policy, AttemptReport, FileFate, Freshness, RepoRegistry, SyncOutcome,
+    SyncPolicy, SyncReport,
+};
 pub use proto::{RsyncRequest, RsyncResponse};
 pub use store::Repository;

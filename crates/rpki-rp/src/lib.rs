@@ -23,14 +23,16 @@
 #![warn(missing_docs)]
 
 pub mod ov;
+pub mod resilience;
 pub mod rtr;
 pub mod source;
 pub mod validation;
 pub mod vrp;
 
 pub use ov::{Route, RouteValidity};
+pub use resilience::{FetchHealth, ResilienceConfig, ResilientState};
 pub use rtr::{ClientAction, Delta, RtrClient, RtrPdu, RtrServer};
-pub use source::{DirectSource, NetworkSource, ObjectSource};
+pub use source::{DirectSource, NetworkSource, ObjectSource, ResilientSource};
 pub use validation::{
     Diagnostic, IncompletePolicy, Issue, OverclaimPolicy, ValidationConfig, ValidationRun,
     Validator, VrpRecord,

@@ -1,0 +1,353 @@
+//! Last-good snapshot fallback and repository health tracking.
+//!
+//! Production relying parties survive transient repository failures by
+//! serving the last successfully validated copy of a publication point
+//! (routinator's "fallback to cached data", within limits). That is a
+//! *transport* defense: it bridges unreachability and corruption, but
+//! deliberately does **not** bridge authority-side removals — a sync
+//! that completes and simply lacks a file updates the snapshot, so a
+//! stealthy withdrawal propagates immediately. Detecting *that* is
+//! Suspenders' job (`rpki-core`'s hold-down layer); the two defenses
+//! compose, and keeping them distinct is the point of the
+//! `ablation_resilience` experiment.
+//!
+//! [`ResilientSource`] wraps any [`ObjectSource`]:
+//!
+//! - a **complete, digest-intact** sync refreshes the per-directory
+//!   snapshot and resets the host's [`FetchHealth`];
+//! - an **incomplete** sync (unreachable, missing or corrupted files)
+//!   falls back to the snapshot while it is younger than
+//!   [`ResilienceConfig::max_stale`], marking the outcome
+//!   [`Freshness::Stale`];
+//! - consecutive fully failed sessions open a per-host circuit breaker:
+//!   for [`ResilienceConfig::cooldown`] seconds the wrapped source is
+//!   not consulted at all, so a dead repository stops burning retry
+//!   budget every validation run (the Stalloris scenario: each stalled
+//!   session costs its full deadline).
+//!
+//! All ages and cool-downs are measured on the simulated clock exposed
+//! by [`ObjectSource::now`]; state lives outside the source so it
+//! persists across validation runs (sources borrow the network and are
+//! rebuilt every run).
+
+use std::collections::BTreeMap;
+
+use rpki_objects::RepoUri;
+use rpki_repo::{Freshness, SyncOutcome};
+use serde::Serialize;
+
+use crate::source::ObjectSource;
+
+/// Knobs of the resilience layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ResilienceConfig {
+    /// Maximum snapshot age (seconds) still served on fallback. Past
+    /// this budget the relying party prefers "no data" over data old
+    /// enough to hide a legitimate change — the same trade-off as a
+    /// manifest's `next_update`.
+    pub max_stale: u64,
+    /// Consecutive fully failed sessions (no listing) before the
+    /// host's circuit opens.
+    pub failure_threshold: u32,
+    /// Seconds the circuit stays open; while open, the wrapped source
+    /// is not consulted for that host.
+    pub cooldown: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig { max_stale: 86_400, failure_threshold: 3, cooldown: 3_600 }
+    }
+}
+
+/// Per-host fetch health: the circuit-breaker bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FetchHealth {
+    /// Sessions in a row that ended without a listing.
+    pub consecutive_failures: u32,
+    /// If set, the circuit is open until this simulated time.
+    pub cooling_until: Option<u64>,
+}
+
+/// One directory's last-good contents.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    files: BTreeMap<String, Vec<u8>>,
+    taken_at: u64,
+}
+
+/// Persistent state of the resilience layer: snapshots per directory,
+/// health per host. Owned by the experiment/relying party and lent to a
+/// fresh [`ResilientSource`] each validation run.
+#[derive(Debug, Default)]
+pub struct ResilientState {
+    config: ResilienceConfig,
+    snapshots: BTreeMap<String, Snapshot>,
+    health: BTreeMap<String, FetchHealth>,
+}
+
+impl ResilientState {
+    /// Fresh state under `config`.
+    pub fn new(config: ResilienceConfig) -> Self {
+        ResilientState { config, ..ResilientState::default() }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> ResilienceConfig {
+        self.config
+    }
+
+    /// The health record of `host`, if any session has targeted it.
+    pub fn health(&self, host: &str) -> Option<FetchHealth> {
+        self.health.get(host).copied()
+    }
+
+    /// Age of the stored snapshot for `dir` at time `now`, if one
+    /// exists.
+    pub fn snapshot_age(&self, dir: &RepoUri, now: u64) -> Option<u64> {
+        self.snapshots.get(&dir.to_string()).map(|s| now.saturating_sub(s.taken_at))
+    }
+
+    /// Number of directories with a stored snapshot.
+    pub fn snapshot_count(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    fn circuit_open(&self, host: &str, now: u64) -> bool {
+        self.health.get(host).and_then(|h| h.cooling_until).is_some_and(|until| now < until)
+    }
+
+    fn record_session(&mut self, host: &str, listed: bool, now: u64) {
+        let health = self.health.entry(host.to_owned()).or_default();
+        if listed {
+            *health = FetchHealth::default();
+        } else {
+            health.consecutive_failures += 1;
+            if health.consecutive_failures >= self.config.failure_threshold {
+                health.cooling_until = Some(now + self.config.cooldown);
+            }
+        }
+    }
+}
+
+/// An [`ObjectSource`] adapter adding snapshot fallback and circuit
+/// breaking around `inner`. See the module docs for semantics.
+pub struct ResilientSource<'s, S> {
+    inner: S,
+    state: &'s mut ResilientState,
+}
+
+impl<'s, S: ObjectSource> ResilientSource<'s, S> {
+    /// Wraps `inner`, reading and updating `state`.
+    pub fn new(inner: S, state: &'s mut ResilientState) -> Self {
+        ResilientSource { inner, state }
+    }
+
+    /// The wrapped source (e.g. to read collected sync reports).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ObjectSource> ObjectSource for ResilientSource<'_, S> {
+    fn load_dir(&mut self, dir: &RepoUri) -> SyncOutcome {
+        let now = self.inner.now();
+        let host = dir.host().to_owned();
+        let outcome = if self.state.circuit_open(&host, now) {
+            // Open circuit: don't touch the network at all.
+            SyncOutcome::unreachable(dir.clone())
+        } else {
+            let outcome = self.inner.load_dir(dir);
+            self.state.record_session(&host, outcome.listed, now);
+            outcome
+        };
+
+        if outcome.complete() {
+            self.state
+                .snapshots
+                .insert(dir.to_string(), Snapshot { files: outcome.files.clone(), taken_at: now });
+            return outcome;
+        }
+
+        // Incomplete: serve the last good copy while within budget.
+        if let Some(snapshot) = self.state.snapshots.get(&dir.to_string()) {
+            let age = now.saturating_sub(snapshot.taken_at);
+            if age <= self.state.config.max_stale {
+                return SyncOutcome {
+                    files: snapshot.files.clone(),
+                    listed: true,
+                    freshness: Freshness::Stale { age },
+                    ..SyncOutcome::unreachable(dir.clone())
+                };
+            }
+        }
+        outcome
+    }
+
+    fn now(&self) -> u64 {
+        self.inner.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scriptable source: serves `files` when `up`, tracks calls.
+    struct FakeSource {
+        now: u64,
+        up: bool,
+        files: BTreeMap<String, Vec<u8>>,
+        calls: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+
+    impl FakeSource {
+        fn new(now: u64, up: bool) -> (Self, std::rc::Rc<std::cell::Cell<u32>>) {
+            let calls = std::rc::Rc::new(std::cell::Cell::new(0));
+            let mut files = BTreeMap::new();
+            files.insert("a.roa".to_owned(), vec![1, 2, 3]);
+            (FakeSource { now, up, files, calls: calls.clone() }, calls)
+        }
+    }
+
+    impl ObjectSource for FakeSource {
+        fn load_dir(&mut self, dir: &RepoUri) -> SyncOutcome {
+            self.calls.set(self.calls.get() + 1);
+            if self.up {
+                SyncOutcome {
+                    files: self.files.clone(),
+                    listed: true,
+                    freshness: Freshness::Fresh,
+                    ..SyncOutcome::unreachable(dir.clone())
+                }
+            } else {
+                SyncOutcome::unreachable(dir.clone())
+            }
+        }
+
+        fn now(&self) -> u64 {
+            self.now
+        }
+    }
+
+    fn dir() -> RepoUri {
+        RepoUri::new("h", &["repo"])
+    }
+
+    #[test]
+    fn complete_sync_refreshes_snapshot_and_health() {
+        let mut state = ResilientState::default();
+        let (inner, _) = FakeSource::new(100, true);
+        let mut src = ResilientSource::new(inner, &mut state);
+        let out = src.load_dir(&dir());
+        assert!(out.complete());
+        assert_eq!(out.freshness, Freshness::Fresh);
+        assert_eq!(state.snapshot_count(), 1);
+        assert_eq!(state.snapshot_age(&dir(), 150), Some(50));
+        assert_eq!(state.health("h").unwrap(), FetchHealth::default());
+    }
+
+    #[test]
+    fn fallback_serves_stale_within_budget() {
+        let mut state = ResilientState::new(ResilienceConfig {
+            max_stale: 1_000,
+            ..ResilienceConfig::default()
+        });
+        let (good, _) = FakeSource::new(100, true);
+        ResilientSource::new(good, &mut state).load_dir(&dir());
+        // Repository dies; 500 s later the snapshot still serves.
+        let (bad, _) = FakeSource::new(600, false);
+        let out = ResilientSource::new(bad, &mut state).load_dir(&dir());
+        assert!(out.listed);
+        assert_eq!(out.files["a.roa"], vec![1, 2, 3]);
+        assert_eq!(out.freshness, Freshness::Stale { age: 500 });
+    }
+
+    #[test]
+    fn fallback_expires_past_the_staleness_budget() {
+        let mut state = ResilientState::new(ResilienceConfig {
+            max_stale: 1_000,
+            ..ResilienceConfig::default()
+        });
+        let (good, _) = FakeSource::new(100, true);
+        ResilientSource::new(good, &mut state).load_dir(&dir());
+        let (bad, _) = FakeSource::new(2_000, false);
+        let out = ResilientSource::new(bad, &mut state).load_dir(&dir());
+        assert!(!out.listed);
+        assert_eq!(out.freshness, Freshness::Absent);
+    }
+
+    #[test]
+    fn circuit_opens_after_threshold_and_skips_inner() {
+        let mut state = ResilientState::new(ResilienceConfig {
+            failure_threshold: 2,
+            cooldown: 1_000,
+            ..ResilienceConfig::default()
+        });
+        for t in [0, 10] {
+            let (bad, calls) = FakeSource::new(t, false);
+            ResilientSource::new(bad, &mut state).load_dir(&dir());
+            assert_eq!(calls.get(), 1);
+        }
+        assert_eq!(state.health("h").unwrap().consecutive_failures, 2);
+        assert_eq!(state.health("h").unwrap().cooling_until, Some(1_010));
+        // While cooling, the inner source must not be consulted.
+        let (bad, calls) = FakeSource::new(500, false);
+        ResilientSource::new(bad, &mut state).load_dir(&dir());
+        assert_eq!(calls.get(), 0);
+        // After cool-down the next session probes again — and a
+        // recovered repository resets health.
+        let (good, calls) = FakeSource::new(1_500, true);
+        let out = ResilientSource::new(good, &mut state).load_dir(&dir());
+        assert_eq!(calls.get(), 1);
+        assert!(out.complete());
+        assert_eq!(state.health("h").unwrap(), FetchHealth::default());
+    }
+
+    #[test]
+    fn completed_sync_with_deletion_updates_snapshot() {
+        // A complete listing that lacks a previously seen file is an
+        // authority-side change, not a transport fault: the snapshot
+        // follows it. Bridging such removals is Suspenders' job.
+        let mut state = ResilientState::default();
+        let (good, _) = FakeSource::new(0, true);
+        ResilientSource::new(good, &mut state).load_dir(&dir());
+        let (mut fewer, _) = FakeSource::new(10, true);
+        fewer.files.clear();
+        let out = ResilientSource::new(fewer, &mut state).load_dir(&dir());
+        assert!(out.complete());
+        assert!(out.files.is_empty());
+        // The snapshot now reflects the deletion.
+        let (bad, _) = FakeSource::new(20, false);
+        let out = ResilientSource::new(bad, &mut state).load_dir(&dir());
+        assert!(out.listed);
+        assert!(out.files.is_empty(), "stale cache must not resurrect deleted files");
+    }
+
+    #[test]
+    fn partial_listed_outcome_prefers_complete_snapshot() {
+        let mut state = ResilientState::default();
+        let (good, _) = FakeSource::new(0, true);
+        ResilientSource::new(good, &mut state).load_dir(&dir());
+        // Listed but incomplete (a file went missing in flight).
+        struct Partial;
+        impl ObjectSource for Partial {
+            fn load_dir(&mut self, dir: &RepoUri) -> SyncOutcome {
+                SyncOutcome {
+                    missing: vec!["a.roa".to_owned()],
+                    listed: true,
+                    freshness: Freshness::Fresh,
+                    ..SyncOutcome::unreachable(dir.clone())
+                }
+            }
+            fn now(&self) -> u64 {
+                50
+            }
+        }
+        let out = ResilientSource::new(Partial, &mut state).load_dir(&dir());
+        assert_eq!(out.freshness, Freshness::Stale { age: 50 });
+        assert_eq!(out.files["a.roa"], vec![1, 2, 3]);
+        // A listed (even partial) session keeps the circuit closed.
+        assert_eq!(state.health("h").unwrap(), FetchHealth::default());
+    }
+}

@@ -2,24 +2,39 @@
 //!
 //! The validator doesn't care *how* bytes arrive — only which bytes do.
 //! [`ObjectSource`] captures that: given a publication-point directory,
-//! return whatever a sync produced. Two implementations:
+//! return whatever a sync produced. Three implementations:
 //!
 //! - [`NetworkSource`] — real simulated retrieval over `netsim`,
 //!   subject to partitions, loss, corruption, and the BGP reachability
-//!   oracle. This is the one experiments use.
+//!   oracle. This is the one experiments use. Optionally retries under
+//!   a [`SyncPolicy`].
 //! - [`DirectSource`] — reads repository state directly (a "perfect
 //!   network"), isolating validation logic from transport effects.
+//! - [`ResilientSource`] — wraps any other source with last-good
+//!   snapshot fallback and per-repository circuit breaking (see
+//!   [`crate::resilience`]).
 
 use std::collections::BTreeMap;
 
 use netsim::{Network, NodeId};
 use rpki_objects::RepoUri;
-use rpki_repo::{sync_dir, RepoRegistry, SyncOutcome};
+use rpki_repo::{
+    sync_dir, sync_dir_with_policy, RepoRegistry, SyncOutcome, SyncPolicy, SyncReport,
+};
+
+pub use crate::resilience::ResilientSource;
 
 /// Supplies publication-point contents to the validator.
 pub trait ObjectSource {
     /// Syncs one directory, returning whatever arrived.
     fn load_dir(&mut self, dir: &RepoUri) -> SyncOutcome;
+
+    /// The source's notion of the current simulated time, in seconds.
+    /// Sources without a clock (e.g. [`DirectSource`]) report 0; the
+    /// resilience layer needs a real clock to age snapshots.
+    fn now(&self) -> u64 {
+        0
+    }
 }
 
 /// Retrieval over the simulated network.
@@ -27,18 +42,49 @@ pub struct NetworkSource<'a> {
     net: &'a mut Network,
     repos: &'a RepoRegistry,
     client: NodeId,
+    policy: Option<SyncPolicy>,
+    reports: Vec<(String, SyncReport)>,
 }
 
 impl<'a> NetworkSource<'a> {
-    /// A source fetching from `client`'s vantage point.
+    /// A source fetching from `client`'s vantage point, one bare
+    /// session per directory (no retries).
     pub fn new(net: &'a mut Network, repos: &'a RepoRegistry, client: NodeId) -> Self {
-        NetworkSource { net, repos, client }
+        NetworkSource { net, repos, client, policy: None, reports: Vec::new() }
+    }
+
+    /// A source that retries each directory under `policy`.
+    pub fn with_policy(
+        net: &'a mut Network,
+        repos: &'a RepoRegistry,
+        client: NodeId,
+        policy: SyncPolicy,
+    ) -> Self {
+        NetworkSource { net, repos, client, policy: Some(policy), reports: Vec::new() }
+    }
+
+    /// Per-directory [`SyncReport`]s collected so far (retrying sources
+    /// only; a bare source records nothing).
+    pub fn reports(&self) -> &[(String, SyncReport)] {
+        &self.reports
     }
 }
 
 impl ObjectSource for NetworkSource<'_> {
     fn load_dir(&mut self, dir: &RepoUri) -> SyncOutcome {
-        sync_dir(self.net, self.repos, self.client, dir)
+        match self.policy {
+            None => sync_dir(self.net, self.repos, self.client, dir),
+            Some(policy) => {
+                let (outcome, report) =
+                    sync_dir_with_policy(self.net, self.repos, self.client, dir, &policy);
+                self.reports.push((dir.to_string(), report));
+                outcome
+            }
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.net.now()
     }
 }
 
@@ -64,14 +110,14 @@ impl ObjectSource for DirectSource<'_> {
                         files.insert(name, bytes.to_vec());
                     }
                 }
-                SyncOutcome { dir: dir.clone(), files, missing: Vec::new(), listed: true }
+                SyncOutcome {
+                    files,
+                    listed: true,
+                    freshness: rpki_repo::Freshness::Fresh,
+                    ..SyncOutcome::unreachable(dir.clone())
+                }
             }
-            None => SyncOutcome {
-                dir: dir.clone(),
-                files: BTreeMap::new(),
-                missing: Vec::new(),
-                listed: false,
-            },
+            None => SyncOutcome::unreachable(dir.clone()),
         }
     }
 }
@@ -86,7 +132,7 @@ mod tests {
         let mut repos = RepoRegistry::new();
         let node = repos.create(&mut net, "h");
         let dir = RepoUri::new("h", &["repo"]);
-        repos.get_mut(node).publish_raw(&dir, "a", vec![1]);
+        repos.get_mut(node).unwrap().publish_raw(&dir, "a", vec![1]);
         let mut src = DirectSource::new(&repos);
         let out = src.load_dir(&dir);
         assert!(out.listed);
@@ -103,7 +149,7 @@ mod tests {
         let mut repos = RepoRegistry::new();
         let node = repos.create(&mut net, "h");
         let dir = RepoUri::new("h", &["repo"]);
-        repos.get_mut(node).publish_raw(&dir, "a", vec![1]);
+        repos.get_mut(node).unwrap().publish_raw(&dir, "a", vec![1]);
         net.faults.partition(client, node);
         let mut src = NetworkSource::new(&mut net, &repos, client);
         let out = src.load_dir(&dir);
@@ -112,5 +158,32 @@ mod tests {
         // partition — that contrast is the point.
         let mut direct = DirectSource::new(&repos);
         assert!(direct.load_dir(&dir).listed);
+    }
+
+    #[test]
+    fn policy_source_retries_and_reports() {
+        let mut net = Network::new(0);
+        let client = net.add_node("rp");
+        let mut repos = RepoRegistry::new();
+        let node = repos.create(&mut net, "h");
+        let dir = RepoUri::new("h", &["repo"]);
+        repos.get_mut(node).unwrap().publish_raw(&dir, "a", vec![1]);
+        // First file frame lost; the retry must recover it.
+        net.faults.drop_nth(node, client, 2);
+        let mut src = NetworkSource::with_policy(&mut net, &repos, client, SyncPolicy::default());
+        let out = src.load_dir(&dir);
+        assert!(out.complete());
+        assert_eq!(src.reports().len(), 1);
+        assert_eq!(src.reports()[0].1.attempts.len(), 2);
+    }
+
+    #[test]
+    fn network_source_exposes_simulated_clock() {
+        let mut net = Network::new(0);
+        let client = net.add_node("rp");
+        net.advance_to(777);
+        let repos = RepoRegistry::new();
+        let src = NetworkSource::new(&mut net, &repos, client);
+        assert_eq!(src.now(), 777);
     }
 }

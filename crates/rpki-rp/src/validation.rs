@@ -25,7 +25,7 @@ use std::collections::BTreeSet;
 
 use ipres::ResourceSet;
 use rpki_objects::{Decode, Moment, RepoUri, ResourceCert, RpkiObject, TrustAnchorLocator};
-use rpki_repo::SyncOutcome;
+use rpki_repo::{Freshness, SyncOutcome};
 use rpkisim_crypto::{sha256, KeyId};
 use serde::Serialize;
 
@@ -126,6 +126,10 @@ pub enum Issue {
     /// A file's bytes do not match the manifest hash (corruption, or a
     /// repository serving stale/tampered data).
     HashMismatch(String),
+    /// A file arrived from the transport with bytes failing the
+    /// *listing's* digest (in-flight corruption caught by the sync
+    /// layer before the manifest check ever ran).
+    CorruptedFile(String),
     /// A file failed to decode.
     DecodeFailed(String),
     /// An object's signature failed under its issuer's key.
@@ -215,6 +219,9 @@ pub struct ValidationRun {
     pub revocations: Vec<(KeyId, u64)>,
     /// Everything that went wrong or was noteworthy.
     pub diagnostics: Vec<Diagnostic>,
+    /// Data provenance per publication point processed: fresh from the
+    /// wire, served stale from a snapshot, or absent entirely.
+    pub freshness: Vec<(String, Freshness)>,
 }
 
 impl ValidationRun {
@@ -281,6 +288,7 @@ impl Validator {
         run.vrp_records.dedup();
         run.revocations.sort_unstable();
         run.revocations.dedup();
+        run.freshness.sort_unstable();
         run
     }
 
@@ -337,12 +345,16 @@ impl Validator {
         }
 
         let outcome: SyncOutcome = source.load_dir(&dir);
+        run.freshness.push((dir_s.clone(), outcome.freshness));
         if !outcome.listed {
             diag(run, Issue::UnreachableRepo);
             return;
         }
         for name in &outcome.missing {
             diag(run, Issue::MissingFile(name.clone()));
+        }
+        for name in &outcome.corrupted {
+            diag(run, Issue::CorruptedFile(name.clone()));
         }
 
         // --- Manifest ---

@@ -1,16 +1,23 @@
 //! Soak test: 300 simulated days of normal RPKI operations — daily
 //! publication refresh, ROA renewal before expiry, a key rollover —
-//! with one injected attack. Asserts that:
+//! with one injected attack and one month-long repository outage.
+//! Asserts that:
 //!
 //! - validity never degrades outside the injected attack window;
 //! - the monitor stays quiet through all the churn and flags the attack;
-//! - the Suspenders layer bridges the attack window entirely.
+//! - the Suspenders layer bridges the attack window entirely;
+//! - a resilient relying party fetching over the real (faultable)
+//!   network bridges the outage from its snapshot cache, without a
+//!   single spurious validity flip outside the two windows — and
+//!   without masking the attack, which is an authority-side removal
+//!   the stale cache must pass through.
 
 use rpki_attacks::{Monitor, MonitorSnapshot};
 use rpki_objects::{Moment, Span};
+use rpki_repo::{Freshness, SyncPolicy};
 use rpki_risk::fixtures::asn;
 use rpki_risk::{ModelRpki, SuspendersConfig, SuspendersState};
-use rpki_rp::{Route, RouteValidity};
+use rpki_rp::{ResilienceConfig, ResilientState, Route, RouteValidity};
 
 const DAY: u64 = 86_400;
 
@@ -32,10 +39,38 @@ fn three_hundred_days_of_operations() {
     let restore_day = 140u64;
     let mut withdrawn_file: Option<String> = None;
 
+    // The outage: Continental's repository host is down for a month,
+    // disjoint from the attack window and the day-200 key rollover.
+    let outage_start = 220u64;
+    let outage_end = 250u64;
+
+    // The resilient relying party fetches over the simulated network
+    // on the same weekly cadence, with a snapshot budget wide enough
+    // to bridge the outage (last good sync day 217 → ages peak ~28d).
+    let policy = SyncPolicy::default();
+    let mut resilient = ResilientState::new(ResilienceConfig {
+        max_stale: 35 * DAY,
+        failure_threshold: 3,
+        cooldown: DAY,
+    });
+
     let mut monitor_alarms: Vec<u64> = Vec::new();
 
     for d in 1..=300u64 {
         let now = day(d);
+        // Keep the network's clock on calendar time so snapshot ages
+        // and circuit cool-downs are measured in real simulated days.
+        w.net.advance_to(d * DAY);
+
+        // -- The outage window --
+        if d == outage_start {
+            let node = w.repos.node_of("rpki.continental.example").expect("exists");
+            w.net.faults.set_down(node, true);
+        }
+        if d == outage_end {
+            let node = w.repos.node_of("rpki.continental.example").expect("exists");
+            w.net.faults.set_down(node, false);
+        }
 
         // -- CA operations --
         // Renew ROAs within 90 days of expiry (monthly maintenance).
@@ -157,6 +192,43 @@ fn three_hundred_days_of_operations() {
                     ann.prefix,
                     ann.origin
                 );
+            }
+
+            // -- The resilient relying party, over the real network --
+            let net_run = w.validate_resilient(now + Span::hours(1), policy, &mut resilient);
+            let net_cache = net_run.vrp_cache();
+            let in_outage = (outage_start..outage_end).contains(&d);
+            let stale_continental = net_run.freshness.iter().any(|(dir, f)| {
+                dir.contains("continental") && matches!(f, Freshness::Stale { .. })
+            });
+            if in_outage {
+                // The snapshot cache bridges the outage: everything
+                // stays valid, served stale from the last good sync.
+                assert!(stale_continental, "day {d}: outage not bridged from snapshot");
+            } else {
+                // No spurious staleness outside the outage window.
+                assert!(!stale_continental, "day {d}: stale fallback outside the outage window");
+            }
+            for ann in &w.announcements {
+                let validity = net_cache.classify(Route::new(ann.prefix, ann.origin));
+                if in_attack_window && ann.prefix == victim_route.prefix {
+                    // The stale cache must NOT mask the withdrawal: the
+                    // resilient RP tracks the authority like the bare
+                    // one (holding on is Suspenders' job, above).
+                    assert_ne!(
+                        validity,
+                        RouteValidity::Valid,
+                        "day {d}: stale cache masked the attack"
+                    );
+                } else {
+                    assert_eq!(
+                        validity,
+                        RouteValidity::Valid,
+                        "day {d}: resilient RP flipped {} ← {}",
+                        ann.prefix,
+                        ann.origin
+                    );
+                }
             }
         }
     }

@@ -223,7 +223,7 @@ pub mod collection {
     use super::TestRng;
     use rand::Rng;
 
-    /// Accepted size arguments for [`vec`].
+    /// Accepted size arguments for [`fn@vec`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         start: usize,
