@@ -27,6 +27,7 @@ use std::collections::BTreeMap;
 
 use ipres::{Asn, ResourceSet};
 use rpki_objects::{Decode, Moment, RoaPrefix, RpkiObject};
+use rpki_obs::Recorder;
 use rpki_repo::RepoRegistry;
 use serde::Serialize;
 
@@ -82,6 +83,17 @@ pub enum ChangeKind {
     Modified,
 }
 
+impl ChangeKind {
+    /// A short machine-readable label for traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChangeKind::Added => "added",
+            ChangeKind::Removed => "removed",
+            ChangeKind::Modified => "modified",
+        }
+    }
+}
+
 /// What the monitor concluded about one change.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub enum Classification {
@@ -120,6 +132,19 @@ impl Classification {
                 | Classification::SuspiciousReissue { .. }
         )
     }
+
+    /// A short machine-readable label for traces and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Classification::RoutineRefresh => "routine_refresh",
+            Classification::Renewal => "renewal",
+            Classification::NewIssuance => "new_issuance",
+            Classification::RevokedRemoval => "revoked_removal",
+            Classification::StealthyRemoval => "stealthy_removal",
+            Classification::SuspectedWhack { .. } => "suspected_whack",
+            Classification::SuspiciousReissue { .. } => "suspicious_reissue",
+        }
+    }
 }
 
 /// One classified change.
@@ -139,6 +164,7 @@ pub struct MonitorEvent {
 #[derive(Debug, Default)]
 pub struct Monitor {
     last: Option<MonitorSnapshot>,
+    recorder: Recorder,
 }
 
 /// Content identity of a ROA: authorization semantics, not bytes.
@@ -154,9 +180,17 @@ impl Monitor {
         Monitor::default()
     }
 
+    /// Installs an observability recorder: every classified change is
+    /// counted by verdict, and suspicious verdicts additionally emit
+    /// `alarm` events. Disabled by default.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
     /// Ingests a snapshot; returns the classified diff against the
     /// previous one (empty on the first call).
     pub fn observe(&mut self, snap: MonitorSnapshot) -> Vec<MonitorEvent> {
+        let at = snap.when;
         let Some(old) = self.last.replace(snap) else {
             return Vec::new();
         };
@@ -237,6 +271,21 @@ impl Monitor {
                         old,
                     ),
                 });
+            }
+        }
+        if self.recorder.is_enabled() {
+            for event in &events {
+                self.recorder.count(&format!("monitor.{}", event.classification.label()), 1);
+                if event.classification.is_suspicious() {
+                    self.recorder.count("monitor.alarms", 1);
+                    self.recorder
+                        .event(at.0, "monitor", "alarm")
+                        .str("dir", &event.dir)
+                        .str("file", &event.file)
+                        .str("change", event.kind.label())
+                        .str("verdict", event.classification.label())
+                        .emit();
+                }
             }
         }
         events
@@ -489,6 +538,30 @@ mod tests {
         publish(&mut rig, Moment(2));
         let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(2)));
         assert!(events.iter().any(|e| e.classification == Classification::StealthyRemoval));
+    }
+
+    #[test]
+    fn recorder_counts_verdicts_and_emits_alarms() {
+        let mut rig = rig("m3r");
+        let roa = rig
+            .sprint
+            .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0))
+            .unwrap();
+        publish(&mut rig, Moment(1));
+        let rec = Recorder::new();
+        let mut mon = Monitor::new();
+        mon.set_recorder(rec.clone());
+        mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(1)));
+        rig.sprint.withdraw(&roa.file_name()).unwrap();
+        publish(&mut rig, Moment(2));
+        let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(2)));
+        let suspicious = events.iter().filter(|e| e.classification.is_suspicious()).count();
+        assert!(suspicious > 0);
+        assert_eq!(rec.metrics().counter("monitor.alarms"), suspicious as u64);
+        assert!(rec.metrics().counter("monitor.stealthy_removal") >= 1);
+        let alarms: Vec<_> = rec.events().into_iter().filter(|e| e.kind == "alarm").collect();
+        assert_eq!(alarms.len(), suspicious);
+        assert!(alarms.iter().all(|e| e.layer == "monitor" && e.at == 2));
     }
 
     #[test]

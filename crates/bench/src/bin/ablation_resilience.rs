@@ -14,8 +14,8 @@
 //! RP eventually gets; the stale cache refuses to bridge authority-side
 //! withdrawals — that separation is Suspenders' niche).
 
-use rpki_risk::{run_campaign, standard_campaigns, CampaignOutcome, RpTier};
-use rpki_risk_bench::{emit_json, Table};
+use rpki_risk::{run_campaign_traced, standard_campaigns, CampaignOutcome, RpTier};
+use rpki_risk_bench::{emit_json, trace_recorder, write_trace, Summary, SummaryTable};
 
 fn seed_arg() -> u64 {
     let args: Vec<String> = std::env::args().collect();
@@ -28,12 +28,14 @@ fn seed_arg() -> u64 {
 
 fn main() {
     let seed = seed_arg();
-    println!("Resilience ablation — seeded fault campaigns, four RP tiers (seed {seed})");
+    let recorder = trace_recorder();
+    let mut report =
+        Summary::new(&format!("Resilience ablation — seeded fault campaigns, seed {seed}"));
 
     let mut outcomes: Vec<CampaignOutcome> = Vec::new();
     for spec in standard_campaigns() {
-        let out = run_campaign(&spec, seed);
-        let mut table = Table::new(&[
+        let out = run_campaign_traced(&spec, seed, &recorder);
+        let mut table = SummaryTable::new(&[
             "tier",
             "VRP-rounds",
             "min VRPs",
@@ -53,7 +55,7 @@ fn main() {
                 t.totals.stale_dir_rounds.to_string(),
             ]);
         }
-        table.print(&format!("campaign: {} ({} rounds)", out.name, out.rounds));
+        report.table(&format!("campaign: {} ({} rounds)", out.name, out.rounds), table);
         outcomes.push(out);
     }
 
@@ -78,8 +80,17 @@ fn main() {
         "the withdrawal window separates Suspenders from the stale cache"
     );
 
-    println!("\nOK: bare < retrying < retrying+stale under corruption; stale cache");
-    println!("    bridges the takedown; only Suspenders bridges the withdrawal.");
+    report.note(
+        "OK: bare < retrying < retrying+stale under corruption; stale cache\n\
+         bridges the takedown; only Suspenders bridges the withdrawal.",
+    );
+    if recorder.is_enabled() {
+        report.metrics(&recorder.metrics());
+    }
+    report.print();
+    if let Some(path) = write_trace(&recorder) {
+        println!("\nwrote {} trace events to {path}", recorder.event_count());
+    }
 
     emit_json("ablation_resilience", &outcomes);
 }

@@ -14,7 +14,7 @@
 use rpki_attacks::{plan_whack, CaView};
 use rpki_objects::{Moment, Span};
 use rpki_risk::fixtures::asn;
-use rpki_risk::{ModelRpki, SuspendersConfig, SuspendersState};
+use rpki_risk::{ModelRpki, SuspendersConfig, SuspendersState, ValidationOptions};
 use rpki_risk_bench::{emit_json, Table};
 use rpki_rp::{Route, RouteValidity};
 use serde::Serialize;
@@ -91,10 +91,10 @@ fn main() {
     {
         let mut w = ModelRpki::build();
         let mut s = SuspendersState::new(SuspendersConfig::default());
-        s.ingest(&w.validate_network(Moment(2)), Moment(2));
+        s.ingest(&w.validate_with(ValidationOptions::at(Moment(2))), Moment(2));
         let node = w.repos.node_of("rpki.continental.example").unwrap();
         w.net.faults.set_down(node, true);
-        let run = w.validate_network(Moment(3));
+        let run = w.validate_with(ValidationOptions::at(Moment(3)));
         s.ingest(&run, Moment(3));
         let bare = run.vrp_cache().classify(victim_route());
         let fs = s.effective_cache().classify(victim_route());
@@ -106,7 +106,7 @@ fn main() {
         assert_eq!(fs, RouteValidity::Valid);
         // Recovery.
         w.net.faults.set_down(node, false);
-        let run = w.validate_network(Moment(4) + Span::hours(8));
+        let run = w.validate_with(ValidationOptions::at(Moment(4) + Span::hours(8)));
         let events = s.ingest(&run, Moment(4) + Span::hours(8));
         assert!(events.iter().any(|e| matches!(e, rpki_risk::SuspendersEvent::Recovered(_))));
     }

@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use bgp_sim::{propagate_with_stats, reference, RpkiPolicy};
-use rpki_risk_bench::{emit_json, scale_arg, Table};
+use rpki_risk_bench::{emit_json, scale_arg, Recorder, Summary, SummaryTable};
 use rpki_rp::{Vrp, VrpCache};
 use serde::Serialize;
 use topogen::{Config, SyntheticInternet};
@@ -37,6 +37,7 @@ struct Record {
     pairs_evaluated: usize,
     memo_hits: usize,
     memo_misses: usize,
+    peak_worklist: usize,
 }
 
 /// Minimum wall time of `iters` runs of `f` (after one warmup run).
@@ -55,9 +56,13 @@ fn time_min<F: FnMut()>(iters: usize, mut f: F) -> u128 {
 fn main() {
     // `--scale 0` would generate an empty world and a NaN speedup.
     let scale = scale_arg().max(1);
-    println!("Propagation engine benchmark (scale {scale})");
+    let mut report = Summary::new(&format!("Propagation engine benchmark (scale {scale})"));
 
     let sizes = [(15usize, 85usize), (40, 360), (80, 720)];
+    // Observability overhead probe: time the worklist engine with and
+    // without a disabled-recorder emit at the largest size, and assert
+    // the disabled path costs ≤5% (the crate's zero-cost contract).
+    let mut overhead: Option<(u128, u128)> = None;
     let mut records: Vec<Record> = Vec::new();
     for (transits, stubs) in sizes {
         let world = SyntheticInternet::generate(Config {
@@ -94,6 +99,16 @@ fn main() {
                     .expect("reference converges");
             });
 
+            if (transits, stubs) == sizes[sizes.len() - 1] && policy == RpkiPolicy::DropInvalid {
+                let disabled = Recorder::disabled();
+                let instrumented_ns = time_min(5, || {
+                    let (_, stats) = propagate_with_stats(&world.topology, &slice, policy, &cache)
+                        .expect("worklist converges");
+                    stats.emit(&disabled, 0);
+                });
+                overhead = Some((worklist_ns, instrumented_ns));
+            }
+
             records.push(Record {
                 ases,
                 prefixes: slice.len(),
@@ -107,11 +122,12 @@ fn main() {
                 pairs_evaluated: stats.pairs_evaluated,
                 memo_hits: stats.memo_hits,
                 memo_misses: stats.memo_misses,
+                peak_worklist: stats.peak_worklist,
             });
         }
     }
 
-    let mut out = Table::new(&[
+    let mut out = SummaryTable::new(&[
         "ASes",
         "policy",
         "worklist (ms)",
@@ -119,6 +135,7 @@ fn main() {
         "speedup",
         "rounds (wl/ref)",
         "memo hits",
+        "peak worklist",
     ]);
     for r in &records {
         out.row(&[
@@ -129,9 +146,10 @@ fn main() {
             format!("{:.1}x", r.speedup),
             format!("{}/{}", r.worklist_rounds, r.reference_rounds),
             format!("{}/{}", r.memo_hits, r.memo_hits + r.memo_misses),
+            r.peak_worklist.to_string(),
         ]);
     }
-    out.print("worklist vs reference");
+    report.table("worklist vs reference", out);
 
     let largest = records.iter().map(|r| r.ases).max().expect("records");
     let min_speedup_at_largest = records
@@ -139,22 +157,39 @@ fn main() {
         .filter(|r| r.ases == largest)
         .map(|r| r.speedup)
         .fold(f64::INFINITY, f64::min);
-    println!(
-        "\nminimum speedup at the largest size ({largest} ASes): {min_speedup_at_largest:.1}x"
+    let (plain_ns, instrumented_ns) = overhead.expect("largest size measured");
+    report.key_vals(
+        "targets",
+        &[
+            (
+                format!("minimum speedup at the largest size ({largest} ASes)"),
+                format!("{min_speedup_at_largest:.1}x"),
+            ),
+            (
+                "disabled-instrumentation overhead at the largest size".to_string(),
+                format!("{:.1}%", 100.0 * (instrumented_ns as f64 / plain_ns as f64 - 1.0)),
+            ),
+        ],
     );
     if cfg!(debug_assertions) {
-        println!("(debug build — speedup target not enforced; run with --release)");
+        report
+            .note("(debug build — speedup and overhead targets not enforced; run with --release)");
     } else {
         assert!(
             min_speedup_at_largest >= 5.0,
             "worklist engine regressed below the 5x target at {largest} ASes"
         );
-        println!("OK: >= 5x at the largest size.");
+        assert!(
+            (instrumented_ns as f64) <= (plain_ns as f64) * 1.05,
+            "disabled-mode instrumentation overhead above 5%: {instrumented_ns} vs {plain_ns} ns"
+        );
+        report.note("OK: >= 5x at the largest size; disabled-mode instrumentation <= 5%.");
     }
+    report.print();
 
     let json = serde_json::to_string(&records).expect("serialise records");
     std::fs::write("BENCH_propagation.json", format!("{json}\n"))
         .expect("write BENCH_propagation.json");
-    println!("wrote BENCH_propagation.json ({} records)", records.len());
+    println!("\nwrote BENCH_propagation.json ({} records)", records.len());
     emit_json("bench_propagation", &records);
 }

@@ -1,0 +1,61 @@
+//! Validates benchmark JSON exports against the committed schemas.
+//!
+//! With no arguments, checks every known `BENCH_*.json` export found in
+//! the current directory against its schema under `schemas/`. With two
+//! arguments (`schema_check DATA.json SCHEMA.json`), checks that one
+//! pair. Exits nonzero on the first violation, printing the failing
+//! path inside the document.
+
+use std::process::ExitCode;
+
+use rpki_risk_bench::schema;
+
+/// Known export → schema pairs, relative to the repository root.
+const KNOWN: &[(&str, &str)] =
+    &[("BENCH_propagation.json", "schemas/bench_propagation.schema.json")];
+
+fn check_pair(data_path: &str, schema_path: &str) -> Result<(), String> {
+    let data = std::fs::read_to_string(data_path)
+        .map_err(|e| format!("{data_path}: cannot read: {e:?}"))?;
+    let schema_text = std::fs::read_to_string(schema_path)
+        .map_err(|e| format!("{schema_path}: cannot read: {e:?}"))?;
+    let data = serde_json::from_str(&data).map_err(|e| format!("{data_path}: bad JSON: {e:?}"))?;
+    let schema_json = serde_json::from_str(&schema_text)
+        .map_err(|e| format!("{schema_path}: bad JSON: {e:?}"))?;
+    schema::check(&data, &schema_json).map_err(|e| format!("{data_path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pairs: Vec<(String, String)> = match args.as_slice() {
+        [] => KNOWN
+            .iter()
+            .filter(|(data, _)| std::path::Path::new(data).exists())
+            .map(|(d, s)| (d.to_string(), s.to_string()))
+            .collect(),
+        [data, schema_path] => vec![(data.clone(), schema_path.clone())],
+        _ => {
+            eprintln!("usage: schema_check [DATA.json SCHEMA.json]");
+            return ExitCode::FAILURE;
+        }
+    };
+    if pairs.is_empty() {
+        eprintln!("schema_check: no BENCH_*.json exports found in the current directory");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for (data, schema_path) in &pairs {
+        match check_pair(data, schema_path) {
+            Ok(()) => println!("ok: {data} matches {schema_path}"),
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -11,8 +11,8 @@ use bgp_sim::RpkiPolicy;
 use rpki_objects::Moment;
 use rpki_repo::SyncPolicy;
 use rpki_risk::fixtures::asn;
-use rpki_risk::{LoopbackWorld, ModelRpki};
-use rpki_risk_bench::{emit_json, Table};
+use rpki_risk::{LoopbackWorld, ModelRpki, ValidationOptions};
+use rpki_risk_bench::{emit_json, trace_recorder, write_trace, Summary, SummaryTable};
 use rpki_rp::{ResilienceConfig, ResilientState};
 use serde::Serialize;
 
@@ -24,23 +24,25 @@ struct Phase {
 }
 
 fn main() {
-    println!("Side Effect 7 — one corrupted fetch becomes a persistent failure\n");
+    let recorder = trace_recorder();
+    let mut report =
+        Summary::new("Side Effect 7 — one corrupted fetch becomes a persistent failure");
     let mut phases: Vec<Phase> = Vec::new();
 
     // Premises (Section 6): Figure 5 (right) validity; Continental
     // hosts its repository at 63.174.23.0/AS17054; drop-invalid RP.
     let mut w = ModelRpki::build();
+    w.net.set_recorder(recorder.clone());
     w.add_figure5_right_roa(Moment(2));
 
     // Phase 1 — a healthy sync over the network. A resilient relying
     // party would also warm its last-good snapshots here (used by
     // phase 5).
-    let healthy = w.validate_network(Moment(3));
-    println!("phase 1: healthy sync           → {} VRPs", healthy.vrps.len());
+    let healthy = w.validate_with(ValidationOptions::at(Moment(3)));
     phases.push(Phase { phase: "healthy", vrps: healthy.vrps.len(), continental_fetchable: true });
     let policy = SyncPolicy::default();
     let mut resilient = ResilientState::new(ResilienceConfig::default());
-    w.validate_resilient(Moment(3), policy, &mut resilient);
+    w.validate_with(ValidationOptions::at(Moment(3)).retry(policy).stale_cache(&mut resilient));
 
     // Phase 2 — the transient fault: corrupt ONE fetch from
     // Continental's repository (Side Effect 6's corrupted-object case).
@@ -48,11 +50,7 @@ fn main() {
     // Corrupt the whole session once (listing frame): the RP's next
     // sync sees nothing from Continental — its ROAs fall out of cache.
     w.net.faults.corrupt_nth(continental_node, w.rp_node, 1);
-    let faulted = w.validate_network(Moment(4));
-    println!(
-        "phase 2: one corrupted session  → {} VRPs (Continental's ROAs lost)",
-        faulted.vrps.len()
-    );
+    let faulted = w.validate_with(ValidationOptions::at(Moment(4)));
     assert!(faulted.vrps.len() < healthy.vrps.len());
     phases.push(Phase {
         phase: "transient fault",
@@ -77,11 +75,6 @@ fn main() {
         policy: RpkiPolicy::DropInvalid,
     };
     let stuck = world.run(&degraded, Moment(5));
-    println!(
-        "phase 3: fault cleared, loop run → {} VRPs, Continental fetchable: {}",
-        stuck.vrps.len(),
-        stuck.can_fetch("rpki.continental.example")
-    );
     assert!(!stuck.can_fetch("rpki.continental.example"), "the trap must hold");
     phases.push(Phase {
         phase: "fixed point (drop-invalid)",
@@ -94,11 +87,6 @@ fn main() {
     // procedures". One manual fix: temporarily depref instead of drop.
     let mut relaxed = LoopbackWorld { policy: RpkiPolicy::DeprefInvalid, ..world };
     let recovered = relaxed.run(&stuck.vrps, Moment(6));
-    println!(
-        "phase 4: manual recovery (temporary depref) → {} VRPs, Continental fetchable: {}",
-        recovered.vrps.len(),
-        recovered.can_fetch("rpki.continental.example")
-    );
     assert!(recovered.can_fetch("rpki.continental.example"));
     assert_eq!(recovered.vrps.len(), healthy.vrps.len());
     phases.push(Phase {
@@ -113,11 +101,6 @@ fn main() {
     // WITHOUT leaving drop-invalid. No manual procedure needed.
     let mut defended = LoopbackWorld { policy: RpkiPolicy::DropInvalid, ..relaxed };
     let bridged = defended.run_resilient(&degraded, Moment(7), policy, &mut resilient);
-    println!(
-        "phase 5: resilient RP (stale-cache fallback) → {} VRPs, Continental fetchable: {}",
-        bridged.vrps.len(),
-        bridged.can_fetch("rpki.continental.example")
-    );
     assert!(bridged.can_fetch("rpki.continental.example"), "the defense must break the trap");
     assert_eq!(bridged.vrps.len(), healthy.vrps.len());
     phases.push(Phase {
@@ -126,22 +109,33 @@ fn main() {
         continental_fetchable: true,
     });
 
-    let mut table = Table::new(&["phase", "VRPs in cache", "Continental repo fetchable"]);
+    let mut table = SummaryTable::new(&["phase", "VRPs in cache", "Continental repo fetchable"]);
     for p in &phases {
         table.row(&[p.phase.to_owned(), p.vrps.to_string(), p.continental_fetchable.to_string()]);
     }
-    table.print("Side Effect 7 timeline");
+    report.table("Side Effect 7 timeline", table);
     let mut work = stuck.propagation;
     work.absorb(recovered.propagation);
-    println!(
-        "work: {} BGP rounds, {} route updates, validity memo {}/{} hits across both loop runs",
-        work.rounds,
-        work.route_updates,
-        work.memo_hits,
-        work.memo_hits + work.memo_misses,
+    work.emit(&recorder, 8);
+    report.key_vals(
+        "work across both loop runs",
+        &[
+            ("BGP rounds", work.rounds.to_string()),
+            ("route updates", work.route_updates.to_string()),
+            ("memo hits", format!("{}/{}", work.memo_hits, work.memo_hits + work.memo_misses)),
+        ],
     );
-    println!("\nOK: a transient fault persisted until manual intervention (Section 6) —");
-    println!("    unless the RP's fetch pipeline bridges it automatically (phase 5).");
+    report.note(
+        "OK: a transient fault persisted until manual intervention (Section 6) —\n\
+         unless the RP's fetch pipeline bridges it automatically (phase 5).",
+    );
+    if recorder.is_enabled() {
+        report.metrics(&recorder.metrics());
+    }
+    report.print();
+    if let Some(path) = write_trace(&recorder) {
+        println!("\nwrote {} trace events to {path}", recorder.event_count());
+    }
 
     emit_json("se7_phases", &phases);
     emit_json("se7_convergence", &work);

@@ -5,65 +5,185 @@
 //! human-readable table to stdout and, with `--json`, a machine-
 //! readable record to stderr — EXPERIMENTS.md is built from these
 //! outputs.
+//!
+//! Rendering goes through the `rpki-obs` summary pipeline: [`Table`]
+//! is a thin wrapper over [`SummaryTable`], and the richer binaries
+//! build a full [`Summary`] document. With `--trace PATH` (or the
+//! `BENCH_TRACE` environment variable) a binary that supports tracing
+//! also writes its recorder's JSONL event trace to `PATH`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
 
-/// A minimal fixed-width table printer.
+pub use rpki_obs::{Recorder, Summary, SummaryTable};
+
+/// A minimal fixed-width table printer — a wrapper over
+/// [`SummaryTable`] keeping the historical `print(title)` shape.
 #[derive(Debug, Default)]
 pub struct Table {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
+    inner: SummaryTable,
 }
 
 impl Table {
     /// A table with the given column headers.
     pub fn new<S: Display>(header: &[S]) -> Self {
-        Table { header: header.iter().map(|h| h.to_string()).collect(), rows: Vec::new() }
+        Table { inner: SummaryTable::new(header) }
     }
 
     /// Appends a row (must match the header width).
     pub fn row<S: Display>(&mut self, cells: &[S]) -> &mut Self {
-        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
-        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells);
+        self.inner.row(cells);
         self
     }
 
     /// Renders the table.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let line = |out: &mut String, cells: &[String]| {
-            for (i, cell) in cells.iter().enumerate() {
-                out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
-            }
-            while out.ends_with(' ') {
-                out.pop();
-            }
-            out.push('\n');
-        };
-        line(&mut out, &self.header);
-        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
-        out.push_str(&"-".repeat(total));
-        out.push('\n');
-        for row in &self.rows {
-            line(&mut out, row);
-        }
-        out
+        self.inner.render()
     }
 
     /// Prints the table to stdout with a title.
     pub fn print(&self, title: &str) {
         println!("\n== {title} ==\n");
         print!("{}", self.render());
+    }
+}
+
+/// The JSONL trace destination: `--trace PATH` or `BENCH_TRACE`.
+pub fn trace_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var("BENCH_TRACE").ok())
+}
+
+/// A recorder that is live exactly when a trace destination was given,
+/// so untraced runs pay only the disabled-path branch.
+pub fn trace_recorder() -> Recorder {
+    if trace_path().is_some() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    }
+}
+
+/// Writes the recorder's JSONL trace to the requested destination (a
+/// no-op without `--trace`/`BENCH_TRACE`); returns the path written.
+pub fn write_trace(recorder: &Recorder) -> Option<String> {
+    let path = trace_path()?;
+    std::fs::write(&path, recorder.trace_jsonl()).expect("write trace file");
+    Some(path)
+}
+
+/// A minimal JSON-Schema subset checker for the committed `schemas/`
+/// files: supports `type` (null/boolean/integer/number/string/array/
+/// object), `required`, `properties`, and `items`. Enough to pin the
+/// shape of the `BENCH_*.json` exports in CI without a new dependency.
+pub mod schema {
+    use serde_json::Json;
+
+    /// Checks `value` against `schema`; the error names the failing
+    /// JSON-pointer-ish path and what was expected.
+    pub fn check(value: &Json, schema: &Json) -> Result<(), String> {
+        walk(value, schema, "$")
+    }
+
+    fn type_name(value: &Json) -> &'static str {
+        match value {
+            Json::Null => "null",
+            Json::Bool(_) => "boolean",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+
+    fn is_integer(num: &str) -> bool {
+        !num.contains(['.', 'e', 'E'])
+    }
+
+    fn walk(value: &Json, schema: &Json, path: &str) -> Result<(), String> {
+        if let Some(expected) = schema.get("type").and_then(Json::as_str) {
+            let ok = match (expected, value) {
+                ("integer", Json::Num(n)) => is_integer(n),
+                ("number", Json::Num(_)) => true,
+                (want, got) => want == type_name(got),
+            };
+            if !ok {
+                return Err(format!("{path}: expected {expected}, got {}", type_name(value)));
+            }
+        }
+        if let Some(required) = schema.get("required").and_then(Json::as_array) {
+            for key in required {
+                let key = key.as_str().ok_or_else(|| format!("{path}: bad required entry"))?;
+                if value.get(key).is_none() {
+                    return Err(format!("{path}: missing required field {key:?}"));
+                }
+            }
+        }
+        if let Some(Json::Object(props)) = schema.get("properties") {
+            for (key, sub) in props {
+                if let Some(field) = value.get(key) {
+                    walk(field, sub, &format!("{path}.{key}"))?;
+                }
+            }
+        }
+        if let Some(items) = schema.get("items") {
+            if let Some(elems) = value.as_array() {
+                for (i, elem) in elems.iter().enumerate() {
+                    walk(elem, items, &format!("{path}[{i}]"))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn parse(s: &str) -> Json {
+            serde_json::from_str(s).expect("test JSON parses")
+        }
+
+        #[test]
+        fn accepts_matching_document() {
+            let schema = parse(
+                r#"{"type":"array","items":{"type":"object",
+                    "required":["n","name"],
+                    "properties":{"n":{"type":"integer"},"name":{"type":"string"}}}}"#,
+            );
+            let doc = parse(r#"[{"n":1,"name":"a"},{"n":2,"name":"b","extra":true}]"#);
+            assert_eq!(check(&doc, &schema), Ok(()));
+        }
+
+        #[test]
+        fn rejects_missing_required_field() {
+            let schema = parse(r#"{"type":"object","required":["n"]}"#);
+            let err = check(&parse("{}"), &schema).unwrap_err();
+            assert!(err.contains("missing required field"), "{err}");
+        }
+
+        #[test]
+        fn rejects_wrong_type_with_path() {
+            let schema = parse(
+                r#"{"type":"array","items":{"type":"object",
+                    "properties":{"n":{"type":"integer"}}}}"#,
+            );
+            let err = check(&parse(r#"[{"n":1},{"n":1.5}]"#), &schema).unwrap_err();
+            assert_eq!(err, "$[1].n: expected integer, got number");
+        }
+
+        #[test]
+        fn number_accepts_floats_and_integers() {
+            let schema = parse(r#"{"type":"number"}"#);
+            assert_eq!(check(&parse("1.5"), &schema), Ok(()));
+            assert_eq!(check(&parse("3"), &schema), Ok(()));
+        }
     }
 }
 

@@ -147,6 +147,9 @@ pub struct ConvergenceStats {
     pub memo_hits: usize,
     /// Validity lookups that ran RFC 6811 classification.
     pub memo_misses: usize,
+    /// Largest dirty set observed at the start of any round — the
+    /// worklist engine's peak working-set width.
+    pub peak_worklist: usize,
 }
 
 impl ConvergenceStats {
@@ -158,6 +161,28 @@ impl ConvergenceStats {
         self.pairs_evaluated += other.pairs_evaluated;
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
+        self.peak_worklist = self.peak_worklist.max(other.peak_worklist);
+    }
+
+    /// Emits this run's work counters into an observability recorder at
+    /// simulated time `at`: one `convergence` event plus counters and a
+    /// rounds histogram.
+    pub fn emit(&self, rec: &rpki_obs::Recorder, at: u64) {
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.count("bgp.propagations", 1);
+        rec.count("bgp.route_updates", self.route_updates as u64);
+        rec.count("bgp.pairs_evaluated", self.pairs_evaluated as u64);
+        rec.observe("bgp.rounds", self.rounds as u64);
+        rec.event(at, "bgp", "convergence")
+            .u64("rounds", self.rounds as u64)
+            .u64("route_updates", self.route_updates as u64)
+            .u64("pairs_evaluated", self.pairs_evaluated as u64)
+            .u64("memo_hits", self.memo_hits as u64)
+            .u64("memo_misses", self.memo_misses as u64)
+            .u64("peak_worklist", self.peak_worklist as u64)
+            .emit();
     }
 }
 
@@ -375,6 +400,7 @@ impl<'a> Worklist<'a> {
         let mut updates: Vec<(u32, u32, Option<WorkRoute>)> = Vec::new();
         while !dirty.is_empty() {
             self.stats.rounds += 1;
+            self.stats.peak_worklist = self.stats.peak_worklist.max(dirty.len());
             if self.stats.rounds > cap {
                 return Err(ConvergenceError {
                     rounds: cap,

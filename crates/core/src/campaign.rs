@@ -37,12 +37,14 @@ use std::collections::BTreeSet;
 
 use ipres::Prefix;
 use rpki_objects::{Moment, RoaPrefix, Span};
+use rpki_obs::Recorder;
 use rpki_repo::{Freshness, SyncPolicy};
 use rpki_rp::{ResilienceConfig, ResilientState, Route, RouteValidity, ValidationRun, VrpCache};
 use serde::Serialize;
 
 use crate::fixtures::{asn, ModelRpki};
 use crate::suspenders::{SuspendersConfig, SuspendersState};
+use crate::validate::ValidationOptions;
 
 /// Seconds between validation rounds (a 30-minute RP cadence; short
 /// enough that a full campaign stays inside every manifest's one-day
@@ -217,12 +219,22 @@ pub fn campaign_resilience() -> ResilienceConfig {
 
 /// Runs `spec` at `seed` across all four tiers.
 pub fn run_campaign(spec: &CampaignSpec, seed: u64) -> CampaignOutcome {
-    let tiers = RpTier::ALL.iter().map(|&tier| run_tier(spec, seed, tier)).collect();
+    run_campaign_traced(spec, seed, &Recorder::disabled())
+}
+
+/// Runs `spec` at `seed` across all four tiers, reporting through
+/// `recorder`: each tier's world gets the recorder installed (so the
+/// whole netsim/repo/rp/suspenders event stream lands in one trace)
+/// and every round emits a `campaign/round` event plus the campaign
+/// counters that the hand-rolled [`TierTotals`] integers mirror.
+pub fn run_campaign_traced(spec: &CampaignSpec, seed: u64, recorder: &Recorder) -> CampaignOutcome {
+    let tiers = RpTier::ALL.iter().map(|&tier| run_tier(spec, seed, tier, recorder)).collect();
     CampaignOutcome { name: spec.name.clone(), seed, rounds: spec.rounds, tiers }
 }
 
-fn run_tier(spec: &CampaignSpec, seed: u64, tier: RpTier) -> TierOutcome {
+fn run_tier(spec: &CampaignSpec, seed: u64, tier: RpTier, recorder: &Recorder) -> TierOutcome {
     let mut w = ModelRpki::build_seeded(seed);
+    w.net.set_recorder(recorder.clone());
     let policy = campaign_policy();
     let mut resilient = ResilientState::new(campaign_resilience());
     // Hold-down of one day: longer than any campaign, so a held VRP
@@ -234,10 +246,7 @@ fn run_tier(spec: &CampaignSpec, seed: u64, tier: RpTier) -> TierOutcome {
     // Warm-up: one faultless validation so snapshots and the
     // suspenders baseline reflect the healthy world.
     let moment = Moment(w.net.now());
-    let warm = validate_tier(&mut w, tier, moment, policy, &mut resilient);
-    if tier == RpTier::Suspenders {
-        suspenders.ingest(&warm, moment);
-    }
+    validate_tier(&mut w, tier, moment, policy, &mut resilient, &mut suspenders);
 
     let mut rounds = Vec::with_capacity(spec.rounds);
     for round in 1..=spec.rounds {
@@ -247,10 +256,9 @@ fn run_tier(spec: &CampaignSpec, seed: u64, tier: RpTier) -> TierOutcome {
         apply_faults(&mut w, spec, round, &mut withdrawn);
 
         let moment = Moment(w.net.now());
-        let run = validate_tier(&mut w, tier, moment, policy, &mut resilient);
+        let run = validate_tier(&mut w, tier, moment, policy, &mut resilient, &mut suspenders);
 
         let (vrps, cache): (usize, VrpCache) = if tier == RpTier::Suspenders {
-            suspenders.ingest(&run, moment);
             (suspenders.len(), suspenders.effective_cache())
         } else {
             (run.vrps.len(), run.vrp_cache())
@@ -266,6 +274,24 @@ fn run_tier(spec: &CampaignSpec, seed: u64, tier: RpTier) -> TierOutcome {
         }
         m.stale_dirs =
             run.freshness.iter().filter(|(_, f)| matches!(f, Freshness::Stale { .. })).count();
+        if recorder.is_enabled() {
+            recorder.count("campaign.rounds", 1);
+            recorder.count("campaign.invalid_flips", m.invalid as u64);
+            recorder.count("campaign.unknown_flips", m.unknown as u64);
+            recorder.count("campaign.stale_dir_rounds", m.stale_dirs as u64);
+            recorder.observe("campaign.vrps_per_round", m.vrps as u64);
+            recorder
+                .event(moment.0, "campaign", "round")
+                .str("campaign", &spec.name)
+                .str("tier", tier.label())
+                .u64("round", round as u64)
+                .u64("vrps", m.vrps as u64)
+                .u64("valid", m.valid as u64)
+                .u64("invalid", m.invalid as u64)
+                .u64("unknown", m.unknown as u64)
+                .u64("stale_dirs", m.stale_dirs as u64)
+                .emit();
+        }
         rounds.push(m);
     }
 
@@ -277,6 +303,19 @@ fn run_tier(spec: &CampaignSpec, seed: u64, tier: RpTier) -> TierOutcome {
         unknown_flips: rounds.iter().map(|m| m.unknown).sum(),
         stale_dir_rounds: rounds.iter().map(|m| m.stale_dirs).sum(),
     };
+    if recorder.is_enabled() {
+        recorder
+            .event(w.net.now(), "campaign", "tier_totals")
+            .str("campaign", &spec.name)
+            .str("tier", tier.label())
+            .u64("vrp_round_sum", totals.vrp_round_sum as u64)
+            .u64("min_vrps", totals.min_vrps as u64)
+            .u64("valid_round_sum", totals.valid_round_sum as u64)
+            .u64("invalid_flips", totals.invalid_flips as u64)
+            .u64("unknown_flips", totals.unknown_flips as u64)
+            .u64("stale_dir_rounds", totals.stale_dir_rounds as u64)
+            .emit();
+    }
     TierOutcome { tier, rounds, totals }
 }
 
@@ -286,14 +325,18 @@ fn validate_tier(
     moment: Moment,
     policy: SyncPolicy,
     resilient: &mut ResilientState,
+    suspenders: &mut SuspendersState,
 ) -> ValidationRun {
-    match tier {
-        RpTier::Bare => w.validate_network(moment),
-        RpTier::Retrying => w.validate_retrying(moment, policy),
-        RpTier::RetryingStale | RpTier::Suspenders => {
-            w.validate_resilient(moment, policy, resilient)
-        }
-    }
+    let opts = match tier {
+        RpTier::Bare => ValidationOptions::at(moment),
+        RpTier::Retrying => ValidationOptions::at(moment).retry(policy),
+        RpTier::RetryingStale => ValidationOptions::at(moment).retry(policy).stale_cache(resilient),
+        RpTier::Suspenders => ValidationOptions::at(moment)
+            .retry(policy)
+            .stale_cache(resilient)
+            .suspenders(suspenders),
+    };
+    w.validate_with(opts)
 }
 
 /// Clears last round's transport faults, then arms this round's.

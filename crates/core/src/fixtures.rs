@@ -26,10 +26,9 @@ use netsim::{Network, NodeId};
 use rpki_ca::CertAuthority;
 use rpki_objects::{Encode, Moment, RepoUri, Roa, RoaPrefix, RpkiObject, Span, TrustAnchorLocator};
 use rpki_repo::{RepoRegistry, SyncPolicy};
-use rpki_rp::{
-    DirectSource, NetworkSource, ResilientSource, ResilientState, ValidationConfig, ValidationRun,
-    Validator,
-};
+use rpki_rp::{DirectSource, ResilientState, ValidationConfig, ValidationRun, Validator};
+
+use crate::validate::ValidationOptions;
 
 fn p(s: &str) -> Prefix {
     s.parse().unwrap()
@@ -249,40 +248,46 @@ impl ModelRpki {
         }
     }
 
-    /// Validates over a perfect transport.
+    /// Validates over a perfect transport — the `&self` convenience
+    /// probe for tests and examples that just want the world's VRPs.
+    /// Emits the run through the network's recorder like
+    /// [`validate_with`](ModelRpki::validate_with).
     pub fn validate_direct(&self, now: Moment) -> ValidationRun {
         let mut source = DirectSource::new(&self.repos);
-        Validator::new(ValidationConfig::at(now)).run(&mut source, std::slice::from_ref(&self.tal))
+        let run = Validator::new(ValidationConfig::at(now))
+            .run(&mut source, std::slice::from_ref(&self.tal));
+        run.emit(&self.net.recorder(), now.0);
+        run
     }
 
     /// Validates over the simulated (faultable) network.
+    #[deprecated(note = "use `validate_with(ValidationOptions::at(now))`")]
     pub fn validate_network(&mut self, now: Moment) -> ValidationRun {
-        let mut source = NetworkSource::new(&mut self.net, &self.repos, self.rp_node);
-        Validator::new(ValidationConfig::at(now)).run(&mut source, std::slice::from_ref(&self.tal))
+        self.validate_with(ValidationOptions::at(now))
     }
 
     /// Validates over the simulated network, retrying each directory
     /// under `policy` (a relying party with timeouts and backoff but no
     /// cache fallback).
+    #[deprecated(note = "use `validate_with(ValidationOptions::at(now).retry(policy))`")]
     pub fn validate_retrying(&mut self, now: Moment, policy: SyncPolicy) -> ValidationRun {
-        let mut source =
-            NetworkSource::with_policy(&mut self.net, &self.repos, self.rp_node, policy);
-        Validator::new(ValidationConfig::at(now)).run(&mut source, std::slice::from_ref(&self.tal))
+        self.validate_with(ValidationOptions::at(now).retry(policy))
     }
 
     /// Validates over the simulated network with the full resilience
     /// stack: per-directory retries under `policy` plus last-good
     /// snapshot fallback and circuit breaking from `state` (which
     /// persists across runs and accumulates snapshots).
+    #[deprecated(
+        note = "use `validate_with(ValidationOptions::at(now).retry(policy).stale_cache(state))`"
+    )]
     pub fn validate_resilient(
         &mut self,
         now: Moment,
         policy: SyncPolicy,
         state: &mut ResilientState,
     ) -> ValidationRun {
-        let inner = NetworkSource::with_policy(&mut self.net, &self.repos, self.rp_node, policy);
-        let mut source = ResilientSource::new(inner, state);
-        Validator::new(ValidationConfig::at(now)).run(&mut source, std::slice::from_ref(&self.tal))
+        self.validate_with(ValidationOptions::at(now).retry(policy).stale_cache(state))
     }
 
     /// Adds Figure 5 (right)'s new ROA: `(63.160.0.0/12-13, AS1239)` —
@@ -385,7 +390,9 @@ mod tests {
         let mut w = ModelRpki::build_seeded(7);
         let direct = w.validate_direct(Moment(2));
         let mut state = ResilientState::default();
-        let resilient = w.validate_resilient(Moment(2), SyncPolicy::default(), &mut state);
+        let resilient = w.validate_with(
+            ValidationOptions::at(Moment(2)).retry(SyncPolicy::default()).stale_cache(&mut state),
+        );
         assert_eq!(direct.vrps, resilient.vrps);
         // Every visited directory left a snapshot behind.
         assert!(state.snapshot_count() >= 4, "snapshots: {}", state.snapshot_count());
@@ -395,7 +402,7 @@ mod tests {
     fn network_validation_matches_direct() {
         let mut w = ModelRpki::build();
         let direct = w.validate_direct(Moment(2));
-        let networked = w.validate_network(Moment(2));
+        let networked = w.validate_with(ValidationOptions::at(Moment(2)));
         assert_eq!(direct.vrps, networked.vrps);
     }
 

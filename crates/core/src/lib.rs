@@ -26,6 +26,11 @@
 //!   hardening direction the paper's conclusion cites
 //!   (draft-kent-sidr-suspenders): hold VRPs that vanish without
 //!   evidence, so whacks stop translating into instant outages.
+//! - [`validate`] — the single validation entry point:
+//!   [`ValidationOptions`] names the relying-party layers (retries,
+//!   stale cache, Suspenders, strict profile, transport) and
+//!   `validate_with` assembles and runs them, reporting through the
+//!   world's observability recorder.
 //! - [`campaign`] — seeded fault campaigns comparing relying-party
 //!   configurations (bare / retrying / stale-cache / Suspenders) on
 //!   VRP availability and validity flips under scheduled repository
@@ -42,10 +47,11 @@ pub mod loopback;
 pub mod side_effects;
 pub mod suspenders;
 pub mod tradeoff;
+pub mod validate;
 
 pub use campaign::{
-    run_campaign, standard_campaigns, CampaignOutcome, CampaignSpec, FaultKind, FaultWindow,
-    RoundMetrics, RpTier, TierOutcome, TierTotals,
+    run_campaign, run_campaign_traced, standard_campaigns, CampaignOutcome, CampaignSpec,
+    FaultKind, FaultWindow, RoundMetrics, RpTier, TierOutcome, TierTotals,
 };
 pub use fixtures::ModelRpki;
 pub use grid::{collapse_bands, validity_grid, Band, GridRow};
@@ -56,3 +62,4 @@ pub use loopback::{LoopbackOutcome, LoopbackWorld};
 pub use side_effects::{se5_new_roa_impact, se6_missing_roa_impact, Se5Impact, Se6Impact};
 pub use suspenders::{SuspendersConfig, SuspendersEvent, SuspendersState};
 pub use tradeoff::{policy_tradeoff, ScenarioOutcome, TradeoffTable};
+pub use validate::ValidationOptions;

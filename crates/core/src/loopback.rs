@@ -261,7 +261,9 @@ mod tests {
         // healthy (any prior successful validation run does this).
         let policy = rpki_repo::SyncPolicy::default();
         let mut state = ResilientState::new(ResilienceConfig::default());
-        w.validate_resilient(Moment(3), policy, &mut state);
+        w.validate_with(
+            crate::ValidationOptions::at(Moment(3)).retry(policy).stale_cache(&mut state),
+        );
 
         let degraded: Vec<Vrp> =
             full_vrps.iter().copied().filter(|v| v.asn != asn::CONTINENTAL).collect();

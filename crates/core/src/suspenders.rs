@@ -81,6 +81,30 @@ pub enum SuspendersEvent {
     HoldDownExpired(Vrp),
 }
 
+impl SuspendersEvent {
+    /// A short machine-readable label for traces and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SuspendersEvent::DroppedRevoked(_) => "dropped_revoked",
+            SuspendersEvent::DroppedExpired(_) => "dropped_expired",
+            SuspendersEvent::HeldSuspicious(_) => "held_suspicious",
+            SuspendersEvent::Recovered(_) => "recovered",
+            SuspendersEvent::HoldDownExpired(_) => "hold_down_expired",
+        }
+    }
+
+    /// The VRP the transition concerns.
+    pub fn vrp(&self) -> Vrp {
+        match self {
+            SuspendersEvent::DroppedRevoked(v)
+            | SuspendersEvent::DroppedExpired(v)
+            | SuspendersEvent::HeldSuspicious(v)
+            | SuspendersEvent::Recovered(v)
+            | SuspendersEvent::HoldDownExpired(v) => *v,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     record: VrpRecord,
@@ -318,7 +342,7 @@ mod tests {
         // sync; its VRPs are held.
         let node = w.repos.node_of("rpki.continental.example").unwrap();
         w.net.faults.set_down(node, true);
-        let run = w.validate_network(Moment(3));
+        let run = w.validate_with(crate::ValidationOptions::at(Moment(3)));
         let events = s.ingest(&run, Moment(3));
         assert_eq!(
             events.iter().filter(|e| matches!(e, SuspendersEvent::HeldSuspicious(_))).count(),
@@ -328,7 +352,7 @@ mod tests {
         assert_eq!(s.effective_cache().len(), 8);
         // The repo comes back; everything recovers.
         w.net.faults.set_down(node, false);
-        let run = w.validate_network(Moment(4));
+        let run = w.validate_with(crate::ValidationOptions::at(Moment(4)));
         let events = s.ingest(&run, Moment(4));
         assert_eq!(events.iter().filter(|e| matches!(e, SuspendersEvent::Recovered(_))).count(), 5);
         assert!(s.held().is_empty());

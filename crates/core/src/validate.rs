@@ -1,0 +1,253 @@
+//! One entry point for every relying-party configuration.
+//!
+//! The model world used to expose one method per relying-party shape —
+//! `validate_network`, `validate_retrying`, `validate_resilient` — and
+//! each new layer (retries, stale cache, Suspenders, tracing) widened
+//! every signature. [`ValidationOptions`] collapses them: callers name
+//! the layers they want and [`ModelRpki::validate_with`] assembles the
+//! source stack, runs the validator, and reports the run (and any
+//! Suspenders transitions) through the world's observability recorder.
+//!
+//! ```
+//! use rpki_objects::Moment;
+//! use rpki_repo::SyncPolicy;
+//! use rpki_rp::ResilientState;
+//! use rpki_risk::{ModelRpki, ValidationOptions};
+//!
+//! let mut w = ModelRpki::build();
+//! // The bare networked relying party:
+//! let bare = w.validate_with(ValidationOptions::at(Moment(2)));
+//! // The full resilience stack:
+//! let mut state = ResilientState::default();
+//! let run = w.validate_with(
+//!     ValidationOptions::at(Moment(3)).retry(SyncPolicy::default()).stale_cache(&mut state),
+//! );
+//! assert_eq!(bare.vrps, run.vrps);
+//! ```
+//!
+//! The old per-shape methods survive as deprecated shims for one PR;
+//! [`ModelRpki::validate_direct`] (a perfect-transport probe, `&self`)
+//! stays as the undeprecated convenience.
+
+use rpki_objects::Moment;
+use rpki_repo::SyncPolicy;
+use rpki_rp::{
+    DirectSource, NetworkSource, ObjectSource, ResilientSource, ResilientState, ValidationConfig,
+    ValidationRun, Validator,
+};
+
+use crate::fixtures::ModelRpki;
+use crate::suspenders::SuspendersState;
+
+/// Which relying-party layers a validation run assembles, built
+/// fluently and consumed by [`ModelRpki::validate_with`].
+///
+/// Defaults to the bare networked relying party: one sync per
+/// directory over the simulated (faultable) network, no retries, no
+/// cache, no hold-down.
+#[derive(Debug)]
+pub struct ValidationOptions<'a> {
+    now: Moment,
+    strict: bool,
+    direct: bool,
+    retry: Option<SyncPolicy>,
+    stale_cache: Option<&'a mut ResilientState>,
+    suspenders: Option<&'a mut SuspendersState>,
+}
+
+impl<'a> ValidationOptions<'a> {
+    /// Options for a run at `now` over the simulated network with no
+    /// extra layers.
+    pub fn at(now: Moment) -> Self {
+        ValidationOptions {
+            now,
+            strict: false,
+            direct: false,
+            retry: None,
+            stale_cache: None,
+            suspenders: None,
+        }
+    }
+
+    /// Validate over a perfect transport instead of the simulated
+    /// network (retries become a no-op; the stale cache still records
+    /// snapshots).
+    pub fn direct(mut self) -> Self {
+        self.direct = true;
+        self
+    }
+
+    /// Use strict (RFC 6487-style) validation instead of the default
+    /// lenient profile.
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Retry each directory under `policy`: deadlines, exponential
+    /// backoff, digest-checked re-fetches.
+    pub fn retry(mut self, policy: SyncPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Fall back to `state`'s last-good snapshots when a directory
+    /// cannot be fetched, with circuit breaking; `state` persists
+    /// across runs and accumulates snapshots.
+    pub fn stale_cache(mut self, state: &'a mut ResilientState) -> Self {
+        self.stale_cache = Some(state);
+        self
+    }
+
+    /// Feed the run through `state`'s Suspenders hold-down after
+    /// validation: VRPs that vanish without evidence stay effective
+    /// and raise alarms. Transitions are reported through the world's
+    /// recorder; read the effective cache from `state` afterwards.
+    pub fn suspenders(mut self, state: &'a mut SuspendersState) -> Self {
+        self.suspenders = Some(state);
+        self
+    }
+}
+
+fn run_stack<S: ObjectSource>(
+    config: ValidationConfig,
+    source: S,
+    stale_cache: Option<&mut ResilientState>,
+    tals: &[rpki_objects::TrustAnchorLocator],
+) -> ValidationRun {
+    match stale_cache {
+        Some(state) => {
+            let mut source = ResilientSource::new(source, state);
+            Validator::new(config).run(&mut source, tals)
+        }
+        None => {
+            let mut source = source;
+            Validator::new(config).run(&mut source, tals)
+        }
+    }
+}
+
+impl ModelRpki {
+    /// Runs one validation with the layers selected in `opts`, emitting
+    /// the run summary (and any Suspenders transitions) through the
+    /// network's recorder.
+    pub fn validate_with(&mut self, opts: ValidationOptions<'_>) -> ValidationRun {
+        let ValidationOptions { now, strict, direct, retry, mut stale_cache, suspenders } = opts;
+        let rec = self.net.recorder();
+        let config =
+            if strict { ValidationConfig::strict_at(now) } else { ValidationConfig::at(now) };
+        if let Some(state) = &mut stale_cache {
+            state.set_recorder(rec.clone());
+        }
+        let tals = std::slice::from_ref(&self.tal);
+        let run = if direct {
+            run_stack(config, DirectSource::new(&self.repos), stale_cache, tals)
+        } else {
+            let source = match retry {
+                Some(policy) => {
+                    NetworkSource::with_policy(&mut self.net, &self.repos, self.rp_node, policy)
+                }
+                None => NetworkSource::new(&mut self.net, &self.repos, self.rp_node),
+            };
+            run_stack(config, source, stale_cache, tals)
+        };
+        run.emit(&rec, now.0);
+        if let Some(susp) = suspenders {
+            let events = susp.ingest(&run, now);
+            if rec.is_enabled() {
+                for event in &events {
+                    rec.count(&format!("suspenders.{}", event.label()), 1);
+                    rec.event(now.0, "suspenders", event.label())
+                        .str("vrp", &event.vrp().to_string())
+                        .emit();
+                }
+            }
+        }
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suspenders::SuspendersConfig;
+    use rpki_obs::Recorder;
+
+    #[test]
+    fn bare_network_run_matches_old_entry_point() {
+        let mut a = ModelRpki::build_seeded(5);
+        let mut b = ModelRpki::build_seeded(5);
+        #[allow(deprecated)]
+        let old = a.validate_network(Moment(2));
+        let new = b.validate_with(ValidationOptions::at(Moment(2)));
+        assert_eq!(old.vrps, new.vrps);
+    }
+
+    #[test]
+    fn retrying_run_matches_old_entry_point() {
+        let mut a = ModelRpki::build_seeded(5);
+        let mut b = ModelRpki::build_seeded(5);
+        #[allow(deprecated)]
+        let old = a.validate_retrying(Moment(2), SyncPolicy::default());
+        let new = b.validate_with(ValidationOptions::at(Moment(2)).retry(SyncPolicy::default()));
+        assert_eq!(old.vrps, new.vrps);
+    }
+
+    #[test]
+    fn resilient_run_matches_old_entry_point() {
+        let mut a = ModelRpki::build_seeded(5);
+        let mut b = ModelRpki::build_seeded(5);
+        let mut sa = ResilientState::default();
+        let mut sb = ResilientState::default();
+        #[allow(deprecated)]
+        let old = a.validate_resilient(Moment(2), SyncPolicy::default(), &mut sa);
+        let new = b.validate_with(
+            ValidationOptions::at(Moment(2)).retry(SyncPolicy::default()).stale_cache(&mut sb),
+        );
+        assert_eq!(old.vrps, new.vrps);
+        assert_eq!(sa.snapshot_count(), sb.snapshot_count());
+    }
+
+    #[test]
+    fn direct_transport_with_stale_cache_records_snapshots() {
+        let mut w = ModelRpki::build();
+        let mut state = ResilientState::default();
+        let run =
+            w.validate_with(ValidationOptions::at(Moment(2)).direct().stale_cache(&mut state));
+        assert_eq!(run.vrps.len(), 8);
+        assert!(state.snapshot_count() >= 4);
+    }
+
+    #[test]
+    fn suspenders_layer_ingests_and_traces() {
+        let mut w = ModelRpki::build();
+        let rec = Recorder::new();
+        w.net.set_recorder(rec.clone());
+        let mut susp = SuspendersState::new(SuspendersConfig::default());
+        w.validate_with(ValidationOptions::at(Moment(2)).suspenders(&mut susp));
+        assert_eq!(susp.len(), 8);
+        // Stealthy withdrawal: the hold-down keeps the VRP effective
+        // and the transition lands in the trace.
+        let file = w.covering_roa_file();
+        w.continental.withdraw(&file).unwrap();
+        w.publish_all(Moment(3));
+        w.validate_with(ValidationOptions::at(Moment(4)).suspenders(&mut susp));
+        assert_eq!(susp.len(), 8);
+        assert_eq!(susp.held().len(), 1);
+        assert_eq!(rec.metrics().counter("suspenders.held_suspicious"), 1);
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| e.layer == "suspenders" && e.kind == "held_suspicious" && e.at == 4));
+    }
+
+    #[test]
+    fn strict_mode_flows_through() {
+        let mut a = ModelRpki::build();
+        let strict = a.validate_with(ValidationOptions::at(Moment(2)).strict());
+        let lenient = a.validate_with(ValidationOptions::at(Moment(2)));
+        // The model world is well-formed, so both profiles agree; the
+        // point is that the flag reaches the validator unchanged.
+        assert_eq!(strict.vrps, lenient.vrps);
+    }
+}

@@ -6,6 +6,7 @@ use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rpki_obs::Recorder;
 use serde::{Deserialize, Serialize};
 
 use crate::fault::FaultPlan;
@@ -49,6 +50,19 @@ pub enum DropReason {
     /// The reachability oracle (BGP validity, in the full system) said
     /// the destination is unreachable from the source.
     Unreachable,
+}
+
+impl DropReason {
+    /// A short machine-readable label for traces and diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DropReason::Loss => "loss",
+            DropReason::Scheduled => "scheduled",
+            DropReason::Partition => "partition",
+            DropReason::NodeDown => "node_down",
+            DropReason::Unreachable => "unreachable",
+        }
+    }
 }
 
 /// One thing that happened when the simulation advanced.
@@ -137,6 +151,7 @@ pub struct Network {
     stats: Stats,
     #[allow(clippy::type_complexity)]
     oracle: Option<Box<dyn FnMut(NodeId, NodeId) -> bool>>,
+    recorder: Recorder,
 }
 
 impl fmt::Debug for Network {
@@ -166,7 +181,22 @@ impl Network {
             link_latency: HashMap::new(),
             stats: Stats::default(),
             oracle: None,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Installs an observability recorder; the network and every layer
+    /// that reaches the network through [`Network::recorder`] will emit
+    /// trace events into it. Defaults to [`Recorder::disabled`].
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// A cheap clone of the installed recorder (disabled by default).
+    /// Layers that hold a `&mut Network` clone this to emit their own
+    /// events into the same shared trace.
+    pub fn recorder(&self) -> Recorder {
+        self.recorder.clone()
     }
 
     /// Registers a node under a unique name.
@@ -244,7 +274,19 @@ impl Network {
     /// latency plus any configured stall (fault layer permitting).
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) {
         self.stats.sent += 1;
-        let at = self.now + self.latency(from, to) + self.faults.stall_delay(from, to);
+        let stall = self.faults.stall_delay(from, to);
+        let at = self.now + self.latency(from, to) + stall;
+        if self.recorder.is_enabled() {
+            self.recorder.count("net.sent", 1);
+            self.recorder
+                .event(self.now, "net", "send")
+                .str("from", self.name(from))
+                .str("to", self.name(to))
+                .u64("bytes", payload.len() as u64)
+                .u64("stall", stall)
+                .u64("deliver_at", at)
+                .emit();
+        }
         self.push(at, EventKind::Deliver { from, to, payload });
     }
 
@@ -314,13 +356,31 @@ impl Network {
         debug_assert!(event.at >= self.now, "time went backwards");
         self.now = event.at;
         Some(match event.kind {
-            EventKind::Timer { node, token } => Occurrence::Timer { node, token },
+            EventKind::Timer { node, token } => {
+                if self.recorder.is_enabled() {
+                    self.recorder
+                        .event(self.now, "net", "timer")
+                        .str("node", self.name(node))
+                        .u64("token", token)
+                        .emit();
+                }
+                Occurrence::Timer { node, token }
+            }
             EventKind::Deliver { from, to, mut payload } => {
                 // One scheduled-fault evaluation per message, advancing
                 // the link counter exactly once.
                 let fate = self.faults.on_message(from, to);
                 if let Some(reason) = self.drop_reason(from, to, fate.drop) {
                     self.stats.dropped += 1;
+                    if self.recorder.is_enabled() {
+                        self.recorder.count("net.dropped", 1);
+                        self.recorder
+                            .event(self.now, "net", "drop")
+                            .str("from", self.name(from))
+                            .str("to", self.name(to))
+                            .str("reason", reason.label())
+                            .emit();
+                    }
                     return Some(Occurrence::Dropped { from, to, reason });
                 }
                 let offset = fate.corrupt.or_else(|| {
@@ -338,6 +398,16 @@ impl Network {
                     self.stats.corrupted += 1;
                 } else {
                     self.stats.delivered += 1;
+                }
+                if self.recorder.is_enabled() {
+                    self.recorder.count(if corrupt { "net.corrupted" } else { "net.delivered" }, 1);
+                    self.recorder
+                        .event(self.now, "net", "deliver")
+                        .str("from", self.name(from))
+                        .str("to", self.name(to))
+                        .u64("bytes", payload.len() as u64)
+                        .bool("corrupted", corrupt)
+                        .emit();
                 }
                 Occurrence::Delivered(Delivery { from, to, payload, corrupted_in_flight: corrupt })
             }
@@ -659,6 +729,31 @@ mod tests {
         let (mut net, a, _b) = two_nodes();
         net.set_timer(a, 20, 1);
         net.advance_to(21);
+    }
+
+    #[test]
+    fn recorder_captures_send_deliver_drop_and_timer_events() {
+        let (mut net, a, b) = two_nodes();
+        let rec = Recorder::new();
+        net.set_recorder(rec.clone());
+        net.faults.set_stall(a, b, 5);
+        net.send(a, b, vec![1, 2]);
+        net.faults.drop_next(a, b, 1);
+        net.send(a, b, vec![3]);
+        net.set_timer(b, 1, 7);
+        net.run_to_idle();
+        let kinds: Vec<&str> = rec.events().iter().map(|e| e.kind).collect();
+        // The scheduled drop is evaluated at delivery time, so it hits
+        // the first message to arrive.
+        assert_eq!(kinds, vec!["send", "send", "timer", "drop", "deliver"]);
+        let metrics = rec.metrics();
+        assert_eq!(metrics.counter("net.sent"), 2);
+        assert_eq!(metrics.counter("net.delivered"), 1);
+        assert_eq!(metrics.counter("net.dropped"), 1);
+        // The first send records its stall and scheduled arrival.
+        let send = &rec.events()[0];
+        assert!(send.fields.contains(&("stall", rpki_obs::FieldValue::U64(5))));
+        assert!(send.fields.contains(&("deliver_at", rpki_obs::FieldValue::U64(15))));
     }
 
     #[test]

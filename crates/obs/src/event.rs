@@ -1,0 +1,127 @@
+//! Structured trace events and their deterministic JSON encoding.
+//!
+//! An event is a point on the simulated timeline: *when* (sim-time
+//! seconds), *where* (layer), *what* (kind), plus a small set of typed
+//! fields. Field order is the order the instrumentation recorded them
+//! in, and the encoder preserves it, so the JSONL form of a trace is a
+//! pure function of the recorded data — no map iteration, no locale,
+//! no float formatting.
+
+/// A typed field value attached to a [`TraceEvent`].
+///
+/// Only integers, booleans, and strings are representable: floats are
+/// deliberately excluded from the trace so encodings can never differ
+/// across platforms or formatting modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, sizes, sim-time seconds).
+    U64(u64),
+    /// A signed integer (deltas, gauge levels).
+    I64(i64),
+    /// A short machine-readable string (host names, outcome labels).
+    Str(String),
+    /// A boolean flag.
+    Bool(bool),
+}
+
+/// One structured event on the simulated timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time the event occurred at, in seconds.
+    pub at: u64,
+    /// Recorder-assigned sequence number; the total-order tie-break
+    /// for events sharing a sim-time instant.
+    pub seq: u64,
+    /// The emitting layer (`"net"`, `"repo"`, `"rp"`, `"bgp"`,
+    /// `"monitor"`, `"campaign"`, ...).
+    pub layer: &'static str,
+    /// The event kind within the layer (`"deliver"`, `"attempt"`, ...).
+    pub kind: &'static str,
+    /// Typed payload fields, in recording order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// Encodes the event as one JSON object on a single line.
+    ///
+    /// The fixed key order is `at`, `seq`, `layer`, `kind`, then the
+    /// payload fields in recording order. Equal events encode to equal
+    /// bytes.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 16);
+        out.push_str("{\"at\":");
+        out.push_str(&self.at.to_string());
+        out.push_str(",\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"layer\":");
+        push_json_str(&mut out, self.layer);
+        out.push_str(",\"kind\":");
+        push_json_str(&mut out, self.kind);
+        for (key, value) in &self.fields {
+            out.push(',');
+            push_json_str(&mut out, key);
+            out.push(':');
+            match value {
+                FieldValue::U64(v) => out.push_str(&v.to_string()),
+                FieldValue::I64(v) => out.push_str(&v.to_string()),
+                FieldValue::Str(v) => push_json_str(&mut out, v),
+                FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal with the minimal
+/// escape set (`"`, `\`, control characters as `\u00XX`).
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_fixed_key_order_and_payload_order() {
+        let ev = TraceEvent {
+            at: 1800,
+            seq: 7,
+            layer: "repo",
+            kind: "attempt",
+            fields: vec![
+                ("host", FieldValue::Str("rpki.arin.example".into())),
+                ("attempt", FieldValue::U64(2)),
+                ("complete", FieldValue::Bool(false)),
+                ("delta", FieldValue::I64(-3)),
+            ],
+        };
+        assert_eq!(
+            ev.to_json_line(),
+            "{\"at\":1800,\"seq\":7,\"layer\":\"repo\",\"kind\":\"attempt\",\
+             \"host\":\"rpki.arin.example\",\"attempt\":2,\"complete\":false,\"delta\":-3}"
+        );
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,396 @@
+//! Counters, gauges, and bounded histograms, all integer-valued.
+//!
+//! Metrics live in `BTreeMap`s keyed by name so that every export walks
+//! them in lexicographic order — a requirement of the byte-identical
+//! replay contract. Histograms use fixed bucket bounds supplied at
+//! registration (or the default exponential bounds), so two registries
+//! built from the same event stream are structurally equal and can be
+//! merged without resampling.
+
+use std::collections::BTreeMap;
+
+use crate::event::push_json_str;
+
+/// Default exponential histogram bounds (upper-inclusive bucket edges),
+/// suitable for sim-time durations in seconds and for small counts.
+pub const DEFAULT_BOUNDS: &[u64] = &[1, 2, 5, 10, 30, 60, 120, 300, 600, 1800, 3600, 7200];
+
+/// A fixed-bound histogram of `u64` observations.
+///
+/// The histogram has `bounds.len() + 1` buckets: one per upper-inclusive
+/// bound plus an overflow bucket. Alongside the buckets it tracks the
+/// exact count, sum, min, and max, so summary statistics need no
+/// bucket interpolation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Upper-inclusive bucket bounds, strictly increasing.
+    bounds: Vec<u64>,
+    /// Observation counts per bucket; last entry is the overflow bucket.
+    counts: Vec<u64>,
+    /// Total number of observations.
+    count: u64,
+    /// Sum of all observed values.
+    sum: u64,
+    /// Smallest observed value, if any observation was made.
+    min: Option<u64>,
+    /// Largest observed value, if any observation was made.
+    max: Option<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given upper-inclusive bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Creates an empty histogram with [`DEFAULT_BOUNDS`].
+    pub fn new() -> Self {
+        Histogram::with_bounds(DEFAULT_BOUNDS)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) => i,
+            None => self.bounds.len(),
+        };
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or `None` if the histogram is empty.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest observation, or `None` if the histogram is empty.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Integer mean of the observations, or `None` if empty.
+    pub fn mean(&self) -> Option<u64> {
+        self.sum.checked_div(self.count)
+    }
+
+    /// The bucket bounds this histogram was built with.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    /// Panics if the bucket bounds differ — merging across bound sets
+    /// would require resampling and break replay equality.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "cannot merge histograms with different bounds");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// All three namespaces are independent `BTreeMap`s, so exports and
+/// merges walk names in lexicographic order regardless of insertion
+/// order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn gauge(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into the named histogram, creating it with
+    /// [`DEFAULT_BOUNDS`] on first use.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// Records `value` into the named histogram, creating it with the
+    /// given bounds on first use.
+    ///
+    /// # Panics
+    /// Panics if the histogram already exists with different bounds.
+    pub fn observe_with_bounds(&mut self, name: &str, value: u64, bounds: &[u64]) {
+        let hist = self
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_bounds(bounds));
+        assert_eq!(
+            hist.bounds(),
+            bounds,
+            "histogram {name:?} already registered with different bounds"
+        );
+        hist.observe(value);
+    }
+
+    /// Reads a counter, returning 0 when it was never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge, if it was ever set.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in lexicographic name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates gauges in lexicographic name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates histograms in lexicographic name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges another registry into this one: counters add, gauges take
+    /// the other registry's value (last-writer-wins), histograms merge
+    /// bucket-wise.
+    ///
+    /// # Panics
+    /// Panics if a shared histogram name has different bounds.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(hist),
+                None => {
+                    self.histograms.insert(name.clone(), hist.clone());
+                }
+            }
+        }
+    }
+
+    /// Encodes the registry as one deterministic JSON object with
+    /// `counters`, `gauges`, and `histograms` sections, names in
+    /// lexicographic order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, hist)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push_str(":{\"count\":");
+            out.push_str(&hist.count().to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&hist.sum().to_string());
+            out.push_str(",\"min\":");
+            match hist.min() {
+                Some(v) => out.push_str(&v.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"max\":");
+            match hist.max() {
+                Some(v) => out.push_str(&v.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"buckets\":[");
+            for (j, c) in hist.bucket_counts().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_upper_inclusive_with_overflow() {
+        let mut h = Histogram::with_bounds(&[10, 100]);
+        h.observe(0);
+        h.observe(10); // upper-inclusive: lands in the first bucket
+        h.observe(11);
+        h.observe(100);
+        h.observe(101); // overflow
+        assert_eq!(h.bucket_counts(), &[2, 2, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 222);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(101));
+        assert_eq!(h.mean(), Some(44));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::with_bounds(&[10, 10]);
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucketwise_and_tracks_extremes() {
+        let mut a = Histogram::with_bounds(&[5, 50]);
+        let mut b = Histogram::with_bounds(&[5, 50]);
+        a.observe(3);
+        a.observe(60);
+        b.observe(7);
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), &[1, 1, 1]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(3));
+        assert_eq!(a.max(), Some(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::with_bounds(&[5]);
+        let b = Histogram::with_bounds(&[6]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_overwrites_gauges_merges_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.count("net.sent", 4);
+        a.gauge("bgp.worklist_peak", 9);
+        a.observe_with_bounds("repo.attempt_secs", 40, &[30, 60]);
+
+        let mut b = MetricsRegistry::new();
+        b.count("net.sent", 2);
+        b.count("net.dropped", 1);
+        b.gauge("bgp.worklist_peak", 12);
+        b.observe_with_bounds("repo.attempt_secs", 90, &[30, 60]);
+
+        a.merge(&b);
+        assert_eq!(a.counter("net.sent"), 6);
+        assert_eq!(a.counter("net.dropped"), 1);
+        assert_eq!(a.gauge_value("bgp.worklist_peak"), Some(12));
+        let h = a.histogram("repo.attempt_secs").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket_counts(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn registry_json_is_sorted_and_stable() {
+        let mut r = MetricsRegistry::new();
+        r.count("z.late", 1);
+        r.count("a.early", 2);
+        r.gauge("mid", -3);
+        r.observe_with_bounds("h", 2, &[1, 4]);
+        let json = r.to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a.early\":2,\"z.late\":1},\"gauges\":{\"mid\":-3},\
+             \"histograms\":{\"h\":{\"count\":1,\"sum\":2,\"min\":2,\"max\":2,\
+             \"buckets\":[0,1,0]}}}"
+        );
+        assert_eq!(json, r.clone().to_json());
+    }
+}

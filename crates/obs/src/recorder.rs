@@ -1,0 +1,298 @@
+//! The [`Recorder`] handle: the single entry point instrumented code
+//! talks to.
+//!
+//! A recorder is either *live* (backed by shared interior state) or
+//! *disabled* (a `None` handle). Every recording method branches once
+//! on that option; the disabled arm allocates nothing and returns
+//! immediately, which is what keeps instrumentation affordable in hot
+//! paths like the network step loop. Cloning a live recorder clones an
+//! `Rc`, so every layer can hold its own handle onto one shared trace.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::event::{FieldValue, TraceEvent};
+use crate::metrics::MetricsRegistry;
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<TraceEvent>,
+    metrics: MetricsRegistry,
+    next_seq: u64,
+    next_span: u64,
+    open_spans: Vec<(u64, &'static str, &'static str, u64)>,
+}
+
+/// A cheap, cloneable handle onto a shared deterministic trace.
+///
+/// Obtain a live one with [`Recorder::new`] and a no-op one with
+/// [`Recorder::disabled`]. All methods are safe to call on either.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+/// Token returned by [`Recorder::span_start`] and consumed by
+/// [`Recorder::span_end`]. A token from a disabled recorder is inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanToken(Option<u64>);
+
+impl Recorder {
+    /// Creates a live recorder with an empty trace and registry.
+    pub fn new() -> Self {
+        Recorder { inner: Some(Rc::new(RefCell::new(Inner::default()))) }
+    }
+
+    /// Creates a disabled recorder: every call is a single-branch no-op.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// True when this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Starts building an event at sim-time `at` for `layer`/`kind`.
+    ///
+    /// The builder is inert when the recorder is disabled; call
+    /// [`EventBuilder::emit`] to append the event to the trace.
+    pub fn event(&self, at: u64, layer: &'static str, kind: &'static str) -> EventBuilder<'_> {
+        EventBuilder {
+            recorder: self,
+            draft: self.inner.as_ref().map(|_| TraceEvent {
+                at,
+                seq: 0,
+                layer,
+                kind,
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn count(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().metrics.count(name, delta);
+        }
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge(&self, name: &str, value: i64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().metrics.gauge(name, value);
+        }
+    }
+
+    /// Records one observation into the named histogram (default bounds).
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().metrics.observe(name, value);
+        }
+    }
+
+    /// Opens a span-style phase timer at sim-time `at`.
+    ///
+    /// Spans are closed explicitly with [`Recorder::span_end`] — there
+    /// is no drop-based timing, because only the caller knows the
+    /// simulated clock. Opening a span emits a `span_begin` event.
+    pub fn span_start(&self, at: u64, layer: &'static str, name: &'static str) -> SpanToken {
+        match &self.inner {
+            None => SpanToken(None),
+            Some(inner) => {
+                let id = {
+                    let mut inner = inner.borrow_mut();
+                    let id = inner.next_span;
+                    inner.next_span += 1;
+                    inner.open_spans.push((id, layer, name, at));
+                    id
+                };
+                self.event(at, layer, "span_begin").str("span", name).u64("span_id", id).emit();
+                SpanToken(Some(id))
+            }
+        }
+    }
+
+    /// Closes a span at sim-time `at`, emitting a `span_end` event and
+    /// recording the sim-time duration into the histogram
+    /// `span.<layer>.<name>`.
+    ///
+    /// Tokens from disabled recorders (and unknown tokens) are ignored.
+    pub fn span_end(&self, at: u64, token: SpanToken) {
+        let (Some(inner), Some(id)) = (&self.inner, token.0) else {
+            return;
+        };
+        let found = {
+            let mut inner = inner.borrow_mut();
+            match inner.open_spans.iter().position(|(sid, ..)| *sid == id) {
+                Some(idx) => Some(inner.open_spans.remove(idx)),
+                None => None,
+            }
+        };
+        if let Some((_, layer, name, started_at)) = found {
+            let duration = at.saturating_sub(started_at);
+            self.event(at, layer, "span_end")
+                .str("span", name)
+                .u64("span_id", id)
+                .u64("duration", duration)
+                .emit();
+            if let Some(inner) = &self.inner {
+                inner.borrow_mut().metrics.observe(&format!("span.{layer}.{name}"), duration);
+            }
+        }
+    }
+
+    /// Number of events recorded so far (0 when disabled).
+    pub fn event_count(&self) -> usize {
+        self.inner.as_ref().map_or(0, |inner| inner.borrow().events.len())
+    }
+
+    /// Returns a snapshot clone of the recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.as_ref().map_or_else(Vec::new, |inner| inner.borrow().events.clone())
+    }
+
+    /// Returns a snapshot clone of the metrics registry.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.inner
+            .as_ref()
+            .map_or_else(MetricsRegistry::new, |inner| inner.borrow().metrics.clone())
+    }
+
+    /// Renders the full trace as JSONL: one event per line, trailing
+    /// newline after each, byte-identical across replays of a seed.
+    pub fn trace_jsonl(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::new();
+        };
+        let inner = inner.borrow();
+        let mut out = String::with_capacity(inner.events.len() * 96);
+        for ev in &inner.events {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn push_event(&self, mut event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.borrow_mut();
+            event.seq = inner.next_seq;
+            inner.next_seq += 1;
+            inner.events.push(event);
+        }
+    }
+}
+
+/// Builder returned by [`Recorder::event`]; chain typed field setters
+/// and finish with [`EventBuilder::emit`].
+///
+/// When the recorder is disabled every setter is a no-op and `emit`
+/// does nothing.
+#[must_use = "an event builder does nothing until .emit() is called"]
+#[derive(Debug)]
+pub struct EventBuilder<'r> {
+    recorder: &'r Recorder,
+    draft: Option<TraceEvent>,
+}
+
+impl EventBuilder<'_> {
+    /// Attaches an unsigned integer field.
+    pub fn u64(mut self, key: &'static str, value: u64) -> Self {
+        if let Some(draft) = &mut self.draft {
+            draft.fields.push((key, FieldValue::U64(value)));
+        }
+        self
+    }
+
+    /// Attaches a signed integer field.
+    pub fn i64(mut self, key: &'static str, value: i64) -> Self {
+        if let Some(draft) = &mut self.draft {
+            draft.fields.push((key, FieldValue::I64(value)));
+        }
+        self
+    }
+
+    /// Attaches a string field.
+    pub fn str(mut self, key: &'static str, value: &str) -> Self {
+        if let Some(draft) = &mut self.draft {
+            draft.fields.push((key, FieldValue::Str(value.to_string())));
+        }
+        self
+    }
+
+    /// Attaches a boolean field.
+    pub fn bool(mut self, key: &'static str, value: bool) -> Self {
+        if let Some(draft) = &mut self.draft {
+            draft.fields.push((key, FieldValue::Bool(value)));
+        }
+        self
+    }
+
+    /// Appends the event to the trace (no-op when disabled).
+    pub fn emit(self) {
+        if let Some(draft) = self.draft {
+            self.recorder.push_event(draft);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::disabled();
+        rec.event(5, "net", "deliver").u64("bytes", 10).emit();
+        rec.count("net.sent", 1);
+        rec.observe("lat", 3);
+        let token = rec.span_start(0, "rp", "validate");
+        rec.span_end(9, token);
+        assert!(!rec.is_enabled());
+        assert_eq!(rec.event_count(), 0);
+        assert!(rec.metrics().is_empty());
+        assert_eq!(rec.trace_jsonl(), "");
+    }
+
+    #[test]
+    fn clones_share_one_trace_with_monotonic_seq() {
+        let rec = Recorder::new();
+        let other = rec.clone();
+        rec.event(1, "net", "send").emit();
+        other.event(1, "net", "deliver").emit();
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].kind, "deliver");
+    }
+
+    #[test]
+    fn spans_emit_paired_events_and_a_duration_histogram() {
+        let rec = Recorder::new();
+        let token = rec.span_start(100, "rp", "validate");
+        rec.span_end(160, token);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "span_begin");
+        assert_eq!(events[1].kind, "span_end");
+        assert!(events[1].fields.contains(&("duration", FieldValue::U64(60))));
+        let metrics = rec.metrics();
+        let hist = metrics.histogram("span.rp.validate").unwrap();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 60);
+    }
+
+    #[test]
+    fn trace_jsonl_is_one_line_per_event() {
+        let rec = Recorder::new();
+        rec.event(1, "a", "x").emit();
+        rec.event(2, "b", "y").u64("n", 3).emit();
+        let jsonl = rec.trace_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"at\":1,\"seq\":0,\"layer\":\"a\",\"kind\":\"x\"}");
+        assert_eq!(lines[1], "{\"at\":2,\"seq\":1,\"layer\":\"b\",\"kind\":\"y\",\"n\":3}");
+    }
+}

@@ -215,7 +215,7 @@ mod tests {
         let (mut net, repos, client, _, dir) = world();
         let mut cache = SyncCache::new();
         let (out, stats) = sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
-        assert!(out.complete());
+        assert!(out.is_complete());
         assert_eq!(stats, IncrementalStats { reused: 0, fetched: 2 });
         assert_eq!(cache.file_count(), 2);
     }
@@ -227,7 +227,7 @@ mod tests {
         sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
         let sent_before = net.stats().sent;
         let (out, stats) = sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
-        assert!(out.complete());
+        assert!(out.is_complete());
         assert_eq!(stats, IncrementalStats { reused: 2, fetched: 0 });
         // Only LIST + Listing crossed the wire.
         assert_eq!(net.stats().sent - sent_before, 2);
@@ -253,7 +253,7 @@ mod tests {
         sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
         repos.get_mut(server).unwrap().delete(&dir, "a.roa");
         let (out, stats) = sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
-        assert!(out.complete());
+        assert!(out.is_complete());
         assert!(!out.files.contains_key("a.roa"), "stealthy deletion must be visible");
         assert_eq!(stats, IncrementalStats { reused: 1, fetched: 0 });
         assert_eq!(cache.file_count(), 1);
@@ -292,7 +292,7 @@ mod tests {
         let (mut net, repos, client, _, dir) = world();
         let mut cache = SyncCache::new();
         let out = sync_dir_caching(&mut net, &repos, client, &dir, &mut cache);
-        assert!(out.complete());
+        assert!(out.is_complete());
         let (_, stats) = sync_dir_incremental(&mut net, &repos, client, &dir, &mut cache);
         assert_eq!(stats, IncrementalStats { reused: 2, fetched: 0 });
     }

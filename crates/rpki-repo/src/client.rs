@@ -167,9 +167,34 @@ impl SyncOutcome {
         }
     }
 
+    /// A complete outcome fetched live this session.
+    pub fn fresh(dir: RepoUri, files: BTreeMap<String, Vec<u8>>) -> Self {
+        SyncOutcome {
+            dir,
+            files,
+            missing: Vec::new(),
+            corrupted: Vec::new(),
+            listed: true,
+            freshness: Freshness::Fresh,
+        }
+    }
+
+    /// A complete outcome served from a snapshot taken `age` simulated
+    /// seconds ago (the resilient source's stale fallback).
+    pub fn stale(dir: RepoUri, files: BTreeMap<String, Vec<u8>>, age: u64) -> Self {
+        SyncOutcome {
+            dir,
+            files,
+            missing: Vec::new(),
+            corrupted: Vec::new(),
+            listed: true,
+            freshness: Freshness::Stale { age },
+        }
+    }
+
     /// Whether every listed file arrived digest-intact (says nothing
     /// about signatures — that is the relying party's manifest check).
-    pub fn complete(&self) -> bool {
+    pub fn is_complete(&self) -> bool {
         self.listed && self.missing.is_empty() && self.corrupted.is_empty()
     }
 }
@@ -246,6 +271,19 @@ pub struct SyncReport {
     pub complete: bool,
 }
 
+impl SyncReport {
+    /// Whether the sequence ended with a complete, digest-intact sync
+    /// (accessor twin of [`SyncOutcome::is_complete`]).
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Number of sessions attempted.
+    pub fn attempt_count(&self) -> usize {
+        self.attempts.len()
+    }
+}
+
 /// One session's result plus whether the deadline killed it.
 struct SessionResult {
     outcome: SyncOutcome,
@@ -266,6 +304,7 @@ fn run_session(
     deadline: Option<u64>,
     have: &BTreeMap<String, Vec<u8>>,
 ) -> SessionResult {
+    let rec = net.recorder();
     let mut outcome = SyncOutcome::unreachable(dir.clone());
     // Digests promised by the listing; the ground truth for
     // verification and for the missing/corrupted diff.
@@ -336,7 +375,16 @@ fn run_session(
                                 Some(digest) if sha256(&bytes) == *digest => {
                                     outcome.files.insert(name, bytes);
                                 }
-                                Some(_) => outcome.corrupted.push(name),
+                                Some(_) => {
+                                    if rec.is_enabled() {
+                                        rec.count("repo.digest_failures", 1);
+                                        rec.event(net.now(), "repo", "digest_fail")
+                                            .str("host", dir.host())
+                                            .str("file", &name)
+                                            .emit();
+                                    }
+                                    outcome.corrupted.push(name);
+                                }
                                 // A file the listing never promised:
                                 // ignore (unsolicited).
                                 None => {}
@@ -412,6 +460,7 @@ pub fn sync_dir_with_policy(
     dir: &RepoUri,
     policy: &SyncPolicy,
 ) -> (SyncOutcome, SyncReport) {
+    let rec = net.recorder();
     let mut report = SyncReport::default();
     let Some(server) = repos.node_of(dir.host()) else {
         return (SyncOutcome::unreachable(dir.clone()), report);
@@ -423,6 +472,19 @@ pub fn sync_dir_with_policy(
         let started_at = net.now();
         let SessionResult { outcome, deadline_hit } =
             run_session(net, repos, client, server, dir, policy.deadline, &have);
+        if rec.is_enabled() {
+            rec.count("repo.attempts", 1);
+            rec.observe("repo.attempt_secs", net.now() - started_at);
+            rec.event(net.now(), "repo", "attempt")
+                .str("host", dir.host())
+                .u64("attempt", u64::from(attempt))
+                .bool("listed", outcome.listed)
+                .u64("intact", outcome.files.len() as u64)
+                .u64("missing", outcome.missing.len() as u64)
+                .u64("corrupted", outcome.corrupted.len() as u64)
+                .bool("deadline_hit", deadline_hit)
+                .emit();
+        }
         report.attempts.push(AttemptReport {
             started_at,
             finished_at: net.now(),
@@ -433,7 +495,7 @@ pub fn sync_dir_with_policy(
             deadline_hit,
         });
         have.extend(outcome.files.clone());
-        let done = outcome.complete();
+        let done = outcome.is_complete();
         // A listed outcome always beats an unreachable one; among
         // listed outcomes the latest wins (it reuses all prior files).
         if best.as_ref().is_none_or(|b| !b.listed || outcome.listed) {
@@ -444,6 +506,14 @@ pub fn sync_dir_with_policy(
         }
         if attempt < attempts && policy.backoff > 0 {
             let delay = policy.backoff << (attempt - 1);
+            if rec.is_enabled() {
+                rec.count("repo.backoffs", 1);
+                rec.event(net.now(), "repo", "backoff")
+                    .str("host", dir.host())
+                    .u64("attempt", u64::from(attempt))
+                    .u64("delay", delay)
+                    .emit();
+            }
             net.set_timer(client, delay, BACKOFF_TOKEN);
             while let Some(occ) = net.step() {
                 if matches!(occ, Occurrence::Timer { node, token }
@@ -464,7 +534,7 @@ pub fn sync_dir_with_policy(
     for name in &outcome.corrupted {
         report.fates.insert(name.clone(), FileFate::Corrupted);
     }
-    report.complete = outcome.complete();
+    report.complete = outcome.is_complete();
     (outcome, report)
 }
 
@@ -490,7 +560,7 @@ mod tests {
         let (mut net, repos, client, _, dir) = world();
         let out = sync_dir(&mut net, &repos, client, &dir);
         assert!(out.listed);
-        assert!(out.complete());
+        assert!(out.is_complete());
         assert_eq!(out.files.len(), 2);
         assert_eq!(out.files["a.roa"], vec![1, 2, 3]);
         assert_eq!(out.files["b.cer"], vec![4, 5]);
@@ -523,7 +593,7 @@ mod tests {
         net.faults.drop_nth(server, client, 2);
         let out = sync_dir(&mut net, &repos, client, &dir);
         assert!(out.listed);
-        assert!(!out.complete());
+        assert!(!out.is_complete());
         assert_eq!(out.missing, vec!["a.roa".to_owned()]);
         assert_eq!(out.files.len(), 1);
         assert!(out.files.contains_key("b.cer"));
@@ -554,7 +624,7 @@ mod tests {
         assert_eq!(out.corrupted, vec!["a.roa".to_owned()], "digest mismatch must be classified");
         assert!(!out.files.contains_key("a.roa"), "corrupted bytes must not enter files");
         assert!(out.missing.is_empty(), "corrupted is distinct from missing");
-        assert!(!out.complete());
+        assert!(!out.is_complete());
         assert!(out.files.contains_key("b.cer"));
     }
 
@@ -592,7 +662,7 @@ mod tests {
         let out = sync_dir(&mut net, &repos, client, &dir);
         assert!(out.listed);
         assert!(out.files.is_empty());
-        assert!(out.complete());
+        assert!(out.is_complete());
     }
 
     #[test]
@@ -619,7 +689,7 @@ mod tests {
         net.faults.drop_nth(server, client, 2);
         let policy = SyncPolicy { attempts: 2, backoff: 30, deadline: Some(300) };
         let (out, report) = sync_dir_with_policy(&mut net, &repos, client, &dir, &policy);
-        assert!(out.complete());
+        assert!(out.is_complete());
         assert_eq!(out.files["a.roa"], vec![1, 2, 3]);
         assert_eq!(report.attempts.len(), 2);
         assert!(!report.attempts[0].listed || report.attempts[0].missing == 1);
@@ -636,7 +706,7 @@ mod tests {
         let (mut net, repos, client, _, dir) = world();
         let policy = SyncPolicy::default();
         let (out, report) = sync_dir_with_policy(&mut net, &repos, client, &dir, &policy);
-        assert!(out.complete());
+        assert!(out.is_complete());
         assert_eq!(report.attempts.len(), 1);
         assert!(!report.attempts[0].deadline_hit);
         // No deadline or backoff timers left behind.

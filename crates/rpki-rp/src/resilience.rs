@@ -18,7 +18,7 @@
 //! - an **incomplete** sync (unreachable, missing or corrupted files)
 //!   falls back to the snapshot while it is younger than
 //!   [`ResilienceConfig::max_stale`], marking the outcome
-//!   [`Freshness::Stale`];
+//!   [`Freshness::Stale`](rpki_repo::Freshness::Stale);
 //! - consecutive fully failed sessions open a per-host circuit breaker:
 //!   for [`ResilienceConfig::cooldown`] seconds the wrapped source is
 //!   not consulted at all, so a dead repository stops burning retry
@@ -33,7 +33,8 @@
 use std::collections::BTreeMap;
 
 use rpki_objects::RepoUri;
-use rpki_repo::{Freshness, SyncOutcome};
+use rpki_obs::Recorder;
+use rpki_repo::SyncOutcome;
 use serde::Serialize;
 
 use crate::source::ObjectSource;
@@ -69,6 +70,18 @@ pub struct FetchHealth {
     pub cooling_until: Option<u64>,
 }
 
+impl FetchHealth {
+    /// A clean bill of health: no failures, circuit closed.
+    pub fn healthy() -> Self {
+        FetchHealth::default()
+    }
+
+    /// Whether the circuit is open (cooling) at simulated time `now`.
+    pub fn is_cooling(&self, now: u64) -> bool {
+        self.cooling_until.is_some_and(|until| now < until)
+    }
+}
+
 /// One directory's last-good contents.
 #[derive(Debug, Clone)]
 struct Snapshot {
@@ -84,6 +97,7 @@ pub struct ResilientState {
     config: ResilienceConfig,
     snapshots: BTreeMap<String, Snapshot>,
     health: BTreeMap<String, FetchHealth>,
+    recorder: Recorder,
 }
 
 impl ResilientState {
@@ -95,6 +109,13 @@ impl ResilientState {
     /// The configuration in force.
     pub fn config(&self) -> ResilienceConfig {
         self.config
+    }
+
+    /// Installs an observability recorder; circuit-breaker transitions
+    /// and stale-serve decisions are emitted into it. Disabled by
+    /// default.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The health record of `host`, if any session has targeted it.
@@ -114,17 +135,32 @@ impl ResilientState {
     }
 
     fn circuit_open(&self, host: &str, now: u64) -> bool {
-        self.health.get(host).and_then(|h| h.cooling_until).is_some_and(|until| now < until)
+        self.health.get(host).is_some_and(|h| h.is_cooling(now))
     }
 
     fn record_session(&mut self, host: &str, listed: bool, now: u64) {
         let health = self.health.entry(host.to_owned()).or_default();
         if listed {
-            *health = FetchHealth::default();
+            let was_tripped = *health != FetchHealth::healthy();
+            *health = FetchHealth::healthy();
+            if was_tripped && self.recorder.is_enabled() {
+                self.recorder.count("rp.circuit_closed", 1);
+                self.recorder.event(now, "rp", "circuit_close").str("host", host).emit();
+            }
         } else {
             health.consecutive_failures += 1;
             if health.consecutive_failures >= self.config.failure_threshold {
+                let was_open = health.is_cooling(now);
                 health.cooling_until = Some(now + self.config.cooldown);
+                if !was_open && self.recorder.is_enabled() {
+                    self.recorder.count("rp.circuit_opened", 1);
+                    self.recorder
+                        .event(now, "rp", "circuit_open")
+                        .str("host", host)
+                        .u64("failures", u64::from(health.consecutive_failures))
+                        .u64("until", now + self.config.cooldown)
+                        .emit();
+                }
             }
         }
     }
@@ -155,6 +191,10 @@ impl<S: ObjectSource> ObjectSource for ResilientSource<'_, S> {
         let host = dir.host().to_owned();
         let outcome = if self.state.circuit_open(&host, now) {
             // Open circuit: don't touch the network at all.
+            if self.state.recorder.is_enabled() {
+                self.state.recorder.count("rp.circuit_skips", 1);
+                self.state.recorder.event(now, "rp", "circuit_skip").str("host", &host).emit();
+            }
             SyncOutcome::unreachable(dir.clone())
         } else {
             let outcome = self.inner.load_dir(dir);
@@ -162,7 +202,8 @@ impl<S: ObjectSource> ObjectSource for ResilientSource<'_, S> {
             outcome
         };
 
-        if outcome.complete() {
+        if outcome.is_complete() {
+            self.state.recorder.count("rp.snapshot_refreshes", 1);
             self.state
                 .snapshots
                 .insert(dir.to_string(), Snapshot { files: outcome.files.clone(), taken_at: now });
@@ -173,12 +214,18 @@ impl<S: ObjectSource> ObjectSource for ResilientSource<'_, S> {
         if let Some(snapshot) = self.state.snapshots.get(&dir.to_string()) {
             let age = now.saturating_sub(snapshot.taken_at);
             if age <= self.state.config.max_stale {
-                return SyncOutcome {
-                    files: snapshot.files.clone(),
-                    listed: true,
-                    freshness: Freshness::Stale { age },
-                    ..SyncOutcome::unreachable(dir.clone())
-                };
+                if self.state.recorder.is_enabled() {
+                    self.state.recorder.count("rp.stale_served", 1);
+                    self.state.recorder.observe("rp.stale_age", age);
+                    self.state
+                        .recorder
+                        .event(now, "rp", "stale_served")
+                        .str("host", &host)
+                        .u64("age", age)
+                        .u64("files", snapshot.files.len() as u64)
+                        .emit();
+                }
+                return SyncOutcome::stale(dir.clone(), snapshot.files.clone(), age);
             }
         }
         outcome
@@ -192,6 +239,7 @@ impl<S: ObjectSource> ObjectSource for ResilientSource<'_, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rpki_repo::Freshness;
 
     /// A scriptable source: serves `files` when `up`, tracks calls.
     struct FakeSource {
@@ -240,7 +288,7 @@ mod tests {
         let (inner, _) = FakeSource::new(100, true);
         let mut src = ResilientSource::new(inner, &mut state);
         let out = src.load_dir(&dir());
-        assert!(out.complete());
+        assert!(out.is_complete());
         assert_eq!(out.freshness, Freshness::Fresh);
         assert_eq!(state.snapshot_count(), 1);
         assert_eq!(state.snapshot_age(&dir(), 150), Some(50));
@@ -300,7 +348,7 @@ mod tests {
         let (good, calls) = FakeSource::new(1_500, true);
         let out = ResilientSource::new(good, &mut state).load_dir(&dir());
         assert_eq!(calls.get(), 1);
-        assert!(out.complete());
+        assert!(out.is_complete());
         assert_eq!(state.health("h").unwrap(), FetchHealth::default());
     }
 
@@ -315,7 +363,7 @@ mod tests {
         let (mut fewer, _) = FakeSource::new(10, true);
         fewer.files.clear();
         let out = ResilientSource::new(fewer, &mut state).load_dir(&dir());
-        assert!(out.complete());
+        assert!(out.is_complete());
         assert!(out.files.is_empty());
         // The snapshot now reflects the deletion.
         let (bad, _) = FakeSource::new(20, false);

@@ -172,7 +172,7 @@ mod tests {
         net.faults.drop_nth(node, client, 2);
         let mut src = NetworkSource::with_policy(&mut net, &repos, client, SyncPolicy::default());
         let out = src.load_dir(&dir);
-        assert!(out.complete());
+        assert!(out.is_complete());
         assert_eq!(src.reports().len(), 1);
         assert_eq!(src.reports()[0].1.attempts.len(), 2);
     }

@@ -25,6 +25,7 @@ use std::collections::BTreeSet;
 
 use ipres::ResourceSet;
 use rpki_objects::{Decode, Moment, RepoUri, ResourceCert, RpkiObject, TrustAnchorLocator};
+use rpki_obs::Recorder;
 use rpki_repo::{Freshness, SyncOutcome};
 use rpkisim_crypto::{sha256, KeyId};
 use serde::Serialize;
@@ -233,6 +234,52 @@ impl ValidationRun {
     /// Whether any diagnostic carries the given issue.
     pub fn has_issue(&self, issue: &Issue) -> bool {
         self.diagnostics.iter().any(|d| &d.issue == issue)
+    }
+
+    /// Emits this run's outcome into an observability recorder at
+    /// simulated time `at`: one `validation` summary event, one
+    /// `freshness` provenance event per publication point (in the
+    /// run's sorted order), and the matching counters/histograms.
+    pub fn emit(&self, rec: &Recorder, at: u64) {
+        if !rec.is_enabled() {
+            return;
+        }
+        let mut fresh = 0u64;
+        let mut stale = 0u64;
+        let mut absent = 0u64;
+        for (dir, provenance) in &self.freshness {
+            let (label, age) = match provenance {
+                Freshness::Fresh => {
+                    fresh += 1;
+                    ("fresh", 0)
+                }
+                Freshness::Stale { age } => {
+                    stale += 1;
+                    ("stale", *age)
+                }
+                Freshness::Absent => {
+                    absent += 1;
+                    ("absent", 0)
+                }
+            };
+            rec.event(at, "rp", "freshness")
+                .str("dir", dir)
+                .str("state", label)
+                .u64("age", age)
+                .emit();
+        }
+        rec.count("rp.validation_runs", 1);
+        rec.observe("rp.vrps_per_run", self.vrps.len() as u64);
+        rec.event(at, "rp", "validation")
+            .u64("vrps", self.vrps.len() as u64)
+            .u64("cas", self.cas.len() as u64)
+            .u64("roas", self.accepted_roas.len() as u64)
+            .u64("revocations", self.revocations.len() as u64)
+            .u64("diagnostics", self.diagnostics.len() as u64)
+            .u64("fresh_dirs", fresh)
+            .u64("stale_dirs", stale)
+            .u64("absent_dirs", absent)
+            .emit();
     }
 }
 

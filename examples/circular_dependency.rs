@@ -9,7 +9,7 @@
 use bgp_sim::RpkiPolicy;
 use rpki_objects::Moment;
 use rpki_risk::fixtures::asn;
-use rpki_risk::{LoopbackWorld, ModelRpki};
+use rpki_risk::{LoopbackWorld, ModelRpki, ValidationOptions};
 
 fn main() {
     // Premises: Figure 5 (right) validity (Sprint's covering /12-13
@@ -19,14 +19,14 @@ fn main() {
     w.add_figure5_right_roa(Moment(2));
 
     // A healthy relying party has the complete cache.
-    let healthy = w.validate_network(Moment(3));
+    let healthy = w.validate_with(ValidationOptions::at(Moment(3)));
     println!("healthy cache: {} VRPs", healthy.vrps.len());
 
     // The transient fault: ONE corrupted rsync session from
     // Continental's repository.
     let node = w.repos.node_of("rpki.continental.example").unwrap();
     w.net.faults.corrupt_nth(node, w.rp_node, 1);
-    let faulted = w.validate_network(Moment(4));
+    let faulted = w.validate_with(ValidationOptions::at(Moment(4)));
     println!(
         "after one corrupted session: {} VRPs ({} lost)",
         faulted.vrps.len(),
