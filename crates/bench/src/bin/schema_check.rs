@@ -11,8 +11,10 @@ use std::process::ExitCode;
 use rpki_risk_bench::schema;
 
 /// Known export → schema pairs, relative to the repository root.
-const KNOWN: &[(&str, &str)] =
-    &[("BENCH_propagation.json", "schemas/bench_propagation.schema.json")];
+const KNOWN: &[(&str, &str)] = &[
+    ("BENCH_propagation.json", "schemas/bench_propagation.schema.json"),
+    ("BENCH_validation.json", "schemas/bench_validation.schema.json"),
+];
 
 fn check_pair(data_path: &str, schema_path: &str) -> Result<(), String> {
     let data = std::fs::read_to_string(data_path)

@@ -39,7 +39,10 @@ use ipres::Prefix;
 use rpki_objects::{Moment, RoaPrefix, Span};
 use rpki_obs::Recorder;
 use rpki_repo::{Freshness, SyncPolicy};
-use rpki_rp::{ResilienceConfig, ResilientState, Route, RouteValidity, ValidationRun, VrpCache};
+use rpki_rp::{
+    ResilienceConfig, ResilientState, Route, RouteValidity, ValidationRun, ValidationState,
+    VrpCache,
+};
 use serde::Serialize;
 
 use crate::fixtures::{asn, ModelRpki};
@@ -217,9 +220,24 @@ pub fn campaign_resilience() -> ResilienceConfig {
     ResilienceConfig { max_stale: 6 * 3600, failure_threshold: 3, cooldown: ROUND_SECS }
 }
 
-/// Runs `spec` at `seed` across all four tiers.
+/// Runs `spec` at `seed` across all four tiers. Each tier revalidates
+/// incrementally against a persistent [`ValidationState`] (full-fetch
+/// mode, so the network sees exactly the traffic a cold walk would);
+/// [`run_campaign_cold`] is the reference without the cache, and the
+/// two are byte-identical by construction.
 pub fn run_campaign(spec: &CampaignSpec, seed: u64) -> CampaignOutcome {
     run_campaign_traced(spec, seed, &Recorder::disabled())
+}
+
+/// Runs `spec` at `seed` across all four tiers with cold full walks
+/// every round — the oracle the incremental engine's output is tested
+/// against.
+pub fn run_campaign_cold(spec: &CampaignSpec, seed: u64) -> CampaignOutcome {
+    let tiers = RpTier::ALL
+        .iter()
+        .map(|&tier| run_tier(spec, seed, tier, &Recorder::disabled(), false))
+        .collect();
+    CampaignOutcome { name: spec.name.clone(), seed, rounds: spec.rounds, tiers }
 }
 
 /// Runs `spec` at `seed` across all four tiers, reporting through
@@ -228,14 +246,25 @@ pub fn run_campaign(spec: &CampaignSpec, seed: u64) -> CampaignOutcome {
 /// and every round emits a `campaign/round` event plus the campaign
 /// counters that the hand-rolled [`TierTotals`] integers mirror.
 pub fn run_campaign_traced(spec: &CampaignSpec, seed: u64, recorder: &Recorder) -> CampaignOutcome {
-    let tiers = RpTier::ALL.iter().map(|&tier| run_tier(spec, seed, tier, recorder)).collect();
+    let tiers =
+        RpTier::ALL.iter().map(|&tier| run_tier(spec, seed, tier, recorder, true)).collect();
     CampaignOutcome { name: spec.name.clone(), seed, rounds: spec.rounds, tiers }
 }
 
-fn run_tier(spec: &CampaignSpec, seed: u64, tier: RpTier, recorder: &Recorder) -> TierOutcome {
+fn run_tier(
+    spec: &CampaignSpec,
+    seed: u64,
+    tier: RpTier,
+    recorder: &Recorder,
+    incremental: bool,
+) -> TierOutcome {
     let mut w = ModelRpki::build_seeded(seed);
     w.net.set_recorder(recorder.clone());
     let policy = campaign_policy();
+    // Full-fetch incremental revalidation: the memo cache persists
+    // across the tier's rounds, so unchanged publication points replay
+    // instead of re-verifying, without changing a byte of output.
+    let mut validation_state = incremental.then(ValidationState::full);
     let mut resilient = ResilientState::new(campaign_resilience());
     // Hold-down of one day: longer than any campaign, so a held VRP
     // stays held until it recovers or the campaign ends.
@@ -246,7 +275,15 @@ fn run_tier(spec: &CampaignSpec, seed: u64, tier: RpTier, recorder: &Recorder) -
     // Warm-up: one faultless validation so snapshots and the
     // suspenders baseline reflect the healthy world.
     let moment = Moment(w.net.now());
-    validate_tier(&mut w, tier, moment, policy, &mut resilient, &mut suspenders);
+    validate_tier(
+        &mut w,
+        tier,
+        moment,
+        policy,
+        &mut resilient,
+        &mut suspenders,
+        validation_state.as_mut(),
+    );
 
     let mut rounds = Vec::with_capacity(spec.rounds);
     for round in 1..=spec.rounds {
@@ -256,7 +293,15 @@ fn run_tier(spec: &CampaignSpec, seed: u64, tier: RpTier, recorder: &Recorder) -
         apply_faults(&mut w, spec, round, &mut withdrawn);
 
         let moment = Moment(w.net.now());
-        let run = validate_tier(&mut w, tier, moment, policy, &mut resilient, &mut suspenders);
+        let run = validate_tier(
+            &mut w,
+            tier,
+            moment,
+            policy,
+            &mut resilient,
+            &mut suspenders,
+            validation_state.as_mut(),
+        );
 
         let (vrps, cache): (usize, VrpCache) = if tier == RpTier::Suspenders {
             (suspenders.len(), suspenders.effective_cache())
@@ -319,6 +364,7 @@ fn run_tier(spec: &CampaignSpec, seed: u64, tier: RpTier, recorder: &Recorder) -
     TierOutcome { tier, rounds, totals }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn validate_tier(
     w: &mut ModelRpki,
     tier: RpTier,
@@ -326,6 +372,7 @@ fn validate_tier(
     policy: SyncPolicy,
     resilient: &mut ResilientState,
     suspenders: &mut SuspendersState,
+    incremental: Option<&mut ValidationState>,
 ) -> ValidationRun {
     let opts = match tier {
         RpTier::Bare => ValidationOptions::at(moment),
@@ -335,6 +382,10 @@ fn validate_tier(
             .retry(policy)
             .stale_cache(resilient)
             .suspenders(suspenders),
+    };
+    let opts = match incremental {
+        Some(state) => opts.incremental(state),
+        None => opts,
     };
     w.validate_with(opts)
 }
@@ -510,6 +561,14 @@ mod tests {
         let a = serde_json::to_string(&run_campaign(&spec, 7)).unwrap();
         let b = serde_json::to_string(&run_campaign(&spec, 7)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_campaign_matches_cold_campaign() {
+        let spec = takedown_spec();
+        let warm = serde_json::to_string(&run_campaign(&spec, 7)).unwrap();
+        let cold = serde_json::to_string(&run_campaign_cold(&spec, 7)).unwrap();
+        assert_eq!(warm, cold);
     }
 
     #[test]

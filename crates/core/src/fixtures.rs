@@ -21,14 +21,14 @@
 //! `63.160.0.0/12` is unknown (Figure 5, left).
 
 use bgp_sim::{Announcement, Topology};
-use ipres::{Prefix, ResourceSet};
+use ipres::{Asn, Prefix, ResourceSet};
 use netsim::{Network, NodeId};
 use rpki_ca::CertAuthority;
 use rpki_objects::{Encode, Moment, RepoUri, Roa, RoaPrefix, RpkiObject, Span, TrustAnchorLocator};
-use rpki_repo::{RepoRegistry, SyncPolicy};
-use rpki_rp::{DirectSource, ResilientState, ValidationConfig, ValidationRun, Validator};
-
-use crate::validate::ValidationOptions;
+use rpki_repo::RepoRegistry;
+use rpki_rp::{
+    DirectSource, NetworkSource, ValidationConfig, ValidationRun, ValidationState, Validator,
+};
 
 fn p(s: &str) -> Prefix {
     s.parse().unwrap()
@@ -260,36 +260,6 @@ impl ModelRpki {
         run
     }
 
-    /// Validates over the simulated (faultable) network.
-    #[deprecated(note = "use `validate_with(ValidationOptions::at(now))`")]
-    pub fn validate_network(&mut self, now: Moment) -> ValidationRun {
-        self.validate_with(ValidationOptions::at(now))
-    }
-
-    /// Validates over the simulated network, retrying each directory
-    /// under `policy` (a relying party with timeouts and backoff but no
-    /// cache fallback).
-    #[deprecated(note = "use `validate_with(ValidationOptions::at(now).retry(policy))`")]
-    pub fn validate_retrying(&mut self, now: Moment, policy: SyncPolicy) -> ValidationRun {
-        self.validate_with(ValidationOptions::at(now).retry(policy))
-    }
-
-    /// Validates over the simulated network with the full resilience
-    /// stack: per-directory retries under `policy` plus last-good
-    /// snapshot fallback and circuit breaking from `state` (which
-    /// persists across runs and accumulates snapshots).
-    #[deprecated(
-        note = "use `validate_with(ValidationOptions::at(now).retry(policy).stale_cache(state))`"
-    )]
-    pub fn validate_resilient(
-        &mut self,
-        now: Moment,
-        policy: SyncPolicy,
-        state: &mut ResilientState,
-    ) -> ValidationRun {
-        self.validate_with(ValidationOptions::at(now).retry(policy).stale_cache(state))
-    }
-
     /// Adds Figure 5 (right)'s new ROA: `(63.160.0.0/12-13, AS1239)` —
     /// the Side Effect 5 trigger — and republishes.
     pub fn add_figure5_right_roa(&mut self, now: Moment) -> Roa {
@@ -322,11 +292,210 @@ impl ModelRpki {
     }
 }
 
+/// Number of CAs in a subtree whose root has `depth` further levels of
+/// `branching` children below it.
+fn subtree_size(depth: u32, branching: u32) -> usize {
+    (0..=depth).map(|i| (branching as usize).pow(i)).sum()
+}
+
+/// A `/16` per CA index: CA `i` owns `10.i.0.0/16`, and because CAs are
+/// numbered in DFS preorder a subtree's resources are one contiguous
+/// index range.
+fn synthetic_resources(start: usize, size: usize) -> ResourceSet {
+    ResourceSet::from_prefixes(
+        (start..start + size)
+            .map(|i| format!("10.{i}.0.0/16").parse::<Prefix>().expect("index fits one octet")),
+    )
+}
+
+/// A regular synthetic CA tree for churn benchmarks: one trust anchor,
+/// `branching` children per CA down to `depth` levels, `roas_per_ca`
+/// ROAs per CA, all hosted in one repository with one directory per CA.
+///
+/// Unlike [`ModelRpki`] (the paper's Figure 2, four fixed publication
+/// points), this fixture scales the publication-point count and lets
+/// [`churn`](SyntheticRpki::churn) dirty a chosen fraction of points
+/// between validation runs — the workload the incremental engine's
+/// digest cache is designed for.
+pub struct SyntheticRpki {
+    /// The simulated network.
+    pub net: Network,
+    /// The single repository holding every CA's directory.
+    pub repos: RepoRegistry,
+    /// The relying party's network node.
+    pub rp_node: NodeId,
+    /// All CAs in DFS preorder; index 0 is the trust anchor.
+    pub cas: Vec<CertAuthority>,
+    /// The relying party's trust anchor locator.
+    pub tal: TrustAnchorLocator,
+    /// Expected VRP count (one per ROA).
+    pub roa_count: usize,
+    churn_cursor: usize,
+}
+
+impl SyntheticRpki {
+    /// Builds and publishes a tree over a network seeded with `seed`.
+    ///
+    /// The total CA count is `1 + b + … + b^depth` and must stay within
+    /// 256 (one `/16` per CA inside `10.0.0.0/8`).
+    pub fn build_seeded(
+        seed: u64,
+        depth: u32,
+        branching: u32,
+        roas_per_ca: usize,
+    ) -> SyntheticRpki {
+        let total = subtree_size(depth, branching);
+        assert!(total <= 256, "tree of {total} CAs outgrows 10.0.0.0/8");
+        assert!(roas_per_ca > 0 && roas_per_ca <= 200, "roas_per_ca out of range");
+
+        let mut net = Network::new(seed);
+        let rp_node = net.add_node("relying-party");
+        let mut repos = RepoRegistry::new();
+        repos.create(&mut net, "rpki.bench.example");
+
+        let mut root = CertAuthority::new(
+            "ca0",
+            "bench-ca0",
+            RepoUri::new("rpki.bench.example", &["repo", "ca0"]),
+        );
+        root.certify_self(synthetic_resources(0, total), Moment(0), Span::days(3650));
+        let mut cas = vec![root];
+        Self::grow(&mut cas, 0, depth, branching);
+        debug_assert_eq!(cas.len(), total);
+
+        for (idx, ca) in cas.iter_mut().enumerate() {
+            for j in 0..roas_per_ca {
+                ca.issue_roa(
+                    Asn(65000 + idx as u32),
+                    vec![RoaPrefix::exact(p(&format!("10.{idx}.{j}.0/24")))],
+                    Moment(0),
+                )
+                .expect("ROA inside the CA's own /16");
+            }
+        }
+
+        let tal = TrustAnchorLocator::new(
+            RepoUri::new("rpki.bench.example", &["ta", "root.cer"]),
+            cas[0].public_key(),
+        );
+        let mut world = SyntheticRpki {
+            net,
+            repos,
+            rp_node,
+            cas,
+            tal,
+            roa_count: total * roas_per_ca,
+            churn_cursor: 0,
+        };
+        world.publish_all(Moment(1));
+        world
+    }
+
+    fn grow(cas: &mut Vec<CertAuthority>, parent: usize, levels_left: u32, branching: u32) {
+        if levels_left == 0 {
+            return;
+        }
+        for _ in 0..branching {
+            let idx = cas.len();
+            let size = subtree_size(levels_left - 1, branching);
+            let mut ca = CertAuthority::new(
+                &format!("ca{idx}"),
+                &format!("bench-ca{idx}"),
+                RepoUri::new("rpki.bench.example", &["repo", &format!("ca{idx}")]),
+            );
+            let rc = cas[parent]
+                .issue_cert(
+                    &format!("ca{idx}"),
+                    ca.public_key(),
+                    synthetic_resources(idx, size),
+                    ca.sia().clone(),
+                    Moment(0),
+                )
+                .expect("subtree range sits inside the parent's range");
+            ca.install_cert(rc);
+            cas.push(ca);
+            Self::grow(cas, idx, levels_left - 1, branching);
+        }
+    }
+
+    /// Number of publication points (one directory per CA).
+    pub fn publication_points(&self) -> usize {
+        self.cas.len()
+    }
+
+    /// Republishes the TA certificate and every CA's snapshot.
+    pub fn publish_all(&mut self, now: Moment) {
+        let ta_cert = self.cas[0].cert().expect("TA certified").clone();
+        let ta_dir = RepoUri::new("rpki.bench.example", &["ta"]);
+        let repo = self.repos.by_host_mut("rpki.bench.example").expect("exists");
+        repo.publish_raw(&ta_dir, "root.cer", RpkiObject::Cert(ta_cert).to_bytes());
+        for ca in &mut self.cas {
+            let sia = ca.sia().clone();
+            let snap = ca.publication_snapshot(now);
+            self.repos
+                .by_host_mut("rpki.bench.example")
+                .expect("exists")
+                .publish_snapshot(&sia, &snap);
+        }
+    }
+
+    /// Dirties `pct` percent of publication points (at least one when
+    /// `pct > 0`): each selected CA renews one ROA and republishes its
+    /// directory — fresh manifest, CRL, and ROA bytes — while every
+    /// other directory keeps its exact on-disk content. Selection
+    /// rotates deterministically so repeated rounds spread the churn.
+    /// Returns the number of directories touched.
+    pub fn churn(&mut self, pct: usize, now: Moment) -> usize {
+        if pct == 0 {
+            return 0;
+        }
+        let total = self.cas.len();
+        let touched = ((total * pct).div_ceil(100)).clamp(1, total);
+        for _ in 0..touched {
+            let idx = self.churn_cursor % total;
+            self.churn_cursor += 1;
+            let ca = &mut self.cas[idx];
+            let file = ca.issued_roas().next().expect("every CA has ROAs").file_name();
+            ca.renew_roa(&file, now).expect("renewable");
+            let sia = ca.sia().clone();
+            let snap = ca.publication_snapshot(now);
+            self.repos
+                .by_host_mut("rpki.bench.example")
+                .expect("exists")
+                .publish_snapshot(&sia, &snap);
+        }
+        touched
+    }
+
+    /// One cold full walk over the simulated network.
+    pub fn validate_cold(&mut self, now: Moment) -> ValidationRun {
+        let mut source = NetworkSource::new(&mut self.net, &self.repos, self.rp_node);
+        Validator::new(ValidationConfig::at(now)).run(&mut source, std::slice::from_ref(&self.tal))
+    }
+
+    /// One incremental revalidation over the simulated network against
+    /// the persistent `state`.
+    pub fn validate_incremental(
+        &mut self,
+        now: Moment,
+        state: &mut ValidationState,
+    ) -> ValidationRun {
+        let mut source = NetworkSource::new(&mut self.net, &self.repos, self.rp_node);
+        Validator::new(ValidationConfig::at(now)).run_incremental(
+            &mut source,
+            std::slice::from_ref(&self.tal),
+            state,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::validate::ValidationOptions;
     use ipres::Asn;
-    use rpki_rp::{Route, RouteValidity};
+    use rpki_repo::SyncPolicy;
+    use rpki_rp::{ResilientState, Route, RouteValidity};
 
     #[test]
     fn model_validates_to_seven_plus_one_vrps() {
@@ -415,6 +584,28 @@ mod tests {
         // The repo prefix sits inside the /20 the covering ROA names —
         // the circularity precondition of Section 6.
         assert!("63.174.16.0/20".parse::<Prefix>().unwrap().covers(prefix));
+    }
+
+    #[test]
+    fn synthetic_tree_validates_and_reuses_under_partial_churn() {
+        // branching 3, depth 2 → 1 + 3 + 9 = 13 publication points.
+        let mut w = SyntheticRpki::build_seeded(11, 2, 3, 2);
+        assert_eq!(w.publication_points(), 13);
+        let mut state = ValidationState::full();
+        let first = w.validate_incremental(Moment(2), &mut state);
+        assert_eq!(first.vrps.len(), w.roa_count);
+        assert_eq!(first.cas.len(), 13);
+        // Dirty ~10% (two points after ceil): only those re-walk.
+        let touched = w.churn(10, Moment(60));
+        assert_eq!(touched, 2);
+        let second = w.validate_incremental(Moment(62), &mut state);
+        assert_eq!(second.vrps.len(), w.roa_count);
+        assert_eq!(state.stats().subtrees_rewalked as usize, touched);
+        assert_eq!(state.stats().subtrees_reused as usize, 13 - touched);
+        // Renewals keep VRP content identical, so the delta is empty.
+        assert!(state.last_delta().is_empty());
+        // And the incremental output matches a cold walk of the same world.
+        assert_eq!(second.vrps, w.validate_cold(Moment(62)).vrps);
     }
 
     #[test]

@@ -28,9 +28,9 @@
 //!   evidence, so whacks stop translating into instant outages.
 //! - [`validate`] — the single validation entry point:
 //!   [`ValidationOptions`] names the relying-party layers (retries,
-//!   stale cache, Suspenders, strict profile, transport) and
-//!   `validate_with` assembles and runs them, reporting through the
-//!   world's observability recorder.
+//!   stale cache, Suspenders, strict profile, transport, incremental
+//!   revalidation) and `validate_with` assembles and runs them,
+//!   reporting through the world's observability recorder.
 //! - [`campaign`] — seeded fault campaigns comparing relying-party
 //!   configurations (bare / retrying / stale-cache / Suspenders) on
 //!   VRP availability and validity flips under scheduled repository
@@ -50,10 +50,10 @@ pub mod tradeoff;
 pub mod validate;
 
 pub use campaign::{
-    run_campaign, run_campaign_traced, standard_campaigns, CampaignOutcome, CampaignSpec,
-    FaultKind, FaultWindow, RoundMetrics, RpTier, TierOutcome, TierTotals,
+    run_campaign, run_campaign_cold, run_campaign_traced, standard_campaigns, CampaignOutcome,
+    CampaignSpec, FaultKind, FaultWindow, RoundMetrics, RpTier, TierOutcome, TierTotals,
 };
-pub use fixtures::ModelRpki;
+pub use fixtures::{ModelRpki, SyntheticRpki};
 pub use grid::{collapse_bands, validity_grid, Band, GridRow};
 pub use jurisdiction::{
     jurisdiction_report, rir_reach, JurisdictionReport, JurisdictionRow, RirReach,

@@ -1,12 +1,13 @@
 //! One entry point for every relying-party configuration.
 //!
-//! The model world used to expose one method per relying-party shape —
-//! `validate_network`, `validate_retrying`, `validate_resilient` — and
-//! each new layer (retries, stale cache, Suspenders, tracing) widened
-//! every signature. [`ValidationOptions`] collapses them: callers name
-//! the layers they want and [`ModelRpki::validate_with`] assembles the
-//! source stack, runs the validator, and reports the run (and any
-//! Suspenders transitions) through the world's observability recorder.
+//! Each relying-party layer the suite models — retries, the stale
+//! cache, Suspenders, incremental revalidation, tracing — would widen
+//! a positional signature; [`ValidationOptions`] names them instead:
+//! callers list the layers they want and
+//! [`ModelRpki::validate_with`] assembles the source stack, runs the
+//! validator (cold, or incrementally against a persistent
+//! [`ValidationState`]), and reports the run (and any Suspenders
+//! transitions) through the world's observability recorder.
 //!
 //! ```
 //! use rpki_objects::Moment;
@@ -25,15 +26,14 @@
 //! assert_eq!(bare.vrps, run.vrps);
 //! ```
 //!
-//! The old per-shape methods survive as deprecated shims for one PR;
 //! [`ModelRpki::validate_direct`] (a perfect-transport probe, `&self`)
-//! stays as the undeprecated convenience.
+//! remains as the one standalone convenience.
 
 use rpki_objects::Moment;
 use rpki_repo::SyncPolicy;
 use rpki_rp::{
     DirectSource, NetworkSource, ObjectSource, ResilientSource, ResilientState, ValidationConfig,
-    ValidationRun, Validator,
+    ValidationRun, ValidationState, Validator,
 };
 
 use crate::fixtures::ModelRpki;
@@ -53,6 +53,7 @@ pub struct ValidationOptions<'a> {
     retry: Option<SyncPolicy>,
     stale_cache: Option<&'a mut ResilientState>,
     suspenders: Option<&'a mut SuspendersState>,
+    incremental: Option<&'a mut ValidationState>,
 }
 
 impl<'a> ValidationOptions<'a> {
@@ -66,6 +67,7 @@ impl<'a> ValidationOptions<'a> {
             retry: None,
             stale_cache: None,
             suspenders: None,
+            incremental: None,
         }
     }
 
@@ -107,20 +109,43 @@ impl<'a> ValidationOptions<'a> {
         self.suspenders = Some(state);
         self
     }
+
+    /// Revalidate incrementally against `state`'s per-CA memo cache:
+    /// unchanged publication points replay their cached subtree instead
+    /// of being re-walked, the output stays byte-identical to a cold
+    /// run, and `state` carries the VRP delta against the previous run
+    /// (feed it to an RTR server via
+    /// [`RtrServer::apply_delta`](rpki_rp::RtrServer::apply_delta)).
+    /// `state` persists across runs; its
+    /// [stats](ValidationState::stats) are emitted through the world's
+    /// recorder after each run.
+    pub fn incremental(mut self, state: &'a mut ValidationState) -> Self {
+        self.incremental = Some(state);
+        self
+    }
 }
 
 fn run_stack<S: ObjectSource>(
     config: ValidationConfig,
     source: S,
     stale_cache: Option<&mut ResilientState>,
+    incremental: Option<&mut ValidationState>,
     tals: &[rpki_objects::TrustAnchorLocator],
 ) -> ValidationRun {
-    match stale_cache {
-        Some(state) => {
+    match (stale_cache, incremental) {
+        (Some(state), Some(inc)) => {
+            let mut source = ResilientSource::new(source, state);
+            Validator::new(config).run_incremental(&mut source, tals, inc)
+        }
+        (Some(state), None) => {
             let mut source = ResilientSource::new(source, state);
             Validator::new(config).run(&mut source, tals)
         }
-        None => {
+        (None, Some(inc)) => {
+            let mut source = source;
+            Validator::new(config).run_incremental(&mut source, tals, inc)
+        }
+        (None, None) => {
             let mut source = source;
             Validator::new(config).run(&mut source, tals)
         }
@@ -132,7 +157,15 @@ impl ModelRpki {
     /// the run summary (and any Suspenders transitions) through the
     /// network's recorder.
     pub fn validate_with(&mut self, opts: ValidationOptions<'_>) -> ValidationRun {
-        let ValidationOptions { now, strict, direct, retry, mut stale_cache, suspenders } = opts;
+        let ValidationOptions {
+            now,
+            strict,
+            direct,
+            retry,
+            mut stale_cache,
+            suspenders,
+            mut incremental,
+        } = opts;
         let rec = self.net.recorder();
         let config =
             if strict { ValidationConfig::strict_at(now) } else { ValidationConfig::at(now) };
@@ -141,7 +174,13 @@ impl ModelRpki {
         }
         let tals = std::slice::from_ref(&self.tal);
         let run = if direct {
-            run_stack(config, DirectSource::new(&self.repos), stale_cache, tals)
+            run_stack(
+                config,
+                DirectSource::new(&self.repos),
+                stale_cache,
+                incremental.as_deref_mut(),
+                tals,
+            )
         } else {
             let source = match retry {
                 Some(policy) => {
@@ -149,9 +188,12 @@ impl ModelRpki {
                 }
                 None => NetworkSource::new(&mut self.net, &self.repos, self.rp_node),
             };
-            run_stack(config, source, stale_cache, tals)
+            run_stack(config, source, stale_cache, incremental.as_deref_mut(), tals)
         };
         run.emit(&rec, now.0);
+        if let Some(state) = incremental {
+            state.stats().emit(&rec, now.0);
+        }
         if let Some(susp) = suspenders {
             let events = susp.ingest(&run, now);
             if rec.is_enabled() {
@@ -174,38 +216,67 @@ mod tests {
     use rpki_obs::Recorder;
 
     #[test]
-    fn bare_network_run_matches_old_entry_point() {
-        let mut a = ModelRpki::build_seeded(5);
-        let mut b = ModelRpki::build_seeded(5);
-        #[allow(deprecated)]
-        let old = a.validate_network(Moment(2));
-        let new = b.validate_with(ValidationOptions::at(Moment(2)));
-        assert_eq!(old.vrps, new.vrps);
+    fn incremental_network_run_matches_cold_run() {
+        // Same seed, one cold world and one incremental world: the
+        // first incremental run (all misses) must be byte-identical to
+        // the cold run — same network traffic, same output.
+        let mut cold = ModelRpki::build_seeded(5);
+        let mut warm = ModelRpki::build_seeded(5);
+        let mut state = ValidationState::full();
+        let a = cold.validate_with(ValidationOptions::at(Moment(2)));
+        let b = warm.validate_with(ValidationOptions::at(Moment(2)).incremental(&mut state));
+        assert_eq!(a, b);
+        assert_eq!(state.stats().subtrees_rewalked, 4);
+        assert_eq!(state.stats().subtrees_reused, 0);
+        // Everything announced, nothing withdrawn on the first run.
+        assert_eq!(state.last_delta().announce.len(), 8);
+        assert!(state.last_delta().withdraw.is_empty());
     }
 
     #[test]
-    fn retrying_run_matches_old_entry_point() {
-        let mut a = ModelRpki::build_seeded(5);
-        let mut b = ModelRpki::build_seeded(5);
-        #[allow(deprecated)]
-        let old = a.validate_retrying(Moment(2), SyncPolicy::default());
-        let new = b.validate_with(ValidationOptions::at(Moment(2)).retry(SyncPolicy::default()));
-        assert_eq!(old.vrps, new.vrps);
+    fn incremental_rerun_reuses_subtrees_and_yields_delta() {
+        let mut w = ModelRpki::build_seeded(5);
+        let mut state = ValidationState::full();
+        let first = w.validate_with(ValidationOptions::at(Moment(2)).incremental(&mut state));
+        // Nothing republished: every subtree replays from the cache and
+        // the delta is empty.
+        let quiet = w.validate_with(ValidationOptions::at(Moment(3)).incremental(&mut state));
+        assert_eq!(first.vrps, quiet.vrps);
+        assert_eq!(state.stats().subtrees_reused, 4);
+        assert_eq!(state.stats().subtrees_rewalked, 0);
+        assert!(state.last_delta().is_empty());
+        // A stealthy withdrawal plus republish dirties the content
+        // digests (fresh manifests everywhere), so the walk repeats and
+        // the delta carries exactly the vanished VRP.
+        let file = w.covering_roa_file();
+        w.continental.withdraw(&file).unwrap();
+        w.publish_all(Moment(4));
+        let rerun = w.validate_with(ValidationOptions::at(Moment(5)).incremental(&mut state));
+        assert_eq!(rerun.vrps.len(), 7);
+        assert!(state.last_delta().announce.is_empty());
+        assert_eq!(state.last_delta().withdraw.len(), 1);
     }
 
     #[test]
-    fn resilient_run_matches_old_entry_point() {
+    fn incremental_composes_with_retry_and_stale_cache() {
         let mut a = ModelRpki::build_seeded(5);
         let mut b = ModelRpki::build_seeded(5);
-        let mut sa = ResilientState::default();
-        let mut sb = ResilientState::default();
-        #[allow(deprecated)]
-        let old = a.validate_resilient(Moment(2), SyncPolicy::default(), &mut sa);
-        let new = b.validate_with(
-            ValidationOptions::at(Moment(2)).retry(SyncPolicy::default()).stale_cache(&mut sb),
+        let mut resilient = ResilientState::default();
+        let mut state = ValidationState::full();
+        let cold = a.validate_with(
+            ValidationOptions::at(Moment(2))
+                .retry(SyncPolicy::default())
+                .stale_cache(&mut resilient),
         );
-        assert_eq!(old.vrps, new.vrps);
-        assert_eq!(sa.snapshot_count(), sb.snapshot_count());
+        let mut resilient_b = ResilientState::default();
+        let warm = b.validate_with(
+            ValidationOptions::at(Moment(2))
+                .retry(SyncPolicy::default())
+                .stale_cache(&mut resilient_b)
+                .incremental(&mut state),
+        );
+        assert_eq!(cold, warm);
+        assert_eq!(resilient.snapshot_count(), resilient_b.snapshot_count());
     }
 
     #[test]

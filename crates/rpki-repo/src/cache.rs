@@ -137,6 +137,8 @@ pub fn sync_dir_incremental(
                         outcome.listed = true;
                     }
                 }
+                // Digest probes run their own sessions; unsolicited here.
+                RsyncResponse::DirDigest { .. } => {}
             }
         } else if repos.get(delivery.to).is_some() {
             if let Ok(req) = RsyncRequest::from_bytes(&delivery.payload) {
@@ -171,7 +173,10 @@ fn answer(repos: &RepoRegistry, node: NodeId, req: &RsyncRequest) -> RsyncRespon
             }
             None => RsyncResponse::NotFound { dir: dir.clone(), name: Some(name.clone()) },
         },
-        (None, RsyncRequest::List { dir }) => {
+        (Some(repo), RsyncRequest::Digest { dir }) => {
+            RsyncResponse::DirDigest { dir: dir.clone(), digest: repo.content_digest(dir) }
+        }
+        (None, RsyncRequest::List { dir }) | (None, RsyncRequest::Digest { dir }) => {
             RsyncResponse::NotFound { dir: dir.clone(), name: None }
         }
         (None, RsyncRequest::Get { dir, name }) => {

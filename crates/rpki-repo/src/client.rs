@@ -88,7 +88,7 @@ impl RepoRegistry {
         let Some(repo) = self.by_node.get(&node) else {
             // A request landed on a non-repository node; treat as empty.
             return match req {
-                RsyncRequest::List { dir } => {
+                RsyncRequest::List { dir } | RsyncRequest::Digest { dir } => {
                     RsyncResponse::NotFound { dir: dir.clone(), name: None }
                 }
                 RsyncRequest::Get { dir, name } => {
@@ -113,6 +113,9 @@ impl RepoRegistry {
                 },
                 None => RsyncResponse::NotFound { dir: dir.clone(), name: Some(name.clone()) },
             },
+            RsyncRequest::Digest { dir } => {
+                RsyncResponse::DirDigest { dir: dir.clone(), digest: repo.content_digest(dir) }
+            }
         }
     }
 }
@@ -152,6 +155,12 @@ pub struct SyncOutcome {
     pub listed: bool,
     /// Provenance of the data in `files`.
     pub freshness: Freshness,
+    /// The canonical content digest, precomputed by a producer that
+    /// could derive it from listing digests (every file in `files` is
+    /// digest-verified against the listing, so no bytes need
+    /// re-hashing). [`SyncOutcome::content_digest`] falls back to
+    /// computing from the bytes when this is `None`.
+    pub content: Option<Digest>,
 }
 
 impl SyncOutcome {
@@ -164,6 +173,7 @@ impl SyncOutcome {
             corrupted: Vec::new(),
             listed: false,
             freshness: Freshness::Absent,
+            content: None,
         }
     }
 
@@ -176,6 +186,7 @@ impl SyncOutcome {
             corrupted: Vec::new(),
             listed: true,
             freshness: Freshness::Fresh,
+            content: None,
         }
     }
 
@@ -189,6 +200,7 @@ impl SyncOutcome {
             corrupted: Vec::new(),
             listed: true,
             freshness: Freshness::Stale { age },
+            content: None,
         }
     }
 
@@ -197,6 +209,177 @@ impl SyncOutcome {
     pub fn is_complete(&self) -> bool {
         self.listed && self.missing.is_empty() && self.corrupted.is_empty()
     }
+
+    /// A digest over everything this outcome says about the directory's
+    /// content: the sorted `(name, file digest)` pairs plus the sorted
+    /// missing and corrupted name lists. `None` when the listing was
+    /// never obtained (an unreachable directory has no content to key).
+    ///
+    /// Two outcomes with equal content digests validate identically, so
+    /// this is the cache key of the incremental validation engine. A
+    /// complete outcome's digest equals the [`DirProbe::content_digest`]
+    /// of a LIST-only probe of the same directory state.
+    pub fn content_digest(&self) -> Option<Digest> {
+        if !self.listed {
+            return None;
+        }
+        if let Some(digest) = self.content {
+            return Some(digest);
+        }
+        let entries: Vec<(&str, Digest)> =
+            self.files.iter().map(|(n, b)| (n.as_str(), sha256(b))).collect();
+        let mut missing: Vec<&str> = self.missing.iter().map(String::as_str).collect();
+        missing.sort_unstable();
+        let mut corrupted: Vec<&str> = self.corrupted.iter().map(String::as_str).collect();
+        corrupted.sort_unstable();
+        Some(dir_content_digest(&entries, &missing, &corrupted))
+    }
+}
+
+/// Canonical digest over a directory's observed content: length-prefixed
+/// names with their file digests, then the missing and corrupted name
+/// lists, each section separated by a tag byte. All slices must be
+/// sorted by name so the encoding is order-independent. The repository
+/// store caches the complete-sync form of this per directory so digest
+/// probes are answered without re-hashing.
+pub(crate) fn dir_content_digest(
+    entries: &[(&str, Digest)],
+    missing: &[&str],
+    corrupted: &[&str],
+) -> Digest {
+    let mut buf = Vec::new();
+    for (name, digest) in entries {
+        buf.extend_from_slice(&(name.len() as u64).to_be_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(digest.as_bytes());
+    }
+    buf.push(0x01);
+    for name in missing {
+        buf.extend_from_slice(&(name.len() as u64).to_be_bytes());
+        buf.extend_from_slice(name.as_bytes());
+    }
+    buf.push(0x02);
+    for name in corrupted {
+        buf.extend_from_slice(&(name.len() as u64).to_be_bytes());
+        buf.extend_from_slice(name.as_bytes());
+    }
+    sha256(&buf)
+}
+
+/// The result of a digest-only probe of one directory: the canonical
+/// content digest the directory would have after a complete sync,
+/// obtained without transferring the listing or any file.
+///
+/// A probe is the cheapest possible freshness check — one tiny frame
+/// each way, like polling an RRDP notification file. Its digest
+/// matches [`SyncOutcome::content_digest`] for a complete sync of the
+/// same directory state, so an incremental validator can decide from
+/// the probe alone whether a full fetch is needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirProbe {
+    /// The directory probed.
+    pub dir: RepoUri,
+    /// Whether the server answered the probe.
+    pub listed: bool,
+    /// The server-reported canonical complete-sync content digest.
+    pub digest: Option<Digest>,
+}
+
+impl DirProbe {
+    /// An empty probe of an unreachable directory.
+    pub fn unreachable(dir: RepoUri) -> Self {
+        DirProbe { dir, listed: false, digest: None }
+    }
+
+    /// The content digest the directory would have after a complete
+    /// sync. `None` when the probe was never answered.
+    pub fn content_digest(&self) -> Option<Digest> {
+        self.digest
+    }
+}
+
+/// Runs one digest-only probe session of `dir` from `client`: a single
+/// request/response exchange, no listing or file transfers. Honours an
+/// optional per-probe deadline on the simulated clock, like a sync
+/// attempt.
+pub fn probe_dir(
+    net: &mut Network,
+    repos: &RepoRegistry,
+    client: NodeId,
+    dir: &RepoUri,
+    deadline: Option<u64>,
+) -> DirProbe {
+    let rec = net.recorder();
+    let mut probe = DirProbe::unreachable(dir.clone());
+    let Some(server) = repos.node_of(dir.host()) else {
+        return probe;
+    };
+    let mut outstanding: u64 = 1;
+    let mut deadline_hit = false;
+    if let Some(d) = deadline {
+        net.set_timer(client, d, DEADLINE_TOKEN);
+    }
+    net.send(client, server, RsyncRequest::Digest { dir: dir.clone() }.to_bytes());
+    while outstanding > 0 {
+        let Some(occ) = net.step() else { break };
+        match occ {
+            Occurrence::Timer { node, token }
+                if deadline.is_some() && node == client && token == DEADLINE_TOKEN =>
+            {
+                deadline_hit = true;
+                net.flush_pair(client, server);
+                break;
+            }
+            Occurrence::Timer { .. } => continue,
+            Occurrence::Dropped { from, to, .. } => {
+                if (from == client && to == server) || (from == server && to == client) {
+                    outstanding = outstanding.saturating_sub(1);
+                }
+            }
+            Occurrence::Delivered(delivery) => {
+                if delivery.to == client {
+                    if delivery.from != server {
+                        continue;
+                    }
+                    outstanding = outstanding.saturating_sub(1);
+                    let Ok(resp) = RsyncResponse::from_bytes(&delivery.payload) else {
+                        continue;
+                    };
+                    match resp {
+                        RsyncResponse::DirDigest { digest, .. } => {
+                            probe.listed = true;
+                            probe.digest = Some(digest);
+                        }
+                        RsyncResponse::NotFound { name, .. } => {
+                            if name.is_none() {
+                                probe.listed = true;
+                            }
+                        }
+                        RsyncResponse::Listing { .. } | RsyncResponse::File { .. } => {}
+                    }
+                } else if repos.get(delivery.to).is_some() {
+                    if let Ok(req) = RsyncRequest::from_bytes(&delivery.payload) {
+                        let resp = repos.answer(delivery.to, &req);
+                        net.send(delivery.to, delivery.from, resp.to_bytes());
+                    } else if delivery.from == client && delivery.to == server {
+                        outstanding = outstanding.saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+    if deadline.is_some() && !deadline_hit {
+        net.cancel_timer(client, DEADLINE_TOKEN);
+    }
+    if rec.is_enabled() {
+        rec.count("repo.probes", 1);
+        rec.event(net.now(), "repo", "probe")
+            .str("host", dir.host())
+            .bool("listed", probe.listed)
+            .bool("answered", probe.digest.is_some())
+            .emit();
+    }
+    probe
 }
 
 /// Retry/timeout policy for [`sync_dir_with_policy`].
@@ -397,6 +580,9 @@ fn run_session(
                                 outcome.listed = true;
                             }
                         }
+                        // Digest probes happen in their own sessions;
+                        // a stray one here is unsolicited.
+                        RsyncResponse::DirDigest { .. } => {}
                     }
                 } else if repos.get(delivery.to).is_some() {
                     // A request frame for a repository.
@@ -422,6 +608,17 @@ fn run_session(
         .cloned()
         .collect();
     outcome.freshness = if outcome.listed { Freshness::Fresh } else { Freshness::Absent };
+    if outcome.listed {
+        // Every file in the outcome is digest-verified against the
+        // listing, so the canonical content digest derives from the
+        // listing's digests — no bytes are re-hashed.
+        let entries: Vec<(&str, Digest)> =
+            outcome.files.keys().filter_map(|n| digests.get(n).map(|d| (n.as_str(), *d))).collect();
+        let missing: Vec<&str> = outcome.missing.iter().map(String::as_str).collect();
+        let mut corrupted: Vec<&str> = outcome.corrupted.iter().map(String::as_str).collect();
+        corrupted.sort_unstable();
+        outcome.content = Some(dir_content_digest(&entries, &missing, &corrupted));
+    }
     SessionResult { outcome, deadline_hit }
 }
 
@@ -799,6 +996,68 @@ mod tests {
         assert!(outcomes.iter().any(|(listed, files, missing, corrupted)| *listed
             && files.len() < 16
             && (!missing.is_empty() || !corrupted.is_empty())));
+    }
+
+    #[test]
+    fn probe_digest_matches_complete_sync_digest() {
+        let (mut net, repos, client, _, dir) = world();
+        let sent_before = net.stats().sent;
+        let probe = probe_dir(&mut net, &repos, client, &dir, None);
+        assert!(probe.listed);
+        // One request frame and one response frame: the whole probe.
+        assert_eq!(net.stats().sent - sent_before, 2);
+        let out = sync_dir(&mut net, &repos, client, &dir);
+        assert!(out.is_complete());
+        assert_eq!(probe.content_digest(), out.content_digest());
+        assert!(probe.content_digest().is_some());
+    }
+
+    #[test]
+    fn probe_of_empty_directory_matches_its_sync_digest() {
+        let (mut net, repos, client, _, _) = world();
+        let dir = RepoUri::new("rpki.sprint.example", &["empty-dir"]);
+        let probe = probe_dir(&mut net, &repos, client, &dir, None);
+        assert!(probe.listed);
+        let out = sync_dir(&mut net, &repos, client, &dir);
+        assert!(out.is_complete());
+        assert_eq!(probe.content_digest(), out.content_digest());
+    }
+
+    #[test]
+    fn probe_of_unreachable_directory_has_no_digest() {
+        let (mut net, repos, client, server, dir) = world();
+        net.faults.partition(client, server);
+        let probe = probe_dir(&mut net, &repos, client, &dir, None);
+        assert!(!probe.listed);
+        assert_eq!(probe.content_digest(), None);
+        let out = sync_dir(&mut net, &repos, client, &dir);
+        assert_eq!(out.content_digest(), None);
+    }
+
+    #[test]
+    fn content_digest_tracks_content_and_gaps() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let complete = sync_dir(&mut net, &repos, client, &dir).content_digest().unwrap();
+        // A partial sync (one file dropped) must key differently.
+        net.faults.drop_nth(server, client, 2);
+        let partial = sync_dir(&mut net, &repos, client, &dir);
+        assert!(!partial.is_complete());
+        assert_ne!(partial.content_digest(), Some(complete));
+        // Changed bytes must key differently too.
+        repos.get_mut(server).unwrap().publish_raw(&dir, "a.roa", vec![9, 9, 9]);
+        let changed = sync_dir(&mut net, &repos, client, &dir).content_digest().unwrap();
+        assert_ne!(changed, complete);
+    }
+
+    #[test]
+    fn probe_honours_deadline() {
+        let (mut net, repos, client, server, dir) = world();
+        net.faults.set_stall(server, client, 3600);
+        let start = net.now();
+        let probe = probe_dir(&mut net, &repos, client, &dir, Some(300));
+        assert!(!probe.listed);
+        assert_eq!(net.now() - start, 300);
+        assert!(net.is_idle());
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub mod store;
 
 pub use cache::{sync_dir_caching, sync_dir_incremental, IncrementalStats, SyncCache};
 pub use client::{
-    sync_dir, sync_dir_with_policy, AttemptReport, FileFate, Freshness, RepoRegistry, SyncOutcome,
-    SyncPolicy, SyncReport,
+    probe_dir, sync_dir, sync_dir_with_policy, AttemptReport, DirProbe, FileFate, Freshness,
+    RepoRegistry, SyncOutcome, SyncPolicy, SyncReport,
 };
 pub use proto::{RsyncRequest, RsyncResponse};
 pub use store::Repository;

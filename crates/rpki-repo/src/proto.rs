@@ -25,10 +25,20 @@ pub enum RsyncRequest {
         /// File name within the directory.
         name: String,
     },
+    /// Fetch a directory's canonical content digest — the digest a
+    /// complete sync of the directory would produce. One tiny frame
+    /// each way, so an incremental validator can confirm a cached
+    /// subtree without transferring the listing (the moral equivalent
+    /// of polling an RRDP notification file).
+    Digest {
+        /// The publication-point directory.
+        dir: RepoUri,
+    },
 }
 
 const REQ_LIST: u8 = 1;
 const REQ_GET: u8 = 2;
+const REQ_DIGEST: u8 = 3;
 
 impl Encode for RsyncRequest {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -42,6 +52,10 @@ impl Encode for RsyncRequest {
                 dir.encode(out);
                 Writer::string(out, name);
             }
+            RsyncRequest::Digest { dir } => {
+                out.push(REQ_DIGEST);
+                dir.encode(out);
+            }
         }
     }
 }
@@ -51,6 +65,7 @@ impl Decode for RsyncRequest {
         match r.u8()? {
             REQ_LIST => Ok(RsyncRequest::List { dir: RepoUri::decode(r)? }),
             REQ_GET => Ok(RsyncRequest::Get { dir: RepoUri::decode(r)?, name: r.string()? }),
+            REQ_DIGEST => Ok(RsyncRequest::Digest { dir: RepoUri::decode(r)? }),
             t => Err(DecodeError::BadTag(t)),
         }
     }
@@ -82,11 +97,22 @@ pub enum RsyncResponse {
         /// The file requested, if the request was a `Get`.
         name: Option<String>,
     },
+    /// A directory's canonical content digest (answers
+    /// [`RsyncRequest::Digest`]). An empty or unknown directory
+    /// reports the canonical empty digest, matching what a complete
+    /// sync of it would key to.
+    DirDigest {
+        /// The directory digested (echoed for correlation).
+        dir: RepoUri,
+        /// The canonical complete-sync content digest.
+        digest: Digest,
+    },
 }
 
 const RESP_LISTING: u8 = 1;
 const RESP_FILE: u8 = 2;
 const RESP_NOT_FOUND: u8 = 3;
+const RESP_DIR_DIGEST: u8 = 4;
 
 /// A `(name, digest)` listing entry — helper for the codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,6 +152,11 @@ impl Encode for RsyncResponse {
                 dir.encode(out);
                 name.clone().encode(out);
             }
+            RsyncResponse::DirDigest { dir, digest } => {
+                out.push(RESP_DIR_DIGEST);
+                dir.encode(out);
+                digest.encode(out);
+            }
         }
     }
 }
@@ -148,6 +179,10 @@ impl Decode for RsyncResponse {
                 dir: RepoUri::decode(r)?,
                 name: Option::<String>::decode(r)?,
             }),
+            RESP_DIR_DIGEST => Ok(RsyncResponse::DirDigest {
+                dir: RepoUri::decode(r)?,
+                digest: Digest::decode(r)?,
+            }),
             t => Err(DecodeError::BadTag(t)),
         }
     }
@@ -167,6 +202,7 @@ mod tests {
         for req in [
             RsyncRequest::List { dir: dir() },
             RsyncRequest::Get { dir: dir(), name: "a.roa".to_owned() },
+            RsyncRequest::Digest { dir: dir() },
         ] {
             assert_eq!(RsyncRequest::from_bytes(&req.to_bytes()).unwrap(), req);
         }
@@ -182,6 +218,7 @@ mod tests {
             RsyncResponse::File { dir: dir(), name: "a.roa".to_owned(), bytes: vec![1, 2, 3] },
             RsyncResponse::NotFound { dir: dir(), name: Some("b.cer".to_owned()) },
             RsyncResponse::NotFound { dir: dir(), name: None },
+            RsyncResponse::DirDigest { dir: dir(), digest: sha256(b"dir") },
         ] {
             assert_eq!(RsyncResponse::from_bytes(&resp.to_bytes()).unwrap(), resp);
         }

@@ -8,20 +8,70 @@ use rpki_ca::PublicationSnapshot;
 use rpki_objects::{Encode, RepoUri};
 use rpkisim_crypto::{sha256, Digest};
 
+use crate::client::dir_content_digest;
+
+/// One stored file: its bytes plus the digest computed when the bytes
+/// last changed, so listings never re-hash unchanged content.
+#[derive(Debug)]
+struct StoredFile {
+    bytes: Vec<u8>,
+    digest: Digest,
+}
+
+impl StoredFile {
+    fn new(bytes: Vec<u8>) -> Self {
+        let digest = sha256(&bytes);
+        StoredFile { bytes, digest }
+    }
+}
+
+/// One publication-point directory: its files plus the canonical
+/// complete-sync content digest, recomputed once per mutation so
+/// digest probes are a pure lookup.
+#[derive(Debug)]
+struct Directory {
+    files: BTreeMap<String, StoredFile>,
+    digest: Digest,
+}
+
+impl Directory {
+    fn new() -> Self {
+        Directory { files: BTreeMap::new(), digest: empty_dir_digest() }
+    }
+
+    /// Recomputes the cached content digest from the current files.
+    /// Called after every mutation; a snapshot publication batches its
+    /// inserts and calls this once.
+    fn refresh_digest(&mut self) {
+        let entries: Vec<(&str, Digest)> =
+            self.files.iter().map(|(n, f)| (n.as_str(), f.digest)).collect();
+        self.digest = dir_content_digest(&entries, &[], &[]);
+    }
+}
+
+/// The canonical content digest of an empty (or absent) directory —
+/// what a complete sync of it would key to.
+fn empty_dir_digest() -> Digest {
+    dir_content_digest(&[], &[], &[])
+}
+
 /// One repository host: a named server carrying any number of
 /// publication-point directories, each holding named files.
 ///
 /// The store is byte-oriented: objects are serialised at publication,
 /// and anything — including corrupted garbage — can sit at rest. That
 /// mirrors production rsync servers, which know nothing about RPKI.
+/// Digests are computed once per write, not per listing, so frequent
+/// listers (retry drivers, incremental-validation probes) pay only a
+/// copy.
 #[derive(Debug)]
 pub struct Repository {
     /// Host name; equals the `netsim` node name.
     host: String,
     /// The simulated network node serving this repository.
     node: NodeId,
-    /// `directory path (joined) → file name → bytes`.
-    dirs: BTreeMap<Vec<String>, BTreeMap<String, Vec<u8>>>,
+    /// `directory path (joined) → directory contents + cached digest`.
+    dirs: BTreeMap<Vec<String>, Directory>,
     /// Where this repository host lives in IP space, if the scenario
     /// cares (Side Effect 7 does: reaching the repo requires a
     /// non-invalid route to this prefix).
@@ -65,7 +115,9 @@ impl Repository {
     /// design decision, verbatim.
     pub fn publish_raw(&mut self, dir: &RepoUri, name: &str, bytes: Vec<u8>) {
         let key = self.dir_key(dir);
-        self.dirs.entry(key).or_default().insert(name.to_owned(), bytes);
+        let entry = self.dirs.entry(key).or_insert_with(Directory::new);
+        entry.files.insert(name.to_owned(), StoredFile::new(bytes));
+        entry.refresh_digest();
     }
 
     /// Publishes a CA's complete snapshot into `dir`, replacing the
@@ -73,45 +125,62 @@ impl Repository {
     /// the CA no longer issues disappear).
     pub fn publish_snapshot(&mut self, dir: &RepoUri, snapshot: &PublicationSnapshot) {
         let key = self.dir_key(dir);
-        let entry = self.dirs.entry(key).or_default();
-        entry.clear();
+        let entry = self.dirs.entry(key).or_insert_with(Directory::new);
+        entry.files.clear();
         for (name, obj) in &snapshot.files {
-            entry.insert(name.clone(), obj.to_bytes());
+            entry.files.insert(name.clone(), StoredFile::new(obj.to_bytes()));
         }
+        entry.refresh_digest();
     }
 
     /// Deletes `dir/name`. Returns the removed bytes, or `None`.
     pub fn delete(&mut self, dir: &RepoUri, name: &str) -> Option<Vec<u8>> {
         let key = self.dir_key(dir);
-        self.dirs.get_mut(&key)?.remove(name)
+        let entry = self.dirs.get_mut(&key)?;
+        let removed = entry.files.remove(name)?;
+        entry.refresh_digest();
+        Some(removed.bytes)
     }
 
     /// Corrupts a stored file in place (filesystem rot, the at-rest
     /// variant of Side Effect 6's fault list). Returns false if absent.
     pub fn corrupt_at_rest(&mut self, dir: &RepoUri, name: &str) -> bool {
         let key = self.dir_key(dir);
-        match self.dirs.get_mut(&key).and_then(|d| d.get_mut(name)) {
-            Some(bytes) if !bytes.is_empty() => {
-                bytes[0] ^= 0xff;
+        let Some(entry) = self.dirs.get_mut(&key) else { return false };
+        match entry.files.get_mut(name) {
+            Some(file) if !file.bytes.is_empty() => {
+                file.bytes[0] ^= 0xff;
+                file.digest = sha256(&file.bytes);
+                entry.refresh_digest();
                 true
             }
             _ => false,
         }
     }
 
-    /// Lists `(name, digest)` for every file in `dir`.
+    /// Lists `(name, digest)` for every file in `dir`. Digests are the
+    /// ones cached at write time — no bytes are re-hashed here.
     pub fn list(&self, dir: &RepoUri) -> Vec<(String, Digest)> {
         let key = self.dir_key(dir);
         self.dirs
             .get(&key)
-            .map(|d| d.iter().map(|(n, b)| (n.clone(), sha256(b))).collect())
+            .map(|d| d.files.iter().map(|(n, f)| (n.clone(), f.digest)).collect())
             .unwrap_or_default()
+    }
+
+    /// The canonical complete-sync content digest of `dir`, served
+    /// from the cache maintained at write time. An unknown directory
+    /// reports the empty digest — the same key a complete sync of a
+    /// reachable-but-absent publication point produces.
+    pub fn content_digest(&self, dir: &RepoUri) -> Digest {
+        let key = self.dir_key(dir);
+        self.dirs.get(&key).map_or_else(empty_dir_digest, |d| d.digest)
     }
 
     /// Fetches the bytes of `dir/name`.
     pub fn fetch(&self, dir: &RepoUri, name: &str) -> Option<&[u8]> {
         let key = self.dir_key(dir);
-        self.dirs.get(&key).and_then(|d| d.get(name)).map(Vec::as_slice)
+        self.dirs.get(&key).and_then(|d| d.files.get(name)).map(|f| f.bytes.as_slice())
     }
 
     /// All directories on this host.
@@ -124,7 +193,7 @@ impl Repository {
 
     /// Total number of stored files.
     pub fn file_count(&self) -> usize {
-        self.dirs.values().map(BTreeMap::len).sum()
+        self.dirs.values().map(|d| d.files.len()).sum()
     }
 }
 
@@ -172,6 +241,21 @@ mod tests {
         let after = repo.list(&dir)[0].1;
         assert_ne!(before, after);
         assert!(!repo.corrupt_at_rest(&dir, "missing.roa"));
+    }
+
+    #[test]
+    fn content_digest_is_maintained_at_write_time() {
+        let (mut repo, dir) = repo();
+        // Unknown and empty directories share the canonical empty digest.
+        let empty = repo.content_digest(&dir);
+        repo.publish_raw(&dir, "a.roa", vec![1]);
+        let one = repo.content_digest(&dir);
+        assert_ne!(one, empty);
+        assert!(repo.corrupt_at_rest(&dir, "a.roa"));
+        let corrupted = repo.content_digest(&dir);
+        assert_ne!(corrupted, one, "at-rest rot must change the directory key");
+        repo.delete(&dir, "a.roa");
+        assert_eq!(repo.content_digest(&dir), empty);
     }
 
     #[test]

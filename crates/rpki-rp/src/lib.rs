@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod incremental;
 pub mod ov;
 pub mod resilience;
 pub mod rtr;
@@ -29,6 +30,7 @@ pub mod source;
 pub mod validation;
 pub mod vrp;
 
+pub use incremental::{RevalidationMode, RevalidationStats, ValidationState, VrpDelta};
 pub use ov::{Route, RouteValidity};
 pub use resilience::{FetchHealth, ResilienceConfig, ResilientState};
 pub use rtr::{ClientAction, Delta, RtrClient, RtrPdu, RtrServer};

@@ -34,7 +34,8 @@ use std::collections::BTreeMap;
 
 use rpki_objects::RepoUri;
 use rpki_obs::Recorder;
-use rpki_repo::SyncOutcome;
+use rpki_repo::{DirProbe, SyncOutcome};
+use rpkisim_crypto::Digest;
 use serde::Serialize;
 
 use crate::source::ObjectSource;
@@ -82,11 +83,14 @@ impl FetchHealth {
     }
 }
 
-/// One directory's last-good contents.
+/// One directory's last-good contents, keyed by the content digest of
+/// the sync that produced them so a LIST-only probe can re-confirm the
+/// snapshot without a transfer.
 #[derive(Debug, Clone)]
 struct Snapshot {
     files: BTreeMap<String, Vec<u8>>,
     taken_at: u64,
+    digest: Option<Digest>,
 }
 
 /// Persistent state of the resilience layer: snapshots per directory,
@@ -204,9 +208,14 @@ impl<S: ObjectSource> ObjectSource for ResilientSource<'_, S> {
 
         if outcome.is_complete() {
             self.state.recorder.count("rp.snapshot_refreshes", 1);
-            self.state
-                .snapshots
-                .insert(dir.to_string(), Snapshot { files: outcome.files.clone(), taken_at: now });
+            self.state.snapshots.insert(
+                dir.to_string(),
+                Snapshot {
+                    files: outcome.files.clone(),
+                    taken_at: now,
+                    digest: outcome.content_digest(),
+                },
+            );
             return outcome;
         }
 
@@ -233,6 +242,37 @@ impl<S: ObjectSource> ObjectSource for ResilientSource<'_, S> {
 
     fn now(&self) -> u64 {
         self.inner.now()
+    }
+
+    /// Probes through the wrapped source. An open circuit yields `None`
+    /// (the caller's fallback [`ObjectSource::load_dir`] then takes the
+    /// circuit-skip path). A listed probe counts as a healthy session;
+    /// when its digest matches the stored snapshot, the snapshot's age
+    /// resets — unchanged content re-confirmed over the wire is as good
+    /// as a fresh transfer. A failed probe records nothing: the full
+    /// sync the caller falls back to accounts for the failure exactly
+    /// once.
+    fn probe_dir(&mut self, dir: &RepoUri) -> Option<DirProbe> {
+        let now = self.inner.now();
+        let host = dir.host().to_owned();
+        if self.state.circuit_open(&host, now) {
+            return None;
+        }
+        let probe = self.inner.probe_dir(dir)?;
+        if !probe.listed {
+            return None;
+        }
+        self.state.record_session(&host, true, now);
+        if let Some(snapshot) = self.state.snapshots.get_mut(&dir.to_string()) {
+            if snapshot.digest.is_some() && snapshot.digest == probe.content_digest() {
+                snapshot.taken_at = now;
+                if self.state.recorder.is_enabled() {
+                    self.state.recorder.count("rp.probe_confirms", 1);
+                    self.state.recorder.event(now, "rp", "probe_confirm").str("host", &host).emit();
+                }
+            }
+        }
+        Some(probe)
     }
 }
 
@@ -275,6 +315,16 @@ mod tests {
 
         fn now(&self) -> u64 {
             self.now
+        }
+
+        fn probe_dir(&mut self, dir: &RepoUri) -> Option<DirProbe> {
+            if !self.up {
+                return None;
+            }
+            // A real server reports the digest a complete sync would
+            // key to; derive it from the same files load_dir serves.
+            let digest = SyncOutcome::fresh(dir.clone(), self.files.clone()).content_digest();
+            Some(DirProbe { dir: dir.clone(), listed: true, digest })
         }
     }
 
@@ -350,6 +400,39 @@ mod tests {
         assert_eq!(calls.get(), 1);
         assert!(out.is_complete());
         assert_eq!(state.health("h").unwrap(), FetchHealth::default());
+    }
+
+    #[test]
+    fn matching_probe_renews_snapshot_age() {
+        let mut state = ResilientState::default();
+        let (good, _) = FakeSource::new(100, true);
+        ResilientSource::new(good, &mut state).load_dir(&dir());
+        assert_eq!(state.snapshot_age(&dir(), 600), Some(500));
+        // A probe whose digest matches the snapshot resets its age.
+        let (good, calls) = FakeSource::new(600, true);
+        let probe = ResilientSource::new(good, &mut state).probe_dir(&dir());
+        assert!(probe.is_some_and(|p| p.listed));
+        assert_eq!(calls.get(), 0, "a probe must not trigger a full sync");
+        assert_eq!(state.snapshot_age(&dir(), 600), Some(0));
+    }
+
+    #[test]
+    fn probe_respects_open_circuit_and_failed_probe_records_nothing() {
+        let mut state = ResilientState::new(ResilienceConfig {
+            failure_threshold: 1,
+            cooldown: 1_000,
+            ..ResilienceConfig::default()
+        });
+        // A failed probe is invisible to health tracking.
+        let (bad, _) = FakeSource::new(0, false);
+        assert!(ResilientSource::new(bad, &mut state).probe_dir(&dir()).is_none());
+        assert_eq!(state.health("h"), None);
+        // One failed sync trips the breaker; the probe then short-circuits.
+        let (bad, _) = FakeSource::new(10, false);
+        ResilientSource::new(bad, &mut state).load_dir(&dir());
+        let (good, calls) = FakeSource::new(500, true);
+        assert!(ResilientSource::new(good, &mut state).probe_dir(&dir()).is_none());
+        assert_eq!(calls.get(), 0);
     }
 
     #[test]

@@ -214,6 +214,40 @@ impl RtrServer {
         Some(RtrPdu::SerialNotify { session: self.session, serial: self.serial })
     }
 
+    /// Applies a pre-computed VRP delta (e.g. from an incremental
+    /// validation run) instead of diffing a full snapshot: O(delta)
+    /// rather than O(set). Changes that are no-ops against the current
+    /// set (already-announced VRPs, withdrawals of absent VRPs) are
+    /// skipped. Bumps the serial and returns the `SerialNotify` to
+    /// broadcast, or `None` if nothing effectively changed.
+    pub fn apply_delta(&mut self, delta: &crate::incremental::VrpDelta) -> Option<RtrPdu> {
+        let mut changes: Vec<Delta> = Vec::new();
+        for &vrp in &delta.announce {
+            if self.current.insert(vrp) {
+                changes.push(Delta { vrp, announce: true });
+            }
+        }
+        for vrp in &delta.withdraw {
+            if self.current.remove(vrp) {
+                changes.push(Delta { vrp: *vrp, announce: false });
+            }
+        }
+        if changes.is_empty() {
+            return None;
+        }
+        self.serial += 1;
+        self.history.push_back((self.serial, changes));
+        while self.history.len() > self.max_history {
+            self.history.pop_front();
+        }
+        Some(RtrPdu::SerialNotify { session: self.session, serial: self.serial })
+    }
+
+    /// The server's current VRP set, sorted.
+    pub fn vrps(&self) -> Vec<Vrp> {
+        self.current.iter().copied().collect()
+    }
+
     /// Handles one client PDU, producing the response PDU sequence.
     pub fn handle(&self, pdu: &RtrPdu) -> Vec<RtrPdu> {
         match pdu {
@@ -482,6 +516,49 @@ mod tests {
         let mut want = vrps;
         want.sort_unstable();
         assert_eq!(client.cache().vrps(), want);
+    }
+
+    #[test]
+    fn apply_delta_matches_snapshot_update() {
+        use crate::incremental::VrpDelta;
+
+        // Two servers driven by the same changes: one with full
+        // snapshots, one with deltas. They must agree serial by serial.
+        let mut by_snapshot = RtrServer::new(1, 8);
+        let mut by_delta = RtrServer::new(1, 8);
+        let mut prev: Vec<Vrp> = Vec::new();
+        let updates = [
+            sample(),
+            {
+                let mut s = sample();
+                s.remove(0);
+                s.push(v("10.9.0.0/16", 16, 9));
+                s
+            },
+            {
+                let mut s = sample();
+                s.remove(0);
+                s
+            },
+        ];
+        for update in updates {
+            let mut sorted = update.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let delta = VrpDelta::between(&prev, &sorted);
+            let a = by_snapshot.update(update);
+            let b = by_delta.apply_delta(&delta);
+            assert_eq!(a, b);
+            assert_eq!(by_snapshot.vrps(), by_delta.vrps());
+            assert_eq!(by_snapshot.serial(), by_delta.serial());
+            prev = sorted;
+        }
+        // An empty delta must not bump the serial.
+        assert!(by_delta.apply_delta(&VrpDelta::default()).is_none());
+        // A delta-fed server serves clients exactly like a snapshot one.
+        let mut client = RtrClient::new();
+        poll_cycle(&mut client, &by_delta);
+        assert_eq!(client.cache().vrps(), by_delta.vrps());
     }
 
     #[test]

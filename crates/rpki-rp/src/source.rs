@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use netsim::{Network, NodeId};
 use rpki_objects::RepoUri;
 use rpki_repo::{
-    sync_dir, sync_dir_with_policy, RepoRegistry, SyncOutcome, SyncPolicy, SyncReport,
+    sync_dir, sync_dir_with_policy, DirProbe, RepoRegistry, SyncOutcome, SyncPolicy, SyncReport,
 };
 
 pub use crate::resilience::ResilientSource;
@@ -34,6 +34,16 @@ pub trait ObjectSource {
     /// resilience layer needs a real clock to age snapshots.
     fn now(&self) -> u64 {
         0
+    }
+
+    /// Digest-only probe of one directory: the canonical content
+    /// digest a complete sync would produce, without transferring the
+    /// listing or any file, so an incremental validator can check a
+    /// cached subtree for staleness at one-frame cost. `None` means
+    /// the source cannot probe (the caller falls back to
+    /// [`ObjectSource::load_dir`]).
+    fn probe_dir(&mut self, _dir: &RepoUri) -> Option<DirProbe> {
+        None
     }
 }
 
@@ -86,6 +96,11 @@ impl ObjectSource for NetworkSource<'_> {
     fn now(&self) -> u64 {
         self.net.now()
     }
+
+    fn probe_dir(&mut self, dir: &RepoUri) -> Option<DirProbe> {
+        let deadline = self.policy.and_then(|p| p.deadline);
+        Some(rpki_repo::probe_dir(self.net, self.repos, self.client, dir, deadline))
+    }
 }
 
 /// Perfect retrieval straight from at-rest repository state.
@@ -114,10 +129,22 @@ impl ObjectSource for DirectSource<'_> {
                     files,
                     listed: true,
                     freshness: rpki_repo::Freshness::Fresh,
+                    content: Some(repo.content_digest(dir)),
                     ..SyncOutcome::unreachable(dir.clone())
                 }
             }
             None => SyncOutcome::unreachable(dir.clone()),
+        }
+    }
+
+    fn probe_dir(&mut self, dir: &RepoUri) -> Option<DirProbe> {
+        match self.repos.by_host(dir.host()) {
+            Some(repo) => Some(DirProbe {
+                dir: dir.clone(),
+                listed: true,
+                digest: Some(repo.content_digest(dir)),
+            }),
+            None => Some(DirProbe::unreachable(dir.clone())),
         }
     }
 }
@@ -175,6 +202,22 @@ mod tests {
         assert!(out.is_complete());
         assert_eq!(src.reports().len(), 1);
         assert_eq!(src.reports()[0].1.attempts.len(), 2);
+    }
+
+    #[test]
+    fn probe_digest_agrees_with_load_digest() {
+        let mut net = Network::new(0);
+        let client = net.add_node("rp");
+        let mut repos = RepoRegistry::new();
+        let node = repos.create(&mut net, "h");
+        let dir = RepoUri::new("h", &["repo"]);
+        repos.get_mut(node).unwrap().publish_raw(&dir, "a", vec![1, 2]);
+        let mut direct = DirectSource::new(&repos);
+        let probe = direct.probe_dir(&dir).unwrap();
+        assert_eq!(probe.content_digest(), direct.load_dir(&dir).content_digest());
+        let mut netsrc = NetworkSource::new(&mut net, &repos, client);
+        let probe = netsrc.probe_dir(&dir).unwrap();
+        assert_eq!(probe.content_digest(), netsrc.load_dir(&dir).content_digest());
     }
 
     #[test]

@@ -27,9 +27,10 @@ use ipres::ResourceSet;
 use rpki_objects::{Decode, Moment, RepoUri, ResourceCert, RpkiObject, TrustAnchorLocator};
 use rpki_obs::Recorder;
 use rpki_repo::{Freshness, SyncOutcome};
-use rpkisim_crypto::{sha256, KeyId};
+use rpkisim_crypto::{sha256, Digest, KeyId};
 use serde::Serialize;
 
+use crate::incremental::ProcessObservations;
 use crate::source::ObjectSource;
 use crate::vrp::{Vrp, VrpCache};
 
@@ -172,7 +173,7 @@ pub struct Diagnostic {
 }
 
 /// A CA accepted onto the validated tree.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct ValidatedCa {
     /// Subject handle (reporting only).
     pub handle: String,
@@ -203,7 +204,7 @@ pub struct VrpRecord {
 }
 
 /// The output of one validation run.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct ValidationRun {
     /// Every validated ROA payload.
     pub vrps: Vec<Vrp>,
@@ -289,15 +290,18 @@ pub struct Validator {
     config: ValidationConfig,
 }
 
-struct WorkItem {
-    cert: ResourceCert,
+pub(crate) struct WorkItem {
+    pub(crate) cert: ResourceCert,
     /// The resources this CA may actually speak for: its certificate's
     /// set under [`OverclaimPolicy::Strict`], possibly an intersection
     /// under [`OverclaimPolicy::Trim`].
-    effective: ResourceSet,
-    depth: usize,
+    pub(crate) effective: ResourceSet,
+    pub(crate) depth: usize,
     /// Keys of every CA above this one (loop detection).
-    ancestors: BTreeSet<KeyId>,
+    pub(crate) ancestors: BTreeSet<KeyId>,
+    /// Digest of the encoded certificate, when a cache already knows it
+    /// (replayed subtrees); `None` means compute on demand.
+    pub(crate) digest: Option<Digest>,
 }
 
 impl Validator {
@@ -315,7 +319,13 @@ impl Validator {
             match self.fetch_ta(source, tal) {
                 Some(cert) => {
                     let effective = cert.data().resources.clone();
-                    queue.push(WorkItem { cert, effective, depth: 0, ancestors: BTreeSet::new() })
+                    queue.push(WorkItem {
+                        cert,
+                        effective,
+                        depth: 0,
+                        ancestors: BTreeSet::new(),
+                        digest: None,
+                    })
                 }
                 None => run.diagnostics.push(Diagnostic {
                     ca: "(trust anchor)".to_owned(),
@@ -326,9 +336,21 @@ impl Validator {
         }
 
         while let Some(item) = queue.pop() {
-            self.process_ca(source, item, &mut run, &mut queue);
+            self.process_ca(source, item, &mut run, &mut queue, None);
         }
 
+        Self::finish(&mut run);
+        run
+    }
+
+    /// The configuration this validator runs under.
+    pub(crate) fn config(&self) -> ValidationConfig {
+        self.config
+    }
+
+    /// Final canonicalisation shared by every entry point: the
+    /// order-insensitive vectors are sorted and deduplicated.
+    pub(crate) fn finish(run: &mut ValidationRun) {
         run.vrps.sort_unstable();
         run.vrps.dedup();
         run.vrp_records.sort_unstable_by_key(|r| (r.vrp, r.serial));
@@ -336,10 +358,9 @@ impl Validator {
         run.revocations.sort_unstable();
         run.revocations.dedup();
         run.freshness.sort_unstable();
-        run
     }
 
-    fn fetch_ta(
+    pub(crate) fn fetch_ta(
         &self,
         source: &mut dyn ObjectSource,
         tal: &TrustAnchorLocator,
@@ -361,12 +382,54 @@ impl Validator {
         Some(cert)
     }
 
-    fn process_ca(
+    /// Describes `item`'s CA as the [`ValidatedCa`] entry that
+    /// processing it pushes first.
+    pub(crate) fn validated_ca(item: &WorkItem) -> ValidatedCa {
+        ValidatedCa {
+            handle: item.cert.data().subject.clone(),
+            key: item.cert.data().subject_key.id(),
+            depth: item.depth,
+            resources: item.effective.to_prefixes().iter().map(|p| p.to_string()).collect(),
+        }
+    }
+
+    pub(crate) fn process_ca(
         &self,
         source: &mut dyn ObjectSource,
         item: WorkItem,
         run: &mut ValidationRun,
         queue: &mut Vec<WorkItem>,
+        obs: Option<&mut ProcessObservations>,
+    ) {
+        run.cas.push(Self::validated_ca(&item));
+
+        if item.depth >= self.config.max_depth {
+            let dir = item.cert.data().sia.clone();
+            run.diagnostics.push(Diagnostic {
+                ca: item.cert.data().subject.clone(),
+                dir: dir.to_string(),
+                issue: Issue::DepthExceeded,
+            });
+            return;
+        }
+
+        let outcome: SyncOutcome = source.load_dir(&item.cert.data().sia.clone());
+        self.process_pubpoint(item, outcome, run, queue, obs);
+    }
+
+    /// Processes one publication point against an already fetched sync
+    /// outcome. The caller has pushed the [`ValidatedCa`] entry and
+    /// handled the depth guard; everything else — freshness, manifest,
+    /// CRL, objects — happens here. `obs`, when present, collects the
+    /// facts the incremental cache needs to judge how long the result
+    /// stays valid.
+    pub(crate) fn process_pubpoint(
+        &self,
+        item: WorkItem,
+        outcome: SyncOutcome,
+        run: &mut ValidationRun,
+        queue: &mut Vec<WorkItem>,
+        mut obs: Option<&mut ProcessObservations>,
     ) {
         let cert = &item.cert;
         let handle = cert.data().subject.clone();
@@ -379,19 +442,6 @@ impl Validator {
             run.diagnostics.push(Diagnostic { ca: handle.clone(), dir: dir_s.clone(), issue });
         };
 
-        run.cas.push(ValidatedCa {
-            handle: handle.clone(),
-            key: key.id(),
-            depth: item.depth,
-            resources: resources.to_prefixes().iter().map(|p| p.to_string()).collect(),
-        });
-
-        if item.depth >= self.config.max_depth {
-            diag(run, Issue::DepthExceeded);
-            return;
-        }
-
-        let outcome: SyncOutcome = source.load_dir(&dir);
         run.freshness.push((dir_s.clone(), outcome.freshness));
         if !outcome.listed {
             diag(run, Issue::UnreachableRepo);
@@ -413,6 +463,9 @@ impl Validator {
             }
             Some(bytes) => match RpkiObject::from_bytes(bytes) {
                 Ok(RpkiObject::Manifest(m)) => {
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.next_update(m.data().next_update);
+                    }
                     if m.verify(&key).is_err() {
                         diag(run, Issue::BadManifestSignature);
                         None
@@ -480,6 +533,9 @@ impl Validator {
             }
             Some(bytes) => match RpkiObject::from_bytes(bytes) {
                 Ok(RpkiObject::Crl(c)) => {
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.next_update(c.data().next_update);
+                    }
                     if c.verify(&key).is_err() {
                         diag(run, Issue::BadCrlSignature);
                         None
@@ -518,6 +574,10 @@ impl Validator {
             };
             match obj {
                 RpkiObject::Cert(child) => {
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.validity(child.data().validity);
+                        o.child_key(child.subject_key_id());
+                    }
                     if child.verify(&key).is_err() {
                         diag(run, Issue::BadSignature(name.clone()));
                         continue;
@@ -553,6 +613,9 @@ impl Validator {
                     };
                     let child_key = child.subject_key_id();
                     if item.ancestors.contains(&child_key) || child_key == key.id() {
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.saw_loop();
+                        }
                         diag(run, Issue::CertificateLoop(name.clone()));
                         continue;
                     }
@@ -563,9 +626,13 @@ impl Validator {
                         effective: child_effective,
                         depth: item.depth + 1,
                         ancestors,
+                        digest: None,
                     });
                 }
                 RpkiObject::Roa(roa) => {
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.validity(roa.validity());
+                    }
                     if roa.verify(&key).is_err() {
                         diag(run, Issue::BadSignature(name.clone()));
                         continue;

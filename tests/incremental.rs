@@ -1,0 +1,196 @@
+//! Incremental-validation equivalence under random mutation sequences.
+//!
+//! The memo cache's whole contract is: whatever the world did between
+//! two runs, `run_incremental` produces byte-identical output to a
+//! cold walk of the same world. These properties drive random seeded
+//! sequences of authority-side mutations — ROA renewals, issuance,
+//! withdrawal, child-certificate revocation, at-rest takedowns and
+//! corruption — and after every step compare a persistent Full-mode
+//! state, a persistent Probe-mode state, and a cold walk. The RTR test
+//! closes the delta pipeline: each run's [`VrpDelta`] applied to the
+//! previous serial's data set must reconstruct the next one exactly.
+
+use std::collections::BTreeSet;
+
+use ipres::Asn;
+use proptest::prelude::*;
+use rpki_objects::{Moment, RoaPrefix};
+use rpki_risk::SyntheticRpki;
+use rpki_rp::{RtrServer, ValidationState, Vrp, VrpDelta};
+
+const HOST: &str = "rpki.bench.example";
+
+/// One authority- or repository-side mutation against the synthetic
+/// world. Every variant names the CA index it targets.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Renew the CA's first ROA: fresh file name, EE key, and serial,
+    /// same VRP content (the steady-state no-semantic-change churn).
+    Renew(usize),
+    /// Issue a new ROA in the CA's own /16 (a real announce).
+    Add(usize, u8),
+    /// Withdraw the CA's most recently issued extra ROA, if any.
+    Withdraw(usize),
+    /// Revoke the CA's first child certificate via its CRL.
+    Revoke(usize),
+    /// Delete one file at rest without republishing (a whack: the
+    /// manifest now references content the directory no longer has).
+    Takedown(usize),
+    /// Flip a byte of one stored file at rest (filesystem rot).
+    Corrupt(usize),
+}
+
+fn arb_op(cas: usize) -> impl Strategy<Value = Op> {
+    (0u8..6, 0usize..cas, 0u8..8).prop_map(|(kind, ca, slot)| match kind {
+        0 => Op::Renew(ca),
+        1 => Op::Add(ca, slot),
+        2 => Op::Withdraw(ca),
+        3 => Op::Revoke(ca),
+        4 => Op::Takedown(ca),
+        _ => Op::Corrupt(ca),
+    })
+}
+
+/// Republishes CA `idx`'s complete snapshot (fresh manifest and CRL).
+fn republish(w: &mut SyntheticRpki, idx: usize, now: Moment) {
+    let sia = w.cas[idx].sia().clone();
+    let snap = w.cas[idx].publication_snapshot(now);
+    w.repos.by_host_mut(HOST).expect("exists").publish_snapshot(&sia, &snap);
+}
+
+fn apply(w: &mut SyntheticRpki, op: Op, now: Moment) {
+    match op {
+        Op::Renew(ca) => {
+            let file =
+                w.cas[ca].issued_roas().next().expect("every CA keeps its first ROA").file_name();
+            w.cas[ca].renew_roa(&file, now).expect("renewable");
+            republish(w, ca, now);
+        }
+        Op::Add(ca, slot) => {
+            let prefix = format!("10.{ca}.{}.0/24", 100 + usize::from(slot));
+            w.cas[ca]
+                .issue_roa(
+                    Asn(64_000 + ca as u32),
+                    vec![RoaPrefix::exact(prefix.parse().expect("literal"))],
+                    now,
+                )
+                .expect("inside the CA's own /16");
+            republish(w, ca, now);
+        }
+        Op::Withdraw(ca) => {
+            // Keep the first ROA so Renew always has a target.
+            let extra: Option<String> =
+                w.cas[ca].issued_roas().skip(1).last().map(|r| r.file_name());
+            if let Some(file) = extra {
+                w.cas[ca].withdraw(&file).expect("present");
+                republish(w, ca, now);
+            }
+        }
+        Op::Revoke(ca) => {
+            let serial = w.cas[ca].issued_certs().next().map(|c| c.data().serial);
+            if let Some(serial) = serial {
+                w.cas[ca].revoke_serial(serial);
+                republish(w, ca, now);
+            }
+        }
+        Op::Takedown(ca) => {
+            let dir = w.cas[ca].sia().clone();
+            let repo = w.repos.by_host_mut(HOST).expect("exists");
+            if let Some((name, _)) = repo.list(&dir).first().cloned() {
+                repo.delete(&dir, &name);
+            }
+        }
+        Op::Corrupt(ca) => {
+            let dir = w.cas[ca].sia().clone();
+            let repo = w.repos.by_host_mut(HOST).expect("exists");
+            if let Some((name, _)) = repo.list(&dir).last().cloned() {
+                repo.corrupt_at_rest(&dir, &name);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// After every mutation, both incremental modes reproduce the cold
+    /// walk byte for byte — VRPs, diagnostics, freshness, CA list, the
+    /// lot — while their memo caches persist across all steps.
+    #[test]
+    fn incremental_matches_cold_after_random_mutation_sequences(
+        ops in proptest::collection::vec(arb_op(13), 1..10),
+    ) {
+        // depth 2 / branching 3: 13 publication points, 3 ROAs each.
+        let mut w = SyntheticRpki::build_seeded(5, 2, 3, 3);
+        let mut full = ValidationState::full();
+        let mut probe = ValidationState::probe();
+        w.validate_incremental(Moment(2), &mut full);
+        w.validate_incremental(Moment(3), &mut probe);
+
+        let mut t = 60u64;
+        for op in ops {
+            apply(&mut w, op, Moment(t));
+            let at = Moment(t + 30);
+            let cold = w.validate_cold(at);
+            let warm_full = w.validate_incremental(at, &mut full);
+            prop_assert_eq!(
+                &warm_full, &cold,
+                "Full-mode incremental diverged from the cold walk after {:?}", op
+            );
+            let warm_probe = w.validate_incremental(at, &mut probe);
+            prop_assert_eq!(
+                &warm_probe, &cold,
+                "Probe-mode incremental diverged from the cold walk after {:?}", op
+            );
+            t += 60;
+        }
+    }
+}
+
+/// The delta feed end to end: every run's announce/withdraw set, fed
+/// to [`RtrServer::apply_delta`], keeps the server's data set equal to
+/// the run's VRPs, bumps the serial exactly when something changed,
+/// and reconstructs serial N+1's set from serial N's.
+#[test]
+fn vrp_deltas_reconstruct_rtr_serials() {
+    let mut w = SyntheticRpki::build_seeded(9, 2, 3, 3);
+    let mut state = ValidationState::probe();
+    let mut server = RtrServer::new(1, 8);
+
+    let run0 = w.validate_incremental(Moment(2), &mut state);
+    assert!(!run0.vrps.is_empty());
+    server.apply_delta(state.last_delta());
+    assert_eq!(server.vrps(), run0.vrps, "first delta announces the whole set");
+
+    let mut reconstructed: BTreeSet<Vrp> = run0.vrps.iter().copied().collect();
+    let mut t = 60u64;
+    for round in 0..6usize {
+        let op = match round % 3 {
+            0 => Op::Renew(round % 13),
+            1 => Op::Add(round % 13, 1),
+            _ => Op::Withdraw((round - 2) % 13),
+        };
+        apply(&mut w, op, Moment(t));
+        let run = w.validate_incremental(Moment(t + 30), &mut state);
+        let delta: VrpDelta = state.last_delta().clone();
+
+        let serial_before = server.serial();
+        let pdu = server.apply_delta(&delta);
+        if delta.is_empty() {
+            assert!(pdu.is_none(), "a no-op delta must not bump the serial ({op:?})");
+            assert_eq!(server.serial(), serial_before);
+        } else {
+            assert!(pdu.is_some(), "a real delta must notify ({op:?})");
+            assert_eq!(server.serial(), serial_before + 1);
+        }
+        assert_eq!(server.vrps(), run.vrps, "server data set out of step after {op:?}");
+
+        delta.apply(&mut reconstructed);
+        assert_eq!(
+            reconstructed.iter().copied().collect::<Vec<_>>(),
+            run.vrps,
+            "delta application must reconstruct the next serial's set ({op:?})"
+        );
+        t += 60;
+    }
+}

@@ -1,0 +1,32 @@
+//! Campaign-level equivalence: `run_campaign` (incremental by default)
+//! versus `run_campaign_cold` (every round a full walk) must serialise
+//! to identical outcomes across all four relying-party tiers.
+//!
+//! The campaigns chosen cover the fault classes the memo cache has to
+//! survive without changing a single byte of output: "mixed" layers
+//! probabilistic in-flight corruption, flapping partitions, and a
+//! takedown inside one run, and "corruption-burst" keeps the fault
+//! dice hot for several consecutive rounds. Because campaign tiers
+//! run in [`RevalidationMode::Full`], network behaviour is
+//! byte-identical too, so even seeded probabilistic faults land the
+//! same way in both runs.
+
+use rpki_risk::{run_campaign, run_campaign_cold, standard_campaigns};
+
+#[test]
+fn incremental_campaigns_match_cold_campaigns_across_all_tiers() {
+    for name in ["mixed", "corruption-burst"] {
+        let spec = standard_campaigns()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("standard campaign present");
+        let warm = run_campaign(&spec, 11);
+        let cold = run_campaign_cold(&spec, 11);
+        let warm_json = serde_json::to_string(&warm).expect("serialise");
+        let cold_json = serde_json::to_string(&cold).expect("serialise");
+        assert_eq!(
+            warm_json, cold_json,
+            "campaign {name}: incremental revalidation changed a campaign outcome"
+        );
+    }
+}
