@@ -1,0 +1,195 @@
+//! The Stalloris-style RRDP downgrade: misbehaving publication points.
+//!
+//! *Stalloris: RPKI Downgrade Attack* (USENIX Security '22) modernises
+//! the paper's §2 authority-misbehaviour model: a relying party that
+//! prefers RRDP can be pushed off it — or worse, pinned on a stale
+//! replay of it — by a publication point that misbehaves at the
+//! *transport* layer while every signature it serves stays valid. No
+//! key compromise, no malformed object; just a server answering
+//! selectively. The server-side knobs live on
+//! [`Repository`](rpki_repo::Repository); this module packages them as
+//! a planner ([`DowngradePlan`]) and an executor ([`apply_step`]) in
+//! the same shape as [`whack`](crate::whack): a *plan* is an inspectable
+//! list of steps, so experiments and monitors can reason about the
+//! attack before any of it touches a repository.
+//!
+//! Steps compose: [`DowngradeStep::PinStale`] followed by an
+//! authority-side whack is the full Stalloris scenario — the RRDP feed
+//! keeps confirming the pre-whack world while rsync (and reality)
+//! moved on. [`DowngradeStep::Restore`] clears every knob, modelling
+//! the attacker covering tracks after the BGP damage is done.
+
+use rpki_repo::RepoRegistry;
+
+/// One server-side misbehaviour a downgrade plan applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DowngradeStep {
+    /// Freeze the RRDP feed of every directory on the host at its
+    /// current state and replay it: notifications keep confirming the
+    /// frozen serial, snapshots and deltas serve the frozen bytes.
+    /// Relying parties without a freshness cross-check stay captive.
+    PinStale,
+    /// Keep advertising deltas in the notification but answer every
+    /// delta request NotFound: clients behind by one serial are forced
+    /// into full snapshot fetches (amplification), clients with a
+    /// deadline may walk away and downgrade.
+    WithholdDeltas,
+    /// Take RRDP offline outright (every request NotFound): the crude
+    /// downgrade that pushes every client onto the rsync path, where
+    /// Stalloris' slow-serve economics apply.
+    ForceRsync,
+    /// Reset the RRDP session: fresh session id, serial restart, delta
+    /// history gone. Every client must resnapshot, and well-built RTR
+    /// caches downstream must signal a cache reset.
+    ResetSession,
+    /// Clear every knob: the host behaves again.
+    Restore,
+}
+
+impl DowngradeStep {
+    /// Stable label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DowngradeStep::PinStale => "pin_stale",
+            DowngradeStep::WithholdDeltas => "withhold_deltas",
+            DowngradeStep::ForceRsync => "force_rsync",
+            DowngradeStep::ResetSession => "reset_session",
+            DowngradeStep::Restore => "restore",
+        }
+    }
+}
+
+/// An inspectable downgrade schedule against one repository host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DowngradePlan {
+    /// The misbehaving publication point's host name.
+    pub host: String,
+    /// The steps, in application order.
+    pub steps: Vec<DowngradeStep>,
+}
+
+impl DowngradePlan {
+    /// The canonical Stalloris sequence: pin the feed (the whack lands
+    /// behind it, invisible over RRDP), then — once the stale window
+    /// has done its work — restore the host to cover tracks.
+    pub fn stalloris(host: &str) -> Self {
+        DowngradePlan {
+            host: host.to_owned(),
+            steps: vec![DowngradeStep::PinStale, DowngradeStep::Restore],
+        }
+    }
+
+    /// A plan that simply forces every client onto rsync for the
+    /// duration (the downgrade half without the stale replay).
+    pub fn force_rsync(host: &str) -> Self {
+        DowngradePlan {
+            host: host.to_owned(),
+            steps: vec![DowngradeStep::ForceRsync, DowngradeStep::Restore],
+        }
+    }
+}
+
+/// Applies one step to `host`'s repository. Returns `false` (and does
+/// nothing) if the registry has no such host — a plan against a
+/// non-existent publication point is a no-op, not a panic.
+pub fn apply_step(repos: &mut RepoRegistry, host: &str, step: DowngradeStep) -> bool {
+    let Some(repo) = repos.by_host_mut(host) else { return false };
+    match step {
+        DowngradeStep::PinStale => repo.rrdp_pin(),
+        DowngradeStep::WithholdDeltas => repo.set_rrdp_withhold_deltas(true),
+        DowngradeStep::ForceRsync => repo.set_rrdp_offline(true),
+        DowngradeStep::ResetSession => repo.rrdp_reset_sessions(),
+        DowngradeStep::Restore => {
+            repo.rrdp_unpin();
+            repo.set_rrdp_withhold_deltas(false);
+            repo.set_rrdp_offline(false);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{Network, NodeId};
+    use rpki_objects::RepoUri;
+    use rpki_repo::{rrdp_sync_dir, sync_dir, RrdpClientState, RrdpError, RrdpSyncKind};
+
+    fn world() -> (Network, RepoRegistry, NodeId, RepoUri) {
+        let mut net = Network::new(3);
+        let client = net.add_node("rp");
+        let mut repos = RepoRegistry::new();
+        let server = repos.create(&mut net, "pp.example");
+        let dir = RepoUri::new("pp.example", &["repo"]);
+        repos.get_mut(server).unwrap().publish_raw(&dir, "a.roa", vec![1]);
+        (net, repos, client, dir)
+    }
+
+    #[test]
+    fn unknown_host_is_a_noop() {
+        let (_, mut repos, _, _) = world();
+        assert!(!apply_step(&mut repos, "nope.example", DowngradeStep::PinStale));
+        assert!(apply_step(&mut repos, "pp.example", DowngradeStep::PinStale));
+    }
+
+    #[test]
+    fn pin_serves_stale_while_rsync_sees_truth() {
+        let (mut net, mut repos, client, dir) = world();
+        let mut state = RrdpClientState::new();
+        rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        apply_step(&mut repos, "pp.example", DowngradeStep::PinStale);
+        repos.by_host_mut("pp.example").unwrap().publish_raw(&dir, "a.roa", vec![2]);
+        let (out, kind) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(kind, RrdpSyncKind::Unchanged, "the pinned feed keeps confirming");
+        assert_eq!(out.files["a.roa"], vec![1]);
+        assert_eq!(sync_dir(&mut net, &repos, client, &dir).files["a.roa"], vec![2]);
+        // Restore heals the feed.
+        apply_step(&mut repos, "pp.example", DowngradeStep::Restore);
+        let (out, _) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(out.files["a.roa"], vec![2]);
+    }
+
+    #[test]
+    fn withheld_deltas_force_snapshot_churn() {
+        let (mut net, mut repos, client, dir) = world();
+        let mut state = RrdpClientState::new();
+        rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        apply_step(&mut repos, "pp.example", DowngradeStep::WithholdDeltas);
+        repos.by_host_mut("pp.example").unwrap().publish_raw(&dir, "a.roa", vec![2]);
+        let (out, kind) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(kind, RrdpSyncKind::Snapshot, "one serial behind, yet a full snapshot");
+        assert_eq!(out.files["a.roa"], vec![2]);
+        assert_eq!(state.stats().snapshot_syncs, 2);
+        assert_eq!(state.stats().delta_syncs, 0);
+    }
+
+    #[test]
+    fn force_rsync_withholds_rrdp_entirely() {
+        let (mut net, mut repos, client, dir) = world();
+        apply_step(&mut repos, "pp.example", DowngradeStep::ForceRsync);
+        let mut state = RrdpClientState::new();
+        let err = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap_err();
+        assert_eq!(err, RrdpError::Withheld);
+        assert!(sync_dir(&mut net, &repos, client, &dir).is_complete());
+    }
+
+    #[test]
+    fn session_reset_forces_resnapshot_and_epoch_bump() {
+        let (mut net, mut repos, client, dir) = world();
+        let mut state = RrdpClientState::new();
+        rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        apply_step(&mut repos, "pp.example", DowngradeStep::ResetSession);
+        let (_, kind) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(kind, RrdpSyncKind::SessionReset);
+        assert_eq!(state.epoch(), 1);
+    }
+
+    #[test]
+    fn plans_are_inspectable() {
+        let plan = DowngradePlan::stalloris("pp.example");
+        assert_eq!(plan.steps.first().unwrap().label(), "pin_stale");
+        assert_eq!(plan.steps.last(), Some(&DowngradeStep::Restore));
+        let plan = DowngradePlan::force_rsync("pp.example");
+        assert_eq!(plan.steps.first().unwrap().label(), "force_rsync");
+    }
+}

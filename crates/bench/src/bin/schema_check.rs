@@ -14,6 +14,7 @@ use rpki_risk_bench::schema;
 const KNOWN: &[(&str, &str)] = &[
     ("BENCH_propagation.json", "schemas/bench_propagation.schema.json"),
     ("BENCH_validation.json", "schemas/bench_validation.schema.json"),
+    ("BENCH_rrdp.json", "schemas/bench_rrdp.schema.json"),
 ];
 
 fn check_pair(data_path: &str, schema_path: &str) -> Result<(), String> {

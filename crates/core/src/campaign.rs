@@ -2,8 +2,9 @@
 //!
 //! A *campaign* is a deterministic schedule of repository faults —
 //! corruption bursts, flapping partitions, takedowns, Stalloris-style
-//! slow serves, stealthy withdrawals — played against the model world
-//! while four relying-party configurations validate on a fixed cadence:
+//! slow serves and RRDP pins, stealthy withdrawals — played against the
+//! model world while five relying-party configurations validate on a
+//! fixed cadence:
 //!
 //! 1. **bare** — one sync per directory, no timeouts (the RP the paper
 //!    assumes);
@@ -12,7 +13,10 @@
 //! 3. **retrying + stale cache** — plus last-good snapshot fallback and
 //!    circuit breaking ([`ResilientState`]);
 //! 4. **suspenders** — plus the hold-down fail-safe
-//!    ([`SuspendersState`]) over the validated VRPs.
+//!    ([`SuspendersState`]) over the validated VRPs;
+//! 5. **rrdp** — the resilient stack fetching over RRDP
+//!    ([`RrdpSource`](rpki_rp::RrdpSource), verified mode) with the
+//!    rsync path as its downgrade target.
 //!
 //! Each tier runs in its *own* freshly seeded world, so tiers never
 //! contaminate each other's fault dice; determinism is per
@@ -38,7 +42,7 @@ use std::collections::BTreeSet;
 use ipres::Prefix;
 use rpki_objects::{Moment, RoaPrefix, Span};
 use rpki_obs::Recorder;
-use rpki_repo::{Freshness, SyncPolicy};
+use rpki_repo::{Freshness, RrdpClientState, SyncPolicy};
 use rpki_rp::{
     ResilienceConfig, ResilientState, Route, RouteValidity, ValidationRun, ValidationState,
     VrpCache,
@@ -78,6 +82,18 @@ pub enum FaultKind {
     /// window, then reissues it. An authority-side fault: transport
     /// defenses must *not* bridge it; Suspenders must.
     Withdraw,
+    /// Stalloris stale-data pinning: at the window's first round the
+    /// host freezes its RRDP feed at the then-current state and replays
+    /// it (notification, snapshot, deltas) until the window closes.
+    /// Writes landing during the window — including a concurrent
+    /// [`Withdraw`](FaultKind::Withdraw) — stay hidden from RRDP while
+    /// rsync serves the truth. Only RRDP-preferring tiers are affected;
+    /// a verified RRDP client detects the pin and downgrades.
+    RrdpPin,
+    /// The host refuses RRDP outright for the window (every request
+    /// answered NotFound), forcing RRDP-preferring clients through the
+    /// rsync downgrade path each round.
+    RrdpWithhold,
 }
 
 /// A fault applied to one repository host over a round interval
@@ -122,12 +138,16 @@ pub enum RpTier {
     RetryingStale,
     /// The full stack plus the Suspenders hold-down over VRPs.
     Suspenders,
+    /// The resilient stack fetching over RRDP (verified: every sync is
+    /// cross-checked against an rsync digest probe) with the rsync
+    /// retry path as its downgrade target.
+    Rrdp,
 }
 
 impl RpTier {
     /// All tiers, weakest first.
-    pub const ALL: [RpTier; 4] =
-        [RpTier::Bare, RpTier::Retrying, RpTier::RetryingStale, RpTier::Suspenders];
+    pub const ALL: [RpTier; 5] =
+        [RpTier::Bare, RpTier::Retrying, RpTier::RetryingStale, RpTier::Suspenders, RpTier::Rrdp];
 
     /// A short stable label for reports.
     pub fn label(self) -> &'static str {
@@ -136,6 +156,7 @@ impl RpTier {
             RpTier::Retrying => "retrying",
             RpTier::RetryingStale => "retrying+stale",
             RpTier::Suspenders => "suspenders",
+            RpTier::Rrdp => "rrdp",
         }
     }
 }
@@ -158,6 +179,8 @@ pub struct RoundMetrics {
     pub unknown: usize,
     /// Publication points served from a stale snapshot this round.
     pub stale_dirs: usize,
+    /// RRDP→rsync downgrades this round (always 0 for non-RRDP tiers).
+    pub rrdp_downgrades: usize,
 }
 
 /// Campaign-wide sums for one tier.
@@ -175,6 +198,8 @@ pub struct TierTotals {
     pub unknown_flips: usize,
     /// Σ `stale_dirs`: directory-rounds bridged by the snapshot cache.
     pub stale_dir_rounds: usize,
+    /// Σ `rrdp_downgrades`: RRDP→rsync fallbacks across the campaign.
+    pub rrdp_downgrades: usize,
 }
 
 /// One tier's full trace through a campaign.
@@ -220,7 +245,7 @@ pub fn campaign_resilience() -> ResilienceConfig {
     ResilienceConfig { max_stale: 6 * 3600, failure_threshold: 3, cooldown: ROUND_SECS }
 }
 
-/// Runs `spec` at `seed` across all four tiers. Each tier revalidates
+/// Runs `spec` at `seed` across all five tiers. Each tier revalidates
 /// incrementally against a persistent [`ValidationState`] (full-fetch
 /// mode, so the network sees exactly the traffic a cold walk would);
 /// [`run_campaign_cold`] is the reference without the cache, and the
@@ -229,7 +254,7 @@ pub fn run_campaign(spec: &CampaignSpec, seed: u64) -> CampaignOutcome {
     run_campaign_traced(spec, seed, &Recorder::disabled())
 }
 
-/// Runs `spec` at `seed` across all four tiers with cold full walks
+/// Runs `spec` at `seed` across all five tiers with cold full walks
 /// every round — the oracle the incremental engine's output is tested
 /// against.
 pub fn run_campaign_cold(spec: &CampaignSpec, seed: u64) -> CampaignOutcome {
@@ -240,7 +265,7 @@ pub fn run_campaign_cold(spec: &CampaignSpec, seed: u64) -> CampaignOutcome {
     CampaignOutcome { name: spec.name.clone(), seed, rounds: spec.rounds, tiers }
 }
 
-/// Runs `spec` at `seed` across all four tiers, reporting through
+/// Runs `spec` at `seed` across all five tiers, reporting through
 /// `recorder`: each tier's world gets the recorder installed (so the
 /// whole netsim/repo/rp/suspenders event stream lands in one trace)
 /// and every round emits a `campaign/round` event plus the campaign
@@ -269,8 +294,12 @@ fn run_tier(
     // Hold-down of one day: longer than any campaign, so a held VRP
     // stays held until it recovers or the campaign ends.
     let mut suspenders = SuspendersState::new(SuspendersConfig { hold_down: Span::days(1) });
-    // Indices of `Withdraw` windows whose object is currently pulled.
-    let mut withdrawn: BTreeSet<usize> = BTreeSet::new();
+    // The RRDP tier's persistent per-directory session state: this is
+    // what makes round N+1 a delta (or fast-path) sync of round N.
+    let mut rrdp_state = RrdpClientState::new();
+    // Indices of stateful windows (`Withdraw`, `RrdpPin`) currently
+    // engaged, so activation/deactivation happens exactly once.
+    let mut engaged: BTreeSet<usize> = BTreeSet::new();
 
     // Warm-up: one faultless validation so snapshots and the
     // suspenders baseline reflect the healthy world.
@@ -282,15 +311,17 @@ fn run_tier(
         policy,
         &mut resilient,
         &mut suspenders,
+        &mut rrdp_state,
         validation_state.as_mut(),
     );
+    let mut prev_downgrades = rrdp_state.stats().downgrades;
 
     let mut rounds = Vec::with_capacity(spec.rounds);
     for round in 1..=spec.rounds {
         // Stalled sessions may overrun the boundary; `advance_to` is
         // monotone, so pacing simply resumes once they drain.
         w.net.advance_to(round as u64 * ROUND_SECS);
-        apply_faults(&mut w, spec, round, &mut withdrawn);
+        apply_faults(&mut w, spec, round, &mut engaged);
 
         let moment = Moment(w.net.now());
         let run = validate_tier(
@@ -300,6 +331,7 @@ fn run_tier(
             policy,
             &mut resilient,
             &mut suspenders,
+            &mut rrdp_state,
             validation_state.as_mut(),
         );
 
@@ -319,11 +351,14 @@ fn run_tier(
         }
         m.stale_dirs =
             run.freshness.iter().filter(|(_, f)| matches!(f, Freshness::Stale { .. })).count();
+        m.rrdp_downgrades = (rrdp_state.stats().downgrades - prev_downgrades) as usize;
+        prev_downgrades = rrdp_state.stats().downgrades;
         if recorder.is_enabled() {
             recorder.count("campaign.rounds", 1);
             recorder.count("campaign.invalid_flips", m.invalid as u64);
             recorder.count("campaign.unknown_flips", m.unknown as u64);
             recorder.count("campaign.stale_dir_rounds", m.stale_dirs as u64);
+            recorder.count("campaign.rrdp_downgrades", m.rrdp_downgrades as u64);
             recorder.observe("campaign.vrps_per_round", m.vrps as u64);
             recorder
                 .event(moment.0, "campaign", "round")
@@ -335,6 +370,7 @@ fn run_tier(
                 .u64("invalid", m.invalid as u64)
                 .u64("unknown", m.unknown as u64)
                 .u64("stale_dirs", m.stale_dirs as u64)
+                .u64("rrdp_downgrades", m.rrdp_downgrades as u64)
                 .emit();
         }
         rounds.push(m);
@@ -347,6 +383,7 @@ fn run_tier(
         invalid_flips: rounds.iter().map(|m| m.invalid).sum(),
         unknown_flips: rounds.iter().map(|m| m.unknown).sum(),
         stale_dir_rounds: rounds.iter().map(|m| m.stale_dirs).sum(),
+        rrdp_downgrades: rounds.iter().map(|m| m.rrdp_downgrades).sum(),
     };
     if recorder.is_enabled() {
         recorder
@@ -359,6 +396,7 @@ fn run_tier(
             .u64("invalid_flips", totals.invalid_flips as u64)
             .u64("unknown_flips", totals.unknown_flips as u64)
             .u64("stale_dir_rounds", totals.stale_dir_rounds as u64)
+            .u64("rrdp_downgrades", totals.rrdp_downgrades as u64)
             .emit();
     }
     TierOutcome { tier, rounds, totals }
@@ -372,6 +410,7 @@ fn validate_tier(
     policy: SyncPolicy,
     resilient: &mut ResilientState,
     suspenders: &mut SuspendersState,
+    rrdp: &mut RrdpClientState,
     incremental: Option<&mut ValidationState>,
 ) -> ValidationRun {
     let opts = match tier {
@@ -382,6 +421,9 @@ fn validate_tier(
             .retry(policy)
             .stale_cache(resilient)
             .suspenders(suspenders),
+        RpTier::Rrdp => {
+            ValidationOptions::at(moment).retry(policy).rrdp(rrdp).stale_cache(resilient)
+        }
     };
     let opts = match incremental {
         Some(state) => opts.incremental(state),
@@ -391,11 +433,14 @@ fn validate_tier(
 }
 
 /// Clears last round's transport faults, then arms this round's.
+/// Stateful windows (`Withdraw`, `RrdpPin`) engage exactly once at the
+/// window's first round via `engaged` — re-arming a pin every round
+/// would re-capture the current state and defeat the point.
 fn apply_faults(
     w: &mut ModelRpki,
     spec: &CampaignSpec,
     round: usize,
-    withdrawn: &mut BTreeSet<usize>,
+    engaged: &mut BTreeSet<usize>,
 ) {
     let rp = w.rp_node;
     // Clear every window's effect first so expired and flapping
@@ -407,7 +452,13 @@ fn apply_faults(
             FaultKind::Partition | FaultKind::Flapping => w.net.faults.heal(rp, node),
             FaultKind::Takedown => w.net.faults.set_down(node, false),
             FaultKind::Stall { .. } => w.net.faults.set_stall(node, rp, 0),
-            FaultKind::Withdraw => {}
+            FaultKind::RrdpWithhold => {
+                w.repos
+                    .by_host_mut(&win.host)
+                    .expect("campaign host exists")
+                    .set_rrdp_offline(false);
+            }
+            FaultKind::Withdraw | FaultKind::RrdpPin => {}
         }
     }
 
@@ -426,14 +477,29 @@ fn apply_faults(
             }
             FaultKind::Takedown if active => w.net.faults.set_down(node, true),
             FaultKind::Stall { extra } if active => w.net.faults.set_stall(node, rp, extra),
+            FaultKind::RrdpWithhold if active => {
+                w.repos
+                    .by_host_mut(&win.host)
+                    .expect("campaign host exists")
+                    .set_rrdp_offline(true);
+            }
+            FaultKind::RrdpPin => {
+                let repo = w.repos.by_host_mut(&win.host).expect("campaign host exists");
+                if active && !engaged.contains(&i) {
+                    repo.rrdp_pin();
+                    engaged.insert(i);
+                } else if !active && engaged.remove(&i) {
+                    repo.rrdp_unpin();
+                }
+            }
             FaultKind::Withdraw => {
                 let now = Moment(w.net.now());
-                if active && !withdrawn.contains(&i) {
+                if active && !engaged.contains(&i) {
                     let file = w.covering_roa_file();
                     w.continental.withdraw(&file).expect("covering ROA present");
                     w.publish_all(now);
-                    withdrawn.insert(i);
-                } else if !active && withdrawn.remove(&i) {
+                    engaged.insert(i);
+                } else if !active && engaged.remove(&i) {
                     let covering: Prefix = "63.174.16.0/20".parse().expect("literal");
                     w.continental
                         .issue_roa(asn::CONTINENTAL, vec![RoaPrefix::exact(covering)], now)
@@ -481,6 +547,19 @@ pub fn standard_campaigns() -> Vec<CampaignSpec> {
                 from: 3,
                 to: 6,
             }],
+        },
+        CampaignSpec {
+            // The Stalloris scenario: the RRDP feed freezes, then the
+            // authority whacks the covering ROA behind the frozen view.
+            // A trusting RRDP client never sees the whack; the verified
+            // rrdp tier detects the pin each round and downgrades to
+            // rsync for the truth.
+            name: "stalloris-downgrade".to_owned(),
+            rounds: 12,
+            windows: vec![
+                FaultWindow { host: c(), kind: FaultKind::RrdpPin, from: 3, to: 8 },
+                FaultWindow { host: c(), kind: FaultKind::Withdraw, from: 4, to: 6 },
+            ],
         },
         CampaignSpec {
             name: "mixed".to_owned(),
@@ -572,9 +651,81 @@ mod tests {
     }
 
     #[test]
+    fn rrdp_tier_matches_suspenders_free_stack_on_transport_faults() {
+        // A takedown hits transports equally: the rrdp tier falls back
+        // to rsync (which is down too) and then to its stale cache, so
+        // its availability equals the retrying+stale tier's.
+        let out = run_campaign(&takedown_spec(), 42);
+        let stale = out.tier(RpTier::RetryingStale).totals;
+        let rrdp = out.tier(RpTier::Rrdp).totals;
+        assert_eq!(rrdp.vrp_round_sum, stale.vrp_round_sum, "{rrdp:?} vs {stale:?}");
+        assert_eq!(rrdp.min_vrps, 8);
+        assert!(rrdp.rrdp_downgrades >= 3, "each outage round downgrades: {rrdp:?}");
+        assert_eq!(stale.rrdp_downgrades, 0, "non-RRDP tiers never downgrade");
+    }
+
+    #[test]
+    fn stalloris_campaign_verified_tier_sees_through_the_pin() {
+        let spec = standard_campaigns()
+            .into_iter()
+            .find(|s| s.name == "stalloris-downgrade")
+            .expect("stalloris spec present");
+        let out = run_campaign(&spec, 42);
+        let rrdp = out.tier(RpTier::Rrdp);
+        // Pin rounds before the whack (round 3): the feed is stale but
+        // content-identical, so nothing is lost and nothing downgrades
+        // beyond the detection rounds.
+        // Whack rounds (4–6): the verified tier detects the pin on the
+        // Continental point and recovers the truth via rsync — the VRP
+        // count drops to 7 like an honest world would show.
+        for m in &rrdp.rounds[3..6] {
+            assert_eq!(m.vrps, 7, "round {}: verified tier must see the whack", m.round);
+            assert!(m.rrdp_downgrades >= 1, "round {}: pin must force a downgrade", m.round);
+        }
+        // After reissue (7–8, still pinned): truth is 8 again.
+        for m in &rrdp.rounds[6..8] {
+            assert_eq!(m.vrps, 8, "round {}", m.round);
+        }
+        // After unpin (9+): the feed heals, no more downgrades.
+        for m in &rrdp.rounds[9..] {
+            assert_eq!(m.vrps, 8, "round {}", m.round);
+            assert_eq!(m.rrdp_downgrades, 0, "round {}: healed feed, no downgrade", m.round);
+        }
+        // The non-RRDP tiers fetch over rsync and are oblivious to the
+        // pin: they see the plain withdraw window.
+        let stale = out.tier(RpTier::RetryingStale).totals;
+        assert_eq!(stale.min_vrps, 7);
+        assert_eq!(stale.rrdp_downgrades, 0);
+    }
+
+    #[test]
+    fn rrdp_withhold_forces_downgrades_without_data_loss() {
+        let spec = CampaignSpec {
+            name: "wh".to_owned(),
+            rounds: 6,
+            windows: vec![FaultWindow {
+                host: "rpki.continental.example".to_owned(),
+                kind: FaultKind::RrdpWithhold,
+                from: 2,
+                to: 4,
+            }],
+        };
+        let out = run_campaign(&spec, 42);
+        let rrdp = out.tier(RpTier::Rrdp);
+        // The rsync path keeps the tier whole through the withhold…
+        assert_eq!(rrdp.totals.min_vrps, 8, "{:?}", rrdp.totals);
+        // …at the cost of one downgrade per withheld round, and none
+        // once the feed returns.
+        assert_eq!(
+            rrdp.rounds.iter().map(|m| m.rrdp_downgrades).collect::<Vec<_>>(),
+            vec![0, 1, 1, 1, 0, 0]
+        );
+    }
+
+    #[test]
     fn standard_campaigns_are_well_formed() {
         let specs = standard_campaigns();
-        assert_eq!(specs.len(), 5);
+        assert_eq!(specs.len(), 6);
         for spec in &specs {
             assert!(spec.rounds >= 1);
             for win in &spec.windows {

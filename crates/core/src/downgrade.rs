@@ -1,0 +1,264 @@
+//! The Stalloris scenario: an RRDP downgrade hiding a whack.
+//!
+//! [`campaign`](crate::campaign) measures relying-party tiers under
+//! *random* transport faults. This module runs the *deliberate* one:
+//! the paper's stealthy withdrawal (Side Effect 2) executed behind a
+//! Stalloris-style RRDP pin, so the publication point keeps replaying
+//! its pre-whack feed while the at-rest truth has moved on.
+//!
+//! Three relying-party stances watch the same worlds in lock-step:
+//!
+//! - **truth** — direct at-rest validation, no transport: what a
+//!   relying party *should* see each round;
+//! - **trusting** — prefers RRDP and believes it
+//!   ([`ValidationOptions::rrdp_trusting`]): the stance Stalloris
+//!   exploits;
+//! - **verified** — prefers RRDP but cross-checks freshness against an
+//!   rsync digest probe and downgrades on disagreement
+//!   ([`ValidationOptions::rrdp`]): the hardening this repo argues for.
+//!
+//! The outcome quantifies the attack as *stale rounds*: rounds where a
+//! stance's VRP set differs from truth. The Stalloris effect is the
+//! gap — the trusting stance stays stale for the whole pin window, the
+//! verified stance for none of it. Every count is an integer and the
+//! schedule is fixed, so a seed replays byte-identically; the
+//! `ablation_downgrade` binary serialises [`DowngradeOutcome`] as the
+//! experiment artifact.
+
+use rpki_attacks::{apply_step, DowngradePlan};
+use rpki_objects::Moment;
+use rpki_repo::{RrdpClientState, SyncPolicy};
+use serde::Serialize;
+
+use crate::campaign::ROUND_SECS;
+use crate::fixtures::ModelRpki;
+use crate::validate::ValidationOptions;
+
+/// The misbehaving publication point (it hosts the whacked ROA).
+const TARGET_HOST: &str = "rpki.continental.example";
+
+/// The fixed schedule: what happens at which round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct DowngradeSchedule {
+    /// Total rounds.
+    pub rounds: usize,
+    /// Round at which the feed is pinned (the plan's opening step).
+    pub pin_round: usize,
+    /// Round at which the covering ROA is stealthily withdrawn.
+    pub whack_round: usize,
+    /// Round at which the host restores itself (the plan's last step).
+    pub restore_round: usize,
+}
+
+impl Default for DowngradeSchedule {
+    fn default() -> Self {
+        DowngradeSchedule { rounds: 12, pin_round: 3, whack_round: 4, restore_round: 9 }
+    }
+}
+
+/// One round of the scenario, all three stances side by side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct DowngradeRound {
+    /// Round number (1-based).
+    pub round: usize,
+    /// VRPs under direct at-rest validation (ground truth).
+    pub truth_vrps: usize,
+    /// VRPs the trusting RRDP stance holds.
+    pub trusting_vrps: usize,
+    /// VRPs the verified RRDP stance holds.
+    pub verified_vrps: usize,
+    /// Did the trusting stance diverge from truth this round?
+    pub trusting_stale: bool,
+    /// Did the verified stance diverge from truth this round?
+    pub verified_stale: bool,
+    /// Rsync downgrades the verified stance performed this round.
+    pub verified_downgrades: usize,
+    /// Pinned-feed detections the verified stance raised this round.
+    pub pinned_detected: usize,
+}
+
+/// The full scenario record: schedule, per-round data, and the stale
+/// totals the Stalloris claim rests on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DowngradeOutcome {
+    /// Network seed the scenario ran under.
+    pub seed: u64,
+    /// The attacked host.
+    pub host: String,
+    /// The applied schedule.
+    pub schedule: DowngradeSchedule,
+    /// Per-round measurements.
+    pub rounds: Vec<DowngradeRound>,
+    /// Rounds the trusting stance spent diverged from truth.
+    pub trusting_stale_rounds: usize,
+    /// Rounds the verified stance spent diverged from truth.
+    pub verified_stale_rounds: usize,
+}
+
+/// Runs the Stalloris scenario under the default schedule.
+pub fn run_downgrade_scenario(seed: u64) -> DowngradeOutcome {
+    run_downgrade_scheduled(seed, DowngradeSchedule::default())
+}
+
+/// Runs the Stalloris scenario under an explicit schedule.
+///
+/// Two worlds are built from the same seed — one per transported
+/// stance — and mutated identically; truth is read at-rest, so a third
+/// world is unnecessary. The attack itself is a
+/// [`DowngradePlan::stalloris`]: its opening step fires at
+/// `pin_round`, its closing step at `restore_round`, and the whack
+/// lands in between, invisible to anyone still watching the pinned
+/// feed.
+pub fn run_downgrade_scheduled(seed: u64, schedule: DowngradeSchedule) -> DowngradeOutcome {
+    assert!(
+        schedule.pin_round < schedule.whack_round
+            && schedule.whack_round < schedule.restore_round
+            && schedule.restore_round <= schedule.rounds,
+        "schedule must order pin < whack < restore <= rounds"
+    );
+    let plan = DowngradePlan::stalloris(TARGET_HOST);
+    let open = *plan.steps.first().expect("stalloris plans open");
+    let close = *plan.steps.last().expect("stalloris plans close");
+
+    let mut trusting_world = ModelRpki::build_seeded(seed);
+    let mut verified_world = ModelRpki::build_seeded(seed);
+    let mut trusting = RrdpClientState::new();
+    let mut verified = RrdpClientState::new();
+    let policy = SyncPolicy::default();
+    let rec = verified_world.net.recorder();
+
+    // Warm-up: both stances converge on the healthy world.
+    let moment = Moment(trusting_world.net.now());
+    trusting_world
+        .validate_with(ValidationOptions::at(moment).retry(policy).rrdp_trusting(&mut trusting));
+    verified_world.validate_with(ValidationOptions::at(moment).retry(policy).rrdp(&mut verified));
+    let mut prev_downgrades = verified.stats().downgrades;
+    let mut prev_pinned = verified.stats().pinned_detected;
+
+    let mut rounds = Vec::with_capacity(schedule.rounds);
+    for round in 1..=schedule.rounds {
+        for w in [&mut trusting_world, &mut verified_world] {
+            w.net.advance_to(round as u64 * ROUND_SECS);
+            if round == schedule.pin_round {
+                apply_step(&mut w.repos, &plan.host, open);
+            }
+            if round == schedule.restore_round {
+                apply_step(&mut w.repos, &plan.host, close);
+            }
+        }
+        let moment = Moment(trusting_world.net.now());
+        if round == schedule.whack_round {
+            for w in [&mut trusting_world, &mut verified_world] {
+                let file = w.covering_roa_file();
+                w.continental.withdraw(&file).expect("covering ROA published");
+                w.publish_all(moment);
+            }
+        }
+
+        // Truth reads either world at rest: the pin is transport-only,
+        // so the trusting world's files are already the real state.
+        let truth = trusting_world.validate_direct(moment);
+        let t = trusting_world.validate_with(
+            ValidationOptions::at(moment).retry(policy).rrdp_trusting(&mut trusting),
+        );
+        let v = verified_world
+            .validate_with(ValidationOptions::at(moment).retry(policy).rrdp(&mut verified));
+
+        let m = DowngradeRound {
+            round,
+            truth_vrps: truth.vrps.len(),
+            trusting_vrps: t.vrps.len(),
+            verified_vrps: v.vrps.len(),
+            trusting_stale: t.vrps != truth.vrps,
+            verified_stale: v.vrps != truth.vrps,
+            verified_downgrades: (verified.stats().downgrades - prev_downgrades) as usize,
+            pinned_detected: (verified.stats().pinned_detected - prev_pinned) as usize,
+        };
+        prev_downgrades = verified.stats().downgrades;
+        prev_pinned = verified.stats().pinned_detected;
+        if rec.is_enabled() {
+            rec.count("downgrade.rounds", 1);
+            rec.count("downgrade.trusting_stale_rounds", m.trusting_stale as u64);
+            rec.count("downgrade.verified_stale_rounds", m.verified_stale as u64);
+            rec.event(moment.0, "downgrade", "round")
+                .u64("round", round as u64)
+                .u64("truth_vrps", m.truth_vrps as u64)
+                .u64("trusting_vrps", m.trusting_vrps as u64)
+                .u64("verified_vrps", m.verified_vrps as u64)
+                .bool("trusting_stale", m.trusting_stale)
+                .bool("verified_stale", m.verified_stale)
+                .u64("verified_downgrades", m.verified_downgrades as u64)
+                .u64("pinned_detected", m.pinned_detected as u64)
+                .emit();
+        }
+        rounds.push(m);
+    }
+
+    let outcome = DowngradeOutcome {
+        seed,
+        host: plan.host,
+        schedule,
+        trusting_stale_rounds: rounds.iter().filter(|m| m.trusting_stale).count(),
+        verified_stale_rounds: rounds.iter().filter(|m| m.verified_stale).count(),
+        rounds,
+    };
+    if rec.is_enabled() {
+        rec.event(verified_world.net.now(), "downgrade", "outcome")
+            .str("host", &outcome.host)
+            .u64("trusting_stale_rounds", outcome.trusting_stale_rounds as u64)
+            .u64("verified_stale_rounds", outcome.verified_stale_rounds as u64)
+            .emit();
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stalloris_effect_holds_under_default_schedule() {
+        let out = run_downgrade_scenario(41);
+        let s = out.schedule;
+        for m in &out.rounds {
+            // Healthy world is 8 VRPs; the whack takes truth to 7.
+            let expected_truth = if m.round >= s.whack_round { 7 } else { 8 };
+            assert_eq!(m.truth_vrps, expected_truth, "round {}", m.round);
+            // The verified stance tracks truth every single round.
+            assert!(!m.verified_stale, "verified diverged at round {}", m.round);
+            assert_eq!(m.verified_vrps, expected_truth, "round {}", m.round);
+            // The trusting stance is captive exactly while pinned over
+            // a whacked world, and recovers once the host restores.
+            let captive = (s.whack_round..s.restore_round).contains(&m.round);
+            assert_eq!(m.trusting_stale, captive, "round {}", m.round);
+            if captive {
+                assert_eq!(m.trusting_vrps, 8, "the pin replays the pre-whack world");
+            }
+        }
+        assert_eq!(out.trusting_stale_rounds, s.restore_round - s.whack_round);
+        assert_eq!(out.verified_stale_rounds, 0);
+        // The verified stance noticed: it flagged the pin and
+        // downgraded to rsync while the feed was lying.
+        let detections: usize = out.rounds.iter().map(|m| m.pinned_detected).sum();
+        assert!(detections > 0, "the verified stance must detect the pin");
+        let tail = out.rounds.last().unwrap();
+        assert_eq!(tail.verified_downgrades, 0, "after restore, RRDP serves again");
+    }
+
+    #[test]
+    fn scenario_replays_byte_identically() {
+        let a = run_downgrade_scenario(17);
+        let b = run_downgrade_scenario(17);
+        assert_eq!(a, b);
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule must order")]
+    fn misordered_schedules_are_rejected() {
+        run_downgrade_scheduled(
+            1,
+            DowngradeSchedule { rounds: 5, pin_round: 4, whack_round: 2, restore_round: 5 },
+        );
+    }
+}

@@ -32,14 +32,20 @@
 //!   revalidation) and `validate_with` assembles and runs them,
 //!   reporting through the world's observability recorder.
 //! - [`campaign`] — seeded fault campaigns comparing relying-party
-//!   configurations (bare / retrying / stale-cache / Suspenders) on
-//!   VRP availability and validity flips under scheduled repository
-//!   faults; the harness behind the `ablation_resilience` experiment.
+//!   configurations (bare / retrying / stale-cache / Suspenders /
+//!   RRDP) on VRP availability and validity flips under scheduled
+//!   repository faults; the harness behind the `ablation_resilience`
+//!   experiment.
+//! - [`downgrade`] — the Stalloris scenario: a stealthy withdrawal
+//!   executed behind a pinned RRDP feed, measured against trusting,
+//!   verified, and at-rest relying-party stances; the harness behind
+//!   the `ablation_downgrade` experiment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod downgrade;
 pub mod fixtures;
 pub mod grid;
 pub mod jurisdiction;
@@ -52,6 +58,10 @@ pub mod validate;
 pub use campaign::{
     run_campaign, run_campaign_cold, run_campaign_traced, standard_campaigns, CampaignOutcome,
     CampaignSpec, FaultKind, FaultWindow, RoundMetrics, RpTier, TierOutcome, TierTotals,
+};
+pub use downgrade::{
+    run_downgrade_scenario, run_downgrade_scheduled, DowngradeOutcome, DowngradeRound,
+    DowngradeSchedule,
 };
 pub use fixtures::{ModelRpki, SyntheticRpki};
 pub use grid::{collapse_bands, validity_grid, Band, GridRow};

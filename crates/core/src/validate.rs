@@ -30,10 +30,10 @@
 //! remains as the one standalone convenience.
 
 use rpki_objects::Moment;
-use rpki_repo::SyncPolicy;
+use rpki_repo::{RrdpClientState, SyncPolicy};
 use rpki_rp::{
-    DirectSource, NetworkSource, ObjectSource, ResilientSource, ResilientState, ValidationConfig,
-    ValidationRun, ValidationState, Validator,
+    DirectSource, NetworkSource, ObjectSource, ResilientSource, ResilientState, RrdpSource,
+    ValidationConfig, ValidationRun, ValidationState, Validator,
 };
 
 use crate::fixtures::ModelRpki;
@@ -54,6 +54,8 @@ pub struct ValidationOptions<'a> {
     stale_cache: Option<&'a mut ResilientState>,
     suspenders: Option<&'a mut SuspendersState>,
     incremental: Option<&'a mut ValidationState>,
+    rrdp: Option<&'a mut RrdpClientState>,
+    rrdp_verify: bool,
 }
 
 impl<'a> ValidationOptions<'a> {
@@ -68,6 +70,8 @@ impl<'a> ValidationOptions<'a> {
             stale_cache: None,
             suspenders: None,
             incremental: None,
+            rrdp: None,
+            rrdp_verify: true,
         }
     }
 
@@ -123,6 +127,29 @@ impl<'a> ValidationOptions<'a> {
         self.incremental = Some(state);
         self
     }
+
+    /// Fetch over RRDP (notification poll, delta chains, snapshot
+    /// fallback) with the rsync path as the downgrade target, keeping
+    /// per-directory session state in `state` across runs. Every
+    /// successful RRDP sync is cross-checked against an rsync digest
+    /// probe, so a publication point replaying a frozen stale view is
+    /// detected ([`RrdpClientState::note_pinned`]) and bypassed.
+    /// Ignored by [`direct`](ValidationOptions::direct) runs.
+    pub fn rrdp(mut self, state: &'a mut RrdpClientState) -> Self {
+        self.rrdp = Some(state);
+        self.rrdp_verify = true;
+        self
+    }
+
+    /// Like [`rrdp`](ValidationOptions::rrdp) but without the freshness
+    /// cross-check: the relying party believes whatever the RRDP feed
+    /// confirms. This is the Stalloris-vulnerable configuration the
+    /// downgrade campaign measures.
+    pub fn rrdp_trusting(mut self, state: &'a mut RrdpClientState) -> Self {
+        self.rrdp = Some(state);
+        self.rrdp_verify = false;
+        self
+    }
 }
 
 fn run_stack<S: ObjectSource>(
@@ -165,6 +192,8 @@ impl ModelRpki {
             mut stale_cache,
             suspenders,
             mut incremental,
+            rrdp,
+            rrdp_verify,
         } = opts;
         let rec = self.net.recorder();
         let config =
@@ -181,6 +210,14 @@ impl ModelRpki {
                 incremental.as_deref_mut(),
                 tals,
             )
+        } else if let Some(state) = rrdp {
+            let policy = retry.unwrap_or_default();
+            let mut source =
+                RrdpSource::new(&mut self.net, &self.repos, self.rp_node, state, policy);
+            if !rrdp_verify {
+                source = source.trusting();
+            }
+            run_stack(config, source, stale_cache, incremental.as_deref_mut(), tals)
         } else {
             let source = match retry {
                 Some(policy) => {
@@ -310,6 +347,62 @@ mod tests {
             .events()
             .iter()
             .any(|e| e.layer == "suspenders" && e.kind == "held_suspicious" && e.at == 4));
+    }
+
+    #[test]
+    fn rrdp_run_matches_cold_network_run() {
+        let mut cold = ModelRpki::build_seeded(5);
+        let mut warm = ModelRpki::build_seeded(5);
+        let mut state = RrdpClientState::new();
+        let a = cold.validate_with(ValidationOptions::at(Moment(2)));
+        let b = warm.validate_with(ValidationOptions::at(Moment(2)).rrdp(&mut state));
+        assert_eq!(a, b, "RRDP-sourced output must equal the rsync cold walk");
+        assert_eq!(state.stats().snapshot_syncs, 5, "first contact snapshots every pub point");
+        assert_eq!(state.stats().downgrades, 0);
+        // A quiet re-run is all fast-path confirmations, same output.
+        let c = warm.validate_with(ValidationOptions::at(Moment(3)).rrdp(&mut state));
+        assert_eq!(a.vrps, c.vrps);
+        assert_eq!(state.stats().unchanged, 5);
+    }
+
+    #[test]
+    fn rrdp_run_survives_an_offline_rrdp_endpoint() {
+        let mut w = ModelRpki::build_seeded(5);
+        let baseline = w.validate_with(ValidationOptions::at(Moment(2)));
+        for host in ["rpki.arin.example", "rpki.sprint.example", "rpki.continental.example"] {
+            if let Some(repo) = w.repos.by_host_mut(host) {
+                repo.set_rrdp_offline(true);
+            }
+        }
+        let mut state = RrdpClientState::new();
+        let run = w.validate_with(ValidationOptions::at(Moment(3)).rrdp(&mut state));
+        assert_eq!(run.vrps, baseline.vrps, "the rsync fallback must keep the RP whole");
+        assert!(state.stats().downgrades > 0);
+    }
+
+    #[test]
+    fn trusting_rrdp_stays_pinned_while_verified_recovers() {
+        let mut trusting_world = ModelRpki::build_seeded(9);
+        let mut verified_world = ModelRpki::build_seeded(9);
+        let mut trusting = RrdpClientState::new();
+        let mut verified = RrdpClientState::new();
+        trusting_world.validate_with(ValidationOptions::at(Moment(2)).rrdp_trusting(&mut trusting));
+        verified_world.validate_with(ValidationOptions::at(Moment(2)).rrdp(&mut verified));
+        // The CONTINENTAL host pins its feed, then whacks the covering
+        // ROA (the paper's stealthy delete).
+        for w in [&mut trusting_world, &mut verified_world] {
+            w.repos.by_host_mut("rpki.continental.example").unwrap().rrdp_pin();
+            let file = w.covering_roa_file();
+            w.continental.withdraw(&file).unwrap();
+            w.publish_all(Moment(3));
+        }
+        let t = trusting_world
+            .validate_with(ValidationOptions::at(Moment(4)).rrdp_trusting(&mut trusting));
+        let v = verified_world.validate_with(ValidationOptions::at(Moment(4)).rrdp(&mut verified));
+        assert_eq!(t.vrps.len(), 8, "the trusting RP still sees the whacked ROA");
+        assert_eq!(v.vrps.len(), 7, "the verified RP sees the truth via the downgrade");
+        assert!(verified.stats().pinned_detected > 0);
+        assert_eq!(trusting.stats().pinned_detected, 0);
     }
 
     #[test]

@@ -14,9 +14,12 @@
 //!   it depends on BGP ([`Repository::hosted_at`] + the netsim
 //!   reachability oracle — Side Effect 7).
 //!
-//! Module layout: [`store`] (the at-rest file store), [`proto`] (wire
-//! messages of the rsync-like list/get protocol), [`client`] (the
-//! synchronous sync driver that pumps the event loop).
+//! Module layout: [`store`] (the at-rest file store plus the RRDP
+//! publication logs maintained at write time), [`proto`] (wire messages
+//! of the rsync-like list/get protocol), [`client`] (the synchronous
+//! sync driver that pumps the event loop), [`rrdp`] (the delta-based
+//! RRDP transport: notification/snapshot/delta frames and the polling
+//! client state machine, with the rsync path as its downgrade target).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@
 pub mod cache;
 pub mod client;
 pub mod proto;
+pub mod rrdp;
 pub mod store;
 
 pub use cache::{sync_dir_caching, sync_dir_incremental, IncrementalStats, SyncCache};
@@ -32,4 +36,8 @@ pub use client::{
     RepoRegistry, SyncOutcome, SyncPolicy, SyncReport,
 };
 pub use proto::{RsyncRequest, RsyncResponse};
+pub use rrdp::{
+    rrdp_probe_dir, rrdp_sync_dir, DeltaChange, DeltaRef, RrdpClientState, RrdpError, RrdpRequest,
+    RrdpResponse, RrdpStats, RrdpSyncKind, MAX_DELTAS,
+};
 pub use store::Repository;

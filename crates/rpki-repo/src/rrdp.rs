@@ -1,0 +1,1341 @@
+//! The RRDP transport (RFC 8182-shaped): publication logs, delta
+//! documents, and the polling client state machine.
+//!
+//! Production relying parties prefer the RPKI Repository Delta Protocol
+//! over rsync: the repository maintains a *publication log* — a session
+//! id, a monotone serial, and a bounded history of per-write delta
+//! records — and the client polls a tiny *notification*, then fetches
+//! only the deltas it is missing. Every reference in the notification
+//! carries a SHA-256 hash, so a client can detect tampering or a torn
+//! log and fall back to the full snapshot.
+//!
+//! The model here is sans-IO and deterministic, like the rsync driver
+//! in [`client`](crate::client):
+//!
+//! - the **server side** lives in the store: every
+//!   [`Repository`](crate::Repository) mutation appends a
+//!   [`DeltaChange`] record to the
+//!   directory's publication log and refreshes the snapshot hash,
+//!   so notification/snapshot/delta documents are served from state
+//!   maintained at write time;
+//! - the **wire** is three request frames and four response frames in
+//!   the workspace's canonical codec, with a tag space disjoint from
+//!   the rsync protocol so a stray frame can never cross-decode;
+//! - the **client** ([`rrdp_sync_dir`]) keeps per-directory
+//!   `(session, serial, files)` state in an [`RrdpClientState`],
+//!   verifies every document hash against the notification, applies
+//!   contiguous delta chains, falls back to the snapshot on gaps,
+//!   session resets, or hash mismatches, and reports hard failures as
+//!   [`RrdpError`] so the caller can downgrade to rsync.
+//!
+//! Session ids are *derived* (SHA-256 of the host, path, and reset
+//! count), never random: the fault RNG stays reserved for probabilistic
+//! faults and byte-identical replay is preserved.
+//!
+//! The downgrade-attack surface (Stalloris): a misbehaving publication
+//! point can pin its RRDP feed at a stale serial
+//! ([`rrdp_pin`](crate::Repository::rrdp_pin)), withhold deltas
+//! ([`set_rrdp_withhold_deltas`](crate::Repository::set_rrdp_withhold_deltas)),
+//! reset its session
+//! ([`rrdp_reset_session`](crate::Repository::rrdp_reset_session)), or
+//! refuse RRDP entirely
+//! ([`set_rrdp_offline`](crate::Repository::set_rrdp_offline)) to
+//! force clients onto rsync.
+//! The knobs live here; the planner lives in `attacks::downgrade`.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use netsim::{Network, NodeId, Occurrence};
+use rpki_objects::{Decode, DecodeError, Encode, Reader, RepoUri, Writer};
+use rpkisim_crypto::{sha256, Digest};
+use serde::Serialize;
+
+use crate::client::{dir_content_digest, RepoRegistry, SyncOutcome};
+
+/// Timer token for per-exchange RRDP deadlines (distinct from the
+/// rsync driver's tokens so concurrent timers never collide).
+const RRDP_DEADLINE_TOKEN: u64 = 0x5252_4450_dead_0001;
+
+/// How many delta records a publication log retains. Older deltas are
+/// dropped (the log is *bounded*); a client further behind than this
+/// falls back to the snapshot, exactly like production RRDP servers
+/// that garbage-collect old delta files.
+pub const MAX_DELTAS: usize = 32;
+
+// ---------------------------------------------------------------------
+// Publication log (server side, maintained at write time)
+// ---------------------------------------------------------------------
+
+/// One element of a delta document: a file published (or overwritten)
+/// with its new bytes, or withdrawn with the hash of the bytes it had —
+/// the RFC 8182 publish/withdraw pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaChange {
+    /// `name` now has these bytes.
+    Publish {
+        /// File name within the directory.
+        name: String,
+        /// The new content.
+        bytes: Vec<u8>,
+    },
+    /// `name` was removed; `hash` is the digest of the removed bytes,
+    /// so a client can detect that its copy diverged.
+    Withdraw {
+        /// File name within the directory.
+        name: String,
+        /// Digest of the withdrawn content.
+        hash: Digest,
+    },
+}
+
+const CHANGE_PUBLISH: u8 = 1;
+const CHANGE_WITHDRAW: u8 = 2;
+
+impl Encode for DeltaChange {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DeltaChange::Publish { name, bytes } => {
+                out.push(CHANGE_PUBLISH);
+                Writer::string(out, name);
+                Writer::bytes(out, bytes);
+            }
+            DeltaChange::Withdraw { name, hash } => {
+                out.push(CHANGE_WITHDRAW);
+                Writer::string(out, name);
+                hash.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for DeltaChange {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            CHANGE_PUBLISH => {
+                Ok(DeltaChange::Publish { name: r.string()?, bytes: r.bytes()?.to_vec() })
+            }
+            CHANGE_WITHDRAW => {
+                Ok(DeltaChange::Withdraw { name: r.string()?, hash: Digest::decode(r)? })
+            }
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+/// One recorded delta: the serial it advances the directory to, the
+/// changes, and the hash of the canonical delta document (what the
+/// notification advertises).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DeltaRecord {
+    pub(crate) serial: u64,
+    pub(crate) hash: Digest,
+    pub(crate) changes: Vec<DeltaChange>,
+}
+
+/// The per-publication-point publication log: session id, monotone
+/// serial, bounded delta history, and the current snapshot document's
+/// hash (regenerated at every write alongside the content digest).
+#[derive(Debug)]
+pub(crate) struct PublicationLog {
+    /// Deterministic seed (hash of host + path) session ids derive from.
+    seed: u64,
+    /// How many times the session has been reset.
+    resets: u64,
+    pub(crate) session: u64,
+    pub(crate) serial: u64,
+    pub(crate) snapshot_hash: Digest,
+    pub(crate) deltas: VecDeque<DeltaRecord>,
+}
+
+impl PublicationLog {
+    /// A fresh log at serial 0 with an empty snapshot.
+    pub(crate) fn new(seed: u64) -> Self {
+        PublicationLog {
+            seed,
+            resets: 0,
+            session: derive_session(seed, 0),
+            serial: 0,
+            snapshot_hash: snapshot_digest(derive_session(seed, 0), 0, std::iter::empty()),
+            deltas: VecDeque::new(),
+        }
+    }
+
+    /// Appends one delta record: bumps the serial, hashes the canonical
+    /// delta document, and evicts history beyond [`MAX_DELTAS`].
+    pub(crate) fn record(&mut self, changes: Vec<DeltaChange>) {
+        self.serial += 1;
+        let hash = delta_digest(self.session, self.serial, &changes);
+        self.deltas.push_back(DeltaRecord { serial: self.serial, hash, changes });
+        while self.deltas.len() > MAX_DELTAS {
+            self.deltas.pop_front();
+        }
+    }
+
+    /// Starts a new session: fresh (derived) session id, serial restart
+    /// at 1, delta history cleared — clients must refetch the snapshot.
+    pub(crate) fn reset(&mut self) {
+        self.resets += 1;
+        self.session = derive_session(self.seed, self.resets);
+        self.serial = 1;
+        self.deltas.clear();
+    }
+}
+
+/// First eight bytes of a SHA-256, as the deterministic id material for
+/// sessions and session seeds.
+fn digest_to_u64(d: &Digest) -> u64 {
+    let bytes = d.as_bytes();
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[..8]);
+    u64::from_be_bytes(buf)
+}
+
+/// The session-seed of a publication point: a hash of its host and
+/// path, so every directory gets a distinct, replayable session id.
+pub(crate) fn session_seed(host: &str, path: &[String]) -> u64 {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(host.as_bytes());
+    for part in path {
+        buf.push(0);
+        buf.extend_from_slice(part.as_bytes());
+    }
+    digest_to_u64(&sha256(&buf))
+}
+
+/// Derives the session id for a given reset count. No RNG: replays are
+/// byte-identical, and each reset yields a fresh, unpredictable-enough
+/// id for the protocol's purposes.
+fn derive_session(seed: u64, resets: u64) -> u64 {
+    let mut buf = Vec::with_capacity(16);
+    buf.extend_from_slice(&seed.to_be_bytes());
+    buf.extend_from_slice(&resets.to_be_bytes());
+    digest_to_u64(&sha256(&buf))
+}
+
+/// The canonical snapshot-document digest: session, serial, then every
+/// `(name, bytes)` pair length-prefixed, hashed. Server and client
+/// compute it identically, so the notification's snapshot hash pins the
+/// exact document.
+pub(crate) fn snapshot_digest<'a, I>(session: u64, serial: u64, files: I) -> Digest
+where
+    I: Iterator<Item = (&'a str, &'a [u8])>,
+{
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&session.to_be_bytes());
+    buf.extend_from_slice(&serial.to_be_bytes());
+    for (name, bytes) in files {
+        buf.extend_from_slice(&(name.len() as u64).to_be_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&(bytes.len() as u64).to_be_bytes());
+        buf.extend_from_slice(bytes);
+    }
+    sha256(&buf)
+}
+
+/// The canonical delta-document digest: session, serial, then the
+/// encoded change list, hashed.
+pub(crate) fn delta_digest(session: u64, serial: u64, changes: &[DeltaChange]) -> Digest {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&session.to_be_bytes());
+    buf.extend_from_slice(&serial.to_be_bytes());
+    changes.to_vec().encode(&mut buf);
+    sha256(&buf)
+}
+
+// ---------------------------------------------------------------------
+// Wire frames
+// ---------------------------------------------------------------------
+
+/// A reference to one delta document in a notification: the serial it
+/// reaches and the hash of its canonical encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaRef {
+    /// The serial this delta advances the directory to.
+    pub serial: u64,
+    /// SHA-256 of the canonical delta document.
+    pub hash: Digest,
+}
+
+impl Encode for DeltaRef {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.serial.encode(out);
+        self.hash.encode(out);
+    }
+}
+
+impl Decode for DeltaRef {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(DeltaRef { serial: u64::decode(r)?, hash: Digest::decode(r)? })
+    }
+}
+
+/// An RRDP client request. Tags are disjoint from the rsync protocol's
+/// so a frame from one protocol can never decode as the other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RrdpRequest {
+    /// Poll the notification document of a publication point.
+    Notification {
+        /// The publication-point directory.
+        dir: RepoUri,
+    },
+    /// Fetch the snapshot document at `serial`.
+    Snapshot {
+        /// The publication-point directory.
+        dir: RepoUri,
+        /// The serial the notification advertised.
+        serial: u64,
+    },
+    /// Fetch the delta document reaching `serial`.
+    Delta {
+        /// The publication-point directory.
+        dir: RepoUri,
+        /// The serial the delta advances to.
+        serial: u64,
+    },
+}
+
+const RREQ_NOTIFICATION: u8 = 0x21;
+const RREQ_SNAPSHOT: u8 = 0x22;
+const RREQ_DELTA: u8 = 0x23;
+
+impl Encode for RrdpRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RrdpRequest::Notification { dir } => {
+                out.push(RREQ_NOTIFICATION);
+                dir.encode(out);
+            }
+            RrdpRequest::Snapshot { dir, serial } => {
+                out.push(RREQ_SNAPSHOT);
+                dir.encode(out);
+                serial.encode(out);
+            }
+            RrdpRequest::Delta { dir, serial } => {
+                out.push(RREQ_DELTA);
+                dir.encode(out);
+                serial.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for RrdpRequest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            RREQ_NOTIFICATION => Ok(RrdpRequest::Notification { dir: RepoUri::decode(r)? }),
+            RREQ_SNAPSHOT => {
+                Ok(RrdpRequest::Snapshot { dir: RepoUri::decode(r)?, serial: u64::decode(r)? })
+            }
+            RREQ_DELTA => {
+                Ok(RrdpRequest::Delta { dir: RepoUri::decode(r)?, serial: u64::decode(r)? })
+            }
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+/// A `(name, bytes)` snapshot entry — codec helper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FileEntry(String, Vec<u8>);
+
+impl Encode for FileEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        Writer::string(out, &self.0);
+        Writer::bytes(out, &self.1);
+    }
+}
+
+impl Decode for FileEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(FileEntry(r.string()?, r.bytes()?.to_vec()))
+    }
+}
+
+/// An RRDP server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RrdpResponse {
+    /// The notification document: where the log stands and how to get
+    /// there, with a hash on every reference.
+    Notification {
+        /// The directory (echoed for correlation).
+        dir: RepoUri,
+        /// Current session id.
+        session: u64,
+        /// Current (monotone within a session) serial.
+        serial: u64,
+        /// The canonical complete-sync content digest of the directory
+        /// at `serial` — the same digest an rsync digest probe reports,
+        /// so RRDP composes with the incremental validator's cache.
+        content: Digest,
+        /// SHA-256 of the snapshot document at `serial`.
+        snapshot_hash: Digest,
+        /// Available delta documents, oldest first.
+        deltas: Vec<DeltaRef>,
+    },
+    /// The snapshot document: the complete file set at `serial`.
+    Snapshot {
+        /// The directory (echoed).
+        dir: RepoUri,
+        /// Session id the snapshot belongs to.
+        session: u64,
+        /// The serial it represents.
+        serial: u64,
+        /// Every file, in name order.
+        files: Vec<(String, Vec<u8>)>,
+    },
+    /// One delta document.
+    Delta {
+        /// The directory (echoed).
+        dir: RepoUri,
+        /// Session id the delta belongs to.
+        session: u64,
+        /// The serial it advances to.
+        serial: u64,
+        /// The publish/withdraw list.
+        changes: Vec<DeltaChange>,
+    },
+    /// The requested document does not exist (unknown directory, RRDP
+    /// disabled, or a serial outside the retained history).
+    NotFound {
+        /// The directory requested.
+        dir: RepoUri,
+        /// The serial requested, if the request named one.
+        serial: Option<u64>,
+    },
+}
+
+const RRESP_NOTIFICATION: u8 = 0x31;
+const RRESP_SNAPSHOT: u8 = 0x32;
+const RRESP_DELTA: u8 = 0x33;
+const RRESP_NOT_FOUND: u8 = 0x34;
+
+impl Encode for RrdpResponse {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RrdpResponse::Notification { dir, session, serial, content, snapshot_hash, deltas } => {
+                out.push(RRESP_NOTIFICATION);
+                dir.encode(out);
+                session.encode(out);
+                serial.encode(out);
+                content.encode(out);
+                snapshot_hash.encode(out);
+                deltas.encode(out);
+            }
+            RrdpResponse::Snapshot { dir, session, serial, files } => {
+                out.push(RRESP_SNAPSHOT);
+                dir.encode(out);
+                session.encode(out);
+                serial.encode(out);
+                let files: Vec<FileEntry> =
+                    files.iter().map(|(n, b)| FileEntry(n.clone(), b.clone())).collect();
+                files.encode(out);
+            }
+            RrdpResponse::Delta { dir, session, serial, changes } => {
+                out.push(RRESP_DELTA);
+                dir.encode(out);
+                session.encode(out);
+                serial.encode(out);
+                changes.encode(out);
+            }
+            RrdpResponse::NotFound { dir, serial } => {
+                out.push(RRESP_NOT_FOUND);
+                dir.encode(out);
+                serial.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for RrdpResponse {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            RRESP_NOTIFICATION => Ok(RrdpResponse::Notification {
+                dir: RepoUri::decode(r)?,
+                session: u64::decode(r)?,
+                serial: u64::decode(r)?,
+                content: Digest::decode(r)?,
+                snapshot_hash: Digest::decode(r)?,
+                deltas: Vec::<DeltaRef>::decode(r)?,
+            }),
+            RRESP_SNAPSHOT => Ok(RrdpResponse::Snapshot {
+                dir: RepoUri::decode(r)?,
+                session: u64::decode(r)?,
+                serial: u64::decode(r)?,
+                files: Vec::<FileEntry>::decode(r)?
+                    .into_iter()
+                    .map(|FileEntry(n, b)| (n, b))
+                    .collect(),
+            }),
+            RRESP_DELTA => Ok(RrdpResponse::Delta {
+                dir: RepoUri::decode(r)?,
+                session: u64::decode(r)?,
+                serial: u64::decode(r)?,
+                changes: Vec::<DeltaChange>::decode(r)?,
+            }),
+            RRESP_NOT_FOUND => Ok(RrdpResponse::NotFound {
+                dir: RepoUri::decode(r)?,
+                serial: Option::<u64>::decode(r)?,
+            }),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server answering
+// ---------------------------------------------------------------------
+
+/// Answers one decoded RRDP request against the stored publication
+/// logs, honouring the misbehaviour knobs (offline, withheld deltas,
+/// pinned views).
+pub(crate) fn answer_rrdp(repos: &RepoRegistry, node: NodeId, req: &RrdpRequest) -> RrdpResponse {
+    let (dir, req_serial) = match req {
+        RrdpRequest::Notification { dir } => (dir, None),
+        RrdpRequest::Snapshot { dir, serial } | RrdpRequest::Delta { dir, serial } => {
+            (dir, Some(*serial))
+        }
+    };
+    let not_found = RrdpResponse::NotFound { dir: dir.clone(), serial: req_serial };
+    let Some(repo) = repos.get(node) else { return not_found };
+    if repo.host() != dir.host() || repo.rrdp_offline() {
+        return not_found;
+    }
+    let Some(view) = repo.rrdp_view(dir) else { return not_found };
+    match req {
+        RrdpRequest::Notification { .. } => RrdpResponse::Notification {
+            dir: dir.clone(),
+            session: view.session,
+            serial: view.serial,
+            content: view.content,
+            snapshot_hash: view.snapshot_hash,
+            deltas: view
+                .deltas
+                .iter()
+                .map(|d| DeltaRef { serial: d.serial, hash: d.hash })
+                .collect(),
+        },
+        RrdpRequest::Snapshot { serial, .. } => {
+            if *serial != view.serial {
+                return not_found;
+            }
+            RrdpResponse::Snapshot {
+                dir: dir.clone(),
+                session: view.session,
+                serial: view.serial,
+                files: view.files,
+            }
+        }
+        RrdpRequest::Delta { serial, .. } => {
+            if repo.rrdp_withhold_deltas() {
+                return not_found;
+            }
+            match view.deltas.iter().find(|d| d.serial == *serial) {
+                Some(record) => RrdpResponse::Delta {
+                    dir: dir.clone(),
+                    session: view.session,
+                    serial: record.serial,
+                    changes: record.changes.clone(),
+                },
+                None => not_found,
+            }
+        }
+    }
+}
+
+/// What the server is willing to say about one directory right now:
+/// either the live log or a pinned (frozen, stale) copy of it.
+#[derive(Debug, Clone)]
+pub(crate) struct RrdpView {
+    pub(crate) session: u64,
+    pub(crate) serial: u64,
+    pub(crate) content: Digest,
+    pub(crate) snapshot_hash: Digest,
+    pub(crate) files: Vec<(String, Vec<u8>)>,
+    pub(crate) deltas: Vec<DeltaRecord>,
+}
+
+// ---------------------------------------------------------------------
+// Client state machine
+// ---------------------------------------------------------------------
+
+/// Counters an [`RrdpClientState`] accumulates across syncs. All plain
+/// integers, so campaign metrics built from them replay byte-identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RrdpStats {
+    /// Notification polls attempted.
+    pub polls: u64,
+    /// Syncs resolved by the serial fast path (nothing to transfer).
+    pub unchanged: u64,
+    /// Syncs resolved by applying a delta chain.
+    pub delta_syncs: u64,
+    /// Individual delta documents applied.
+    pub deltas_applied: u64,
+    /// Syncs resolved by fetching the full snapshot.
+    pub snapshot_syncs: u64,
+    /// Session resets observed (the upstream feed restarted).
+    pub session_resets: u64,
+    /// Syncs that failed outright (caller decides the fallback).
+    pub failures: u64,
+    /// Times the caller fell back to the rsync path.
+    pub downgrades: u64,
+    /// Times a freshness cross-check caught a stale pinned feed.
+    pub pinned_detected: u64,
+}
+
+/// Per-directory client state.
+#[derive(Debug)]
+struct DirState {
+    session: u64,
+    serial: u64,
+    /// `name → (digest, bytes)`; digests are kept so the content digest
+    /// recomputes without re-hashing unchanged files.
+    files: BTreeMap<String, (Digest, Vec<u8>)>,
+}
+
+impl DirState {
+    fn content(&self) -> Digest {
+        let entries: Vec<(&str, Digest)> =
+            self.files.iter().map(|(n, (d, _))| (n.as_str(), *d)).collect();
+        dir_content_digest(&entries, &[], &[])
+    }
+
+    fn outcome(&self, dir: &RepoUri) -> SyncOutcome {
+        let files = self.files.iter().map(|(n, (_, b))| (n.clone(), b.clone())).collect();
+        let mut out = SyncOutcome::fresh(dir.clone(), files);
+        out.content = Some(self.content());
+        out
+    }
+}
+
+/// Persistent RRDP client state: per-directory session/serial/files,
+/// plus cumulative [`RrdpStats`]. Survives across validation runs the
+/// way the resilient snapshot cache does — that persistence is what
+/// makes delta sync cheap.
+#[derive(Debug, Default)]
+pub struct RrdpClientState {
+    dirs: BTreeMap<String, DirState>,
+    stats: RrdpStats,
+    /// Bumps every time a session reset is observed on any directory.
+    /// An RTR cache keyed on this epoch starts a new RTR session
+    /// (CacheReset at the routers) instead of silently bumping serials.
+    epoch: u64,
+}
+
+impl RrdpClientState {
+    /// Fresh state: first sync of every directory goes via snapshot.
+    pub fn new() -> Self {
+        RrdpClientState::default()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> RrdpStats {
+        self.stats
+    }
+
+    /// The session-reset epoch: increments whenever an upstream
+    /// publication point restarts its RRDP session.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The `(session, serial)` this client holds for `dir`, if synced.
+    pub fn position(&self, dir: &RepoUri) -> Option<(u64, u64)> {
+        self.dirs.get(&dir.to_string()).map(|d| (d.session, d.serial))
+    }
+
+    /// Records that the caller fell back to rsync for a directory.
+    pub fn note_downgrade(&mut self) {
+        self.stats.downgrades += 1;
+    }
+
+    /// Records that a freshness cross-check caught a pinned feed.
+    pub fn note_pinned(&mut self) {
+        self.stats.pinned_detected += 1;
+    }
+}
+
+/// Why one RRDP sync failed hard (the caller's cue to downgrade to the
+/// rsync path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrdpError {
+    /// No (parseable) notification arrived: host absent, partitioned,
+    /// down, stalled past the deadline, or the frame was torn.
+    Unreachable,
+    /// The server answered NotFound: RRDP disabled or the needed
+    /// document withheld.
+    Withheld,
+    /// A document arrived but failed its hash, session, or consistency
+    /// check — the feed is corrupt or lying.
+    Corrupt,
+}
+
+impl RrdpError {
+    /// Stable label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RrdpError::Unreachable => "unreachable",
+            RrdpError::Withheld => "withheld",
+            RrdpError::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// How one successful RRDP sync got its data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrdpSyncKind {
+    /// Serial unchanged: the two-frame fast path, nothing transferred.
+    Unchanged,
+    /// This many delta documents were fetched and applied.
+    Deltas(usize),
+    /// Full snapshot fetched (first sync, or a gap in the delta chain).
+    Snapshot,
+    /// Full snapshot fetched because the session id changed.
+    SessionReset,
+}
+
+impl RrdpSyncKind {
+    /// Stable label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RrdpSyncKind::Unchanged => "unchanged",
+            RrdpSyncKind::Deltas(_) => "deltas",
+            RrdpSyncKind::Snapshot => "snapshot",
+            RrdpSyncKind::SessionReset => "session_reset",
+        }
+    }
+}
+
+/// Runs one batch of RRDP request/response exchanges against `server`,
+/// pumping the event loop with the same outstanding-exchange accounting
+/// as the rsync driver: the batch ends when every request resolved
+/// (response delivered, either direction dropped, or request arrived
+/// unparseable) or the deadline tears the session down.
+fn rrdp_exchange(
+    net: &mut Network,
+    repos: &RepoRegistry,
+    client: NodeId,
+    server: NodeId,
+    reqs: &[RrdpRequest],
+    deadline: Option<u64>,
+) -> Vec<RrdpResponse> {
+    let mut responses = Vec::new();
+    let mut outstanding = reqs.len() as u64;
+    let mut deadline_hit = false;
+    if let Some(d) = deadline {
+        net.set_timer(client, d, RRDP_DEADLINE_TOKEN);
+    }
+    for req in reqs {
+        net.send(client, server, req.to_bytes());
+    }
+    while outstanding > 0 {
+        let Some(occ) = net.step() else { break };
+        match occ {
+            Occurrence::Timer { node, token }
+                if deadline.is_some() && node == client && token == RRDP_DEADLINE_TOKEN =>
+            {
+                deadline_hit = true;
+                net.flush_pair(client, server);
+                break;
+            }
+            Occurrence::Timer { .. } => continue,
+            Occurrence::Dropped { from, to, .. } => {
+                if (from == client && to == server) || (from == server && to == client) {
+                    outstanding = outstanding.saturating_sub(1);
+                }
+            }
+            Occurrence::Delivered(delivery) => {
+                if delivery.to == client {
+                    if delivery.from != server {
+                        continue;
+                    }
+                    outstanding = outstanding.saturating_sub(1);
+                    if let Ok(resp) = RrdpResponse::from_bytes(&delivery.payload) {
+                        responses.push(resp);
+                    }
+                    // A torn frame resolves its exchange with nothing.
+                } else if repos.get(delivery.to).is_some() {
+                    if let Ok(req) = RrdpRequest::from_bytes(&delivery.payload) {
+                        let resp = answer_rrdp(repos, delivery.to, &req);
+                        net.send(delivery.to, delivery.from, resp.to_bytes());
+                    } else if delivery.from == client && delivery.to == server {
+                        // Request corrupted in flight: server stays
+                        // silent, the exchange is dead.
+                        outstanding = outstanding.saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+    if deadline.is_some() && !deadline_hit {
+        net.cancel_timer(client, RRDP_DEADLINE_TOKEN);
+    }
+    responses
+}
+
+/// Polls only the notification of `dir` — the RRDP analogue of an rsync
+/// digest probe (two tiny frames). The reported digest is whatever the
+/// *server claims* its content is; a pinned server claims its frozen
+/// view, which is exactly what makes the trusting relying party
+/// attackable.
+pub fn rrdp_probe_dir(
+    net: &mut Network,
+    repos: &RepoRegistry,
+    client: NodeId,
+    dir: &RepoUri,
+    deadline: Option<u64>,
+) -> crate::client::DirProbe {
+    let mut probe = crate::client::DirProbe::unreachable(dir.clone());
+    let Some(server) = repos.node_of(dir.host()) else { return probe };
+    let resps = rrdp_exchange(
+        net,
+        repos,
+        client,
+        server,
+        &[RrdpRequest::Notification { dir: dir.clone() }],
+        deadline,
+    );
+    if let Some(RrdpResponse::Notification { content, .. }) = resps.into_iter().next() {
+        probe.listed = true;
+        probe.digest = Some(content);
+    }
+    probe
+}
+
+/// What the notification said, reduced to what the sync plan needs.
+struct Notification {
+    session: u64,
+    serial: u64,
+    content: Digest,
+    snapshot_hash: Digest,
+    deltas: Vec<DeltaRef>,
+}
+
+/// Runs one RRDP sync of `dir` from `client`, updating `state`.
+///
+/// The state machine: poll the notification; if the local serial
+/// matches, confirm and stop (two frames total). If the local state is
+/// behind and the notification lists a contiguous, fully-hashed delta
+/// chain from it, fetch and apply the deltas. On a session reset, a
+/// serial gap, or any hash or consistency failure, fall back to the
+/// full snapshot (verified against the notification's snapshot hash).
+/// Hard failures come back as [`RrdpError`]; the relying-party layer
+/// downgrades those to the rsync path.
+///
+/// A successful sync's [`SyncOutcome`] is byte-identical to what a
+/// complete rsync session of the same directory state produces — same
+/// files, same canonical content digest — which is what lets RRDP slot
+/// under the resilient source, the incremental validator, and the
+/// campaign harness unchanged.
+pub fn rrdp_sync_dir(
+    net: &mut Network,
+    repos: &RepoRegistry,
+    client: NodeId,
+    dir: &RepoUri,
+    state: &mut RrdpClientState,
+    deadline: Option<u64>,
+) -> Result<(SyncOutcome, RrdpSyncKind), RrdpError> {
+    let rec = net.recorder();
+    let fail = |net: &mut Network, state: &mut RrdpClientState, err: RrdpError| {
+        state.stats.failures += 1;
+        let rec = net.recorder();
+        if rec.is_enabled() {
+            rec.count("repo.rrdp_failures", 1);
+            rec.event(net.now(), "repo", "rrdp_fail")
+                .str("host", dir.host())
+                .str("reason", err.label())
+                .emit();
+        }
+        Err(err)
+    };
+    let Some(server) = repos.node_of(dir.host()) else {
+        return fail(net, state, RrdpError::Unreachable);
+    };
+    state.stats.polls += 1;
+    if rec.is_enabled() {
+        rec.count("repo.rrdp_polls", 1);
+    }
+    let resps = rrdp_exchange(
+        net,
+        repos,
+        client,
+        server,
+        &[RrdpRequest::Notification { dir: dir.clone() }],
+        deadline,
+    );
+    let notif = match resps.into_iter().next() {
+        Some(RrdpResponse::Notification {
+            session,
+            serial,
+            content,
+            snapshot_hash,
+            deltas,
+            ..
+        }) => Notification { session, serial, content, snapshot_hash, deltas },
+        Some(RrdpResponse::NotFound { .. }) => return fail(net, state, RrdpError::Withheld),
+        Some(_) => return fail(net, state, RrdpError::Corrupt),
+        None => return fail(net, state, RrdpError::Unreachable),
+    };
+
+    let key = dir.to_string();
+    let mut session_reset = false;
+    // Decide the cheapest safe path to the notification's serial.
+    enum Plan {
+        Unchanged,
+        Deltas(Vec<DeltaRef>),
+        Snapshot,
+    }
+    let plan = match state.dirs.get(&key) {
+        Some(local) if local.session == notif.session => {
+            if local.serial == notif.serial {
+                if local.content() == notif.content {
+                    Plan::Unchanged
+                } else {
+                    // Our copy diverged from what the server claims for
+                    // this serial: self-heal via snapshot.
+                    Plan::Snapshot
+                }
+            } else if local.serial < notif.serial {
+                let needed: Vec<DeltaRef> = ((local.serial + 1)..=notif.serial)
+                    .filter_map(|s| notif.deltas.iter().find(|d| d.serial == s).copied())
+                    .collect();
+                if needed.len() as u64 == notif.serial - local.serial {
+                    Plan::Deltas(needed)
+                } else {
+                    // Gap in the published delta history.
+                    Plan::Snapshot
+                }
+            } else {
+                // The server's serial went backwards within a session —
+                // a replayed or broken feed. Resync from its snapshot.
+                Plan::Snapshot
+            }
+        }
+        Some(_) => {
+            session_reset = true;
+            Plan::Snapshot
+        }
+        None => Plan::Snapshot,
+    };
+    if session_reset {
+        state.stats.session_resets += 1;
+        state.epoch += 1;
+        if rec.is_enabled() {
+            rec.count("repo.rrdp_session_resets", 1);
+        }
+    }
+
+    let emit_sync = |net: &Network, kind: RrdpSyncKind, serial: u64| {
+        let rec = net.recorder();
+        if rec.is_enabled() {
+            rec.event(net.now(), "repo", "rrdp_sync")
+                .str("host", dir.host())
+                .str("kind", kind.label())
+                .u64("serial", serial)
+                .emit();
+        }
+    };
+
+    if let Plan::Unchanged = plan {
+        state.stats.unchanged += 1;
+        if rec.is_enabled() {
+            rec.count("repo.rrdp_unchanged", 1);
+        }
+        emit_sync(net, RrdpSyncKind::Unchanged, notif.serial);
+        let local = &state.dirs[&key];
+        return Ok((local.outcome(dir), RrdpSyncKind::Unchanged));
+    }
+
+    if let Plan::Deltas(refs) = &plan {
+        let reqs: Vec<RrdpRequest> = refs
+            .iter()
+            .map(|d| RrdpRequest::Delta { dir: dir.clone(), serial: d.serial })
+            .collect();
+        let resps = rrdp_exchange(net, repos, client, server, &reqs, deadline);
+        let mut by_serial: BTreeMap<u64, Vec<DeltaChange>> = BTreeMap::new();
+        for resp in resps {
+            if let RrdpResponse::Delta { session, serial, changes, .. } = resp {
+                let expected = refs.iter().find(|d| d.serial == serial);
+                if session == notif.session
+                    && expected.is_some_and(|d| d.hash == delta_digest(session, serial, &changes))
+                {
+                    by_serial.insert(serial, changes);
+                }
+            }
+        }
+        if by_serial.len() == refs.len() {
+            // Apply the chain to a scratch copy; commit only if the
+            // result reproduces the notification's content digest.
+            let local = state.dirs.get(&key).expect("delta plan requires local state");
+            let mut files = local.files.clone();
+            let mut consistent = true;
+            'apply: for changes in by_serial.values() {
+                for change in changes {
+                    match change {
+                        DeltaChange::Publish { name, bytes } => {
+                            files.insert(name.clone(), (sha256(bytes), bytes.clone()));
+                        }
+                        DeltaChange::Withdraw { name, hash } => match files.get(name) {
+                            Some((d, _)) if d == hash => {
+                                files.remove(name);
+                            }
+                            _ => {
+                                consistent = false;
+                                break 'apply;
+                            }
+                        },
+                    }
+                }
+            }
+            if consistent {
+                let next = DirState { session: notif.session, serial: notif.serial, files };
+                if next.content() == notif.content {
+                    let n = refs.len();
+                    state.stats.delta_syncs += 1;
+                    state.stats.deltas_applied += n as u64;
+                    if rec.is_enabled() {
+                        rec.count("repo.rrdp_delta_syncs", 1);
+                        rec.count("repo.rrdp_deltas_applied", n as u64);
+                    }
+                    emit_sync(net, RrdpSyncKind::Deltas(n), notif.serial);
+                    let outcome = next.outcome(dir);
+                    state.dirs.insert(key, next);
+                    return Ok((outcome, RrdpSyncKind::Deltas(n)));
+                }
+            }
+        }
+        // Delta path failed (withheld, torn, hash mismatch, or an
+        // inconsistent chain): fall through to the snapshot.
+    }
+
+    let resps = rrdp_exchange(
+        net,
+        repos,
+        client,
+        server,
+        &[RrdpRequest::Snapshot { dir: dir.clone(), serial: notif.serial }],
+        deadline,
+    );
+    match resps.into_iter().next() {
+        Some(RrdpResponse::Snapshot { session, serial, files, .. }) => {
+            let ok = session == notif.session
+                && serial == notif.serial
+                && snapshot_digest(
+                    session,
+                    serial,
+                    files.iter().map(|(n, b)| (n.as_str(), b.as_slice())),
+                ) == notif.snapshot_hash;
+            if !ok {
+                return fail(net, state, RrdpError::Corrupt);
+            }
+            let files: BTreeMap<String, (Digest, Vec<u8>)> =
+                files.into_iter().map(|(n, b)| (n, (sha256(&b), b))).collect();
+            let next = DirState { session, serial, files };
+            if next.content() != notif.content {
+                return fail(net, state, RrdpError::Corrupt);
+            }
+            let kind =
+                if session_reset { RrdpSyncKind::SessionReset } else { RrdpSyncKind::Snapshot };
+            state.stats.snapshot_syncs += 1;
+            if rec.is_enabled() {
+                rec.count("repo.rrdp_snapshot_syncs", 1);
+            }
+            emit_sync(net, kind, serial);
+            let outcome = next.outcome(dir);
+            state.dirs.insert(key, next);
+            Ok((outcome, kind))
+        }
+        Some(RrdpResponse::NotFound { .. }) => fail(net, state, RrdpError::Withheld),
+        Some(_) => fail(net, state, RrdpError::Corrupt),
+        None => fail(net, state, RrdpError::Unreachable),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::sync_dir;
+    use netsim::Network;
+
+    fn world() -> (Network, RepoRegistry, NodeId, NodeId, RepoUri) {
+        let mut net = Network::new(1);
+        let client = net.add_node("relying-party");
+        let mut repos = RepoRegistry::new();
+        let server = repos.create(&mut net, "rpki.sprint.example");
+        let dir = RepoUri::new("rpki.sprint.example", &["repo"]);
+        let repo = repos.get_mut(server).unwrap();
+        repo.publish_raw(&dir, "a.roa", vec![1, 2, 3]);
+        repo.publish_raw(&dir, "b.cer", vec![4, 5]);
+        (net, repos, client, server, dir)
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let dir = RepoUri::new("h", &["repo"]);
+        for req in [
+            RrdpRequest::Notification { dir: dir.clone() },
+            RrdpRequest::Snapshot { dir: dir.clone(), serial: 7 },
+            RrdpRequest::Delta { dir: dir.clone(), serial: 8 },
+        ] {
+            assert_eq!(RrdpRequest::from_bytes(&req.to_bytes()).unwrap(), req);
+        }
+        for resp in [
+            RrdpResponse::Notification {
+                dir: dir.clone(),
+                session: 9,
+                serial: 3,
+                content: sha256(b"c"),
+                snapshot_hash: sha256(b"s"),
+                deltas: vec![DeltaRef { serial: 3, hash: sha256(b"d") }],
+            },
+            RrdpResponse::Snapshot {
+                dir: dir.clone(),
+                session: 9,
+                serial: 3,
+                files: vec![("a".to_owned(), vec![1])],
+            },
+            RrdpResponse::Delta {
+                dir: dir.clone(),
+                session: 9,
+                serial: 3,
+                changes: vec![
+                    DeltaChange::Publish { name: "a".to_owned(), bytes: vec![1] },
+                    DeltaChange::Withdraw { name: "b".to_owned(), hash: sha256(b"x") },
+                ],
+            },
+            RrdpResponse::NotFound { dir: dir.clone(), serial: Some(4) },
+            RrdpResponse::NotFound { dir, serial: None },
+        ] {
+            assert_eq!(RrdpResponse::from_bytes(&resp.to_bytes()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn rrdp_and_rsync_tags_are_disjoint() {
+        use crate::proto::RsyncRequest;
+        let dir = RepoUri::new("h", &["repo"]);
+        let rrdp = RrdpRequest::Notification { dir: dir.clone() }.to_bytes();
+        assert!(RsyncRequest::from_bytes(&rrdp).is_err(), "rsync must reject rrdp frames");
+        let rsync = RsyncRequest::List { dir }.to_bytes();
+        assert!(RrdpRequest::from_bytes(&rsync).is_err(), "rrdp must reject rsync frames");
+    }
+
+    #[test]
+    fn first_sync_fetches_snapshot_and_matches_rsync() {
+        let (mut net, repos, client, _, dir) = world();
+        let mut state = RrdpClientState::new();
+        let (out, kind) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(kind, RrdpSyncKind::Snapshot);
+        assert!(out.is_complete());
+        let rsync = sync_dir(&mut net, &repos, client, &dir);
+        assert_eq!(out, rsync, "RRDP outcome must be byte-identical to a complete rsync sync");
+        assert_eq!(state.stats().snapshot_syncs, 1);
+    }
+
+    #[test]
+    fn unchanged_serial_is_a_two_frame_fast_path() {
+        let (mut net, repos, client, _, dir) = world();
+        let mut state = RrdpClientState::new();
+        rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        let sent_before = net.stats().sent;
+        let (out, kind) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(kind, RrdpSyncKind::Unchanged);
+        assert_eq!(net.stats().sent - sent_before, 2, "notification poll only");
+        assert!(out.is_complete());
+        assert_eq!(state.stats().unchanged, 1);
+    }
+
+    #[test]
+    fn delta_chain_applies_incrementally() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let mut state = RrdpClientState::new();
+        rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        let repo = repos.get_mut(server).unwrap();
+        repo.publish_raw(&dir, "c.mft", vec![9, 9]);
+        repo.delete(&dir, "a.roa");
+        let (out, kind) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(kind, RrdpSyncKind::Deltas(2));
+        assert_eq!(out.files.len(), 2);
+        assert!(out.files.contains_key("c.mft"));
+        assert!(!out.files.contains_key("a.roa"));
+        let rsync = sync_dir(&mut net, &repos, client, &dir);
+        assert_eq!(out, rsync);
+        assert_eq!(state.stats().delta_syncs, 1);
+        assert_eq!(state.stats().deltas_applied, 2);
+    }
+
+    #[test]
+    fn overwrite_and_corruption_travel_as_deltas() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let mut state = RrdpClientState::new();
+        rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        let repo = repos.get_mut(server).unwrap();
+        repo.publish_raw(&dir, "a.roa", vec![7, 7, 7]);
+        assert!(repo.corrupt_at_rest(&dir, "b.cer"));
+        let (out, kind) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert!(matches!(kind, RrdpSyncKind::Deltas(2)));
+        assert_eq!(out.files["a.roa"], vec![7, 7, 7]);
+        assert_eq!(out.files["b.cer"], vec![4 ^ 0xff, 5], "at-rest rot must travel to the client");
+        assert_eq!(out, sync_dir(&mut net, &repos, client, &dir));
+    }
+
+    #[test]
+    fn deep_history_gap_falls_back_to_snapshot() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let mut state = RrdpClientState::new();
+        rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        let repo = repos.get_mut(server).unwrap();
+        for i in 0..(MAX_DELTAS + 4) {
+            repo.publish_raw(&dir, "a.roa", vec![i as u8, 1]);
+        }
+        let (out, kind) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(kind, RrdpSyncKind::Snapshot, "history gap must force a snapshot");
+        assert_eq!(out, sync_dir(&mut net, &repos, client, &dir));
+    }
+
+    #[test]
+    fn session_reset_forces_snapshot_and_bumps_epoch() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let mut state = RrdpClientState::new();
+        rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        let (old_session, _) = state.position(&dir).unwrap();
+        assert_eq!(state.epoch(), 0);
+        assert!(repos.get_mut(server).unwrap().rrdp_reset_session(&dir));
+        let (out, kind) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(kind, RrdpSyncKind::SessionReset);
+        assert_eq!(state.epoch(), 1);
+        assert_eq!(state.stats().session_resets, 1);
+        let (new_session, new_serial) = state.position(&dir).unwrap();
+        assert_ne!(new_session, old_session);
+        assert_eq!(new_serial, 1);
+        assert_eq!(out, sync_dir(&mut net, &repos, client, &dir));
+    }
+
+    #[test]
+    fn withheld_deltas_fall_back_to_snapshot() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let mut state = RrdpClientState::new();
+        rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        let repo = repos.get_mut(server).unwrap();
+        repo.publish_raw(&dir, "c.mft", vec![1]);
+        repo.set_rrdp_withhold_deltas(true);
+        let (out, kind) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(kind, RrdpSyncKind::Snapshot, "withheld deltas must not stall the client");
+        assert!(out.files.contains_key("c.mft"));
+    }
+
+    #[test]
+    fn offline_rrdp_is_withheld() {
+        let (mut net, mut repos, client, server, dir) = world();
+        repos.get_mut(server).unwrap().set_rrdp_offline(true);
+        let mut state = RrdpClientState::new();
+        let err = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap_err();
+        assert_eq!(err, RrdpError::Withheld);
+        assert_eq!(state.stats().failures, 1);
+        // rsync is unaffected: that is the downgrade path.
+        assert!(sync_dir(&mut net, &repos, client, &dir).is_complete());
+    }
+
+    #[test]
+    fn pinned_feed_serves_the_frozen_view() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let mut state = RrdpClientState::new();
+        rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        let repo = repos.get_mut(server).unwrap();
+        repo.rrdp_pin();
+        repo.publish_raw(&dir, "a.roa", vec![8, 8]);
+        // RRDP still confirms the stale serial; rsync sees the truth.
+        let (out, kind) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(kind, RrdpSyncKind::Unchanged);
+        assert_eq!(out.files["a.roa"], vec![1, 2, 3], "pinned view must hide the write");
+        let rsync = sync_dir(&mut net, &repos, client, &dir);
+        assert_eq!(rsync.files["a.roa"], vec![8, 8]);
+        assert_ne!(out.content, rsync.content, "the lie is visible to a cross-check");
+        // A fresh client is also served the frozen snapshot.
+        let mut fresh = RrdpClientState::new();
+        let (out2, _) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut fresh, None).unwrap();
+        assert_eq!(out2.files["a.roa"], vec![1, 2, 3]);
+        // Unpinning heals the feed.
+        repos.get_mut(server).unwrap().rrdp_unpin();
+        let (out3, _) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(out3.files["a.roa"], vec![8, 8]);
+    }
+
+    #[test]
+    fn partition_is_unreachable() {
+        let (mut net, repos, client, server, dir) = world();
+        net.faults.partition(client, server);
+        let mut state = RrdpClientState::new();
+        let err = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap_err();
+        assert_eq!(err, RrdpError::Unreachable);
+    }
+
+    #[test]
+    fn stalled_notification_hits_the_deadline() {
+        let (mut net, repos, client, server, dir) = world();
+        net.faults.set_stall(server, client, 3600);
+        let mut state = RrdpClientState::new();
+        let start = net.now();
+        let err = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, Some(300)).unwrap_err();
+        assert_eq!(err, RrdpError::Unreachable);
+        assert_eq!(net.now() - start, 300, "the client must walk away at the deadline");
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn torn_snapshot_frame_fails_cleanly() {
+        let (mut net, repos, client, server, dir) = world();
+        // Frame 2 server→client is the snapshot response (frame 1 is
+        // the notification).
+        net.faults.corrupt_nth(server, client, 2);
+        let mut state = RrdpClientState::new();
+        let err = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap_err();
+        assert_eq!(err, RrdpError::Unreachable);
+    }
+
+    #[test]
+    fn probe_reports_the_servers_claimed_content() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let probe = rrdp_probe_dir(&mut net, &repos, client, &dir, None);
+        assert!(probe.listed);
+        let live = sync_dir(&mut net, &repos, client, &dir);
+        assert_eq!(probe.digest, live.content);
+        // Under a pin the probe repeats the lie — by design.
+        let repo = repos.get_mut(server).unwrap();
+        repo.rrdp_pin();
+        repo.publish_raw(&dir, "a.roa", vec![9]);
+        let pinned = rrdp_probe_dir(&mut net, &repos, client, &dir, None);
+        assert_eq!(pinned.digest, probe.digest);
+        assert_ne!(pinned.digest, sync_dir(&mut net, &repos, client, &dir).content);
+    }
+
+    #[test]
+    fn session_ids_are_deterministic_and_distinct() {
+        let build = || {
+            let mut net = Network::new(1);
+            let mut repos = RepoRegistry::new();
+            let server = repos.create(&mut net, "h");
+            let repo = repos.get_mut(server).unwrap();
+            let a = RepoUri::new("h", &["repo"]);
+            let b = RepoUri::new("h", &["other"]);
+            repo.publish_raw(&a, "x", vec![1]);
+            repo.publish_raw(&b, "x", vec![1]);
+            (repo.rrdp_position(&a).unwrap(), repo.rrdp_position(&b).unwrap())
+        };
+        let (a1, b1) = build();
+        let (a2, b2) = build();
+        assert_eq!(a1, a2, "sessions must replay identically");
+        assert_eq!(b1, b2);
+        assert_ne!(a1.0, b1.0, "distinct publication points get distinct sessions");
+    }
+
+    #[test]
+    fn noop_writes_do_not_advance_the_serial() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let mut state = RrdpClientState::new();
+        rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        let (_, serial) = state.position(&dir).unwrap();
+        let repo = repos.get_mut(server).unwrap();
+        repo.publish_raw(&dir, "a.roa", vec![1, 2, 3]); // identical bytes
+        assert_eq!(repo.rrdp_position(&dir).unwrap().1, serial, "no-op write, no new serial");
+    }
+}

@@ -9,6 +9,7 @@ use rpki_objects::{Encode, RepoUri};
 use rpkisim_crypto::{sha256, Digest};
 
 use crate::client::dir_content_digest;
+use crate::rrdp::{session_seed, snapshot_digest, DeltaChange, PublicationLog, RrdpView};
 
 /// One stored file: its bytes plus the digest computed when the bytes
 /// last changed, so listings never re-hash unchanged content.
@@ -25,18 +26,27 @@ impl StoredFile {
     }
 }
 
-/// One publication-point directory: its files plus the canonical
-/// complete-sync content digest, recomputed once per mutation so
-/// digest probes are a pure lookup.
+/// One publication-point directory: its files, the canonical
+/// complete-sync content digest (recomputed once per mutation so digest
+/// probes are a pure lookup), and the RRDP publication log maintained
+/// alongside every write. `pinned` holds a frozen copy of the served
+/// view while a misbehaving host replays stale data.
 #[derive(Debug)]
 struct Directory {
     files: BTreeMap<String, StoredFile>,
     digest: Digest,
+    log: PublicationLog,
+    pinned: Option<RrdpView>,
 }
 
 impl Directory {
-    fn new() -> Self {
-        Directory { files: BTreeMap::new(), digest: empty_dir_digest() }
+    fn new(session_seed: u64) -> Self {
+        Directory {
+            files: BTreeMap::new(),
+            digest: empty_dir_digest(),
+            log: PublicationLog::new(session_seed),
+            pinned: None,
+        }
     }
 
     /// Recomputes the cached content digest from the current files.
@@ -46,6 +56,40 @@ impl Directory {
         let entries: Vec<(&str, Digest)> =
             self.files.iter().map(|(n, f)| (n.as_str(), f.digest)).collect();
         self.digest = dir_content_digest(&entries, &[], &[]);
+    }
+
+    /// The current snapshot-document digest of this directory's files
+    /// under the log's `(session, serial)`.
+    fn current_snapshot_hash(&self) -> Digest {
+        snapshot_digest(
+            self.log.session,
+            self.log.serial,
+            self.files.iter().map(|(n, f)| (n.as_str(), f.bytes.as_slice())),
+        )
+    }
+
+    /// Appends one delta record to the publication log (no-op for an
+    /// empty change list) and regenerates the snapshot hash — the
+    /// write-time half of RRDP serving.
+    fn record_rrdp(&mut self, changes: Vec<DeltaChange>) {
+        if changes.is_empty() {
+            return;
+        }
+        self.log.record(changes);
+        self.log.snapshot_hash = self.current_snapshot_hash();
+    }
+
+    /// The directory's live RRDP view: what a well-behaved server
+    /// serves right now.
+    fn live_view(&self) -> RrdpView {
+        RrdpView {
+            session: self.log.session,
+            serial: self.log.serial,
+            content: self.digest,
+            snapshot_hash: self.log.snapshot_hash,
+            files: self.files.iter().map(|(n, f)| (n.clone(), f.bytes.clone())).collect(),
+            deltas: self.log.deltas.iter().cloned().collect(),
+        }
     }
 }
 
@@ -76,13 +120,26 @@ pub struct Repository {
     /// cares (Side Effect 7 does: reaching the repo requires a
     /// non-invalid route to this prefix).
     hosted_at: Option<(Prefix, Asn)>,
+    /// Misbehaviour knob: answer every RRDP request with NotFound,
+    /// forcing clients onto the rsync path (the Stalloris downgrade).
+    rrdp_offline: bool,
+    /// Misbehaviour knob: answer delta requests with NotFound while the
+    /// notification still advertises them, forcing snapshot churn.
+    rrdp_withhold_deltas: bool,
 }
 
 impl Repository {
     /// A repository served by `node` (already registered in the network
     /// under `host`).
     pub fn new(host: &str, node: NodeId) -> Self {
-        Repository { host: host.to_owned(), node, dirs: BTreeMap::new(), hosted_at: None }
+        Repository {
+            host: host.to_owned(),
+            node,
+            dirs: BTreeMap::new(),
+            hosted_at: None,
+            rrdp_offline: false,
+            rrdp_withhold_deltas: false,
+        }
     }
 
     /// The host name.
@@ -110,27 +167,53 @@ impl Repository {
         dir.path().to_vec()
     }
 
+    fn dir_entry(&mut self, dir: &RepoUri) -> &mut Directory {
+        let key = self.dir_key(dir);
+        let seed = session_seed(&self.host, &key);
+        self.dirs.entry(key).or_insert_with(|| Directory::new(seed))
+    }
+
     /// Publishes raw bytes under `dir/name`, overwriting any previous
     /// file of that name — the RPKI's "objects can be overwritten"
-    /// design decision, verbatim.
+    /// design decision, verbatim. A byte-identical overwrite is a no-op
+    /// (no new serial in the publication log).
     pub fn publish_raw(&mut self, dir: &RepoUri, name: &str, bytes: Vec<u8>) {
-        let key = self.dir_key(dir);
-        let entry = self.dirs.entry(key).or_insert_with(Directory::new);
-        entry.files.insert(name.to_owned(), StoredFile::new(bytes));
+        let entry = self.dir_entry(dir);
+        if entry.files.get(name).is_some_and(|f| f.bytes == bytes) {
+            return;
+        }
+        entry.files.insert(name.to_owned(), StoredFile::new(bytes.clone()));
         entry.refresh_digest();
+        entry.record_rrdp(vec![DeltaChange::Publish { name: name.to_owned(), bytes }]);
     }
 
     /// Publishes a CA's complete snapshot into `dir`, replacing the
     /// directory's previous contents (rsync `--delete` semantics: files
-    /// the CA no longer issues disappear).
+    /// the CA no longer issues disappear). The publication log records
+    /// the whole replacement as one delta — publishes for new or
+    /// changed files, withdraws for the ones that disappeared.
     pub fn publish_snapshot(&mut self, dir: &RepoUri, snapshot: &PublicationSnapshot) {
-        let key = self.dir_key(dir);
-        let entry = self.dirs.entry(key).or_insert_with(Directory::new);
-        entry.files.clear();
-        for (name, obj) in &snapshot.files {
-            entry.files.insert(name.clone(), StoredFile::new(obj.to_bytes()));
+        let entry = self.dir_entry(dir);
+        let next: BTreeMap<String, StoredFile> = snapshot
+            .files
+            .iter()
+            .map(|(name, obj)| (name.clone(), StoredFile::new(obj.to_bytes())))
+            .collect();
+        let mut changes = Vec::new();
+        for (name, file) in &entry.files {
+            if !next.contains_key(name) {
+                changes.push(DeltaChange::Withdraw { name: name.clone(), hash: file.digest });
+            }
         }
+        for (name, file) in &next {
+            if entry.files.get(name).is_none_or(|old| old.digest != file.digest) {
+                changes
+                    .push(DeltaChange::Publish { name: name.clone(), bytes: file.bytes.clone() });
+            }
+        }
+        entry.files = next;
         entry.refresh_digest();
+        entry.record_rrdp(changes);
     }
 
     /// Deletes `dir/name`. Returns the removed bytes, or `None`.
@@ -139,11 +222,17 @@ impl Repository {
         let entry = self.dirs.get_mut(&key)?;
         let removed = entry.files.remove(name)?;
         entry.refresh_digest();
+        entry.record_rrdp(vec![DeltaChange::Withdraw {
+            name: name.to_owned(),
+            hash: removed.digest,
+        }]);
         Some(removed.bytes)
     }
 
     /// Corrupts a stored file in place (filesystem rot, the at-rest
     /// variant of Side Effect 6's fault list). Returns false if absent.
+    /// The rot travels through the publication log too — RRDP serves
+    /// whatever sits at rest, corrupted or not, just like rsync.
     pub fn corrupt_at_rest(&mut self, dir: &RepoUri, name: &str) -> bool {
         let key = self.dir_key(dir);
         let Some(entry) = self.dirs.get_mut(&key) else { return false };
@@ -151,10 +240,95 @@ impl Repository {
             Some(file) if !file.bytes.is_empty() => {
                 file.bytes[0] ^= 0xff;
                 file.digest = sha256(&file.bytes);
+                let bytes = file.bytes.clone();
                 entry.refresh_digest();
+                entry.record_rrdp(vec![DeltaChange::Publish { name: name.to_owned(), bytes }]);
                 true
             }
             _ => false,
+        }
+    }
+
+    // -- RRDP serving state and misbehaviour knobs -------------------
+
+    /// What this host serves over RRDP for `dir` right now: the pinned
+    /// (frozen, stale) view while a pin is active, the live log
+    /// otherwise. `None` for unknown directories or a foreign host.
+    pub(crate) fn rrdp_view(&self, dir: &RepoUri) -> Option<RrdpView> {
+        if dir.host() != self.host {
+            return None;
+        }
+        let entry = self.dirs.get(dir.path())?;
+        Some(entry.pinned.clone().unwrap_or_else(|| entry.live_view()))
+    }
+
+    pub(crate) fn rrdp_offline(&self) -> bool {
+        self.rrdp_offline
+    }
+
+    pub(crate) fn rrdp_withhold_deltas(&self) -> bool {
+        self.rrdp_withhold_deltas
+    }
+
+    /// The live publication-log `(session, serial)` of `dir`, ignoring
+    /// any pin. `None` for an unknown directory.
+    pub fn rrdp_position(&self, dir: &RepoUri) -> Option<(u64, u64)> {
+        let key = self.dir_key(dir);
+        self.dirs.get(&key).map(|d| (d.log.session, d.log.serial))
+    }
+
+    /// Misbehaviour knob: take the RRDP endpoint offline (every request
+    /// answered NotFound) while rsync keeps serving — the crude form of
+    /// the Stalloris downgrade.
+    pub fn set_rrdp_offline(&mut self, offline: bool) {
+        self.rrdp_offline = offline;
+    }
+
+    /// Misbehaviour knob: withhold delta documents the notification
+    /// still advertises, forcing every behind client onto full
+    /// snapshots (or, with a deadline, into walking away).
+    pub fn set_rrdp_withhold_deltas(&mut self, withhold: bool) {
+        self.rrdp_withhold_deltas = withhold;
+    }
+
+    /// Misbehaviour knob: freeze the RRDP feed of every directory at
+    /// its current state. Later writes keep landing in the store (and
+    /// rsync serves them), but RRDP replays the frozen notification,
+    /// snapshot, and deltas — stale-data pinning, the Stalloris replay.
+    pub fn rrdp_pin(&mut self) {
+        for entry in self.dirs.values_mut() {
+            entry.pinned = Some(entry.live_view());
+        }
+    }
+
+    /// Lifts [`rrdp_pin`](Repository::rrdp_pin): RRDP serves the live
+    /// log again.
+    pub fn rrdp_unpin(&mut self) {
+        for entry in self.dirs.values_mut() {
+            entry.pinned = None;
+        }
+    }
+
+    /// Resets the RRDP session of `dir`: fresh session id, serial
+    /// restarts at 1, delta history cleared. Clients must resync from
+    /// the snapshot and downstream RTR caches must signal a cache
+    /// reset. Returns false for an unknown directory.
+    pub fn rrdp_reset_session(&mut self, dir: &RepoUri) -> bool {
+        let key = self.dir_key(dir);
+        let Some(entry) = self.dirs.get_mut(&key) else { return false };
+        entry.log.reset();
+        entry.log.snapshot_hash = entry.current_snapshot_hash();
+        true
+    }
+
+    /// Resets the RRDP session of every directory on this host.
+    pub fn rrdp_reset_sessions(&mut self) {
+        let keys: Vec<Vec<String>> = self.dirs.keys().cloned().collect();
+        for key in keys {
+            if let Some(entry) = self.dirs.get_mut(&key) {
+                entry.log.reset();
+                entry.log.snapshot_hash = entry.current_snapshot_hash();
+            }
         }
     }
 
@@ -281,6 +455,38 @@ mod tests {
         let (mut repo, _) = repo();
         let foreign = RepoUri::new("rpki.arin.example", &["repo"]);
         repo.publish_raw(&foreign, "x", vec![]);
+    }
+
+    #[test]
+    fn publication_log_advances_per_mutation() {
+        let (mut repo, dir) = repo();
+        assert_eq!(repo.rrdp_position(&dir), None);
+        repo.publish_raw(&dir, "a.roa", vec![1]);
+        let (session, serial) = repo.rrdp_position(&dir).unwrap();
+        assert_eq!(serial, 1);
+        repo.publish_raw(&dir, "b.cer", vec![2]);
+        assert_eq!(repo.rrdp_position(&dir), Some((session, 2)));
+        // Byte-identical overwrite: no new serial.
+        repo.publish_raw(&dir, "a.roa", vec![1]);
+        assert_eq!(repo.rrdp_position(&dir), Some((session, 2)));
+        repo.delete(&dir, "a.roa");
+        assert_eq!(repo.rrdp_position(&dir), Some((session, 3)));
+        assert!(repo.corrupt_at_rest(&dir, "b.cer"));
+        assert_eq!(repo.rrdp_position(&dir), Some((session, 4)));
+    }
+
+    #[test]
+    fn session_reset_restarts_the_serial() {
+        let (mut repo, dir) = repo();
+        repo.publish_raw(&dir, "a.roa", vec![1]);
+        repo.publish_raw(&dir, "b.cer", vec![2]);
+        let (session, _) = repo.rrdp_position(&dir).unwrap();
+        assert!(repo.rrdp_reset_session(&dir));
+        let (new_session, serial) = repo.rrdp_position(&dir).unwrap();
+        assert_ne!(new_session, session);
+        assert_eq!(serial, 1);
+        let other = RepoUri::new("rpki.sprint.example", &["missing"]);
+        assert!(!repo.rrdp_reset_session(&other));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 pub mod incremental;
 pub mod ov;
 pub mod resilience;
+pub mod rrdp;
 pub mod rtr;
 pub mod source;
 pub mod validation;
@@ -33,6 +34,7 @@ pub mod vrp;
 pub use incremental::{RevalidationMode, RevalidationStats, ValidationState, VrpDelta};
 pub use ov::{Route, RouteValidity};
 pub use resilience::{FetchHealth, ResilienceConfig, ResilientState};
+pub use rrdp::RrdpSource;
 pub use rtr::{ClientAction, Delta, RtrClient, RtrPdu, RtrServer};
 pub use source::{DirectSource, NetworkSource, ObjectSource, ResilientSource};
 pub use validation::{

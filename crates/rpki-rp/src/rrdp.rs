@@ -1,0 +1,255 @@
+//! RRDP as a relying-party object source, with the rsync downgrade.
+//!
+//! [`RrdpSource`] is the transport-preference policy production relying
+//! parties implement: try RRDP first (cheap delta sync), fall back to
+//! the rsync path — with the full [`SyncPolicy`] retry/backoff driver —
+//! when RRDP is unreachable, withheld, or corrupt. That fallback is
+//! also the attack surface *Stalloris* exploits, so the source comes in
+//! two configurations:
+//!
+//! - **verified** (the default): every successful RRDP sync is
+//!   cross-checked against an rsync digest probe. A publication point
+//!   replaying a frozen stale view disagrees with its own rsync
+//!   endpoint, the lie is caught ([`RrdpClientState::note_pinned`]),
+//!   and the source downgrades to rsync for the real bytes.
+//! - **trusting** ([`RrdpSource::trusting`]): no cross-check. The
+//!   relying party believes whatever the RRDP feed confirms — which is
+//!   exactly the RP the downgrade campaign shows staying pinned on
+//!   stale data through a whack window.
+//!
+//! Either way the outcome a directory load produces is byte-identical
+//! to a complete rsync sync of the same repository state, so the
+//! validator, the incremental cache, and the resilience layer compose
+//! with RRDP unchanged.
+
+use netsim::{Network, NodeId};
+use rpki_objects::RepoUri;
+use rpki_repo::{
+    rrdp_probe_dir, rrdp_sync_dir, sync_dir_with_policy, DirProbe, RepoRegistry, RrdpClientState,
+    SyncOutcome, SyncPolicy,
+};
+
+use crate::source::ObjectSource;
+
+/// RRDP-preferring retrieval over the simulated network, with rsync
+/// fallback under the given retry policy.
+pub struct RrdpSource<'a> {
+    net: &'a mut Network,
+    repos: &'a RepoRegistry,
+    client: NodeId,
+    state: &'a mut RrdpClientState,
+    policy: SyncPolicy,
+    verify: bool,
+}
+
+impl<'a> RrdpSource<'a> {
+    /// A verified source from `client`'s vantage point: RRDP syncs are
+    /// cross-checked against an rsync digest probe, and failures fall
+    /// back to rsync under `policy`.
+    pub fn new(
+        net: &'a mut Network,
+        repos: &'a RepoRegistry,
+        client: NodeId,
+        state: &'a mut RrdpClientState,
+        policy: SyncPolicy,
+    ) -> Self {
+        RrdpSource { net, repos, client, state, policy, verify: true }
+    }
+
+    /// Drops the freshness cross-check: the source believes whatever
+    /// the RRDP feed confirms. This is the Stalloris-vulnerable
+    /// configuration.
+    pub fn trusting(mut self) -> Self {
+        self.verify = false;
+        self
+    }
+
+    /// Falls back to the rsync path for one directory, recording the
+    /// downgrade.
+    fn downgrade(&mut self, dir: &RepoUri, reason: &str) -> SyncOutcome {
+        self.state.note_downgrade();
+        let rec = self.net.recorder();
+        if rec.is_enabled() {
+            rec.count("rp.rrdp_downgrades", 1);
+            rec.event(self.net.now(), "rp", "rrdp_downgrade")
+                .str("host", dir.host())
+                .str("reason", reason)
+                .emit();
+        }
+        sync_dir_with_policy(self.net, self.repos, self.client, dir, &self.policy).0
+    }
+}
+
+impl ObjectSource for RrdpSource<'_> {
+    fn load_dir(&mut self, dir: &RepoUri) -> SyncOutcome {
+        let deadline = self.policy.deadline;
+        match rrdp_sync_dir(self.net, self.repos, self.client, dir, self.state, deadline) {
+            Ok((outcome, _kind)) => {
+                if self.verify {
+                    // Freshness cross-check: the rsync endpoint serves
+                    // the at-rest truth; an RRDP feed pinned on a stale
+                    // view cannot match it.
+                    let probe =
+                        rpki_repo::probe_dir(self.net, self.repos, self.client, dir, deadline);
+                    if probe.digest.is_some() && probe.digest != outcome.content {
+                        self.state.note_pinned();
+                        let rec = self.net.recorder();
+                        if rec.is_enabled() {
+                            rec.count("rp.rrdp_pinned_detected", 1);
+                            rec.event(self.net.now(), "rp", "rrdp_pinned")
+                                .str("host", dir.host())
+                                .emit();
+                        }
+                        return self.downgrade(dir, "pinned");
+                    }
+                }
+                outcome
+            }
+            Err(err) => self.downgrade(dir, err.label()),
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.net.now()
+    }
+
+    fn probe_dir(&mut self, dir: &RepoUri) -> Option<DirProbe> {
+        let deadline = self.policy.deadline;
+        if self.verify {
+            // Probe the rsync endpoint: under a pin the probe reports
+            // the truth, a cached subtree keyed on the stale digest
+            // misses, and the ensuing load catches the lie.
+            Some(rpki_repo::probe_dir(self.net, self.repos, self.client, dir, deadline))
+        } else {
+            // Probe the notification: a trusting relying party lets the
+            // RRDP feed vouch for itself.
+            Some(rrdp_probe_dir(self.net, self.repos, self.client, dir, deadline))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpki_repo::sync_dir;
+
+    fn world() -> (Network, RepoRegistry, NodeId, NodeId, RepoUri) {
+        let mut net = Network::new(7);
+        let client = net.add_node("rp");
+        let mut repos = RepoRegistry::new();
+        let server = repos.create(&mut net, "h");
+        let dir = RepoUri::new("h", &["repo"]);
+        let repo = repos.get_mut(server).unwrap();
+        repo.publish_raw(&dir, "a.roa", vec![1, 2]);
+        repo.publish_raw(&dir, "b.cer", vec![3]);
+        (net, repos, client, server, dir)
+    }
+
+    #[test]
+    fn verified_source_matches_rsync() {
+        let (mut net, repos, client, _, dir) = world();
+        let mut state = RrdpClientState::new();
+        let mut src = RrdpSource::new(&mut net, &repos, client, &mut state, SyncPolicy::default());
+        let out = src.load_dir(&dir);
+        let rsync = sync_dir(&mut net, &repos, client, &dir);
+        assert_eq!(out, rsync);
+        assert_eq!(state.stats().downgrades, 0);
+    }
+
+    #[test]
+    fn offline_rrdp_downgrades_to_rsync() {
+        let (mut net, mut repos, client, server, dir) = world();
+        repos.get_mut(server).unwrap().set_rrdp_offline(true);
+        let mut state = RrdpClientState::new();
+        let mut src = RrdpSource::new(&mut net, &repos, client, &mut state, SyncPolicy::default());
+        let out = src.load_dir(&dir);
+        assert!(out.is_complete(), "the rsync fallback must deliver");
+        assert_eq!(state.stats().downgrades, 1);
+        assert_eq!(state.stats().failures, 1);
+    }
+
+    #[test]
+    fn verified_source_catches_a_pinned_feed() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let mut state = RrdpClientState::new();
+        {
+            let mut src =
+                RrdpSource::new(&mut net, &repos, client, &mut state, SyncPolicy::default());
+            src.load_dir(&dir);
+        }
+        let repo = repos.get_mut(server).unwrap();
+        repo.rrdp_pin();
+        repo.publish_raw(&dir, "a.roa", vec![9, 9]);
+        let mut src = RrdpSource::new(&mut net, &repos, client, &mut state, SyncPolicy::default());
+        let out = src.load_dir(&dir);
+        assert_eq!(out.files["a.roa"], vec![9, 9], "the cross-check must recover the truth");
+        assert_eq!(state.stats().pinned_detected, 1);
+        assert_eq!(state.stats().downgrades, 1);
+    }
+
+    #[test]
+    fn trusting_source_stays_pinned() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let mut state = RrdpClientState::new();
+        {
+            let mut src =
+                RrdpSource::new(&mut net, &repos, client, &mut state, SyncPolicy::default())
+                    .trusting();
+            src.load_dir(&dir);
+        }
+        let repo = repos.get_mut(server).unwrap();
+        repo.rrdp_pin();
+        repo.publish_raw(&dir, "a.roa", vec![9, 9]);
+        let mut src =
+            RrdpSource::new(&mut net, &repos, client, &mut state, SyncPolicy::default()).trusting();
+        let out = src.load_dir(&dir);
+        assert_eq!(out.files["a.roa"], vec![1, 2], "the trusting RP is captive to the pin");
+        assert_eq!(state.stats().pinned_detected, 0);
+        assert_eq!(state.stats().downgrades, 0);
+    }
+
+    #[test]
+    fn trusting_source_still_downgrades_on_hard_failure() {
+        let (mut net, mut repos, client, server, dir) = world();
+        repos.get_mut(server).unwrap().set_rrdp_offline(true);
+        let mut state = RrdpClientState::new();
+        let mut src =
+            RrdpSource::new(&mut net, &repos, client, &mut state, SyncPolicy::default()).trusting();
+        let out = src.load_dir(&dir);
+        assert!(out.is_complete(), "prefer-RRDP still means rsync on hard failure");
+        assert_eq!(state.stats().downgrades, 1);
+    }
+
+    #[test]
+    fn probe_mode_follows_verification_mode() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let mut vstate = RrdpClientState::new();
+        let mut tstate = RrdpClientState::new();
+        {
+            let mut src =
+                RrdpSource::new(&mut net, &repos, client, &mut vstate, SyncPolicy::default());
+            src.load_dir(&dir);
+        }
+        let truth_before = {
+            let mut src =
+                RrdpSource::new(&mut net, &repos, client, &mut vstate, SyncPolicy::default());
+            src.probe_dir(&dir).unwrap().digest
+        };
+        let repo = repos.get_mut(server).unwrap();
+        repo.rrdp_pin();
+        repo.publish_raw(&dir, "a.roa", vec![9]);
+        let verified_probe = {
+            let mut src =
+                RrdpSource::new(&mut net, &repos, client, &mut vstate, SyncPolicy::default());
+            src.probe_dir(&dir).unwrap().digest
+        };
+        let trusting_probe = {
+            let mut src =
+                RrdpSource::new(&mut net, &repos, client, &mut tstate, SyncPolicy::default())
+                    .trusting();
+            src.probe_dir(&dir).unwrap().digest
+        };
+        assert_ne!(verified_probe, truth_before, "rsync probe sees the new write");
+        assert_eq!(trusting_probe, truth_before, "notification probe repeats the pinned lie");
+    }
+}

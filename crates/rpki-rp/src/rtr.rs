@@ -243,6 +243,20 @@ impl RtrServer {
         Some(RtrPdu::SerialNotify { session: self.session, serial: self.serial })
     }
 
+    /// Starts a new RTR session: new session id, serial restarted at 0,
+    /// delta history cleared. The current VRP set is retained — only
+    /// the *continuity story* is gone. Call this when the upstream data
+    /// source loses its own continuity (an RRDP session reset, tracked
+    /// by `RrdpClientState::epoch`): a connected router's next
+    /// `SerialQuery` carries the old session id, gets `CacheReset`, and
+    /// resynchronises from scratch instead of trusting a serial bump
+    /// that no longer means "delta from what you have".
+    pub fn reset_session(&mut self, session: u16) {
+        self.session = session;
+        self.serial = 0;
+        self.history.clear();
+    }
+
     /// The server's current VRP set, sorted.
     pub fn vrps(&self) -> Vec<Vrp> {
         self.current.iter().copied().collect()
@@ -590,6 +604,29 @@ mod tests {
         poll_cycle(&mut client, &server);
         assert_eq!(client.serial(), server.serial());
         assert_eq!(client.cache().vrps(), server.current.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reset_session_forces_cache_reset_not_a_serial_bump() {
+        let mut server = RtrServer::new(1, 8);
+        server.update(sample());
+        let mut client = RtrClient::new();
+        poll_cycle(&mut client, &server);
+        assert_eq!(client.serial(), server.serial());
+        // Upstream continuity lost (e.g. an RRDP session reset): the
+        // server starts a new RTR session over the same VRP set.
+        server.reset_session(2);
+        assert_eq!(server.session(), 2);
+        assert_eq!(server.serial(), 0);
+        // The client's stale-session query must be answered CacheReset,
+        // never a quiet delta.
+        let response = server.handle(&client.poll());
+        assert_eq!(response, vec![RtrPdu::CacheReset]);
+        // And the poll cycle reconverges from scratch.
+        poll_cycle(&mut client, &server);
+        assert_eq!(client.serial(), 0);
+        assert_eq!(client.cache().vrps(), server.vrps());
+        assert_eq!(client.len(), 3);
     }
 
     #[test]

@@ -102,6 +102,7 @@ fn campaign_soak_across_seeds() {
             let retrying = availability(&out, RpTier::Retrying);
             let stale = availability(&out, RpTier::RetryingStale);
             let susp = availability(&out, RpTier::Suspenders);
+            let rrdp = availability(&out, RpTier::Rrdp);
             // Weak ordering must hold at every seed; slow serves are
             // the documented exception where timeouts cost rounds the
             // bare RP eventually collects.
@@ -119,9 +120,18 @@ fn campaign_soak_across_seeds() {
                 spec.name
             );
             assert!(stale <= susp, "{} seed {seed}: stale {stale} > suspenders {susp}", spec.name);
+            // The rrdp tier runs the same resilient stack over the
+            // other transport: its availability must match everywhere.
+            assert_eq!(
+                rrdp, stale,
+                "{} seed {seed}: rrdp tier diverged from the rsync stack",
+                spec.name
+            );
             // The stale tier never serves a snapshot older than budget,
-            // so transport-only campaigns keep every VRP every round.
-            if !matches!(spec.name.as_str(), "mixed") {
+            // so transport-only campaigns keep every VRP every round
+            // (authority-side withdrawals are the documented exception).
+            let has_withdraw = spec.windows.iter().any(|w| matches!(w.kind, FaultKind::Withdraw));
+            if !has_withdraw {
                 assert_eq!(
                     out.tier(RpTier::RetryingStale).totals.min_vrps,
                     8,
