@@ -44,6 +44,9 @@ pub mod whack;
 
 pub use collateral::{damage_between, probes_for, DamageReport};
 pub use downgrade::{apply_step, DowngradePlan, DowngradeStep};
-pub use monitor::{ChangeKind, Classification, Monitor, MonitorEvent, MonitorSnapshot};
+pub use monitor::{
+    ChangeKind, Classification, HostReport, MisbehaviorReport, Monitor, MonitorEvent,
+    MonitorSnapshot, TransportEvidence,
+};
 pub use view::CaView;
 pub use whack::{plan_whack, WhackError, WhackPlan, WhackStep};

@@ -27,7 +27,7 @@ use std::collections::BTreeMap;
 
 use ipres::{Asn, ResourceSet};
 use rpki_objects::{Decode, Moment, RoaPrefix, RpkiObject};
-use rpki_obs::Recorder;
+use rpki_obs::{FieldValue, Recorder, TraceEvent};
 use rpki_repo::RepoRegistry;
 use serde::Serialize;
 
@@ -289,6 +289,126 @@ impl Monitor {
             }
         }
         events
+    }
+}
+
+/// One transport-layer detection against a host, pulled from the
+/// relying party's trace: a pinned-feed detection (`rrdp_pinned`) or
+/// an RRDP→rsync downgrade (`rrdp_downgrade`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TransportEvidence {
+    /// Simulated time of the detection.
+    pub at: u64,
+    /// `"rrdp_pinned"` or `"rrdp_downgrade"`.
+    pub kind: String,
+    /// The downgrade's reason label (`"pinned"`, a transport error),
+    /// when the event carried one.
+    pub reason: Option<String>,
+}
+
+/// Everything the monitor holds against one publication host: the
+/// snapshot-diff verdicts from its directories plus the transport
+/// misbehaviour the relying parties reported against it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HostReport {
+    /// The accused host.
+    pub host: String,
+    /// Pinned-feed detections against this host.
+    pub pinned_detections: usize,
+    /// RRDP→rsync downgrades forced by this host.
+    pub downgrades: usize,
+    /// Suspicious snapshot-diff events in this host's directories.
+    pub object_alarms: Vec<MonitorEvent>,
+    /// The transport-layer detections, in trace order.
+    pub transport: Vec<TransportEvidence>,
+}
+
+impl HostReport {
+    /// One human-readable line naming the host and its evidence tally.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{}: {} object alarm(s), {} pinned detection(s), {} downgrade(s)",
+            self.host,
+            self.object_alarms.len(),
+            self.pinned_detections,
+            self.downgrades
+        )
+    }
+}
+
+/// The merged misbehaviour artifact: every host with object-layer or
+/// transport-layer evidence against it, sorted by host name.
+///
+/// This is the paper's monitoring scheme closed end-to-end: the
+/// snapshot-diff verdicts say *what changed at rest* (a stealthy
+/// removal, a whack) and the `rrdp_pinned` / `rrdp_downgrade` trace
+/// events say *what the host did on the wire to hide it* — one
+/// artifact names the misbehaving authority and both halves of the
+/// evidence.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct MisbehaviorReport {
+    /// Per-host dossiers, sorted by host name.
+    pub hosts: Vec<HostReport>,
+}
+
+/// The host of a publication directory URI (`rsync://host/path`).
+fn dir_host(dir: &str) -> String {
+    let rest = dir.strip_prefix("rsync://").unwrap_or(dir);
+    rest.split('/').next().unwrap_or(rest).to_string()
+}
+
+impl MisbehaviorReport {
+    /// Merges suspicious snapshot-diff events with the `rrdp_pinned` /
+    /// `rrdp_downgrade` events of a relying-party trace. Hosts with no
+    /// evidence of either kind do not appear.
+    pub fn build(object_events: &[MonitorEvent], trace: &[TraceEvent]) -> Self {
+        let mut hosts: BTreeMap<String, HostReport> = BTreeMap::new();
+        let entry = |hosts: &mut BTreeMap<String, HostReport>, host: &str| {
+            hosts.entry(host.to_string()).or_insert_with(|| HostReport {
+                host: host.to_string(),
+                pinned_detections: 0,
+                downgrades: 0,
+                object_alarms: Vec::new(),
+                transport: Vec::new(),
+            });
+        };
+        for event in object_events {
+            if !event.classification.is_suspicious() {
+                continue;
+            }
+            let host = dir_host(&event.dir);
+            entry(&mut hosts, &host);
+            hosts.get_mut(&host).expect("just inserted").object_alarms.push(event.clone());
+        }
+        for event in trace {
+            if event.layer != "rp" || !matches!(event.kind, "rrdp_pinned" | "rrdp_downgrade") {
+                continue;
+            }
+            let field = |name: &str| {
+                event.fields.iter().find_map(|(k, v)| match v {
+                    FieldValue::Str(s) if *k == name => Some(s.clone()),
+                    _ => None,
+                })
+            };
+            let Some(host) = field("host") else { continue };
+            entry(&mut hosts, &host);
+            let report = hosts.get_mut(&host).expect("just inserted");
+            match event.kind {
+                "rrdp_pinned" => report.pinned_detections += 1,
+                _ => report.downgrades += 1,
+            }
+            report.transport.push(TransportEvidence {
+                at: event.at,
+                kind: event.kind.to_string(),
+                reason: field("reason"),
+            });
+        }
+        MisbehaviorReport { hosts: hosts.into_values().collect() }
+    }
+
+    /// The dossier for one host, if any evidence names it.
+    pub fn host(&self, host: &str) -> Option<&HostReport> {
+        self.hosts.iter().find(|h| h.host == host)
     }
 }
 
@@ -637,6 +757,52 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn misbehavior_report_merges_object_and_transport_evidence() {
+        // Object layer: a stealthy withdrawal at Sprint's pub point.
+        let mut rig = rig("m8");
+        let roa = rig
+            .sprint
+            .issue_roa(Asn(1239), vec![RoaPrefix::exact(p("63.160.0.0/20"))], Moment(0))
+            .unwrap();
+        publish(&mut rig, Moment(1));
+        let mut mon = Monitor::new();
+        mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(1)));
+        rig.sprint.withdraw(&roa.file_name()).unwrap();
+        publish(&mut rig, Moment(2));
+        let events = mon.observe(MonitorSnapshot::capture(&rig.repos, Moment(2)));
+
+        // Transport layer: the relying party detected a pin on the
+        // same host and downgraded, plus an unrelated flaky host.
+        let rec = Recorder::new();
+        rec.event(5, "rp", "rrdp_pinned").str("host", "rpki.sprint.example").emit();
+        rec.event(5, "rp", "rrdp_downgrade")
+            .str("host", "rpki.sprint.example")
+            .str("reason", "pinned")
+            .emit();
+        rec.event(9, "rp", "rrdp_downgrade")
+            .str("host", "rpki.flaky.example")
+            .str("reason", "no_notification")
+            .emit();
+        rec.event(9, "net", "deliver").str("host", "rpki.sprint.example").emit();
+
+        let report = MisbehaviorReport::build(&events, &rec.events());
+        assert_eq!(report.hosts.len(), 2, "{report:?}");
+        let sprint = report.host("rpki.sprint.example").expect("sprint accused");
+        assert_eq!(sprint.pinned_detections, 1);
+        assert_eq!(sprint.downgrades, 1);
+        assert_eq!(sprint.object_alarms.len(), 1);
+        assert_eq!(sprint.object_alarms[0].classification, Classification::StealthyRemoval);
+        assert_eq!(sprint.transport[0].kind, "rrdp_pinned");
+        assert_eq!(sprint.transport[1].reason.as_deref(), Some("pinned"));
+        assert!(sprint.summary_line().starts_with("rpki.sprint.example: 1 object alarm"));
+        let flaky = report.host("rpki.flaky.example").expect("flaky listed");
+        assert_eq!(flaky.object_alarms.len(), 0);
+        assert_eq!(flaky.downgrades, 1);
+        // Routine churn and other layers' events accuse nobody.
+        assert!(report.host("rpki.ta.example").is_none());
     }
 
     #[test]

@@ -17,6 +17,7 @@ fn bench_propagation(c: &mut Criterion) {
             roa_adoption: 1.0,
             cross_border: 0.1,
             anchors: false,
+            self_hosting: 1.0,
         });
         // Propagate a representative slice of announcements (the full
         // set scales linearly; 20 prefixes keeps the bench honest and
@@ -46,6 +47,7 @@ fn bench_forwarding(c: &mut Criterion) {
         roa_adoption: 1.0,
         cross_border: 0.1,
         anchors: false,
+        self_hosting: 1.0,
     });
     let slice: Vec<_> = world.announcements.iter().copied().take(20).collect();
     let state = propagate(&world.topology, &slice, RpkiPolicy::Ignore, &VrpCache::new())

@@ -20,6 +20,7 @@ fn bench_chain_validation(c: &mut Criterion) {
             roa_adoption: 1.0,
             cross_border: 0.1,
             anchors: false,
+            self_hosting: 1.0,
         });
         let mut net = Network::new(0);
         let mut repos = RepoRegistry::new();

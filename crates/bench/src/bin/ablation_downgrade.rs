@@ -13,10 +13,11 @@
 //! (the rrdp tier downgrades and stays whole; the rsync tiers never
 //! see the feed at all).
 
+use rpki_attacks::MisbehaviorReport;
 use rpki_risk::{
-    run_campaign_traced, run_downgrade_scenario, standard_campaigns, DowngradeOutcome, RpTier,
+    run_campaign_traced, run_downgrade_traced, standard_campaigns, DowngradeOutcome, RpTier,
 };
-use rpki_risk_bench::{emit_json, trace_recorder, write_trace, Summary, SummaryTable};
+use rpki_risk_bench::{emit_json, trace_recorder, write_trace, Recorder, Summary, SummaryTable};
 use serde::Serialize;
 
 fn seed_arg() -> u64 {
@@ -28,10 +29,12 @@ fn seed_arg() -> u64 {
         .unwrap_or(2013)
 }
 
-/// The experiment's JSON export: the scenario plus the campaign view.
+/// The experiment's JSON export: the scenario, the merged
+/// misbehaviour dossier, and the campaign view.
 #[derive(Debug, Serialize)]
 struct Export {
     scenario: DowngradeOutcome,
+    misbehavior: MisbehaviorReport,
     campaign_rrdp_downgrades: usize,
     campaign_rrdp_min_vrps: usize,
 }
@@ -41,7 +44,10 @@ fn main() {
     let recorder = trace_recorder();
     let mut report = Summary::new(&format!("Stalloris downgrade ablation — seed {seed}"));
 
-    let scenario = run_downgrade_scenario(seed);
+    // The scenario's rp-layer events feed the misbehaviour dossier, so
+    // record them even when no --trace destination was given.
+    let evidence = if recorder.is_enabled() { recorder.clone() } else { Recorder::new() };
+    let scenario = run_downgrade_traced(seed, &evidence);
     let mut table = SummaryTable::new(&[
         "round",
         "truth",
@@ -90,6 +96,24 @@ fn main() {
         "the verified stance must detect the pin"
     );
 
+    // The misbehaviour dossier: one artifact naming the host, with the
+    // at-rest monitor verdicts and the transport detections side by
+    // side.
+    let misbehavior = MisbehaviorReport::build(&scenario.monitor_events, &evidence.events());
+    let mut table = SummaryTable::new(&["host", "object alarms", "pinned", "downgrades"]);
+    for h in &misbehavior.hosts {
+        table.row(&[
+            h.host.clone(),
+            h.object_alarms.len().to_string(),
+            h.pinned_detections.to_string(),
+            h.downgrades.to_string(),
+        ]);
+    }
+    report.table("misbehaviour dossier (object + transport evidence)", table);
+    let accused = misbehavior.host(&scenario.host).expect("the dossier names the target host");
+    assert!(accused.pinned_detections > 0, "the dossier must carry the pin detections");
+    assert!(!accused.object_alarms.is_empty(), "the dossier must carry the stealthy withdrawal");
+
     // The same attack through the campaign harness: the rrdp tier
     // downgrades through the pin and loses no availability beyond the
     // whack itself.
@@ -128,6 +152,7 @@ fn main() {
         "ablation_downgrade",
         &Export {
             scenario,
+            misbehavior,
             campaign_rrdp_downgrades: rrdp.totals.rrdp_downgrades,
             campaign_rrdp_min_vrps: rrdp.totals.min_vrps,
         },

@@ -72,6 +72,7 @@ fn main() {
             roa_adoption: 1.0,
             cross_border: 0.1,
             anchors: false,
+            self_hosting: 1.0,
         });
         let cache: VrpCache = world
             .orgs

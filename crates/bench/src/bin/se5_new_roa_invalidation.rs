@@ -41,6 +41,7 @@ fn main() {
             roa_adoption: adoption,
             cross_border: 0.1,
             anchors: false,
+            self_hosting: 1.0,
         };
         let world = SyntheticInternet::generate(config);
 

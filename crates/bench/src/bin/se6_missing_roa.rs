@@ -20,6 +20,7 @@ fn main() {
         roa_adoption: 1.0,
         cross_border: 0.1,
         anchors: false,
+        self_hosting: 1.0,
     };
     println!(
         "Side Effect 6 — fallout of each single missing ROA\n\

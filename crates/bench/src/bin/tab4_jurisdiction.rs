@@ -19,6 +19,7 @@ fn main() {
         roa_adoption: 1.0,
         cross_border: 0.15,
         anchors: true,
+        self_hosting: 1.0,
     };
     println!(
         "Table 4 — cross-jurisdiction certification (synthetic Internet, seed {}, {} transits, {} stubs)",

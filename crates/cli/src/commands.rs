@@ -152,6 +152,7 @@ pub fn audit(args: &[String]) -> ExitCode {
         roa_adoption: 1.0,
         cross_border: 0.15,
         anchors: true,
+        self_hosting: 1.0,
     };
     let world = SyntheticInternet::generate(config);
     let report = jurisdiction_report(&world);

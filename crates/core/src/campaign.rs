@@ -40,12 +40,13 @@
 use std::collections::BTreeSet;
 
 use ipres::Prefix;
+use netsim::NodeId;
 use rpki_objects::{Moment, RoaPrefix, Span};
 use rpki_obs::Recorder;
 use rpki_repo::{Freshness, RrdpClientState, SyncPolicy};
 use rpki_rp::{
-    ResilienceConfig, ResilientState, Route, RouteValidity, ValidationRun, ValidationState,
-    VrpCache,
+    ResilienceConfig, ResilientState, Route, RouteValidity, ShardPlan, ValidationRun,
+    ValidationState, Vrp, VrpCache,
 };
 use serde::Serialize;
 
@@ -233,6 +234,62 @@ impl CampaignOutcome {
     }
 }
 
+/// Cross-RP divergence in one shared-world round: how far the tiers'
+/// validated VRP sets drifted apart. All integers, so serialized
+/// outcomes replay byte-identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DivergenceMetrics {
+    /// Round number (1-based).
+    pub round: usize,
+    /// Distinct validated VRP sets across the tiers (1 = full
+    /// agreement; up to one per tier under asymmetric faults).
+    pub distinct_vrp_sets: usize,
+    /// Σ over tier pairs of the symmetric-difference size of their
+    /// validated VRP sets.
+    pub pairwise_diff_sum: usize,
+    /// The single largest pairwise symmetric difference.
+    pub max_pairwise_diff: usize,
+}
+
+/// Wire load one repository host served across a shared-world campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HostLoad {
+    /// The repository host.
+    pub host: String,
+    /// Publication-point directories that served at least one frame.
+    pub dirs: usize,
+    /// Response frames served.
+    pub frames: u64,
+    /// Encoded response bytes served.
+    pub bytes: u64,
+}
+
+/// The result of running one campaign with every tier validating
+/// against *one* shared repository world.
+#[derive(Debug, Clone, Serialize)]
+pub struct SharedCampaignOutcome {
+    /// The campaign's name.
+    pub name: String,
+    /// The network seed used.
+    pub seed: u64,
+    /// Rounds per tier.
+    pub rounds: usize,
+    /// One trace per tier, in [`RpTier::ALL`] order.
+    pub tiers: Vec<TierOutcome>,
+    /// Per-round cross-tier divergence.
+    pub divergence: Vec<DivergenceMetrics>,
+    /// Per-host server-side load over the campaign rounds (warm-up
+    /// excluded), in host order.
+    pub load: Vec<HostLoad>,
+}
+
+impl SharedCampaignOutcome {
+    /// The trace of `tier`.
+    pub fn tier(&self, tier: RpTier) -> &TierOutcome {
+        self.tiers.iter().find(|t| t.tier == tier).expect("all tiers present")
+    }
+}
+
 /// The retry policy every non-bare tier uses.
 pub fn campaign_policy() -> SyncPolicy {
     SyncPolicy::default()
@@ -276,6 +333,179 @@ pub fn run_campaign_traced(spec: &CampaignSpec, seed: u64, recorder: &Recorder) 
     CampaignOutcome { name: spec.name.clone(), seed, rounds: spec.rounds, tiers }
 }
 
+/// Runs `spec` at `seed` with all five tiers validating against **one**
+/// shared repository world — the planet-scale deployment shape, where
+/// thousands of relying parties hammer the same publication points —
+/// instead of the per-tier clones [`run_campaign`] uses to isolate
+/// fault dice. Each tier gets its own relying-party network node and
+/// its own persistent caches; every walk runs under `plan`'s sharded
+/// scheduler when given (output is byte-identical either way). The
+/// outcome adds per-round cross-tier VRP divergence and the server-side
+/// load ledger each host accumulated over the campaign rounds.
+///
+/// Note the shared world is *not* metric-identical to the per-tier
+/// worlds: probabilistic faults draw from one shared dice stream, so a
+/// corruption burst that eats tier A's frame spares tier B's. That
+/// asymmetry is the point — it is what the divergence metrics measure.
+pub fn run_campaign_shared(
+    spec: &CampaignSpec,
+    seed: u64,
+    plan: Option<ShardPlan>,
+    recorder: &Recorder,
+) -> SharedCampaignOutcome {
+    struct TierState {
+        tier: RpTier,
+        rp: NodeId,
+        validation: ValidationState,
+        resilient: ResilientState,
+        suspenders: SuspendersState,
+        rrdp: RrdpClientState,
+        prev_downgrades: u64,
+        rounds: Vec<RoundMetrics>,
+    }
+
+    let mut w = ModelRpki::build_seeded(seed);
+    w.net.set_recorder(recorder.clone());
+    let policy = campaign_policy();
+    let mut tiers: Vec<TierState> = RpTier::ALL
+        .iter()
+        .map(|&tier| TierState {
+            tier,
+            rp: w.net.add_node(&format!("rp-{}", tier.label())),
+            validation: ValidationState::full(),
+            resilient: ResilientState::new(campaign_resilience()),
+            suspenders: SuspendersState::new(SuspendersConfig { hold_down: Span::days(1) }),
+            rrdp: RrdpClientState::new(),
+            prev_downgrades: 0,
+            rounds: Vec::with_capacity(spec.rounds),
+        })
+        .collect();
+    let rp_nodes: Vec<NodeId> = tiers.iter().map(|t| t.rp).collect();
+    let mut engaged: BTreeSet<usize> = BTreeSet::new();
+
+    // Warm-up: one faultless validation per tier against the healthy
+    // shared world.
+    for t in &mut tiers {
+        w.rp_node = t.rp;
+        let moment = Moment(w.net.now());
+        validate_tier(
+            &mut w,
+            t.tier,
+            moment,
+            policy,
+            &mut t.resilient,
+            &mut t.suspenders,
+            &mut t.rrdp,
+            Some(&mut t.validation),
+            plan,
+        );
+        t.prev_downgrades = t.rrdp.stats().downgrades;
+    }
+    // The load ledger measures the campaign proper, not the warm-up.
+    for repo in w.repos.iter() {
+        repo.reset_served_load();
+    }
+
+    let mut divergence = Vec::with_capacity(spec.rounds);
+    for round in 1..=spec.rounds {
+        w.net.advance_to(round as u64 * ROUND_SECS);
+        apply_faults_to(&mut w, spec, round, &mut engaged, &rp_nodes);
+
+        let mut vrp_sets: Vec<BTreeSet<Vrp>> = Vec::with_capacity(tiers.len());
+        for t in &mut tiers {
+            w.rp_node = t.rp;
+            let moment = Moment(w.net.now());
+            let run = validate_tier(
+                &mut w,
+                t.tier,
+                moment,
+                policy,
+                &mut t.resilient,
+                &mut t.suspenders,
+                &mut t.rrdp,
+                Some(&mut t.validation),
+                plan,
+            );
+            let m = round_metrics(
+                &w,
+                t.tier,
+                round,
+                &run,
+                &t.suspenders,
+                &t.rrdp,
+                &mut t.prev_downgrades,
+            );
+            emit_round(recorder, spec, t.tier, moment.0, &m);
+            t.rounds.push(m);
+            vrp_sets.push(run.vrps.iter().copied().collect());
+        }
+
+        let mut d = DivergenceMetrics { round, ..DivergenceMetrics::default() };
+        for (i, a) in vrp_sets.iter().enumerate() {
+            if !vrp_sets[..i].contains(a) {
+                d.distinct_vrp_sets += 1;
+            }
+            for b in &vrp_sets[..i] {
+                let diff = a.symmetric_difference(b).count();
+                d.pairwise_diff_sum += diff;
+                d.max_pairwise_diff = d.max_pairwise_diff.max(diff);
+            }
+        }
+        if recorder.is_enabled() {
+            recorder.observe("campaign.distinct_vrp_sets", d.distinct_vrp_sets as u64);
+            recorder
+                .event(w.net.now(), "campaign", "divergence")
+                .str("campaign", &spec.name)
+                .u64("round", round as u64)
+                .u64("distinct_vrp_sets", d.distinct_vrp_sets as u64)
+                .u64("pairwise_diff_sum", d.pairwise_diff_sum as u64)
+                .u64("max_pairwise_diff", d.max_pairwise_diff as u64)
+                .emit();
+        }
+        divergence.push(d);
+    }
+
+    let mut load: Vec<HostLoad> = w
+        .repos
+        .iter()
+        .map(|repo| {
+            let total = repo.served_total();
+            HostLoad {
+                host: repo.host().to_owned(),
+                dirs: repo.served_load().len(),
+                frames: total.frames,
+                bytes: total.bytes,
+            }
+        })
+        .collect();
+    load.sort_by(|a, b| a.host.cmp(&b.host));
+    if recorder.is_enabled() {
+        for h in &load {
+            recorder
+                .event(w.net.now(), "campaign", "host_load")
+                .str("campaign", &spec.name)
+                .str("host", &h.host)
+                .u64("dirs", h.dirs as u64)
+                .u64("frames", h.frames)
+                .u64("bytes", h.bytes)
+                .emit();
+        }
+    }
+
+    let tiers = tiers
+        .into_iter()
+        .map(|t| TierOutcome { tier: t.tier, totals: tier_totals(&t.rounds), rounds: t.rounds })
+        .collect();
+    SharedCampaignOutcome {
+        name: spec.name.clone(),
+        seed,
+        rounds: spec.rounds,
+        tiers,
+        divergence,
+        load,
+    }
+}
+
 fn run_tier(
     spec: &CampaignSpec,
     seed: u64,
@@ -313,6 +543,7 @@ fn run_tier(
         &mut suspenders,
         &mut rrdp_state,
         validation_state.as_mut(),
+        None,
     );
     let mut prev_downgrades = rrdp_state.stats().downgrades;
 
@@ -333,58 +564,16 @@ fn run_tier(
             &mut suspenders,
             &mut rrdp_state,
             validation_state.as_mut(),
+            None,
         );
 
-        let (vrps, cache): (usize, VrpCache) = if tier == RpTier::Suspenders {
-            (suspenders.len(), suspenders.effective_cache())
-        } else {
-            (run.vrps.len(), run.vrp_cache())
-        };
-
-        let mut m = RoundMetrics { round, vrps, ..RoundMetrics::default() };
-        for ann in &w.announcements {
-            match cache.classify(Route::new(ann.prefix, ann.origin)) {
-                RouteValidity::Valid => m.valid += 1,
-                RouteValidity::Invalid => m.invalid += 1,
-                RouteValidity::Unknown => m.unknown += 1,
-            }
-        }
-        m.stale_dirs =
-            run.freshness.iter().filter(|(_, f)| matches!(f, Freshness::Stale { .. })).count();
-        m.rrdp_downgrades = (rrdp_state.stats().downgrades - prev_downgrades) as usize;
-        prev_downgrades = rrdp_state.stats().downgrades;
-        if recorder.is_enabled() {
-            recorder.count("campaign.rounds", 1);
-            recorder.count("campaign.invalid_flips", m.invalid as u64);
-            recorder.count("campaign.unknown_flips", m.unknown as u64);
-            recorder.count("campaign.stale_dir_rounds", m.stale_dirs as u64);
-            recorder.count("campaign.rrdp_downgrades", m.rrdp_downgrades as u64);
-            recorder.observe("campaign.vrps_per_round", m.vrps as u64);
-            recorder
-                .event(moment.0, "campaign", "round")
-                .str("campaign", &spec.name)
-                .str("tier", tier.label())
-                .u64("round", round as u64)
-                .u64("vrps", m.vrps as u64)
-                .u64("valid", m.valid as u64)
-                .u64("invalid", m.invalid as u64)
-                .u64("unknown", m.unknown as u64)
-                .u64("stale_dirs", m.stale_dirs as u64)
-                .u64("rrdp_downgrades", m.rrdp_downgrades as u64)
-                .emit();
-        }
+        let m =
+            round_metrics(&w, tier, round, &run, &suspenders, &rrdp_state, &mut prev_downgrades);
+        emit_round(recorder, spec, tier, moment.0, &m);
         rounds.push(m);
     }
 
-    let totals = TierTotals {
-        vrp_round_sum: rounds.iter().map(|m| m.vrps).sum(),
-        min_vrps: rounds.iter().map(|m| m.vrps).min().unwrap_or(0),
-        valid_round_sum: rounds.iter().map(|m| m.valid).sum(),
-        invalid_flips: rounds.iter().map(|m| m.invalid).sum(),
-        unknown_flips: rounds.iter().map(|m| m.unknown).sum(),
-        stale_dir_rounds: rounds.iter().map(|m| m.stale_dirs).sum(),
-        rrdp_downgrades: rounds.iter().map(|m| m.rrdp_downgrades).sum(),
-    };
+    let totals = tier_totals(&rounds);
     if recorder.is_enabled() {
         recorder
             .event(w.net.now(), "campaign", "tier_totals")
@@ -402,6 +591,73 @@ fn run_tier(
     TierOutcome { tier, rounds, totals }
 }
 
+/// Classifies the announcements against one tier's effective cache and
+/// assembles its round metrics.
+fn round_metrics(
+    w: &ModelRpki,
+    tier: RpTier,
+    round: usize,
+    run: &ValidationRun,
+    suspenders: &SuspendersState,
+    rrdp_state: &RrdpClientState,
+    prev_downgrades: &mut u64,
+) -> RoundMetrics {
+    let (vrps, cache): (usize, VrpCache) = if tier == RpTier::Suspenders {
+        (suspenders.len(), suspenders.effective_cache())
+    } else {
+        (run.vrps.len(), run.vrp_cache())
+    };
+    let mut m = RoundMetrics { round, vrps, ..RoundMetrics::default() };
+    for ann in &w.announcements {
+        match cache.classify(Route::new(ann.prefix, ann.origin)) {
+            RouteValidity::Valid => m.valid += 1,
+            RouteValidity::Invalid => m.invalid += 1,
+            RouteValidity::Unknown => m.unknown += 1,
+        }
+    }
+    m.stale_dirs =
+        run.freshness.iter().filter(|(_, f)| matches!(f, Freshness::Stale { .. })).count();
+    m.rrdp_downgrades = (rrdp_state.stats().downgrades - *prev_downgrades) as usize;
+    *prev_downgrades = rrdp_state.stats().downgrades;
+    m
+}
+
+fn emit_round(recorder: &Recorder, spec: &CampaignSpec, tier: RpTier, at: u64, m: &RoundMetrics) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    recorder.count("campaign.rounds", 1);
+    recorder.count("campaign.invalid_flips", m.invalid as u64);
+    recorder.count("campaign.unknown_flips", m.unknown as u64);
+    recorder.count("campaign.stale_dir_rounds", m.stale_dirs as u64);
+    recorder.count("campaign.rrdp_downgrades", m.rrdp_downgrades as u64);
+    recorder.observe("campaign.vrps_per_round", m.vrps as u64);
+    recorder
+        .event(at, "campaign", "round")
+        .str("campaign", &spec.name)
+        .str("tier", tier.label())
+        .u64("round", m.round as u64)
+        .u64("vrps", m.vrps as u64)
+        .u64("valid", m.valid as u64)
+        .u64("invalid", m.invalid as u64)
+        .u64("unknown", m.unknown as u64)
+        .u64("stale_dirs", m.stale_dirs as u64)
+        .u64("rrdp_downgrades", m.rrdp_downgrades as u64)
+        .emit();
+}
+
+fn tier_totals(rounds: &[RoundMetrics]) -> TierTotals {
+    TierTotals {
+        vrp_round_sum: rounds.iter().map(|m| m.vrps).sum(),
+        min_vrps: rounds.iter().map(|m| m.vrps).min().unwrap_or(0),
+        valid_round_sum: rounds.iter().map(|m| m.valid).sum(),
+        invalid_flips: rounds.iter().map(|m| m.invalid).sum(),
+        unknown_flips: rounds.iter().map(|m| m.unknown).sum(),
+        stale_dir_rounds: rounds.iter().map(|m| m.stale_dirs).sum(),
+        rrdp_downgrades: rounds.iter().map(|m| m.rrdp_downgrades).sum(),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn validate_tier(
     w: &mut ModelRpki,
@@ -412,6 +668,7 @@ fn validate_tier(
     suspenders: &mut SuspendersState,
     rrdp: &mut RrdpClientState,
     incremental: Option<&mut ValidationState>,
+    shards: Option<ShardPlan>,
 ) -> ValidationRun {
     let opts = match tier {
         RpTier::Bare => ValidationOptions::at(moment),
@@ -429,6 +686,10 @@ fn validate_tier(
         Some(state) => opts.incremental(state),
         None => opts,
     };
+    let opts = match shards {
+        Some(plan) => opts.sharded(plan),
+        None => opts,
+    };
     w.validate_with(opts)
 }
 
@@ -443,40 +704,64 @@ fn apply_faults(
     engaged: &mut BTreeSet<usize>,
 ) {
     let rp = w.rp_node;
+    apply_faults_to(w, spec, round, engaged, &[rp]);
+}
+
+/// [`apply_faults`] generalised to any set of relying-party nodes: the
+/// pairwise transport faults (corruption, partition, stall) are armed
+/// between the repository and *every* listed RP, as a shared world
+/// requires; node- and authority-side faults are applied once.
+fn apply_faults_to(
+    w: &mut ModelRpki,
+    spec: &CampaignSpec,
+    round: usize,
+    engaged: &mut BTreeSet<usize>,
+    rps: &[NodeId],
+) {
     // Clear every window's effect first so expired and flapping
     // windows heal; active ones are re-armed below.
     for win in &spec.windows {
         let node = w.repos.by_host(&win.host).expect("campaign host exists").node();
+        for &rp in rps {
+            match win.kind {
+                FaultKind::CorruptionBurst { .. } => w.net.faults.set_corruption(node, rp, 0.0),
+                FaultKind::Partition | FaultKind::Flapping => w.net.faults.heal(rp, node),
+                FaultKind::Stall { .. } => w.net.faults.set_stall(node, rp, 0),
+                _ => {}
+            }
+        }
         match win.kind {
-            FaultKind::CorruptionBurst { .. } => w.net.faults.set_corruption(node, rp, 0.0),
-            FaultKind::Partition | FaultKind::Flapping => w.net.faults.heal(rp, node),
             FaultKind::Takedown => w.net.faults.set_down(node, false),
-            FaultKind::Stall { .. } => w.net.faults.set_stall(node, rp, 0),
             FaultKind::RrdpWithhold => {
                 w.repos
                     .by_host_mut(&win.host)
                     .expect("campaign host exists")
                     .set_rrdp_offline(false);
             }
-            FaultKind::Withdraw | FaultKind::RrdpPin => {}
+            _ => {}
         }
     }
 
     for (i, win) in spec.windows.iter().enumerate() {
         let node = w.repos.by_host(&win.host).expect("campaign host exists").node();
         let active = win.active(round);
+        for &rp in rps {
+            match win.kind {
+                FaultKind::CorruptionBurst { prob } if active => {
+                    w.net.faults.set_corruption(node, rp, prob);
+                }
+                FaultKind::Partition if active => w.net.faults.partition(rp, node),
+                // Flapping: partitioned on the window's even offsets, so
+                // it always starts severed and heals every other round.
+                FaultKind::Flapping if active && (round - win.from).is_multiple_of(2) => {
+                    w.net.faults.partition(rp, node);
+                }
+                FaultKind::Stall { extra } if active => w.net.faults.set_stall(node, rp, extra),
+                _ => {}
+            }
+        }
         match win.kind {
-            FaultKind::CorruptionBurst { prob } if active => {
-                w.net.faults.set_corruption(node, rp, prob);
-            }
-            FaultKind::Partition if active => w.net.faults.partition(rp, node),
-            // Flapping: partitioned on the window's even offsets, so it
-            // always starts severed and heals every other round.
-            FaultKind::Flapping if active && (round - win.from).is_multiple_of(2) => {
-                w.net.faults.partition(rp, node);
-            }
             FaultKind::Takedown if active => w.net.faults.set_down(node, true),
-            FaultKind::Stall { extra } if active => w.net.faults.set_stall(node, rp, extra),
             FaultKind::RrdpWithhold if active => {
                 w.repos
                     .by_host_mut(&win.host)
@@ -720,6 +1005,54 @@ mod tests {
             rrdp.rounds.iter().map(|m| m.rrdp_downgrades).collect::<Vec<_>>(),
             vec![0, 1, 1, 1, 0, 0]
         );
+    }
+
+    #[test]
+    fn shared_campaign_is_shard_count_invariant() {
+        // The campaign-tier equivalence pin: a shared-world campaign is
+        // byte-identical whether each walk runs sequentially, under one
+        // shard, or under eight — faults, caches, and all.
+        let spec = takedown_spec();
+        let seq =
+            serde_json::to_string(&run_campaign_shared(&spec, 7, None, &Recorder::disabled()))
+                .unwrap();
+        for shards in [1, 2, 8] {
+            let sharded = serde_json::to_string(&run_campaign_shared(
+                &spec,
+                7,
+                Some(ShardPlan::new(shards)),
+                &Recorder::disabled(),
+            ))
+            .unwrap();
+            assert_eq!(seq, sharded, "shards={shards} must not change a byte");
+        }
+    }
+
+    #[test]
+    fn shared_campaign_measures_divergence_and_load() {
+        let out = run_campaign_shared(&takedown_spec(), 42, None, &Recorder::disabled());
+        assert_eq!(out.tiers.len(), RpTier::ALL.len());
+        assert_eq!(out.divergence.len(), out.rounds);
+        // During the takedown window the stale tier keeps serving while
+        // bare/retrying lose the Continental VRPs: the tiers diverge.
+        assert!(
+            out.divergence.iter().any(|d| d.distinct_vrp_sets > 1 && d.max_pairwise_diff > 0),
+            "{:?}",
+            out.divergence
+        );
+        // Healthy rounds agree (the walk itself is deterministic).
+        assert!(out.divergence.iter().any(|d| d.distinct_vrp_sets == 1), "{:?}", out.divergence);
+        // Every host served someone; Continental took the fault traffic.
+        assert!(out.load.iter().all(|h| h.frames > 0 && h.bytes > h.frames), "{:?}", out.load);
+        assert!(out.load.iter().any(|h| h.host == "rpki.continental.example"));
+        // The tier separation the per-tier campaign shows survives the
+        // shared world: the snapshot cache bridges the outage.
+        let stale = out.tier(RpTier::RetryingStale).totals;
+        let bare = out.tier(RpTier::Bare).totals;
+        assert!(stale.vrp_round_sum > bare.vrp_round_sum, "{stale:?} vs {bare:?}");
+        // Deterministic replay, since every fault here is dice-free.
+        let again = run_campaign_shared(&takedown_spec(), 42, None, &Recorder::disabled());
+        assert_eq!(serde_json::to_string(&out).unwrap(), serde_json::to_string(&again).unwrap());
     }
 
     #[test]

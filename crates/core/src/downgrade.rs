@@ -25,8 +25,9 @@
 //! `ablation_downgrade` binary serialises [`DowngradeOutcome`] as the
 //! experiment artifact.
 
-use rpki_attacks::{apply_step, DowngradePlan};
+use rpki_attacks::{apply_step, DowngradePlan, Monitor, MonitorEvent, MonitorSnapshot};
 use rpki_objects::Moment;
+use rpki_obs::Recorder;
 use rpki_repo::{RrdpClientState, SyncPolicy};
 use serde::Serialize;
 
@@ -93,6 +94,10 @@ pub struct DowngradeOutcome {
     pub trusting_stale_rounds: usize,
     /// Rounds the verified stance spent diverged from truth.
     pub verified_stale_rounds: usize,
+    /// The at-rest monitor's classified diff, round by round: the
+    /// object-layer half of the evidence (the stealthy withdrawal
+    /// shows up here even while the pinned feed hides it).
+    pub monitor_events: Vec<MonitorEvent>,
 }
 
 /// Runs the Stalloris scenario under the default schedule.
@@ -100,7 +105,21 @@ pub fn run_downgrade_scenario(seed: u64) -> DowngradeOutcome {
     run_downgrade_scheduled(seed, DowngradeSchedule::default())
 }
 
+/// Runs the default schedule with `recorder` installed on the
+/// verified world, so the relying party's `rrdp_pinned` and
+/// `rrdp_downgrade` events land in the trace — the transport half of
+/// the evidence a [`rpki_attacks::MisbehaviorReport`] merges with the
+/// outcome's `monitor_events`.
+pub fn run_downgrade_traced(seed: u64, recorder: &Recorder) -> DowngradeOutcome {
+    run_downgrade_inner(seed, DowngradeSchedule::default(), Some(recorder))
+}
+
 /// Runs the Stalloris scenario under an explicit schedule.
+pub fn run_downgrade_scheduled(seed: u64, schedule: DowngradeSchedule) -> DowngradeOutcome {
+    run_downgrade_inner(seed, schedule, None)
+}
+
+/// The scenario body.
 ///
 /// Two worlds are built from the same seed — one per transported
 /// stance — and mutated identically; truth is read at-rest, so a third
@@ -108,8 +127,13 @@ pub fn run_downgrade_scenario(seed: u64) -> DowngradeOutcome {
 /// [`DowngradePlan::stalloris`]: its opening step fires at
 /// `pin_round`, its closing step at `restore_round`, and the whack
 /// lands in between, invisible to anyone still watching the pinned
-/// feed.
-pub fn run_downgrade_scheduled(seed: u64, schedule: DowngradeSchedule) -> DowngradeOutcome {
+/// feed. An at-rest [`Monitor`] snapshots the verified world every
+/// round; its classified diff rides along in the outcome.
+fn run_downgrade_inner(
+    seed: u64,
+    schedule: DowngradeSchedule,
+    recorder: Option<&Recorder>,
+) -> DowngradeOutcome {
     assert!(
         schedule.pin_round < schedule.whack_round
             && schedule.whack_round < schedule.restore_round
@@ -125,7 +149,14 @@ pub fn run_downgrade_scheduled(seed: u64, schedule: DowngradeSchedule) -> Downgr
     let mut trusting = RrdpClientState::new();
     let mut verified = RrdpClientState::new();
     let policy = SyncPolicy::default();
+    if let Some(recorder) = recorder {
+        verified_world.net.set_recorder(recorder.clone());
+    }
     let rec = verified_world.net.recorder();
+    let mut monitor = Monitor::new();
+    let mut monitor_events: Vec<MonitorEvent> = Vec::new();
+    monitor
+        .observe(MonitorSnapshot::capture(&verified_world.repos, Moment(verified_world.net.now())));
 
     // Warm-up: both stances converge on the healthy world.
     let moment = Moment(trusting_world.net.now());
@@ -154,6 +185,12 @@ pub fn run_downgrade_scheduled(seed: u64, schedule: DowngradeSchedule) -> Downgr
                 w.publish_all(moment);
             }
         }
+
+        // The at-rest monitor diffs the verified world's repositories:
+        // the pin is transport-only, so the whack is in plain sight
+        // here even while the feed replays the pre-whack view.
+        monitor_events
+            .extend(monitor.observe(MonitorSnapshot::capture(&verified_world.repos, moment)));
 
         // Truth reads either world at rest: the pin is transport-only,
         // so the trusting world's files are already the real state.
@@ -201,6 +238,7 @@ pub fn run_downgrade_scheduled(seed: u64, schedule: DowngradeSchedule) -> Downgr
         trusting_stale_rounds: rounds.iter().filter(|m| m.trusting_stale).count(),
         verified_stale_rounds: rounds.iter().filter(|m| m.verified_stale).count(),
         rounds,
+        monitor_events,
     };
     if rec.is_enabled() {
         rec.event(verified_world.net.now(), "downgrade", "outcome")
@@ -251,6 +289,28 @@ mod tests {
         let b = run_downgrade_scenario(17);
         assert_eq!(a, b);
         assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+
+    #[test]
+    fn traced_run_yields_a_misbehavior_report_naming_the_host() {
+        use rpki_attacks::{Classification, MisbehaviorReport};
+
+        let rec = Recorder::new();
+        let out = run_downgrade_traced(23, &rec);
+        // Object layer: the covering-ROA withdrawal is a stealthy
+        // removal in the host's own directory.
+        assert!(out
+            .monitor_events
+            .iter()
+            .any(|e| e.classification == Classification::StealthyRemoval
+                && e.dir.contains(&out.host)));
+        // Transport layer: the verified stance flagged the pin.
+        let report = MisbehaviorReport::build(&out.monitor_events, &rec.events());
+        let accused = report.host(&out.host).expect("the target host is accused");
+        assert!(accused.pinned_detections > 0, "{accused:?}");
+        assert!(accused.downgrades > 0, "{accused:?}");
+        assert!(!accused.object_alarms.is_empty(), "{accused:?}");
+        assert!(accused.transport.iter().any(|t| t.reason.as_deref() == Some("pinned")));
     }
 
     #[test]

@@ -27,7 +27,8 @@ use rpki_ca::CertAuthority;
 use rpki_objects::{Encode, Moment, RepoUri, Roa, RoaPrefix, RpkiObject, Span, TrustAnchorLocator};
 use rpki_repo::RepoRegistry;
 use rpki_rp::{
-    DirectSource, NetworkSource, ValidationConfig, ValidationRun, ValidationState, Validator,
+    DirectSource, NetworkSource, ShardPlan, ShardStats, ValidationConfig, ValidationRun,
+    ValidationState, Validator,
 };
 
 fn p(s: &str) -> Prefix {
@@ -298,14 +299,25 @@ fn subtree_size(depth: u32, branching: u32) -> usize {
     (0..=depth).map(|i| (branching as usize).pow(i)).sum()
 }
 
-/// A `/16` per CA index: CA `i` owns `10.i.0.0/16`, and because CAs are
-/// numbered in DFS preorder a subtree's resources are one contiguous
-/// index range.
+/// A `/24` per CA index: CA `i` owns `10.(i >> 8).(i & 255).0/24`, and
+/// because CAs are numbered in DFS preorder a subtree's resources are
+/// one contiguous index range, covered here by a minimal set of CIDR
+/// blocks (greedy aggregation) so certificates stay small even for
+/// thousand-CA subtrees.
 fn synthetic_resources(start: usize, size: usize) -> ResourceSet {
-    ResourceSet::from_prefixes(
-        (start..start + size)
-            .map(|i| format!("10.{i}.0.0/16").parse::<Prefix>().expect("index fits one octet")),
-    )
+    let mut prefixes = Vec::new();
+    let mut i = start as u32;
+    let end = (start + size) as u32;
+    while i < end {
+        // Largest power-of-two run that is aligned at `i` and fits.
+        let align = if i == 0 { 1 << 16 } else { 1 << i.trailing_zeros().min(16) };
+        let fit = end - i;
+        let run: u32 = align.min(1 << (31 - fit.leading_zeros()));
+        let len = 24 - run.trailing_zeros() as u8;
+        prefixes.push(Prefix::v4(10, (i >> 8) as u8, (i & 255) as u8, 0, len));
+        i += run;
+    }
+    ResourceSet::from_prefixes(prefixes)
 }
 
 /// A regular synthetic CA tree for churn benchmarks: one trust anchor,
@@ -337,7 +349,8 @@ impl SyntheticRpki {
     /// Builds and publishes a tree over a network seeded with `seed`.
     ///
     /// The total CA count is `1 + b + … + b^depth` and must stay within
-    /// 256 (one `/16` per CA inside `10.0.0.0/8`).
+    /// 65536 (one `/24` per CA inside `10.0.0.0/8`), which comfortably
+    /// fits the planet-scale bench sweeps (five-thousand-point worlds).
     pub fn build_seeded(
         seed: u64,
         depth: u32,
@@ -345,7 +358,7 @@ impl SyntheticRpki {
         roas_per_ca: usize,
     ) -> SyntheticRpki {
         let total = subtree_size(depth, branching);
-        assert!(total <= 256, "tree of {total} CAs outgrows 10.0.0.0/8");
+        assert!(total <= 65536, "tree of {total} CAs outgrows 10.0.0.0/8");
         assert!(roas_per_ca > 0 && roas_per_ca <= 200, "roas_per_ca out of range");
 
         let mut net = Network::new(seed);
@@ -358,7 +371,10 @@ impl SyntheticRpki {
             "bench-ca0",
             RepoUri::new("rpki.bench.example", &["repo", "ca0"]),
         );
-        root.certify_self(synthetic_resources(0, total), Moment(0), Span::days(3650));
+        // The root holds the whole /8 (not just the tree's index range)
+        // so benches can mint extra out-of-tree ROAs at the root without
+        // caring about the tree's exact size.
+        root.certify_self(ResourceSet::from_prefix_strs("10.0.0.0/8"), Moment(0), Span::days(3650));
         let mut cas = vec![root];
         Self::grow(&mut cas, 0, depth, branching);
         debug_assert_eq!(cas.len(), total);
@@ -367,10 +383,10 @@ impl SyntheticRpki {
             for j in 0..roas_per_ca {
                 ca.issue_roa(
                     Asn(65000 + idx as u32),
-                    vec![RoaPrefix::exact(p(&format!("10.{idx}.{j}.0/24")))],
+                    vec![RoaPrefix::exact(p(&format!("10.{}.{}.{j}/32", idx >> 8, idx & 255)))],
                     Moment(0),
                 )
-                .expect("ROA inside the CA's own /16");
+                .expect("ROA inside the CA's own /24");
             }
         }
 
@@ -484,6 +500,39 @@ impl SyntheticRpki {
         Validator::new(ValidationConfig::at(now)).run_incremental(
             &mut source,
             std::slice::from_ref(&self.tal),
+            state,
+        )
+    }
+
+    /// One cold sharded walk over the simulated network. Byte-identical
+    /// output to [`validate_cold`](Self::validate_cold) for any plan.
+    pub fn validate_cold_sharded(
+        &mut self,
+        now: Moment,
+        plan: ShardPlan,
+    ) -> (ValidationRun, ShardStats) {
+        let mut source = NetworkSource::new(&mut self.net, &self.repos, self.rp_node);
+        Validator::new(ValidationConfig::at(now)).run_sharded(
+            &mut source,
+            std::slice::from_ref(&self.tal),
+            plan,
+        )
+    }
+
+    /// One incremental sharded revalidation against the persistent
+    /// `state`; composes the per-subtree digest cache with the sharded
+    /// walk.
+    pub fn validate_incremental_sharded(
+        &mut self,
+        now: Moment,
+        plan: ShardPlan,
+        state: &mut ValidationState,
+    ) -> (ValidationRun, ShardStats) {
+        let mut source = NetworkSource::new(&mut self.net, &self.repos, self.rp_node);
+        Validator::new(ValidationConfig::at(now)).run_sharded_incremental(
+            &mut source,
+            std::slice::from_ref(&self.tal),
+            plan,
             state,
         )
     }

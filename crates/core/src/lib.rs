@@ -56,12 +56,13 @@ pub mod tradeoff;
 pub mod validate;
 
 pub use campaign::{
-    run_campaign, run_campaign_cold, run_campaign_traced, standard_campaigns, CampaignOutcome,
-    CampaignSpec, FaultKind, FaultWindow, RoundMetrics, RpTier, TierOutcome, TierTotals,
+    run_campaign, run_campaign_cold, run_campaign_shared, run_campaign_traced, standard_campaigns,
+    CampaignOutcome, CampaignSpec, DivergenceMetrics, FaultKind, FaultWindow, HostLoad,
+    RoundMetrics, RpTier, SharedCampaignOutcome, TierOutcome, TierTotals,
 };
 pub use downgrade::{
-    run_downgrade_scenario, run_downgrade_scheduled, DowngradeOutcome, DowngradeRound,
-    DowngradeSchedule,
+    run_downgrade_scenario, run_downgrade_scheduled, run_downgrade_traced, DowngradeOutcome,
+    DowngradeRound, DowngradeSchedule,
 };
 pub use fixtures::{ModelRpki, SyntheticRpki};
 pub use grid::{collapse_bands, validity_grid, Band, GridRow};

@@ -33,7 +33,7 @@ use rpki_objects::Moment;
 use rpki_repo::{RrdpClientState, SyncPolicy};
 use rpki_rp::{
     DirectSource, NetworkSource, ObjectSource, ResilientSource, ResilientState, RrdpSource,
-    ValidationConfig, ValidationRun, ValidationState, Validator,
+    ShardPlan, ShardStats, ValidationConfig, ValidationRun, ValidationState, Validator,
 };
 
 use crate::fixtures::ModelRpki;
@@ -56,6 +56,7 @@ pub struct ValidationOptions<'a> {
     incremental: Option<&'a mut ValidationState>,
     rrdp: Option<&'a mut RrdpClientState>,
     rrdp_verify: bool,
+    shards: Option<ShardPlan>,
 }
 
 impl<'a> ValidationOptions<'a> {
@@ -72,6 +73,7 @@ impl<'a> ValidationOptions<'a> {
             incremental: None,
             rrdp: None,
             rrdp_verify: true,
+            shards: None,
         }
     }
 
@@ -150,6 +152,16 @@ impl<'a> ValidationOptions<'a> {
         self.rrdp_verify = false;
         self
     }
+
+    /// Execute the walk as independent per-publication-point shard
+    /// units under `plan`'s deterministic work-stealing scheduler. The
+    /// output is byte-identical to the unsharded walk for any shard
+    /// count; scheduler statistics are emitted through the world's
+    /// recorder. Composes with [`incremental`](Self::incremental).
+    pub fn sharded(mut self, plan: ShardPlan) -> Self {
+        self.shards = Some(plan);
+        self
+    }
 }
 
 fn run_stack<S: ObjectSource>(
@@ -157,24 +169,38 @@ fn run_stack<S: ObjectSource>(
     source: S,
     stale_cache: Option<&mut ResilientState>,
     incremental: Option<&mut ValidationState>,
+    shards: Option<ShardPlan>,
     tals: &[rpki_objects::TrustAnchorLocator],
-) -> ValidationRun {
-    match (stale_cache, incremental) {
-        (Some(state), Some(inc)) => {
+) -> (ValidationRun, Option<ShardStats>) {
+    fn walk(
+        config: ValidationConfig,
+        source: &mut dyn ObjectSource,
+        incremental: Option<&mut ValidationState>,
+        shards: Option<ShardPlan>,
+        tals: &[rpki_objects::TrustAnchorLocator],
+    ) -> (ValidationRun, Option<ShardStats>) {
+        match (shards, incremental) {
+            (Some(plan), Some(inc)) => {
+                let (run, stats) =
+                    Validator::new(config).run_sharded_incremental(source, tals, plan, inc);
+                (run, Some(stats))
+            }
+            (Some(plan), None) => {
+                let (run, stats) = Validator::new(config).run_sharded(source, tals, plan);
+                (run, Some(stats))
+            }
+            (None, Some(inc)) => (Validator::new(config).run_incremental(source, tals, inc), None),
+            (None, None) => (Validator::new(config).run(source, tals), None),
+        }
+    }
+    match stale_cache {
+        Some(state) => {
             let mut source = ResilientSource::new(source, state);
-            Validator::new(config).run_incremental(&mut source, tals, inc)
+            walk(config, &mut source, incremental, shards, tals)
         }
-        (Some(state), None) => {
-            let mut source = ResilientSource::new(source, state);
-            Validator::new(config).run(&mut source, tals)
-        }
-        (None, Some(inc)) => {
+        None => {
             let mut source = source;
-            Validator::new(config).run_incremental(&mut source, tals, inc)
-        }
-        (None, None) => {
-            let mut source = source;
-            Validator::new(config).run(&mut source, tals)
+            walk(config, &mut source, incremental, shards, tals)
         }
     }
 }
@@ -194,6 +220,7 @@ impl ModelRpki {
             mut incremental,
             rrdp,
             rrdp_verify,
+            shards,
         } = opts;
         let rec = self.net.recorder();
         let config =
@@ -202,12 +229,13 @@ impl ModelRpki {
             state.set_recorder(rec.clone());
         }
         let tals = std::slice::from_ref(&self.tal);
-        let run = if direct {
+        let (run, shard_stats) = if direct {
             run_stack(
                 config,
                 DirectSource::new(&self.repos),
                 stale_cache,
                 incremental.as_deref_mut(),
+                shards,
                 tals,
             )
         } else if let Some(state) = rrdp {
@@ -217,7 +245,7 @@ impl ModelRpki {
             if !rrdp_verify {
                 source = source.trusting();
             }
-            run_stack(config, source, stale_cache, incremental.as_deref_mut(), tals)
+            run_stack(config, source, stale_cache, incremental.as_deref_mut(), shards, tals)
         } else {
             let source = match retry {
                 Some(policy) => {
@@ -225,9 +253,12 @@ impl ModelRpki {
                 }
                 None => NetworkSource::new(&mut self.net, &self.repos, self.rp_node),
             };
-            run_stack(config, source, stale_cache, incremental.as_deref_mut(), tals)
+            run_stack(config, source, stale_cache, incremental.as_deref_mut(), shards, tals)
         };
         run.emit(&rec, now.0);
+        if let Some(stats) = shard_stats {
+            stats.emit(&rec, now.0);
+        }
         if let Some(state) = incremental {
             state.stats().emit(&rec, now.0);
         }
@@ -403,6 +434,31 @@ mod tests {
         assert_eq!(v.vrps.len(), 7, "the verified RP sees the truth via the downgrade");
         assert!(verified.stats().pinned_detected > 0);
         assert_eq!(trusting.stats().pinned_detected, 0);
+    }
+
+    #[test]
+    fn sharded_option_matches_unsharded_and_traces() {
+        let mut plain = ModelRpki::build_seeded(5);
+        let mut sharded = ModelRpki::build_seeded(5);
+        let rec = Recorder::new();
+        sharded.net.set_recorder(rec.clone());
+        let a = plain.validate_with(ValidationOptions::at(Moment(2)));
+        let b = sharded.validate_with(ValidationOptions::at(Moment(2)).sharded(ShardPlan::new(4)));
+        assert_eq!(a, b, "sharded walk must be byte-identical to the sequential walk");
+        assert_eq!(rec.metrics().counter("rp.shard.runs"), 1);
+        assert!(rec.events().iter().any(|e| e.layer == "rp" && e.kind == "sharded_walk"));
+        // Composes with the incremental cache: a quiet sharded re-run
+        // replays every subtree.
+        let mut state = ValidationState::full();
+        let warm = sharded.validate_with(
+            ValidationOptions::at(Moment(3)).sharded(ShardPlan::new(4)).incremental(&mut state),
+        );
+        assert_eq!(warm.vrps, a.vrps);
+        let again = sharded.validate_with(
+            ValidationOptions::at(Moment(4)).sharded(ShardPlan::new(4)).incremental(&mut state),
+        );
+        assert_eq!(again.vrps, a.vrps);
+        assert_eq!(state.stats().subtrees_reused, 4);
     }
 
     #[test]

@@ -158,7 +158,7 @@ pub fn sync_dir_incremental(
 /// signature stable).
 fn answer(repos: &RepoRegistry, node: NodeId, req: &RsyncRequest) -> RsyncResponse {
     let repo = repos.get(node);
-    match (repo, req) {
+    let resp = match (repo, req) {
         (Some(repo), RsyncRequest::List { dir }) => {
             let entries = repo.list(dir);
             if entries.is_empty() {
@@ -182,7 +182,14 @@ fn answer(repos: &RepoRegistry, node: NodeId, req: &RsyncRequest) -> RsyncRespon
         (None, RsyncRequest::Get { dir, name }) => {
             RsyncResponse::NotFound { dir: dir.clone(), name: Some(name.clone()) }
         }
+    };
+    if let Some(repo) = repo {
+        let (RsyncRequest::List { dir }
+        | RsyncRequest::Get { dir, .. }
+        | RsyncRequest::Digest { dir }) = req;
+        repo.note_served(dir, resp.to_bytes().len());
     }
+    resp
 }
 
 /// Convenience: a full (non-incremental) sync that also updates the

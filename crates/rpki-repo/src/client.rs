@@ -26,6 +26,8 @@ use rpkisim_crypto::{sha256, Digest};
 use serde::Serialize;
 
 use crate::proto::{RsyncRequest, RsyncResponse};
+#[cfg(test)]
+use crate::store::DirLoad;
 use crate::store::Repository;
 
 /// Timer token used for per-attempt deadlines.
@@ -96,7 +98,7 @@ impl RepoRegistry {
                 }
             };
         };
-        match req {
+        let resp = match req {
             RsyncRequest::List { dir } => {
                 let entries = repo.list(dir);
                 if entries.is_empty() {
@@ -116,7 +118,12 @@ impl RepoRegistry {
             RsyncRequest::Digest { dir } => {
                 RsyncResponse::DirDigest { dir: dir.clone(), digest: repo.content_digest(dir) }
             }
-        }
+        };
+        let (RsyncRequest::List { dir }
+        | RsyncRequest::Get { dir, .. }
+        | RsyncRequest::Digest { dir }) = req;
+        repo.note_served(dir, resp.to_bytes().len());
+        resp
     }
 }
 
@@ -761,6 +768,27 @@ mod tests {
         assert_eq!(out.files.len(), 2);
         assert_eq!(out.files["a.roa"], vec![1, 2, 3]);
         assert_eq!(out.files["b.cer"], vec![4, 5]);
+    }
+
+    #[test]
+    fn served_load_counts_frames_and_bytes_per_dir() {
+        let (mut net, repos, client, server, dir) = world();
+        let out = sync_dir(&mut net, &repos, client, &dir);
+        assert!(out.is_complete());
+        // One listing + two file responses.
+        let repo = repos.get(server).unwrap();
+        let per_dir = repo.served_load();
+        assert_eq!(per_dir.len(), 1);
+        assert_eq!(per_dir[0].0, dir);
+        assert_eq!(per_dir[0].1.frames, 3);
+        assert!(per_dir[0].1.bytes > 5, "bytes: {}", per_dir[0].1.bytes);
+        assert_eq!(repo.served_total(), per_dir[0].1);
+        // Accounting is per sync: a second RP doubles it.
+        let rp2 = net.add_node("relying-party-2");
+        sync_dir(&mut net, &repos, rp2, &dir);
+        assert_eq!(repos.get(server).unwrap().served_total().frames, 6);
+        repos.get(server).unwrap().reset_served_load();
+        assert_eq!(repos.get(server).unwrap().served_total(), DirLoad::default());
     }
 
     #[test]

@@ -40,4 +40,4 @@ pub use rrdp::{
     rrdp_probe_dir, rrdp_sync_dir, DeltaChange, DeltaRef, RrdpClientState, RrdpError, RrdpRequest,
     RrdpResponse, RrdpStats, RrdpSyncKind, MAX_DELTAS,
 };
-pub use store::Repository;
+pub use store::{DirLoad, Repository};

@@ -489,6 +489,17 @@ impl Decode for RrdpResponse {
 /// logs, honouring the misbehaviour knobs (offline, withheld deltas,
 /// pinned views).
 pub(crate) fn answer_rrdp(repos: &RepoRegistry, node: NodeId, req: &RrdpRequest) -> RrdpResponse {
+    let resp = answer_rrdp_inner(repos, node, req);
+    if let Some(repo) = repos.get(node) {
+        let (RrdpRequest::Notification { dir }
+        | RrdpRequest::Snapshot { dir, .. }
+        | RrdpRequest::Delta { dir, .. }) = req;
+        repo.note_served(dir, resp.to_bytes().len());
+    }
+    resp
+}
+
+fn answer_rrdp_inner(repos: &RepoRegistry, node: NodeId, req: &RrdpRequest) -> RrdpResponse {
     let (dir, req_serial) = match req {
         RrdpRequest::Notification { dir } => (dir, None),
         RrdpRequest::Snapshot { dir, serial } | RrdpRequest::Delta { dir, serial } => {

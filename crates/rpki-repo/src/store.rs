@@ -1,5 +1,6 @@
 //! The at-rest object store of one repository host.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use ipres::{Asn, Prefix};
@@ -7,6 +8,7 @@ use netsim::NodeId;
 use rpki_ca::PublicationSnapshot;
 use rpki_objects::{Encode, RepoUri};
 use rpkisim_crypto::{sha256, Digest};
+use serde::Serialize;
 
 use crate::client::dir_content_digest;
 use crate::rrdp::{session_seed, snapshot_digest, DeltaChange, PublicationLog, RrdpView};
@@ -99,6 +101,25 @@ fn empty_dir_digest() -> Digest {
     dir_content_digest(&[], &[], &[])
 }
 
+/// Wire-level load one publication point has served: every answered
+/// request counts one frame plus its encoded response bytes. Shared
+/// worlds use this to show what many relying parties cost one server —
+/// the fan-in the paper's Stalloris successor measured in the wild.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DirLoad {
+    /// Response frames served (one per answered request).
+    pub frames: u64,
+    /// Encoded response bytes served.
+    pub bytes: u64,
+}
+
+impl DirLoad {
+    /// Component-wise sum.
+    pub fn plus(self, other: DirLoad) -> DirLoad {
+        DirLoad { frames: self.frames + other.frames, bytes: self.bytes + other.bytes }
+    }
+}
+
 /// One repository host: a named server carrying any number of
 /// publication-point directories, each holding named files.
 ///
@@ -126,6 +147,11 @@ pub struct Repository {
     /// Misbehaviour knob: answer delta requests with NotFound while the
     /// notification still advertises them, forcing snapshot churn.
     rrdp_withhold_deltas: bool,
+    /// Served-load ledger, keyed per requested directory. Interior
+    /// mutability because the answer paths only hold `&Repository`;
+    /// the ledger never crosses threads (all simulated I/O runs on the
+    /// coordinating thread, even under the sharded validator).
+    load: RefCell<BTreeMap<Vec<String>, DirLoad>>,
 }
 
 impl Repository {
@@ -139,7 +165,44 @@ impl Repository {
             hosted_at: None,
             rrdp_offline: false,
             rrdp_withhold_deltas: false,
+            load: RefCell::new(BTreeMap::new()),
         }
+    }
+
+    /// Records one served response frame of `bytes` encoded bytes for
+    /// `dir`. Misdirected requests (another host's directory) are not
+    /// attributed.
+    pub fn note_served(&self, dir: &RepoUri, bytes: usize) {
+        if dir.host() != self.host {
+            return;
+        }
+        let mut load = self.load.borrow_mut();
+        let entry = load.entry(dir.path().to_vec()).or_default();
+        entry.frames += 1;
+        entry.bytes += bytes as u64;
+    }
+
+    /// Wire load served per publication point since the last reset,
+    /// in directory order.
+    pub fn served_load(&self) -> Vec<(RepoUri, DirLoad)> {
+        self.load
+            .borrow()
+            .iter()
+            .map(|(path, l)| {
+                let parts: Vec<&str> = path.iter().map(String::as_str).collect();
+                (RepoUri::new(&self.host, &parts), *l)
+            })
+            .collect()
+    }
+
+    /// Total wire load this host has served since the last reset.
+    pub fn served_total(&self) -> DirLoad {
+        self.load.borrow().values().fold(DirLoad::default(), |acc, l| acc.plus(*l))
+    }
+
+    /// Clears the served-load ledger (e.g. between campaign rounds).
+    pub fn reset_served_load(&self) {
+        self.load.borrow_mut().clear();
     }
 
     /// The host name.

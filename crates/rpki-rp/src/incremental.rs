@@ -150,7 +150,7 @@ impl ProcessObservations {
 
     /// The half-open `[lo, hi)` window of validation times over which
     /// every observed comparison keeps its outcome.
-    fn window(&self) -> (u64, u64) {
+    pub(crate) fn window(&self) -> (u64, u64) {
         (self.lo, self.hi)
     }
 }
@@ -255,30 +255,30 @@ impl RevalidationStats {
 /// One memoized publication-point walk: the full key it was computed
 /// under plus everything processing pushed into the run.
 #[derive(Debug, Clone)]
-struct CacheEntry {
-    cert_digest: Digest,
-    effective: ResourceSet,
-    depth: usize,
-    incomplete: IncompletePolicy,
-    overclaim: OverclaimPolicy,
-    max_depth: usize,
-    dir: String,
-    dir_digest: Digest,
+pub(crate) struct CacheEntry {
+    pub(crate) cert_digest: Digest,
+    pub(crate) effective: ResourceSet,
+    pub(crate) depth: usize,
+    pub(crate) incomplete: IncompletePolicy,
+    pub(crate) overclaim: OverclaimPolicy,
+    pub(crate) max_depth: usize,
+    pub(crate) dir: String,
+    pub(crate) dir_digest: Digest,
     /// `[lo, hi)` of validation times preserving every time comparison.
-    window: (u64, u64),
+    pub(crate) window: (u64, u64),
     /// Certificate subject keys seen in the directory: replay requires
     /// the chain's ancestors to be disjoint from these.
-    child_keys: BTreeSet<KeyId>,
-    ca: ValidatedCa,
-    diagnostics: Vec<Diagnostic>,
-    accepted_roas: Vec<(String, String)>,
-    vrps: Vec<Vrp>,
-    vrp_records: Vec<VrpRecord>,
-    revocations: Vec<(KeyId, u64)>,
+    pub(crate) child_keys: BTreeSet<KeyId>,
+    pub(crate) ca: ValidatedCa,
+    pub(crate) diagnostics: Vec<Diagnostic>,
+    pub(crate) accepted_roas: Vec<(String, String)>,
+    pub(crate) vrps: Vec<Vrp>,
+    pub(crate) vrp_records: Vec<VrpRecord>,
+    pub(crate) revocations: Vec<(KeyId, u64)>,
     /// Child CAs in the order processing queued them, each with its
     /// cert digest precomputed so replayed subtrees never re-encode or
     /// re-hash certificates.
-    children: Vec<(rpki_objects::ResourceCert, ResourceSet, Digest)>,
+    pub(crate) children: Vec<(rpki_objects::ResourceCert, ResourceSet, Digest)>,
 }
 
 /// Persistent memory of an incremental relying party: the per-CA
@@ -287,11 +287,11 @@ struct CacheEntry {
 /// [`Validator::run_incremental`] each revalidation.
 #[derive(Debug)]
 pub struct ValidationState {
-    mode: RevalidationMode,
-    entries: BTreeMap<KeyId, CacheEntry>,
-    last_vrps: Option<Vec<Vrp>>,
-    last_delta: VrpDelta,
-    stats: RevalidationStats,
+    pub(crate) mode: RevalidationMode,
+    pub(crate) entries: BTreeMap<KeyId, CacheEntry>,
+    pub(crate) last_vrps: Option<Vec<Vrp>>,
+    pub(crate) last_delta: VrpDelta,
+    pub(crate) stats: RevalidationStats,
 }
 
 impl ValidationState {
@@ -524,7 +524,7 @@ impl Validator {
     /// walk queued them, so the overall traversal — and therefore every
     /// order-sensitive output vector — is identical. Freshness is live:
     /// it reports how *this* round obtained (or confirmed) the data.
-    fn replay(
+    pub(crate) fn replay(
         entry: &CacheEntry,
         freshness: Freshness,
         item: &WorkItem,

@@ -27,6 +27,7 @@ pub mod ov;
 pub mod resilience;
 pub mod rrdp;
 pub mod rtr;
+pub mod shard;
 pub mod source;
 pub mod validation;
 pub mod vrp;
@@ -36,6 +37,7 @@ pub use ov::{Route, RouteValidity};
 pub use resilience::{FetchHealth, ResilienceConfig, ResilientState};
 pub use rrdp::RrdpSource;
 pub use rtr::{ClientAction, Delta, RtrClient, RtrPdu, RtrServer};
+pub use shard::{ShardPlan, ShardStats};
 pub use source::{DirectSource, NetworkSource, ObjectSource, ResilientSource};
 pub use validation::{
     Diagnostic, IncompletePolicy, Issue, OverclaimPolicy, ValidationConfig, ValidationRun,

@@ -1,0 +1,805 @@
+//! Deterministic sharded validation: the per-publication-point subtree
+//! walks of [`Validator::run`] become independent shard units executed
+//! by a seeded work-stealing scheduler, with a canonical merge that
+//! makes the N-shard output **byte-identical** to the sequential walk.
+//!
+//! # How determinism survives parallelism
+//!
+//! The walk proceeds in *waves*: the frontier of pending publication
+//! points at one depth. Each wave runs in three stages:
+//!
+//! 1. **Canonical-order I/O (coordinator).** The frontier is sorted by
+//!    its [DFS key](#dfs-keys) and every directory is loaded by the
+//!    coordinator, one at a time, in that order. Transport traffic is
+//!    therefore a pure function of the world — independent of the
+//!    shard count — so seeded fault dice are consumed identically
+//!    whether the walk runs on 1 shard or 8. Incremental cache probes
+//!    and digest checks (PR 4) happen here too, per publication point,
+//!    so the memo cache composes with sharding unchanged.
+//! 2. **Sharded CPU work (workers).** Decode, signature verification,
+//!    manifest/CRL checks, and resource containment — the expensive
+//!    part — run on `shards` worker threads. Slots are assigned to
+//!    shards by a seeded hash (`splitmix64(seed, wave, slot)`); an
+//!    idle worker steals from the back of a neighbour's deque. Each
+//!    item produces a self-contained *fragment* (its slice of the
+//!    run), so racing workers never touch shared output.
+//! 3. **Canonical merge (coordinator).** Fragments are stitched back
+//!    in ascending DFS-key order — the exact order the sequential
+//!    LIFO walk processes items — and cache insertions are applied in
+//!    that same order. Scheduling jitter can change *which worker*
+//!    computes a fragment, never *where* the fragment lands.
+//!
+//! # DFS keys
+//!
+//! Every work item carries a path key `Vec<u32>`: trust anchor `i` of
+//! `k` gets `[k-1-i]`, and a child queued at push-rank `r` of `n`
+//! extends its parent's key with `n-1-r`. Ascending lexicographic
+//! order over these keys is exactly the order `Validator::run`'s
+//! LIFO queue pops items (parents before children, later-pushed
+//! siblings first), so concatenating fragments in key order
+//! reproduces every order-sensitive output vector byte for byte.
+//!
+//! # Equivalence guarantees
+//!
+//! - `run_sharded(N)` ≡ `run_sharded(M)` for all N, M — always,
+//!   including under seeded faults, because I/O order and merge order
+//!   are both shard-count independent.
+//! - `run_sharded(N)` ≡ [`Validator::run`] over order-insensitive
+//!   sources ([`DirectSource`](crate::DirectSource), or a fault-free
+//!   network): the wave walk loads directories in a different *order*
+//!   than the depth-first walk, which only matters to transports whose
+//!   answers depend on request ordering.
+//!
+//! Timing data (per-shard busy time, steal counts) is inherently
+//! nondeterministic; it lives only in the returned [`ShardStats`] and
+//! is **never** emitted into trace events, which must stay replayable
+//! byte for byte.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ipres::ResourceSet;
+use rpki_objects::{Encode, TrustAnchorLocator};
+use rpki_obs::Recorder;
+use rpki_repo::{Freshness, SyncOutcome};
+use rpkisim_crypto::{sha256, Digest, KeyId};
+use serde::Serialize;
+
+use crate::incremental::{
+    CacheEntry, ProcessObservations, RevalidationMode, RevalidationStats, ValidationState, VrpDelta,
+};
+use crate::source::ObjectSource;
+use crate::validation::{Diagnostic, Issue, ValidationConfig, ValidationRun, Validator, WorkItem};
+
+/// How a sharded walk distributes work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ShardPlan {
+    /// Number of shard workers (clamped to ≥ 1).
+    pub shards: usize,
+    /// Seed for the shard-assignment hash. Different seeds permute
+    /// which shard initially owns which item; the merged output is
+    /// identical for every seed.
+    pub seed: u64,
+}
+
+impl ShardPlan {
+    /// A plan with `shards` workers and the default seed.
+    pub fn new(shards: usize) -> Self {
+        ShardPlan::seeded(shards, 0x5eed_cafe)
+    }
+
+    /// A plan with `shards` workers and an explicit assignment seed.
+    pub fn seeded(shards: usize, seed: u64) -> Self {
+        ShardPlan { shards: shards.max(1), seed }
+    }
+}
+
+/// What one sharded walk did.
+///
+/// The deterministic fields (`shards`, `waves`, `items`, `assigned`)
+/// are a pure function of the world and the plan. The timing fields
+/// (`busy_ns`, `critical_path_ns`, `processed`, `steals`) are
+/// wall-clock measurements and vary run to run — they are returned
+/// here for benchmarking but deliberately kept out of trace events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct ShardStats {
+    /// Worker count the walk ran with.
+    pub shards: usize,
+    /// Frontier waves executed (= deepest processed depth + 1).
+    pub waves: u64,
+    /// Publication-point items processed across all waves.
+    pub items: u64,
+    /// Items initially assigned to each shard by the seeded hash
+    /// (before stealing) — deterministic.
+    pub assigned: Vec<u64>,
+    /// Items each worker actually processed (own plus stolen).
+    pub processed: Vec<u64>,
+    /// Items that ran on a different shard than assigned.
+    pub steals: u64,
+    /// Per-shard busy time, nanoseconds, summed over waves.
+    pub busy_ns: Vec<u64>,
+    /// Total busy time across all shards (the sequential CPU cost of
+    /// the sharded stage).
+    pub busy_total_ns: u64,
+    /// Sum over waves of the *maximum* per-shard busy time in that
+    /// wave: the schedule's critical path. With perfect balance this
+    /// approaches `busy_total_ns / shards`.
+    pub critical_path_ns: u64,
+}
+
+impl ShardStats {
+    /// The schedule's load-balance speedup: total busy time divided by
+    /// the critical path. This is the factor by which the sharded
+    /// stage beats the sequential walk *given one core per shard* —
+    /// it measures the quality of the work distribution independently
+    /// of how many physical cores the host happens to have.
+    pub fn model_speedup(&self) -> f64 {
+        if self.critical_path_ns == 0 {
+            return 1.0;
+        }
+        self.busy_total_ns as f64 / self.critical_path_ns as f64
+    }
+
+    /// Emits the walk's deterministic shape into `rec` at simulated
+    /// time `at`. Timing fields are intentionally omitted: traces must
+    /// replay byte-identically.
+    pub fn emit(&self, rec: &Recorder, at: u64) {
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.count("rp.shard.runs", 1);
+        rec.observe("rp.shard.items_per_run", self.items);
+        rec.event(at, "rp", "sharded_walk")
+            .u64("shards", self.shards as u64)
+            .u64("waves", self.waves)
+            .u64("items", self.items)
+            .u64("assigned_min", self.assigned.iter().copied().min().unwrap_or(0))
+            .u64("assigned_max", self.assigned.iter().copied().max().unwrap_or(0))
+            .emit();
+    }
+}
+
+/// SplitMix64: the seeded, stateless shard-assignment hash.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The shard an item at `slot` of `wave` is initially assigned to.
+fn assign(plan: ShardPlan, wave: u64, slot: usize) -> usize {
+    (splitmix64(plan.seed ^ splitmix64((wave << 32) | slot as u64)) % plan.shards as u64) as usize
+}
+
+/// One item's self-contained output: its fragment of the run plus the
+/// children it queued, in push order.
+struct ItemOutput {
+    frag: ValidationRun,
+    children: Vec<WorkItem>,
+    /// Present when the item was processed with cache observations
+    /// (incremental miss path).
+    obs: Option<ProcessObservations>,
+}
+
+/// A unit of sharded CPU work: everything a worker needs, I/O already
+/// done.
+struct PendingJob {
+    item: WorkItem,
+    outcome: SyncOutcome,
+    with_obs: bool,
+}
+
+/// Coordinator-side facts needed to memoize a job's result after the
+/// wave completes (incremental mode only).
+struct MemoMeta {
+    key: KeyId,
+    cert_digest: Digest,
+    dir: String,
+    dir_digest: Option<Digest>,
+    depth: usize,
+    effective: ResourceSet,
+}
+
+/// What stage 1 decided about one frontier slot.
+enum Prepared {
+    /// Resolved on the coordinator (depth guard or cache replay).
+    Done(Box<ItemOutput>),
+    /// Needs worker processing.
+    Job(Box<PendingJob>),
+}
+
+struct WorkerOut {
+    results: Vec<(usize, ItemOutput)>,
+    busy: u64,
+    processed: u64,
+    steals: u64,
+}
+
+fn append(run: &mut ValidationRun, frag: ValidationRun) {
+    run.vrps.extend(frag.vrps);
+    run.vrp_records.extend(frag.vrp_records);
+    run.cas.extend(frag.cas);
+    run.accepted_roas.extend(frag.accepted_roas);
+    run.revocations.extend(frag.revocations);
+    run.diagnostics.extend(frag.diagnostics);
+    run.freshness.extend(frag.freshness);
+}
+
+/// Runs one job: validated-CA entry, then the full publication-point
+/// walk into a private fragment. Pure CPU — no I/O, no shared state.
+fn process_job(v: &Validator, job: PendingJob) -> ItemOutput {
+    let mut frag = ValidationRun::default();
+    let mut children = Vec::new();
+    frag.cas.push(Validator::validated_ca(&job.item));
+    if job.with_obs {
+        let mut obs = ProcessObservations::at(v.config().now.0);
+        v.process_pubpoint(job.item, job.outcome, &mut frag, &mut children, Some(&mut obs));
+        ItemOutput { frag, children, obs: Some(obs) }
+    } else {
+        v.process_pubpoint(job.item, job.outcome, &mut frag, &mut children, None);
+        ItemOutput { frag, children, obs: None }
+    }
+}
+
+impl Validator {
+    /// Runs validation from `tals` over `source` with the walk sharded
+    /// per `plan`. The merged [`ValidationRun`] is byte-identical to
+    /// [`Validator::run`] over order-insensitive sources, and
+    /// byte-identical across shard counts unconditionally (see the
+    /// [module docs](self)).
+    pub fn run_sharded(
+        &self,
+        source: &mut dyn ObjectSource,
+        tals: &[TrustAnchorLocator],
+        plan: ShardPlan,
+    ) -> (ValidationRun, ShardStats) {
+        self.run_sharded_inner(source, tals, plan, None)
+    }
+
+    /// [`Validator::run_sharded`] composed with the PR 4 memo cache:
+    /// cached subtrees replay on the coordinator (including LIST-only
+    /// digest probes in [`RevalidationMode::Probe`]), and only cache
+    /// misses fan out to the shard workers. Afterwards `state` holds
+    /// the VRP delta and [`RevalidationStats`] exactly as
+    /// [`Validator::run_incremental`] would leave them.
+    pub fn run_sharded_incremental(
+        &self,
+        source: &mut dyn ObjectSource,
+        tals: &[TrustAnchorLocator],
+        plan: ShardPlan,
+        state: &mut ValidationState,
+    ) -> (ValidationRun, ShardStats) {
+        self.run_sharded_inner(source, tals, plan, Some(state))
+    }
+
+    fn run_sharded_inner(
+        &self,
+        source: &mut dyn ObjectSource,
+        tals: &[TrustAnchorLocator],
+        plan: ShardPlan,
+        mut state: Option<&mut ValidationState>,
+    ) -> (ValidationRun, ShardStats) {
+        let shards = plan.shards.max(1);
+        let config = self.config();
+        let mut stats = ShardStats {
+            shards,
+            assigned: vec![0; shards],
+            processed: vec![0; shards],
+            busy_ns: vec![0; shards],
+            ..ShardStats::default()
+        };
+        let mut inc_stats = RevalidationStats::default();
+        let mut run = ValidationRun::default();
+
+        // Seed the frontier from the TALs, mirroring `run`: rejected
+        // TALs diagnose straight into the run (before any fragment),
+        // accepted ones get the canonical key of their pop order.
+        let mut frontier: Vec<(Vec<u32>, WorkItem)> = Vec::new();
+        let k = tals.len();
+        for (i, tal) in tals.iter().enumerate() {
+            match self.fetch_ta(source, tal) {
+                Some(cert) => {
+                    let effective = cert.data().resources.clone();
+                    frontier.push((
+                        vec![(k - 1 - i) as u32],
+                        WorkItem {
+                            cert,
+                            effective,
+                            depth: 0,
+                            ancestors: BTreeSet::new(),
+                            digest: None,
+                        },
+                    ));
+                }
+                None => run.diagnostics.push(Diagnostic {
+                    ca: "(trust anchor)".to_owned(),
+                    dir: tal.uri.to_string(),
+                    issue: Issue::TalRejected,
+                }),
+            }
+        }
+
+        let mut fragments: Vec<(Vec<u32>, ValidationRun)> = Vec::new();
+        let mut wave_idx: u64 = 0;
+
+        while !frontier.is_empty() {
+            frontier.sort_by(|a, b| a.0.cmp(&b.0));
+            stats.waves += 1;
+            stats.items += frontier.len() as u64;
+
+            // -- Stage 1: canonical-order I/O and cache decisions. --
+            let n = frontier.len();
+            let mut keys: Vec<Vec<u32>> = Vec::with_capacity(n);
+            let mut memos: Vec<Option<MemoMeta>> = Vec::with_capacity(n);
+            let mut outputs: Vec<Option<ItemOutput>> = Vec::with_capacity(n);
+            let mut jobs: Vec<Mutex<Option<PendingJob>>> = Vec::with_capacity(n);
+            let mut pending: Vec<usize> = Vec::new();
+            for (slot, (key_path, item)) in frontier.drain(..).enumerate() {
+                keys.push(key_path);
+                let (prepared, memo) =
+                    self.prepare(source, item, state.as_deref_mut(), &mut inc_stats);
+                memos.push(memo);
+                match prepared {
+                    Prepared::Done(out) => {
+                        outputs.push(Some(*out));
+                        jobs.push(Mutex::new(None));
+                    }
+                    Prepared::Job(job) => {
+                        outputs.push(None);
+                        jobs.push(Mutex::new(Some(*job)));
+                        pending.push(slot);
+                    }
+                }
+            }
+
+            // -- Stage 2: seeded assignment, work-stealing execution. --
+            if !pending.is_empty() {
+                let queues: Vec<Mutex<VecDeque<usize>>> =
+                    (0..shards).map(|_| Mutex::new(VecDeque::new())).collect();
+                for (pos, &slot) in pending.iter().enumerate() {
+                    let shard = assign(plan, wave_idx, pos);
+                    stats.assigned[shard] += 1;
+                    queues[shard].lock().expect("queue lock").push_back(slot);
+                }
+                let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..shards)
+                        .map(|w| {
+                            let queues = &queues;
+                            let jobs = &jobs;
+                            let v = *self;
+                            s.spawn(move || {
+                                let mut out = WorkerOut {
+                                    results: Vec::new(),
+                                    busy: 0,
+                                    processed: 0,
+                                    steals: 0,
+                                };
+                                loop {
+                                    // Own deque first (front), then
+                                    // steal from the back of the next
+                                    // non-empty neighbour. Each pop is
+                                    // bound to a `let` so its lock
+                                    // guard drops before the next
+                                    // queue is touched — holding one
+                                    // queue while probing another
+                                    // would deadlock two stealers.
+                                    let own = queues[w].lock().expect("queue lock").pop_front();
+                                    let mut found = own.map(|i| (i, false));
+                                    if found.is_none() {
+                                        for d in 1..shards {
+                                            let q = (w + d) % shards;
+                                            let stolen =
+                                                queues[q].lock().expect("queue lock").pop_back();
+                                            if let Some(i) = stolen {
+                                                found = Some((i, true));
+                                                break;
+                                            }
+                                        }
+                                    }
+                                    let Some((slot, stolen)) = found else { break };
+                                    let job = jobs[slot]
+                                        .lock()
+                                        .expect("job lock")
+                                        .take()
+                                        .expect("job claimed once");
+                                    let t0 = Instant::now();
+                                    let res = process_job(&v, job);
+                                    out.busy += t0.elapsed().as_nanos() as u64;
+                                    out.processed += 1;
+                                    if stolen {
+                                        out.steals += 1;
+                                    }
+                                    out.results.push((slot, res));
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+                });
+                let mut wave_max = 0u64;
+                for (w, out) in outs.into_iter().enumerate() {
+                    wave_max = wave_max.max(out.busy);
+                    stats.busy_ns[w] += out.busy;
+                    stats.busy_total_ns += out.busy;
+                    stats.processed[w] += out.processed;
+                    stats.steals += out.steals;
+                    for (slot, res) in out.results {
+                        outputs[slot] = Some(res);
+                    }
+                }
+                stats.critical_path_ns += wave_max;
+            }
+
+            // -- Stage 3: canonical-order memoization and frontier
+            // extension; fragments are stashed for the final merge. --
+            for (slot, out) in outputs.into_iter().enumerate() {
+                let out = out.expect("every slot resolved");
+                let key_path = std::mem::take(&mut keys[slot]);
+                if let (Some(st), Some(memo)) = (state.as_deref_mut(), memos[slot].take()) {
+                    memoize(st, memo, &out, config);
+                }
+                let n_children = out.children.len();
+                for (r, child) in out.children.into_iter().enumerate() {
+                    let mut ck = key_path.clone();
+                    ck.push((n_children - 1 - r) as u32);
+                    frontier.push((ck, child));
+                }
+                fragments.push((key_path, out.frag));
+            }
+            wave_idx += 1;
+        }
+
+        // -- Canonical merge: ascending DFS-key order is exactly the
+        // sequential walk's processing order. --
+        fragments.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_, frag) in fragments {
+            append(&mut run, frag);
+        }
+        Validator::finish(&mut run);
+
+        if let Some(state) = state {
+            let prev = state.last_vrps.take().unwrap_or_default();
+            let delta = VrpDelta::between(&prev, &run.vrps);
+            inc_stats.announced = delta.announce.len() as u64;
+            inc_stats.withdrawn = delta.withdraw.len() as u64;
+            state.last_vrps = Some(run.vrps.clone());
+            state.last_delta = delta;
+            state.stats = inc_stats;
+        }
+        (run, stats)
+    }
+
+    /// Stage-1 decision for one frontier item: resolve it on the
+    /// coordinator (depth guard, cache replay) or load its directory
+    /// and package a worker job. Mirrors `step` from the incremental
+    /// walk, minus the processing itself.
+    fn prepare(
+        &self,
+        source: &mut dyn ObjectSource,
+        item: WorkItem,
+        state: Option<&mut ValidationState>,
+        inc: &mut RevalidationStats,
+    ) -> (Prepared, Option<MemoMeta>) {
+        let config = self.config();
+        if item.depth >= config.max_depth {
+            if state.is_some() {
+                inc.subtrees_rewalked += 1;
+            }
+            let mut frag = ValidationRun::default();
+            frag.cas.push(Validator::validated_ca(&item));
+            frag.diagnostics.push(Diagnostic {
+                ca: item.cert.data().subject.clone(),
+                dir: item.cert.data().sia.to_string(),
+                issue: Issue::DepthExceeded,
+            });
+            return (
+                Prepared::Done(Box::new(ItemOutput { frag, children: Vec::new(), obs: None })),
+                None,
+            );
+        }
+        let dir = item.cert.data().sia.clone();
+        let Some(state) = state else {
+            let outcome = source.load_dir(&dir);
+            return (Prepared::Job(Box::new(PendingJob { item, outcome, with_obs: false })), None);
+        };
+
+        let key = item.cert.data().subject_key.id();
+        let cert_digest = item.digest.unwrap_or_else(|| sha256(&item.cert.to_bytes()));
+        let now = config.now.0;
+        let usable = state.entries.get(&key).is_some_and(|e| {
+            e.cert_digest == cert_digest
+                && e.effective == item.effective
+                && e.depth == item.depth
+                && e.incomplete == config.incomplete
+                && e.overclaim == config.overclaim
+                && e.max_depth == config.max_depth
+                && e.window.0 <= now
+                && now < e.window.1
+                && e.child_keys.is_disjoint(&item.ancestors)
+        });
+
+        if usable && state.mode == RevalidationMode::Probe {
+            if let Some(probe) = source.probe_dir(&dir) {
+                inc.probes += 1;
+                let entry = state.entries.get(&key).expect("usable entry present");
+                if probe.listed && probe.content_digest() == Some(entry.dir_digest) {
+                    inc.probe_hits += 1;
+                    inc.subtrees_reused += 1;
+                    return (
+                        Prepared::Done(Box::new(replay_to_fragment(
+                            entry,
+                            Freshness::Fresh,
+                            &item,
+                        ))),
+                        None,
+                    );
+                }
+            }
+        }
+
+        let outcome = source.load_dir(&dir);
+        let dir_digest = outcome.content_digest();
+        if usable {
+            let entry = state.entries.get(&key).expect("usable entry present");
+            if dir_digest == Some(entry.dir_digest) {
+                inc.subtrees_reused += 1;
+                return (
+                    Prepared::Done(Box::new(replay_to_fragment(entry, outcome.freshness, &item))),
+                    None,
+                );
+            }
+        }
+
+        inc.subtrees_rewalked += 1;
+        let memo = MemoMeta {
+            key,
+            cert_digest,
+            dir: dir.to_string(),
+            dir_digest,
+            depth: item.depth,
+            effective: item.effective.clone(),
+        };
+        (Prepared::Job(Box::new(PendingJob { item, outcome, with_obs: true })), Some(memo))
+    }
+}
+
+/// Replays a memoized subtree into a fresh fragment (the sharded
+/// analogue of the incremental walk's `replay`).
+fn replay_to_fragment(entry: &CacheEntry, freshness: Freshness, item: &WorkItem) -> ItemOutput {
+    let mut frag = ValidationRun::default();
+    let mut children = Vec::new();
+    Validator::replay(entry, freshness, item, &mut frag, &mut children);
+    ItemOutput { frag, children, obs: None }
+}
+
+/// Inserts (or invalidates) the cache entry for a freshly rewalked
+/// publication point, exactly as the sequential incremental walk's
+/// mark-slice memoization does.
+fn memoize(
+    state: &mut ValidationState,
+    memo: MemoMeta,
+    out: &ItemOutput,
+    config: ValidationConfig,
+) {
+    let obs = out.obs.as_ref().expect("job slots carry observations");
+    // Unlisted directories have no content digest to key on, and walks
+    // that hit a certificate loop depend on the chain's ancestry:
+    // neither is memoized.
+    let Some(dir_digest) = memo.dir_digest else {
+        state.entries.remove(&memo.key);
+        return;
+    };
+    if obs.loop_seen {
+        state.entries.remove(&memo.key);
+        return;
+    }
+    let entry = CacheEntry {
+        cert_digest: memo.cert_digest,
+        effective: memo.effective,
+        depth: memo.depth,
+        incomplete: config.incomplete,
+        overclaim: config.overclaim,
+        max_depth: config.max_depth,
+        dir: memo.dir,
+        dir_digest,
+        window: obs.window(),
+        child_keys: obs.child_keys.clone(),
+        ca: out.frag.cas[0].clone(),
+        diagnostics: out.frag.diagnostics.clone(),
+        accepted_roas: out.frag.accepted_roas.clone(),
+        vrps: out.frag.vrps.clone(),
+        vrp_records: out.frag.vrp_records.clone(),
+        revocations: out.frag.revocations.clone(),
+        children: out
+            .children
+            .iter()
+            .map(|w| {
+                let digest = w.digest.unwrap_or_else(|| sha256(&w.cert.to_bytes()));
+                (w.cert.clone(), w.effective.clone(), digest)
+            })
+            .collect(),
+    };
+    state.entries.insert(memo.key, entry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::DirectSource;
+    use ipres::{Asn, Prefix, ResourceSet};
+    use netsim::Network;
+    use rpki_ca::CertAuthority;
+    use rpki_objects::{Moment, RepoUri, RoaPrefix, Span};
+    use rpki_repo::RepoRegistry;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    struct Rig {
+        repos: RepoRegistry,
+        tal: TrustAnchorLocator,
+    }
+
+    /// A TA with `n` child CAs, each publishing one ROA at its own
+    /// publication point.
+    fn rig(n: usize) -> Rig {
+        let mut net = Network::new(1);
+        let mut repos = RepoRegistry::new();
+        repos.create(&mut net, "h");
+        let ta_dir = RepoUri::new("h", &["ta"]);
+        let root_dir = RepoUri::new("h", &["repo", "root"]);
+        let mut root = CertAuthority::new("root", "shard-root", root_dir.clone());
+        root.certify_self(ResourceSet::from_prefix_strs("10.0.0.0/8"), Moment(0), Span::days(30));
+        let mut children = Vec::new();
+        for i in 0..n {
+            let dir = RepoUri::new("h", &["repo", &format!("c{i}")]);
+            let mut ca = CertAuthority::new(&format!("c{i}"), &format!("shard-c{i}"), dir.clone());
+            let res = ResourceSet::from_prefix_strs(&format!("10.{i}.0.0/16"));
+            let rc =
+                root.issue_cert(&format!("c{i}"), ca.public_key(), res, dir, Moment(0)).unwrap();
+            ca.install_cert(rc);
+            ca.issue_roa(
+                Asn(64_500 + i as u32),
+                vec![RoaPrefix::exact(p(&format!("10.{i}.0.0/16")))],
+                Moment(0),
+            )
+            .unwrap();
+            children.push(ca);
+        }
+        let tal = TrustAnchorLocator::new(ta_dir.join("root.cer"), root.public_key());
+        {
+            use rpki_objects::RpkiObject;
+            let cert = root.cert().unwrap().clone();
+            let root_snap = root.publication_snapshot(Moment(1));
+            let snaps: Vec<_> = children
+                .iter_mut()
+                .map(|ca| (ca.sia().clone(), ca.publication_snapshot(Moment(1))))
+                .collect();
+            let repo = repos.by_host_mut("h").unwrap();
+            repo.publish_raw(&ta_dir, "root.cer", RpkiObject::Cert(cert).to_bytes());
+            repo.publish_snapshot(root.sia(), &root_snap);
+            for (sia, snap) in &snaps {
+                repo.publish_snapshot(sia, snap);
+            }
+        }
+        Rig { repos, tal }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_for_every_shard_count() {
+        let rig = rig(9);
+        let v = Validator::new(ValidationConfig::at(Moment(2)));
+        let sequential = v.run(&mut DirectSource::new(&rig.repos), std::slice::from_ref(&rig.tal));
+        assert_eq!(sequential.vrps.len(), 9);
+        for shards in [1, 2, 3, 8, 16] {
+            let (run, stats) = v.run_sharded(
+                &mut DirectSource::new(&rig.repos),
+                std::slice::from_ref(&rig.tal),
+                ShardPlan::new(shards),
+            );
+            assert_eq!(run, sequential, "{shards}-shard walk diverged");
+            assert_eq!(stats.shards, shards);
+            assert_eq!(stats.waves, 2);
+            assert_eq!(stats.items, 10);
+            assert_eq!(stats.processed.iter().sum::<u64>(), 10);
+        }
+    }
+
+    #[test]
+    fn assignment_is_seed_deterministic() {
+        let rig = rig(6);
+        let v = Validator::new(ValidationConfig::at(Moment(2)));
+        let plan = ShardPlan::seeded(4, 99);
+        let (_, a) =
+            v.run_sharded(&mut DirectSource::new(&rig.repos), std::slice::from_ref(&rig.tal), plan);
+        let (_, b) =
+            v.run_sharded(&mut DirectSource::new(&rig.repos), std::slice::from_ref(&rig.tal), plan);
+        assert_eq!(a.assigned, b.assigned);
+        assert_eq!(a.assigned.iter().sum::<u64>(), a.items);
+        // A different seed permutes the assignment but not the output.
+        let (run_a, _) =
+            v.run_sharded(&mut DirectSource::new(&rig.repos), std::slice::from_ref(&rig.tal), plan);
+        let (run_b, _) = v.run_sharded(
+            &mut DirectSource::new(&rig.repos),
+            std::slice::from_ref(&rig.tal),
+            ShardPlan::seeded(4, 100),
+        );
+        assert_eq!(run_a, run_b);
+    }
+
+    #[test]
+    fn sharded_incremental_reuses_and_matches() {
+        let rig = rig(5);
+        let v = Validator::new(ValidationConfig::at(Moment(2)));
+        let sequential = v.run(&mut DirectSource::new(&rig.repos), std::slice::from_ref(&rig.tal));
+        let mut state = ValidationState::full();
+        let plan = ShardPlan::new(4);
+        let (cold, _) = v.run_sharded_incremental(
+            &mut DirectSource::new(&rig.repos),
+            std::slice::from_ref(&rig.tal),
+            plan,
+            &mut state,
+        );
+        assert_eq!(cold, sequential);
+        assert_eq!(state.stats().subtrees_rewalked, 6);
+        assert_eq!(state.stats().announced, 5);
+        let (warm, _) = v.run_sharded_incremental(
+            &mut DirectSource::new(&rig.repos),
+            std::slice::from_ref(&rig.tal),
+            plan,
+            &mut state,
+        );
+        assert_eq!(warm, sequential);
+        assert_eq!(state.stats().subtrees_reused, 6);
+        assert_eq!(state.stats().subtrees_rewalked, 0);
+        assert!(state.last_delta().is_empty());
+        // And the cache interoperates with the sequential incremental
+        // walk: a sequential pass over the same state reuses it all.
+        let seq_warm = v.run_incremental(
+            &mut DirectSource::new(&rig.repos),
+            std::slice::from_ref(&rig.tal),
+            &mut state,
+        );
+        assert_eq!(seq_warm, sequential);
+        assert_eq!(state.stats().subtrees_reused, 6);
+    }
+
+    #[test]
+    fn probe_mode_probes_on_coordinator() {
+        let rig = rig(4);
+        let v = Validator::new(ValidationConfig::at(Moment(2)));
+        let mut state = ValidationState::probe();
+        let plan = ShardPlan::new(2);
+        let (cold, _) = v.run_sharded_incremental(
+            &mut DirectSource::new(&rig.repos),
+            std::slice::from_ref(&rig.tal),
+            plan,
+            &mut state,
+        );
+        let (warm, _) = v.run_sharded_incremental(
+            &mut DirectSource::new(&rig.repos),
+            std::slice::from_ref(&rig.tal),
+            plan,
+            &mut state,
+        );
+        assert_eq!(warm, cold);
+        assert_eq!(state.stats().probes, 5);
+        assert_eq!(state.stats().probe_hits, 5);
+    }
+
+    #[test]
+    fn model_speedup_sane() {
+        let stats = ShardStats {
+            shards: 4,
+            busy_total_ns: 4_000,
+            critical_path_ns: 1_000,
+            ..ShardStats::default()
+        };
+        assert!((stats.model_speedup() - 4.0).abs() < 1e-9);
+        assert_eq!(ShardStats::default().model_speedup(), 1.0);
+    }
+}

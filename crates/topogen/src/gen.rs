@@ -6,7 +6,6 @@ use bgp_sim::{Announcement, Topology};
 use ipres::{Asn, Prefix, ResourceSet};
 use netsim::Network;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rpki_ca::CertAuthority;
 use rpki_objects::{Encode, Moment, RepoUri, RoaPrefix, RpkiObject, Span, TrustAnchorLocator};
@@ -31,6 +30,13 @@ pub struct Config {
     pub cross_border: f64,
     /// Whether to plant the paper's Table 4 anchor organisations.
     pub anchors: bool,
+    /// Probability that an organisation hosts its own repository
+    /// (its own publication host, like the paper's Continental).
+    /// Everyone else publishes under their RIR's host, one directory
+    /// per organisation — the real Internet's fan-out, where a few
+    /// hosted publication servers carry thousands of publication
+    /// points. Anchors always self-host (the paper's premise).
+    pub self_hosting: f64,
 }
 
 impl Config {
@@ -43,6 +49,22 @@ impl Config {
             roa_adoption: 1.0,
             cross_border: 0.2,
             anchors: true,
+            self_hosting: 1.0,
+        }
+    }
+
+    /// An internet-scale world: tens of thousands of ASes, thousands
+    /// of publication points, RIR-hosted fan-out with a sprinkle of
+    /// self-hosters. Generation stays linear in the org count.
+    pub fn planet(seed: u64, stubs: usize) -> Self {
+        Config {
+            seed,
+            transits: 120,
+            stubs,
+            roa_adoption: 1.0,
+            cross_border: 0.15,
+            anchors: true,
+            self_hosting: 0.05,
         }
     }
 }
@@ -150,6 +172,11 @@ impl SyntheticInternet {
         let mut topology = Topology::new();
         // Per-RIR allocation cursor: next free /16 within the pool /8.
         let mut rir_cursor = [0u16; 5];
+        // Incrementally maintained index pools, so provider selection
+        // stays O(1) per org instead of re-scanning every org created
+        // so far (the old quadratic scan dominated at planet scale).
+        let mut transit_indices: Vec<usize> = Vec::new();
+        let mut provider_indices: Vec<usize> = Vec::new();
 
         // --- Anchors (Table 4 rows) ---
         if config.anchors {
@@ -175,6 +202,7 @@ impl SyntheticInternet {
                 ca.install_cert(cert);
                 cas.push(ca);
                 topology.add_as(a);
+                provider_indices.push(orgs.len());
                 orgs.push(Org {
                     handle: anchor.name.to_owned(),
                     kind: OrgKind::Anchor,
@@ -202,8 +230,8 @@ impl SyntheticInternet {
             let prefix = Prefix::v4(RIRS[rir].base_octet, third as u8, 0, 0, 16);
             let handle = format!("transit-{t}");
             let ca_idx = cas.len();
-            let mut ca =
-                CertAuthority::new(&handle, &seeded(config.seed, &handle), sia_of(&handle));
+            let sia = org_sia(&mut rng, &config, rir, &handle);
+            let mut ca = CertAuthority::new(&handle, &seeded(config.seed, &handle), sia);
             let cert = cas[1 + rir]
                 .issue_cert(
                     &handle,
@@ -232,33 +260,27 @@ impl SyntheticInternet {
             // Topology: the first `tier1_count` transits form a full
             // peering mesh; later transits buy from 1–2 earlier transit
             // or anchor providers (degree bias emerges from growth
-            // order).
-            let prev_transits: Vec<usize> = orgs
-                .iter()
-                .enumerate()
-                .filter(|(i, o)| *i != org_idx && o.kind == OrgKind::Transit)
-                .map(|(i, _)| i)
-                .collect();
-            if prev_transits.len() < tier1_count {
-                for &other in &prev_transits {
+            // order). Providers are sampled from the incrementally
+            // maintained pools — the org list is never re-scanned.
+            if transit_indices.len() < tier1_count {
+                for &other in &transit_indices {
                     topology.add_peering(orgs[org_idx].asn, orgs[other].asn);
                 }
             } else {
-                let provider_pool: Vec<usize> = orgs
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, o)| {
-                        *i != org_idx && matches!(o.kind, OrgKind::Transit | OrgKind::Anchor)
-                    })
-                    .map(|(i, _)| i)
-                    .collect();
-                let providers = 1 + rng.gen_range(0..2usize);
-                let mut pool = provider_pool;
-                pool.shuffle(&mut rng);
-                for &prov in pool.iter().take(providers) {
+                let providers = (1 + rng.gen_range(0..2usize)).min(provider_indices.len());
+                let mut chosen: Vec<usize> = Vec::with_capacity(providers);
+                while chosen.len() < providers {
+                    let cand = provider_indices[rng.gen_range(0..provider_indices.len())];
+                    if !chosen.contains(&cand) {
+                        chosen.push(cand);
+                    }
+                }
+                for &prov in &chosen {
                     topology.add_provider_customer(orgs[prov].asn, orgs[org_idx].asn);
                 }
             }
+            transit_indices.push(org_idx);
+            provider_indices.push(org_idx);
         }
 
         // Anchors (Level3-class networks) are default-free-zone members:
@@ -300,9 +322,10 @@ impl SyntheticInternet {
                         ipres::Addr::new(base.family(), base.addr().value() + (k as u128) * step);
                     let prefix = Prefix::new(addr, 24);
                     let handle = format!("{}-cust-{}", slug(&anchor_name), country);
+                    let crir = rir_of_country(country).unwrap_or(orgs[ai].rir);
                     let ca_idx = cas.len();
-                    let mut ca =
-                        CertAuthority::new(&handle, &seeded(config.seed, &handle), sia_of(&handle));
+                    let sia = org_sia(&mut rng, &config, crir, &handle);
+                    let mut ca = CertAuthority::new(&handle, &seeded(config.seed, &handle), sia);
                     let cert = cas[orgs[ai].ca]
                         .issue_cert(
                             &handle,
@@ -321,7 +344,7 @@ impl SyntheticInternet {
                         kind: OrgKind::Stub,
                         asn: a,
                         country: (*country).to_owned(),
-                        rir: rir_of_country(country).unwrap_or(orgs[ai].rir),
+                        rir: crir,
                         prefixes: vec![prefix],
                         parent: ParentRef::Org(ai),
                         ca: ca_idx,
@@ -363,9 +386,10 @@ impl SyntheticInternet {
                 orgs[prov].country.clone()
             };
             let handle = format!("stub-{s}");
+            let rir = rir_of_country(&country).unwrap_or(orgs[prov].rir);
             let ca_idx = cas.len();
-            let mut ca =
-                CertAuthority::new(&handle, &seeded(config.seed, &handle), sia_of(&handle));
+            let sia = org_sia(&mut rng, &config, rir, &handle);
+            let mut ca = CertAuthority::new(&handle, &seeded(config.seed, &handle), sia);
             let cert = cas[orgs[prov].ca]
                 .issue_cert(
                     &handle,
@@ -378,7 +402,6 @@ impl SyntheticInternet {
             ca.install_cert(cert);
             cas.push(ca);
             topology.add_provider_customer(orgs[prov].asn, a);
-            let rir = rir_of_country(&country).unwrap_or(orgs[prov].rir);
             orgs.push(Org {
                 handle,
                 kind: OrgKind::Stub,
@@ -472,6 +495,25 @@ fn slug(handle: &str) -> String {
 
 fn sia_of(handle: &str) -> RepoUri {
     RepoUri::new(&format!("rpki.{}.example", slug(handle)), &["repo"])
+}
+
+/// Publication point under the RIR's shared repository host, for orgs
+/// that do not run their own publication server.
+fn rir_hosted_sia(rir: usize, handle: &str) -> RepoUri {
+    RepoUri::new(&format!("rpki.{}.example", slug(RIRS[rir].name)), &["repo", &slug(handle)])
+}
+
+/// Roll the self-hosting dice for an ordinary org: most real-world CAs
+/// publish under their RIR's repository rather than running their own
+/// rsync/RRDP endpoint, so `config.self_hosting` is the probability of
+/// a dedicated host. One RNG draw is always consumed, keeping worlds
+/// with different `self_hosting` values byte-comparable elsewhere.
+fn org_sia(rng: &mut impl Rng, config: &Config, rir: usize, handle: &str) -> RepoUri {
+    if rng.gen_bool(config.self_hosting) {
+        sia_of(handle)
+    } else {
+        rir_hosted_sia(rir, handle)
+    }
 }
 
 #[cfg(test)]
@@ -591,6 +633,54 @@ mod tests {
         cfg.roa_adoption = 1.0;
         let net = SyntheticInternet::generate(cfg);
         assert_eq!(net.adopters(), net.orgs.len());
+    }
+
+    #[test]
+    fn self_hosting_knob_controls_fanout_without_changing_vrps() {
+        use rpki_rp::{DirectSource, ValidationConfig, Validator};
+        use std::collections::BTreeSet;
+
+        let vrps_and_hosts = |self_hosting: f64| {
+            let mut cfg = Config::small(31);
+            cfg.anchors = false;
+            cfg.self_hosting = self_hosting;
+            let mut world = SyntheticInternet::generate(cfg);
+            let mut net = Network::new(0);
+            let mut repos = RepoRegistry::new();
+            let tal = world.materialize(&mut net, &mut repos, Moment(1));
+            let hosts: BTreeSet<String> =
+                world.cas.iter().map(|ca| ca.sia().host().to_owned()).collect();
+            let mut source = DirectSource::new(&repos);
+            let run = Validator::new(ValidationConfig::at(Moment(2))).run(&mut source, &[tal]);
+            (run.vrps, hosts.len())
+        };
+
+        let (vrps_self, hosts_self) = vrps_and_hosts(1.0);
+        let (vrps_hosted, hosts_hosted) = vrps_and_hosts(0.0);
+        // Fully hosted: only IANA + the five RIR hosts exist.
+        assert_eq!(hosts_hosted, 6);
+        // Fully self-hosted: every org runs its own host.
+        assert!(hosts_self > hosts_hosted + 50);
+        // The knob only moves publication points, never the VRP set:
+        // both worlds consume one dice roll per org either way.
+        assert!(!vrps_self.is_empty());
+        assert_eq!(vrps_self, vrps_hosted);
+    }
+
+    #[test]
+    fn planet_config_is_linear_enough_to_materialize() {
+        // A mid-size planet slice: generation plus materialisation must
+        // stay cheap (the full bench sweep runs far larger worlds).
+        let mut world = SyntheticInternet::generate(Config::planet(77, 2000));
+        let mut net = Network::new(0);
+        let mut repos = RepoRegistry::new();
+        world.materialize(&mut net, &mut repos, Moment(1));
+        // RIR-hosted fan-out: almost all orgs share the 6 infra hosts.
+        use std::collections::BTreeSet;
+        let hosts: BTreeSet<String> =
+            world.cas.iter().map(|ca| ca.sia().host().to_owned()).collect();
+        assert!(world.orgs.len() >= 2100, "{} orgs", world.orgs.len());
+        assert!(hosts.len() < world.orgs.len() / 4, "{} hosts", hosts.len());
     }
 
     #[test]

@@ -17,6 +17,7 @@ fn main() {
         roa_adoption: 1.0,
         cross_border: 0.2,
         anchors: true,
+        self_hosting: 1.0,
     };
     println!(
         "auditing a synthetic Internet (seed {}, {} orgs expected)…\n",

@@ -27,7 +27,7 @@ enum Op {
     /// Renew the CA's first ROA: fresh file name, EE key, and serial,
     /// same VRP content (the steady-state no-semantic-change churn).
     Renew(usize),
-    /// Issue a new ROA in the CA's own /16 (a real announce).
+    /// Issue a new ROA in the CA's own /24 (a real announce).
     Add(usize, u8),
     /// Withdraw the CA's most recently issued extra ROA, if any.
     Withdraw(usize),
@@ -67,14 +67,14 @@ fn apply(w: &mut SyntheticRpki, op: Op, now: Moment) {
             republish(w, ca, now);
         }
         Op::Add(ca, slot) => {
-            let prefix = format!("10.{ca}.{}.0/24", 100 + usize::from(slot));
+            let prefix = format!("10.0.{ca}.{}/32", 100 + usize::from(slot));
             w.cas[ca]
                 .issue_roa(
                     Asn(64_000 + ca as u32),
                     vec![RoaPrefix::exact(prefix.parse().expect("literal"))],
                     now,
                 )
-                .expect("inside the CA's own /16");
+                .expect("inside the CA's own /24");
             republish(w, ca, now);
         }
         Op::Withdraw(ca) => {

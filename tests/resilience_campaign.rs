@@ -15,7 +15,11 @@
 //!   belongs to Suspenders), and timeouts lose slow-served rounds the
 //!   bare RP eventually collects.
 
-use rpki_risk::{run_campaign, standard_campaigns, CampaignOutcome, FaultKind, RpTier};
+use rpki_obs::Recorder;
+use rpki_risk::{
+    run_campaign, run_campaign_shared, standard_campaigns, CampaignOutcome, FaultKind, RpTier,
+};
+use rpki_rp::ShardPlan;
 
 fn campaign(name: &str, seed: u64) -> CampaignOutcome {
     let spec = standard_campaigns()
@@ -144,5 +148,31 @@ fn campaign_soak_across_seeds() {
             let b = serde_json::to_string(&run_campaign(&spec, seed)).expect("serializes");
             assert_eq!(a, b, "{} seed {seed}: replay diverged", spec.name);
         }
+
+        // One shared-world campaign per seed: every tier validates the
+        // same repository world, the walk runs sharded, and the
+        // invariants carry over — availability ordering, server-side
+        // load on every host, and shard-count-invariant replay.
+        let spec = standard_campaigns()
+            .into_iter()
+            .find(|s| s.name == "takedown")
+            .expect("standard campaign exists");
+        let rec = Recorder::disabled();
+        let shared = run_campaign_shared(&spec, seed, Some(ShardPlan::new(4)), &rec);
+        let stale = shared.tier(RpTier::RetryingStale).totals.vrp_round_sum;
+        let bare = shared.tier(RpTier::Bare).totals.vrp_round_sum;
+        assert!(bare <= stale, "shared world seed {seed}: bare {bare} > stale {stale}");
+        assert_eq!(shared.divergence.len(), shared.rounds, "seed {seed}");
+        assert!(
+            shared.load.iter().all(|h| h.frames > 0 && h.bytes > h.frames),
+            "seed {seed}: {:?}",
+            shared.load
+        );
+        let unsharded = run_campaign_shared(&spec, seed, None, &rec);
+        assert_eq!(
+            serde_json::to_string(&shared).expect("serializes"),
+            serde_json::to_string(&unsharded).expect("serializes"),
+            "seed {seed}: sharded shared-world campaign diverged from unsharded"
+        );
     }
 }

@@ -159,13 +159,13 @@ proptest! {
                         .issue_roa(
                             ipres::Asn(64_000 + ca as u32),
                             vec![RoaPrefix::exact(
-                                format!("10.{ca}.{}.0/24", 100 + (t / 60) % 100)
+                                format!("10.0.{ca}.{}/32", 100 + (t / 60) % 100)
                                     .parse()
                                     .expect("literal"),
                             )],
                             now,
                         )
-                        .expect("inside the CA's /16");
+                        .expect("inside the CA's /24");
                 }
                 2 => {
                     if let Some(file) =

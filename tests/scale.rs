@@ -24,6 +24,7 @@ fn big_config() -> Config {
         roa_adoption: 1.0,
         cross_border: 0.15,
         anchors: true,
+        self_hosting: 1.0,
     }
 }
 
@@ -89,6 +90,7 @@ fn worklist_engine_never_rounds_regresses_reference() {
         roa_adoption: 1.0,
         cross_border: 0.15,
         anchors: false,
+        self_hosting: 1.0,
     });
     let slice: Vec<_> = world.announcements.iter().copied().take(10).collect();
     let cache = VrpCache::new();
