@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod collateral;
+pub mod corpus;
 pub mod downgrade;
 pub mod monitor;
 pub mod view;
 pub mod whack;
 
 pub use collateral::{damage_between, probes_for, DamageReport};
+pub use corpus::{poison, CorpusCase, CorpusKind};
 pub use downgrade::{apply_step, DowngradePlan, DowngradeStep};
 pub use monitor::{
     ChangeKind, Classification, HostReport, MisbehaviorReport, Monitor, MonitorEvent,

@@ -29,6 +29,7 @@ use ipres::{Asn, ResourceSet};
 use rpki_objects::{Decode, Moment, RoaPrefix, RpkiObject};
 use rpki_obs::{FieldValue, Recorder, TraceEvent};
 use rpki_repo::RepoRegistry;
+use rpki_rp::ValidationRun;
 use serde::Serialize;
 
 /// A point-in-time, fully decoded picture of every repository.
@@ -321,17 +322,28 @@ pub struct HostReport {
     pub object_alarms: Vec<MonitorEvent>,
     /// The transport-layer detections, in trace order.
     pub transport: Vec<TransportEvidence>,
+    /// CAs under this host's directories that a relying-party walk
+    /// dropped, as `"handle (resources)"` — the object-rejection
+    /// evidence from the validation layer.
+    pub rejected_cas: Vec<String>,
+    /// VRP display strings a relying-party run flagged *unsafe*
+    /// because they overlap this host's rejected resources. Under
+    /// [`rpki_rp::UnsafeVrpPolicy::Reject`] these are the payloads the
+    /// misbehaving host suppressed for every relying party.
+    pub unsafe_vrps: Vec<String>,
 }
 
 impl HostReport {
     /// One human-readable line naming the host and its evidence tally.
     pub fn summary_line(&self) -> String {
         format!(
-            "{}: {} object alarm(s), {} pinned detection(s), {} downgrade(s)",
+            "{}: {} object alarm(s), {} pinned detection(s), {} downgrade(s), {} rejected CA(s), {} unsafe VRP(s)",
             self.host,
             self.object_alarms.len(),
             self.pinned_detections,
-            self.downgrades
+            self.downgrades,
+            self.rejected_cas.len(),
+            self.unsafe_vrps.len()
         )
     }
 }
@@ -370,6 +382,8 @@ impl MisbehaviorReport {
                 downgrades: 0,
                 object_alarms: Vec::new(),
                 transport: Vec::new(),
+                rejected_cas: Vec::new(),
+                unsafe_vrps: Vec::new(),
             });
         };
         for event in object_events {
@@ -404,6 +418,39 @@ impl MisbehaviorReport {
             });
         }
         MisbehaviorReport { hosts: hosts.into_values().collect() }
+    }
+
+    /// Folds a relying-party run's rejection evidence into the dossier:
+    /// each [`rpki_rp::RejectedCa`] accuses the host of its publication
+    /// directory, and each unsafe VRP accuses every host whose rejected
+    /// resources cover it. Hosts with only validation-layer evidence
+    /// are added; existing dossiers are extended in place.
+    pub fn attach_validation(&mut self, run: &ValidationRun) {
+        let mut hosts: BTreeMap<String, HostReport> =
+            std::mem::take(&mut self.hosts).into_iter().map(|h| (h.host.clone(), h)).collect();
+        for rejected in &run.rejected_cas {
+            let host = dir_host(&rejected.dir);
+            let report = hosts.entry(host.clone()).or_insert_with(|| HostReport {
+                host: host.clone(),
+                pinned_detections: 0,
+                downgrades: 0,
+                object_alarms: Vec::new(),
+                transport: Vec::new(),
+                rejected_cas: Vec::new(),
+                unsafe_vrps: Vec::new(),
+            });
+            report.rejected_cas.push(format!("{} ({})", rejected.ca, rejected.resources));
+            for vrp in &run.unsafe_vrps {
+                if rejected.resources.overlaps_prefix(vrp.prefix) {
+                    report.unsafe_vrps.push(vrp.to_string());
+                }
+            }
+        }
+        for report in hosts.values_mut() {
+            report.unsafe_vrps.sort();
+            report.unsafe_vrps.dedup();
+        }
+        self.hosts = hosts.into_values().collect();
     }
 
     /// The dossier for one host, if any evidence names it.
@@ -803,6 +850,44 @@ mod tests {
         assert_eq!(flaky.downgrades, 1);
         // Routine churn and other layers' events accuse nobody.
         assert!(report.host("rpki.ta.example").is_none());
+    }
+
+    #[test]
+    fn dossier_attaches_validation_rejections_and_unsafe_vrps() {
+        use ipres::ResourceSet;
+        use rpki_rp::{RejectedCa, Vrp};
+
+        // A transport detection already accuses Sprint; the validation
+        // run then adds a rejected CA under the same host plus one
+        // under a host the monitor never saw.
+        let rec = Recorder::new();
+        rec.event(3, "rp", "rrdp_pinned").str("host", "rpki.sprint.example").emit();
+        let mut report = MisbehaviorReport::build(&[], &rec.events());
+
+        let mut run = ValidationRun::default();
+        run.rejected_cas.push(RejectedCa {
+            ca: "Continental".to_string(),
+            dir: "rsync://rpki.sprint.example/repo".to_string(),
+            resources: ResourceSet::from_prefix_strs("63.160.0.0/20"),
+        });
+        run.rejected_cas.push(RejectedCa {
+            ca: "Etb".to_string(),
+            dir: "rsync://rpki.quiet.example/repo".to_string(),
+            resources: ResourceSet::from_prefix_strs("198.51.100.0/24"),
+        });
+        run.unsafe_vrps.push(Vrp::new(p("63.160.7.0/24"), 24, Asn(17054)));
+        report.attach_validation(&run);
+
+        let sprint = report.host("rpki.sprint.example").expect("sprint accused");
+        assert_eq!(sprint.pinned_detections, 1, "transport evidence kept");
+        assert_eq!(sprint.rejected_cas.len(), 1);
+        assert!(sprint.rejected_cas[0].starts_with("Continental ("), "{:?}", sprint.rejected_cas);
+        // The unsafe VRP overlaps Sprint's rejected space, not Etb's.
+        assert_eq!(sprint.unsafe_vrps.len(), 1);
+        let quiet = report.host("rpki.quiet.example").expect("validation-only host added");
+        assert_eq!(quiet.rejected_cas.len(), 1);
+        assert!(quiet.unsafe_vrps.is_empty());
+        assert!(sprint.summary_line().contains("1 rejected CA(s), 1 unsafe VRP(s)"));
     }
 
     #[test]

@@ -16,6 +16,7 @@ const KNOWN: &[(&str, &str)] = &[
     ("BENCH_validation.json", "schemas/bench_validation.schema.json"),
     ("BENCH_rrdp.json", "schemas/bench_rrdp.schema.json"),
     ("BENCH_scale.json", "schemas/bench_scale.schema.json"),
+    ("BENCH_unsafe_vrp.json", "schemas/bench_unsafe_vrp.schema.json"),
 ];
 
 fn check_pair(data_path: &str, schema_path: &str) -> Result<(), String> {

@@ -41,12 +41,13 @@ use std::collections::BTreeSet;
 
 use ipres::Prefix;
 use netsim::NodeId;
+use rpki_attacks::CorpusKind;
 use rpki_objects::{Moment, RoaPrefix, Span};
 use rpki_obs::Recorder;
 use rpki_repo::{Freshness, RrdpClientState, SyncPolicy};
 use rpki_rp::{
-    ResilienceConfig, ResilientState, Route, RouteValidity, ShardPlan, ValidationRun,
-    ValidationState, Vrp, VrpCache,
+    ResilienceConfig, ResilientState, Route, RouteValidity, ShardPlan, UnsafeVrpPolicy,
+    ValidationRun, ValidationState, Vrp, VrpCache,
 };
 use serde::Serialize;
 
@@ -95,6 +96,16 @@ pub enum FaultKind {
     /// answered NotFound), forcing RRDP-preferring clients through the
     /// rsync downgrade path each round.
     RrdpWithhold,
+    /// The authority publishes one adversarial corpus case
+    /// ([`rpki_attacks::corpus`]) at the window's first round — signed
+    /// with its own key, written through the publication log — and
+    /// heals it with a fresh honest snapshot when the window closes.
+    /// Tests pin that every tier survives this without panicking and
+    /// that campaign metrics stay byte-identical across replays.
+    AdversarialPublish {
+        /// Which corpus family to publish.
+        kind: CorpusKind,
+    },
 }
 
 /// A fault applied to one repository host over a round interval
@@ -126,6 +137,17 @@ pub struct CampaignSpec {
     pub rounds: usize,
     /// The fault windows in force.
     pub windows: Vec<FaultWindow>,
+    /// The unsafe-VRP policy every tier validates under (default
+    /// [`UnsafeVrpPolicy::Accept`], matching deployed practice).
+    pub unsafe_vrps: UnsafeVrpPolicy,
+}
+
+impl CampaignSpec {
+    /// The same campaign under a different unsafe-VRP policy.
+    pub fn with_unsafe_policy(mut self, policy: UnsafeVrpPolicy) -> Self {
+        self.unsafe_vrps = policy;
+        self
+    }
 }
 
 /// The relying-party configurations the ablation compares.
@@ -182,6 +204,11 @@ pub struct RoundMetrics {
     pub stale_dirs: usize,
     /// RRDP→rsync downgrades this round (always 0 for non-RRDP tiers).
     pub rrdp_downgrades: usize,
+    /// VRPs flagged unsafe this round (overlapping a rejected CA's
+    /// resources; always 0 under [`UnsafeVrpPolicy::Accept`]).
+    pub unsafe_vrps: usize,
+    /// CAs the walk rejected this round.
+    pub rejected_cas: usize,
 }
 
 /// Campaign-wide sums for one tier.
@@ -201,6 +228,10 @@ pub struct TierTotals {
     pub stale_dir_rounds: usize,
     /// Σ `rrdp_downgrades`: RRDP→rsync fallbacks across the campaign.
     pub rrdp_downgrades: usize,
+    /// Σ `unsafe_vrps`: unsafe VRP-rounds across the campaign.
+    pub unsafe_vrp_rounds: usize,
+    /// Σ `rejected_cas`: rejected CA-rounds across the campaign.
+    pub rejected_ca_rounds: usize,
 }
 
 /// One tier's full trace through a campaign.
@@ -398,6 +429,7 @@ pub fn run_campaign_shared(
             &mut t.rrdp,
             Some(&mut t.validation),
             plan,
+            spec.unsafe_vrps,
         );
         t.prev_downgrades = t.rrdp.stats().downgrades;
     }
@@ -425,6 +457,7 @@ pub fn run_campaign_shared(
                 &mut t.rrdp,
                 Some(&mut t.validation),
                 plan,
+                spec.unsafe_vrps,
             );
             let m = round_metrics(
                 &w,
@@ -544,6 +577,7 @@ fn run_tier(
         &mut rrdp_state,
         validation_state.as_mut(),
         None,
+        spec.unsafe_vrps,
     );
     let mut prev_downgrades = rrdp_state.stats().downgrades;
 
@@ -565,6 +599,7 @@ fn run_tier(
             &mut rrdp_state,
             validation_state.as_mut(),
             None,
+            spec.unsafe_vrps,
         );
 
         let m =
@@ -586,6 +621,8 @@ fn run_tier(
             .u64("unknown_flips", totals.unknown_flips as u64)
             .u64("stale_dir_rounds", totals.stale_dir_rounds as u64)
             .u64("rrdp_downgrades", totals.rrdp_downgrades as u64)
+            .u64("unsafe_vrp_rounds", totals.unsafe_vrp_rounds as u64)
+            .u64("rejected_ca_rounds", totals.rejected_ca_rounds as u64)
             .emit();
     }
     TierOutcome { tier, rounds, totals }
@@ -619,6 +656,8 @@ fn round_metrics(
         run.freshness.iter().filter(|(_, f)| matches!(f, Freshness::Stale { .. })).count();
     m.rrdp_downgrades = (rrdp_state.stats().downgrades - *prev_downgrades) as usize;
     *prev_downgrades = rrdp_state.stats().downgrades;
+    m.unsafe_vrps = run.unsafe_vrps.len();
+    m.rejected_cas = run.rejected_cas.len();
     m
 }
 
@@ -643,6 +682,8 @@ fn emit_round(recorder: &Recorder, spec: &CampaignSpec, tier: RpTier, at: u64, m
         .u64("unknown", m.unknown as u64)
         .u64("stale_dirs", m.stale_dirs as u64)
         .u64("rrdp_downgrades", m.rrdp_downgrades as u64)
+        .u64("unsafe_vrps", m.unsafe_vrps as u64)
+        .u64("rejected_cas", m.rejected_cas as u64)
         .emit();
 }
 
@@ -655,6 +696,8 @@ fn tier_totals(rounds: &[RoundMetrics]) -> TierTotals {
         unknown_flips: rounds.iter().map(|m| m.unknown).sum(),
         stale_dir_rounds: rounds.iter().map(|m| m.stale_dirs).sum(),
         rrdp_downgrades: rounds.iter().map(|m| m.rrdp_downgrades).sum(),
+        unsafe_vrp_rounds: rounds.iter().map(|m| m.unsafe_vrps).sum(),
+        rejected_ca_rounds: rounds.iter().map(|m| m.rejected_cas).sum(),
     }
 }
 
@@ -669,18 +712,17 @@ fn validate_tier(
     rrdp: &mut RrdpClientState,
     incremental: Option<&mut ValidationState>,
     shards: Option<ShardPlan>,
+    unsafe_vrps: UnsafeVrpPolicy,
 ) -> ValidationRun {
+    let base = move |m| ValidationOptions::at(m).unsafe_vrps(unsafe_vrps);
     let opts = match tier {
-        RpTier::Bare => ValidationOptions::at(moment),
-        RpTier::Retrying => ValidationOptions::at(moment).retry(policy),
-        RpTier::RetryingStale => ValidationOptions::at(moment).retry(policy).stale_cache(resilient),
-        RpTier::Suspenders => ValidationOptions::at(moment)
-            .retry(policy)
-            .stale_cache(resilient)
-            .suspenders(suspenders),
-        RpTier::Rrdp => {
-            ValidationOptions::at(moment).retry(policy).rrdp(rrdp).stale_cache(resilient)
+        RpTier::Bare => base(moment),
+        RpTier::Retrying => base(moment).retry(policy),
+        RpTier::RetryingStale => base(moment).retry(policy).stale_cache(resilient),
+        RpTier::Suspenders => {
+            base(moment).retry(policy).stale_cache(resilient).suspenders(suspenders)
         }
+        RpTier::Rrdp => base(moment).retry(policy).rrdp(rrdp).stale_cache(resilient),
     };
     let opts = match incremental {
         Some(state) => opts.incremental(state),
@@ -792,6 +834,21 @@ fn apply_faults_to(
                     w.publish_all(now);
                 }
             }
+            FaultKind::AdversarialPublish { kind } => {
+                let now = Moment(w.net.now());
+                if active && !engaged.contains(&i) {
+                    // Seeded by the window index so concurrent windows
+                    // of one campaign draw distinct corpus streams;
+                    // engage-once, like Withdraw, so re-running a round
+                    // never re-mutates the repository.
+                    w.poison_host(&win.host, kind, i as u64, now).expect("campaign host exists");
+                    engaged.insert(i);
+                } else if !active && engaged.remove(&i) {
+                    // A fresh honest snapshot overwrites the poison and
+                    // deletes stray corpus files.
+                    w.publish_all(now);
+                }
+            }
             _ => {}
         }
     }
@@ -805,6 +862,7 @@ pub fn standard_campaigns() -> Vec<CampaignSpec> {
     vec![
         CampaignSpec {
             name: "corruption-burst".to_owned(),
+            unsafe_vrps: UnsafeVrpPolicy::Accept,
             rounds: 12,
             windows: vec![FaultWindow {
                 host: c(),
@@ -815,16 +873,19 @@ pub fn standard_campaigns() -> Vec<CampaignSpec> {
         },
         CampaignSpec {
             name: "flapping-partition".to_owned(),
+            unsafe_vrps: UnsafeVrpPolicy::Accept,
             rounds: 12,
             windows: vec![FaultWindow { host: c(), kind: FaultKind::Flapping, from: 3, to: 10 }],
         },
         CampaignSpec {
             name: "takedown".to_owned(),
+            unsafe_vrps: UnsafeVrpPolicy::Accept,
             rounds: 12,
             windows: vec![FaultWindow { host: c(), kind: FaultKind::Takedown, from: 3, to: 8 }],
         },
         CampaignSpec {
             name: "slow-serve".to_owned(),
+            unsafe_vrps: UnsafeVrpPolicy::Accept,
             rounds: 10,
             windows: vec![FaultWindow {
                 host: c(),
@@ -840,6 +901,7 @@ pub fn standard_campaigns() -> Vec<CampaignSpec> {
             // rrdp tier detects the pin each round and downgrades to
             // rsync for the truth.
             name: "stalloris-downgrade".to_owned(),
+            unsafe_vrps: UnsafeVrpPolicy::Accept,
             rounds: 12,
             windows: vec![
                 FaultWindow { host: c(), kind: FaultKind::RrdpPin, from: 3, to: 8 },
@@ -848,6 +910,7 @@ pub fn standard_campaigns() -> Vec<CampaignSpec> {
         },
         CampaignSpec {
             name: "mixed".to_owned(),
+            unsafe_vrps: UnsafeVrpPolicy::Accept,
             rounds: 24,
             windows: vec![
                 FaultWindow {
@@ -871,6 +934,7 @@ mod tests {
     fn takedown_spec() -> CampaignSpec {
         CampaignSpec {
             name: "t".to_owned(),
+            unsafe_vrps: UnsafeVrpPolicy::Accept,
             rounds: 6,
             windows: vec![FaultWindow {
                 host: "rpki.continental.example".to_owned(),
@@ -900,6 +964,7 @@ mod tests {
     fn withdraw_separates_suspenders_from_stale_cache() {
         let spec = CampaignSpec {
             name: "w".to_owned(),
+            unsafe_vrps: UnsafeVrpPolicy::Accept,
             rounds: 6,
             windows: vec![FaultWindow {
                 host: "rpki.continental.example".to_owned(),
@@ -987,6 +1052,7 @@ mod tests {
     fn rrdp_withhold_forces_downgrades_without_data_loss() {
         let spec = CampaignSpec {
             name: "wh".to_owned(),
+            unsafe_vrps: UnsafeVrpPolicy::Accept,
             rounds: 6,
             windows: vec![FaultWindow {
                 host: "rpki.continental.example".to_owned(),

@@ -249,6 +249,31 @@ impl ModelRpki {
         }
     }
 
+    /// Poisons `host`'s publication point with one adversarial corpus
+    /// case, signed with that host's own CA key and written through
+    /// the ordinary publication log (so rsync and RRDP clients see the
+    /// same bytes). Returns what was done, or `None` for an unknown
+    /// host. Heal with [`publish_all`](ModelRpki::publish_all): a
+    /// fresh snapshot overwrites the poison and deletes stray files.
+    pub fn poison_host(
+        &mut self,
+        host: &str,
+        kind: rpki_attacks::CorpusKind,
+        seed: u64,
+        now: Moment,
+    ) -> Option<rpki_attacks::CorpusCase> {
+        let ca = match host {
+            "rpki.arin.example" => &self.arin,
+            "rpki.sprint.example" => &self.sprint,
+            "rpki.etb.example" => &self.etb,
+            "rpki.continental.example" => &self.continental,
+            _ => return None,
+        };
+        // Field-disjoint borrows: the CA is read, the repo mutated.
+        let repo = self.repos.by_host_mut(host)?;
+        Some(rpki_attacks::poison(repo, ca, kind, seed, now))
+    }
+
     /// Validates over a perfect transport — the `&self` convenience
     /// probe for tests and examples that just want the world's VRPs.
     /// Emits the run through the network's recorder like

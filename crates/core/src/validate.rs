@@ -33,7 +33,8 @@ use rpki_objects::Moment;
 use rpki_repo::{RrdpClientState, SyncPolicy};
 use rpki_rp::{
     DirectSource, NetworkSource, ObjectSource, ResilientSource, ResilientState, RrdpSource,
-    ShardPlan, ShardStats, ValidationConfig, ValidationRun, ValidationState, Validator,
+    ShardPlan, ShardStats, UnsafeVrpPolicy, ValidationConfig, ValidationRun, ValidationState,
+    Validator,
 };
 
 use crate::fixtures::ModelRpki;
@@ -57,6 +58,7 @@ pub struct ValidationOptions<'a> {
     rrdp: Option<&'a mut RrdpClientState>,
     rrdp_verify: bool,
     shards: Option<ShardPlan>,
+    unsafe_vrps: UnsafeVrpPolicy,
 }
 
 impl<'a> ValidationOptions<'a> {
@@ -74,6 +76,7 @@ impl<'a> ValidationOptions<'a> {
             rrdp: None,
             rrdp_verify: true,
             shards: None,
+            unsafe_vrps: UnsafeVrpPolicy::default(),
         }
     }
 
@@ -162,6 +165,18 @@ impl<'a> ValidationOptions<'a> {
         self.shards = Some(plan);
         self
     }
+
+    /// What to do with *unsafe* VRPs — payloads whose prefix overlaps
+    /// the resources of a CA the walk rejected. The default
+    /// ([`UnsafeVrpPolicy::Accept`]) skips the analysis;
+    /// [`Warn`](UnsafeVrpPolicy::Warn) flags them in
+    /// [`ValidationRun::unsafe_vrps`](rpki_rp::ValidationRun), and
+    /// [`Reject`](UnsafeVrpPolicy::Reject) additionally drops them
+    /// from the validated set.
+    pub fn unsafe_vrps(mut self, policy: UnsafeVrpPolicy) -> Self {
+        self.unsafe_vrps = policy;
+        self
+    }
 }
 
 fn run_stack<S: ObjectSource>(
@@ -221,10 +236,12 @@ impl ModelRpki {
             rrdp,
             rrdp_verify,
             shards,
+            unsafe_vrps,
         } = opts;
         let rec = self.net.recorder();
         let config =
-            if strict { ValidationConfig::strict_at(now) } else { ValidationConfig::at(now) };
+            if strict { ValidationConfig::strict_at(now) } else { ValidationConfig::at(now) }
+                .with_unsafe_policy(unsafe_vrps);
         if let Some(state) = &mut stale_cache {
             state.set_recorder(rec.clone());
         }

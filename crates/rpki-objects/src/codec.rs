@@ -76,6 +76,14 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Hard ceiling on any single length prefix (bytes or element count).
+///
+/// No legitimate object in this model comes near 16 MiB; a prefix
+/// above it is adversarial regardless of how much input follows, and
+/// rejecting it *before* any `take`/allocation keeps oversized-length
+/// corpus cases from turning into memory pressure.
+pub const MAX_LEN: usize = 16 * 1024 * 1024;
+
 /// A cursor over input bytes.
 pub struct Reader<'a> {
     data: &'a [u8],
@@ -113,32 +121,48 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Takes exactly `N` bytes as a fixed-size array.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        // The slice is exactly N long by construction (`take` returned
+        // Ok), so the conversion cannot fail.
+        self.take(N)?.try_into().map_err(|_| DecodeError::Truncated)
+    }
+
     /// Reads a big-endian u16.
     pub fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("len 2")))
+        Ok(u16::from_be_bytes(self.array()?))
     }
 
     /// Reads a big-endian u32.
     pub fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(u32::from_be_bytes(self.array()?))
     }
 
     /// Reads a big-endian u64.
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(u64::from_be_bytes(self.array()?))
     }
 
     /// Reads a big-endian u128.
     pub fn u128(&mut self) -> Result<u128, DecodeError> {
-        Ok(u128::from_be_bytes(self.take(16)?.try_into().expect("len 16")))
+        Ok(u128::from_be_bytes(self.array()?))
+    }
+
+    /// Checks a decoded length prefix for plausibility *before* any
+    /// bytes are taken or buffers sized from it: it must fit both the
+    /// remaining input and the global [`MAX_LEN`] ceiling.
+    fn plausible_len(&self, len: u32) -> Result<usize, DecodeError> {
+        let len = len as usize;
+        if len > self.remaining() || len > MAX_LEN {
+            return Err(DecodeError::BadLength(len as u64));
+        }
+        Ok(len)
     }
 
     /// Reads a u32-length-prefixed byte string.
     pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
-        let len = self.u32()? as usize;
-        if len > self.remaining() {
-            return Err(DecodeError::BadLength(len as u64));
-        }
+        let len = self.u32()?;
+        let len = self.plausible_len(len)?;
         self.take(len)
     }
 
@@ -149,13 +173,10 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads a u32 element count for a sequence, sanity-bounded by the
-    /// remaining input (each element needs ≥ 1 byte).
+    /// remaining input (each element needs ≥ 1 byte) and [`MAX_LEN`].
     pub fn seq_len(&mut self) -> Result<usize, DecodeError> {
-        let n = self.u32()? as usize;
-        if n > self.remaining() {
-            return Err(DecodeError::BadLength(n as u64));
-        }
-        Ok(n)
+        let n = self.u32()?;
+        self.plausible_len(n)
     }
 }
 

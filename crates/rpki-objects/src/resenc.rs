@@ -145,8 +145,10 @@ impl Encode for Digest {
 
 impl Decode for Digest {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        // `take(32)` returned exactly 32 bytes, so the conversion can
+        // only fail on truncated input, never by panicking.
         let raw = r.take(32)?;
-        Ok(Digest(raw.try_into().expect("len 32")))
+        Ok(Digest(raw.try_into().map_err(|_| DecodeError::Truncated)?))
     }
 }
 

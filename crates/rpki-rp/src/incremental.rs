@@ -69,8 +69,8 @@ use serde::Serialize;
 
 use crate::source::ObjectSource;
 use crate::validation::{
-    Diagnostic, IncompletePolicy, OverclaimPolicy, ValidatedCa, ValidationRun, Validator,
-    VrpRecord, WorkItem,
+    Diagnostic, IncompletePolicy, OverclaimPolicy, RejectedCa, ValidatedCa, ValidationRun,
+    Validator, VrpRecord, WorkItem,
 };
 use crate::vrp::Vrp;
 
@@ -275,6 +275,7 @@ pub(crate) struct CacheEntry {
     pub(crate) vrps: Vec<Vrp>,
     pub(crate) vrp_records: Vec<VrpRecord>,
     pub(crate) revocations: Vec<(KeyId, u64)>,
+    pub(crate) rejected_cas: Vec<RejectedCa>,
     /// Child CAs in the order processing queued them, each with its
     /// cert digest precomputed so replayed subtrees never re-encode or
     /// re-hash certificates.
@@ -390,7 +391,7 @@ impl Validator {
             self.step(source, item, &mut run, &mut queue, state, &mut stats);
         }
 
-        Validator::finish(&mut run);
+        self.finish(&mut run);
 
         let prev = state.last_vrps.take().unwrap_or_default();
         let delta = VrpDelta::between(&prev, &run.vrps);
@@ -441,6 +442,9 @@ impl Validator {
         if usable && state.mode == RevalidationMode::Probe {
             if let Some(probe) = source.probe_dir(&dir) {
                 stats.probes += 1;
+                // Internal invariant, not remote-reachable: `usable`
+                // was computed from this same map entry above and
+                // nothing has removed it since.
                 let entry = state.entries.get(&key).expect("usable entry present");
                 if probe.listed && probe.content_digest() == Some(entry.dir_digest) {
                     stats.probe_hits += 1;
@@ -454,6 +458,7 @@ impl Validator {
         let outcome = source.load_dir(&dir);
         let dir_digest = outcome.content_digest();
         if usable {
+            // Internal invariant, not remote-reachable (see above).
             let entry = state.entries.get(&key).expect("usable entry present");
             if dir_digest == Some(entry.dir_digest) {
                 stats.subtrees_reused += 1;
@@ -472,6 +477,7 @@ impl Validator {
         let vrp_mark = run.vrps.len();
         let rec_mark = run.vrp_records.len();
         let rev_mark = run.revocations.len();
+        let rej_mark = run.rejected_cas.len();
         let queue_mark = queue.len();
         let mut obs = ProcessObservations::at(now);
         let depth = item.depth;
@@ -508,6 +514,7 @@ impl Validator {
             vrps: run.vrps[vrp_mark..].to_vec(),
             vrp_records: run.vrp_records[rec_mark..].to_vec(),
             revocations: run.revocations[rev_mark..].to_vec(),
+            rejected_cas: run.rejected_cas[rej_mark..].to_vec(),
             children: queue[queue_mark..]
                 .iter()
                 .map(|w| {
@@ -538,6 +545,7 @@ impl Validator {
         run.vrps.extend_from_slice(&entry.vrps);
         run.vrp_records.extend_from_slice(&entry.vrp_records);
         run.revocations.extend(entry.revocations.iter().cloned());
+        run.rejected_cas.extend(entry.rejected_cas.iter().cloned());
         let mut ancestors = item.ancestors.clone();
         ancestors.insert(entry.ca.key);
         for (cert, effective, digest) in &entry.children {

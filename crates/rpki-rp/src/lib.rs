@@ -40,7 +40,7 @@ pub use rtr::{ClientAction, Delta, RtrClient, RtrPdu, RtrServer};
 pub use shard::{ShardPlan, ShardStats};
 pub use source::{DirectSource, NetworkSource, ObjectSource, ResilientSource};
 pub use validation::{
-    Diagnostic, IncompletePolicy, Issue, OverclaimPolicy, ValidationConfig, ValidationRun,
-    Validator, VrpRecord,
+    Diagnostic, IncompletePolicy, Issue, OverclaimPolicy, RejectedCa, UnsafeVrpPolicy,
+    ValidationConfig, ValidationRun, Validator, VrpRecord,
 };
 pub use vrp::{Vrp, VrpCache};

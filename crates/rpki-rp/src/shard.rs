@@ -70,7 +70,9 @@ use crate::incremental::{
     CacheEntry, ProcessObservations, RevalidationMode, RevalidationStats, ValidationState, VrpDelta,
 };
 use crate::source::ObjectSource;
-use crate::validation::{Diagnostic, Issue, ValidationConfig, ValidationRun, Validator, WorkItem};
+use crate::validation::{
+    Diagnostic, Issue, RejectedCa, ValidationConfig, ValidationRun, Validator, WorkItem,
+};
 
 /// How a sharded walk distributes work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -225,6 +227,7 @@ fn append(run: &mut ValidationRun, frag: ValidationRun) {
     run.revocations.extend(frag.revocations);
     run.diagnostics.extend(frag.diagnostics);
     run.freshness.extend(frag.freshness);
+    run.rejected_cas.extend(frag.rejected_cas);
 }
 
 /// Runs one job: validated-CA entry, then the full publication-point
@@ -358,6 +361,12 @@ impl Validator {
             if !pending.is_empty() {
                 let queues: Vec<Mutex<VecDeque<usize>>> =
                     (0..shards).map(|_| Mutex::new(VecDeque::new())).collect();
+                // The `expect`s on locks and joins below are internal
+                // invariants, not remote-reachable: a lock is poisoned
+                // (and a join fails) only if another worker already
+                // panicked, and the validator itself never panics on
+                // adversarial input — the corpus differential suite
+                // asserts exactly that.
                 for (pos, &slot) in pending.iter().enumerate() {
                     let shard = assign(plan, wave_idx, pos);
                     stats.assigned[shard] += 1;
@@ -436,6 +445,8 @@ impl Validator {
             // -- Stage 3: canonical-order memoization and frontier
             // extension; fragments are stashed for the final merge. --
             for (slot, out) in outputs.into_iter().enumerate() {
+                // Internal invariant: stage 1 resolved the slot or put
+                // it in `pending`, and stage 2 drained `pending`.
                 let out = out.expect("every slot resolved");
                 let key_path = std::mem::take(&mut keys[slot]);
                 if let (Some(st), Some(memo)) = (state.as_deref_mut(), memos[slot].take()) {
@@ -458,7 +469,7 @@ impl Validator {
         for (_, frag) in fragments {
             append(&mut run, frag);
         }
-        Validator::finish(&mut run);
+        self.finish(&mut run);
 
         if let Some(state) = state {
             let prev = state.last_vrps.take().unwrap_or_default();
@@ -495,6 +506,11 @@ impl Validator {
                 dir: item.cert.data().sia.to_string(),
                 issue: Issue::DepthExceeded,
             });
+            frag.rejected_cas.push(RejectedCa {
+                ca: item.cert.data().subject.clone(),
+                dir: item.cert.data().sia.to_string(),
+                resources: item.effective.clone(),
+            });
             return (
                 Prepared::Done(Box::new(ItemOutput { frag, children: Vec::new(), obs: None })),
                 None,
@@ -524,6 +540,7 @@ impl Validator {
         if usable && state.mode == RevalidationMode::Probe {
             if let Some(probe) = source.probe_dir(&dir) {
                 inc.probes += 1;
+                // Internal invariant: `usable` came from this entry.
                 let entry = state.entries.get(&key).expect("usable entry present");
                 if probe.listed && probe.content_digest() == Some(entry.dir_digest) {
                     inc.probe_hits += 1;
@@ -543,6 +560,7 @@ impl Validator {
         let outcome = source.load_dir(&dir);
         let dir_digest = outcome.content_digest();
         if usable {
+            // Internal invariant: `usable` came from this entry.
             let entry = state.entries.get(&key).expect("usable entry present");
             if dir_digest == Some(entry.dir_digest) {
                 inc.subtrees_reused += 1;
@@ -584,6 +602,8 @@ fn memoize(
     out: &ItemOutput,
     config: ValidationConfig,
 ) {
+    // Internal invariant: only `Prepared::Job` slots carry a MemoMeta,
+    // and `process_job` always attaches observations to those.
     let obs = out.obs.as_ref().expect("job slots carry observations");
     // Unlisted directories have no content digest to key on, and walks
     // that hit a certificate loop depend on the chain's ancestry:
@@ -613,6 +633,7 @@ fn memoize(
         vrps: out.frag.vrps.clone(),
         vrp_records: out.frag.vrp_records.clone(),
         revocations: out.frag.revocations.clone(),
+        rejected_cas: out.frag.rejected_cas.clone(),
         children: out
             .children
             .iter()

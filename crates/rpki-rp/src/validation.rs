@@ -34,6 +34,12 @@ use crate::incremental::ProcessObservations;
 use crate::source::ObjectSource;
 use crate::vrp::{Vrp, VrpCache};
 
+/// Sanity cap on manifest listings. No modelled publication point
+/// comes near this; a listing above it is adversarial (an oversize
+/// listing floods the walk with per-file bookkeeping) and the manifest
+/// is discarded as [`Issue::MalformedObject`].
+pub const MAX_MANIFEST_ENTRIES: usize = 10_000;
+
 /// What to do when a publication point cannot be proven complete
 /// (manifest missing, stale, or unverifiable; or listed files missing
 /// or hash-mismatched).
@@ -68,6 +74,41 @@ pub enum OverclaimPolicy {
     Trim,
 }
 
+/// What to do about *unsafe VRPs*: VRPs whose prefix overlaps the
+/// resources of a CA that was rejected somewhere in the walk.
+///
+/// The concern (borrowed from routinator's `--unsafe-vrps` option) is
+/// that a rejected CA may have held a ROA for the overlapping space;
+/// with that ROA gone, a same-space VRP surviving elsewhere can flip
+/// the victim's announcements from unknown to invalid — Side Effect 6
+/// territory. The flip side is the new attack this knob opens: under
+/// [`UnsafeVrpPolicy::Reject`] a misbehaving parent only has to get a
+/// bogus child certificate rejected over a victim's space to suppress
+/// the victim's perfectly legitimate more-specific VRP.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub enum UnsafeVrpPolicy {
+    /// Take no special action; unsafe-VRP analysis is skipped entirely
+    /// (the production default).
+    #[default]
+    Accept,
+    /// Flag unsafe VRPs in [`ValidationRun::unsafe_vrps`] but keep them
+    /// in the validated set.
+    Warn,
+    /// Flag unsafe VRPs *and* drop them from the validated set.
+    Reject,
+}
+
+impl UnsafeVrpPolicy {
+    /// A short machine-readable label for traces and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UnsafeVrpPolicy::Accept => "accept",
+            UnsafeVrpPolicy::Warn => "warn",
+            UnsafeVrpPolicy::Reject => "reject",
+        }
+    }
+}
+
 /// Validator configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ValidationConfig {
@@ -79,17 +120,26 @@ pub struct ValidationConfig {
     pub overclaim: OverclaimPolicy,
     /// Maximum CA chain depth (cycle/runaway guard).
     pub max_depth: usize,
+    /// Unsafe-VRP handling.
+    pub unsafe_vrps: UnsafeVrpPolicy,
 }
 
 impl ValidationConfig {
-    /// Defaults: accept-partial, strict over-claim handling, depth 32.
+    /// Defaults: accept-partial, strict over-claim handling, depth 32,
+    /// unsafe VRPs accepted.
     pub fn at(now: Moment) -> Self {
         ValidationConfig {
             now,
             incomplete: IncompletePolicy::AcceptPartial,
             overclaim: OverclaimPolicy::Strict,
             max_depth: 32,
+            unsafe_vrps: UnsafeVrpPolicy::default(),
         }
+    }
+
+    /// Same, with the given unsafe-VRP policy.
+    pub fn with_unsafe_policy(self, policy: UnsafeVrpPolicy) -> Self {
+        ValidationConfig { unsafe_vrps: policy, ..self }
     }
 
     /// Same, with the strict completeness policy.
@@ -158,6 +208,10 @@ pub enum Issue {
     DepthExceeded,
     /// A CA key appeared twice on one chain (certificate loop).
     CertificateLoop(String),
+    /// An object decoded but violated a structural sanity bound (e.g. a
+    /// manifest listing more entries than any plausible publication
+    /// point holds). The object is discarded; the walk continues.
+    MalformedObject(String),
 }
 
 /// One validator finding, attributed to the publication point it arose
@@ -203,6 +257,21 @@ pub struct VrpRecord {
     pub serial: u64,
 }
 
+/// A CA certificate (or whole publication point) dropped during the
+/// walk, with the resources it claimed — the raw material of
+/// unsafe-VRP analysis: any surviving VRP overlapping these resources
+/// may have lost a competing or covering ROA with the rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejectedCa {
+    /// Subject handle of the dropped CA (reporting only).
+    pub ca: String,
+    /// The publication directory the rejection is attributed to.
+    pub dir: String,
+    /// The resources the dropped certificate claimed (for a dropped
+    /// publication point: the CA's effective resources).
+    pub resources: ResourceSet,
+}
+
 /// The output of one validation run.
 #[derive(Debug, Default, PartialEq, Eq)]
 pub struct ValidationRun {
@@ -224,6 +293,16 @@ pub struct ValidationRun {
     /// Data provenance per publication point processed: fresh from the
     /// wire, served stale from a snapshot, or absent entirely.
     pub freshness: Vec<(String, Freshness)>,
+    /// CAs (or whole publication points) dropped during the walk, in
+    /// traversal order, with the resources they claimed. Always
+    /// recorded, regardless of [`UnsafeVrpPolicy`].
+    pub rejected_cas: Vec<RejectedCa>,
+    /// VRPs overlapping a rejected CA's resources, sorted. Empty under
+    /// [`UnsafeVrpPolicy::Accept`] (analysis skipped); under
+    /// [`UnsafeVrpPolicy::Reject`] these have additionally been removed
+    /// from [`ValidationRun::vrps`] and
+    /// [`ValidationRun::vrp_records`].
+    pub unsafe_vrps: Vec<Vrp>,
 }
 
 impl ValidationRun {
@@ -280,6 +359,8 @@ impl ValidationRun {
             .u64("fresh_dirs", fresh)
             .u64("stale_dirs", stale)
             .u64("absent_dirs", absent)
+            .u64("rejected_cas", self.rejected_cas.len() as u64)
+            .u64("unsafe_vrps", self.unsafe_vrps.len() as u64)
             .emit();
     }
 }
@@ -339,7 +420,7 @@ impl Validator {
             self.process_ca(source, item, &mut run, &mut queue, None);
         }
 
-        Self::finish(&mut run);
+        self.finish(&mut run);
         run
     }
 
@@ -349,8 +430,11 @@ impl Validator {
     }
 
     /// Final canonicalisation shared by every entry point: the
-    /// order-insensitive vectors are sorted and deduplicated.
-    pub(crate) fn finish(run: &mut ValidationRun) {
+    /// order-insensitive vectors are sorted and deduplicated, then the
+    /// unsafe-VRP policy is applied as a pure post-pass over the
+    /// rejected-CA record (so every tier — cold, incremental, sharded —
+    /// reaches the identical verdict from identical walk outputs).
+    pub(crate) fn finish(&self, run: &mut ValidationRun) {
         run.vrps.sort_unstable();
         run.vrps.dedup();
         run.vrp_records.sort_unstable_by_key(|r| (r.vrp, r.serial));
@@ -358,6 +442,23 @@ impl Validator {
         run.revocations.sort_unstable();
         run.revocations.dedup();
         run.freshness.sort_unstable();
+
+        if self.config.unsafe_vrps == UnsafeVrpPolicy::Accept {
+            return;
+        }
+        let mut rejected = ResourceSet::empty();
+        for r in &run.rejected_cas {
+            rejected = rejected.union(&r.resources);
+        }
+        if rejected.is_empty() {
+            return;
+        }
+        run.unsafe_vrps =
+            run.vrps.iter().copied().filter(|v| rejected.overlaps_prefix(v.prefix)).collect();
+        if self.config.unsafe_vrps == UnsafeVrpPolicy::Reject {
+            run.vrps.retain(|v| !rejected.overlaps_prefix(v.prefix));
+            run.vrp_records.retain(|r| !rejected.overlaps_prefix(r.vrp.prefix));
+        }
     }
 
     pub(crate) fn fetch_ta(
@@ -410,6 +511,11 @@ impl Validator {
                 dir: dir.to_string(),
                 issue: Issue::DepthExceeded,
             });
+            run.rejected_cas.push(RejectedCa {
+                ca: item.cert.data().subject.clone(),
+                dir: dir.to_string(),
+                resources: item.effective.clone(),
+            });
             return;
         }
 
@@ -442,9 +548,18 @@ impl Validator {
             run.diagnostics.push(Diagnostic { ca: handle.clone(), dir: dir_s.clone(), issue });
         };
 
+        let reject_ca = |run: &mut ValidationRun, resources: &ResourceSet| {
+            run.rejected_cas.push(RejectedCa {
+                ca: handle.clone(),
+                dir: dir_s.clone(),
+                resources: resources.clone(),
+            });
+        };
+
         run.freshness.push((dir_s.clone(), outcome.freshness));
         if !outcome.listed {
             diag(run, Issue::UnreachableRepo);
+            reject_ca(run, &resources);
             return;
         }
         for name in &outcome.missing {
@@ -466,7 +581,13 @@ impl Validator {
                     if let Some(o) = obs.as_deref_mut() {
                         o.next_update(m.data().next_update);
                     }
-                    if m.verify(&key).is_err() {
+                    if m.data().entries.len() > MAX_MANIFEST_ENTRIES {
+                        // An adversarial listing can flood the walk
+                        // with MissingFile work; cap it and treat the
+                        // manifest as absent.
+                        diag(run, Issue::MalformedObject(mft_name.clone()));
+                        None
+                    } else if m.verify(&key).is_err() {
                         diag(run, Issue::BadManifestSignature);
                         None
                     } else if m.is_stale_at(self.config.now) {
@@ -521,6 +642,7 @@ impl Validator {
 
         if !complete && self.config.incomplete == IncompletePolicy::RejectPublicationPoint {
             diag(run, Issue::RejectedPublicationPoint);
+            reject_ca(run, &resources);
             return;
         }
 
@@ -578,27 +700,42 @@ impl Validator {
                         o.validity(child.data().validity);
                         o.child_key(child.subject_key_id());
                     }
+                    // Every early `continue` below drops the child's
+                    // whole subtree; record its claimed resources for
+                    // unsafe-VRP analysis.
+                    let reject_child = |run: &mut ValidationRun, child: &ResourceCert| {
+                        run.rejected_cas.push(RejectedCa {
+                            ca: child.data().subject.clone(),
+                            dir: dir_s.clone(),
+                            resources: child.data().resources.clone(),
+                        });
+                    };
                     if child.verify(&key).is_err() {
                         diag(run, Issue::BadSignature(name.clone()));
+                        reject_child(run, &child);
                         continue;
                     }
                     let v = child.data().validity;
                     if v.expired_at(self.config.now) {
                         diag(run, Issue::Expired(name.clone()));
+                        reject_child(run, &child);
                         continue;
                     }
                     if v.not_before > self.config.now {
                         diag(run, Issue::NotYetValid(name.clone()));
+                        reject_child(run, &child);
                         continue;
                     }
                     if revoked(child.data().serial) {
                         diag(run, Issue::Revoked(name.clone()));
+                        reject_child(run, &child);
                         continue;
                     }
                     let child_effective = match self.config.overclaim {
                         OverclaimPolicy::Strict => {
                             if !resources.contains_set(&child.data().resources) {
                                 diag(run, Issue::OverClaim(name.clone()));
+                                reject_child(run, &child);
                                 continue;
                             }
                             child.data().resources.clone()
@@ -617,6 +754,7 @@ impl Validator {
                             o.saw_loop();
                         }
                         diag(run, Issue::CertificateLoop(name.clone()));
+                        reject_child(run, &child);
                         continue;
                     }
                     let mut ancestors = item.ancestors.clone();

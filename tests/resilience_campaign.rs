@@ -15,11 +15,13 @@
 //!   belongs to Suspenders), and timeouts lose slow-served rounds the
 //!   bare RP eventually collects.
 
+use rpki_attacks::CorpusKind;
 use rpki_obs::Recorder;
 use rpki_risk::{
-    run_campaign, run_campaign_shared, standard_campaigns, CampaignOutcome, FaultKind, RpTier,
+    run_campaign, run_campaign_shared, standard_campaigns, CampaignOutcome, CampaignSpec,
+    FaultKind, FaultWindow, RpTier,
 };
-use rpki_rp::ShardPlan;
+use rpki_rp::{ShardPlan, UnsafeVrpPolicy};
 
 fn campaign(name: &str, seed: u64) -> CampaignOutcome {
     let spec = standard_campaigns()
@@ -91,6 +93,95 @@ fn withdrawal_is_bridged_by_suspenders_only() {
     assert_eq!(susp.min_vrps, 8, "{susp:?}");
     assert_eq!(susp.unknown_flips, 0, "{susp:?}");
     assert!(susp.vrp_round_sum > stale.vrp_round_sum);
+}
+
+/// An adversarial-publish campaign: Continental publishes a rejected
+/// over-claimer for one window and a truncated manifest for another,
+/// healing each with an honest snapshot when the window closes.
+fn adversarial_spec() -> CampaignSpec {
+    let c = || "rpki.continental.example".to_owned();
+    CampaignSpec {
+        name: "adversarial-publish".to_owned(),
+        unsafe_vrps: UnsafeVrpPolicy::Warn,
+        rounds: 12,
+        windows: vec![
+            FaultWindow {
+                host: c(),
+                kind: FaultKind::AdversarialPublish { kind: CorpusKind::ResourceOverclaim },
+                from: 2,
+                to: 4,
+            },
+            FaultWindow {
+                host: c(),
+                kind: FaultKind::AdversarialPublish { kind: CorpusKind::TruncatedDer },
+                from: 7,
+                to: 9,
+            },
+        ],
+    }
+}
+
+#[test]
+fn adversarial_publish_campaign_replays_byte_identically() {
+    let spec = adversarial_spec();
+    let a = run_campaign(&spec, 2013);
+    let b = run_campaign(&spec, 2013);
+    assert_eq!(
+        serde_json::to_string(&a).expect("serializes"),
+        serde_json::to_string(&b).expect("serializes"),
+        "adversarial campaign replay diverged"
+    );
+    // The shared-world harness replays identically too, sharded or not.
+    let rec = Recorder::disabled();
+    let shared = run_campaign_shared(&spec, 2013, Some(ShardPlan::new(4)), &rec);
+    let unsharded = run_campaign_shared(&spec, 2013, None, &rec);
+    assert_eq!(
+        serde_json::to_string(&shared).expect("serializes"),
+        serde_json::to_string(&unsharded).expect("serializes"),
+        "sharded adversarial campaign diverged from unsharded"
+    );
+
+    // The poison bites and the healing works: the over-claimer window
+    // flags every surviving VRP unsafe under Warn, and after each
+    // window closes the stale tier is back to the full healthy set.
+    let stale = a.tier(RpTier::RetryingStale);
+    assert!(stale.totals.rejected_ca_rounds > 0, "{:?}", stale.totals);
+    assert!(stale.totals.unsafe_vrp_rounds > 0, "{:?}", stale.totals);
+    let last = stale.rounds.last().expect("rounds recorded");
+    assert_eq!(last.vrps, 8, "the honest snapshot must heal the poison: {last:?}");
+    assert_eq!(last.unsafe_vrps, 0, "healed rounds carry no unsafe VRPs: {last:?}");
+}
+
+#[test]
+fn unsafe_policies_order_vrp_availability() {
+    // One over-claimer window, three policies, same seed. The
+    // `0.0.0.0/0` over-claim makes every surviving VRP unsafe, so:
+    // accept == warn (annotation is free) > reject (suppression).
+    let spec = |policy| CampaignSpec {
+        name: "overclaim-policy".to_owned(),
+        unsafe_vrps: policy,
+        rounds: 8,
+        windows: vec![FaultWindow {
+            host: "rpki.continental.example".to_owned(),
+            kind: FaultKind::AdversarialPublish { kind: CorpusKind::ResourceOverclaim },
+            from: 2,
+            to: 5,
+        }],
+    };
+    let accept = run_campaign(&spec(UnsafeVrpPolicy::Accept), 2013);
+    let warn = run_campaign(&spec(UnsafeVrpPolicy::Warn), 2013);
+    let reject = run_campaign(&spec(UnsafeVrpPolicy::Reject), 2013);
+    for tier in RpTier::ALL {
+        let (a, w, r) =
+            (availability(&accept, tier), availability(&warn, tier), availability(&reject, tier));
+        assert_eq!(a, w, "{tier:?}: warn must not change availability");
+        assert!(r <= w, "{tier:?}: reject gained VRPs over warn ({r} > {w})");
+        if tier != RpTier::Suspenders {
+            assert!(r < w, "{tier:?}: reject must lose the suppressed window ({r} vs {w})");
+        }
+        assert_eq!(accept.tier(tier).totals.unsafe_vrp_rounds, 0, "{tier:?}");
+        assert!(warn.tier(tier).totals.unsafe_vrp_rounds > 0, "{tier:?}");
+    }
 }
 
 /// Fault-campaign soak: sweep all standard campaigns across many seeds
