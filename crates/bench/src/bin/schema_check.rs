@@ -15,6 +15,7 @@ const KNOWN: &[(&str, &str)] = &[
     ("BENCH_propagation.json", "schemas/bench_propagation.schema.json"),
     ("BENCH_validation.json", "schemas/bench_validation.schema.json"),
     ("BENCH_rrdp.json", "schemas/bench_rrdp.schema.json"),
+    ("BENCH_rtr.json", "schemas/bench_rtr.schema.json"),
     ("BENCH_scale.json", "schemas/bench_scale.schema.json"),
     ("BENCH_unsafe_vrp.json", "schemas/bench_unsafe_vrp.schema.json"),
 ];

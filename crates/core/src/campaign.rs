@@ -45,9 +45,11 @@ use rpki_attacks::CorpusKind;
 use rpki_objects::{Moment, RoaPrefix, Span};
 use rpki_obs::Recorder;
 use rpki_repo::{Freshness, RrdpClientState, SyncPolicy};
+use rpki_rp::fabric::{pump_until, RtrEndpoint};
 use rpki_rp::{
-    ResilienceConfig, ResilientState, Route, RouteValidity, ShardPlan, UnsafeVrpPolicy,
-    ValidationRun, ValidationState, Vrp, VrpCache,
+    MergePolicy, Relay, ResilienceConfig, ResilientState, Route, RouteValidity, RtrFabric,
+    RtrRouter, ShardPlan, SlurmFile, UnsafeVrpPolicy, ValidationRun, ValidationState, Vrp,
+    VrpCache, VrpUpdate,
 };
 use serde::Serialize;
 
@@ -106,6 +108,30 @@ pub enum FaultKind {
         /// Which corpus family to publish.
         kind: CorpusKind,
     },
+    /// A hard partition of the RTR feed path (relay ↔ every router):
+    /// the relying parties stay perfectly synchronised while *routers*
+    /// go deaf — the hop the repository fault kinds cannot reach. Only
+    /// [`run_campaign_rtr`] interprets this; repository-only runners
+    /// treat it as a no-op. The window's `host` is a label, not a
+    /// repository lookup.
+    RtrPartition,
+    /// The RTR feed path serves, but `extra` seconds late (Stalloris
+    /// moved one hop down): frames stalled past the per-round pump
+    /// budget never arrive, the session times out, and routers act on
+    /// yesterday's VRPs. Only [`run_campaign_rtr`] interprets this.
+    RtrStall {
+        /// Added one-way delay on relay→router frames.
+        extra: u64,
+    },
+}
+
+impl FaultKind {
+    /// Whether this fault targets the RTR feed path rather than a
+    /// repository host (so `FaultWindow::host` is a label, not a
+    /// lookup).
+    pub fn is_rtr(self) -> bool {
+        matches!(self, FaultKind::RtrPartition | FaultKind::RtrStall { .. })
+    }
 }
 
 /// A fault applied to one repository host over a round interval
@@ -315,6 +341,82 @@ pub struct SharedCampaignOutcome {
 }
 
 impl SharedCampaignOutcome {
+    /// The trace of `tier`.
+    pub fn tier(&self, tier: RpTier) -> &TierOutcome {
+        self.tiers.iter().find(|t| t.tier == tier).expect("all tiers present")
+    }
+}
+
+/// Shape of the RTR fabric a [`run_campaign_rtr`] run attaches to the
+/// shared world: a relay merging the five tier feeds, re-serving a
+/// population of routers.
+#[derive(Debug, Clone, Copy)]
+pub struct RtrConfig {
+    /// Routers behind the relay.
+    pub routers: usize,
+    /// Per-serial delta-history depth on every cache (tier fabrics and
+    /// the relay's downstream target).
+    pub max_history: usize,
+    /// How the relay merges the five tier feeds.
+    pub policy: MergePolicy,
+    /// Seconds of simulated time each of the round's two RTR pump
+    /// windows may consume. Frames stalled past the budget never
+    /// arrive: the session times out (the pair is flushed) and the
+    /// router stays stale until a later round reaches it.
+    pub pump_budget: u64,
+}
+
+impl Default for RtrConfig {
+    fn default() -> Self {
+        RtrConfig { routers: 8, max_history: 16, policy: MergePolicy::Union, pump_budget: 300 }
+    }
+}
+
+/// What the router population saw in one round. All integers, so the
+/// serialized outcome replays byte-identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RtrRoundMetrics {
+    /// Round number (1-based).
+    pub round: usize,
+    /// The relay's downstream serial after this round's republish.
+    pub relay_serial: u32,
+    /// Routers whose serial equals the relay's.
+    pub synced_routers: usize,
+    /// Routers lagging the relay (behind by ≥1 serial, or never
+    /// synced at all).
+    pub stale_routers: usize,
+    /// The largest serial lag among routers that have synced at least
+    /// once (RFC 1982 distance).
+    pub max_serial_lag: u32,
+    /// Σ over routers of the symmetric difference between the router's
+    /// VRP set and the perfect-transport truth at the round's moment.
+    pub truth_distance_sum: usize,
+    /// The single worst router's distance from truth.
+    pub max_truth_distance: usize,
+    /// Symmetric difference between the relay's merged (SLURM-applied)
+    /// set and the truth — divergence the *relying-party* path
+    /// contributed, before the router hop adds its own lag.
+    pub relay_truth_distance: usize,
+}
+
+/// The result of running one campaign with the RTR fabric attached.
+#[derive(Debug, Clone, Serialize)]
+pub struct RtrCampaignOutcome {
+    /// The campaign's name.
+    pub name: String,
+    /// The network seed used.
+    pub seed: u64,
+    /// Rounds per tier.
+    pub rounds: usize,
+    /// Routers behind the relay.
+    pub routers: usize,
+    /// One validation trace per tier, in [`RpTier::ALL`] order.
+    pub tiers: Vec<TierOutcome>,
+    /// Per-round router-population staleness and divergence.
+    pub rtr: Vec<RtrRoundMetrics>,
+}
+
+impl RtrCampaignOutcome {
     /// The trace of `tier`.
     pub fn tier(&self, tier: RpTier) -> &TierOutcome {
         self.tiers.iter().find(|t| t.tier == tier).expect("all tiers present")
@@ -536,6 +638,341 @@ pub fn run_campaign_shared(
         tiers,
         divergence,
         load,
+    }
+}
+
+/// Runs `spec` at `seed` with the five tiers validating a **shared**
+/// world *and* feeding an RTR fabric: each tier publishes its validated
+/// VRPs into its own framed RTR cache, an rtrtr-style relay merges the
+/// five feeds under `rtr.policy` (SLURM exceptions via `slurm`), and
+/// `rtr.routers` routers sync from the relay over netsim — so the
+/// repository fault kinds *and* the RTR fault kinds
+/// ([`FaultKind::RtrPartition`], [`FaultKind::RtrStall`]) land on one
+/// deterministic timeline.
+///
+/// Each round: faults are armed, every tier validates (the RTR queue is
+/// empty while repository syncs drive the network), every tier fabric
+/// publishes its snapshot, the relay polls its feeds and republishes
+/// the merge, every router polls, and two bounded pump windows
+/// (`rtr.pump_budget` each) carry the frames. Frames still in flight
+/// after the second window are flushed — the session-timeout model —
+/// so a stalled RTR path yields visibly stale routers instead of a
+/// silently extended round.
+pub fn run_campaign_rtr(
+    spec: &CampaignSpec,
+    seed: u64,
+    rtr: RtrConfig,
+    slurm: &SlurmFile,
+    recorder: &Recorder,
+) -> RtrCampaignOutcome {
+    struct TierState {
+        tier: RpTier,
+        rp: NodeId,
+        validation: ValidationState,
+        resilient: ResilientState,
+        suspenders: SuspendersState,
+        rrdp: RrdpClientState,
+        prev_downgrades: u64,
+        rounds: Vec<RoundMetrics>,
+    }
+
+    let mut w = ModelRpki::build_seeded(seed);
+    w.net.set_recorder(recorder.clone());
+    let policy = campaign_policy();
+    let mut tiers: Vec<TierState> = RpTier::ALL
+        .iter()
+        .map(|&tier| TierState {
+            tier,
+            rp: w.net.add_node(&format!("rp-{}", tier.label())),
+            validation: ValidationState::full(),
+            resilient: ResilientState::new(campaign_resilience()),
+            suspenders: SuspendersState::new(SuspendersConfig { hold_down: Span::days(1) }),
+            rrdp: RrdpClientState::new(),
+            prev_downgrades: 0,
+            rounds: Vec::with_capacity(spec.rounds),
+        })
+        .collect();
+    let rp_nodes: Vec<NodeId> = tiers.iter().map(|t| t.rp).collect();
+
+    // The RTR side: one framed cache per tier, a relay merging all
+    // five, and the router population behind the relay.
+    let relay_node = w.net.add_node("rtr-relay");
+    let mut fabrics: Vec<RtrFabric> = tiers
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut f = RtrFabric::new(t.rp, (i + 1) as u16, rtr.max_history);
+            f.attach(relay_node);
+            f
+        })
+        .collect();
+    let mut relay = Relay::new(relay_node, rtr.policy, slurm.clone(), 100, rtr.max_history);
+    for t in &tiers {
+        relay.add_feed(t.rp);
+    }
+    let router_nodes: Vec<NodeId> =
+        (0..rtr.routers).map(|i| w.net.add_node(&format!("router-{i}"))).collect();
+    let mut routers: Vec<RtrRouter> = router_nodes
+        .iter()
+        .map(|&node| {
+            relay.attach(node);
+            RtrRouter::new(node, relay_node)
+        })
+        .collect();
+    let mut engaged: BTreeSet<usize> = BTreeSet::new();
+
+    // One full faultless cycle: validate, publish, merge, sync — so
+    // round 1 starts from converged routers.
+    let mut warm_feeds: Vec<Vec<Vrp>> = Vec::with_capacity(tiers.len());
+    for t in &mut tiers {
+        w.rp_node = t.rp;
+        let moment = Moment(w.net.now());
+        let run = validate_tier(
+            &mut w,
+            t.tier,
+            moment,
+            policy,
+            &mut t.resilient,
+            &mut t.suspenders,
+            &mut t.rrdp,
+            Some(&mut t.validation),
+            None,
+            spec.unsafe_vrps,
+        );
+        t.prev_downgrades = t.rrdp.stats().downgrades;
+        warm_feeds.push(tier_feed(t.tier, &run, &t.suspenders));
+    }
+    for (f, feed) in fabrics.iter_mut().zip(&warm_feeds) {
+        f.publish(&mut w.net, VrpUpdate::snapshot(feed.iter().copied()));
+    }
+    relay.poll_feeds(&mut w.net);
+    pump_rtr(&mut w.net, rtr.pump_budget, &mut fabrics, &mut relay, &mut routers);
+    relay.republish(&mut w.net);
+    for r in &mut routers {
+        r.poll(&mut w.net);
+    }
+    pump_rtr(&mut w.net, rtr.pump_budget, &mut fabrics, &mut relay, &mut routers);
+    flush_rtr(&mut w.net, &rp_nodes, relay_node, &router_nodes);
+
+    let mut rtr_rounds: Vec<RtrRoundMetrics> = Vec::with_capacity(spec.rounds);
+    for round in 1..=spec.rounds {
+        w.net.advance_to(round as u64 * ROUND_SECS);
+        apply_faults_to(&mut w, spec, round, &mut engaged, &rp_nodes);
+        apply_rtr_faults(&mut w.net, spec, round, relay_node, &router_nodes);
+
+        // Validate every tier first (the RTR queue is empty, so the
+        // repository sync drivers own the network), then publish.
+        let mut feeds: Vec<Vec<Vrp>> = Vec::with_capacity(tiers.len());
+        for t in &mut tiers {
+            w.rp_node = t.rp;
+            let moment = Moment(w.net.now());
+            let run = validate_tier(
+                &mut w,
+                t.tier,
+                moment,
+                policy,
+                &mut t.resilient,
+                &mut t.suspenders,
+                &mut t.rrdp,
+                Some(&mut t.validation),
+                None,
+                spec.unsafe_vrps,
+            );
+            let m = round_metrics(
+                &w,
+                t.tier,
+                round,
+                &run,
+                &t.suspenders,
+                &t.rrdp,
+                &mut t.prev_downgrades,
+            );
+            emit_round(recorder, spec, t.tier, moment.0, &m);
+            t.rounds.push(m);
+            feeds.push(tier_feed(t.tier, &run, &t.suspenders));
+        }
+        for (f, feed) in fabrics.iter_mut().zip(&feeds) {
+            f.publish(&mut w.net, VrpUpdate::snapshot(feed.iter().copied()));
+        }
+        relay.poll_feeds(&mut w.net);
+        pump_rtr(&mut w.net, rtr.pump_budget, &mut fabrics, &mut relay, &mut routers);
+        relay.republish(&mut w.net);
+        for r in &mut routers {
+            r.poll(&mut w.net);
+        }
+        pump_rtr(&mut w.net, rtr.pump_budget, &mut fabrics, &mut relay, &mut routers);
+        // Session timeout: anything still in flight is dead air.
+        flush_rtr(&mut w.net, &rp_nodes, relay_node, &router_nodes);
+
+        // Truth: a perfect-transport walk of the repositories as they
+        // stand now. Router divergence from it is the paper's bottom
+        // line — what BGP actually acts on versus what the authorities
+        // published.
+        let truth: BTreeSet<Vrp> =
+            w.validate_direct(Moment(w.net.now())).vrps.into_iter().collect();
+        let relay_serial = relay.target().server().serial();
+        let relay_session = relay.target().server().session();
+        let mut m = RtrRoundMetrics { round, relay_serial, ..RtrRoundMetrics::default() };
+        for r in &routers {
+            // Ground truth from the router's own state machine — the
+            // fabric's session table is optimistic under frame loss
+            // (it records what was *served*, not what arrived).
+            let client = r.client();
+            if client.session() == Some(relay_session) {
+                let lag = rpki_rp::serial_distance(client.serial(), relay_serial);
+                if lag == 0 {
+                    m.synced_routers += 1;
+                } else {
+                    m.stale_routers += 1;
+                    m.max_serial_lag = m.max_serial_lag.max(lag);
+                }
+            } else {
+                m.stale_routers += 1;
+            }
+            let dist = r.vrps().symmetric_difference(&truth).count();
+            m.truth_distance_sum += dist;
+            m.max_truth_distance = m.max_truth_distance.max(dist);
+        }
+        m.relay_truth_distance = relay.merged().symmetric_difference(&truth).count();
+        if recorder.is_enabled() {
+            recorder.count("rtr.stale_router_rounds", m.stale_routers as u64);
+            recorder.observe("rtr.truth_distance", m.truth_distance_sum as u64);
+            recorder
+                .event(w.net.now(), "rtr", "round")
+                .str("campaign", &spec.name)
+                .u64("round", round as u64)
+                .u64("relay_serial", u64::from(m.relay_serial))
+                .u64("synced_routers", m.synced_routers as u64)
+                .u64("stale_routers", m.stale_routers as u64)
+                .u64("max_serial_lag", u64::from(m.max_serial_lag))
+                .u64("truth_distance_sum", m.truth_distance_sum as u64)
+                .u64("max_truth_distance", m.max_truth_distance as u64)
+                .u64("relay_truth_distance", m.relay_truth_distance as u64)
+                .emit();
+        }
+        rtr_rounds.push(m);
+    }
+
+    let tiers = tiers
+        .into_iter()
+        .map(|t| TierOutcome { tier: t.tier, totals: tier_totals(&t.rounds), rounds: t.rounds })
+        .collect();
+    RtrCampaignOutcome {
+        name: spec.name.clone(),
+        seed,
+        rounds: spec.rounds,
+        routers: rtr.routers,
+        tiers,
+        rtr: rtr_rounds,
+    }
+}
+
+/// What a tier feeds its RTR cache: the Suspenders tier serves its
+/// hold-down-protected effective set, every other tier serves the
+/// validation run's VRPs — the same sets [`round_metrics`] classifies
+/// against.
+fn tier_feed(tier: RpTier, run: &ValidationRun, suspenders: &SuspendersState) -> Vec<Vrp> {
+    if tier == RpTier::Suspenders {
+        suspenders.effective_cache().vrps().to_vec()
+    } else {
+        run.vrps.clone()
+    }
+}
+
+/// One bounded RTR pump window over all fabric endpoints.
+fn pump_rtr(
+    net: &mut netsim::Network,
+    budget: u64,
+    fabrics: &mut [RtrFabric],
+    relay: &mut Relay,
+    routers: &mut [RtrRouter],
+) {
+    let deadline = net.now() + budget;
+    let mut endpoints: Vec<&mut dyn RtrEndpoint> =
+        Vec::with_capacity(fabrics.len() + routers.len() + 1);
+    for f in fabrics.iter_mut() {
+        endpoints.push(f);
+    }
+    endpoints.push(relay);
+    for r in routers.iter_mut() {
+        endpoints.push(r);
+    }
+    pump_until(net, deadline, &mut endpoints);
+}
+
+/// Discards every RTR frame still in flight (tier→relay and
+/// relay→router, both directions): the session-timeout model that
+/// turns a stalled path into visible staleness.
+fn flush_rtr(
+    net: &mut netsim::Network,
+    fabric_nodes: &[NodeId],
+    relay_node: NodeId,
+    router_nodes: &[NodeId],
+) {
+    for &f in fabric_nodes {
+        net.flush_pair(f, relay_node);
+    }
+    for &r in router_nodes {
+        net.flush_pair(relay_node, r);
+    }
+}
+
+/// Clears, then re-arms, this round's RTR-path faults (relay ↔ every
+/// router). Mirrors [`apply_faults_to`]'s clear-then-arm shape so
+/// expired windows heal.
+fn apply_rtr_faults(
+    net: &mut netsim::Network,
+    spec: &CampaignSpec,
+    round: usize,
+    relay_node: NodeId,
+    router_nodes: &[NodeId],
+) {
+    for win in &spec.windows {
+        for &r in router_nodes {
+            match win.kind {
+                FaultKind::RtrPartition => net.faults.heal(relay_node, r),
+                FaultKind::RtrStall { .. } => net.faults.set_stall(relay_node, r, 0),
+                _ => {}
+            }
+        }
+    }
+    for win in &spec.windows {
+        if !win.active(round) {
+            continue;
+        }
+        for &r in router_nodes {
+            match win.kind {
+                FaultKind::RtrPartition => net.faults.partition(relay_node, r),
+                FaultKind::RtrStall { extra } => net.faults.set_stall(relay_node, r, extra),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The standard RTR campaign: the feed path stalls Stalloris-style
+/// while the authority whacks the covering ROA behind it — relying
+/// parties see the whack on time, routers act on the pre-whack VRPs
+/// until the stall lifts.
+pub fn rtr_campaign() -> CampaignSpec {
+    CampaignSpec {
+        name: "rtr-stale-routers".to_owned(),
+        unsafe_vrps: UnsafeVrpPolicy::Accept,
+        rounds: 10,
+        windows: vec![
+            FaultWindow {
+                host: "rtr".to_owned(),
+                kind: FaultKind::RtrStall { extra: 3600 },
+                from: 3,
+                to: 5,
+            },
+            FaultWindow {
+                host: "rpki.continental.example".to_owned(),
+                kind: FaultKind::Withdraw,
+                from: 4,
+                to: 6,
+            },
+        ],
     }
 }
 
@@ -763,6 +1200,9 @@ fn apply_faults_to(
     // Clear every window's effect first so expired and flapping
     // windows heal; active ones are re-armed below.
     for win in &spec.windows {
+        if win.kind.is_rtr() {
+            continue; // handled by the RTR runner; `host` is a label
+        }
         let node = w.repos.by_host(&win.host).expect("campaign host exists").node();
         for &rp in rps {
             match win.kind {
@@ -785,6 +1225,9 @@ fn apply_faults_to(
     }
 
     for (i, win) in spec.windows.iter().enumerate() {
+        if win.kind.is_rtr() {
+            continue;
+        }
         let node = w.repos.by_host(&win.host).expect("campaign host exists").node();
         let active = win.active(round);
         for &rp in rps {
@@ -1119,6 +1562,102 @@ mod tests {
         // Deterministic replay, since every fault here is dice-free.
         let again = run_campaign_shared(&takedown_spec(), 42, None, &Recorder::disabled());
         assert_eq!(serde_json::to_string(&out).unwrap(), serde_json::to_string(&again).unwrap());
+    }
+
+    #[test]
+    fn rtr_stall_makes_routers_stale_then_recovers() {
+        // Intersection policy: the withdraw shrinks the merge the
+        // moment any tier sees it, so the stalled feed path (rounds
+        // 3–5) leaves routers acting on the pre-whack VRPs.
+        let cfg = RtrConfig { routers: 4, policy: MergePolicy::All, ..RtrConfig::default() };
+        let out =
+            run_campaign_rtr(&rtr_campaign(), 42, cfg, &SlurmFile::empty(), &Recorder::disabled());
+        assert_eq!(out.rtr.len(), 10);
+        assert_eq!(out.routers, 4);
+
+        // Healthy rounds: everyone synced, routers hold the truth.
+        let r1 = &out.rtr[0];
+        assert_eq!(r1.synced_routers, 4, "{r1:?}");
+        assert_eq!(r1.stale_routers, 0, "{r1:?}");
+        assert_eq!(r1.truth_distance_sum, 0, "{r1:?}");
+        assert_eq!(r1.relay_truth_distance, 0, "{r1:?}");
+
+        // The whack lands behind the stalled feed (round 4): the relay
+        // knows, the routers cannot hear — every router is stale and
+        // still holds the whacked VRP.
+        let r4 = &out.rtr[3];
+        assert_eq!(r4.stale_routers, 4, "{r4:?}");
+        assert!(r4.max_serial_lag >= 1, "{r4:?}");
+        assert_eq!(r4.truth_distance_sum, 4, "one whacked VRP per router: {r4:?}");
+        assert_eq!(r4.relay_truth_distance, 0, "the relay itself kept up: {r4:?}");
+
+        // The stall lifts at round 6: routers drain the delta history
+        // and reconverge without a reset storm.
+        let r6 = &out.rtr[5];
+        assert_eq!(r6.synced_routers, 4, "{r6:?}");
+        assert_eq!(r6.truth_distance_sum, 0, "{r6:?}");
+
+        // After the reissue everyone is whole again.
+        let last = out.rtr.last().unwrap();
+        assert_eq!(last.synced_routers, 4, "{last:?}");
+        assert_eq!(last.truth_distance_sum, 0, "{last:?}");
+    }
+
+    #[test]
+    fn rtr_partition_blocks_even_resets() {
+        let spec = CampaignSpec {
+            name: "rtr-p".to_owned(),
+            unsafe_vrps: UnsafeVrpPolicy::Accept,
+            rounds: 6,
+            windows: vec![
+                FaultWindow {
+                    host: "rtr".to_owned(),
+                    kind: FaultKind::RtrPartition,
+                    from: 2,
+                    to: 4,
+                },
+                FaultWindow {
+                    host: "rpki.continental.example".to_owned(),
+                    kind: FaultKind::Withdraw,
+                    from: 2,
+                    to: 4,
+                },
+            ],
+        };
+        let cfg = RtrConfig { routers: 3, policy: MergePolicy::All, ..RtrConfig::default() };
+        let out = run_campaign_rtr(&spec, 42, cfg, &SlurmFile::empty(), &Recorder::disabled());
+        // During the partition the routers hold the pre-whack set.
+        let r2 = &out.rtr[1];
+        assert_eq!(r2.stale_routers, 3, "{r2:?}");
+        assert_eq!(r2.truth_distance_sum, 3, "{r2:?}");
+        // Heal + reissue: converged again by the final round.
+        let last = out.rtr.last().unwrap();
+        assert_eq!(last.synced_routers, 3, "{last:?}");
+        assert_eq!(last.truth_distance_sum, 0, "{last:?}");
+        // The repository-side tiers never noticed the RTR fault.
+        assert_eq!(out.tier(RpTier::Bare).totals.stale_dir_rounds, 0);
+    }
+
+    #[test]
+    fn rtr_campaign_replay_is_identical() {
+        let cfg = RtrConfig { routers: 3, policy: MergePolicy::All, ..RtrConfig::default() };
+        let a = serde_json::to_string(&run_campaign_rtr(
+            &rtr_campaign(),
+            7,
+            cfg,
+            &SlurmFile::empty(),
+            &Recorder::disabled(),
+        ))
+        .unwrap();
+        let b = serde_json::to_string(&run_campaign_rtr(
+            &rtr_campaign(),
+            7,
+            cfg,
+            &SlurmFile::empty(),
+            &Recorder::disabled(),
+        ))
+        .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

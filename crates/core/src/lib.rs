@@ -56,9 +56,10 @@ pub mod tradeoff;
 pub mod validate;
 
 pub use campaign::{
-    run_campaign, run_campaign_cold, run_campaign_shared, run_campaign_traced, standard_campaigns,
-    CampaignOutcome, CampaignSpec, DivergenceMetrics, FaultKind, FaultWindow, HostLoad,
-    RoundMetrics, RpTier, SharedCampaignOutcome, TierOutcome, TierTotals,
+    rtr_campaign, run_campaign, run_campaign_cold, run_campaign_rtr, run_campaign_shared,
+    run_campaign_traced, standard_campaigns, CampaignOutcome, CampaignSpec, DivergenceMetrics,
+    FaultKind, FaultWindow, HostLoad, RoundMetrics, RpTier, RtrCampaignOutcome, RtrConfig,
+    RtrRoundMetrics, SharedCampaignOutcome, TierOutcome, TierTotals,
 };
 pub use downgrade::{
     run_downgrade_scenario, run_downgrade_scheduled, run_downgrade_traced, DowngradeOutcome,

@@ -124,7 +124,7 @@ impl<'a> ValidationOptions<'a> {
     /// of being re-walked, the output stays byte-identical to a cold
     /// run, and `state` carries the VRP delta against the previous run
     /// (feed it to an RTR server via
-    /// [`RtrServer::apply_delta`](rpki_rp::RtrServer::apply_delta)).
+    /// [`RtrServer::publish`](rpki_rp::RtrServer::publish)).
     /// `state` persists across runs; its
     /// [stats](ValidationState::stats) are emitted through the world's
     /// recorder after each run.

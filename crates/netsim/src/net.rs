@@ -349,6 +349,17 @@ impl Network {
         self.queue.is_empty()
     }
 
+    /// Timestamp of the earliest queued event, if any.
+    ///
+    /// Lets a driver pump the network only up to a deadline: peek, and
+    /// if the next event lies past the deadline, stop stepping and
+    /// [`Network::advance_to`] the deadline instead — the late event
+    /// stays queued. The RTR fabric uses this to model a bounded poll
+    /// window: frames stalled beyond it leave routers visibly stale.
+    pub fn next_event_at(&self) -> Option<u64> {
+        self.queue.peek().map(|Reverse(e)| e.at)
+    }
+
     /// Advances to the next event and resolves it. Returns `None` when
     /// the queue is empty. The clock jumps to the event's time.
     pub fn step(&mut self) -> Option<Occurrence> {
@@ -490,6 +501,23 @@ mod tests {
         }
         assert_eq!(net.now(), 10);
         assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn next_event_at_peeks_without_stepping() {
+        let (mut net, a, b) = two_nodes();
+        assert_eq!(net.next_event_at(), None);
+        net.send(a, b, vec![1]); // default latency 10
+        net.set_timer(a, 25, 7);
+        assert_eq!(net.next_event_at(), Some(10));
+        assert_eq!(net.now(), 0, "peeking must not advance time");
+        net.step();
+        assert_eq!(net.next_event_at(), Some(25));
+        // A deadline-bounded driver stops here and leaves the event queued.
+        net.advance_to(20);
+        assert_eq!(net.next_event_at(), Some(25));
+        net.step();
+        assert_eq!(net.next_event_at(), None);
     }
 
     #[test]

@@ -55,7 +55,7 @@
 //!
 //! Each run also leaves a [`VrpDelta`] (announce/withdraw against the
 //! previous run) in the state, ready to feed
-//! [`RtrServer::apply_delta`](crate::rtr::RtrServer::apply_delta) so an
+//! [`RtrServer::publish`](crate::rtr::RtrServer::publish) so an
 //! RTR serial bump carries a real delta instead of a recomputed set.
 
 use std::collections::{BTreeMap, BTreeSet};

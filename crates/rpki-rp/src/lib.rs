@@ -22,8 +22,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fabric;
 pub mod incremental;
 pub mod ov;
+pub mod relay;
 pub mod resilience;
 pub mod rrdp;
 pub mod rtr;
@@ -32,11 +34,15 @@ pub mod source;
 pub mod validation;
 pub mod vrp;
 
+pub use fabric::{pump_until, FabricStats, RtrEndpoint, RtrFabric, RtrRouter};
 pub use incremental::{RevalidationMode, RevalidationStats, ValidationState, VrpDelta};
 pub use ov::{Route, RouteValidity};
+pub use relay::{reference_merge, MergePolicy, Relay, SlurmFile, SlurmFilter};
 pub use resilience::{FetchHealth, ResilienceConfig, ResilientState};
 pub use rrdp::RrdpSource;
-pub use rtr::{ClientAction, Delta, RtrClient, RtrPdu, RtrServer};
+pub use rtr::{
+    serial_distance, serial_newer, ClientAction, Delta, RtrClient, RtrPdu, RtrServer, VrpUpdate,
+};
 pub use shard::{ShardPlan, ShardStats};
 pub use source::{DirectSource, NetworkSource, ObjectSource, ResilientSource};
 pub use validation::{

@@ -24,7 +24,56 @@ use std::collections::{BTreeSet, VecDeque};
 
 use rpki_objects::{Decode, DecodeError, Encode, Reader};
 
+use crate::incremental::VrpDelta;
 use crate::vrp::{Vrp, VrpCache};
+
+/// RFC 1982 serial-number comparison: is `a` newer than `b`?
+///
+/// RTR serials are 32-bit and wrap (RFC 6810 §5.3 defers to RFC 1982),
+/// so plain `u32` ordering breaks at the wrap boundary: serial `0` is
+/// *newer* than serial `u32::MAX`. Two serials are comparable when
+/// their distance is under `2^31`; the half-universe ambiguity never
+/// arises here because the delta history is far shallower than `2^31`.
+pub fn serial_newer(a: u32, b: u32) -> bool {
+    a != b && a.wrapping_sub(b) < (1 << 31)
+}
+
+/// How many serial increments lead from `from` to `to`, wrapping.
+/// Meaningful when `to` is not older than `from` (RFC 1982 terms).
+pub fn serial_distance(from: u32, to: u32) -> u32 {
+    to.wrapping_sub(from)
+}
+
+/// One unit of new data for [`RtrServer::publish`]: either a complete
+/// VRP snapshot (the server diffs it against its current set) or a
+/// pre-computed [`VrpDelta`] from an incremental validation run
+/// (applied in O(delta) without touching the rest of the set).
+#[derive(Debug, Clone)]
+pub enum VrpUpdate<'a> {
+    /// A full validated VRP set, e.g. [`ValidationRun::vrps`]
+    /// (duplicates collapse).
+    ///
+    /// [`ValidationRun::vrps`]: crate::validation::ValidationRun::vrps
+    Snapshot(BTreeSet<Vrp>),
+    /// An announce/withdraw delta against the previous run, e.g.
+    /// [`ValidationState::last_delta`].
+    ///
+    /// [`ValidationState::last_delta`]: crate::incremental::ValidationState::last_delta
+    Delta(&'a VrpDelta),
+}
+
+impl VrpUpdate<'_> {
+    /// A snapshot update from any VRP iterator.
+    pub fn snapshot<I: IntoIterator<Item = Vrp>>(vrps: I) -> Self {
+        VrpUpdate::Snapshot(vrps.into_iter().collect())
+    }
+}
+
+impl<'a> From<&'a VrpDelta> for VrpUpdate<'a> {
+    fn from(delta: &'a VrpDelta) -> Self {
+        VrpUpdate::Delta(delta)
+    }
+}
 
 /// One VRP change: announced (`true`) or withdrawn (`false`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,9 +220,16 @@ pub struct RtrServer {
 impl RtrServer {
     /// A server with the given session id and delta-history depth.
     pub fn new(session: u16, max_history: usize) -> Self {
+        RtrServer::new_at(session, max_history, 0)
+    }
+
+    /// A server whose serial counter starts at `serial` — for resuming
+    /// a persisted session, and for exercising the RFC 1982 wrap
+    /// boundary (start near `u32::MAX` and publish across it).
+    pub fn new_at(session: u16, max_history: usize, serial: u32) -> Self {
         RtrServer {
             session,
-            serial: 0,
+            serial,
             current: BTreeSet::new(),
             history: VecDeque::new(),
             max_history,
@@ -190,57 +246,67 @@ impl RtrServer {
         self.session
     }
 
-    /// Installs a new VRP snapshot (e.g. after a validation run).
-    /// Computes the delta, bumps the serial, and returns the
-    /// `SerialNotify` to broadcast — or `None` if nothing changed.
-    pub fn update<I: IntoIterator<Item = Vrp>>(&mut self, vrps: I) -> Option<RtrPdu> {
-        let new: BTreeSet<Vrp> = vrps.into_iter().collect();
-        let mut delta: Vec<Delta> = Vec::new();
-        for &v in new.difference(&self.current) {
-            delta.push(Delta { vrp: v, announce: true });
-        }
-        for &v in self.current.difference(&new) {
-            delta.push(Delta { vrp: v, announce: false });
-        }
-        if delta.is_empty() {
+    /// Publishes new data: the one entry point for feeding the server.
+    ///
+    /// A [`VrpUpdate::Snapshot`] is diffed against the current set (the
+    /// post-validation path); a [`VrpUpdate::Delta`] is applied change
+    /// by change in O(delta) (the incremental path), with no-ops
+    /// against the current set (already-announced VRPs, withdrawals of
+    /// absent VRPs) skipped. Either way the server bumps its serial
+    /// (wrapping, per RFC 1982), records the effective changes in the
+    /// bounded delta history, and returns the `SerialNotify` to
+    /// broadcast — or `None` if nothing effectively changed.
+    pub fn publish(&mut self, update: VrpUpdate<'_>) -> Option<RtrPdu> {
+        let changes: Vec<Delta> = match update {
+            VrpUpdate::Snapshot(new) => {
+                let mut delta: Vec<Delta> = Vec::new();
+                for &v in new.difference(&self.current) {
+                    delta.push(Delta { vrp: v, announce: true });
+                }
+                for &v in self.current.difference(&new) {
+                    delta.push(Delta { vrp: v, announce: false });
+                }
+                if !delta.is_empty() {
+                    self.current = new;
+                }
+                delta
+            }
+            VrpUpdate::Delta(delta) => {
+                let mut changes: Vec<Delta> = Vec::new();
+                for &vrp in &delta.announce {
+                    if self.current.insert(vrp) {
+                        changes.push(Delta { vrp, announce: true });
+                    }
+                }
+                for vrp in &delta.withdraw {
+                    if self.current.remove(vrp) {
+                        changes.push(Delta { vrp: *vrp, announce: false });
+                    }
+                }
+                changes
+            }
+        };
+        if changes.is_empty() {
             return None;
         }
-        self.serial += 1;
-        self.current = new;
-        self.history.push_back((self.serial, delta));
+        self.serial = self.serial.wrapping_add(1);
+        self.history.push_back((self.serial, changes));
         while self.history.len() > self.max_history {
             self.history.pop_front();
         }
         Some(RtrPdu::SerialNotify { session: self.session, serial: self.serial })
     }
 
-    /// Applies a pre-computed VRP delta (e.g. from an incremental
-    /// validation run) instead of diffing a full snapshot: O(delta)
-    /// rather than O(set). Changes that are no-ops against the current
-    /// set (already-announced VRPs, withdrawals of absent VRPs) are
-    /// skipped. Bumps the serial and returns the `SerialNotify` to
-    /// broadcast, or `None` if nothing effectively changed.
-    pub fn apply_delta(&mut self, delta: &crate::incremental::VrpDelta) -> Option<RtrPdu> {
-        let mut changes: Vec<Delta> = Vec::new();
-        for &vrp in &delta.announce {
-            if self.current.insert(vrp) {
-                changes.push(Delta { vrp, announce: true });
-            }
-        }
-        for vrp in &delta.withdraw {
-            if self.current.remove(vrp) {
-                changes.push(Delta { vrp: *vrp, announce: false });
-            }
-        }
-        if changes.is_empty() {
-            return None;
-        }
-        self.serial += 1;
-        self.history.push_back((self.serial, changes));
-        while self.history.len() > self.max_history {
-            self.history.pop_front();
-        }
-        Some(RtrPdu::SerialNotify { session: self.session, serial: self.serial })
+    /// Installs a new VRP snapshot.
+    #[deprecated(since = "0.1.0", note = "use `publish(VrpUpdate::snapshot(...))`")]
+    pub fn update<I: IntoIterator<Item = Vrp>>(&mut self, vrps: I) -> Option<RtrPdu> {
+        self.publish(VrpUpdate::snapshot(vrps))
+    }
+
+    /// Applies a pre-computed VRP delta.
+    #[deprecated(since = "0.1.0", note = "use `publish(VrpUpdate::Delta(...))`")]
+    pub fn apply_delta(&mut self, delta: &VrpDelta) -> Option<RtrPdu> {
+        self.publish(VrpUpdate::Delta(delta))
     }
 
     /// Starts a new RTR session: new session id, serial restarted at 0,
@@ -285,12 +351,20 @@ impl RtrServer {
                         RtrPdu::EndOfData { session: self.session, serial: self.serial },
                     ];
                 }
+                if serial_newer(*serial, self.serial) {
+                    // The client claims a future serial: its state is
+                    // not one this session produced. Start over.
+                    return vec![RtrPdu::CacheReset];
+                }
                 // Can we replay from the client's serial? We need every
-                // delta with serial > client serial, contiguously.
+                // delta newer than the client's serial, contiguously.
+                // All comparisons are RFC 1982 (wrapping): the history
+                // may straddle the u32 wrap boundary.
                 let available: Vec<&(u32, Vec<Delta>)> =
-                    self.history.iter().filter(|(s, _)| *s > *serial).collect();
-                let contiguous = available.first().map(|(s, _)| *s == serial + 1).unwrap_or(false)
-                    && available.len() as u32 == self.serial - serial;
+                    self.history.iter().filter(|(s, _)| serial_newer(*s, *serial)).collect();
+                let contiguous =
+                    available.first().map(|(s, _)| *s == serial.wrapping_add(1)).unwrap_or(false)
+                        && available.len() as u32 == serial_distance(*serial, self.serial);
                 if !contiguous {
                     return vec![RtrPdu::CacheReset];
                 }
@@ -341,6 +415,18 @@ impl RtrClient {
         self.serial
     }
 
+    /// The established session id, if any.
+    pub fn session(&self) -> Option<u16> {
+        self.session
+    }
+
+    /// The router's current VRPs as a sorted set (cheap; building a
+    /// queryable [`VrpCache`] via [`cache`](RtrClient::cache) is the
+    /// expensive form).
+    pub fn vrp_set(&self) -> &BTreeSet<Vrp> {
+        &self.vrps
+    }
+
     /// The PDU to send when polling the server.
     pub fn poll(&self) -> RtrPdu {
         match self.session {
@@ -353,7 +439,7 @@ impl RtrClient {
     pub fn handle(&mut self, pdu: &RtrPdu) -> ClientAction {
         match pdu {
             RtrPdu::SerialNotify { session, serial } => {
-                if Some(*session) != self.session || *serial != self.serial {
+                if Some(*session) != self.session || serial_newer(*serial, self.serial) {
                     ClientAction::Query
                 } else {
                     ClientAction::Idle
@@ -434,6 +520,11 @@ impl RtrClient {
 /// client sends its poll PDU, the server answers, the client applies.
 /// Returns the number of PDUs exchanged. Loops on `Reset` until the
 /// client converges (at most twice).
+#[deprecated(
+    since = "0.1.0",
+    note = "direct-call sync bypasses the fault model; use the framed session API \
+            (`fabric::RtrFabric` / `fabric::RtrRouter` over netsim) instead"
+)]
 pub fn poll_cycle(client: &mut RtrClient, server: &RtrServer) -> usize {
     let mut exchanged = 0;
     for _ in 0..3 {
@@ -466,6 +557,33 @@ mod tests {
         vec![v("10.0.0.0/16", 24, 1), v("10.1.0.0/16", 16, 2), v("2001:db8::/32", 48, 3)]
     }
 
+    /// The direct-call sync the deprecated `poll_cycle` helper used to
+    /// provide: query, answer, apply, retrying on reset. Tests here
+    /// exercise the state machines in isolation; the framed transport
+    /// lives in `fabric`.
+    fn sync(client: &mut RtrClient, server: &RtrServer) -> usize {
+        let mut exchanged = 0;
+        for _ in 0..3 {
+            let query = client.poll();
+            exchanged += 1;
+            let mut reset = false;
+            for pdu in server.handle(&query) {
+                exchanged += 1;
+                if client.handle(&pdu) == ClientAction::Reset {
+                    reset = true;
+                }
+            }
+            if !reset {
+                break;
+            }
+        }
+        exchanged
+    }
+
+    fn publish(server: &mut RtrServer, vrps: Vec<Vrp>) -> Option<RtrPdu> {
+        server.publish(VrpUpdate::snapshot(vrps))
+    }
+
     #[test]
     fn pdus_round_trip() {
         for pdu in [
@@ -494,9 +612,9 @@ mod tests {
     #[test]
     fn full_sync_from_reset() {
         let mut server = RtrServer::new(1, 8);
-        assert!(server.update(sample()).is_some());
+        assert!(publish(&mut server, sample()).is_some());
         let mut client = RtrClient::new();
-        let n = poll_cycle(&mut client, &server);
+        let n = sync(&mut client, &server);
         assert!(n >= 5); // query + response + 3 prefixes + EOD
         assert_eq!(client.len(), 3);
         assert_eq!(client.serial(), server.serial());
@@ -506,15 +624,15 @@ mod tests {
     #[test]
     fn incremental_sync_sends_only_deltas() {
         let mut server = RtrServer::new(1, 8);
-        server.update(sample());
+        publish(&mut server, sample());
         let mut client = RtrClient::new();
-        poll_cycle(&mut client, &server);
+        sync(&mut client, &server);
 
         // One VRP replaced by another.
         let mut vrps = sample();
         vrps.remove(0);
         vrps.push(v("10.9.0.0/16", 16, 9));
-        let notify = server.update(vrps.clone()).expect("changed");
+        let notify = publish(&mut server, vrps.clone()).expect("changed");
         assert_eq!(notify, RtrPdu::SerialNotify { session: 1, serial: 2 });
 
         let query = client.poll();
@@ -560,48 +678,48 @@ mod tests {
             sorted.sort_unstable();
             sorted.dedup();
             let delta = VrpDelta::between(&prev, &sorted);
-            let a = by_snapshot.update(update);
-            let b = by_delta.apply_delta(&delta);
+            let a = by_snapshot.publish(VrpUpdate::snapshot(update));
+            let b = by_delta.publish(VrpUpdate::Delta(&delta));
             assert_eq!(a, b);
             assert_eq!(by_snapshot.vrps(), by_delta.vrps());
             assert_eq!(by_snapshot.serial(), by_delta.serial());
             prev = sorted;
         }
         // An empty delta must not bump the serial.
-        assert!(by_delta.apply_delta(&VrpDelta::default()).is_none());
+        assert!(by_delta.publish(VrpUpdate::Delta(&VrpDelta::default())).is_none());
         // A delta-fed server serves clients exactly like a snapshot one.
         let mut client = RtrClient::new();
-        poll_cycle(&mut client, &by_delta);
+        sync(&mut client, &by_delta);
         assert_eq!(client.cache().vrps(), by_delta.vrps());
     }
 
     #[test]
     fn no_change_no_serial_bump() {
         let mut server = RtrServer::new(1, 8);
-        server.update(sample());
-        assert!(server.update(sample()).is_none());
+        publish(&mut server, sample());
+        assert!(publish(&mut server, sample()).is_none());
         assert_eq!(server.serial(), 1);
     }
 
     #[test]
     fn history_eviction_forces_cache_reset() {
         let mut server = RtrServer::new(1, 2); // only 2 deltas retained
-        server.update(sample());
+        publish(&mut server, sample());
         let mut client = RtrClient::new();
-        poll_cycle(&mut client, &server);
+        sync(&mut client, &server);
         assert_eq!(client.serial(), 1);
 
         // Four more updates: the client's serial falls off the history.
         for i in 0..4u32 {
             let mut vrps = sample();
             vrps.push(v("10.9.0.0/16", 16, 100 + i));
-            server.update(vrps);
+            publish(&mut server, vrps);
             // (each update replaces the previous extra VRP)
         }
         let response = server.handle(&client.poll());
         assert_eq!(response, vec![RtrPdu::CacheReset]);
         // The poll cycle recovers via reset.
-        poll_cycle(&mut client, &server);
+        sync(&mut client, &server);
         assert_eq!(client.serial(), server.serial());
         assert_eq!(client.cache().vrps(), server.current.iter().copied().collect::<Vec<_>>());
     }
@@ -609,9 +727,9 @@ mod tests {
     #[test]
     fn reset_session_forces_cache_reset_not_a_serial_bump() {
         let mut server = RtrServer::new(1, 8);
-        server.update(sample());
+        publish(&mut server, sample());
         let mut client = RtrClient::new();
-        poll_cycle(&mut client, &server);
+        sync(&mut client, &server);
         assert_eq!(client.serial(), server.serial());
         // Upstream continuity lost (e.g. an RRDP session reset): the
         // server starts a new RTR session over the same VRP set.
@@ -623,7 +741,7 @@ mod tests {
         let response = server.handle(&client.poll());
         assert_eq!(response, vec![RtrPdu::CacheReset]);
         // And the poll cycle reconverges from scratch.
-        poll_cycle(&mut client, &server);
+        sync(&mut client, &server);
         assert_eq!(client.serial(), 0);
         assert_eq!(client.cache().vrps(), server.vrps());
         assert_eq!(client.len(), 3);
@@ -632,14 +750,14 @@ mod tests {
     #[test]
     fn session_change_resets_client() {
         let mut server = RtrServer::new(1, 8);
-        server.update(sample());
+        publish(&mut server, sample());
         let mut client = RtrClient::new();
-        poll_cycle(&mut client, &server);
+        sync(&mut client, &server);
 
         // The cache restarts with a new session id (e.g. RP rebooted).
         let mut server2 = RtrServer::new(2, 8);
-        server2.update(vec![v("10.0.0.0/16", 24, 1)]);
-        poll_cycle(&mut client, &server2);
+        publish(&mut server2, vec![v("10.0.0.0/16", 24, 1)]);
+        sync(&mut client, &server2);
         assert_eq!(client.serial(), server2.serial());
         assert_eq!(client.len(), 1);
     }
@@ -647,7 +765,7 @@ mod tests {
     #[test]
     fn deltas_apply_atomically_at_end_of_data() {
         let mut server = RtrServer::new(1, 8);
-        server.update(sample());
+        publish(&mut server, sample());
         let mut client = RtrClient::new();
         // Feed the response but stop before EndOfData: nothing applied.
         let response = server.handle(&client.poll());
@@ -662,9 +780,9 @@ mod tests {
     #[test]
     fn serial_notify_prompts_query_only_when_behind() {
         let mut server = RtrServer::new(1, 8);
-        server.update(sample());
+        publish(&mut server, sample());
         let mut client = RtrClient::new();
-        poll_cycle(&mut client, &server);
+        sync(&mut client, &server);
         // In-sync notify: idle.
         let notify = RtrPdu::SerialNotify { session: 1, serial: server.serial() };
         assert_eq!(client.handle(&notify), ClientAction::Idle);
@@ -685,7 +803,7 @@ mod tests {
         let router_node = net.add_node("router");
 
         let mut server = RtrServer::new(9, 8);
-        server.update(sample());
+        publish(&mut server, sample());
         let mut client = RtrClient::new();
 
         // Drop the first server→router frame (the CacheResponse).
@@ -711,5 +829,62 @@ mod tests {
         }
         assert_eq!(client.len(), 3);
         assert_eq!(client.serial(), server.serial());
+    }
+
+    #[test]
+    fn rfc1982_serial_arithmetic() {
+        // RFC 1982 §3.2: a > b iff (a - b) mod 2^32 < 2^31, a != b.
+        assert!(serial_newer(1, 0));
+        assert!(!serial_newer(0, 1));
+        assert!(!serial_newer(7, 7));
+        // Across the wrap: 0 is newer than u32::MAX.
+        assert!(serial_newer(0, u32::MAX));
+        assert!(!serial_newer(u32::MAX, 0));
+        assert!(serial_newer(5, u32::MAX - 5));
+        assert_eq!(serial_distance(u32::MAX, 0), 1);
+        assert_eq!(serial_distance(u32::MAX - 1, 2), 4);
+        assert_eq!(serial_distance(3, 3), 0);
+    }
+
+    /// A server publishing across the u32 serial wrap keeps serving
+    /// contiguous deltas: a client acked at `u32::MAX - 1` catches up to
+    /// serial 1 without ever seeing a Cache Reset.
+    #[test]
+    fn serial_wrap_boundary_syncs_by_delta() {
+        let mut server = RtrServer::new_at(1, 8, u32::MAX - 2);
+        publish(&mut server, sample()); // serial -> u32::MAX - 1
+        assert_eq!(server.serial(), u32::MAX - 1);
+        let mut client = RtrClient::new();
+        sync(&mut client, &server);
+        assert_eq!(client.serial(), u32::MAX - 1);
+
+        // Three publishes carry the serial across the wrap.
+        let mut vrps = sample();
+        for i in 0..3u32 {
+            vrps.push(v("10.9.0.0/16", 16, 200 + i));
+            let notify = publish(&mut server, vrps.clone()).expect("changed");
+            let RtrPdu::SerialNotify { serial, .. } = notify else {
+                panic!("expected SerialNotify")
+            };
+            assert!(serial_newer(serial, client.serial()));
+            assert_eq!(client.handle(&notify), ClientAction::Query);
+        }
+        assert_eq!(server.serial(), 1); // MAX-1 -> MAX -> 0 -> 1
+
+        // The catch-up must be a pure delta run, never a reset.
+        let response = server.handle(&client.poll());
+        assert!(!response.contains(&RtrPdu::CacheReset));
+        let prefix_count = response.iter().filter(|p| matches!(p, RtrPdu::Prefix(_))).count();
+        assert_eq!(prefix_count, 3, "one announce per publish, not a full snapshot");
+        for pdu in &response {
+            assert_ne!(client.handle(pdu), ClientAction::Reset);
+        }
+        assert_eq!(client.serial(), 1);
+        assert_eq!(client.cache().vrps(), server.vrps());
+
+        // A stale query from the far side of the wrap (fallen off the
+        // history window) still degrades to Cache Reset, not garbage.
+        let stale = RtrPdu::SerialQuery { session: 1, serial: u32::MAX - 7 };
+        assert_eq!(server.handle(&stale), vec![RtrPdu::CacheReset]);
     }
 }

@@ -2,6 +2,10 @@
 //! last hop of the pipeline, and one more place where a whack's effect
 //! is delayed, batched — and visible as a suspicious withdraw.
 //!
+//! The routers sit on the simulated network behind the framed RTR
+//! fabric, so the feed path is subject to the same fault model as
+//! everything else: a partitioned router simply stays stale.
+//!
 //! ```sh
 //! cargo run --example rtr_feed
 //! ```
@@ -10,33 +14,47 @@ use rpki_attacks::{plan_whack, CaView};
 use rpki_objects::Moment;
 use rpki_risk::fixtures::asn;
 use rpki_risk::ModelRpki;
-use rpki_rp::{Route, RouteValidity, RtrClient, RtrServer};
+use rpki_rp::fabric::{pump_until, RtrEndpoint};
+use rpki_rp::{Route, RouteValidity, RtrFabric, RtrRouter, VrpUpdate};
+
+/// Runs the network for one RTR window, dispatching frames to the
+/// cache fabric and both routers.
+fn pump(w: &mut ModelRpki, fabric: &mut RtrFabric, a: &mut RtrRouter, b: &mut RtrRouter) {
+    let deadline = w.net.now() + 1_000;
+    let mut endpoints: Vec<&mut dyn RtrEndpoint> = vec![fabric, a, b];
+    pump_until(&mut w.net, deadline, &mut endpoints);
+}
 
 fn main() {
     let mut w = ModelRpki::build();
     let victim = Route::new("63.174.16.0/20".parse().unwrap(), asn::CONTINENTAL);
 
-    // The relying party validates and loads its RTR cache.
+    // The relying party serves RTR from its own node; two routers sync
+    // from it over the simulated network.
+    let mut fabric = RtrFabric::new(w.rp_node, 1, 16);
+    let node_a = w.net.add_node("router-a");
+    let node_b = w.net.add_node("router-b");
+    fabric.attach(node_a);
+    fabric.attach(node_b);
+    let mut router_a = RtrRouter::new(node_a, w.rp_node);
+    let mut router_b = RtrRouter::new(node_b, w.rp_node);
+
+    // The relying party validates and publishes into its RTR cache: one
+    // publish, a SerialNotify fanned out to each attached router.
     let run = w.validate_direct(Moment(2));
-    let mut cache_server = RtrServer::new(1, 16);
-    cache_server.update(run.vrps.iter().copied());
+    fabric.publish(&mut w.net, VrpUpdate::snapshot(run.vrps.iter().copied()));
+    pump(&mut w, &mut fabric, &mut router_a, &mut router_b);
     println!(
         "relying party validated {} VRPs; RTR cache at serial {}",
         run.vrps.len(),
-        cache_server.serial()
+        fabric.server().serial()
     );
-
-    // Two routers sync from it.
-    let mut router_a = RtrClient::new();
-    let mut router_b = RtrClient::new();
-    rpki_rp::rtr::poll_cycle(&mut router_a, &cache_server);
-    rpki_rp::rtr::poll_cycle(&mut router_b, &cache_server);
     println!(
         "router A at serial {} with {} VRPs; router B likewise",
-        router_a.serial(),
-        router_a.len()
+        router_a.client().serial(),
+        router_a.client().len()
     );
-    assert_eq!(router_a.cache().classify(victim), RouteValidity::Valid);
+    assert_eq!(router_a.client().cache().classify(victim), RouteValidity::Valid);
 
     // Sprint whacks Continental's covering ROA.
     let rc = w.sprint.issued_cert_for(w.continental.key_id()).unwrap().clone();
@@ -46,38 +64,34 @@ fn main() {
     plan.execute(&mut w.sprint, Moment(3)).unwrap();
     w.publish_all(Moment(3));
 
-    // Until the RP revalidates and the routers poll, they still act on
-    // the old data: the whack has *latency*.
-    assert_eq!(router_a.cache().classify(victim), RouteValidity::Valid);
+    // Until the RP revalidates and publishes, routers act on old data:
+    // the whack has *latency*.
+    assert_eq!(router_a.client().cache().classify(victim), RouteValidity::Valid);
     println!("\nafter the whack, before the next RTR cycle: routers still see the victim as valid");
 
-    // The RP's next validation run feeds the cache; the server computes
-    // the delta (one withdraw).
+    // Router B drops off the network for this cycle; the RP's next
+    // validation run publishes the delta (one withdraw).
+    w.net.faults.partition(w.rp_node, node_b);
     let run = w.validate_direct(Moment(4));
-    let notify = cache_server.update(run.vrps.iter().copied()).expect("changed");
-    println!("cache update → {notify:?}");
+    assert!(fabric.publish(&mut w.net, VrpUpdate::snapshot(run.vrps.iter().copied())));
+    pump(&mut w, &mut fabric, &mut router_a, &mut router_b);
+    println!("cache publish → serial {}", fabric.server().serial());
 
-    // Router A polls; router B misses this cycle (it will catch up).
-    let query = router_a.poll();
-    let response = cache_server.handle(&query);
-    let withdraws =
-        response.iter().filter(|p| matches!(p, rpki_rp::RtrPdu::Prefix(d) if !d.announce)).count();
-    println!("router A receives {withdraws} withdraw in {} PDUs", response.len());
-    for pdu in &response {
-        router_a.handle(pdu);
-    }
-    assert_eq!(router_a.cache().classify(victim), RouteValidity::Unknown);
-    assert_eq!(router_b.cache().classify(victim), RouteValidity::Valid);
+    assert_eq!(router_a.client().cache().classify(victim), RouteValidity::Unknown);
+    assert_eq!(router_b.client().cache().classify(victim), RouteValidity::Valid);
     println!(
-        "router A now sees the victim as {}; router B (one cycle behind) still {}",
-        router_a.cache().classify(victim),
-        router_b.cache().classify(victim)
+        "router A now sees the victim as {}; router B (partitioned, {} serial behind) still {}",
+        router_a.client().cache().classify(victim),
+        fabric.serial_lag(node_b).unwrap(),
+        router_b.client().cache().classify(victim)
     );
 
-    // B catches up on its next poll.
-    rpki_rp::rtr::poll_cycle(&mut router_b, &cache_server);
-    assert_eq!(router_b.serial(), cache_server.serial());
-    assert_eq!(router_b.cache().classify(victim), RouteValidity::Unknown);
+    // B reconnects and catches up from the delta history.
+    w.net.faults.heal(w.rp_node, node_b);
+    fabric.renotify(&mut w.net, node_b);
+    pump(&mut w, &mut fabric, &mut router_a, &mut router_b);
+    assert_eq!(router_b.client().serial(), fabric.server().serial());
+    assert_eq!(router_b.client().cache().classify(victim), RouteValidity::Unknown);
 
     println!(
         "\nrtr_feed OK: whacks reach the data plane with RTR-cycle latency, \

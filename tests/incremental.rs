@@ -16,7 +16,7 @@ use ipres::Asn;
 use proptest::prelude::*;
 use rpki_objects::{Moment, RoaPrefix};
 use rpki_risk::SyntheticRpki;
-use rpki_rp::{RtrServer, ValidationState, Vrp, VrpDelta};
+use rpki_rp::{RtrServer, ValidationState, Vrp, VrpDelta, VrpUpdate};
 
 const HOST: &str = "rpki.bench.example";
 
@@ -147,10 +147,10 @@ proptest! {
     }
 }
 
-/// The delta feed end to end: every run's announce/withdraw set, fed
-/// to [`RtrServer::apply_delta`], keeps the server's data set equal to
-/// the run's VRPs, bumps the serial exactly when something changed,
-/// and reconstructs serial N+1's set from serial N's.
+/// The delta feed end to end: every run's announce/withdraw set,
+/// published via [`RtrServer::publish`], keeps the server's data set
+/// equal to the run's VRPs, bumps the serial exactly when something
+/// changed, and reconstructs serial N+1's set from serial N's.
 #[test]
 fn vrp_deltas_reconstruct_rtr_serials() {
     let mut w = SyntheticRpki::build_seeded(9, 2, 3, 3);
@@ -159,7 +159,7 @@ fn vrp_deltas_reconstruct_rtr_serials() {
 
     let run0 = w.validate_incremental(Moment(2), &mut state);
     assert!(!run0.vrps.is_empty());
-    server.apply_delta(state.last_delta());
+    server.publish(VrpUpdate::Delta(state.last_delta()));
     assert_eq!(server.vrps(), run0.vrps, "first delta announces the whole set");
 
     let mut reconstructed: BTreeSet<Vrp> = run0.vrps.iter().copied().collect();
@@ -175,7 +175,7 @@ fn vrp_deltas_reconstruct_rtr_serials() {
         let delta: VrpDelta = state.last_delta().clone();
 
         let serial_before = server.serial();
-        let pdu = server.apply_delta(&delta);
+        let pdu = server.publish(VrpUpdate::Delta(&delta));
         if delta.is_empty() {
             assert!(pdu.is_none(), "a no-op delta must not bump the serial ({op:?})");
             assert_eq!(server.serial(), serial_before);

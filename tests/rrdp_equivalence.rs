@@ -25,8 +25,28 @@ use proptest::prelude::*;
 use rpki_objects::{Moment, RepoUri, RoaPrefix};
 use rpki_repo::{rrdp_sync_dir, sync_dir, RepoRegistry, RrdpClientState, SyncPolicy};
 use rpki_risk::{run_campaign, standard_campaigns, ModelRpki, RpTier, SyntheticRpki};
-use rpki_rp::rtr::poll_cycle;
-use rpki_rp::{RrdpSource, RtrClient, RtrServer, ValidationConfig, ValidationRun, Validator};
+use rpki_rp::{
+    ClientAction, RrdpSource, RtrClient, RtrServer, ValidationConfig, ValidationRun, Validator,
+    VrpUpdate,
+};
+
+/// One direct-call RTR sync (query → answer → apply, retrying on
+/// reset); this test exercises the session/serial semantics, not the
+/// framed transport.
+fn rtr_sync(client: &mut RtrClient, server: &RtrServer) {
+    for _ in 0..3 {
+        let query = client.poll();
+        let mut reset = false;
+        for pdu in server.handle(&query) {
+            if client.handle(&pdu) == ClientAction::Reset {
+                reset = true;
+            }
+        }
+        if !reset {
+            break;
+        }
+    }
+}
 
 /// One repository-side mutation against a single publication point.
 #[derive(Debug, Clone, Copy)]
@@ -231,9 +251,9 @@ fn rrdp_session_reset_propagates_as_rtr_cache_reset() {
 
     let session = 1 + rrdp.epoch() as u16;
     let mut server = RtrServer::new(session, 8);
-    server.update(run.vrps.iter().copied());
+    server.publish(VrpUpdate::snapshot(run.vrps.iter().copied()));
     let mut router = RtrClient::new();
-    poll_cycle(&mut router, &server);
+    rtr_sync(&mut router, &server);
     assert_eq!(router.len(), 8);
     let converged_serial = router.serial();
 
@@ -251,7 +271,7 @@ fn rrdp_session_reset_propagates_as_rtr_cache_reset() {
     // The relying party translates the epoch change into a fresh RTR
     // session instead of silently reusing the serial space.
     server.reset_session(1 + rrdp.epoch() as u16);
-    server.update(run.vrps.iter().copied());
+    server.publish(VrpUpdate::snapshot(run.vrps.iter().copied()));
 
     // A router polling with its old session/serial gets a CacheReset,
     // never a delta…
@@ -263,7 +283,7 @@ fn rrdp_session_reset_propagates_as_rtr_cache_reset() {
         stale_poll[0]
     );
     // …and a full cycle reconverges on the post-reset data set.
-    poll_cycle(&mut router, &server);
+    rtr_sync(&mut router, &server);
     assert_eq!(router.cache().len(), run.vrps.len());
     assert!(router.serial() <= converged_serial, "the new session restarts the serial space");
 }
