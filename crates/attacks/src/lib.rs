@@ -40,6 +40,7 @@ pub mod collateral;
 pub mod corpus;
 pub mod downgrade;
 pub mod monitor;
+pub mod starve;
 pub mod view;
 pub mod whack;
 
@@ -50,5 +51,6 @@ pub use monitor::{
     ChangeKind, Classification, HostReport, MisbehaviorReport, Monitor, MonitorEvent,
     MonitorSnapshot, TransportEvidence,
 };
+pub use starve::{apply_round, StarvePlan};
 pub use view::CaView;
 pub use whack::{plan_whack, WhackError, WhackPlan, WhackStep};

@@ -1,0 +1,125 @@
+//! Schedule gaming: a slow-serving authority starves its neighbours.
+//!
+//! A fetch scheduler that budgets each run (so one sweep cannot burn
+//! unbounded wall-clock) opens a new misbehaviour surface the paper's
+//! §2 model predicts: an authority that *answers everything, slowly*.
+//! Every response it serves is signed, fresh, and correct — it just
+//! sits on each one long enough that the relying party's per-run time
+//! budget is gone by the time the walk reaches the publication points
+//! *behind* it in the fetch order. Those victims are never contacted,
+//! never fail, and never trip a breaker; they are simply deferred,
+//! round after round, served from an ageing snapshot. Stalloris'
+//! slow-serve economics, moved from "stall one transfer" to "game the
+//! whole schedule".
+//!
+//! Like [`whack`](crate::whack) and [`downgrade`](crate::downgrade),
+//! the attack is packaged as an inspectable *plan* ([`StarvePlan`])
+//! plus a per-round executor ([`apply_round`]): experiments and
+//! monitors can reason about the window before anything touches a
+//! repository. The server-side knob itself is
+//! [`Repository::set_serve_delay`](rpki_repo::Repository::set_serve_delay).
+
+use rpki_repo::RepoRegistry;
+
+/// A slow-serve window against one repository host: between rounds
+/// `from` and `to` (inclusive, 1-based like campaign rounds) the host
+/// holds every response for `serve_delay` simulated seconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StarvePlan {
+    /// The slow-serving publication point's host name.
+    pub host: String,
+    /// Seconds the host sits on each response while the window is
+    /// active. The attacker tunes this *under* the relying party's
+    /// per-attempt deadline — a served-late answer still counts as a
+    /// success, so no retry or breaker ever fires — but high enough
+    /// that a handful of exchanges exhaust the scheduler's time
+    /// budget.
+    pub serve_delay: u64,
+    /// First affected round.
+    pub from: usize,
+    /// Last affected round.
+    pub to: usize,
+}
+
+impl StarvePlan {
+    /// A window of `serve_delay`-second responses over rounds
+    /// `from..=to`.
+    pub fn new(host: &str, serve_delay: u64, from: usize, to: usize) -> Self {
+        StarvePlan { host: host.to_owned(), serve_delay, from, to }
+    }
+
+    /// The canonical schedule-gaming window: a mid-campaign stretch of
+    /// responses slow enough to burn a 600-second run budget in one
+    /// publication point's worth of exchanges, yet comfortably inside
+    /// a 300-second per-attempt deadline per frame.
+    pub fn stalloris(host: &str) -> Self {
+        StarvePlan::new(host, 250, 4, 9)
+    }
+
+    /// Whether the window covers `round`.
+    pub fn active(&self, round: usize) -> bool {
+        self.from <= round && round <= self.to
+    }
+}
+
+/// Applies `plan` for `round`: arms the host's serve delay while the
+/// window is active, clears it otherwise. Idempotent per round, so a
+/// campaign loop can call it unconditionally. Returns `false` (and
+/// does nothing) if the registry has no such host.
+pub fn apply_round(repos: &mut RepoRegistry, plan: &StarvePlan, round: usize) -> bool {
+    let Some(repo) = repos.by_host_mut(&plan.host) else { return false };
+    repo.set_serve_delay(if plan.active(round) { plan.serve_delay } else { 0 });
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Network;
+    use rpki_objects::RepoUri;
+    use rpki_repo::sync_dir;
+
+    #[test]
+    fn unknown_host_is_a_noop() {
+        let mut repos = RepoRegistry::new();
+        assert!(!apply_round(&mut repos, &StarvePlan::stalloris("nope.example"), 4));
+    }
+
+    #[test]
+    fn window_arms_and_clears_the_serve_delay() {
+        let mut net = Network::new(0);
+        let client = net.add_node("rp");
+        let mut repos = RepoRegistry::new();
+        repos.create(&mut net, "slow.example");
+        let dir = RepoUri::new("slow.example", &["repo"]);
+        repos.by_host_mut("slow.example").unwrap().publish_raw(&dir, "a.roa", vec![1]);
+        let plan = StarvePlan::new("slow.example", 500, 2, 3);
+
+        // Round 1: window not yet open, the sync is prompt.
+        assert!(apply_round(&mut repos, &plan, 1));
+        let before = net.now();
+        assert!(sync_dir(&mut net, &repos, client, &dir).is_complete());
+        let prompt = net.now() - before;
+        assert!(prompt < 500, "no delay outside the window (took {prompt}s)");
+
+        // Round 2: every response now sits on the server for 500s —
+        // and still arrives complete. Slow is not down.
+        assert!(apply_round(&mut repos, &plan, 2));
+        let before = net.now();
+        assert!(sync_dir(&mut net, &repos, client, &dir).is_complete());
+        assert!(net.now() - before >= 500, "each response held for the serve delay");
+
+        // Round 4: past the window, the host behaves again.
+        assert!(apply_round(&mut repos, &plan, 4));
+        let before = net.now();
+        assert!(sync_dir(&mut net, &repos, client, &dir).is_complete());
+        assert!(net.now() - before < 500);
+    }
+
+    #[test]
+    fn plans_are_inspectable() {
+        let plan = StarvePlan::stalloris("rpki.sprint.example");
+        assert!(!plan.active(3) && plan.active(4) && plan.active(9) && !plan.active(10));
+        assert!(plan.serve_delay < 300, "stays under a default per-attempt deadline");
+    }
+}

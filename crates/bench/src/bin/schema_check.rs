@@ -1,10 +1,12 @@
 //! Validates benchmark JSON exports against the committed schemas.
 //!
 //! With no arguments, checks every known `BENCH_*.json` export found in
-//! the current directory against its schema under `schemas/`. With two
-//! arguments (`schema_check DATA.json SCHEMA.json`), checks that one
-//! pair. Exits nonzero on the first violation, printing the failing
-//! path inside the document.
+//! the current directory against its schema under `schemas/`, and fails
+//! on any `BENCH_*.json` present that has no registered schema — a
+//! bench cannot export an unpinned shape. With two arguments
+//! (`schema_check DATA.json SCHEMA.json`), checks that one pair. Exits
+//! nonzero on the first violation, printing the failing path inside
+//! the document.
 
 use std::process::ExitCode;
 
@@ -18,7 +20,22 @@ const KNOWN: &[(&str, &str)] = &[
     ("BENCH_rtr.json", "schemas/bench_rtr.schema.json"),
     ("BENCH_scale.json", "schemas/bench_scale.schema.json"),
     ("BENCH_unsafe_vrp.json", "schemas/bench_unsafe_vrp.schema.json"),
+    ("BENCH_scheduler.json", "schemas/bench_scheduler.schema.json"),
 ];
+
+/// `BENCH_*.json` files in the current directory that no KNOWN entry
+/// claims — a bench that exports without registering a schema.
+fn unregistered_exports() -> Vec<String> {
+    let Ok(entries) = std::fs::read_dir(".") else { return Vec::new() };
+    let mut stray: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .filter(|name| !KNOWN.iter().any(|(data, _)| data == name))
+        .collect();
+    stray.sort();
+    stray
+}
 
 fn check_pair(data_path: &str, schema_path: &str) -> Result<(), String> {
     let data = std::fs::read_to_string(data_path)
@@ -50,6 +67,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let mut failed = false;
+    if args.is_empty() {
+        for stray in unregistered_exports() {
+            eprintln!("FAIL: {stray}: no schema registered (add it to KNOWN and schemas/)");
+            failed = true;
+        }
+    }
     for (data, schema_path) in &pairs {
         match check_pair(data, schema_path) {
             Ok(()) => println!("ok: {data} matches {schema_path}"),

@@ -41,15 +41,15 @@ use std::collections::BTreeSet;
 
 use ipres::Prefix;
 use netsim::NodeId;
-use rpki_attacks::CorpusKind;
+use rpki_attacks::{CorpusKind, StarvePlan};
 use rpki_objects::{Moment, RoaPrefix, Span};
 use rpki_obs::Recorder;
 use rpki_repo::{Freshness, RrdpClientState, SyncPolicy};
 use rpki_rp::fabric::{pump_until, RtrEndpoint};
 use rpki_rp::{
     MergePolicy, Relay, ResilienceConfig, ResilientState, Route, RouteValidity, RtrFabric,
-    RtrRouter, ShardPlan, SlurmFile, UnsafeVrpPolicy, ValidationRun, ValidationState, Vrp,
-    VrpCache, VrpUpdate,
+    RtrRouter, SchedulePlan, SchedulerState, ShardPlan, SlurmFile, UnsafeVrpPolicy, ValidationRun,
+    ValidationState, Vrp, VrpCache, VrpUpdate,
 };
 use serde::Serialize;
 
@@ -79,6 +79,18 @@ pub enum FaultKind {
     /// Stalloris: the repository serves, but `extra` seconds late.
     Stall {
         /// Added one-way delay on repository→RP frames.
+        extra: u64,
+    },
+    /// Schedule gaming ([`rpki_attacks::starve`]): the repository
+    /// itself holds every response for `extra` seconds before
+    /// answering. Unlike [`Stall`](FaultKind::Stall) — a transport
+    /// fault armed per RP pair — this is the authority's own serve
+    /// latency, seen identically by every client, and tuned *under*
+    /// the per-attempt deadline so nothing ever fails: the slow host
+    /// just burns a budgeted fetch scheduler's time budget and starves
+    /// the publication points behind it in the walk order.
+    SlowServe {
+        /// Seconds the repository sits on each response.
         extra: u64,
     },
     /// The authority stealthily withdraws Continental's covering `/20`
@@ -1220,6 +1232,9 @@ fn apply_faults_to(
                     .expect("campaign host exists")
                     .set_rrdp_offline(false);
             }
+            FaultKind::SlowServe { .. } => {
+                w.repos.by_host_mut(&win.host).expect("campaign host exists").set_serve_delay(0);
+            }
             _ => {}
         }
     }
@@ -1247,6 +1262,12 @@ fn apply_faults_to(
         }
         match win.kind {
             FaultKind::Takedown if active => w.net.faults.set_down(node, true),
+            FaultKind::SlowServe { extra } if active => {
+                w.repos
+                    .by_host_mut(&win.host)
+                    .expect("campaign host exists")
+                    .set_serve_delay(extra);
+            }
             FaultKind::RrdpWithhold if active => {
                 w.repos
                     .by_host_mut(&win.host)
@@ -1294,6 +1315,170 @@ fn apply_faults_to(
             }
             _ => {}
         }
+    }
+}
+
+/// One round of a schedule-gaming run: what the scheduler did and how
+/// stale the starved points got. All integers, so serialized outcomes
+/// replay byte-identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ScheduleRoundMetrics {
+    /// Round number (1-based; the warm-up round is not recorded).
+    pub round: usize,
+    /// VRPs the scheduled RP validated this round.
+    pub vrps: usize,
+    /// Full fetches the scheduler delegated to the wire.
+    pub fetched: u64,
+    /// Points answered from schedule state at zero frames.
+    pub not_due: u64,
+    /// Due points deferred because the run budget was spent — the
+    /// starvation the slow server manufactures.
+    pub deferred: u64,
+    /// Points skipped because their host was in scheduler backoff.
+    pub backoff_skips: u64,
+    /// Frames the run spent on delegated fetches.
+    pub frames_used: u64,
+    /// Simulated seconds the run spent inside delegated fetches (the
+    /// budget the attacker burns).
+    pub time_used: u64,
+    /// Oldest `now - last_success` over points served stale this round.
+    pub max_served_age: u64,
+}
+
+/// The result of one schedule-gaming campaign: a budgeted, scheduled,
+/// RRDP-fetching relying party against a slow-serving authority.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ScheduleGamingOutcome {
+    /// The campaign's name.
+    pub name: String,
+    /// The network seed used.
+    pub seed: u64,
+    /// Per-round metrics, in round order.
+    pub rounds: Vec<ScheduleRoundMetrics>,
+    /// Rounds in which at least one due point was budget-deferred.
+    pub starved_rounds: usize,
+    /// The worst single round's VRP count (the schedule snapshot
+    /// should keep this at the healthy baseline — starvation costs
+    /// freshness, not availability).
+    pub min_vrps: usize,
+    /// The largest `max_served_age` any round reached.
+    pub worst_served_age: u64,
+}
+
+/// The schedule plan the gaming campaign's relying party runs under:
+/// cadence clamps that keep every model point due each 30-minute
+/// round, light jitter, and the scarce per-run time budget the
+/// slow-serving authority games. One publication point served at the
+/// [`StarvePlan::stalloris`] delay burns the whole budget.
+pub fn gaming_schedule_plan() -> SchedulePlan {
+    SchedulePlan {
+        min_refresh: 600,
+        // Below the round cadence, so a point fetched early in one
+        // round is always due again by the next and the schedule stays
+        // round-aligned instead of drifting onto every-other-round
+        // beats.
+        max_refresh: 1_200,
+        jitter: 60,
+        time_budget: Some(600),
+        ..SchedulePlan::default()
+    }
+}
+
+/// The schedule-gaming campaign: Sprint — second in the fixed
+/// arin → sprint → etb → continental walk order — serves slowly for a
+/// mid-campaign window ([`StarvePlan::stalloris`]), so the budgeted
+/// scheduler reaches ETB and CONTINENTAL with nothing left to spend.
+pub fn schedule_gaming_campaign() -> CampaignSpec {
+    let plan = StarvePlan::stalloris("rpki.sprint.example");
+    CampaignSpec {
+        name: "schedule-gaming".to_owned(),
+        unsafe_vrps: UnsafeVrpPolicy::Accept,
+        rounds: 12,
+        windows: vec![FaultWindow {
+            host: plan.host.clone(),
+            kind: FaultKind::SlowServe { extra: plan.serve_delay },
+            from: plan.from,
+            to: plan.to,
+        }],
+    }
+}
+
+/// Runs `spec` at `seed` with a single scheduled relying party
+/// (RRDP + retries under `plan`). Every round republishes the whole
+/// world, so each publication point's content moves at the round
+/// cadence and the scheduler must keep fetching — the run budget, not
+/// quiescence, is what rations the wire. Per-round scheduler counters
+/// come from [`SchedulerState::last_run`]; a `campaign/schedule_round`
+/// event lands in `recorder` per round.
+pub fn run_schedule_gaming(
+    spec: &CampaignSpec,
+    seed: u64,
+    plan: SchedulePlan,
+    recorder: &Recorder,
+) -> ScheduleGamingOutcome {
+    let mut w = ModelRpki::build_seeded(seed);
+    w.net.set_recorder(recorder.clone());
+    let policy = campaign_policy();
+    let mut rrdp = RrdpClientState::new();
+    let mut sched = SchedulerState::new();
+    let mut engaged: BTreeSet<usize> = BTreeSet::new();
+    let rp_nodes = [w.rp_node];
+
+    // Warm-up: one faultless scheduled run, so every point has a
+    // schedule entry and a snapshot before budgets start to bite
+    // (first contacts are exempt from the budget by design).
+    let moment = Moment(w.net.now());
+    w.validate_with(
+        ValidationOptions::at(moment).retry(policy).rrdp(&mut rrdp).scheduled(plan, &mut sched),
+    );
+
+    let mut rounds = Vec::with_capacity(spec.rounds);
+    let mut starved_rounds = 0;
+    let mut min_vrps = usize::MAX;
+    let mut worst_served_age = 0;
+    for round in 1..=spec.rounds {
+        w.net.advance_to(round as u64 * ROUND_SECS);
+        apply_faults_to(&mut w, spec, round, &mut engaged, &rp_nodes);
+        w.publish_all(Moment(w.net.now()));
+        let moment = Moment(w.net.now());
+        let run = w.validate_with(
+            ValidationOptions::at(moment).retry(policy).rrdp(&mut rrdp).scheduled(plan, &mut sched),
+        );
+        let rs = sched.last_run();
+        if rs.deferred > 0 {
+            starved_rounds += 1;
+        }
+        min_vrps = min_vrps.min(run.vrps.len());
+        worst_served_age = worst_served_age.max(rs.max_served_age);
+        if recorder.is_enabled() {
+            recorder
+                .event(w.net.now(), "campaign", "schedule_round")
+                .u64("round", round as u64)
+                .u64("fetched", rs.fetched)
+                .u64("deferred", rs.deferred)
+                .u64("time_used", rs.time_used)
+                .u64("max_served_age", rs.max_served_age)
+                .emit();
+        }
+        rounds.push(ScheduleRoundMetrics {
+            round,
+            vrps: run.vrps.len(),
+            fetched: rs.fetched,
+            not_due: rs.not_due,
+            deferred: rs.deferred,
+            backoff_skips: rs.backoff_skips,
+            frames_used: rs.frames_used,
+            time_used: rs.time_used,
+            max_served_age: rs.max_served_age,
+        });
+    }
+    ScheduleGamingOutcome {
+        name: spec.name.clone(),
+        seed,
+        rounds,
+        starved_rounds,
+        min_vrps,
+        worst_served_age,
     }
 }
 
@@ -1658,6 +1843,48 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slow_serve_starves_victims_only_inside_the_window() {
+        let spec = schedule_gaming_campaign();
+        let out = run_schedule_gaming(&spec, 7, gaming_schedule_plan(), &Recorder::disabled());
+        let window = &spec.windows[0];
+        for r in &out.rounds {
+            let in_window = window.from <= r.round && r.round <= window.to;
+            assert!(
+                in_window || r.deferred == 0,
+                "round {}: no deferrals outside the slow-serve window ({r:?})",
+                r.round
+            );
+        }
+        // The slow host burns the budget on (at least) every other
+        // window round — its own stretched fetch can push its next
+        // deadline one round out, so alternation is legitimate.
+        let window_len = window.to - window.from + 1;
+        assert!(
+            out.starved_rounds >= window_len / 2,
+            "starved {} of {window_len} window rounds: {out:?}",
+            out.starved_rounds
+        );
+        // Starvation costs freshness, not availability: deferred points
+        // are served from the schedule snapshot, so the VRP set never
+        // shrinks — but the served age climbs past a full round.
+        assert_eq!(out.min_vrps, 8, "{out:?}");
+        assert!(out.worst_served_age >= ROUND_SECS, "{out:?}");
+        // Outside the window the budget is plentiful and nothing ages.
+        let last = out.rounds.last().unwrap();
+        assert_eq!(last.deferred, 0);
+        assert_eq!(last.backoff_skips, 0, "slow is not down: no breaker may trip ({last:?})");
+    }
+
+    #[test]
+    fn schedule_gaming_replay_is_identical() {
+        let spec = schedule_gaming_campaign();
+        let a = run_schedule_gaming(&spec, 11, gaming_schedule_plan(), &Recorder::disabled());
+        let b = run_schedule_gaming(&spec, 11, gaming_schedule_plan(), &Recorder::disabled());
+        assert_eq!(a, b);
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
     }
 
     #[test]

@@ -56,10 +56,11 @@ pub mod tradeoff;
 pub mod validate;
 
 pub use campaign::{
-    rtr_campaign, run_campaign, run_campaign_cold, run_campaign_rtr, run_campaign_shared,
-    run_campaign_traced, standard_campaigns, CampaignOutcome, CampaignSpec, DivergenceMetrics,
-    FaultKind, FaultWindow, HostLoad, RoundMetrics, RpTier, RtrCampaignOutcome, RtrConfig,
-    RtrRoundMetrics, SharedCampaignOutcome, TierOutcome, TierTotals,
+    gaming_schedule_plan, rtr_campaign, run_campaign, run_campaign_cold, run_campaign_rtr,
+    run_campaign_shared, run_campaign_traced, run_schedule_gaming, schedule_gaming_campaign,
+    standard_campaigns, CampaignOutcome, CampaignSpec, DivergenceMetrics, FaultKind, FaultWindow,
+    HostLoad, RoundMetrics, RpTier, RtrCampaignOutcome, RtrConfig, RtrRoundMetrics,
+    ScheduleGamingOutcome, ScheduleRoundMetrics, SharedCampaignOutcome, TierOutcome, TierTotals,
 };
 pub use downgrade::{
     run_downgrade_scenario, run_downgrade_scheduled, run_downgrade_traced, DowngradeOutcome,

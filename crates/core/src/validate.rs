@@ -33,8 +33,8 @@ use rpki_objects::Moment;
 use rpki_repo::{RrdpClientState, SyncPolicy};
 use rpki_rp::{
     DirectSource, NetworkSource, ObjectSource, ResilientSource, ResilientState, RrdpSource,
-    ShardPlan, ShardStats, UnsafeVrpPolicy, ValidationConfig, ValidationRun, ValidationState,
-    Validator,
+    SchedulePlan, ScheduledSource, SchedulerState, ShardPlan, ShardStats, UnsafeVrpPolicy,
+    ValidationConfig, ValidationRun, ValidationState, Validator,
 };
 
 use crate::fixtures::ModelRpki;
@@ -59,6 +59,7 @@ pub struct ValidationOptions<'a> {
     rrdp_verify: bool,
     shards: Option<ShardPlan>,
     unsafe_vrps: UnsafeVrpPolicy,
+    scheduled: Option<(SchedulePlan, &'a mut SchedulerState)>,
 }
 
 impl<'a> ValidationOptions<'a> {
@@ -77,6 +78,7 @@ impl<'a> ValidationOptions<'a> {
             rrdp_verify: true,
             shards: None,
             unsafe_vrps: UnsafeVrpPolicy::default(),
+            scheduled: None,
         }
     }
 
@@ -177,6 +179,25 @@ impl<'a> ValidationOptions<'a> {
         self.unsafe_vrps = policy;
         self
     }
+
+    /// Drive fetching through `plan`'s notification-cadence scheduler:
+    /// publication points whose refresh deadline has not arrived replay
+    /// their scheduled snapshot instead of being re-fetched, hosts in
+    /// breaker cooldown inherit exponential backoff, and per-run frame
+    /// or time budgets defer the remainder of the sweep. `state`
+    /// persists cadence estimates and snapshots across runs; a
+    /// [`SchedulePlan::degenerate`] plan makes the run byte-identical
+    /// to the unscheduled sweep. When combined with
+    /// [`rrdp`](Self::rrdp), the plan's
+    /// [`rrdp_fallback_time`](SchedulePlan::rrdp_fallback_time) gates
+    /// the rsync downgrade on unreachability (routinator-style timed
+    /// fallback). The scheduler stacks *outside* the stale cache, so
+    /// cooldown and snapshot fallback still apply to the fetches it
+    /// does admit.
+    pub fn scheduled(mut self, plan: SchedulePlan, state: &'a mut SchedulerState) -> Self {
+        self.scheduled = Some((plan, state));
+        self
+    }
 }
 
 fn run_stack<S: ObjectSource>(
@@ -185,6 +206,7 @@ fn run_stack<S: ObjectSource>(
     stale_cache: Option<&mut ResilientState>,
     incremental: Option<&mut ValidationState>,
     shards: Option<ShardPlan>,
+    scheduled: Option<(SchedulePlan, &mut SchedulerState)>,
     tals: &[rpki_objects::TrustAnchorLocator],
 ) -> (ValidationRun, Option<ShardStats>) {
     fn walk(
@@ -208,12 +230,25 @@ fn run_stack<S: ObjectSource>(
             (None, None) => (Validator::new(config).run(source, tals), None),
         }
     }
-    match stale_cache {
-        Some(state) => {
+    // The scheduler wraps *outermost*: a not-due directory is answered
+    // from the schedule snapshot before the stale cache or transport is
+    // consulted, and a fetch it admits still enjoys the full resilience
+    // stack underneath.
+    match (stale_cache, scheduled) {
+        (Some(state), Some((plan, sched))) => {
+            let resilient = ResilientSource::new(source, state);
+            let mut source = ScheduledSource::new(resilient, sched, plan);
+            walk(config, &mut source, incremental, shards, tals)
+        }
+        (Some(state), None) => {
             let mut source = ResilientSource::new(source, state);
             walk(config, &mut source, incremental, shards, tals)
         }
-        None => {
+        (None, Some((plan, sched))) => {
+            let mut source = ScheduledSource::new(source, sched, plan);
+            walk(config, &mut source, incremental, shards, tals)
+        }
+        (None, None) => {
             let mut source = source;
             walk(config, &mut source, incremental, shards, tals)
         }
@@ -237,6 +272,7 @@ impl ModelRpki {
             rrdp_verify,
             shards,
             unsafe_vrps,
+            mut scheduled,
         } = opts;
         let rec = self.net.recorder();
         let config =
@@ -245,6 +281,10 @@ impl ModelRpki {
         if let Some(state) = &mut stale_cache {
             state.set_recorder(rec.clone());
         }
+        if let Some((_, state)) = &mut scheduled {
+            state.set_recorder(rec.clone());
+        }
+        let fallback_window = scheduled.as_ref().and_then(|(plan, _)| plan.rrdp_fallback_time);
         let tals = std::slice::from_ref(&self.tal);
         let (run, shard_stats) = if direct {
             run_stack(
@@ -253,6 +293,7 @@ impl ModelRpki {
                 stale_cache,
                 incremental.as_deref_mut(),
                 shards,
+                scheduled,
                 tals,
             )
         } else if let Some(state) = rrdp {
@@ -262,7 +303,18 @@ impl ModelRpki {
             if !rrdp_verify {
                 source = source.trusting();
             }
-            run_stack(config, source, stale_cache, incremental.as_deref_mut(), shards, tals)
+            if let Some(window) = fallback_window {
+                source = source.fallback_after(window);
+            }
+            run_stack(
+                config,
+                source,
+                stale_cache,
+                incremental.as_deref_mut(),
+                shards,
+                scheduled,
+                tals,
+            )
         } else {
             let source = match retry {
                 Some(policy) => {
@@ -270,7 +322,15 @@ impl ModelRpki {
                 }
                 None => NetworkSource::new(&mut self.net, &self.repos, self.rp_node),
             };
-            run_stack(config, source, stale_cache, incremental.as_deref_mut(), shards, tals)
+            run_stack(
+                config,
+                source,
+                stale_cache,
+                incremental.as_deref_mut(),
+                shards,
+                scheduled,
+                tals,
+            )
         };
         run.emit(&rec, now.0);
         if let Some(stats) = shard_stats {
@@ -476,6 +536,63 @@ mod tests {
         );
         assert_eq!(again.vrps, a.vrps);
         assert_eq!(state.stats().subtrees_reused, 4);
+    }
+
+    #[test]
+    fn scheduled_degenerate_matches_sweep_and_rerun_is_zero_frames() {
+        let mut plain = ModelRpki::build_seeded(5);
+        let mut degen = ModelRpki::build_seeded(5);
+        let mut sched = ModelRpki::build_seeded(5);
+        let a = plain.validate_with(ValidationOptions::at(Moment(2)));
+        // Degenerate plan: byte-identical output, identical traffic.
+        let mut dstate = SchedulerState::new();
+        let d = degen.validate_with(
+            ValidationOptions::at(Moment(2)).scheduled(SchedulePlan::degenerate(), &mut dstate),
+        );
+        assert_eq!(a, d);
+        assert_eq!(plain.net.stats().sent, degen.net.stats().sent);
+        // A real plan: the first run fetches every point; an immediate
+        // re-run finds nothing due and costs zero frames.
+        let mut state = SchedulerState::new();
+        let plan = SchedulePlan::default();
+        let first =
+            sched.validate_with(ValidationOptions::at(Moment(2)).scheduled(plan, &mut state));
+        assert_eq!(first.vrps, a.vrps);
+        let before = sched.net.stats().sent;
+        let again =
+            sched.validate_with(ValidationOptions::at(Moment(3)).scheduled(plan, &mut state));
+        assert_eq!(again.vrps, a.vrps);
+        assert_eq!(sched.net.stats().sent, before, "not-due points must cost zero frames");
+        assert_eq!(state.last_run().fetched, 0);
+        assert!(state.last_run().not_due > 0);
+    }
+
+    #[test]
+    fn scheduled_composes_with_rrdp_and_gates_fallback() {
+        let mut w = ModelRpki::build_seeded(5);
+        let baseline = w.validate_with(ValidationOptions::at(Moment(2)));
+        w.repos.by_host_mut("rpki.continental.example").unwrap().set_rrdp_offline(true);
+        let mut rrdp = RrdpClientState::new();
+        let mut state = SchedulerState::new();
+        let plan = SchedulePlan { min_refresh: 0, max_refresh: 0, jitter: 0, ..Default::default() };
+        // Inside the fallback window the RP defers the rsync downgrade
+        // and reports the point unreachable rather than silently
+        // switching transports.
+        let run = w.validate_with(
+            ValidationOptions::at(Moment(3)).rrdp(&mut rrdp).scheduled(plan, &mut state),
+        );
+        assert!(run.vrps.len() < baseline.vrps.len());
+        assert!(rrdp.stats().fallback_deferrals > 0);
+        assert_eq!(rrdp.stats().downgrades, 0);
+        // Past the window the deferred point downgrades to rsync and
+        // the RP is whole again.
+        w.net.advance_to(w.net.now() + 4_000);
+        let run = w.validate_with(
+            ValidationOptions::at(Moment(4)).rrdp(&mut rrdp).scheduled(plan, &mut state),
+        );
+        assert_eq!(run.vrps, baseline.vrps);
+        assert!(rrdp.stats().fallback_switches > 0);
+        assert!(rrdp.stats().downgrades > 0);
     }
 
     #[test]

@@ -273,9 +273,18 @@ impl Network {
     /// Sends `payload` from `from` to `to`, arriving after the link's
     /// latency plus any configured stall (fault layer permitting).
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) {
+        self.send_after(from, to, payload, 0);
+    }
+
+    /// Like [`Network::send`], but the sender holds the frame for an
+    /// extra `hold` seconds before it enters the link. This is the
+    /// sender-side shaping hook: a repository that stretches its serve
+    /// time (the schedule-gaming half of Stalloris) delays its answers
+    /// here, on top of — not instead of — link latency and stalls.
+    pub fn send_after(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>, hold: u64) {
         self.stats.sent += 1;
         let stall = self.faults.stall_delay(from, to);
-        let at = self.now + self.latency(from, to) + stall;
+        let at = self.now + hold + self.latency(from, to) + stall;
         if self.recorder.is_enabled() {
             self.recorder.count("net.sent", 1);
             self.recorder
@@ -283,7 +292,7 @@ impl Network {
                 .str("from", self.name(from))
                 .str("to", self.name(to))
                 .u64("bytes", payload.len() as u64)
-                .u64("stall", stall)
+                .u64("stall", stall + hold)
                 .u64("deliver_at", at)
                 .emit();
         }

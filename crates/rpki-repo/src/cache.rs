@@ -140,10 +140,11 @@ pub fn sync_dir_incremental(
                 // Digest probes run their own sessions; unsolicited here.
                 RsyncResponse::DirDigest { .. } => {}
             }
-        } else if repos.get(delivery.to).is_some() {
+        } else if let Some(repo) = repos.get(delivery.to) {
+            let hold = repo.serve_delay();
             if let Ok(req) = RsyncRequest::from_bytes(&delivery.payload) {
                 let resp = answer(repos, delivery.to, &req);
-                net.send(delivery.to, delivery.from, resp.to_bytes());
+                net.send_after(delivery.to, delivery.from, resp.to_bytes(), hold);
             }
         }
     }

@@ -364,10 +364,11 @@ pub fn probe_dir(
                         }
                         RsyncResponse::Listing { .. } | RsyncResponse::File { .. } => {}
                     }
-                } else if repos.get(delivery.to).is_some() {
+                } else if let Some(repo) = repos.get(delivery.to) {
+                    let hold = repo.serve_delay();
                     if let Ok(req) = RsyncRequest::from_bytes(&delivery.payload) {
                         let resp = repos.answer(delivery.to, &req);
-                        net.send(delivery.to, delivery.from, resp.to_bytes());
+                        net.send_after(delivery.to, delivery.from, resp.to_bytes(), hold);
                     } else if delivery.from == client && delivery.to == server {
                         outstanding = outstanding.saturating_sub(1);
                     }
@@ -591,11 +592,12 @@ fn run_session(
                         // a stray one here is unsolicited.
                         RsyncResponse::DirDigest { .. } => {}
                     }
-                } else if repos.get(delivery.to).is_some() {
+                } else if let Some(repo) = repos.get(delivery.to) {
                     // A request frame for a repository.
+                    let hold = repo.serve_delay();
                     if let Ok(req) = RsyncRequest::from_bytes(&delivery.payload) {
                         let resp = repos.answer(delivery.to, &req);
-                        net.send(delivery.to, delivery.from, resp.to_bytes());
+                        net.send_after(delivery.to, delivery.from, resp.to_bytes(), hold);
                     } else if delivery.from == client && delivery.to == server {
                         // Our request arrived unparseable: the server
                         // stays silent, so the exchange is dead.

@@ -591,6 +591,12 @@ pub struct RrdpStats {
     pub downgrades: u64,
     /// Times a freshness cross-check caught a stale pinned feed.
     pub pinned_detected: u64,
+    /// Failed syncs held back from rsync because the notification had
+    /// not yet been unreachable past the fallback window.
+    pub fallback_deferrals: u64,
+    /// Times the timed fallback window expired and the caller switched
+    /// a directory to rsync.
+    pub fallback_switches: u64,
 }
 
 /// Per-directory client state.
@@ -630,6 +636,11 @@ pub struct RrdpClientState {
     /// An RTR cache keyed on this epoch starts a new RTR session
     /// (CacheReset at the routers) instead of silently bumping serials.
     epoch: u64,
+    /// `dir → sim time of the first notification failure in the current
+    /// unreachable streak`. Cleared on any successful sync. Drives the
+    /// routinator-style timed RRDP→rsync fallback (`--rrdp-fallback-time`):
+    /// the caller downgrades only once a streak outlives the window.
+    unreachable_since: BTreeMap<String, u64>,
 }
 
 impl RrdpClientState {
@@ -662,6 +673,35 @@ impl RrdpClientState {
     /// Records that a freshness cross-check caught a pinned feed.
     pub fn note_pinned(&mut self) {
         self.stats.pinned_detected += 1;
+    }
+
+    /// Records a notification failure at `now` and returns when the
+    /// current unreachable streak began (i.e. `now` on the first
+    /// failure, the original timestamp on later ones).
+    pub fn note_unreachable(&mut self, dir: &RepoUri, now: u64) -> u64 {
+        *self.unreachable_since.entry(dir.to_string()).or_insert(now)
+    }
+
+    /// When the current unreachable streak of `dir` began, if one is
+    /// active.
+    pub fn unreachable_since(&self, dir: &RepoUri) -> Option<u64> {
+        self.unreachable_since.get(&dir.to_string()).copied()
+    }
+
+    /// Clears the unreachable streak of `dir` (a sync succeeded).
+    pub fn note_reachable(&mut self, dir: &RepoUri) {
+        self.unreachable_since.remove(&dir.to_string());
+    }
+
+    /// Records a failed sync held back from rsync by the timed-fallback
+    /// window.
+    pub fn note_fallback_deferral(&mut self) {
+        self.stats.fallback_deferrals += 1;
+    }
+
+    /// Records a timed-fallback window expiring into an rsync switch.
+    pub fn note_fallback_switch(&mut self) {
+        self.stats.fallback_switches += 1;
     }
 }
 
@@ -764,10 +804,11 @@ fn rrdp_exchange(
                         responses.push(resp);
                     }
                     // A torn frame resolves its exchange with nothing.
-                } else if repos.get(delivery.to).is_some() {
+                } else if let Some(repo) = repos.get(delivery.to) {
+                    let hold = repo.serve_delay();
                     if let Ok(req) = RrdpRequest::from_bytes(&delivery.payload) {
                         let resp = answer_rrdp(repos, delivery.to, &req);
-                        net.send(delivery.to, delivery.from, resp.to_bytes());
+                        net.send_after(delivery.to, delivery.from, resp.to_bytes(), hold);
                     } else if delivery.from == client && delivery.to == server {
                         // Request corrupted in flight: server stays
                         // silent, the exchange is dead.

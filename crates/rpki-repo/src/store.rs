@@ -147,6 +147,10 @@ pub struct Repository {
     /// Misbehaviour knob: answer delta requests with NotFound while the
     /// notification still advertises them, forcing snapshot churn.
     rrdp_withhold_deltas: bool,
+    /// Misbehaviour knob: hold every answer frame (rsync and RRDP) this
+    /// many seconds before it enters the link — the slow-serve half of
+    /// Stalloris, which games deadline-bounded clients and poll budgets.
+    serve_delay: u64,
     /// Served-load ledger, keyed per requested directory. Interior
     /// mutability because the answer paths only hold `&Repository`;
     /// the ledger never crosses threads (all simulated I/O runs on the
@@ -165,6 +169,7 @@ impl Repository {
             hosted_at: None,
             rrdp_offline: false,
             rrdp_withhold_deltas: false,
+            serve_delay: 0,
             load: RefCell::new(BTreeMap::new()),
         }
     }
@@ -352,6 +357,20 @@ impl Repository {
     /// snapshots (or, with a deadline, into walking away).
     pub fn set_rrdp_withhold_deltas(&mut self, withhold: bool) {
         self.rrdp_withhold_deltas = withhold;
+    }
+
+    /// Misbehaviour knob: hold every answer frame `delay` seconds
+    /// before it enters the link. With a client-side deadline this
+    /// starves the session; with a scheduler time budget it starves
+    /// every *later* publication point in the walk — the slow-serve
+    /// schedule-gaming attack. Zero restores honest serving.
+    pub fn set_serve_delay(&mut self, delay: u64) {
+        self.serve_delay = delay;
+    }
+
+    /// The currently configured serve delay, in simulated seconds.
+    pub fn serve_delay(&self) -> u64 {
+        self.serve_delay
     }
 
     /// Misbehaviour knob: freeze the RRDP feed of every directory at

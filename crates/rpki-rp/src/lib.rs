@@ -29,6 +29,7 @@ pub mod relay;
 pub mod resilience;
 pub mod rrdp;
 pub mod rtr;
+pub mod scheduler;
 pub mod shard;
 pub mod source;
 pub mod validation;
@@ -43,6 +44,7 @@ pub use rrdp::RrdpSource;
 pub use rtr::{
     serial_distance, serial_newer, ClientAction, Delta, RtrClient, RtrPdu, RtrServer, VrpUpdate,
 };
+pub use scheduler::{RunStats, SchedulePlan, ScheduledSource, SchedulerState, SchedulerStats};
 pub use shard::{ShardPlan, ShardStats};
 pub use source::{DirectSource, NetworkSource, ObjectSource, ResilientSource};
 pub use validation::{

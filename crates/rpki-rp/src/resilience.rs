@@ -69,6 +69,11 @@ pub struct FetchHealth {
     pub consecutive_failures: u32,
     /// If set, the circuit is open until this simulated time.
     pub cooling_until: Option<u64>,
+    /// Cool-down expired, verdict pending: the breaker admits exactly
+    /// one probe session, which re-closes it (success) or re-opens it
+    /// for a fresh cool-down (failure). Expiry alone never resets
+    /// health.
+    pub half_open: bool,
 }
 
 impl FetchHealth {
@@ -138,8 +143,24 @@ impl ResilientState {
         self.snapshots.len()
     }
 
-    fn circuit_open(&self, host: &str, now: u64) -> bool {
-        self.health.get(host).is_some_and(|h| h.is_cooling(now))
+    /// Whether `host`'s circuit blocks traffic at `now`. A cool-down
+    /// that has expired transitions the breaker to half-open (emitted
+    /// as an obs event) rather than resetting it: the next session is
+    /// the probe whose outcome re-closes or re-opens the circuit.
+    fn circuit_open(&mut self, host: &str, now: u64) -> bool {
+        let Some(health) = self.health.get_mut(host) else { return false };
+        if health.is_cooling(now) {
+            return true;
+        }
+        if health.cooling_until.is_some() && !health.half_open {
+            health.cooling_until = None;
+            health.half_open = true;
+            if self.recorder.is_enabled() {
+                self.recorder.count("rp.circuit_half_open", 1);
+                self.recorder.event(now, "rp", "circuit_half_open").str("host", host).emit();
+            }
+        }
+        false
     }
 
     fn record_session(&mut self, host: &str, listed: bool, now: u64) {
@@ -150,6 +171,21 @@ impl ResilientState {
             if was_tripped && self.recorder.is_enabled() {
                 self.recorder.count("rp.circuit_closed", 1);
                 self.recorder.event(now, "rp", "circuit_close").str("host", host).emit();
+            }
+        } else if health.half_open {
+            // The half-open probe failed: re-open immediately for a
+            // fresh cool-down, no threshold counting.
+            health.half_open = false;
+            health.consecutive_failures += 1;
+            health.cooling_until = Some(now + self.config.cooldown);
+            if self.recorder.is_enabled() {
+                self.recorder.count("rp.circuit_reopened", 1);
+                self.recorder
+                    .event(now, "rp", "circuit_reopen")
+                    .str("host", host)
+                    .u64("failures", u64::from(health.consecutive_failures))
+                    .u64("until", now + self.config.cooldown)
+                    .emit();
             }
         } else {
             health.consecutive_failures += 1;
@@ -242,6 +278,10 @@ impl<S: ObjectSource> ObjectSource for ResilientSource<'_, S> {
 
     fn now(&self) -> u64 {
         self.inner.now()
+    }
+
+    fn wire_frames(&self) -> Option<u64> {
+        self.inner.wire_frames()
     }
 
     /// Probes through the wrapped source. An open circuit yields `None`
@@ -393,13 +433,61 @@ mod tests {
         let (bad, calls) = FakeSource::new(500, false);
         ResilientSource::new(bad, &mut state).load_dir(&dir());
         assert_eq!(calls.get(), 0);
-        // After cool-down the next session probes again — and a
-        // recovered repository resets health.
+        // After cool-down the breaker goes half-open: the next session
+        // is the probe, and a recovered repository re-closes it fully.
         let (good, calls) = FakeSource::new(1_500, true);
         let out = ResilientSource::new(good, &mut state).load_dir(&dir());
         assert_eq!(calls.get(), 1);
         assert!(out.is_complete());
         assert_eq!(state.health("h").unwrap(), FetchHealth::default());
+    }
+
+    #[test]
+    fn half_open_probe_reopens_on_failure() {
+        let mut state = ResilientState::new(ResilienceConfig {
+            failure_threshold: 2,
+            cooldown: 1_000,
+            ..ResilienceConfig::default()
+        });
+        for t in [0, 10] {
+            let (bad, _) = FakeSource::new(t, false);
+            ResilientSource::new(bad, &mut state).load_dir(&dir());
+        }
+        assert_eq!(state.health("h").unwrap().cooling_until, Some(1_010));
+        // Cool-down expired: exactly one probe goes through, fails, and
+        // the breaker re-opens for a fresh cool-down — expiry alone
+        // never resets health.
+        let (bad, calls) = FakeSource::new(1_500, false);
+        ResilientSource::new(bad, &mut state).load_dir(&dir());
+        assert_eq!(calls.get(), 1);
+        let health = state.health("h").unwrap();
+        assert!(!health.half_open, "the failed probe resolved the half-open state");
+        assert_eq!(health.cooling_until, Some(2_500));
+        assert_eq!(health.consecutive_failures, 3);
+        // Re-opened: the next session inside the new cool-down skips.
+        let (bad, calls) = FakeSource::new(2_000, false);
+        ResilientSource::new(bad, &mut state).load_dir(&dir());
+        assert_eq!(calls.get(), 0);
+    }
+
+    #[test]
+    fn half_open_transition_emits_event_once() {
+        let mut state = ResilientState::new(ResilienceConfig {
+            failure_threshold: 1,
+            cooldown: 100,
+            ..ResilienceConfig::default()
+        });
+        let recorder = Recorder::new();
+        state.set_recorder(recorder.clone());
+        let (bad, _) = FakeSource::new(0, false);
+        ResilientSource::new(bad, &mut state).load_dir(&dir());
+        let (bad, _) = FakeSource::new(200, false);
+        ResilientSource::new(bad, &mut state).load_dir(&dir());
+        let log = recorder.events();
+        let half_opens = log.iter().filter(|e| e.kind == "circuit_half_open").count();
+        let reopens = log.iter().filter(|e| e.kind == "circuit_reopen").count();
+        assert_eq!(half_opens, 1);
+        assert_eq!(reopens, 1);
     }
 
     #[test]

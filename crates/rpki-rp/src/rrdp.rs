@@ -40,6 +40,11 @@ pub struct RrdpSource<'a> {
     state: &'a mut RrdpClientState,
     policy: SyncPolicy,
     verify: bool,
+    /// Timed-fallback window: `Some(t)` holds the rsync downgrade back
+    /// until a notification has been unreachable for `t` seconds
+    /// (routinator's `--rrdp-fallback-time`); `None` downgrades on the
+    /// first hard failure, the pre-scheduler behaviour.
+    fallback_after: Option<u64>,
 }
 
 impl<'a> RrdpSource<'a> {
@@ -53,7 +58,7 @@ impl<'a> RrdpSource<'a> {
         state: &'a mut RrdpClientState,
         policy: SyncPolicy,
     ) -> Self {
-        RrdpSource { net, repos, client, state, policy, verify: true }
+        RrdpSource { net, repos, client, state, policy, verify: true, fallback_after: None }
     }
 
     /// Drops the freshness cross-check: the source believes whatever
@@ -61,6 +66,18 @@ impl<'a> RrdpSource<'a> {
     /// configuration.
     pub fn trusting(mut self) -> Self {
         self.verify = false;
+        self
+    }
+
+    /// Arms the routinator-style timed fallback: a hard RRDP failure
+    /// downgrades to rsync only once the notification has been
+    /// unreachable for `window` seconds; earlier failures surface as
+    /// unreachable outcomes instead (the resilience layer then serves
+    /// its last-good snapshot and the scheduler backs the host off).
+    /// This keeps a transient RRDP blip from handing a Stalloris
+    /// attacker the downgrade for free.
+    pub fn fallback_after(mut self, window: u64) -> Self {
+        self.fallback_after = Some(window);
         self
     }
 
@@ -85,6 +102,7 @@ impl ObjectSource for RrdpSource<'_> {
         let deadline = self.policy.deadline;
         match rrdp_sync_dir(self.net, self.repos, self.client, dir, self.state, deadline) {
             Ok((outcome, _kind)) => {
+                self.state.note_reachable(dir);
                 if self.verify {
                     // Freshness cross-check: the rsync endpoint serves
                     // the at-rest truth; an RRDP feed pinned on a stale
@@ -105,12 +123,39 @@ impl ObjectSource for RrdpSource<'_> {
                 }
                 outcome
             }
-            Err(err) => self.downgrade(dir, err.label()),
+            Err(err) => {
+                if let Some(window) = self.fallback_after {
+                    let now = self.net.now();
+                    let since = self.state.note_unreachable(dir, now);
+                    if now.saturating_sub(since) < window {
+                        // Inside the fallback window: hold the rsync
+                        // downgrade back and surface the failure. Not
+                        // silent — the deferral is counted and traced.
+                        self.state.note_fallback_deferral();
+                        let rec = self.net.recorder();
+                        if rec.is_enabled() {
+                            rec.count("rp.rrdp_fallback_deferrals", 1);
+                            rec.event(now, "rp", "rrdp_fallback_deferred")
+                                .str("host", dir.host())
+                                .str("reason", err.label())
+                                .u64("since", since)
+                                .emit();
+                        }
+                        return SyncOutcome::unreachable(dir.clone());
+                    }
+                    self.state.note_fallback_switch();
+                }
+                self.downgrade(dir, err.label())
+            }
         }
     }
 
     fn now(&self) -> u64 {
         self.net.now()
+    }
+
+    fn wire_frames(&self) -> Option<u64> {
+        Some(self.net.stats().sent)
     }
 
     fn probe_dir(&mut self, dir: &RepoUri) -> Option<DirProbe> {
@@ -218,6 +263,46 @@ mod tests {
         let out = src.load_dir(&dir);
         assert!(out.is_complete(), "prefer-RRDP still means rsync on hard failure");
         assert_eq!(state.stats().downgrades, 1);
+    }
+
+    #[test]
+    fn timed_fallback_defers_then_switches() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let mut state = RrdpClientState::new();
+        {
+            let mut src =
+                RrdpSource::new(&mut net, &repos, client, &mut state, SyncPolicy::default());
+            assert!(src.load_dir(&dir).is_complete());
+        }
+        repos.get_mut(server).unwrap().set_rrdp_offline(true);
+        {
+            let mut src =
+                RrdpSource::new(&mut net, &repos, client, &mut state, SyncPolicy::default())
+                    .fallback_after(3600);
+            let out = src.load_dir(&dir);
+            assert!(!out.listed, "inside the window the failure surfaces, no rsync");
+            assert_eq!(state.stats().downgrades, 0);
+            assert_eq!(state.stats().fallback_deferrals, 1);
+            assert!(state.unreachable_since(&dir).is_some());
+        }
+        net.advance_to(5_000);
+        {
+            let mut src =
+                RrdpSource::new(&mut net, &repos, client, &mut state, SyncPolicy::default())
+                    .fallback_after(3600);
+            let out = src.load_dir(&dir);
+            assert!(out.is_complete(), "past the window the rsync fallback fires");
+            assert_eq!(state.stats().downgrades, 1);
+            assert_eq!(state.stats().fallback_switches, 1);
+        }
+        repos.get_mut(server).unwrap().set_rrdp_offline(false);
+        {
+            let mut src =
+                RrdpSource::new(&mut net, &repos, client, &mut state, SyncPolicy::default())
+                    .fallback_after(3600);
+            assert!(src.load_dir(&dir).is_complete());
+            assert!(state.unreachable_since(&dir).is_none(), "recovery clears the streak");
+        }
     }
 
     #[test]

@@ -297,18 +297,6 @@ impl RtrServer {
         Some(RtrPdu::SerialNotify { session: self.session, serial: self.serial })
     }
 
-    /// Installs a new VRP snapshot.
-    #[deprecated(since = "0.1.0", note = "use `publish(VrpUpdate::snapshot(...))`")]
-    pub fn update<I: IntoIterator<Item = Vrp>>(&mut self, vrps: I) -> Option<RtrPdu> {
-        self.publish(VrpUpdate::snapshot(vrps))
-    }
-
-    /// Applies a pre-computed VRP delta.
-    #[deprecated(since = "0.1.0", note = "use `publish(VrpUpdate::Delta(...))`")]
-    pub fn apply_delta(&mut self, delta: &VrpDelta) -> Option<RtrPdu> {
-        self.publish(VrpUpdate::Delta(delta))
-    }
-
     /// Starts a new RTR session: new session id, serial restarted at 0,
     /// delta history cleared. The current VRP set is retained — only
     /// the *continuity story* is gone. Call this when the upstream data
@@ -514,34 +502,6 @@ impl RtrClient {
     pub fn is_empty(&self) -> bool {
         self.vrps.is_empty()
     }
-}
-
-/// Drives one complete poll cycle synchronously (no network): the
-/// client sends its poll PDU, the server answers, the client applies.
-/// Returns the number of PDUs exchanged. Loops on `Reset` until the
-/// client converges (at most twice).
-#[deprecated(
-    since = "0.1.0",
-    note = "direct-call sync bypasses the fault model; use the framed session API \
-            (`fabric::RtrFabric` / `fabric::RtrRouter` over netsim) instead"
-)]
-pub fn poll_cycle(client: &mut RtrClient, server: &RtrServer) -> usize {
-    let mut exchanged = 0;
-    for _ in 0..3 {
-        let query = client.poll();
-        exchanged += 1;
-        let mut reset = false;
-        for pdu in server.handle(&query) {
-            exchanged += 1;
-            if client.handle(&pdu) == ClientAction::Reset {
-                reset = true;
-            }
-        }
-        if !reset {
-            break;
-        }
-    }
-    exchanged
 }
 
 #[cfg(test)]

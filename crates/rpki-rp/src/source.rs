@@ -45,6 +45,32 @@ pub trait ObjectSource {
     fn probe_dir(&mut self, _dir: &RepoUri) -> Option<DirProbe> {
         None
     }
+
+    /// Cumulative frames this source's network has sent, if it has
+    /// one. The fetch scheduler charges per-directory deltas of this
+    /// counter against its frame budget; sources without a network
+    /// (e.g. [`DirectSource`]) report `None` and are never budgeted.
+    fn wire_frames(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<S: ObjectSource + ?Sized> ObjectSource for &mut S {
+    fn load_dir(&mut self, dir: &RepoUri) -> SyncOutcome {
+        (**self).load_dir(dir)
+    }
+
+    fn now(&self) -> u64 {
+        (**self).now()
+    }
+
+    fn probe_dir(&mut self, dir: &RepoUri) -> Option<DirProbe> {
+        (**self).probe_dir(dir)
+    }
+
+    fn wire_frames(&self) -> Option<u64> {
+        (**self).wire_frames()
+    }
 }
 
 /// Retrieval over the simulated network.
@@ -100,6 +126,10 @@ impl ObjectSource for NetworkSource<'_> {
     fn probe_dir(&mut self, dir: &RepoUri) -> Option<DirProbe> {
         let deadline = self.policy.and_then(|p| p.deadline);
         Some(rpki_repo::probe_dir(self.net, self.repos, self.client, dir, deadline))
+    }
+
+    fn wire_frames(&self) -> Option<u64> {
+        Some(self.net.stats().sent)
     }
 }
 
