@@ -62,6 +62,7 @@ fn overclaim_campaign() -> CampaignSpec {
     CampaignSpec {
         name: "adversarial-overclaim".to_owned(),
         unsafe_vrps: UnsafeVrpPolicy::Accept,
+        churn: None,
         rounds: 10,
         windows: vec![FaultWindow {
             host: "rpki.continental.example".to_owned(),

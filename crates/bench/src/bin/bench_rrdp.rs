@@ -61,6 +61,11 @@ struct Record {
     deltas_applied: u64,
     snapshot_syncs: u64,
     unchanged: u64,
+    fallback_initial: u64,
+    fallback_evicted: u64,
+    fallback_session_reset: u64,
+    fallback_chain_gap: u64,
+    bridge_deltas_applied: u64,
 }
 
 /// One RRDP-transported incremental revalidation (trusting: no rsync
@@ -170,6 +175,15 @@ fn main() {
             }
 
             let stats = rrdp_state.stats();
+            // Every snapshot sync has exactly one recorded cause.
+            assert_eq!(
+                stats.fallback_initial
+                    + stats.fallback_evicted
+                    + stats.fallback_session_reset
+                    + stats.fallback_chain_gap,
+                stats.snapshot_syncs,
+                "fallback causes must partition the snapshot syncs"
+            );
             records.push(Record {
                 pub_points: w.publication_points(),
                 depth,
@@ -189,6 +203,11 @@ fn main() {
                 deltas_applied: stats.deltas_applied,
                 snapshot_syncs: stats.snapshot_syncs,
                 unchanged: stats.unchanged,
+                fallback_initial: stats.fallback_initial,
+                fallback_evicted: stats.fallback_evicted,
+                fallback_session_reset: stats.fallback_session_reset,
+                fallback_chain_gap: stats.fallback_chain_gap,
+                bridge_deltas_applied: stats.bridge_deltas_applied,
             });
         }
     }

@@ -21,6 +21,7 @@ const KNOWN: &[(&str, &str)] = &[
     ("BENCH_scale.json", "schemas/bench_scale.schema.json"),
     ("BENCH_unsafe_vrp.json", "schemas/bench_unsafe_vrp.schema.json"),
     ("BENCH_scheduler.json", "schemas/bench_scheduler.schema.json"),
+    ("BENCH_pubd.json", "schemas/bench_pubd.schema.json"),
 ];
 
 /// `BENCH_*.json` files in the current directory that no KNOWN entry

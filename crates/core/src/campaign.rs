@@ -42,6 +42,7 @@ use std::collections::BTreeSet;
 use ipres::Prefix;
 use netsim::NodeId;
 use rpki_attacks::{CorpusKind, StarvePlan};
+use rpki_ca::{ChurnConfig, ChurnEngine};
 use rpki_objects::{Moment, RoaPrefix, Span};
 use rpki_obs::Recorder;
 use rpki_repo::{Freshness, RrdpClientState, SyncPolicy};
@@ -178,12 +179,26 @@ pub struct CampaignSpec {
     /// The unsafe-VRP policy every tier validates under (default
     /// [`UnsafeVrpPolicy::Accept`], matching deployed practice).
     pub unsafe_vrps: UnsafeVrpPolicy,
+    /// Background CA churn applied to the world every round *before*
+    /// that round's faults. `None` keeps repositories quiet between
+    /// faults — the behaviour of every earlier campaign. The engine is
+    /// seeded with the campaign seed, so per-tier worlds churn through
+    /// byte-identical schedules and tiers stay comparable. Use
+    /// [`ChurnConfig::renew_only`] for campaigns whose assertions
+    /// depend on a fixed VRP population.
+    pub churn: Option<ChurnConfig>,
 }
 
 impl CampaignSpec {
     /// The same campaign under a different unsafe-VRP policy.
     pub fn with_unsafe_policy(mut self, policy: UnsafeVrpPolicy) -> Self {
         self.unsafe_vrps = policy;
+        self
+    }
+
+    /// The same campaign with background CA churn at the given rates.
+    pub fn with_churn(mut self, churn: ChurnConfig) -> Self {
+        self.churn = Some(churn);
         self
     }
 }
@@ -552,9 +567,16 @@ pub fn run_campaign_shared(
         repo.reset_served_load();
     }
 
+    // One engine for the one shared world: every tier syncs the same
+    // churned serials.
+    let mut churn = spec.churn.map(|cfg| ChurnEngine::new(seed, cfg));
+
     let mut divergence = Vec::with_capacity(spec.rounds);
     for round in 1..=spec.rounds {
         w.net.advance_to(round as u64 * ROUND_SECS);
+        if let Some(engine) = churn.as_mut() {
+            w.run_churn(engine, Moment(w.net.now()));
+        }
         apply_faults_to(&mut w, spec, round, &mut engaged, &rp_nodes);
 
         let mut vrp_sets: Vec<BTreeSet<Vrp>> = Vec::with_capacity(tiers.len());
@@ -766,9 +788,14 @@ pub fn run_campaign_rtr(
     pump_rtr(&mut w.net, rtr.pump_budget, &mut fabrics, &mut relay, &mut routers);
     flush_rtr(&mut w.net, &rp_nodes, relay_node, &router_nodes);
 
+    let mut churn = spec.churn.map(|cfg| ChurnEngine::new(seed, cfg));
+
     let mut rtr_rounds: Vec<RtrRoundMetrics> = Vec::with_capacity(spec.rounds);
     for round in 1..=spec.rounds {
         w.net.advance_to(round as u64 * ROUND_SECS);
+        if let Some(engine) = churn.as_mut() {
+            w.run_churn(engine, Moment(w.net.now()));
+        }
         apply_faults_to(&mut w, spec, round, &mut engaged, &rp_nodes);
         apply_rtr_faults(&mut w.net, spec, round, relay_node, &router_nodes);
 
@@ -970,6 +997,7 @@ pub fn rtr_campaign() -> CampaignSpec {
     CampaignSpec {
         name: "rtr-stale-routers".to_owned(),
         unsafe_vrps: UnsafeVrpPolicy::Accept,
+        churn: None,
         rounds: 10,
         windows: vec![
             FaultWindow {
@@ -1030,11 +1058,18 @@ fn run_tier(
     );
     let mut prev_downgrades = rrdp_state.stats().downgrades;
 
+    // Background churn: one engine per tier, all seeded alike, so the
+    // five per-tier worlds advance through byte-identical schedules.
+    let mut churn = spec.churn.map(|cfg| ChurnEngine::new(seed, cfg));
+
     let mut rounds = Vec::with_capacity(spec.rounds);
     for round in 1..=spec.rounds {
         // Stalled sessions may overrun the boundary; `advance_to` is
         // monotone, so pacing simply resumes once they drain.
         w.net.advance_to(round as u64 * ROUND_SECS);
+        if let Some(engine) = churn.as_mut() {
+            w.run_churn(engine, Moment(w.net.now()));
+        }
         apply_faults(&mut w, spec, round, &mut engaged);
 
         let moment = Moment(w.net.now());
@@ -1393,6 +1428,7 @@ pub fn schedule_gaming_campaign() -> CampaignSpec {
     CampaignSpec {
         name: "schedule-gaming".to_owned(),
         unsafe_vrps: UnsafeVrpPolicy::Accept,
+        churn: None,
         rounds: 12,
         windows: vec![FaultWindow {
             host: plan.host.clone(),
@@ -1491,6 +1527,7 @@ pub fn standard_campaigns() -> Vec<CampaignSpec> {
         CampaignSpec {
             name: "corruption-burst".to_owned(),
             unsafe_vrps: UnsafeVrpPolicy::Accept,
+            churn: None,
             rounds: 12,
             windows: vec![FaultWindow {
                 host: c(),
@@ -1502,18 +1539,21 @@ pub fn standard_campaigns() -> Vec<CampaignSpec> {
         CampaignSpec {
             name: "flapping-partition".to_owned(),
             unsafe_vrps: UnsafeVrpPolicy::Accept,
+            churn: None,
             rounds: 12,
             windows: vec![FaultWindow { host: c(), kind: FaultKind::Flapping, from: 3, to: 10 }],
         },
         CampaignSpec {
             name: "takedown".to_owned(),
             unsafe_vrps: UnsafeVrpPolicy::Accept,
+            churn: None,
             rounds: 12,
             windows: vec![FaultWindow { host: c(), kind: FaultKind::Takedown, from: 3, to: 8 }],
         },
         CampaignSpec {
             name: "slow-serve".to_owned(),
             unsafe_vrps: UnsafeVrpPolicy::Accept,
+            churn: None,
             rounds: 10,
             windows: vec![FaultWindow {
                 host: c(),
@@ -1530,6 +1570,7 @@ pub fn standard_campaigns() -> Vec<CampaignSpec> {
             // rsync for the truth.
             name: "stalloris-downgrade".to_owned(),
             unsafe_vrps: UnsafeVrpPolicy::Accept,
+            churn: None,
             rounds: 12,
             windows: vec![
                 FaultWindow { host: c(), kind: FaultKind::RrdpPin, from: 3, to: 8 },
@@ -1539,6 +1580,7 @@ pub fn standard_campaigns() -> Vec<CampaignSpec> {
         CampaignSpec {
             name: "mixed".to_owned(),
             unsafe_vrps: UnsafeVrpPolicy::Accept,
+            churn: None,
             rounds: 24,
             windows: vec![
                 FaultWindow {
@@ -1563,6 +1605,7 @@ mod tests {
         CampaignSpec {
             name: "t".to_owned(),
             unsafe_vrps: UnsafeVrpPolicy::Accept,
+            churn: None,
             rounds: 6,
             windows: vec![FaultWindow {
                 host: "rpki.continental.example".to_owned(),
@@ -1593,6 +1636,7 @@ mod tests {
         let spec = CampaignSpec {
             name: "w".to_owned(),
             unsafe_vrps: UnsafeVrpPolicy::Accept,
+            churn: None,
             rounds: 6,
             windows: vec![FaultWindow {
                 host: "rpki.continental.example".to_owned(),
@@ -1618,6 +1662,22 @@ mod tests {
         let a = serde_json::to_string(&run_campaign(&spec, 7)).unwrap();
         let b = serde_json::to_string(&run_campaign(&spec, 7)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn churned_campaign_replays_identically_and_keeps_separations() {
+        let spec = takedown_spec().with_churn(ChurnConfig::renew_only(400));
+        let a = serde_json::to_string(&run_campaign(&spec, 7)).unwrap();
+        let b = serde_json::to_string(&run_campaign(&spec, 7)).unwrap();
+        assert_eq!(a, b, "churned campaigns replay byte-identical");
+        // Renew-only churn keeps the VRP population fixed, so the
+        // quiet campaign's separations survive under a live publication
+        // workload: the stale cache still bridges the takedown, and the
+        // RRDP tier absorbs the churn deltas without losing a VRP.
+        let out = run_campaign(&spec, 42);
+        assert_eq!(out.tier(RpTier::RetryingStale).totals.min_vrps, 8);
+        assert_eq!(out.tier(RpTier::Rrdp).totals.min_vrps, 8);
+        assert_eq!(out.tier(RpTier::Bare).rounds.last().unwrap().vrps, 8);
     }
 
     #[test]
@@ -1681,6 +1741,7 @@ mod tests {
         let spec = CampaignSpec {
             name: "wh".to_owned(),
             unsafe_vrps: UnsafeVrpPolicy::Accept,
+            churn: None,
             rounds: 6,
             windows: vec![FaultWindow {
                 host: "rpki.continental.example".to_owned(),
@@ -1793,6 +1854,7 @@ mod tests {
         let spec = CampaignSpec {
             name: "rtr-p".to_owned(),
             unsafe_vrps: UnsafeVrpPolicy::Accept,
+            churn: None,
             rounds: 6,
             windows: vec![
                 FaultWindow {

@@ -314,6 +314,37 @@ mod tests {
     }
 
     #[test]
+    fn session_reset_rounds_register_as_session_reset_fallbacks() {
+        use rpki_attacks::DowngradeStep;
+
+        let mut w = ModelRpki::build_seeded(41);
+        let mut client = RrdpClientState::new();
+        let policy = SyncPolicy::default();
+        w.validate_with(ValidationOptions::at(Moment(2)).retry(policy).rrdp(&mut client));
+        // Cold syncs are initial-cause snapshot fetches, nothing else.
+        let stats = client.stats();
+        assert_eq!(stats.fallback_initial, stats.snapshot_syncs, "{stats:?}");
+        assert_eq!(stats.fallback_session_reset, 0);
+
+        // The ResetSession misbehaviour: fresh session ids, history
+        // gone — every Continental directory forces a re-snapshot, and
+        // the cause ledger must say *why*.
+        apply_step(&mut w.repos, TARGET_HOST, DowngradeStep::ResetSession);
+        w.validate_with(ValidationOptions::at(Moment(3)).retry(policy).rrdp(&mut client));
+        let stats = client.stats();
+        assert!(stats.fallback_session_reset > 0, "{stats:?}");
+        assert_eq!(stats.fallback_evicted, 0, "no history was outrun: {stats:?}");
+        assert_eq!(
+            stats.fallback_initial
+                + stats.fallback_evicted
+                + stats.fallback_session_reset
+                + stats.fallback_chain_gap,
+            stats.snapshot_syncs,
+            "fallback causes must partition the snapshot syncs: {stats:?}"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "schedule must order")]
     fn misordered_schedules_are_rejected() {
         run_downgrade_scheduled(

@@ -23,7 +23,7 @@
 use bgp_sim::{Announcement, Topology};
 use ipres::{Asn, Prefix, ResourceSet};
 use netsim::{Network, NodeId};
-use rpki_ca::CertAuthority;
+use rpki_ca::{CertAuthority, ChurnEngine, ChurnReport};
 use rpki_objects::{Encode, Moment, RepoUri, Roa, RoaPrefix, RpkiObject, Span, TrustAnchorLocator};
 use rpki_repo::RepoRegistry;
 use rpki_rp::{
@@ -247,6 +247,36 @@ impl ModelRpki {
             let snap = ca.publication_snapshot(now);
             self.repos.by_host_mut(host).expect("exists").publish_snapshot(&sia, &snap);
         }
+    }
+
+    /// Advances `engine` one step over the model's four authorities (in
+    /// [arin, sprint, etb, continental] order — the index the schedule
+    /// is keyed on) and republishes every touched CA's snapshot through
+    /// the ordinary publication log, so RRDP clients see the churn as
+    /// deltas. Returns the engine's report.
+    pub fn run_churn(&mut self, engine: &mut ChurnEngine, now: Moment) -> ChurnReport {
+        let report = engine.step_with(
+            [&mut self.arin, &mut self.sprint, &mut self.etb, &mut self.continental],
+            now,
+        );
+        let hosts = [
+            "rpki.arin.example",
+            "rpki.sprint.example",
+            "rpki.etb.example",
+            "rpki.continental.example",
+        ];
+        for &idx in &report.touched {
+            let ca = match idx {
+                0 => &mut self.arin,
+                1 => &mut self.sprint,
+                2 => &mut self.etb,
+                _ => &mut self.continental,
+            };
+            let sia = ca.sia().clone();
+            let snap = ca.publication_snapshot(now);
+            self.repos.by_host_mut(hosts[idx]).expect("exists").publish_snapshot(&sia, &snap);
+        }
+        report
     }
 
     /// Poisons `host`'s publication point with one adversarial corpus
@@ -508,6 +538,28 @@ impl SyntheticRpki {
         touched
     }
 
+    /// Advances `engine` one step over every CA (vector order) and
+    /// republishes the touched snapshots — the realistic counterpart to
+    /// [`churn`](Self::churn)'s fixed-rate rotation. Recomputes
+    /// `roa_count` since adds/withdraws change the population. Returns
+    /// the engine's report.
+    pub fn run_churn(&mut self, engine: &mut ChurnEngine, now: Moment) -> ChurnReport {
+        let report = engine.step_with(self.cas.iter_mut(), now);
+        for &idx in &report.touched {
+            let ca = &mut self.cas[idx];
+            let sia = ca.sia().clone();
+            let snap = ca.publication_snapshot(now);
+            self.repos
+                .by_host_mut("rpki.bench.example")
+                .expect("exists")
+                .publish_snapshot(&sia, &snap);
+        }
+        if report.added > 0 || report.withdrawn > 0 {
+            self.roa_count = self.cas.iter().map(|ca| ca.issued_roas().count()).sum();
+        }
+        report
+    }
+
     /// One cold full walk over the simulated network.
     pub fn validate_cold(&mut self, now: Moment) -> ValidationRun {
         let mut source = NetworkSource::new(&mut self.net, &self.repos, self.rp_node);
@@ -680,6 +732,37 @@ mod tests {
         assert!(state.last_delta().is_empty());
         // And the incremental output matches a cold walk of the same world.
         assert_eq!(second.vrps, w.validate_cold(Moment(62)).vrps);
+    }
+
+    #[test]
+    fn engine_churn_keeps_the_model_world_valid() {
+        use rpki_ca::ChurnConfig;
+        let mut w = ModelRpki::build();
+        let baseline = w.validate_direct(Moment(2)).vrps;
+        let mut engine = ChurnEngine::new(17, ChurnConfig::renew_only(500));
+        let mut touched = 0usize;
+        for step in 0..8u64 {
+            let report = w.run_churn(&mut engine, Moment(2 + step));
+            touched += report.touched.len();
+        }
+        assert!(touched > 0, "per-mille 500 over 4 CAs × 8 steps must touch someone");
+        // Renew-only churn re-signs objects without changing the VRP
+        // population the model's assertions are built on.
+        assert_eq!(w.validate_direct(Moment(10)).vrps, baseline);
+    }
+
+    #[test]
+    fn engine_churn_tracks_the_synthetic_population() {
+        use rpki_ca::ChurnConfig;
+        let mut w = SyntheticRpki::build_seeded(11, 2, 3, 2);
+        let mut engine = ChurnEngine::new(23, ChurnConfig::steady());
+        for step in 0..12u64 {
+            w.run_churn(&mut engine, Moment(2 + step * 60));
+        }
+        // `roa_count` follows adds/withdraws, so the validated VRP set
+        // always matches it.
+        let run = w.validate_cold(Moment(2 + 12 * 60));
+        assert_eq!(run.vrps.len(), w.roa_count);
     }
 
     #[test]

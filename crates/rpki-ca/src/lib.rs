@@ -24,7 +24,9 @@
 #![warn(missing_docs)]
 
 pub mod authority;
+pub mod churn;
 pub mod errors;
 
 pub use authority::{AuthoritySummary, CertAuthority, PublicationSnapshot, RolloverReport};
+pub use churn::{ChurnConfig, ChurnEngine, ChurnReport};
 pub use errors::IssueError;

@@ -19,7 +19,9 @@
 //! of the rsync-like list/get protocol), [`client`] (the synchronous
 //! sync driver that pumps the event loop), [`rrdp`] (the delta-based
 //! RRDP transport: notification/snapshot/delta frames and the polling
-//! client state machine, with the rsync path as its downgrade target).
+//! client state machine, with the rsync path as its downgrade target),
+//! [`pubd`] (the publication-server policies: snapshot compaction,
+//! delta retention, and the server-side work/serve ledgers).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@
 pub mod cache;
 pub mod client;
 pub mod proto;
+pub mod pubd;
 pub mod rrdp;
 pub mod store;
 
@@ -36,8 +39,9 @@ pub use client::{
     RepoRegistry, SyncOutcome, SyncPolicy, SyncReport,
 };
 pub use proto::{RsyncRequest, RsyncResponse};
+pub use pubd::{PubdPolicy, PubdServed, PubdWork, RetentionPolicy, SnapshotDoc, MAX_DELTAS};
 pub use rrdp::{
-    rrdp_probe_dir, rrdp_sync_dir, DeltaChange, DeltaRef, RrdpClientState, RrdpError, RrdpRequest,
-    RrdpResponse, RrdpStats, RrdpSyncKind, MAX_DELTAS,
+    rrdp_probe_dir, rrdp_sync_dir, DeltaChange, DeltaRef, FallbackCause, RrdpClientState,
+    RrdpError, RrdpRequest, RrdpResponse, RrdpStats, RrdpSyncKind,
 };
 pub use store::{DirLoad, Repository};

@@ -1,0 +1,207 @@
+//! Snapshot materialisation: the cached serialized snapshot document
+//! and the server-side work/serve ledgers.
+
+use rpkisim_crypto::{sha256, Digest};
+use serde::Serialize;
+
+/// Builds the canonical serialized snapshot document: session and
+/// serial big-endian, then every `(name, bytes)` pair length-prefixed.
+/// Server and client derive the snapshot hash from this exact byte
+/// string, so the notification's snapshot hash pins the document.
+pub(crate) fn snapshot_document<'a, I>(session: u64, serial: u64, files: I) -> Vec<u8>
+where
+    I: Iterator<Item = (&'a str, &'a [u8])>,
+{
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&session.to_be_bytes());
+    buf.extend_from_slice(&serial.to_be_bytes());
+    for (name, bytes) in files {
+        buf.extend_from_slice(&(name.len() as u64).to_be_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&(bytes.len() as u64).to_be_bytes());
+        buf.extend_from_slice(bytes);
+    }
+    buf
+}
+
+/// A materialised snapshot document: the canonical serialized bytes of
+/// one `(session, serial, files)` state, hashed once at build time.
+///
+/// This is what satellite-fix 6 replaces the per-write full-file-set
+/// digest with: the document is built when the compaction policy says
+/// so, served verbatim from cache (never re-derived from at-rest files
+/// per request), and its stored hash is what notifications advertise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotDoc {
+    serial: u64,
+    hash: Digest,
+    bytes: Vec<u8>,
+}
+
+impl SnapshotDoc {
+    /// Materialises the document at `serial` from the given file set,
+    /// hashing the canonical bytes exactly once.
+    pub(crate) fn build<'a, I>(session: u64, serial: u64, files: I) -> SnapshotDoc
+    where
+        I: Iterator<Item = (&'a str, &'a [u8])>,
+    {
+        let bytes = snapshot_document(session, serial, files);
+        let hash = sha256(&bytes);
+        SnapshotDoc { serial, hash, bytes }
+    }
+
+    /// The serial this document was materialised at.
+    pub fn serial(&self) -> u64 {
+        self.serial
+    }
+
+    /// SHA-256 of the canonical document bytes.
+    pub fn hash(&self) -> Digest {
+        self.hash
+    }
+
+    /// Size of the serialized document.
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// True for a document with no header (never the case once built).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Recovers the `(name, bytes)` file entries from the cached
+    /// document — the serve path of a snapshot request. The document
+    /// was built by [`snapshot_document`], so parsing cannot fail;
+    /// a torn cache would be a programming error, hence the asserts.
+    pub(crate) fn files(&self) -> Vec<(String, Vec<u8>)> {
+        let mut files = Vec::new();
+        let mut at = 16; // session + serial header
+        let take_u64 = |at: &mut usize, buf: &[u8]| -> usize {
+            let mut len = [0u8; 8];
+            len.copy_from_slice(&buf[*at..*at + 8]);
+            *at += 8;
+            u64::from_be_bytes(len) as usize
+        };
+        while at < self.bytes.len() {
+            let name_len = take_u64(&mut at, &self.bytes);
+            let name = std::str::from_utf8(&self.bytes[at..at + name_len])
+                .expect("snapshot doc names are valid UTF-8")
+                .to_owned();
+            at += name_len;
+            let bytes_len = take_u64(&mut at, &self.bytes);
+            files.push((name, self.bytes[at..at + bytes_len].to_vec()));
+            at += bytes_len;
+        }
+        files
+    }
+}
+
+/// Cumulative build-side work of one publication point (or, summed,
+/// one host): what the server *spent* maintaining its feed, per the
+/// write path. The retained-gauge fields describe the current log and
+/// are filled in by the [`Repository`](crate::Repository) accessors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PubdWork {
+    /// Writes recorded (serials advanced).
+    pub serials: u64,
+    /// Snapshot documents materialised (scheduled and forced).
+    pub snapshot_builds: u64,
+    /// Materialisations forced by a retention budget that would have
+    /// evicted a bridge delta.
+    pub forced_builds: u64,
+    /// Total bytes of materialised snapshot documents.
+    pub snapshot_bytes_built: u64,
+    /// Delta documents evicted from the retained history.
+    pub deltas_evicted: u64,
+    /// Total bytes of evicted delta documents.
+    pub delta_bytes_evicted: u64,
+    /// Gauge: delta documents currently retained.
+    pub retained_deltas: u64,
+    /// Gauge: total bytes of currently retained delta documents —
+    /// the delta-log storage side of the RFC 8182 §3.3.2 tradeoff.
+    pub retained_delta_bytes: u64,
+}
+
+impl PubdWork {
+    /// Component-wise sum (counters and gauges alike).
+    pub fn plus(self, o: PubdWork) -> PubdWork {
+        PubdWork {
+            serials: self.serials + o.serials,
+            snapshot_builds: self.snapshot_builds + o.snapshot_builds,
+            forced_builds: self.forced_builds + o.forced_builds,
+            snapshot_bytes_built: self.snapshot_bytes_built + o.snapshot_bytes_built,
+            deltas_evicted: self.deltas_evicted + o.deltas_evicted,
+            delta_bytes_evicted: self.delta_bytes_evicted + o.delta_bytes_evicted,
+            retained_deltas: self.retained_deltas + o.retained_deltas,
+            retained_delta_bytes: self.retained_delta_bytes + o.retained_delta_bytes,
+        }
+    }
+}
+
+/// Serve-side wire bytes of one publication point, split per RRDP
+/// document kind — the breakdown [`DirLoad`](crate::DirLoad) flattens.
+/// Snapshot bytes served are the fallback-traffic side of the
+/// §3.3.2 tradeoff.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PubdServed {
+    /// Notification documents served.
+    pub notifications: u64,
+    /// Encoded notification bytes served.
+    pub notification_bytes: u64,
+    /// Snapshot documents served.
+    pub snapshots: u64,
+    /// Encoded snapshot bytes served.
+    pub snapshot_bytes: u64,
+    /// Delta documents served.
+    pub deltas: u64,
+    /// Encoded delta bytes served.
+    pub delta_bytes: u64,
+    /// Requests answered `NotFound` (withheld, offline, unknown).
+    pub not_found: u64,
+}
+
+impl PubdServed {
+    /// Component-wise sum.
+    pub fn plus(self, o: PubdServed) -> PubdServed {
+        PubdServed {
+            notifications: self.notifications + o.notifications,
+            notification_bytes: self.notification_bytes + o.notification_bytes,
+            snapshots: self.snapshots + o.snapshots,
+            snapshot_bytes: self.snapshot_bytes + o.snapshot_bytes,
+            deltas: self.deltas + o.deltas,
+            delta_bytes: self.delta_bytes + o.delta_bytes,
+            not_found: self.not_found + o.not_found,
+        }
+    }
+
+    /// Total bytes served over all document kinds.
+    pub fn total_bytes(self) -> u64 {
+        self.notification_bytes + self.snapshot_bytes + self.delta_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_doc_round_trips_files() {
+        let files: Vec<(String, Vec<u8>)> =
+            vec![("a.roa".into(), vec![1, 2, 3]), ("b.cer".into(), vec![]), ("c".into(), vec![9])];
+        let doc = SnapshotDoc::build(7, 3, files.iter().map(|(n, b)| (n.as_str(), b.as_slice())));
+        assert_eq!(doc.serial(), 3);
+        assert_eq!(doc.files(), files);
+        assert_eq!(
+            doc.hash(),
+            sha256(&snapshot_document(7, 3, files.iter().map(|(n, b)| (n.as_str(), b.as_slice()))))
+        );
+    }
+
+    #[test]
+    fn empty_doc_has_only_the_header() {
+        let doc = SnapshotDoc::build(1, 0, std::iter::empty());
+        assert_eq!(doc.len(), 16);
+        assert!(doc.files().is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Delta-history retention: count- and byte-budgeted eviction.
+
+/// How many delta records the default retention policy keeps — the
+/// value the server hardcoded before retention became configurable.
+/// A client further behind than the retained history falls back to the
+/// snapshot, exactly like production RRDP servers that garbage-collect
+/// old delta files.
+pub const MAX_DELTAS: usize = 32;
+
+/// How much delta history a publication log retains.
+///
+/// RFC 8182 §3.3.2 leaves the depth to the operator and names the
+/// tradeoff: deltas beyond the budget are dropped, and a client that
+/// fell further behind than the retained history pays a full snapshot.
+/// The *byte* budget is what production servers actually manage
+/// (storage), which is why [`RetentionPolicy::Bytes`] exists alongside
+/// the count variant the old `MAX_DELTAS` constant expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetentionPolicy {
+    /// Keep at most this many delta documents (the historical
+    /// behaviour; `Count { max_deltas: MAX_DELTAS }` is the default and
+    /// reproduces the old server byte-identically).
+    Count {
+        /// Maximum retained delta documents.
+        max_deltas: usize,
+    },
+    /// Keep at most this many bytes of canonical delta documents —
+    /// the storage-budget form real repositories operate under.
+    Bytes {
+        /// Maximum total size of retained delta documents.
+        max_bytes: u64,
+    },
+    /// Never evict. The reference configuration for equivalence tests
+    /// (every client can always delta-sync) and the storage worst case.
+    Unbounded,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy::Count { max_deltas: MAX_DELTAS }
+    }
+}
+
+impl RetentionPolicy {
+    /// Whether a history of `count` deltas totalling `bytes` exceeds
+    /// the budget (i.e. the oldest delta must go).
+    pub(crate) fn over_budget(&self, count: usize, bytes: u64) -> bool {
+        match *self {
+            RetentionPolicy::Count { max_deltas } => count > max_deltas,
+            RetentionPolicy::Bytes { max_bytes } => bytes > max_bytes,
+            RetentionPolicy::Unbounded => false,
+        }
+    }
+
+    /// Stable label for traces and bench records.
+    pub fn label(&self) -> String {
+        match *self {
+            RetentionPolicy::Count { max_deltas } => format!("count:{max_deltas}"),
+            RetentionPolicy::Bytes { max_bytes } => format!("bytes:{max_bytes}"),
+            RetentionPolicy::Unbounded => "unbounded".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reproduces_the_old_constant() {
+        assert_eq!(RetentionPolicy::default(), RetentionPolicy::Count { max_deltas: 32 });
+        assert_eq!(MAX_DELTAS, 32);
+    }
+
+    #[test]
+    fn budgets_bind_on_their_own_axis() {
+        let count = RetentionPolicy::Count { max_deltas: 2 };
+        assert!(!count.over_budget(2, u64::MAX));
+        assert!(count.over_budget(3, 0));
+        let bytes = RetentionPolicy::Bytes { max_bytes: 100 };
+        assert!(!bytes.over_budget(usize::MAX, 100));
+        assert!(bytes.over_budget(0, 101));
+        assert!(!RetentionPolicy::Unbounded.over_budget(usize::MAX, u64::MAX));
+    }
+}

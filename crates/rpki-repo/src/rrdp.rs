@@ -51,16 +51,11 @@ use rpkisim_crypto::{sha256, Digest};
 use serde::Serialize;
 
 use crate::client::{dir_content_digest, RepoRegistry, SyncOutcome};
+use crate::pubd::{self, PubdEvent, PubdWork, SnapshotDoc};
 
 /// Timer token for per-exchange RRDP deadlines (distinct from the
 /// rsync driver's tokens so concurrent timers never collide).
 const RRDP_DEADLINE_TOKEN: u64 = 0x5252_4450_dead_0001;
-
-/// How many delta records a publication log retains. Older deltas are
-/// dropped (the log is *bounded*); a client further behind than this
-/// falls back to the snapshot, exactly like production RRDP servers
-/// that garbage-collect old delta files.
-pub const MAX_DELTAS: usize = 32;
 
 // ---------------------------------------------------------------------
 // Publication log (server side, maintained at write time)
@@ -123,19 +118,22 @@ impl Decode for DeltaChange {
 }
 
 /// One recorded delta: the serial it advances the directory to, the
-/// changes, and the hash of the canonical delta document (what the
-/// notification advertises).
+/// changes, the hash of the canonical delta document (what the
+/// notification advertises), and that document's size (what the
+/// byte-budgeted retention policy meters).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct DeltaRecord {
     pub(crate) serial: u64,
     pub(crate) hash: Digest,
+    pub(crate) doc_bytes: u64,
     pub(crate) changes: Vec<DeltaChange>,
 }
 
 /// The per-publication-point publication log: session id, monotone
-/// serial, bounded delta history, and the current snapshot document's
-/// hash (regenerated at every write alongside the content digest).
-#[derive(Debug)]
+/// serial, the materialised snapshot document (rebuilt when the
+/// compaction policy says so, not per write), policy-bounded delta
+/// history, and the cumulative [`PubdWork`] ledger.
+#[derive(Debug, Clone)]
 pub(crate) struct PublicationLog {
     /// Deterministic seed (hash of host + path) session ids derive from.
     seed: u64,
@@ -143,41 +141,83 @@ pub(crate) struct PublicationLog {
     resets: u64,
     pub(crate) session: u64,
     pub(crate) serial: u64,
-    pub(crate) snapshot_hash: Digest,
+    /// The cached serialized snapshot document — what snapshot requests
+    /// are served from and what notifications advertise. Its serial
+    /// trails `serial` by up to `compaction_interval - 1`.
+    pub(crate) snapshot: SnapshotDoc,
     pub(crate) deltas: VecDeque<DeltaRecord>,
+    /// Running total of retained canonical delta-document bytes.
+    pub(crate) delta_bytes: u64,
+    /// Cumulative build-side work counters.
+    pub(crate) work: PubdWork,
 }
 
 impl PublicationLog {
-    /// A fresh log at serial 0 with an empty snapshot.
+    /// A fresh log at serial 0 with an empty materialised snapshot.
     pub(crate) fn new(seed: u64) -> Self {
+        let session = derive_session(seed, 0);
         PublicationLog {
             seed,
             resets: 0,
-            session: derive_session(seed, 0),
+            session,
             serial: 0,
-            snapshot_hash: snapshot_digest(derive_session(seed, 0), 0, std::iter::empty()),
+            snapshot: SnapshotDoc::build(session, 0, std::iter::empty()),
             deltas: VecDeque::new(),
+            delta_bytes: 0,
+            work: PubdWork::default(),
         }
     }
 
-    /// Appends one delta record: bumps the serial, hashes the canonical
-    /// delta document, and evicts history beyond [`MAX_DELTAS`].
+    /// Appends one delta record: bumps the serial and hashes the
+    /// canonical delta document. Compaction and eviction happen in the
+    /// store's [`record`](crate::Repository) path, which can see the
+    /// file set and the host policy.
     pub(crate) fn record(&mut self, changes: Vec<DeltaChange>) {
         self.serial += 1;
-        let hash = delta_digest(self.session, self.serial, &changes);
-        self.deltas.push_back(DeltaRecord { serial: self.serial, hash, changes });
-        while self.deltas.len() > MAX_DELTAS {
-            self.deltas.pop_front();
+        let doc = delta_document(self.session, self.serial, &changes);
+        let doc_bytes = doc.len() as u64;
+        let hash = sha256(&doc);
+        self.deltas.push_back(DeltaRecord { serial: self.serial, hash, doc_bytes, changes });
+        self.delta_bytes += doc_bytes;
+        self.work.serials += 1;
+    }
+
+    /// Installs a freshly materialised snapshot document, counting the
+    /// build.
+    pub(crate) fn install_snapshot(
+        &mut self,
+        doc: SnapshotDoc,
+        forced: bool,
+        events: &mut Vec<PubdEvent>,
+    ) {
+        self.work.snapshot_builds += 1;
+        if forced {
+            self.work.forced_builds += 1;
         }
+        self.work.snapshot_bytes_built += doc.len();
+        events.push(PubdEvent::Materialised { serial: doc.serial(), bytes: doc.len(), forced });
+        self.snapshot = doc;
+    }
+
+    /// Evicts the oldest retained delta, counting the eviction. The
+    /// caller has already ensured it is not a bridge delta.
+    pub(crate) fn evict_front(&mut self, events: &mut Vec<PubdEvent>) {
+        let rec = self.deltas.pop_front().expect("eviction requires a retained delta");
+        self.delta_bytes -= rec.doc_bytes;
+        self.work.deltas_evicted += 1;
+        self.work.delta_bytes_evicted += rec.doc_bytes;
+        events.push(PubdEvent::Evicted { serial: rec.serial, bytes: rec.doc_bytes });
     }
 
     /// Starts a new session: fresh (derived) session id, serial restart
     /// at 1, delta history cleared — clients must refetch the snapshot.
+    /// The caller rematerialises the snapshot document right after.
     pub(crate) fn reset(&mut self) {
         self.resets += 1;
         self.session = derive_session(self.seed, self.resets);
         self.serial = 1;
         self.deltas.clear();
+        self.delta_bytes = 0;
     }
 }
 
@@ -215,31 +255,30 @@ fn derive_session(seed: u64, resets: u64) -> u64 {
 /// The canonical snapshot-document digest: session, serial, then every
 /// `(name, bytes)` pair length-prefixed, hashed. Server and client
 /// compute it identically, so the notification's snapshot hash pins the
-/// exact document.
+/// exact document. The server only ever computes it at materialisation
+/// time (see [`SnapshotDoc`]); the client recomputes it per fetched
+/// snapshot.
 pub(crate) fn snapshot_digest<'a, I>(session: u64, serial: u64, files: I) -> Digest
 where
     I: Iterator<Item = (&'a str, &'a [u8])>,
 {
-    let mut buf = Vec::new();
-    buf.extend_from_slice(&session.to_be_bytes());
-    buf.extend_from_slice(&serial.to_be_bytes());
-    for (name, bytes) in files {
-        buf.extend_from_slice(&(name.len() as u64).to_be_bytes());
-        buf.extend_from_slice(name.as_bytes());
-        buf.extend_from_slice(&(bytes.len() as u64).to_be_bytes());
-        buf.extend_from_slice(bytes);
-    }
-    sha256(&buf)
+    sha256(&pubd::snapshot_document(session, serial, files))
 }
 
-/// The canonical delta-document digest: session, serial, then the
-/// encoded change list, hashed.
-pub(crate) fn delta_digest(session: u64, serial: u64, changes: &[DeltaChange]) -> Digest {
+/// The canonical serialized delta document: session, serial, then the
+/// encoded change list. Its length is what byte-budgeted retention
+/// meters, its hash is what notifications advertise.
+pub(crate) fn delta_document(session: u64, serial: u64, changes: &[DeltaChange]) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(&session.to_be_bytes());
     buf.extend_from_slice(&serial.to_be_bytes());
     changes.to_vec().encode(&mut buf);
-    sha256(&buf)
+    buf
+}
+
+/// The canonical delta-document digest.
+pub(crate) fn delta_digest(session: u64, serial: u64, changes: &[DeltaChange]) -> Digest {
+    sha256(&delta_document(session, serial, changes))
 }
 
 // ---------------------------------------------------------------------
@@ -367,7 +406,12 @@ pub enum RrdpResponse {
         /// at `serial` — the same digest an rsync digest probe reports,
         /// so RRDP composes with the incremental validator's cache.
         content: Digest,
-        /// SHA-256 of the snapshot document at `serial`.
+        /// The serial the advertised snapshot document was materialised
+        /// at. Trails `serial` by up to `compaction_interval - 1`; a
+        /// fallback client fetches the snapshot here and bridges forward
+        /// over the advertised deltas.
+        snapshot_serial: u64,
+        /// SHA-256 of the snapshot document at `snapshot_serial`.
         snapshot_hash: Digest,
         /// Available delta documents, oldest first.
         deltas: Vec<DeltaRef>,
@@ -412,12 +456,21 @@ const RRESP_NOT_FOUND: u8 = 0x34;
 impl Encode for RrdpResponse {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            RrdpResponse::Notification { dir, session, serial, content, snapshot_hash, deltas } => {
+            RrdpResponse::Notification {
+                dir,
+                session,
+                serial,
+                content,
+                snapshot_serial,
+                snapshot_hash,
+                deltas,
+            } => {
                 out.push(RRESP_NOTIFICATION);
                 dir.encode(out);
                 session.encode(out);
                 serial.encode(out);
                 content.encode(out);
+                snapshot_serial.encode(out);
                 snapshot_hash.encode(out);
                 deltas.encode(out);
             }
@@ -454,6 +507,7 @@ impl Decode for RrdpResponse {
                 session: u64::decode(r)?,
                 serial: u64::decode(r)?,
                 content: Digest::decode(r)?,
+                snapshot_serial: u64::decode(r)?,
                 snapshot_hash: Digest::decode(r)?,
                 deltas: Vec::<DeltaRef>::decode(r)?,
             }),
@@ -487,14 +541,17 @@ impl Decode for RrdpResponse {
 
 /// Answers one decoded RRDP request against the stored publication
 /// logs, honouring the misbehaviour knobs (offline, withheld deltas,
-/// pinned views).
+/// pinned views), and books the served wire bytes into the per-kind
+/// [`PubdServed`](crate::PubdServed) ledger.
 pub(crate) fn answer_rrdp(repos: &RepoRegistry, node: NodeId, req: &RrdpRequest) -> RrdpResponse {
     let resp = answer_rrdp_inner(repos, node, req);
     if let Some(repo) = repos.get(node) {
         let (RrdpRequest::Notification { dir }
         | RrdpRequest::Snapshot { dir, .. }
         | RrdpRequest::Delta { dir, .. }) = req;
-        repo.note_served(dir, resp.to_bytes().len());
+        let bytes = resp.to_bytes().len();
+        repo.note_served(dir, bytes);
+        repo.note_served_rrdp(dir, &resp, bytes as u64);
     }
     resp
 }
@@ -511,58 +568,49 @@ fn answer_rrdp_inner(repos: &RepoRegistry, node: NodeId, req: &RrdpRequest) -> R
     if repo.host() != dir.host() || repo.rrdp_offline() {
         return not_found;
     }
-    let Some(view) = repo.rrdp_view(dir) else { return not_found };
     match req {
-        RrdpRequest::Notification { .. } => RrdpResponse::Notification {
-            dir: dir.clone(),
-            session: view.session,
-            serial: view.serial,
-            content: view.content,
-            snapshot_hash: view.snapshot_hash,
-            deltas: view
-                .deltas
-                .iter()
-                .map(|d| DeltaRef { serial: d.serial, hash: d.hash })
-                .collect(),
-        },
-        RrdpRequest::Snapshot { serial, .. } => {
-            if *serial != view.serial {
-                return not_found;
-            }
-            RrdpResponse::Snapshot {
+        RrdpRequest::Notification { .. } => match repo.rrdp_notification(dir) {
+            Some(info) => RrdpResponse::Notification {
                 dir: dir.clone(),
-                session: view.session,
-                serial: view.serial,
-                files: view.files,
+                session: info.session,
+                serial: info.serial,
+                content: info.content,
+                snapshot_serial: info.snapshot_serial,
+                snapshot_hash: info.snapshot_hash,
+                deltas: info.deltas,
+            },
+            None => not_found,
+        },
+        RrdpRequest::Snapshot { serial, .. } => match repo.rrdp_snapshot(dir, *serial) {
+            Some((session, files)) => {
+                RrdpResponse::Snapshot { dir: dir.clone(), session, serial: *serial, files }
             }
-        }
+            None => not_found,
+        },
         RrdpRequest::Delta { serial, .. } => {
             if repo.rrdp_withhold_deltas() {
                 return not_found;
             }
-            match view.deltas.iter().find(|d| d.serial == *serial) {
-                Some(record) => RrdpResponse::Delta {
-                    dir: dir.clone(),
-                    session: view.session,
-                    serial: record.serial,
-                    changes: record.changes.clone(),
-                },
+            match repo.rrdp_delta(dir, *serial) {
+                Some((session, changes)) => {
+                    RrdpResponse::Delta { dir: dir.clone(), session, serial: *serial, changes }
+                }
                 None => not_found,
             }
         }
     }
 }
 
-/// What the server is willing to say about one directory right now:
-/// either the live log or a pinned (frozen, stale) copy of it.
+/// What one notification document says, as assembled by the store
+/// (from the live log or a pinned, frozen copy of it).
 #[derive(Debug, Clone)]
-pub(crate) struct RrdpView {
+pub(crate) struct NotifInfo {
     pub(crate) session: u64,
     pub(crate) serial: u64,
     pub(crate) content: Digest,
+    pub(crate) snapshot_serial: u64,
     pub(crate) snapshot_hash: Digest,
-    pub(crate) files: Vec<(String, Vec<u8>)>,
-    pub(crate) deltas: Vec<DeltaRecord>,
+    pub(crate) deltas: Vec<DeltaRef>,
 }
 
 // ---------------------------------------------------------------------
@@ -583,6 +631,23 @@ pub struct RrdpStats {
     pub deltas_applied: u64,
     /// Syncs resolved by fetching the full snapshot.
     pub snapshot_syncs: u64,
+    /// Snapshot syncs because this client had no local state yet (the
+    /// unavoidable cold-start fetch).
+    pub fallback_initial: u64,
+    /// Snapshot syncs because the deltas this client needed were no
+    /// longer retained — the history-eviction side of RFC 8182 §3.3.2,
+    /// and the starvation lever a Stalloris-style authority pulls.
+    pub fallback_evicted: u64,
+    /// Snapshot syncs because the upstream session id changed.
+    pub fallback_session_reset: u64,
+    /// Snapshot syncs for every other reason: a hole inside the
+    /// advertised chain, a serial that went backwards, content
+    /// divergence at the same serial, or a delta fetch that failed
+    /// (withheld, torn, hash mismatch, inconsistent chain).
+    pub fallback_chain_gap: u64,
+    /// Bridge deltas applied on top of fetched snapshots (the snapshot
+    /// was materialised behind the head serial; see compaction).
+    pub bridge_deltas_applied: u64,
     /// Session resets observed (the upstream feed restarted).
     pub session_resets: u64,
     /// Syncs that failed outright (caller decides the fallback).
@@ -756,6 +821,36 @@ impl RrdpSyncKind {
     }
 }
 
+/// Why a sync went to the snapshot instead of the delta chain. Decided
+/// at plan time, counted (one of the `fallback_*` [`RrdpStats`]
+/// counters) only when the snapshot sync succeeds — so the cause
+/// counters always sum to `snapshot_syncs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackCause {
+    /// No local state: the unavoidable first fetch.
+    Initial,
+    /// The deltas this client needed were evicted from the retained
+    /// history (the client fell behind the retention budget).
+    Evicted,
+    /// The upstream session id changed.
+    SessionReset,
+    /// A hole inside the advertised chain, a serial moving backwards,
+    /// content divergence at the same serial, or a failed delta fetch.
+    ChainGap,
+}
+
+impl FallbackCause {
+    /// Stable label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FallbackCause::Initial => "initial",
+            FallbackCause::Evicted => "history_evicted",
+            FallbackCause::SessionReset => "session_reset",
+            FallbackCause::ChainGap => "chain_gap",
+        }
+    }
+}
+
 /// Runs one batch of RRDP request/response exchanges against `server`,
 /// pumping the event loop with the same outstanding-exchange accounting
 /// as the rsync driver: the batch ends when every request resolved
@@ -858,6 +953,7 @@ struct Notification {
     session: u64,
     serial: u64,
     content: Digest,
+    snapshot_serial: u64,
     snapshot_hash: Digest,
     deltas: Vec<DeltaRef>,
 }
@@ -919,10 +1015,11 @@ pub fn rrdp_sync_dir(
             session,
             serial,
             content,
+            snapshot_serial,
             snapshot_hash,
             deltas,
             ..
-        }) => Notification { session, serial, content, snapshot_hash, deltas },
+        }) => Notification { session, serial, content, snapshot_serial, snapshot_hash, deltas },
         Some(RrdpResponse::NotFound { .. }) => return fail(net, state, RrdpError::Withheld),
         Some(_) => return fail(net, state, RrdpError::Corrupt),
         None => return fail(net, state, RrdpError::Unreachable),
@@ -934,7 +1031,7 @@ pub fn rrdp_sync_dir(
     enum Plan {
         Unchanged,
         Deltas(Vec<DeltaRef>),
-        Snapshot,
+        Snapshot(FallbackCause),
     }
     let plan = match state.dirs.get(&key) {
         Some(local) if local.session == notif.session => {
@@ -944,7 +1041,7 @@ pub fn rrdp_sync_dir(
                 } else {
                     // Our copy diverged from what the server claims for
                     // this serial: self-heal via snapshot.
-                    Plan::Snapshot
+                    Plan::Snapshot(FallbackCause::ChainGap)
                 }
             } else if local.serial < notif.serial {
                 let needed: Vec<DeltaRef> = ((local.serial + 1)..=notif.serial)
@@ -953,20 +1050,27 @@ pub fn rrdp_sync_dir(
                 if needed.len() as u64 == notif.serial - local.serial {
                     Plan::Deltas(needed)
                 } else {
-                    // Gap in the published delta history.
-                    Plan::Snapshot
+                    // Distinguish the §3.3.2 starvation case (our resume
+                    // point aged out of the retained history) from a
+                    // hole inside the advertised chain.
+                    let oldest = notif.deltas.iter().map(|d| d.serial).min();
+                    let cause = match oldest {
+                        Some(o) if o <= local.serial + 1 => FallbackCause::ChainGap,
+                        _ => FallbackCause::Evicted,
+                    };
+                    Plan::Snapshot(cause)
                 }
             } else {
                 // The server's serial went backwards within a session —
                 // a replayed or broken feed. Resync from its snapshot.
-                Plan::Snapshot
+                Plan::Snapshot(FallbackCause::ChainGap)
             }
         }
         Some(_) => {
             session_reset = true;
-            Plan::Snapshot
+            Plan::Snapshot(FallbackCause::SessionReset)
         }
-        None => Plan::Snapshot,
+        None => Plan::Snapshot(FallbackCause::Initial),
     };
     if session_reset {
         state.stats.session_resets += 1;
@@ -976,23 +1080,28 @@ pub fn rrdp_sync_dir(
         }
     }
 
-    let emit_sync = |net: &Network, kind: RrdpSyncKind, serial: u64| {
-        let rec = net.recorder();
-        if rec.is_enabled() {
-            rec.event(net.now(), "repo", "rrdp_sync")
-                .str("host", dir.host())
-                .str("kind", kind.label())
-                .u64("serial", serial)
-                .emit();
-        }
-    };
+    let emit_sync =
+        |net: &Network, kind: RrdpSyncKind, serial: u64, cause: Option<FallbackCause>| {
+            let rec = net.recorder();
+            if rec.is_enabled() {
+                let mut ev = rec
+                    .event(net.now(), "repo", "rrdp_sync")
+                    .str("host", dir.host())
+                    .str("kind", kind.label())
+                    .u64("serial", serial);
+                if let Some(cause) = cause {
+                    ev = ev.str("cause", cause.label());
+                }
+                ev.emit();
+            }
+        };
 
     if let Plan::Unchanged = plan {
         state.stats.unchanged += 1;
         if rec.is_enabled() {
             rec.count("repo.rrdp_unchanged", 1);
         }
-        emit_sync(net, RrdpSyncKind::Unchanged, notif.serial);
+        emit_sync(net, RrdpSyncKind::Unchanged, notif.serial, None);
         let local = &state.dirs[&key];
         return Ok((local.outcome(dir), RrdpSyncKind::Unchanged));
     }
@@ -1048,7 +1157,7 @@ pub fn rrdp_sync_dir(
                         rec.count("repo.rrdp_delta_syncs", 1);
                         rec.count("repo.rrdp_deltas_applied", n as u64);
                     }
-                    emit_sync(net, RrdpSyncKind::Deltas(n), notif.serial);
+                    emit_sync(net, RrdpSyncKind::Deltas(n), notif.serial, None);
                     let outcome = next.outcome(dir);
                     state.dirs.insert(key, next);
                     return Ok((outcome, RrdpSyncKind::Deltas(n)));
@@ -1059,18 +1168,28 @@ pub fn rrdp_sync_dir(
         // inconsistent chain): fall through to the snapshot.
     }
 
+    let cause = match plan {
+        Plan::Snapshot(cause) => cause,
+        // The delta path fell through mid-flight.
+        _ => FallbackCause::ChainGap,
+    };
+
+    // The snapshot document lives at the serial it was *materialised*
+    // at, which under a compacting server trails the head. Fetch it
+    // there, then bridge forward over the advertised deltas.
     let resps = rrdp_exchange(
         net,
         repos,
         client,
         server,
-        &[RrdpRequest::Snapshot { dir: dir.clone(), serial: notif.serial }],
+        &[RrdpRequest::Snapshot { dir: dir.clone(), serial: notif.snapshot_serial }],
         deadline,
     );
     match resps.into_iter().next() {
         Some(RrdpResponse::Snapshot { session, serial, files, .. }) => {
             let ok = session == notif.session
-                && serial == notif.serial
+                && serial == notif.snapshot_serial
+                && serial <= notif.serial
                 && snapshot_digest(
                     session,
                     serial,
@@ -1079,19 +1198,94 @@ pub fn rrdp_sync_dir(
             if !ok {
                 return fail(net, state, RrdpError::Corrupt);
             }
-            let files: BTreeMap<String, (Digest, Vec<u8>)> =
+            let mut files: BTreeMap<String, (Digest, Vec<u8>)> =
                 files.into_iter().map(|(n, b)| (n, (sha256(&b), b))).collect();
-            let next = DirState { session, serial, files };
+
+            // Bridge deltas: carry the materialised snapshot forward to
+            // the notification's head serial. Every bridge serial must
+            // be advertised (the server's invariant is that bridge
+            // deltas are never evicted), so a missing reference means a
+            // lying or torn feed.
+            let mut bridge: Vec<DeltaRef> = Vec::new();
+            for s in (notif.snapshot_serial + 1)..=notif.serial {
+                match notif.deltas.iter().find(|d| d.serial == s) {
+                    Some(d) => bridge.push(*d),
+                    None => return fail(net, state, RrdpError::Corrupt),
+                }
+            }
+            let bridged = bridge.len();
+            if !bridge.is_empty() {
+                let reqs: Vec<RrdpRequest> = bridge
+                    .iter()
+                    .map(|d| RrdpRequest::Delta { dir: dir.clone(), serial: d.serial })
+                    .collect();
+                let dresps = rrdp_exchange(net, repos, client, server, &reqs, deadline);
+                let mut by_serial: BTreeMap<u64, Vec<DeltaChange>> = BTreeMap::new();
+                let mut withheld = false;
+                for resp in dresps {
+                    match resp {
+                        RrdpResponse::Delta { session: ds, serial: s, changes, .. } => {
+                            let expected = bridge.iter().find(|d| d.serial == s);
+                            if ds == notif.session
+                                && expected.is_some_and(|d| d.hash == delta_digest(ds, s, &changes))
+                            {
+                                by_serial.insert(s, changes);
+                            }
+                        }
+                        RrdpResponse::NotFound { .. } => withheld = true,
+                        _ => {}
+                    }
+                }
+                if by_serial.len() != bridged {
+                    let err = if withheld { RrdpError::Withheld } else { RrdpError::Unreachable };
+                    return fail(net, state, err);
+                }
+                for changes in by_serial.values() {
+                    for change in changes {
+                        match change {
+                            DeltaChange::Publish { name, bytes } => {
+                                files.insert(name.clone(), (sha256(bytes), bytes.clone()));
+                            }
+                            DeltaChange::Withdraw { name, hash } => match files.get(name) {
+                                Some((d, _)) if d == hash => {
+                                    files.remove(name);
+                                }
+                                _ => return fail(net, state, RrdpError::Corrupt),
+                            },
+                        }
+                    }
+                }
+            }
+
+            let next = DirState { session, serial: notif.serial, files };
             if next.content() != notif.content {
                 return fail(net, state, RrdpError::Corrupt);
             }
             let kind =
                 if session_reset { RrdpSyncKind::SessionReset } else { RrdpSyncKind::Snapshot };
             state.stats.snapshot_syncs += 1;
+            state.stats.bridge_deltas_applied += bridged as u64;
+            match cause {
+                FallbackCause::Initial => state.stats.fallback_initial += 1,
+                FallbackCause::Evicted => state.stats.fallback_evicted += 1,
+                FallbackCause::SessionReset => state.stats.fallback_session_reset += 1,
+                FallbackCause::ChainGap => state.stats.fallback_chain_gap += 1,
+            }
             if rec.is_enabled() {
                 rec.count("repo.rrdp_snapshot_syncs", 1);
+                match cause {
+                    FallbackCause::Initial => rec.count("repo.rrdp_fallback_initial", 1),
+                    FallbackCause::Evicted => rec.count("repo.rrdp_fallback_history_evicted", 1),
+                    FallbackCause::SessionReset => {
+                        rec.count("repo.rrdp_fallback_session_reset", 1);
+                    }
+                    FallbackCause::ChainGap => rec.count("repo.rrdp_fallback_chain_gap", 1),
+                }
+                if bridged > 0 {
+                    rec.count("repo.rrdp_bridge_deltas_applied", bridged as u64);
+                }
             }
-            emit_sync(net, kind, serial);
+            emit_sync(net, kind, notif.serial, Some(cause));
             let outcome = next.outcome(dir);
             state.dirs.insert(key, next);
             Ok((outcome, kind))
@@ -1106,6 +1300,7 @@ pub fn rrdp_sync_dir(
 mod tests {
     use super::*;
     use crate::client::sync_dir;
+    use crate::pubd::{PubdPolicy, RetentionPolicy, MAX_DELTAS};
     use netsim::Network;
 
     fn world() -> (Network, RepoRegistry, NodeId, NodeId, RepoUri) {
@@ -1136,6 +1331,7 @@ mod tests {
                 session: 9,
                 serial: 3,
                 content: sha256(b"c"),
+                snapshot_serial: 2,
                 snapshot_hash: sha256(b"s"),
                 deltas: vec![DeltaRef { serial: 3, hash: sha256(b"d") }],
             },
@@ -1181,6 +1377,7 @@ mod tests {
         let rsync = sync_dir(&mut net, &repos, client, &dir);
         assert_eq!(out, rsync, "RRDP outcome must be byte-identical to a complete rsync sync");
         assert_eq!(state.stats().snapshot_syncs, 1);
+        assert_eq!(state.stats().fallback_initial, 1, "cold start is the 'initial' cause");
     }
 
     #[test]
@@ -1241,6 +1438,12 @@ mod tests {
         }
         let (out, kind) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
         assert_eq!(kind, RrdpSyncKind::Snapshot, "history gap must force a snapshot");
+        assert_eq!(
+            state.stats().fallback_evicted,
+            1,
+            "falling behind the retained history is the 'history_evicted' cause"
+        );
+        assert_eq!(state.stats().fallback_chain_gap, 0);
         assert_eq!(out, sync_dir(&mut net, &repos, client, &dir));
     }
 
@@ -1256,6 +1459,7 @@ mod tests {
         assert_eq!(kind, RrdpSyncKind::SessionReset);
         assert_eq!(state.epoch(), 1);
         assert_eq!(state.stats().session_resets, 1);
+        assert_eq!(state.stats().fallback_session_reset, 1);
         let (new_session, new_serial) = state.position(&dir).unwrap();
         assert_ne!(new_session, old_session);
         assert_eq!(new_serial, 1);
@@ -1378,6 +1582,112 @@ mod tests {
         assert_eq!(a1, a2, "sessions must replay identically");
         assert_eq!(b1, b2);
         assert_ne!(a1.0, b1.0, "distinct publication points get distinct sessions");
+    }
+
+    #[test]
+    fn compacted_server_serves_snapshot_plus_bridge_deltas() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let repo = repos.get_mut(server).unwrap();
+        repo.set_pubd_policy(PubdPolicy::compacted(4));
+        // world() materialised at serial 2 under the default policy;
+        // two more writes leave the head at 4 with the snapshot at 2.
+        repo.publish_raw(&dir, "c.mft", vec![6]);
+        repo.publish_raw(&dir, "d.crl", vec![7]);
+        assert_eq!(repo.rrdp_position(&dir).unwrap().1, 4);
+        assert_eq!(repo.pubd_work(&dir).unwrap().snapshot_builds, 2, "no build since compaction");
+        let mut state = RrdpClientState::new();
+        let (out, kind) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(kind, RrdpSyncKind::Snapshot);
+        assert_eq!(
+            state.stats().bridge_deltas_applied,
+            2,
+            "snapshot at 2 plus bridge deltas 3 and 4"
+        );
+        assert_eq!(out, sync_dir(&mut net, &repos, client, &dir), "bridged state matches rsync");
+    }
+
+    #[test]
+    fn compaction_materialises_on_the_interval() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let repo = repos.get_mut(server).unwrap();
+        repo.set_pubd_policy(PubdPolicy::compacted(3));
+        for i in 0..7u8 {
+            repo.publish_raw(&dir, "a.roa", vec![i, i, 1]);
+        }
+        // Serial 9: materialisations at 2 (pre-policy), 5, and 8.
+        let work = repo.pubd_work(&dir).unwrap();
+        assert_eq!(work.serials, 9);
+        assert_eq!(work.snapshot_builds, 4, "serials 1, 2, then 5 and 8");
+        assert_eq!(work.forced_builds, 0);
+        let mut state = RrdpClientState::new();
+        let (out, _) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(state.stats().bridge_deltas_applied, 1, "snapshot at 8, bridge to 9");
+        assert_eq!(out, sync_dir(&mut net, &repos, client, &dir));
+    }
+
+    #[test]
+    fn retention_budget_never_evicts_bridge_deltas() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let repo = repos.get_mut(server).unwrap();
+        // A budget of one delta under an interval of 8: every second
+        // write would have to evict a bridge delta, forcing a
+        // re-materialisation at the head first.
+        repo.set_pubd_policy(
+            PubdPolicy::compacted(8).with_retention(RetentionPolicy::Count { max_deltas: 1 }),
+        );
+        for i in 0..6u8 {
+            repo.publish_raw(&dir, "a.roa", vec![i, 9]);
+        }
+        let work = repo.pubd_work(&dir).unwrap();
+        assert!(work.forced_builds > 0, "undersized budget must force builds");
+        assert!(work.retained_deltas <= 1, "the budget itself still holds");
+        let info = repo.rrdp_notification(&dir).unwrap();
+        for s in (info.snapshot_serial + 1)..=info.serial {
+            assert!(
+                info.deltas.iter().any(|d| d.serial == s),
+                "bridge delta {s} missing from the advertised history"
+            );
+        }
+        let mut state = RrdpClientState::new();
+        let (out, _) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(out, sync_dir(&mut net, &repos, client, &dir));
+    }
+
+    #[test]
+    fn byte_budget_starves_a_lagging_client_onto_the_snapshot() {
+        let (mut net, mut repos, client, server, dir) = world();
+        let mut state = RrdpClientState::new();
+        rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        let repo = repos.get_mut(server).unwrap();
+        // Budget of one delta document's worth of bytes: history depth 1.
+        repo.set_pubd_policy(
+            PubdPolicy::default().with_retention(RetentionPolicy::Bytes { max_bytes: 64 }),
+        );
+        for i in 0..3u8 {
+            repo.publish_raw(&dir, "a.roa", vec![i, 2, 2]);
+        }
+        let work = repo.pubd_work(&dir).unwrap();
+        assert!(work.deltas_evicted > 0, "the byte budget must evict");
+        assert!(work.retained_delta_bytes <= 64);
+        let (out, kind) = rrdp_sync_dir(&mut net, &repos, client, &dir, &mut state, None).unwrap();
+        assert_eq!(kind, RrdpSyncKind::Snapshot);
+        assert_eq!(state.stats().fallback_evicted, 1);
+        assert_eq!(out, sync_dir(&mut net, &repos, client, &dir));
+    }
+
+    #[test]
+    fn default_policy_reproduces_the_count_bound() {
+        let (_, mut repos, _, server, dir) = world();
+        let repo = repos.get_mut(server).unwrap();
+        for i in 0..(MAX_DELTAS as u16 + 9) {
+            repo.publish_raw(&dir, "a.roa", vec![(i >> 8) as u8, i as u8, 3]);
+        }
+        let info = repo.rrdp_notification(&dir).unwrap();
+        assert_eq!(info.deltas.len(), MAX_DELTAS, "default retention keeps MAX_DELTAS");
+        assert_eq!(info.snapshot_serial, info.serial, "default compaction tracks the head");
+        let work = repo.pubd_work(&dir).unwrap();
+        assert_eq!(work.snapshot_builds, work.serials, "interval 1 builds per write");
+        assert_eq!(work.forced_builds, 0);
     }
 
     #[test]

@@ -10,8 +10,13 @@ use rpki_objects::{Encode, RepoUri};
 use rpkisim_crypto::{sha256, Digest};
 use serde::Serialize;
 
+use rpki_obs::Recorder;
+
 use crate::client::dir_content_digest;
-use crate::rrdp::{session_seed, snapshot_digest, DeltaChange, PublicationLog, RrdpView};
+use crate::pubd::{PubdEvent, PubdPolicy, PubdServed, PubdWork, SnapshotDoc};
+use crate::rrdp::{
+    session_seed, DeltaChange, DeltaRecord, DeltaRef, NotifInfo, PublicationLog, RrdpResponse,
+};
 
 /// One stored file: its bytes plus the digest computed when the bytes
 /// last changed, so listings never re-hash unchanged content.
@@ -28,17 +33,31 @@ impl StoredFile {
     }
 }
 
+/// A frozen copy of everything one directory's RRDP endpoint serves,
+/// captured at pin time: the notification fields, the materialised
+/// snapshot document, and the retained delta history. While a pin is
+/// active the server replays this verbatim — stale-data pinning, the
+/// Stalloris replay.
+#[derive(Debug, Clone)]
+struct PinnedFeed {
+    session: u64,
+    serial: u64,
+    content: Digest,
+    snapshot: SnapshotDoc,
+    deltas: Vec<DeltaRecord>,
+}
+
 /// One publication-point directory: its files, the canonical
 /// complete-sync content digest (recomputed once per mutation so digest
 /// probes are a pure lookup), and the RRDP publication log maintained
 /// alongside every write. `pinned` holds a frozen copy of the served
-/// view while a misbehaving host replays stale data.
+/// feed while a misbehaving host replays stale data.
 #[derive(Debug)]
 struct Directory {
     files: BTreeMap<String, StoredFile>,
     digest: Digest,
     log: PublicationLog,
-    pinned: Option<RrdpView>,
+    pinned: Option<PinnedFeed>,
 }
 
 impl Directory {
@@ -60,10 +79,10 @@ impl Directory {
         self.digest = dir_content_digest(&entries, &[], &[]);
     }
 
-    /// The current snapshot-document digest of this directory's files
-    /// under the log's `(session, serial)`.
-    fn current_snapshot_hash(&self) -> Digest {
-        snapshot_digest(
+    /// Materialises the snapshot document at the log's head serial from
+    /// the current file set.
+    fn materialise_at_head(&self) -> SnapshotDoc {
+        SnapshotDoc::build(
             self.log.session,
             self.log.serial,
             self.files.iter().map(|(n, f)| (n.as_str(), f.bytes.as_slice())),
@@ -71,26 +90,43 @@ impl Directory {
     }
 
     /// Appends one delta record to the publication log (no-op for an
-    /// empty change list) and regenerates the snapshot hash — the
-    /// write-time half of RRDP serving.
-    fn record_rrdp(&mut self, changes: Vec<DeltaChange>) {
+    /// empty change list), then runs the host's pubd policy: compact
+    /// (rematerialise the snapshot document) when the interval is due,
+    /// and evict history the retention budget no longer covers. The
+    /// returned events are what the caller surfaces through obs.
+    ///
+    /// Ordering matters for the degenerate default: with interval 1 the
+    /// snapshot is materialised *before* retention runs, so
+    /// `Count { max_deltas: MAX_DELTAS }` reproduces the old
+    /// record-then-evict server byte for byte.
+    fn record_rrdp(&mut self, changes: Vec<DeltaChange>, policy: &PubdPolicy) -> Vec<PubdEvent> {
+        let mut events = Vec::new();
         if changes.is_empty() {
-            return;
+            return events;
         }
         self.log.record(changes);
-        self.log.snapshot_hash = self.current_snapshot_hash();
+        if self.log.serial - self.log.snapshot.serial() >= policy.compaction_interval {
+            let doc = self.materialise_at_head();
+            self.log.install_snapshot(doc, false, &mut events);
+        }
+        self.enforce_retention(policy, &mut events);
+        events
     }
 
-    /// The directory's live RRDP view: what a well-behaved server
-    /// serves right now.
-    fn live_view(&self) -> RrdpView {
-        RrdpView {
-            session: self.log.session,
-            serial: self.log.serial,
-            content: self.digest,
-            snapshot_hash: self.log.snapshot_hash,
-            files: self.files.iter().map(|(n, f)| (n.clone(), f.bytes.clone())).collect(),
-            deltas: self.log.deltas.iter().cloned().collect(),
+    /// Evicts from the front of the delta history until the retention
+    /// budget is met, forcing a re-materialisation at the head first
+    /// whenever the budget would otherwise claim a *bridge* delta (one
+    /// younger than the materialised snapshot) — the invariant the
+    /// snapshot-fallback client relies on. Terminates because an empty
+    /// history is never over budget.
+    fn enforce_retention(&mut self, policy: &PubdPolicy, events: &mut Vec<PubdEvent>) {
+        while policy.retention.over_budget(self.log.deltas.len(), self.log.delta_bytes) {
+            let front = self.log.deltas.front().expect("over budget implies history").serial;
+            if front > self.log.snapshot.serial() {
+                let doc = self.materialise_at_head();
+                self.log.install_snapshot(doc, true, events);
+            }
+            self.log.evict_front(events);
         }
     }
 }
@@ -156,11 +192,27 @@ pub struct Repository {
     /// the ledger never crosses threads (all simulated I/O runs on the
     /// coordinating thread, even under the sharded validator).
     load: RefCell<BTreeMap<Vec<String>, DirLoad>>,
+    /// The publication-server policy every directory on this host runs
+    /// under: snapshot compaction interval and delta retention budget.
+    policy: PubdPolicy,
+    /// Recorder for `pubd/*` events; disabled unless a scenario wires
+    /// one in with [`set_recorder`](Repository::set_recorder).
+    recorder: Recorder,
+    /// The simulated time stamped onto pubd events. Stores sit outside
+    /// the network event loop, so scenarios that want timestamped
+    /// traces advance this via [`set_clock`](Repository::set_clock).
+    clock: u64,
+    /// Per-directory serve ledger split by RRDP document kind.
+    pubd_served: RefCell<BTreeMap<Vec<String>, PubdServed>>,
 }
+
+/// A served snapshot document: the session it belongs to plus its
+/// `(name, bytes)` file records.
+pub(crate) type SessionSnapshot = (u64, Vec<(String, Vec<u8>)>);
 
 impl Repository {
     /// A repository served by `node` (already registered in the network
-    /// under `host`).
+    /// under `host`), running the default (rebuild-on-demand) policy.
     pub fn new(host: &str, node: NodeId) -> Self {
         Repository {
             host: host.to_owned(),
@@ -171,6 +223,10 @@ impl Repository {
             rrdp_withhold_deltas: false,
             serve_delay: 0,
             load: RefCell::new(BTreeMap::new()),
+            policy: PubdPolicy::default(),
+            recorder: Recorder::disabled(),
+            clock: 0,
+            pubd_served: RefCell::new(BTreeMap::new()),
         }
     }
 
@@ -246,13 +302,16 @@ impl Repository {
     /// design decision, verbatim. A byte-identical overwrite is a no-op
     /// (no new serial in the publication log).
     pub fn publish_raw(&mut self, dir: &RepoUri, name: &str, bytes: Vec<u8>) {
+        let policy = self.policy;
         let entry = self.dir_entry(dir);
         if entry.files.get(name).is_some_and(|f| f.bytes == bytes) {
             return;
         }
         entry.files.insert(name.to_owned(), StoredFile::new(bytes.clone()));
         entry.refresh_digest();
-        entry.record_rrdp(vec![DeltaChange::Publish { name: name.to_owned(), bytes }]);
+        let events =
+            entry.record_rrdp(vec![DeltaChange::Publish { name: name.to_owned(), bytes }], &policy);
+        self.emit_pubd(dir, &events);
     }
 
     /// Publishes a CA's complete snapshot into `dir`, replacing the
@@ -261,6 +320,7 @@ impl Repository {
     /// the whole replacement as one delta — publishes for new or
     /// changed files, withdraws for the ones that disappeared.
     pub fn publish_snapshot(&mut self, dir: &RepoUri, snapshot: &PublicationSnapshot) {
+        let policy = self.policy;
         let entry = self.dir_entry(dir);
         let next: BTreeMap<String, StoredFile> = snapshot
             .files
@@ -281,19 +341,22 @@ impl Repository {
         }
         entry.files = next;
         entry.refresh_digest();
-        entry.record_rrdp(changes);
+        let events = entry.record_rrdp(changes, &policy);
+        self.emit_pubd(dir, &events);
     }
 
     /// Deletes `dir/name`. Returns the removed bytes, or `None`.
     pub fn delete(&mut self, dir: &RepoUri, name: &str) -> Option<Vec<u8>> {
+        let policy = self.policy;
         let key = self.dir_key(dir);
         let entry = self.dirs.get_mut(&key)?;
         let removed = entry.files.remove(name)?;
         entry.refresh_digest();
-        entry.record_rrdp(vec![DeltaChange::Withdraw {
-            name: name.to_owned(),
-            hash: removed.digest,
-        }]);
+        let events = entry.record_rrdp(
+            vec![DeltaChange::Withdraw { name: name.to_owned(), hash: removed.digest }],
+            &policy,
+        );
+        self.emit_pubd(dir, &events);
         Some(removed.bytes)
     }
 
@@ -302,6 +365,7 @@ impl Repository {
     /// The rot travels through the publication log too — RRDP serves
     /// whatever sits at rest, corrupted or not, just like rsync.
     pub fn corrupt_at_rest(&mut self, dir: &RepoUri, name: &str) -> bool {
+        let policy = self.policy;
         let key = self.dir_key(dir);
         let Some(entry) = self.dirs.get_mut(&key) else { return false };
         match entry.files.get_mut(name) {
@@ -310,24 +374,229 @@ impl Repository {
                 file.digest = sha256(&file.bytes);
                 let bytes = file.bytes.clone();
                 entry.refresh_digest();
-                entry.record_rrdp(vec![DeltaChange::Publish { name: name.to_owned(), bytes }]);
+                let events = entry.record_rrdp(
+                    vec![DeltaChange::Publish { name: name.to_owned(), bytes }],
+                    &policy,
+                );
+                self.emit_pubd(dir, &events);
                 true
             }
             _ => false,
         }
     }
 
+    // -- pubd: policy, instrumentation, and work/serve ledgers -------
+
+    /// Replaces the publication-server policy of this host and enforces
+    /// the new retention budget on every directory immediately (the new
+    /// compaction interval takes effect from the next write).
+    pub fn set_pubd_policy(&mut self, policy: PubdPolicy) {
+        self.policy = policy;
+        let keys: Vec<Vec<String>> = self.dirs.keys().cloned().collect();
+        for key in keys {
+            let mut events = Vec::new();
+            let entry = self.dirs.get_mut(&key).expect("key just listed");
+            entry.enforce_retention(&policy, &mut events);
+            let parts: Vec<&str> = key.iter().map(String::as_str).collect();
+            let dir = RepoUri::new(&self.host, &parts);
+            self.emit_pubd(&dir, &events);
+        }
+    }
+
+    /// The publication-server policy this host runs under.
+    pub fn pubd_policy(&self) -> PubdPolicy {
+        self.policy
+    }
+
+    /// Wires in a recorder for `pubd/*` events and counters.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Sets the simulated time stamped onto subsequent pubd events.
+    pub fn set_clock(&mut self, now: u64) {
+        self.clock = now;
+    }
+
+    /// Surfaces the server-side decisions of one write (or policy
+    /// change) as obs events and counters.
+    fn emit_pubd(&self, dir: &RepoUri, events: &[PubdEvent]) {
+        if events.is_empty() || !self.recorder.is_enabled() {
+            return;
+        }
+        let dir_label = dir.to_string();
+        for event in events {
+            match event {
+                PubdEvent::Materialised { serial, bytes, forced } => {
+                    self.recorder.count("pubd.snapshot_builds", 1);
+                    if *forced {
+                        self.recorder.count("pubd.forced_builds", 1);
+                    }
+                    self.recorder
+                        .event(self.clock, "pubd", "materialise")
+                        .str("host", &self.host)
+                        .str("dir", &dir_label)
+                        .u64("serial", *serial)
+                        .u64("bytes", *bytes)
+                        .bool("forced", *forced)
+                        .emit();
+                }
+                PubdEvent::Evicted { serial, bytes } => {
+                    self.recorder.count("pubd.deltas_evicted", 1);
+                    self.recorder
+                        .event(self.clock, "pubd", "evict")
+                        .str("host", &self.host)
+                        .str("dir", &dir_label)
+                        .u64("serial", *serial)
+                        .u64("bytes", *bytes)
+                        .emit();
+                }
+            }
+        }
+    }
+
+    /// Books one served RRDP response into the per-kind serve ledger.
+    pub(crate) fn note_served_rrdp(&self, dir: &RepoUri, resp: &RrdpResponse, bytes: u64) {
+        if dir.host() != self.host {
+            return;
+        }
+        let mut ledger = self.pubd_served.borrow_mut();
+        let entry = ledger.entry(dir.path().to_vec()).or_default();
+        match resp {
+            RrdpResponse::Notification { .. } => {
+                entry.notifications += 1;
+                entry.notification_bytes += bytes;
+            }
+            RrdpResponse::Snapshot { .. } => {
+                entry.snapshots += 1;
+                entry.snapshot_bytes += bytes;
+            }
+            RrdpResponse::Delta { .. } => {
+                entry.deltas += 1;
+                entry.delta_bytes += bytes;
+            }
+            RrdpResponse::NotFound { .. } => entry.not_found += 1,
+        }
+    }
+
+    /// The cumulative build-side work of `dir`, with the retained-
+    /// history gauges filled from the live log. `None` for an unknown
+    /// directory.
+    pub fn pubd_work(&self, dir: &RepoUri) -> Option<PubdWork> {
+        let key = self.dir_key(dir);
+        self.dirs.get(&key).map(|d| {
+            let mut work = d.log.work;
+            work.retained_deltas = d.log.deltas.len() as u64;
+            work.retained_delta_bytes = d.log.delta_bytes;
+            work
+        })
+    }
+
+    /// Build-side work summed over every directory on this host.
+    pub fn pubd_work_total(&self) -> PubdWork {
+        self.dirs.values().fold(PubdWork::default(), |acc, d| {
+            let mut work = d.log.work;
+            work.retained_deltas = d.log.deltas.len() as u64;
+            work.retained_delta_bytes = d.log.delta_bytes;
+            acc.plus(work)
+        })
+    }
+
+    /// The per-kind RRDP serve ledger of `dir` since the last reset.
+    pub fn pubd_served(&self, dir: &RepoUri) -> PubdServed {
+        let key = self.dir_key(dir);
+        self.pubd_served.borrow().get(&key).copied().unwrap_or_default()
+    }
+
+    /// The per-kind RRDP serve ledger summed over this host.
+    pub fn pubd_served_total(&self) -> PubdServed {
+        self.pubd_served.borrow().values().fold(PubdServed::default(), |acc, s| acc.plus(*s))
+    }
+
+    /// Clears the per-kind RRDP serve ledger (e.g. between rounds).
+    pub fn reset_pubd_served(&self) {
+        self.pubd_served.borrow_mut().clear();
+    }
+
     // -- RRDP serving state and misbehaviour knobs -------------------
 
-    /// What this host serves over RRDP for `dir` right now: the pinned
-    /// (frozen, stale) view while a pin is active, the live log
-    /// otherwise. `None` for unknown directories or a foreign host.
-    pub(crate) fn rrdp_view(&self, dir: &RepoUri) -> Option<RrdpView> {
+    /// What this host's notification document says for `dir` right now:
+    /// the pinned (frozen, stale) feed while a pin is active, the live
+    /// log otherwise. `None` for unknown directories or a foreign host.
+    pub(crate) fn rrdp_notification(&self, dir: &RepoUri) -> Option<NotifInfo> {
         if dir.host() != self.host {
             return None;
         }
         let entry = self.dirs.get(dir.path())?;
-        Some(entry.pinned.clone().unwrap_or_else(|| entry.live_view()))
+        Some(match &entry.pinned {
+            Some(pin) => NotifInfo {
+                session: pin.session,
+                serial: pin.serial,
+                content: pin.content,
+                snapshot_serial: pin.snapshot.serial(),
+                snapshot_hash: pin.snapshot.hash(),
+                deltas: pin
+                    .deltas
+                    .iter()
+                    .map(|d| DeltaRef { serial: d.serial, hash: d.hash })
+                    .collect(),
+            },
+            None => NotifInfo {
+                session: entry.log.session,
+                serial: entry.log.serial,
+                content: entry.digest,
+                snapshot_serial: entry.log.snapshot.serial(),
+                snapshot_hash: entry.log.snapshot.hash(),
+                deltas: entry
+                    .log
+                    .deltas
+                    .iter()
+                    .map(|d| DeltaRef { serial: d.serial, hash: d.hash })
+                    .collect(),
+            },
+        })
+    }
+
+    /// The snapshot document files of `dir` at `serial` — served from
+    /// the cached materialised document, never re-derived from the
+    /// at-rest files. `None` unless `serial` is exactly the serial the
+    /// (pinned or live) document was materialised at.
+    pub(crate) fn rrdp_snapshot(&self, dir: &RepoUri, serial: u64) -> Option<SessionSnapshot> {
+        if dir.host() != self.host {
+            return None;
+        }
+        let entry = self.dirs.get(dir.path())?;
+        match &entry.pinned {
+            Some(pin) if pin.snapshot.serial() == serial => {
+                Some((pin.session, pin.snapshot.files()))
+            }
+            Some(_) => None,
+            None if entry.log.snapshot.serial() == serial => {
+                Some((entry.log.session, entry.log.snapshot.files()))
+            }
+            None => None,
+        }
+    }
+
+    /// The delta document of `dir` reaching `serial`, if retained.
+    pub(crate) fn rrdp_delta(&self, dir: &RepoUri, serial: u64) -> Option<(u64, Vec<DeltaChange>)> {
+        if dir.host() != self.host {
+            return None;
+        }
+        let entry = self.dirs.get(dir.path())?;
+        match &entry.pinned {
+            Some(pin) => pin
+                .deltas
+                .iter()
+                .find(|d| d.serial == serial)
+                .map(|d| (pin.session, d.changes.clone())),
+            None => entry
+                .log
+                .deltas
+                .iter()
+                .find(|d| d.serial == serial)
+                .map(|d| (entry.log.session, d.changes.clone())),
+        }
     }
 
     pub(crate) fn rrdp_offline(&self) -> bool {
@@ -379,7 +648,13 @@ impl Repository {
     /// snapshot, and deltas — stale-data pinning, the Stalloris replay.
     pub fn rrdp_pin(&mut self) {
         for entry in self.dirs.values_mut() {
-            entry.pinned = Some(entry.live_view());
+            entry.pinned = Some(PinnedFeed {
+                session: entry.log.session,
+                serial: entry.log.serial,
+                content: entry.digest,
+                snapshot: entry.log.snapshot.clone(),
+                deltas: entry.log.deltas.iter().cloned().collect(),
+            });
         }
     }
 
@@ -397,9 +672,10 @@ impl Repository {
     /// reset. Returns false for an unknown directory.
     pub fn rrdp_reset_session(&mut self, dir: &RepoUri) -> bool {
         let key = self.dir_key(dir);
-        let Some(entry) = self.dirs.get_mut(&key) else { return false };
-        entry.log.reset();
-        entry.log.snapshot_hash = entry.current_snapshot_hash();
+        if !self.dirs.contains_key(&key) {
+            return false;
+        }
+        self.reset_session_entry(&key);
         true
     }
 
@@ -407,11 +683,22 @@ impl Repository {
     pub fn rrdp_reset_sessions(&mut self) {
         let keys: Vec<Vec<String>> = self.dirs.keys().cloned().collect();
         for key in keys {
-            if let Some(entry) = self.dirs.get_mut(&key) {
-                entry.log.reset();
-                entry.log.snapshot_hash = entry.current_snapshot_hash();
-            }
+            self.reset_session_entry(&key);
         }
+    }
+
+    /// Resets one directory's session and rematerialises its snapshot
+    /// document at the restarted serial (a counted build: a session
+    /// reset makes the server redo its snapshot work).
+    fn reset_session_entry(&mut self, key: &[String]) {
+        let entry = self.dirs.get_mut(key).expect("caller checked the key");
+        entry.log.reset();
+        let doc = entry.materialise_at_head();
+        let mut events = Vec::new();
+        entry.log.install_snapshot(doc, false, &mut events);
+        let parts: Vec<&str> = key.iter().map(String::as_str).collect();
+        let dir = RepoUri::new(&self.host, &parts);
+        self.emit_pubd(&dir, &events);
     }
 
     /// Lists `(name, digest)` for every file in `dir`. Digests are the

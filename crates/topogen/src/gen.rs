@@ -7,7 +7,7 @@ use ipres::{Asn, Prefix, ResourceSet};
 use netsim::Network;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rpki_ca::CertAuthority;
+use rpki_ca::{CertAuthority, ChurnEngine, ChurnReport};
 use rpki_objects::{Encode, Moment, RepoUri, RoaPrefix, RpkiObject, Span, TrustAnchorLocator};
 use rpki_repo::RepoRegistry;
 
@@ -474,6 +474,29 @@ impl SyntheticInternet {
                 repo.publish_snapshot(&sia, &snap);
             }
         }
+    }
+
+    /// Advances `engine` one step over every CA (vector order — the
+    /// index the schedule is keyed on) and republishes the touched
+    /// snapshots into their repositories, so the planet-scale world
+    /// churns like production publication points do. Returns the
+    /// engine's report.
+    pub fn run_churn(
+        &mut self,
+        engine: &mut ChurnEngine,
+        repos: &mut RepoRegistry,
+        now: Moment,
+    ) -> ChurnReport {
+        let report = engine.step_with(self.cas.iter_mut(), now);
+        for &idx in &report.touched {
+            let ca = &mut self.cas[idx];
+            let sia = ca.sia().clone();
+            let snap = ca.publication_snapshot(now);
+            if let Some(repo) = repos.by_host_mut(sia.host()) {
+                repo.publish_snapshot(&sia, &snap);
+            }
+        }
+        report
     }
 
     /// Count of organisations that issued ROAs.

@@ -103,6 +103,7 @@ fn adversarial_spec() -> CampaignSpec {
     CampaignSpec {
         name: "adversarial-publish".to_owned(),
         unsafe_vrps: UnsafeVrpPolicy::Warn,
+        churn: None,
         rounds: 12,
         windows: vec![
             FaultWindow {
@@ -160,6 +161,7 @@ fn unsafe_policies_order_vrp_availability() {
     let spec = |policy| CampaignSpec {
         name: "overclaim-policy".to_owned(),
         unsafe_vrps: policy,
+        churn: None,
         rounds: 8,
         windows: vec![FaultWindow {
             host: "rpki.continental.example".to_owned(),

@@ -114,9 +114,17 @@ proptest! {
             prop_assert_eq!(&via_chain, &via_snapshot, "chain vs snapshot after {:?}", op);
             prop_assert_eq!(&via_chain, &via_rsync, "chain vs rsync after {:?}", op);
         }
-        // The persistent client never needed a downgrade or failed.
-        prop_assert_eq!(chained.stats().failures, 0);
-        prop_assert_eq!(chained.stats().downgrades, 0);
+        // The persistent client never needed a downgrade or failed,
+        // and every snapshot sync it did take has exactly one cause.
+        let stats = chained.stats();
+        prop_assert_eq!(stats.failures, 0);
+        prop_assert_eq!(stats.downgrades, 0);
+        prop_assert_eq!(
+            stats.fallback_initial + stats.fallback_evicted
+                + stats.fallback_session_reset + stats.fallback_chain_gap,
+            stats.snapshot_syncs,
+            "fallback causes must partition the snapshot syncs"
+        );
     }
 
     /// Transport equivalence, synced once at the end: long sequences
@@ -214,9 +222,18 @@ proptest! {
             );
             t += 60;
         }
-        // An honest world never trips the freshness cross-check.
-        prop_assert_eq!(rrdp.stats().pinned_detected, 0);
-        prop_assert_eq!(rrdp.stats().downgrades, 0);
+        // An honest world never trips the freshness cross-check, and
+        // its only snapshot fallbacks are the initial cold syncs.
+        let stats = rrdp.stats();
+        prop_assert_eq!(stats.pinned_detected, 0);
+        prop_assert_eq!(stats.downgrades, 0);
+        prop_assert_eq!(
+            stats.fallback_initial + stats.fallback_evicted
+                + stats.fallback_session_reset + stats.fallback_chain_gap,
+            stats.snapshot_syncs,
+            "fallback causes must partition the snapshot syncs"
+        );
+        prop_assert_eq!(stats.fallback_session_reset, 0);
     }
 }
 
